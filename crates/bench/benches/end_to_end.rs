@@ -1,0 +1,44 @@
+//! End-to-end simulation throughput: how many simulated transactions per
+//! wall-clock second the whole stack (network → broadcast → consensus →
+//! replica → storage) processes, for both processing modes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use otp_core::{Cluster, ClusterConfig, Mode};
+use otp_simnet::{SimDuration, SimTime};
+use otp_workload::{StandardProcs, WorkloadSpec};
+
+fn run_mode(mode: Mode) -> Cluster {
+    let spec = WorkloadSpec::new(4, 4, 100)
+        .with_arrival(otp_workload::Arrival::Fixed(SimDuration::from_millis(2)))
+        .with_seed(7);
+    let (registry, procs) = StandardProcs::registry();
+    let schedule = spec.generate(&procs);
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(4, 4).with_mode(mode).with_seed(7),
+        registry,
+        spec.initial_data(),
+    );
+    schedule.apply(&mut cluster);
+    cluster.run_until(SimTime::from_secs(120));
+    assert_eq!(cluster.stats().completed, 100);
+    cluster
+}
+
+fn bench_otp_cluster(c: &mut Criterion) {
+    c.bench_function("e2e/otp_100_txns_4_sites", |b| {
+        b.iter_batched(|| (), |_| run_mode(Mode::Otp), BatchSize::SmallInput)
+    });
+}
+
+fn bench_conservative_cluster(c: &mut Criterion) {
+    c.bench_function("e2e/conservative_100_txns_4_sites", |b| {
+        b.iter_batched(|| (), |_| run_mode(Mode::Conservative), BatchSize::SmallInput)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_otp_cluster, bench_conservative_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! T1 — micro-costs of the class-queue operations (CC1–CC14 building
+//! blocks): append, the commit fast path, and worst-case rescheduling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use otp_simnet::SiteId;
+use otp_storage::{ClassId, ProcId};
+use otp_txn::queue::ClassQueue;
+use otp_txn::txn::{TxnId, TxnRequest};
+
+fn req(seq: u64) -> TxnRequest {
+    TxnRequest::new(TxnId::new(SiteId::new(0), seq), ClassId::new(0), ProcId::new(0), vec![])
+}
+
+fn queue_of(n: u64) -> ClassQueue {
+    let mut q = ClassQueue::new(ClassId::new(0));
+    for s in 0..n {
+        q.append(req(s));
+    }
+    q
+}
+
+fn bench_append(c: &mut Criterion) {
+    c.bench_function("queue/append_1000", |b| {
+        b.iter_batched(
+            || ClassQueue::new(ClassId::new(0)),
+            |mut q| {
+                for s in 0..1000 {
+                    q.append(req(s));
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_commit_fast_path(c: &mut Criterion) {
+    c.bench_function("queue/to_deliver_commit_cycle_100", |b| {
+        b.iter_batched(
+            || queue_of(100),
+            |mut q| {
+                // Tentative order equals definitive order: the fast path.
+                for s in 0..100 {
+                    let id = TxnId::new(SiteId::new(0), s);
+                    q.mark_executed(id).unwrap();
+                    q.mark_committable(id).unwrap();
+                    q.commit_head(id).unwrap();
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_reschedule_worst_case(c: &mut Criterion) {
+    // TO-delivery arrives in reverse tentative order: every delivery
+    // aborts the head and moves the delivered entry to the front.
+    c.bench_function("queue/reschedule_reverse_100", |b| {
+        b.iter_batched(
+            || queue_of(100),
+            |mut q| {
+                for s in (0..100).rev() {
+                    let id = TxnId::new(SiteId::new(0), s);
+                    q.mark_committable(id).unwrap();
+                    if q.head().unwrap().delivery == otp_txn::txn::DeliveryState::Pending {
+                        q.abort_head().unwrap();
+                    }
+                    q.reschedule_before_first_pending(id).unwrap();
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_invariant_check(c: &mut Criterion) {
+    let q = queue_of(1000);
+    c.bench_function("queue/check_invariants_1000", |b| b.iter(|| q.check_invariants()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_append, bench_commit_fast_path, bench_reschedule_worst_case, bench_invariant_check
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! T3 — storage layer costs: version installs, snapshot reads, execution
+//! with undo, and abort rollback.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use otp_storage::mvcc::VersionChain;
+use otp_storage::{
+    ClassId, Database, ObjectId, ObjectKey, SnapshotIndex, TxnCtx, TxnIndex, Value,
+};
+
+fn chain_with(n: u64) -> VersionChain {
+    let mut c = VersionChain::new();
+    for i in 0..n {
+        c.install(TxnIndex::new(i + 1), Value::Int(i as i64));
+    }
+    c
+}
+
+fn bench_install(c: &mut Criterion) {
+    c.bench_function("storage/version_install_1000", |b| {
+        b.iter_batched(
+            VersionChain::new,
+            |mut chain| {
+                for i in 0..1000 {
+                    chain.install(TxnIndex::new(i + 1), Value::Int(i as i64));
+                }
+                chain
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_snapshot_read(c: &mut Criterion) {
+    let chain = chain_with(1000);
+    let snap = SnapshotIndex::after(TxnIndex::new(500));
+    c.bench_function("storage/snapshot_read_chain_1000", |b| {
+        b.iter(|| chain.read_at(snap))
+    });
+}
+
+fn bench_exec_with_undo(c: &mut Criterion) {
+    c.bench_function("storage/txn_execute_10_writes", |b| {
+        b.iter_batched(
+            || {
+                let mut db = Database::new(1);
+                for k in 0..10 {
+                    db.load(ObjectId::new(0, k), Value::Int(0));
+                }
+                db
+            },
+            |mut db| {
+                let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+                for k in 0..10 {
+                    let key = ObjectKey::new(k);
+                    let v = ctx.read(key).unwrap().as_int().unwrap_or(0);
+                    ctx.write(key, Value::Int(v + 1)).unwrap();
+                }
+                let eff = ctx.finish();
+                db.partition_mut(ClassId::new(0))
+                    .unwrap()
+                    .promote(eff.undo.written_keys(), TxnIndex::new(1));
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_abort_rollback(c: &mut Criterion) {
+    c.bench_function("storage/abort_rollback_10_writes", |b| {
+        b.iter_batched(
+            || {
+                let mut db = Database::new(1);
+                for k in 0..10 {
+                    db.load(ObjectId::new(0, k), Value::Int(0));
+                }
+                let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+                for k in 0..10 {
+                    ctx.write(ObjectKey::new(k), Value::Int(7)).unwrap();
+                }
+                let eff = ctx.finish();
+                (db, eff)
+            },
+            |(mut db, eff)| {
+                db.partition_mut(ClassId::new(0)).unwrap().apply_undo(&eff.undo);
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gc(c: &mut Criterion) {
+    c.bench_function("storage/gc_chain_1000", |b| {
+        b.iter_batched(
+            || chain_with(1000),
+            |mut chain| {
+                chain.collect_below(TxnIndex::new(900));
+                chain
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_install, bench_snapshot_read, bench_exec_with_undo, bench_abort_rollback, bench_gc
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! E9 (ablation): batching the agreement phase of the optimistic
+//! broadcast — the paper's §2.1 "tradeoff between optimistic and
+//! conservative decisions" made measurable.
+//!
+//! Usage: `cargo run --release -p otp-bench --bin e9_batching [updates]`
+
+fn main() {
+    let updates: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    println!("# E9 — agreement batching: confirmation latency vs network traffic\n");
+    let table = otp_bench::e9_batching(&[0, 1, 2, 5, 10, 20], updates, 42);
+    println!("{}", table.to_markdown());
+    println!("CSV:\n{}", table.to_csv());
+}

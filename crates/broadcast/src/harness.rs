@@ -1,0 +1,422 @@
+//! Simulation harness wiring broadcast engines to the LAN model.
+//!
+//! [`LanCluster`] owns `n` engine endpoints, a [`MulticastNet`] and the
+//! event queue, and drives them deterministically: engine actions become
+//! network sends or timers, network arrivals become `on_receive` calls, and
+//! Opt-/TO-deliveries are logged per site. Crash and recovery (with state
+//! transfer from a donor site) can be scheduled at absolute times.
+//!
+//! The harness powers this crate's property tests and the protocol-level
+//! experiments in `otp-bench`; the full transaction-processing cluster in
+//! `otp-core` follows the same structure with a replica attached to each
+//! engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use otp_broadcast::harness::LanCluster;
+//! use otp_broadcast::{OptAbcast, OptAbcastConfig};
+//! use otp_simnet::{NetConfig, SimDuration, SimTime, SiteId};
+//!
+//! let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
+//! let mut cluster = LanCluster::new(
+//!     NetConfig::lan_10mbps(3),
+//!     7, // seed
+//!     Box::new(move |s| OptAbcast::<u64>::new(s, cfg)),
+//! );
+//! cluster.schedule_broadcast(SimTime::from_millis(1), SiteId::new(0), 42u64, 64);
+//! cluster.run_until(SimTime::from_secs(5));
+//! // Every site TO-delivered the message, in the same (trivial) order.
+//! assert_eq!(cluster.to_logs[0].len(), 1);
+//! assert_eq!(cluster.to_logs[1], cluster.to_logs[0]);
+//! ```
+
+use crate::msg::{EngineAction, MsgId, PayloadSize, TimerToken, Wire};
+use crate::traits::AtomicBroadcast;
+use otp_simnet::{EventQueue, MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
+
+/// Factory producing a fresh engine for a site — used at startup and again
+/// when a crashed site recovers with a blank state.
+pub type EngineFactory<E> = Box<dyn Fn(SiteId) -> E>;
+
+/// Events flowing through the harness queue.
+#[derive(Debug)]
+enum Ev<P> {
+    Wire { from: SiteId, to: SiteId, wire: Wire<P> },
+    Timer { site: SiteId, token: TimerToken },
+    Broadcast { site: SiteId, payload: P, size: u32 },
+    Crash { site: SiteId },
+    Recover { site: SiteId, donor: SiteId },
+}
+
+/// A deterministic simulated cluster of broadcast endpoints.
+///
+/// Public log fields hold, per site: the raw data receive order
+/// ([`LanCluster::receive_logs`] — the input to the Figure 1 metric), the
+/// Opt-delivery order and the TO-delivery order.
+pub struct LanCluster<P, E> {
+    engines: Vec<E>,
+    factory: EngineFactory<E>,
+    net: MulticastNet,
+    queue: EventQueue<Ev<P>>,
+    rng: SimRng,
+    crashed: Vec<bool>,
+    held: Vec<Vec<(SiteId, Wire<P>)>>,
+    /// Raw data-message receive order per site (tentative order source).
+    pub receive_logs: Vec<Vec<MsgId>>,
+    /// Opt-delivery order per site.
+    pub opt_logs: Vec<Vec<MsgId>>,
+    /// TO-delivery order per site.
+    pub to_logs: Vec<Vec<MsgId>>,
+    /// Ids broadcast so far (submission order, global).
+    pub broadcasts: Vec<MsgId>,
+}
+
+impl<P, E> LanCluster<P, E>
+where
+    P: Clone + PayloadSize + std::fmt::Debug,
+    E: AtomicBroadcast<P>,
+{
+    /// Creates a cluster over `net_config.sites` endpoints.
+    pub fn new(net_config: NetConfig, seed: u64, factory: EngineFactory<E>) -> Self {
+        let n = net_config.sites;
+        let engines = SiteId::all(n).map(&factory).collect();
+        LanCluster {
+            engines,
+            factory,
+            net: MulticastNet::new(net_config),
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from(seed),
+            crashed: vec![false; n],
+            held: (0..n).map(|_| Vec::new()).collect(),
+            receive_logs: vec![Vec::new(); n],
+            opt_logs: vec![Vec::new(); n],
+            to_logs: vec![Vec::new(); n],
+            broadcasts: Vec::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Immutable access to an engine (for assertions).
+    pub fn engine(&self, site: SiteId) -> &E {
+        &self.engines[site.index()]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total frames the simulated network carried.
+    pub fn network_frames(&self) -> u64 {
+        self.net.sent_frames()
+    }
+
+    /// Schedules a TO-broadcast of `payload` (`size` bytes on the wire)
+    /// from `site` at absolute time `at`.
+    pub fn schedule_broadcast(&mut self, at: SimTime, site: SiteId, payload: P, size: u32) {
+        self.queue.schedule(at, Ev::Broadcast { site, payload, size });
+    }
+
+    /// Schedules a crash of `site` at `at`. A crashed site stops processing
+    /// and its inbound messages are buffered (reliable channels).
+    pub fn schedule_crash(&mut self, at: SimTime, site: SiteId) {
+        self.queue.schedule(at, Ev::Crash { site });
+    }
+
+    /// Schedules recovery of `site` at `at`, with state transferred from
+    /// `donor` (which must be up at that time).
+    pub fn schedule_recover(&mut self, at: SimTime, site: SiteId, donor: SiteId) {
+        self.queue.schedule(at, Ev::Recover { site, donor });
+    }
+
+    fn apply_actions(&mut self, site: SiteId, actions: Vec<EngineAction<P>>) {
+        let now = self.queue.now();
+        for a in actions {
+            match a {
+                EngineAction::Multicast(wire) => {
+                    let size = wire.size_bytes();
+                    let deliveries = self.net.multicast(site, size, now, &mut self.rng);
+                    for d in deliveries {
+                        self.queue.schedule(
+                            d.arrival,
+                            Ev::Wire { from: site, to: d.to, wire: wire.clone() },
+                        );
+                    }
+                }
+                EngineAction::Send(to, wire) => {
+                    let size = wire.size_bytes();
+                    let d = self.net.unicast(site, to, size, now, &mut self.rng);
+                    self.queue.schedule(d.arrival, Ev::Wire { from: site, to, wire });
+                }
+                EngineAction::SetTimer { token, delay } => {
+                    self.queue.schedule(now + delay, Ev::Timer { site, token });
+                }
+                EngineAction::OptDeliver(msg) => {
+                    self.opt_logs[site.index()].push(msg.id);
+                }
+                EngineAction::ToDeliver(id) => {
+                    self.to_logs[site.index()].push(id);
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev<P>) {
+        match ev {
+            Ev::Wire { from, to, wire } => {
+                if self.crashed[to.index()] {
+                    self.held[to.index()].push((from, wire));
+                    return;
+                }
+                if matches!(wire, Wire::Data(_) | Wire::OracleData { .. }) {
+                    let id = match &wire {
+                        Wire::Data(m) => m.id,
+                        Wire::OracleData { msg, .. } => msg.id,
+                        _ => unreachable!(),
+                    };
+                    self.receive_logs[to.index()].push(id);
+                }
+                let actions = self.engines[to.index()].on_receive(from, wire);
+                self.apply_actions(to, actions);
+            }
+            Ev::Timer { site, token } => {
+                if self.crashed[site.index()] {
+                    return;
+                }
+                let actions = self.engines[site.index()].on_timer(token);
+                self.apply_actions(site, actions);
+            }
+            Ev::Broadcast { site, payload, size } => {
+                if self.crashed[site.index()] {
+                    return; // a crashed client/site cannot broadcast
+                }
+                let _ = size;
+                let (id, actions) = self.engines[site.index()].broadcast(payload);
+                self.broadcasts.push(id);
+                self.apply_actions(site, actions);
+            }
+            Ev::Crash { site } => {
+                self.crashed[site.index()] = true;
+                self.net.set_down(site);
+            }
+            Ev::Recover { site, donor } => {
+                assert!(!self.crashed[donor.index()], "donor {donor} must be up");
+                self.crashed[site.index()] = false;
+                self.net.set_up(site);
+                // Fresh engine + state transfer.
+                let snapshot = self.engines[donor.index()].snapshot();
+                let mut fresh = (self.factory)(site);
+                let actions = fresh.restore(snapshot);
+                self.engines[site.index()] = fresh;
+                // Reset local delivery logs to the definitive log we now
+                // claim to have delivered (the pre-crash prefix is gone
+                // from the fresh engine's perspective), then apply the
+                // restore actions (re-emitted tentative deliveries).
+                self.to_logs[site.index()] =
+                    self.engines[site.index()].definitive_log().to_vec();
+                self.opt_logs[site.index()] =
+                    self.engines[site.index()].definitive_log().to_vec();
+                self.apply_actions(site, actions);
+                // Replay everything buffered while down.
+                let held = std::mem::take(&mut self.held[site.index()]);
+                let now = self.queue.now();
+                let mut delay = SimDuration::from_micros(10);
+                for (from, wire) in held {
+                    self.queue.schedule(now + delay, Ev::Wire { from, to: site, wire });
+                    delay += SimDuration::from_micros(10);
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue empties or `deadline` passes, whichever comes
+    /// first. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.handle(ev);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+impl<P, E: std::fmt::Debug> std::fmt::Debug for LanCluster<P, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LanCluster")
+            .field("sites", &self.engines.len())
+            .field("now", &self.queue.now())
+            .field("broadcasts", &self.broadcasts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{OptAbcast, OptAbcastConfig};
+    use crate::seq::SeqAbcast;
+
+    fn opt_cluster(n: usize, seed: u64) -> LanCluster<u64, OptAbcast<u64>> {
+        let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(50));
+        LanCluster::new(NetConfig::lan_10mbps(n), seed, Box::new(move |s| OptAbcast::new(s, cfg)))
+    }
+
+    fn seq_cluster(n: usize, seed: u64) -> LanCluster<u64, SeqAbcast<u64>> {
+        LanCluster::new(
+            NetConfig::lan_10mbps(n),
+            seed,
+            Box::new(move |s| SeqAbcast::new(s, SiteId::new(0))),
+        )
+    }
+
+    #[test]
+    fn opt_engine_delivers_under_realistic_jitter() {
+        let mut c = opt_cluster(4, 11);
+        let mut t = SimTime::from_millis(1);
+        for k in 0..40u64 {
+            let site = SiteId::new((k % 4) as u16);
+            c.schedule_broadcast(t, site, k, 200);
+            t += SimDuration::from_micros(700);
+        }
+        c.run_until(SimTime::from_secs(30));
+        for s in 0..4 {
+            assert_eq!(c.to_logs[s].len(), 40, "site {s} TO-delivered everything");
+            assert_eq!(c.to_logs[s], c.to_logs[0], "global order");
+            assert_eq!(c.opt_logs[s].len(), 40, "site {s} opt-delivered everything");
+        }
+    }
+
+    #[test]
+    fn seq_engine_delivers_under_realistic_jitter() {
+        let mut c = seq_cluster(4, 13);
+        let mut t = SimTime::from_millis(1);
+        for k in 0..40u64 {
+            let site = SiteId::new((k % 4) as u16);
+            c.schedule_broadcast(t, site, k, 200);
+            t += SimDuration::from_micros(700);
+        }
+        c.run_until(SimTime::from_secs(30));
+        for s in 0..4 {
+            assert_eq!(c.to_logs[s].len(), 40);
+            assert_eq!(c.to_logs[s], c.to_logs[0]);
+        }
+    }
+
+    #[test]
+    fn local_order_invariant_holds_sitewide() {
+        let mut c = opt_cluster(3, 17);
+        let mut t = SimTime::from_millis(1);
+        for k in 0..30u64 {
+            c.schedule_broadcast(t, SiteId::new((k % 3) as u16), k, 100);
+            t += SimDuration::from_micros(300);
+        }
+        c.run_until(SimTime::from_secs(30));
+        // Every TO-delivered id must appear in the opt log (Local Order is
+        // checked in-engine; here we check the harness view).
+        for s in 0..3 {
+            for id in &c.to_logs[s] {
+                assert!(c.opt_logs[s].contains(id));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_and_recovery_converges() {
+        let mut c = opt_cluster(4, 23);
+        let mut t = SimTime::from_millis(1);
+        for k in 0..20u64 {
+            c.schedule_broadcast(t, SiteId::new((k % 2) as u16), k, 100);
+            t += SimDuration::from_millis(2);
+        }
+        // Site 3 crashes early and recovers later; more traffic follows.
+        c.schedule_crash(SimTime::from_millis(5), SiteId::new(3));
+        c.schedule_recover(SimTime::from_millis(120), SiteId::new(3), SiteId::new(0));
+        let mut t = SimTime::from_millis(150);
+        for k in 20..30u64 {
+            c.schedule_broadcast(t, SiteId::new((k % 2) as u16), k, 100);
+            t += SimDuration::from_millis(2);
+        }
+        c.run_until(SimTime::from_secs(60));
+        assert_eq!(c.to_logs[3].len(), 30, "recovered site has the full log");
+        assert_eq!(c.to_logs[3], c.to_logs[0]);
+    }
+
+    #[test]
+    fn majority_survives_minority_crash() {
+        let mut c = opt_cluster(5, 29);
+        c.schedule_crash(SimTime::from_millis(3), SiteId::new(4));
+        let mut t = SimTime::from_millis(5);
+        for k in 0..15u64 {
+            c.schedule_broadcast(t, SiteId::new((k % 4) as u16), k, 100);
+            t += SimDuration::from_millis(1);
+        }
+        c.run_until(SimTime::from_secs(60));
+        for s in 0..4 {
+            assert_eq!(c.to_logs[s].len(), 15, "site {s}");
+            assert_eq!(c.to_logs[s], c.to_logs[0]);
+        }
+    }
+
+    #[test]
+    fn batched_initiation_delivers_everything_with_fewer_frames() {
+        let run = |batch: Option<SimDuration>| {
+            let mut cfg = OptAbcastConfig::new(3, SimDuration::from_millis(50));
+            if let Some(d) = batch {
+                cfg = cfg.with_batch_delay(d);
+            }
+            let mut c: LanCluster<u64, OptAbcast<u64>> = LanCluster::new(
+                NetConfig::lan_10mbps(3),
+                41,
+                Box::new(move |s| OptAbcast::new(s, cfg)),
+            );
+            let mut t = SimTime::from_millis(1);
+            for k in 0..30u64 {
+                c.schedule_broadcast(t, SiteId::new((k % 3) as u16), k, 100);
+                t += SimDuration::from_micros(400);
+            }
+            c.run_until(SimTime::from_secs(60));
+            for s in 0..3 {
+                assert_eq!(c.to_logs[s].len(), 30, "site {s} delivered all");
+                assert_eq!(c.to_logs[s], c.to_logs[0], "global order");
+            }
+            c.network_frames()
+        };
+        let unbatched = run(None);
+        let batched = run(Some(SimDuration::from_millis(4)));
+        assert!(
+            batched < unbatched * 3 / 4,
+            "batching must cut agreement traffic: {batched} vs {unbatched}"
+        );
+    }
+
+    #[test]
+    fn lossy_network_still_delivers() {
+        let n = 3;
+        let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(50));
+        let mut c: LanCluster<u64, OptAbcast<u64>> = LanCluster::new(
+            NetConfig::lan_10mbps(n).with_loss(0.05),
+            31,
+            Box::new(move |s| OptAbcast::new(s, cfg)),
+        );
+        let mut t = SimTime::from_millis(1);
+        for k in 0..25u64 {
+            c.schedule_broadcast(t, SiteId::new((k % 3) as u16), k, 150);
+            t += SimDuration::from_millis(1);
+        }
+        c.run_until(SimTime::from_secs(60));
+        for s in 0..n {
+            assert_eq!(c.to_logs[s].len(), 25, "site {s}");
+            assert_eq!(c.to_logs[s], c.to_logs[0]);
+        }
+    }
+}

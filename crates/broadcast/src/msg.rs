@@ -1,0 +1,217 @@
+//! Message identifiers, wire formats and engine actions shared by every
+//! atomic-broadcast implementation in this crate.
+
+use otp_consensus::ConsensusMsg;
+use otp_simnet::{SimDuration, SiteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique message identifier: the originating site plus a local
+/// sequence number.
+///
+/// The derived `Ord` (origin first, then sequence) is also used by the
+/// consensus layer to break ties among equally-timestamped estimates, so
+/// the identifier ordering must be deterministic — which a pair of integers
+/// is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId {
+    /// Site that TO-broadcast the message.
+    pub origin: SiteId,
+    /// Per-origin sequence number, starting at 0.
+    pub seq: u64,
+}
+
+impl MsgId {
+    /// Creates a message id.
+    pub const fn new(origin: SiteId, seq: u64) -> Self {
+        MsgId { origin, seq }
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// A broadcast message: identifier plus application payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message<P> {
+    /// Unique identifier.
+    pub id: MsgId,
+    /// Application payload (the OTP layer carries a transaction request).
+    pub payload: P,
+}
+
+/// Sizes for wire-level accounting. Implemented for the payload types used
+/// in tests and by `otp-core` for transaction requests; the simulated
+/// network charges transmission time based on this.
+pub trait PayloadSize {
+    /// Approximate serialized size of the payload in bytes.
+    fn size_bytes(&self) -> u32;
+}
+
+impl PayloadSize for () {
+    fn size_bytes(&self) -> u32 {
+        0
+    }
+}
+impl PayloadSize for u32 {
+    fn size_bytes(&self) -> u32 {
+        4
+    }
+}
+impl PayloadSize for u64 {
+    fn size_bytes(&self) -> u32 {
+        8
+    }
+}
+impl PayloadSize for Vec<u8> {
+    fn size_bytes(&self) -> u32 {
+        self.len() as u32
+    }
+}
+impl PayloadSize for bytes::Bytes {
+    fn size_bytes(&self) -> u32 {
+        self.len() as u32
+    }
+}
+impl PayloadSize for String {
+    fn size_bytes(&self) -> u32 {
+        self.len() as u32
+    }
+}
+
+/// Everything the broadcast engines put on the network.
+///
+/// One shared enum (rather than one per engine) keeps the simulation driver
+/// and the threaded runtime engine-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Wire<P> {
+    /// Application data, multicast by the origin.
+    Data(Message<P>),
+    /// Agreement traffic of the optimistic engine: consensus instance `k`
+    /// deciding the next batch of the definitive order.
+    Consensus {
+        /// Consensus instance number (batch number).
+        instance: u64,
+        /// The inner consensus protocol message.
+        msg: ConsensusMsg<Vec<MsgId>>,
+    },
+    /// Sequencer engine: global sequence number assignment for a message.
+    SeqOrder {
+        /// Position in the definitive total order.
+        seqno: u64,
+        /// The message being ordered.
+        id: MsgId,
+    },
+    /// Oracle engine (test/bench harness): data stamped with the global
+    /// send order.
+    OracleData {
+        /// The data message.
+        msg: Message<P>,
+        /// Position in the oracle's definitive order.
+        oracle_seq: u64,
+    },
+}
+
+impl<P: PayloadSize> Wire<P> {
+    /// Wire size used for transmission-time accounting.
+    pub fn size_bytes(&self) -> u32 {
+        const HDR: u32 = 24; // id + tag + framing
+        match self {
+            Wire::Data(m) => HDR + m.payload.size_bytes(),
+            Wire::Consensus { msg, .. } => {
+                let body = match msg {
+                    ConsensusMsg::Estimate { est, .. } => 16 + 12 * est.len() as u32,
+                    ConsensusMsg::Propose { value, .. } => 16 + 12 * value.len() as u32,
+                    ConsensusMsg::Ack { .. } | ConsensusMsg::Nack { .. } => 8,
+                    ConsensusMsg::Decide { value } => 8 + 12 * value.len() as u32,
+                };
+                HDR + body
+            }
+            Wire::SeqOrder { .. } => HDR + 20,
+            Wire::OracleData { msg, .. } => HDR + 8 + msg.payload.size_bytes(),
+        }
+    }
+}
+
+/// Token identifying a timer armed by an engine.
+///
+/// The optimistic engine uses `(instance, round)` for consensus round
+/// timeouts; the oracle engine repurposes `instance` as a per-message
+/// sequence with `round == ORACLE_ROUND`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimerToken {
+    /// Engine-defined scope (consensus instance, or oracle sequence).
+    pub instance: u64,
+    /// Engine-defined sub-id (consensus round, or a marker).
+    pub round: u64,
+}
+
+/// Instructions an engine hands back to its driver.
+///
+/// The driver must:
+/// * put `Multicast`/`Send` wires on the network (including delivery back
+///   to the sending site itself — IP multicast loopback),
+/// * surface `OptDeliver`/`ToDeliver` to the application (the OTP replica),
+/// * schedule `SetTimer` and call [`crate::AtomicBroadcast::on_timer`] when
+///   it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineAction<P> {
+    /// Multicast a wire message to all sites (loopback included).
+    Multicast(Wire<P>),
+    /// Send a wire message to a single site (possibly the sender).
+    Send(SiteId, Wire<P>),
+    /// Tentative delivery to the application, in receive order.
+    OptDeliver(Message<P>),
+    /// Definitive delivery confirmation — only the id, matching the paper:
+    /// "TO-deliver(m) will not deliver the entire body of the message …
+    /// but rather deliver only a confirmation message".
+    ToDeliver(MsgId),
+    /// Arm a timer for `delay` from now, then call `on_timer(token)`.
+    SetTimer {
+        /// Identifies the timer when it fires.
+        token: TimerToken,
+        /// Delay from the current instant.
+        delay: SimDuration,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_ordering_is_origin_then_seq() {
+        let a = MsgId::new(SiteId::new(0), 5);
+        let b = MsgId::new(SiteId::new(1), 0);
+        let c = MsgId::new(SiteId::new(1), 1);
+        assert!(a < b && b < c);
+        assert_eq!(format!("{b}"), "N1#0");
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(().size_bytes(), 0);
+        assert_eq!(7u32.size_bytes(), 4);
+        assert_eq!(7u64.size_bytes(), 8);
+        assert_eq!(vec![0u8; 10].size_bytes(), 10);
+        assert_eq!(String::from("abc").size_bytes(), 3);
+        assert_eq!(bytes::Bytes::from_static(b"abcd").size_bytes(), 4);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let m = Message { id: MsgId::new(SiteId::new(0), 0), payload: vec![0u8; 100] };
+        assert_eq!(Wire::Data(m.clone()).size_bytes(), 124);
+        let small = Wire::<Vec<u8>>::SeqOrder { seqno: 1, id: m.id };
+        assert!(small.size_bytes() < 64);
+        let est = Wire::<Vec<u8>>::Consensus {
+            instance: 0,
+            msg: ConsensusMsg::Estimate { round: 0, est: vec![m.id; 10], ts: 0 },
+        };
+        let ack = Wire::<Vec<u8>>::Consensus { instance: 0, msg: ConsensusMsg::Ack { round: 0 } };
+        assert!(est.size_bytes() > ack.size_bytes());
+    }
+}

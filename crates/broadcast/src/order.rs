@@ -1,0 +1,256 @@
+//! Spontaneous-total-order metrics (the measurement behind Figure 1).
+//!
+//! Given the per-site *receive* sequences of the same message set, these
+//! functions quantify how totally ordered the network spontaneously was:
+//!
+//! * [`spontaneous_order_pct`] — the prefix-merge metric used by the
+//!   Figure 1 reproduction: walk all sequences front-to-back; a message
+//!   counts as *spontaneously ordered* when every site has it at the front
+//!   simultaneously. On disagreement, the majority front element is removed
+//!   from every sequence (wherever it sits) and counted as unordered. This
+//!   matches the intuition "the fraction of messages on which the sites'
+//!   receive streams agree without any coordination".
+//! * [`pairwise_agreement_pct`] — the fraction of message *pairs* whose
+//!   relative order is identical at all sites; an order-insensitive
+//!   cross-check (quadratic, so it samples).
+//!
+//! Both metrics are 100 % when all sequences are identical and degrade as
+//! receive-path jitter introduces inversions.
+
+use crate::msg::MsgId;
+use std::collections::HashMap;
+
+/// Percentage (0–100) of spontaneously ordered messages, prefix-merge
+/// metric. See the [module docs](self).
+///
+/// Sequences must be permutations of the same message set (messages missing
+/// somewhere are tolerated and counted as unordered).
+///
+/// # Examples
+///
+/// ```
+/// use otp_broadcast::order::spontaneous_order_pct;
+/// use otp_broadcast::MsgId;
+/// use otp_simnet::SiteId;
+///
+/// let m = |s, q| MsgId::new(SiteId::new(s), q);
+/// let identical = vec![
+///     vec![m(0, 0), m(1, 0), m(2, 0)],
+///     vec![m(0, 0), m(1, 0), m(2, 0)],
+/// ];
+/// assert_eq!(spontaneous_order_pct(&identical), 100.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty.
+pub fn spontaneous_order_pct(sequences: &[Vec<MsgId>]) -> f64 {
+    assert!(!sequences.is_empty(), "need at least one sequence");
+    let total: usize = sequences.iter().map(Vec::len).max().unwrap_or(0);
+    if total == 0 {
+        return 100.0;
+    }
+    // Work on index cursors into each sequence, with a removed-set to skip
+    // elements that were force-removed by a disagreement step.
+    let n = sequences.len();
+    let mut cursors = vec![0usize; n];
+    let mut removed: Vec<std::collections::HashSet<MsgId>> =
+        vec![std::collections::HashSet::new(); n];
+    let mut ordered = 0usize;
+    let mut processed = 0usize;
+
+    let front = |site: usize, cursors: &[usize], removed: &[std::collections::HashSet<MsgId>]| {
+        let seq = &sequences[site];
+        let mut c = cursors[site];
+        while c < seq.len() && removed[site].contains(&seq[c]) {
+            c += 1;
+        }
+        (c < seq.len()).then(|| seq[c])
+    };
+
+    while processed < total {
+        // Advance cursors past removed entries and collect fronts.
+        let fronts: Vec<Option<MsgId>> = (0..n).map(|s| front(s, &cursors, &removed)).collect();
+        if fronts.iter().all(Option::is_none) {
+            break;
+        }
+        let first = fronts.iter().flatten().next().copied();
+        let all_agree = fronts.iter().all(|f| *f == first);
+        if all_agree {
+            let id = first.expect("non-empty fronts");
+            ordered += 1;
+            processed += 1;
+            for (s, c) in cursors.iter_mut().enumerate() {
+                // Skip past the agreed element (and any removed ones).
+                let seq = &sequences[s];
+                let mut k = *c;
+                while k < seq.len() && (removed[s].contains(&seq[k]) || seq[k] == id) {
+                    if seq[k] == id {
+                        k += 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                *c = k;
+            }
+        } else {
+            // Majority front element (ties → the lexicographically smallest,
+            // for determinism).
+            let mut votes: HashMap<MsgId, usize> = HashMap::new();
+            for f in fronts.iter().flatten() {
+                *votes.entry(*f).or_insert(0) += 1;
+            }
+            let (&victim, _) = votes
+                .iter()
+                .max_by_key(|(id, count)| (**count, std::cmp::Reverse(**id)))
+                .expect("at least one front");
+            processed += 1;
+            for r in removed.iter_mut() {
+                r.insert(victim);
+            }
+        }
+    }
+    100.0 * ordered as f64 / processed.max(1) as f64
+}
+
+/// Percentage (0–100) of message pairs on whose relative order all sites
+/// agree. Pairs are sampled with stride if there are more than
+/// `max_pairs`; messages absent from some site are skipped.
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty.
+pub fn pairwise_agreement_pct(sequences: &[Vec<MsgId>], max_pairs: usize) -> f64 {
+    assert!(!sequences.is_empty(), "need at least one sequence");
+    // Position maps per site.
+    let pos: Vec<HashMap<MsgId, usize>> = sequences
+        .iter()
+        .map(|seq| seq.iter().enumerate().map(|(i, id)| (*id, i)).collect())
+        .collect();
+    let universe: Vec<MsgId> = sequences[0].clone();
+    let m = universe.len();
+    if m < 2 {
+        return 100.0;
+    }
+    let total_pairs = m * (m - 1) / 2;
+    let stride = (total_pairs / max_pairs.max(1)).max(1);
+    let mut agree = 0usize;
+    let mut counted = 0usize;
+    let mut k = 0usize;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            k += 1;
+            if !k.is_multiple_of(stride) {
+                continue;
+            }
+            let (a, b) = (universe[i], universe[j]);
+            let mut orders = Vec::with_capacity(pos.len());
+            let mut present_everywhere = true;
+            for p in &pos {
+                match (p.get(&a), p.get(&b)) {
+                    (Some(pa), Some(pb)) => orders.push(pa < pb),
+                    _ => {
+                        present_everywhere = false;
+                        break;
+                    }
+                }
+            }
+            if !present_everywhere {
+                continue;
+            }
+            counted += 1;
+            if orders.iter().all(|o| *o == orders[0]) {
+                agree += 1;
+            }
+        }
+    }
+    if counted == 0 {
+        return 100.0;
+    }
+    100.0 * agree as f64 / counted as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otp_simnet::SiteId;
+
+    fn m(site: u16, seq: u64) -> MsgId {
+        MsgId::new(SiteId::new(site), seq)
+    }
+
+    #[test]
+    fn identical_sequences_are_fully_ordered() {
+        let seqs = vec![
+            vec![m(0, 0), m(1, 0), m(0, 1)],
+            vec![m(0, 0), m(1, 0), m(0, 1)],
+            vec![m(0, 0), m(1, 0), m(0, 1)],
+        ];
+        assert_eq!(spontaneous_order_pct(&seqs), 100.0);
+        assert_eq!(pairwise_agreement_pct(&seqs, 1000), 100.0);
+    }
+
+    #[test]
+    fn one_swap_degrades_partially() {
+        let seqs = vec![
+            vec![m(0, 0), m(1, 0), m(2, 0), m(3, 0)],
+            vec![m(0, 0), m(2, 0), m(1, 0), m(3, 0)], // one inversion
+        ];
+        let pct = spontaneous_order_pct(&seqs);
+        assert!(pct < 100.0, "{pct}");
+        assert!(pct >= 50.0, "{pct}");
+        let pw = pairwise_agreement_pct(&seqs, 1000);
+        // 6 pairs, 1 disagreement.
+        assert!((pw - 100.0 * 5.0 / 6.0).abs() < 1e-9, "{pw}");
+    }
+
+    #[test]
+    fn completely_reversed_is_heavily_unordered() {
+        let fwd: Vec<MsgId> = (0..10).map(|i| m(0, i)).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let pct = spontaneous_order_pct(&[fwd.clone(), rev.clone()]);
+        assert!(pct <= 20.0, "{pct}");
+        let pw = pairwise_agreement_pct(&[fwd, rev], 1000);
+        assert_eq!(pw, 0.0);
+    }
+
+    #[test]
+    fn single_site_is_trivially_ordered() {
+        let seqs = vec![vec![m(0, 0), m(0, 1)]];
+        assert_eq!(spontaneous_order_pct(&seqs), 100.0);
+        assert_eq!(pairwise_agreement_pct(&seqs, 10), 100.0);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let seqs: Vec<Vec<MsgId>> = vec![vec![], vec![]];
+        assert_eq!(spontaneous_order_pct(&seqs), 100.0);
+        assert_eq!(pairwise_agreement_pct(&seqs, 10), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn rejects_no_sequences() {
+        spontaneous_order_pct(&[]);
+    }
+
+    #[test]
+    fn missing_message_counts_as_unordered() {
+        let seqs = vec![
+            vec![m(0, 0), m(1, 0)],
+            vec![m(0, 0)], // m(1,0) never arrived here
+        ];
+        let pct = spontaneous_order_pct(&seqs);
+        assert!(pct < 100.0);
+    }
+
+    #[test]
+    fn pairwise_sampling_still_reasonable() {
+        let fwd: Vec<MsgId> = (0..200).map(|i| m(0, i)).collect();
+        let mut other = fwd.clone();
+        other.swap(0, 1); // single adjacent inversion
+        let pw = pairwise_agreement_pct(&[fwd, other], 50);
+        assert!(pw > 90.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Oracle broadcast with controllable mismatch — a measurement instrument.
+//!
+//! Experiments E2/E3 sweep *agreement delay* and *tentative-order mismatch
+//! rate* as independent variables. With the real optimistic engine those
+//! quantities are emergent (they depend on jitter, load and consensus
+//! timing), which makes clean sweeps impossible. [`ScrambledAbcast`] fixes
+//! them by construction:
+//!
+//! * the **definitive order** is the true global send order, obtained from
+//!   a counter shared by the group (the "oracle") — no agreement traffic
+//!   at all;
+//! * each message's **TO-delivery** fires a configurable `agreement_delay`
+//!   after its receipt (modelling the coordination phase of the real
+//!   protocol);
+//! * with probability `swap_probability`, a message's **Opt-delivery** is
+//!   *held back* until the next data message arrives, producing exactly
+//!   one adjacent tentative-order inversion — a controllable mismatch.
+//!
+//! The delivery guarantees (Termination, Agreement, Global/Local Order)
+//! still hold, so OTP replicas run over it unchanged. It is *not* a real
+//! protocol — it is the lab instrument the benches use; see DESIGN.md §5.
+
+use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
+use crate::traits::{AtomicBroadcast, EngineSnapshot};
+use otp_simnet::rng::SimRng;
+use otp_simnet::{SimDuration, SiteId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Marker in [`TimerToken::round`] identifying oracle TO-delivery timers.
+const ORACLE_ROUND: u64 = u64::MAX;
+
+/// Configuration of the oracle engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrambleConfig {
+    /// Fixed delay between a message's receipt and its TO-delivery —
+    /// stands in for the coordination phase of a real protocol.
+    pub agreement_delay: SimDuration,
+    /// Probability that a message's Opt-delivery is swapped with the next
+    /// message's, producing one adjacent mismatch between tentative and
+    /// definitive order.
+    pub swap_probability: f64,
+}
+
+impl ScrambleConfig {
+    /// A configuration with the given delay and no mismatches.
+    pub fn delay_only(agreement_delay: SimDuration) -> Self {
+        ScrambleConfig { agreement_delay, swap_probability: 0.0 }
+    }
+}
+
+/// Shared oracle: hands out the global send order.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    counter: AtomicU64,
+}
+
+impl Oracle {
+    /// Creates the group oracle.
+    pub fn new() -> Arc<Oracle> {
+        Arc::new(Oracle::default())
+    }
+
+    fn next(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The oracle-ordered endpoint at one site. See the
+/// [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct ScrambledAbcast<P> {
+    me: SiteId,
+    cfg: ScrambleConfig,
+    oracle: Arc<Oracle>,
+    rng: SimRng,
+    next_seq: u64,
+    received: HashMap<MsgId, Message<P>>,
+    /// oracle_seq → id, for messages whose TO-delivery timer has fired or
+    /// is pending.
+    order: BTreeMap<u64, MsgId>,
+    /// Oracle seqs whose agreement delay has elapsed.
+    ripe: BTreeMap<u64, bool>,
+    deliver_next: u64,
+    /// A message held back to be opt-delivered after its successor.
+    swap_hold: Option<Message<P>>,
+    opt_log: Vec<MsgId>,
+    definitive_log: Vec<MsgId>,
+}
+
+impl<P: Clone + std::fmt::Debug> ScrambledAbcast<P> {
+    /// Creates the endpoint. All endpoints of a group must share the same
+    /// `oracle`; give each its own forked `rng`.
+    pub fn new(me: SiteId, cfg: ScrambleConfig, oracle: Arc<Oracle>, rng: SimRng) -> Self {
+        ScrambledAbcast {
+            me,
+            cfg,
+            oracle,
+            rng,
+            next_seq: 0,
+            received: HashMap::new(),
+            order: BTreeMap::new(),
+            ripe: BTreeMap::new(),
+            deliver_next: 0,
+            swap_hold: None,
+            opt_log: Vec::new(),
+            definitive_log: Vec::new(),
+        }
+    }
+
+    /// Convenience: builds a whole connected group of `n` endpoints.
+    pub fn group(n: usize, cfg: ScrambleConfig, rng: &mut SimRng) -> Vec<ScrambledAbcast<P>> {
+        let oracle = Oracle::new();
+        SiteId::all(n)
+            .map(|s| ScrambledAbcast::new(s, cfg, Arc::clone(&oracle), rng.fork()))
+            .collect()
+    }
+
+    /// The tentative (Opt-delivery) order observed so far.
+    pub fn tentative_log(&self) -> &[MsgId] {
+        &self.opt_log
+    }
+
+    fn opt_deliver(&mut self, msg: Message<P>, out: &mut Vec<EngineAction<P>>) {
+        self.opt_log.push(msg.id);
+        out.push(EngineAction::OptDeliver(msg));
+    }
+
+    fn flush_hold(&mut self, out: &mut Vec<EngineAction<P>>) {
+        if let Some(held) = self.swap_hold.take() {
+            self.opt_deliver(held, out);
+        }
+    }
+
+    fn try_to_deliver(&mut self, out: &mut Vec<EngineAction<P>>) {
+        while let (Some(&ready), Some(id)) =
+            (self.ripe.get(&self.deliver_next), self.order.get(&self.deliver_next).copied())
+        {
+            if !ready {
+                break;
+            }
+            // Local Order: if the message is still held back for a swap,
+            // release its Opt-delivery first.
+            if self.swap_hold.as_ref().is_some_and(|h| h.id == id) {
+                self.flush_hold(out);
+            }
+            self.definitive_log.push(id);
+            out.push(EngineAction::ToDeliver(id));
+            self.deliver_next += 1;
+        }
+    }
+}
+
+impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
+    fn me(&self) -> SiteId {
+        self.me
+    }
+
+    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
+        let id = MsgId::new(self.me, self.next_seq);
+        self.next_seq += 1;
+        let oracle_seq = self.oracle.next();
+        let msg = Message { id, payload };
+        (id, vec![EngineAction::Multicast(Wire::OracleData { msg, oracle_seq })])
+    }
+
+    fn on_receive(&mut self, _from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
+        let Wire::OracleData { msg, oracle_seq } = wire else {
+            return Vec::new();
+        };
+        if self.received.contains_key(&msg.id) {
+            return Vec::new();
+        }
+        self.received.insert(msg.id, msg.clone());
+        self.order.insert(oracle_seq, msg.id);
+        self.ripe.insert(oracle_seq, false);
+
+        let mut out = Vec::new();
+        // A previously held message is released by the next arrival: the
+        // pair appears swapped in the tentative order.
+        let had_hold = self.swap_hold.is_some();
+        if had_hold {
+            self.opt_deliver(msg.clone(), &mut out);
+            self.flush_hold(&mut out);
+        } else if self.rng.chance(self.cfg.swap_probability) {
+            self.swap_hold = Some(msg.clone());
+        } else {
+            self.opt_deliver(msg.clone(), &mut out);
+        }
+        // Arm the agreement timer for this message.
+        out.push(EngineAction::SetTimer {
+            token: TimerToken { instance: oracle_seq, round: ORACLE_ROUND },
+            delay: self.cfg.agreement_delay,
+        });
+        out
+    }
+
+    fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>> {
+        if token.round != ORACLE_ROUND {
+            return Vec::new();
+        }
+        self.ripe.insert(token.instance, true);
+        let mut out = Vec::new();
+        self.try_to_deliver(&mut out);
+        out
+    }
+
+    fn definitive_log(&self) -> &[MsgId] {
+        &self.definitive_log
+    }
+
+    fn snapshot(&self) -> EngineSnapshot<P> {
+        let mut decided = BTreeMap::new();
+        decided.insert(0, self.definitive_log.clone());
+        EngineSnapshot {
+            decided,
+            received: self.received.values().cloned().collect(),
+            definitive_log: self.definitive_log.clone(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
+        self.definitive_log = snapshot.definitive_log.clone();
+        self.opt_log = snapshot.definitive_log.clone();
+        for m in snapshot.received {
+            self.received.insert(m.id, m);
+        }
+        self.deliver_next = snapshot.definitive_log.len() as u64;
+        for (i, id) in snapshot.definitive_log.iter().enumerate() {
+            self.order.insert(i as u64, *id);
+            self.ripe.insert(i as u64, true);
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Timed mini-driver for the oracle engine (it needs timers).
+    struct Driver {
+        engines: Vec<ScrambledAbcast<u32>>,
+        queue: otp_simnet::EventQueue<Ev>,
+    }
+
+    enum Ev {
+        Deliver { to: SiteId, from: SiteId, wire: Wire<u32> },
+        Timer { site: SiteId, token: TimerToken },
+    }
+
+    impl Driver {
+        fn new(n: usize, cfg: ScrambleConfig, seed: u64) -> Self {
+            let mut rng = SimRng::seed_from(seed);
+            Driver {
+                engines: ScrambledAbcast::group(n, cfg, &mut rng),
+                queue: otp_simnet::EventQueue::new(),
+            }
+        }
+
+        fn apply(&mut self, site: SiteId, actions: Vec<EngineAction<u32>>) {
+            let now = self.queue.now();
+            let hop = SimDuration::from_micros(100);
+            for a in actions {
+                match a {
+                    EngineAction::Multicast(w) => {
+                        for to in SiteId::all(self.engines.len()) {
+                            self.queue
+                                .schedule(now + hop, Ev::Deliver { to, from: site, wire: w.clone() });
+                        }
+                    }
+                    EngineAction::Send(to, w) => {
+                        self.queue.schedule(now + hop, Ev::Deliver { to, from: site, wire: w });
+                    }
+                    EngineAction::SetTimer { token, delay } => {
+                        self.queue.schedule(now + delay, Ev::Timer { site, token });
+                    }
+                    EngineAction::OptDeliver(_) | EngineAction::ToDeliver(_) => {}
+                }
+            }
+        }
+
+        fn broadcast(&mut self, site: SiteId, payload: u32) {
+            let (_, actions) = self.engines[site.index()].broadcast(payload);
+            self.apply(site, actions);
+        }
+
+        fn run(&mut self) {
+            while let Some((_, ev)) = self.queue.pop() {
+                match ev {
+                    Ev::Deliver { to, from, wire } => {
+                        let actions = self.engines[to.index()].on_receive(from, wire);
+                        self.apply(to, actions);
+                    }
+                    Ev::Timer { site, token } => {
+                        let actions = self.engines[site.index()].on_timer(token);
+                        self.apply(site, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn definitive_order_matches_send_order() {
+        let mut d = Driver::new(3, ScrambleConfig::delay_only(SimDuration::from_millis(2)), 1);
+        for k in 0..10u32 {
+            d.broadcast(SiteId::new((k % 3) as u16), k);
+        }
+        d.run();
+        let log0 = d.engines[0].definitive_log().to_vec();
+        assert_eq!(log0.len(), 10);
+        for e in &d.engines {
+            assert_eq!(e.definitive_log(), log0.as_slice());
+        }
+    }
+
+    #[test]
+    fn zero_swap_means_tentative_equals_definitive() {
+        let mut d = Driver::new(2, ScrambleConfig::delay_only(SimDuration::from_millis(1)), 2);
+        for k in 0..20u32 {
+            d.broadcast(SiteId::new(0), k);
+        }
+        d.run();
+        for e in &d.engines {
+            assert_eq!(e.tentative_log(), e.definitive_log());
+        }
+    }
+
+    #[test]
+    fn swaps_produce_tentative_mismatches_but_not_definitive_ones() {
+        let cfg = ScrambleConfig {
+            agreement_delay: SimDuration::from_millis(1),
+            swap_probability: 0.5,
+        };
+        let mut d = Driver::new(2, cfg, 3);
+        for k in 0..100u32 {
+            d.broadcast(SiteId::new(0), k);
+        }
+        d.run();
+        let e = &d.engines[1];
+        assert_eq!(e.definitive_log().len(), 100, "all TO-delivered");
+        // Definitive order is the oracle order at every site.
+        assert_eq!(d.engines[0].definitive_log(), e.definitive_log());
+        // The tentative order should differ somewhere.
+        assert_ne!(e.tentative_log(), e.definitive_log(), "swaps must show up");
+        // But as a *set* it is the same 100 messages.
+        let mut a = e.tentative_log().to_vec();
+        let mut b = e.definitive_log().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_order_holds_even_with_swaps() {
+        // With swap probability 1.0 every message is held; the hold must be
+        // released before its TO-delivery.
+        let cfg = ScrambleConfig {
+            agreement_delay: SimDuration::from_micros(10),
+            swap_probability: 1.0,
+        };
+        let oracle = Oracle::new();
+        let mut rng = SimRng::seed_from(4);
+        let mut e: ScrambledAbcast<u32> =
+            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
+        let id = MsgId::new(SiteId::new(1), 0);
+        let a1 = e.on_receive(
+            SiteId::new(1),
+            Wire::OracleData { msg: Message { id, payload: 1 }, oracle_seq: 0 },
+        );
+        // Held: no opt-delivery yet.
+        assert!(!a1.iter().any(|a| matches!(a, EngineAction::OptDeliver(_))));
+        // Timer fires → opt then to, in that order.
+        let a2 = e.on_timer(TimerToken { instance: 0, round: u64::MAX });
+        let kinds: Vec<&str> = a2
+            .iter()
+            .map(|a| match a {
+                EngineAction::OptDeliver(_) => "opt",
+                EngineAction::ToDeliver(_) => "to",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["opt", "to"]);
+    }
+
+    #[test]
+    fn measured_mismatch_rate_tracks_probability() {
+        let cfg = ScrambleConfig {
+            agreement_delay: SimDuration::from_millis(1),
+            swap_probability: 0.3,
+        };
+        let mut d = Driver::new(2, cfg, 5);
+        for k in 0..2000u32 {
+            d.broadcast(SiteId::new(0), k);
+        }
+        d.run();
+        let e = &d.engines[1];
+        let mismatches = e
+            .tentative_log()
+            .iter()
+            .zip(e.definitive_log())
+            .filter(|(a, b)| a != b)
+            .count();
+        let rate = mismatches as f64 / 2000.0;
+        // Each swap displaces two adjacent positions ⇒ position-mismatch
+        // rate ≈ 2·p·(1-p) ± noise. For p=0.3 that is ≈ 0.42.
+        assert!(rate > 0.25 && rate < 0.60, "rate {rate}");
+    }
+}

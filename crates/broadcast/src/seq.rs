@@ -1,0 +1,330 @@
+//! Fixed-sequencer total-order broadcast — the conservative baseline.
+//!
+//! A designated site (the *sequencer*) assigns global sequence numbers to
+//! data messages; every site TO-delivers in sequence-number order. This is
+//! the classic low-latency total-order protocol on a LAN and serves as the
+//! paper's "conservative" comparison point: there is no optimism — the
+//! definitive order is simply whatever the sequencer says, and it costs one
+//! extra message hop (data → sequencer → order multicast) before anything
+//! can be TO-delivered.
+//!
+//! The engine still emits `Opt-deliver` in receive order, so the OTP
+//! replica can run over it unchanged; a conservative replica just ignores
+//! the tentative deliveries.
+//!
+//! Failure handling: the sequencer is a single point of ordering. This
+//! implementation does not elect a replacement (the optimistic engine is
+//! the crate's fault-tolerant citizen); crash experiments use
+//! [`crate::OptAbcast`].
+
+use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
+use crate::traits::{AtomicBroadcast, EngineSnapshot};
+use otp_simnet::SiteId;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The fixed-sequencer endpoint at one site.
+#[derive(Debug)]
+pub struct SeqAbcast<P> {
+    me: SiteId,
+    sequencer: SiteId,
+    next_seq: u64,
+    /// Sequencer-only: next global sequence number to hand out.
+    next_global: u64,
+    /// Sequencer-only: ids already numbered (idempotence on duplicates).
+    numbered: HashSet<MsgId>,
+    /// Payload store.
+    received: HashMap<MsgId, Message<P>>,
+    /// Global order assignments received so far.
+    order: BTreeMap<u64, MsgId>,
+    /// Next global number to TO-deliver.
+    deliver_next: u64,
+    opt_log: Vec<MsgId>,
+    opt_set: HashSet<MsgId>,
+    definitive_log: Vec<MsgId>,
+    to_set: HashSet<MsgId>,
+}
+
+impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
+    /// Creates the endpoint for site `me` with the given sequencer site.
+    pub fn new(me: SiteId, sequencer: SiteId) -> Self {
+        SeqAbcast {
+            me,
+            sequencer,
+            next_seq: 0,
+            next_global: 0,
+            numbered: HashSet::new(),
+            received: HashMap::new(),
+            order: BTreeMap::new(),
+            deliver_next: 0,
+            opt_log: Vec::new(),
+            opt_set: HashSet::new(),
+            definitive_log: Vec::new(),
+            to_set: HashSet::new(),
+        }
+    }
+
+    /// The tentative (receive) order observed so far.
+    pub fn tentative_log(&self) -> &[MsgId] {
+        &self.opt_log
+    }
+
+    fn try_deliver(&mut self) -> Vec<EngineAction<P>> {
+        let mut out = Vec::new();
+        while let Some(id) = self.order.get(&self.deliver_next).copied() {
+            if !self.received.contains_key(&id) {
+                break; // data lagging behind its order assignment
+            }
+            if self.to_set.insert(id) {
+                self.definitive_log.push(id);
+                out.push(EngineAction::ToDeliver(id));
+            }
+            self.deliver_next += 1;
+        }
+        out
+    }
+
+    fn on_data(&mut self, msg: Message<P>) -> Vec<EngineAction<P>> {
+        if self.received.contains_key(&msg.id) {
+            return Vec::new();
+        }
+        let id = msg.id;
+        self.received.insert(id, msg.clone());
+        let mut out = Vec::new();
+        if !self.to_set.contains(&id) && self.opt_set.insert(id) {
+            self.opt_log.push(id);
+            out.push(EngineAction::OptDeliver(msg));
+        }
+        if self.me == self.sequencer && self.numbered.insert(id) {
+            let seqno = self.next_global;
+            self.next_global += 1;
+            out.push(EngineAction::Multicast(Wire::SeqOrder { seqno, id }));
+        }
+        out.extend(self.try_deliver());
+        out
+    }
+
+    fn on_order(&mut self, seqno: u64, id: MsgId) -> Vec<EngineAction<P>> {
+        self.order.entry(seqno).or_insert(id);
+        self.try_deliver()
+    }
+}
+
+impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
+    fn me(&self) -> SiteId {
+        self.me
+    }
+
+    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
+        let id = MsgId::new(self.me, self.next_seq);
+        self.next_seq += 1;
+        let msg = Message { id, payload };
+        (id, vec![EngineAction::Multicast(Wire::Data(msg))])
+    }
+
+    fn on_receive(&mut self, _from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
+        match wire {
+            Wire::Data(msg) => self.on_data(msg),
+            Wire::SeqOrder { seqno, id } => self.on_order(seqno, id),
+            Wire::Consensus { .. } | Wire::OracleData { .. } => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, _token: TimerToken) -> Vec<EngineAction<P>> {
+        Vec::new()
+    }
+
+    fn definitive_log(&self) -> &[MsgId] {
+        &self.definitive_log
+    }
+
+    fn snapshot(&self) -> EngineSnapshot<P> {
+        let mut decided = BTreeMap::new();
+        decided.insert(0, self.definitive_log.clone());
+        EngineSnapshot {
+            decided,
+            received: self.received.values().cloned().collect(),
+            definitive_log: self.definitive_log.clone(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
+        self.definitive_log = snapshot.definitive_log.clone();
+        self.to_set = snapshot.definitive_log.iter().copied().collect();
+        self.opt_set = self.to_set.clone();
+        self.opt_log = snapshot.definitive_log.clone();
+        for m in snapshot.received {
+            self.received.insert(m.id, m);
+        }
+        for (i, id) in snapshot.definitive_log.iter().enumerate() {
+            self.order.insert(i as u64, *id);
+        }
+        self.deliver_next = snapshot.definitive_log.len() as u64;
+        self.next_global = self.deliver_next;
+        let my_max = self
+            .received
+            .keys()
+            .filter(|id| id.origin == self.me)
+            .map(|id| id.seq)
+            .max();
+        if let Some(mx) = my_max {
+            self.next_seq = self.next_seq.max(mx + 1);
+        }
+        // Received-but-undelivered messages are tentative again: re-emit
+        // their Opt-deliveries (deterministic id order) so the application
+        // can rebuild its queues, then whatever is sequenced and ready.
+        let mut pending: Vec<MsgId> = self
+            .received
+            .keys()
+            .filter(|id| !self.to_set.contains(id))
+            .copied()
+            .collect();
+        pending.sort_unstable();
+        let mut actions: Vec<EngineAction<P>> = Vec::new();
+        for id in pending {
+            if self.opt_set.insert(id) {
+                self.opt_log.push(id);
+                actions.push(EngineAction::OptDeliver(self.received[&id].clone()));
+            }
+        }
+        actions.extend(self.try_deliver());
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engines(n: usize) -> Vec<SeqAbcast<u32>> {
+        SiteId::all(n).map(|s| SeqAbcast::new(s, SiteId::new(0))).collect()
+    }
+
+    fn pump(engines: &mut [SeqAbcast<u32>], mut wires: Vec<(SiteId, Option<SiteId>, Wire<u32>)>) {
+        let n = engines.len();
+        let mut guard = 0;
+        while !wires.is_empty() {
+            guard += 1;
+            assert!(guard < 100_000, "pump did not quiesce");
+            let (from, to, wire) = wires.remove(0);
+            let targets: Vec<SiteId> = match to {
+                Some(t) => vec![t],
+                None => SiteId::all(n).collect(),
+            };
+            for t in targets {
+                for a in engines[t.index()].on_receive(from, wire.clone()) {
+                    match a {
+                        EngineAction::Multicast(w) => wires.push((t, None, w)),
+                        EngineAction::Send(dst, w) => wires.push((t, Some(dst), w)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn bcast(e: &mut SeqAbcast<u32>, p: u32) -> Vec<(SiteId, Option<SiteId>, Wire<u32>)> {
+        let me = e.me();
+        let (_, actions) = e.broadcast(p);
+        actions
+            .into_iter()
+            .filter_map(|a| match a {
+                EngineAction::Multicast(w) => Some((me, None, w)),
+                EngineAction::Send(t, w) => Some((me, Some(t), w)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequencer_orders_everything() {
+        let mut es = engines(3);
+        let mut wires = Vec::new();
+        for e in es.iter_mut() {
+            for k in 0..4u32 {
+                wires.extend(bcast(e, k));
+            }
+        }
+        pump(&mut es, wires);
+        let log0 = es[0].definitive_log().to_vec();
+        assert_eq!(log0.len(), 12);
+        for e in &es {
+            assert_eq!(e.definitive_log(), log0.as_slice());
+        }
+    }
+
+    #[test]
+    fn order_before_data_stalls_until_data() {
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let id = MsgId::new(SiteId::new(2), 0);
+        // Order assignment arrives first (data raced behind it).
+        let a1 = e.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id });
+        assert!(a1.is_empty());
+        // Data arrives: opt-deliver then to-deliver, in that order.
+        let a2 = e.on_receive(SiteId::new(2), Wire::Data(Message { id, payload: 9 }));
+        let kinds: Vec<&str> = a2
+            .iter()
+            .map(|a| match a {
+                EngineAction::OptDeliver(_) => "opt",
+                EngineAction::ToDeliver(_) => "to",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["opt", "to"]);
+    }
+
+    #[test]
+    fn gaps_block_subsequent_deliveries() {
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let id0 = MsgId::new(SiteId::new(2), 0);
+        let id1 = MsgId::new(SiteId::new(2), 1);
+        e.on_receive(SiteId::new(2), Wire::Data(Message { id: id1, payload: 1 }));
+        // seqno 1 known, seqno 0 missing → nothing TO-delivered.
+        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 1, id: id1 });
+        assert!(a.is_empty());
+        e.on_receive(SiteId::new(2), Wire::Data(Message { id: id0, payload: 0 }));
+        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id: id0 });
+        // Both deliver now, in order.
+        let tos: Vec<MsgId> = a
+            .iter()
+            .filter_map(|x| match x {
+                EngineAction::ToDeliver(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tos, vec![id0, id1]);
+    }
+
+    #[test]
+    fn duplicate_data_not_renumbered_by_sequencer() {
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        let id = MsgId::new(SiteId::new(1), 0);
+        let m = Message { id, payload: 4 };
+        let a1 = e.on_receive(SiteId::new(1), Wire::Data(m.clone()));
+        let orders1 = a1
+            .iter()
+            .filter(|a| matches!(a, EngineAction::Multicast(Wire::SeqOrder { .. })))
+            .count();
+        assert_eq!(orders1, 1);
+        let a2 = e.on_receive(SiteId::new(1), Wire::Data(m));
+        assert!(a2.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut es = engines(2);
+        let mut wires = Vec::new();
+        for k in 0..5u32 {
+            wires.extend(bcast(&mut es[1], k));
+        }
+        pump(&mut es, wires);
+        let snap = es[0].snapshot();
+        let mut fresh: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        fresh.restore(snap);
+        assert_eq!(fresh.definitive_log(), es[0].definitive_log());
+        es[1] = fresh;
+        let wires = bcast(&mut es[1], 100);
+        pump(&mut es, wires);
+        assert_eq!(es[0].definitive_log().len(), 6);
+        assert_eq!(es[0].definitive_log(), es[1].definitive_log());
+    }
+}

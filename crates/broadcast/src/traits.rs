@@ -1,0 +1,71 @@
+//! The engine-agnostic atomic-broadcast interface.
+
+use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
+use otp_simnet::SiteId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// State carried from a live site to a recovering one.
+///
+/// Recovery model (see DESIGN.md §4): the donor produces a snapshot at a
+/// quiescent point; the recovering engine restores it, suppresses
+/// re-delivery of everything already in the definitive log, and joins new
+/// consensus instances as their first messages arrive.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<P> {
+    /// Decided batches by consensus instance (empty for engines that do
+    /// not batch; the sequencer engine stores one implicit batch).
+    pub decided: BTreeMap<u64, Vec<MsgId>>,
+    /// All received data messages (payload store).
+    pub received: Vec<Message<P>>,
+    /// Definitive log: every TO-delivered id, in delivery order.
+    pub definitive_log: Vec<MsgId>,
+}
+
+/// An atomic broadcast endpoint at one site.
+///
+/// All engines in this crate implement the paper's primitive: messages are
+/// `Opt-deliver`ed in *tentative* (receive) order as soon as they arrive
+/// and `TO-deliver`ed in the *definitive* total order once agreement is
+/// reached. Implementations must guarantee, for correct sites:
+///
+/// * **Termination** — a TO-broadcast message is eventually Opt- and
+///   TO-delivered everywhere;
+/// * **Global Agreement** — if one site TO-delivers `m`, every site does;
+/// * **Local Agreement** — an Opt-delivered message is eventually
+///   TO-delivered;
+/// * **Global Order** — all sites TO-deliver in the same order;
+/// * **Local Order** — a site Opt-delivers `m` before TO-delivering `m`.
+///
+/// Engines are pure state machines: they never look at a clock and never
+/// touch a network. The driver executes the returned [`EngineAction`]s —
+/// this is what lets the same code run in the deterministic simulator, the
+/// property-test harnesses and the threaded runtime.
+pub trait AtomicBroadcast<P>: fmt::Debug {
+    /// The site this endpoint lives on.
+    fn me(&self) -> SiteId;
+
+    /// TO-broadcasts a payload. Returns the new message's id and the
+    /// actions to execute (typically a `Multicast` of the data).
+    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>);
+
+    /// Handles a wire message received from the network.
+    fn on_receive(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>>;
+
+    /// Handles a timer armed via [`EngineAction::SetTimer`].
+    fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>>;
+
+    /// The definitive log so far: TO-delivered ids in delivery order.
+    fn definitive_log(&self) -> &[MsgId];
+
+    /// Produces a state snapshot for transferring to a recovering site.
+    fn snapshot(&self) -> EngineSnapshot<P>;
+
+    /// Restores this (fresh) engine from a donor snapshot. Everything in
+    /// the snapshot's definitive log is treated as already delivered: it is
+    /// not re-OptDelivered nor re-ToDelivered. Messages that were received
+    /// but not yet definitively delivered are re-emitted as `OptDeliver`
+    /// actions (they are tentative again at the recovering site), followed
+    /// by any `ToDeliver`s that are immediately ready.
+    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>>;
+}

@@ -1,0 +1,144 @@
+//! Property tests of the atomic-broadcast guarantees (Section 2.1 of the
+//! paper) on full simulated LAN runs with random load, jitter, loss and
+//! crash/recovery schedules:
+//!
+//! * **Termination / Global Agreement** — every broadcast message is
+//!   Opt- and TO-delivered at every (live) site;
+//! * **Global Order** — all TO logs are identical;
+//! * **Local Agreement** — every Opt-delivered message is eventually
+//!   TO-delivered;
+//! * **Local Order** — per site, Opt-delivery precedes TO-delivery.
+
+use otp_broadcast::harness::LanCluster;
+use otp_broadcast::{AtomicBroadcast, MsgId, OptAbcast, OptAbcastConfig, SeqAbcast};
+use otp_simnet::{NetConfig, SimDuration, SimTime, SiteId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn check_properties<E: AtomicBroadcast<u64>>(
+    cluster: &LanCluster<u64, E>,
+    expected: usize,
+    live: &[usize],
+) -> Result<(), TestCaseError> {
+    let reference = &cluster.to_logs[live[0]];
+    prop_assert_eq!(reference.len(), expected, "termination at site {}", live[0]);
+    for &s in live {
+        // Global Order + Global Agreement.
+        prop_assert_eq!(&cluster.to_logs[s], reference, "global order at {}", s);
+        // Local Agreement: opt ⊇ to; with quiescence, opt == to as sets.
+        let opt: HashSet<MsgId> = cluster.opt_logs[s].iter().copied().collect();
+        let to: HashSet<MsgId> = cluster.to_logs[s].iter().copied().collect();
+        prop_assert_eq!(&opt, &to, "local agreement at {}", s);
+        // Local Order: every TO-delivered id appears in the opt log at an
+        // earlier-or-equal position index.
+        for id in &cluster.to_logs[s] {
+            prop_assert!(cluster.opt_logs[s].contains(id), "local order at {}", s);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Optimistic engine under random load, jitter scale, and loss.
+    #[test]
+    fn prop_opt_abcast_guarantees(
+        seed in 0u64..5_000,
+        n in 2usize..6,
+        msgs in 5usize..40,
+        spacing_us in 100u64..3_000,
+        jitter_scale in 1u64..6,
+        loss_pct in 0u64..8,
+    ) {
+        let base = NetConfig::lan_10mbps(n)
+            .with_jitter(
+                SimDuration::from_micros(50 * jitter_scale),
+                SimDuration::from_micros(80 * jitter_scale),
+            )
+            .with_loss(loss_pct as f64 / 100.0);
+        let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(60));
+        let mut cluster: LanCluster<u64, OptAbcast<u64>> =
+            LanCluster::new(base, seed, Box::new(move |s| OptAbcast::new(s, cfg)));
+        let mut t = SimTime::from_millis(1);
+        for k in 0..msgs {
+            let site = SiteId::new((k % n) as u16);
+            cluster.schedule_broadcast(t, site, k as u64, 128);
+            t += SimDuration::from_micros(spacing_us);
+        }
+        cluster.run_until(SimTime::from_secs(120));
+        let live: Vec<usize> = (0..n).collect();
+        check_properties(&cluster, msgs, &live)?;
+    }
+
+    /// Sequencer engine under the same randomization (no crashes — the
+    /// fixed sequencer is not fault-tolerant by design).
+    #[test]
+    fn prop_seq_abcast_guarantees(
+        seed in 0u64..5_000,
+        n in 2usize..6,
+        msgs in 5usize..40,
+        spacing_us in 100u64..3_000,
+    ) {
+        let base = NetConfig::lan_10mbps(n);
+        let mut cluster: LanCluster<u64, SeqAbcast<u64>> = LanCluster::new(
+            base,
+            seed,
+            Box::new(move |s| SeqAbcast::new(s, SiteId::new(0))),
+        );
+        let mut t = SimTime::from_millis(1);
+        for k in 0..msgs {
+            let site = SiteId::new((k % n) as u16);
+            cluster.schedule_broadcast(t, site, k as u64, 128);
+            t += SimDuration::from_micros(spacing_us);
+        }
+        cluster.run_until(SimTime::from_secs(120));
+        let live: Vec<usize> = (0..n).collect();
+        check_properties(&cluster, msgs, &live)?;
+    }
+
+    /// Optimistic engine with one crash + recovery at random times: the
+    /// recovered site must end with the identical definitive log.
+    #[test]
+    fn prop_opt_abcast_crash_recovery(
+        seed in 0u64..5_000,
+        n in 4usize..6,
+        msgs in 8usize..30,
+        crash_ms in 2u64..20,
+        down_ms in 10u64..150,
+        victim_raw in 1u16..6,
+    ) {
+        let victim = SiteId::new(victim_raw % n as u16);
+        let donor_idx = (victim.index() + 1) % n;
+        let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(60));
+        let mut cluster: LanCluster<u64, OptAbcast<u64>> = LanCluster::new(
+            NetConfig::lan_10mbps(n),
+            seed,
+            Box::new(move |s| OptAbcast::new(s, cfg)),
+        );
+        let mut t = SimTime::from_millis(1);
+        for k in 0..msgs {
+            // Only non-victim sites broadcast, so no requests are lost
+            // with the crashed client.
+            let mut site = SiteId::new((k % n) as u16);
+            if site == victim {
+                site = SiteId::new(donor_idx as u16);
+            }
+            cluster.schedule_broadcast(t, site, k as u64, 128);
+            t += SimDuration::from_millis(1);
+        }
+        cluster.schedule_crash(SimTime::from_millis(crash_ms), victim);
+        cluster.schedule_recover(
+            SimTime::from_millis(crash_ms + down_ms),
+            victim,
+            SiteId::new(donor_idx as u16),
+        );
+        cluster.run_until(SimTime::from_secs(300));
+        // All sites — including the recovered one — share the same log.
+        let reference = &cluster.to_logs[donor_idx];
+        prop_assert_eq!(reference.len(), msgs, "all delivered");
+        for s in 0..n {
+            prop_assert_eq!(&cluster.to_logs[s], reference, "site {}", s);
+        }
+    }
+}

@@ -1,0 +1,1044 @@
+//! The simulated replicated-database cluster.
+//!
+//! [`Cluster`] is the top-level driver: it owns the LAN model, one
+//! broadcast engine and one replica per site, and an event queue. Client
+//! requests enter as scheduled events; engine actions become network
+//! frames; deliveries drive the replicas; `StartExecution` actions become
+//! timed `ExecDone` events (execution duration is sampled from a
+//! configurable distribution). Queries run locally against snapshots.
+//! Crash and recovery (with donor state transfer) can be scheduled at
+//! absolute times.
+//!
+//! The driver is deterministic: a `(ClusterConfig, schedule)` pair always
+//! produces the same run.
+
+use crate::conservative::ConservativeReplica;
+use crate::event::{ExecToken, ReplicaAction};
+use crate::replica::Replica;
+use otp_broadcast::{
+    AtomicBroadcast, EngineAction, MsgId, OptAbcast, OptAbcastConfig, Oracle, PayloadSize,
+    ScrambleConfig, ScrambledAbcast, SeqAbcast, TimerToken, Wire,
+};
+use otp_simnet::metrics::{Counters, Histogram};
+use otp_simnet::{EventQueue, MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
+use otp_storage::{
+    ClassId, Database, ObjectId, ProcId, ProcRegistry, SnapshotIndex, Value,
+};
+use otp_txn::history::CommittedTxn;
+use otp_txn::txn::{TxnId, TxnRequest};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Newtype wrapping [`TxnRequest`] as the broadcast payload (satisfies the
+/// orphan rule for [`PayloadSize`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnPayload(pub TxnRequest);
+
+impl PayloadSize for TxnPayload {
+    fn size_bytes(&self) -> u32 {
+        self.0.size_bytes()
+    }
+}
+
+/// A sampled duration distribution for execution/query times.
+#[derive(Debug, Clone, Copy)]
+pub enum DurationDist {
+    /// Always the same duration.
+    Fixed(SimDuration),
+    /// Normal, clamped at a small positive floor.
+    Normal {
+        /// Mean duration.
+        mean: SimDuration,
+        /// Standard deviation.
+        std: SimDuration,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean duration.
+        mean: SimDuration,
+    },
+}
+
+impl DurationDist {
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            DurationDist::Fixed(d) => *d,
+            DurationDist::Normal { mean, std } => SimDuration::from_secs_f64(rng.normal_min(
+                mean.as_secs_f64(),
+                std.as_secs_f64(),
+                mean.as_secs_f64() * 0.05,
+            )),
+            DurationDist::Exponential { mean } => {
+                SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+            }
+        }
+    }
+}
+
+/// Which atomic-broadcast engine the cluster uses.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineKind {
+    /// Optimistic atomic broadcast (consensus-based definitive order).
+    Opt {
+        /// Failure-detector patience for the agreement phase.
+        consensus_timeout: SimDuration,
+    },
+    /// Optimistic atomic broadcast with batched instance initiation:
+    /// trades confirmation latency for fewer agreement messages.
+    OptBatched {
+        /// Failure-detector patience for the agreement phase.
+        consensus_timeout: SimDuration,
+        /// Accumulation delay before starting the next consensus batch.
+        batch_delay: SimDuration,
+    },
+    /// Fixed-sequencer total order (site 0 sequences).
+    Sequencer,
+    /// Oracle engine with controlled agreement delay and mismatch rate
+    /// (experiments E2/E3).
+    Scrambled {
+        /// Fixed delay between receipt and TO-delivery.
+        agreement_delay: SimDuration,
+        /// Probability of an adjacent tentative-order swap.
+        swap_probability: f64,
+    },
+}
+
+/// Which transaction-processing algorithm runs at each site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The paper's optimistic algorithm: execute on Opt-delivery, commit
+    /// on TO-delivery.
+    Otp,
+    /// Conservative baseline: execute only after TO-delivery.
+    Conservative,
+}
+
+/// Cluster configuration. Build with [`ClusterConfig::new`] and adjust via
+/// the `with_*` methods.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of sites.
+    pub sites: usize,
+    /// Number of conflict classes.
+    pub classes: usize,
+    /// LAN model.
+    pub net: NetConfig,
+    /// Broadcast engine.
+    pub engine: EngineKind,
+    /// Processing mode.
+    pub mode: Mode,
+    /// Stored-procedure execution time distribution.
+    pub exec_time: DurationDist,
+    /// Query execution time distribution.
+    pub query_time: DurationDist,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A 4-site, 10 Mbit/s-LAN OTP cluster — the paper's testbed shape.
+    pub fn new(sites: usize, classes: usize) -> Self {
+        ClusterConfig {
+            sites,
+            classes,
+            net: NetConfig::lan_10mbps(sites),
+            engine: EngineKind::Opt { consensus_timeout: SimDuration::from_millis(50) },
+            mode: Mode::Otp,
+            exec_time: DurationDist::Fixed(SimDuration::from_millis(2)),
+            query_time: DurationDist::Fixed(SimDuration::from_millis(5)),
+            seed: 42,
+        }
+    }
+
+    /// Sets the processing mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the broadcast engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the execution-time distribution.
+    pub fn with_exec_time(mut self, d: DurationDist) -> Self {
+        self.exec_time = d;
+        self
+    }
+
+    /// Sets the query-time distribution.
+    pub fn with_query_time(mut self, d: DurationDist) -> Self {
+        self.query_time = d;
+        self
+    }
+
+    /// Sets the network model.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Either replica kind behind one interface.
+#[derive(Debug)]
+pub enum AnyReplica {
+    /// The paper's optimistic replica.
+    Otp(Replica),
+    /// The conservative baseline replica.
+    Conservative(ConservativeReplica),
+}
+
+impl AnyReplica {
+    fn on_opt_deliver(&mut self, request: TxnRequest) -> Vec<ReplicaAction> {
+        match self {
+            AnyReplica::Otp(r) => r.on_opt_deliver(request),
+            AnyReplica::Conservative(r) => r.on_opt_deliver(request),
+        }
+    }
+
+    fn on_to_deliver(&mut self, txn: TxnId, class: ClassId) -> Vec<ReplicaAction> {
+        match self {
+            AnyReplica::Otp(r) => r.on_to_deliver(txn, class),
+            AnyReplica::Conservative(r) => r.on_to_deliver(txn, class),
+        }
+    }
+
+    fn on_exec_done(&mut self, token: ExecToken) -> Vec<ReplicaAction> {
+        match self {
+            AnyReplica::Otp(r) => r.on_exec_done(token),
+            AnyReplica::Conservative(r) => r.on_exec_done(token),
+        }
+    }
+
+    /// The database copy at this site.
+    pub fn db(&self) -> &Database {
+        match self {
+            AnyReplica::Otp(r) => r.db(),
+            AnyReplica::Conservative(r) => r.db(),
+        }
+    }
+
+    /// Snapshot index a query starting now would get.
+    pub fn query_snapshot(&self) -> SnapshotIndex {
+        match self {
+            AnyReplica::Otp(r) => r.query_snapshot(),
+            AnyReplica::Conservative(r) => r.query_snapshot(),
+        }
+    }
+
+    /// Local commit log.
+    pub fn commit_log(&self) -> &[(TxnId, otp_storage::TxnIndex)] {
+        match self {
+            AnyReplica::Otp(r) => r.commit_log(),
+            AnyReplica::Conservative(r) => r.commit_log(),
+        }
+    }
+
+    /// Local committed history (updates + queries).
+    pub fn history(&self) -> &[CommittedTxn] {
+        match self {
+            AnyReplica::Otp(r) => r.history(),
+            AnyReplica::Conservative(r) => r.history(),
+        }
+    }
+
+    fn record_query(&mut self, id: TxnId, reads: Vec<ObjectId>, snap: SnapshotIndex) {
+        match self {
+            AnyReplica::Otp(r) => r.record_query(id, reads, snap),
+            AnyReplica::Conservative(r) => r.record_query(id, reads, snap),
+        }
+    }
+
+    /// Protocol counters of this replica.
+    pub fn counters(&self) -> &Counters {
+        match self {
+            AnyReplica::Otp(r) => &r.counters,
+            AnyReplica::Conservative(r) => &r.counters,
+        }
+    }
+
+    /// Garbage-collects unreachable versions (watermark-based).
+    pub fn collect_versions(&mut self) -> usize {
+        match self {
+            AnyReplica::Otp(r) => r.collect_versions(),
+            AnyReplica::Conservative(r) => r.collect_versions(),
+        }
+    }
+}
+
+type Engine = Box<dyn AtomicBroadcast<TxnPayload>>;
+type EngineFactory = Box<dyn FnMut(SiteId) -> Engine>;
+
+enum Ev {
+    Submit { site: SiteId, request: TxnRequest },
+    Wire { from: SiteId, to: SiteId, wire: Wire<TxnPayload> },
+    Timer { site: SiteId, token: TimerToken },
+    ExecDone { site: SiteId, epoch: u32, token: ExecToken },
+    Query { site: SiteId, qid: TxnId, reads: Vec<ObjectId> },
+    QueryDone { site: SiteId, epoch: u32, qid: TxnId },
+    Crash { site: SiteId },
+    Recover { site: SiteId, donor: SiteId },
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Latency from client submission to commit at the origin site.
+    pub commit_latency: Histogram,
+    /// Latency from client submission to commit at every site.
+    pub global_commit_latency: Histogram,
+    /// Query latencies.
+    pub query_latency: Histogram,
+    /// Merged replica counters (commits, aborts, reorders, …).
+    pub counters: Counters,
+    /// Transactions committed at the origin (completed requests).
+    pub completed: u64,
+    /// Total frames the network carried.
+    pub network_frames: u64,
+    /// Virtual time at collection.
+    pub now: SimTime,
+}
+
+impl RunStats {
+    /// Committed transactions per simulated second (origin-site commits).
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.now.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Abort rate: aborts / (commits at all sites + aborts).
+    pub fn abort_rate(&self) -> f64 {
+        let aborts = self.counters.get("abort") as f64;
+        let commits = self.counters.get("commit") as f64;
+        if aborts + commits == 0.0 {
+            0.0
+        } else {
+            aborts / (aborts + commits)
+        }
+    }
+}
+
+/// The simulated cluster. See the [module docs](self).
+pub struct Cluster {
+    config: ClusterConfig,
+    registry: Arc<ProcRegistry>,
+    net: MulticastNet,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    engines: Vec<Engine>,
+    engine_factory: EngineFactory,
+    /// Public for test assertions; index by `SiteId::index`.
+    pub replicas: Vec<AnyReplica>,
+    crashed: Vec<bool>,
+    epoch: Vec<u32>,
+    held_wires: Vec<Vec<(SiteId, Wire<TxnPayload>)>>,
+    /// Per-site map from broadcast message id to transaction identity,
+    /// filled at Opt-delivery (TO-deliver only carries the id).
+    msg_map: Vec<HashMap<MsgId, (TxnId, ClassId)>>,
+    next_txn_seq: Vec<u64>,
+    next_query_seq: u64,
+    submit_time: HashMap<TxnId, SimTime>,
+    commit_count: HashMap<TxnId, usize>,
+    query_start: HashMap<TxnId, SimTime>,
+    /// Results of completed queries: `(snapshot, values read)`.
+    pub query_results: HashMap<TxnId, (SnapshotIndex, Vec<Value>)>,
+    /// Output of committed transactions at their origin site.
+    pub txn_outputs: HashMap<TxnId, Vec<Value>>,
+    commit_latency: Histogram,
+    global_commit_latency: Histogram,
+    query_latency: Histogram,
+    completed: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster: `initial_data` is loaded into every site's
+    /// database copy before any event runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0` or `classes == 0`.
+    pub fn new(
+        config: ClusterConfig,
+        registry: Arc<ProcRegistry>,
+        initial_data: Vec<(ObjectId, Value)>,
+    ) -> Self {
+        assert!(config.sites > 0, "need at least one site");
+        let mut rng = SimRng::seed_from(config.seed);
+        let net_rng = rng.fork();
+        let _ = net_rng; // net uses the cluster rng directly at send time
+
+        // Engine factory (also used for recovery).
+        let sites = config.sites;
+        let mut factory: EngineFactory = match config.engine {
+            EngineKind::Opt { consensus_timeout } => {
+                let cfg = OptAbcastConfig::new(sites, consensus_timeout);
+                Box::new(move |s| Box::new(OptAbcast::new(s, cfg)) as Engine)
+            }
+            EngineKind::OptBatched { consensus_timeout, batch_delay } => {
+                let cfg =
+                    OptAbcastConfig::new(sites, consensus_timeout).with_batch_delay(batch_delay);
+                Box::new(move |s| Box::new(OptAbcast::new(s, cfg)) as Engine)
+            }
+            EngineKind::Sequencer => {
+                Box::new(move |s| Box::new(SeqAbcast::new(s, SiteId::new(0))) as Engine)
+            }
+            EngineKind::Scrambled { agreement_delay, swap_probability } => {
+                let oracle = Oracle::new();
+                let mut fork_rng = SimRng::seed_from(config.seed ^ 0x5ca1ab1e);
+                let cfg = ScrambleConfig { agreement_delay, swap_probability };
+                Box::new(move |s| {
+                    Box::new(ScrambledAbcast::new(s, cfg, Arc::clone(&oracle), fork_rng.fork()))
+                        as Engine
+                })
+            }
+        };
+        let engines: Vec<Engine> = SiteId::all(sites).map(&mut factory).collect();
+
+        // One database copy per site.
+        let mut base_db = Database::new(config.classes);
+        for (oid, v) in &initial_data {
+            base_db.load(*oid, v.clone());
+        }
+        let replicas: Vec<AnyReplica> = SiteId::all(sites)
+            .map(|s| match config.mode {
+                Mode::Otp => AnyReplica::Otp(Replica::new(s, base_db.clone(), registry.clone())),
+                Mode::Conservative => AnyReplica::Conservative(ConservativeReplica::new(
+                    s,
+                    base_db.clone(),
+                    registry.clone(),
+                )),
+            })
+            .collect();
+
+        Cluster {
+            net: MulticastNet::new(config.net.clone()),
+            queue: EventQueue::new(),
+            rng,
+            engines,
+            engine_factory: factory,
+            replicas,
+            crashed: vec![false; sites],
+            epoch: vec![0; sites],
+            held_wires: (0..sites).map(|_| Vec::new()).collect(),
+            msg_map: (0..sites).map(|_| HashMap::new()).collect(),
+            next_txn_seq: vec![0; sites],
+            next_query_seq: 0,
+            submit_time: HashMap::new(),
+            commit_count: HashMap::new(),
+            query_start: HashMap::new(),
+            query_results: HashMap::new(),
+            txn_outputs: HashMap::new(),
+            commit_latency: Histogram::new(),
+            global_commit_latency: Histogram::new(),
+            query_latency: Histogram::new(),
+            completed: 0,
+            config,
+            registry,
+        }
+    }
+
+    /// The configuration this cluster runs with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules a client update request at `site`: the stored procedure
+    /// `proc(args)` in conflict class `class`. Returns the transaction id.
+    pub fn schedule_update(
+        &mut self,
+        at: SimTime,
+        site: SiteId,
+        class: ClassId,
+        proc: ProcId,
+        args: Vec<Value>,
+    ) -> TxnId {
+        let seq = self.next_txn_seq[site.index()];
+        self.next_txn_seq[site.index()] += 1;
+        let id = TxnId::new(site, seq);
+        let request = TxnRequest::new(id, class, proc, args);
+        self.queue.schedule(at, Ev::Submit { site, request });
+        id
+    }
+
+    /// Schedules a read-only query at `site` over the given objects (any
+    /// classes). Returns the query id.
+    pub fn schedule_query(&mut self, at: SimTime, site: SiteId, reads: Vec<ObjectId>) -> TxnId {
+        // Query ids use a separate, shared sequence space flagged by a
+        // high bit so they never collide with update ids.
+        let qid = TxnId::new(site, (1 << 63) | self.next_query_seq);
+        self.next_query_seq += 1;
+        self.queue.schedule(at, Ev::Query { site, qid, reads });
+        qid
+    }
+
+    /// Runs version garbage collection on every live replica now. Returns
+    /// total versions dropped. Call between runs or wire it into a
+    /// periodic schedule from the driver.
+    pub fn collect_versions(&mut self) -> usize {
+        let mut dropped = 0;
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            if !self.crashed[i] {
+                dropped += r.collect_versions();
+            }
+        }
+        dropped
+    }
+
+    /// Schedules a crash of `site`.
+    pub fn schedule_crash(&mut self, at: SimTime, site: SiteId) {
+        self.queue.schedule(at, Ev::Crash { site });
+    }
+
+    /// Schedules recovery of `site` with state transfer from `donor`.
+    pub fn schedule_recover(&mut self, at: SimTime, site: SiteId, donor: SiteId) {
+        self.queue.schedule(at, Ev::Recover { site, donor });
+    }
+
+    /// Runs until the event queue empties or `deadline` passes. Returns
+    /// the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.handle(ev);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Collects run statistics (cheap; can be called repeatedly).
+    pub fn stats(&self) -> RunStats {
+        let mut counters = Counters::new();
+        for r in &self.replicas {
+            counters.merge(r.counters());
+        }
+        RunStats {
+            commit_latency: self.commit_latency.clone(),
+            global_commit_latency: self.global_commit_latency.clone(),
+            query_latency: self.query_latency.clone(),
+            counters,
+            completed: self.completed,
+            network_frames: self.net.sent_frames(),
+            now: self.queue.now(),
+        }
+    }
+
+    /// Per-site histories (updates + queries) for serializability checks.
+    pub fn histories(&self) -> Vec<Vec<CommittedTxn>> {
+        self.replicas.iter().map(|r| r.history().to_vec()).collect()
+    }
+
+    /// Per-site committed-transaction id lists.
+    pub fn committed_ids(&self) -> Vec<Vec<TxnId>> {
+        self.replicas
+            .iter()
+            .map(|r| r.commit_log().iter().map(|(t, _)| *t).collect())
+            .collect()
+    }
+
+    /// Checks that every pair of sites converged to the same committed
+    /// state.
+    pub fn converged(&self) -> bool {
+        let first = self.replicas[0].db();
+        self.replicas.iter().all(|r| r.db().committed_state_eq(first))
+    }
+
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Submit { site, request } => {
+                if self.crashed[site.index()] {
+                    return; // client's site is down; request lost
+                }
+                self.submit_time.insert(request.id, self.queue.now());
+                let (_msg_id, actions) =
+                    self.engines[site.index()].broadcast(TxnPayload(request));
+                self.apply_engine_actions(site, actions);
+            }
+            Ev::Wire { from, to, wire } => {
+                if self.crashed[to.index()] {
+                    self.held_wires[to.index()].push((from, wire));
+                    return;
+                }
+                let actions = self.engines[to.index()].on_receive(from, wire);
+                self.apply_engine_actions(to, actions);
+            }
+            Ev::Timer { site, token } => {
+                if self.crashed[site.index()] {
+                    return;
+                }
+                let actions = self.engines[site.index()].on_timer(token);
+                self.apply_engine_actions(site, actions);
+            }
+            Ev::ExecDone { site, epoch, token } => {
+                if self.crashed[site.index()] || epoch != self.epoch[site.index()] {
+                    return;
+                }
+                let actions = self.replicas[site.index()].on_exec_done(token);
+                self.apply_replica_actions(site, actions);
+            }
+            Ev::Query { site, qid, reads } => {
+                // Queries are client requests, not replica-internal events:
+                // they run whenever the site is up, regardless of how many
+                // crash/recovery epochs passed since they were scheduled.
+                if self.crashed[site.index()] {
+                    return;
+                }
+                let replica = &mut self.replicas[site.index()];
+                let snap = replica.query_snapshot();
+                let values: Vec<Value> = reads
+                    .iter()
+                    .map(|oid| replica.db().read_at(*oid, snap).cloned().unwrap_or(Value::Null))
+                    .collect();
+                replica.record_query(qid, reads, snap);
+                self.query_results.insert(qid, (snap, values));
+                self.query_start.insert(qid, self.queue.now());
+                let d = self.config.query_time.sample(&mut self.rng);
+                let epoch = self.epoch[site.index()];
+                self.queue.schedule(self.queue.now() + d, Ev::QueryDone { site, epoch, qid });
+            }
+            Ev::QueryDone { site, epoch, qid } => {
+                if self.crashed[site.index()] || epoch != self.epoch[site.index()] {
+                    return;
+                }
+                if let Some(start) = self.query_start.remove(&qid) {
+                    self.query_latency.record(self.queue.now() - start);
+                }
+            }
+            Ev::Crash { site } => {
+                self.crashed[site.index()] = true;
+                self.epoch[site.index()] += 1;
+                self.net.set_down(site);
+            }
+            Ev::Recover { site, donor } => {
+                assert!(!self.crashed[donor.index()], "donor {donor} must be up");
+                self.crashed[site.index()] = false;
+                self.net.set_up(site);
+                // 1. Fresh engine from the donor's broadcast state.
+                let engine_snap = self.engines[donor.index()].snapshot();
+                let mut fresh_engine = (self.engine_factory)(site);
+                let engine_actions = fresh_engine.restore(engine_snap);
+                self.engines[site.index()] = fresh_engine;
+                // 2. Fresh replica from the donor's database + pending tail.
+                let replica_actions = match &self.replicas[donor.index()] {
+                    AnyReplica::Otp(donor_replica) => {
+                        let snap = donor_replica.snapshot();
+                        let (fresh, actions) =
+                            Replica::restore(site, self.registry.clone(), snap);
+                        // Rebuild the message map from the donor's (ids the
+                        // donor knows map identically everywhere).
+                        self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
+                        self.replicas[site.index()] = AnyReplica::Otp(fresh);
+                        actions
+                    }
+                    AnyReplica::Conservative(donor_replica) => {
+                        let snap = donor_replica.snapshot();
+                        let (fresh, actions) =
+                            ConservativeReplica::restore(site, self.registry.clone(), snap);
+                        self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
+                        self.replicas[site.index()] = AnyReplica::Conservative(fresh);
+                        actions
+                    }
+                };
+                self.apply_replica_actions(site, replica_actions);
+                // 3. Deliveries the engine replays (tentative again here).
+                self.apply_engine_actions(site, engine_actions);
+                // 4. Everything buffered while down arrives now.
+                let held = std::mem::take(&mut self.held_wires[site.index()]);
+                let now = self.queue.now();
+                let mut delay = SimDuration::from_micros(10);
+                for (from, wire) in held {
+                    self.queue.schedule(now + delay, Ev::Wire { from, to: site, wire });
+                    delay += SimDuration::from_micros(10);
+                }
+            }
+        }
+    }
+
+    fn apply_engine_actions(&mut self, site: SiteId, actions: Vec<EngineAction<TxnPayload>>) {
+        let now = self.queue.now();
+        for a in actions {
+            match a {
+                EngineAction::Multicast(wire) => {
+                    let size = wire.size_bytes();
+                    for d in self.net.multicast(site, size, now, &mut self.rng) {
+                        self.queue.schedule(
+                            d.arrival,
+                            Ev::Wire { from: site, to: d.to, wire: wire.clone() },
+                        );
+                    }
+                }
+                EngineAction::Send(to, wire) => {
+                    let size = wire.size_bytes();
+                    let d = self.net.unicast(site, to, size, now, &mut self.rng);
+                    self.queue.schedule(d.arrival, Ev::Wire { from: site, to, wire });
+                }
+                EngineAction::SetTimer { token, delay } => {
+                    self.queue.schedule(now + delay, Ev::Timer { site, token });
+                }
+                EngineAction::OptDeliver(msg) => {
+                    let request = msg.payload.0.clone();
+                    self.msg_map[site.index()].insert(msg.id, (request.id, request.class));
+                    let actions = self.replicas[site.index()].on_opt_deliver(request);
+                    self.apply_replica_actions(site, actions);
+                }
+                EngineAction::ToDeliver(id) => {
+                    let (txn, class) = *self.msg_map[site.index()]
+                        .get(&id)
+                        .expect("Local Order: Opt-delivery precedes TO-delivery");
+                    let actions = self.replicas[site.index()].on_to_deliver(txn, class);
+                    self.apply_replica_actions(site, actions);
+                }
+            }
+        }
+    }
+
+    fn apply_replica_actions(&mut self, site: SiteId, actions: Vec<ReplicaAction>) {
+        let now = self.queue.now();
+        for a in actions {
+            match a {
+                ReplicaAction::StartExecution { token } => {
+                    let d = self.config.exec_time.sample(&mut self.rng);
+                    let epoch = self.epoch[site.index()];
+                    self.queue.schedule(now + d, Ev::ExecDone { site, epoch, token });
+                }
+                ReplicaAction::Committed { txn, index: _, output } => {
+                    let count = self.commit_count.entry(txn).or_insert(0);
+                    *count += 1;
+                    if txn.origin == site {
+                        self.completed += 1;
+                        self.txn_outputs.insert(txn, output);
+                        if let Some(t0) = self.submit_time.get(&txn) {
+                            self.commit_latency.record(now.saturating_since(*t0));
+                        }
+                    }
+                    if *count == self.config.sites {
+                        if let Some(t0) = self.submit_time.get(&txn) {
+                            self.global_commit_latency.record(now.saturating_since(*t0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("sites", &self.config.sites)
+            .field("classes", &self.config.classes)
+            .field("mode", &self.config.mode)
+            .field("now", &self.queue.now())
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otp_storage::{ObjectKey, ProcError};
+    use otp_txn::history::{check_one_copy_serializable, check_same_committed_set};
+
+    /// `add(key, delta)` read-modify-write procedure.
+    pub(crate) fn test_registry() -> Arc<ProcRegistry> {
+        let mut reg = ProcRegistry::new();
+        reg.register_fn("add", |ctx, args| {
+            let (k, d) = match (args.first(), args.get(1)) {
+                (Some(Value::Int(k)), Some(Value::Int(d))) => (ObjectKey::new(*k as u64), *d),
+                _ => return Err(ProcError::BadArgs("add(key, delta)".into())),
+            };
+            let v = ctx.read(k)?.as_int().unwrap_or(0);
+            ctx.write(k, Value::Int(v + d))?;
+            ctx.emit(Value::Int(v + d));
+            Ok(())
+        });
+        Arc::new(reg)
+    }
+
+    fn initial_data(classes: usize, keys: u64) -> Vec<(ObjectId, Value)> {
+        let mut data = Vec::new();
+        for c in 0..classes as u32 {
+            for k in 0..keys {
+                data.push((ObjectId::new(c, k), Value::Int(0)));
+            }
+        }
+        data
+    }
+
+    fn drive_workload(cluster: &mut Cluster, txns: u64, spacing: SimDuration) {
+        let sites = cluster.config().sites;
+        let classes = cluster.config().classes;
+        let mut t = SimTime::from_millis(1);
+        for i in 0..txns {
+            let site = SiteId::new((i % sites as u64) as u16);
+            let class = ClassId::new((i % classes as u64) as u32);
+            cluster.schedule_update(
+                t,
+                site,
+                class,
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += spacing;
+        }
+    }
+
+    #[test]
+    fn otp_cluster_end_to_end() {
+        let cfg = ClusterConfig::new(4, 4).with_seed(7);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(4, 2));
+        drive_workload(&mut c, 40, SimDuration::from_millis(1));
+        c.run_until(SimTime::from_secs(60));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 40, "all requests commit at their origin");
+        assert!(c.converged(), "all sites reach the same committed state");
+        assert!(check_same_committed_set(&c.committed_ids()).is_ok());
+        check_one_copy_serializable(&c.histories()).unwrap();
+        // 40 adds of +1 spread over 4 classes on key 0 → each class key0 = 10.
+        for cl in 0..4u32 {
+            assert_eq!(
+                c.replicas[0].db().read_committed(ObjectId::new(cl, 0)),
+                Some(&Value::Int(10))
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_cluster_end_to_end() {
+        let cfg = ClusterConfig::new(3, 2).with_mode(Mode::Conservative).with_seed(11);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 2));
+        drive_workload(&mut c, 20, SimDuration::from_millis(1));
+        c.run_until(SimTime::from_secs(60));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.counters.get("abort"), 0, "conservative never aborts");
+        assert!(c.converged());
+        check_one_copy_serializable(&c.histories()).unwrap();
+    }
+
+    #[test]
+    fn otp_and_conservative_agree_on_final_state() {
+        let mk = |mode| {
+            let cfg = ClusterConfig::new(3, 2).with_mode(mode).with_seed(5);
+            let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+            drive_workload(&mut c, 30, SimDuration::from_micros(700));
+            c.run_until(SimTime::from_secs(60));
+            c
+        };
+        let otp = mk(Mode::Otp);
+        let cons = mk(Mode::Conservative);
+        assert_eq!(otp.stats().completed, 30);
+        assert_eq!(cons.stats().completed, 30);
+        // Same adds in both → same final state (RMW of +1 commutes here,
+        // but per-class order equality is the stronger claim tested via
+        // committed_state_eq on counter values).
+        assert!(otp.replicas[0].db().committed_state_eq(cons.replicas[0].db()));
+    }
+
+    #[test]
+    fn scrambled_engine_with_mismatches_still_serializable() {
+        // One single conflict class, so tentative-order swaps always hit
+        // conflicting transactions and must trigger reorders/aborts.
+        let cfg = ClusterConfig::new(3, 1)
+            .with_engine(EngineKind::Scrambled {
+                agreement_delay: SimDuration::from_millis(4),
+                swap_probability: 0.3,
+            })
+            .with_seed(13);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(1, 1));
+        drive_workload(&mut c, 60, SimDuration::from_micros(500));
+        c.run_until(SimTime::from_secs(120));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 60);
+        assert!(c.converged());
+        check_one_copy_serializable(&c.histories()).unwrap();
+        // With 30% swaps on a single class there must be reordering
+        // activity.
+        assert!(
+            stats.counters.get("reorder") + stats.counters.get("abort") > 0,
+            "{:?}",
+            stats.counters
+        );
+    }
+
+    #[test]
+    fn queries_snapshot_consistently() {
+        let cfg = ClusterConfig::new(3, 2).with_seed(17);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        drive_workload(&mut c, 20, SimDuration::from_millis(1));
+        // Queries at various times, reading both classes.
+        for i in 0..10u64 {
+            c.schedule_query(
+                SimTime::from_millis(2 + i * 3),
+                SiteId::new((i % 3) as u16),
+                vec![ObjectId::new(0, 0), ObjectId::new(1, 0)],
+            );
+        }
+        c.run_until(SimTime::from_secs(60));
+        assert_eq!(c.query_results.len(), 10);
+        check_one_copy_serializable(&c.histories()).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.query_latency.len(), 10);
+    }
+
+    #[test]
+    fn sequencer_engine_works_for_conservative_mode() {
+        let cfg = ClusterConfig::new(3, 2)
+            .with_engine(EngineKind::Sequencer)
+            .with_mode(Mode::Conservative)
+            .with_seed(23);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        drive_workload(&mut c, 15, SimDuration::from_millis(1));
+        c.run_until(SimTime::from_secs(60));
+        assert_eq!(c.stats().completed, 15);
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn crash_recovery_converges() {
+        let cfg = ClusterConfig::new(4, 2).with_seed(29);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        // Phase 1 workload — submitted at sites 0-2 only, so the crash of
+        // site 3 cannot lose client requests (a crashed origin drops its
+        // own unsent submissions by design).
+        let mut t = SimTime::from_millis(1);
+        for i in 0..20u64 {
+            c.schedule_update(
+                t,
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += SimDuration::from_millis(1);
+        }
+        // Site 3 crashes mid-run and recovers later.
+        c.schedule_crash(SimTime::from_millis(8), SiteId::new(3));
+        c.schedule_recover(SimTime::from_millis(200), SiteId::new(3), SiteId::new(0));
+        // Phase 2 workload after recovery.
+        let mut t = SimTime::from_millis(250);
+        for i in 0..10u64 {
+            c.schedule_update(
+                t,
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += SimDuration::from_millis(1);
+        }
+        c.run_until(SimTime::from_secs(120));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 30, "all (non-crashed-origin) requests done");
+        assert!(c.converged(), "recovered site matches the others");
+        check_one_copy_serializable(&c.histories()).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_converges_in_conservative_mode() {
+        let cfg = ClusterConfig::new(4, 2).with_mode(Mode::Conservative).with_seed(43);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut t = SimTime::from_millis(1);
+        for i in 0..20u64 {
+            c.schedule_update(
+                t,
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += SimDuration::from_millis(1);
+        }
+        c.schedule_crash(SimTime::from_millis(8), SiteId::new(3));
+        c.schedule_recover(SimTime::from_millis(200), SiteId::new(3), SiteId::new(0));
+        let mut t = SimTime::from_millis(250);
+        for i in 0..8u64 {
+            c.schedule_update(
+                t,
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += SimDuration::from_millis(1);
+        }
+        c.run_until(SimTime::from_secs(120));
+        assert_eq!(c.stats().completed, 28);
+        assert!(c.converged(), "conservative recovery converges");
+        check_one_copy_serializable(&c.histories()).unwrap();
+    }
+
+    #[test]
+    fn version_gc_bounds_history_without_breaking_queries() {
+        let cfg = ClusterConfig::new(3, 1).with_seed(37);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(1, 1));
+        // 50 updates on the same key → 50 versions + the initial one.
+        drive_workload(&mut c, 50, SimDuration::from_millis(2));
+        c.run_until(SimTime::from_secs(60));
+        assert_eq!(c.stats().completed, 50);
+        let dropped = c.collect_versions();
+        assert!(dropped >= 3 * 49, "each site drops old versions: {dropped}");
+        // Current state intact at every site, and new queries still work.
+        for r in &c.replicas {
+            assert_eq!(r.db().read_committed(ObjectId::new(0, 0)), Some(&Value::Int(50)));
+        }
+        let t = c.now() + SimDuration::from_millis(1);
+        c.schedule_query(t, SiteId::new(0), vec![ObjectId::new(0, 0)]);
+        c.run_until(SimTime::from_secs(120));
+        let (_, values) = c.query_results.values().next().expect("query ran");
+        assert_eq!(values, &vec![Value::Int(50)]);
+    }
+
+    #[test]
+    fn commit_latency_hides_agreement_when_exec_dominates() {
+        // Agreement delay 1ms, execution 5ms → OTP commit latency should be
+        // close to execution time, far below exec+agreement.
+        let base = ClusterConfig::new(3, 4)
+            .with_engine(EngineKind::Scrambled {
+                agreement_delay: SimDuration::from_millis(1),
+                swap_probability: 0.0,
+            })
+            .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(5)));
+        let mut otp = Cluster::new(base.clone().with_seed(31), test_registry(), initial_data(4, 1));
+        drive_workload(&mut otp, 24, SimDuration::from_millis(8));
+        otp.run_until(SimTime::from_secs(60));
+        let mut cons = Cluster::new(
+            base.with_mode(Mode::Conservative).with_seed(31),
+            test_registry(),
+            initial_data(4, 1),
+        );
+        drive_workload(&mut cons, 24, SimDuration::from_millis(8));
+        cons.run_until(SimTime::from_secs(60));
+
+        let lo = otp.stats().commit_latency.mean();
+        let lc = cons.stats().commit_latency.mean();
+        assert!(
+            lo < lc,
+            "OTP ({lo}) must beat conservative ({lc}) by overlapping agreement"
+        );
+    }
+}

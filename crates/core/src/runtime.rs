@@ -1,0 +1,552 @@
+//! Threaded (wall-clock) runtime — the library outside the simulator.
+//!
+//! [`LiveCluster`] runs one OS thread per site. Each thread hosts the same
+//! engine + replica state machines the simulator drives, fed from a
+//! crossbeam channel; a network thread delivers inter-site messages after a
+//! configurable real-time delay with jitter (so spontaneous order — and its
+//! violations — happen for real). Stored-procedure "execution time" is
+//! modeled the same way as in the simulator: effects apply at submission,
+//! the completion fires after the configured delay.
+//!
+//! This runtime exists to demonstrate that nothing in `otp-core` depends on
+//! virtual time: the event-driven state machines are identical. For
+//! experiments use the simulator — it is deterministic and much faster.
+//!
+//! # Example
+//!
+//! ```
+//! use otp_core::runtime::{LiveCluster, LiveConfig};
+//! use otp_storage::{ClassId, ObjectId, ObjectKey, ProcId, ProcRegistry, Value};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let mut reg = ProcRegistry::new();
+//! reg.register_fn("set", |ctx, args| {
+//!     ctx.write(ObjectKey::new(0), args[0].clone())?;
+//!     Ok(())
+//! });
+//! let cluster = LiveCluster::start(
+//!     LiveConfig::new(2, 1),
+//!     Arc::new(reg),
+//!     vec![(ObjectId::new(0, 0), Value::Int(0))],
+//! );
+//! cluster.submit(otp_simnet::SiteId::new(0), ClassId::new(0), ProcId::new(0),
+//!                vec![Value::Int(9)]);
+//! let report = cluster.shutdown(Duration::from_secs(5));
+//! assert_eq!(report.committed[0].len(), 1);
+//! assert!(report.converged);
+//! ```
+
+use crate::cluster::TxnPayload;
+use crate::event::ReplicaAction;
+use crate::replica::Replica;
+use otp_broadcast::{
+    AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, TimerToken, Wire,
+};
+use otp_simnet::{SimDuration, SiteId};
+use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, Value};
+use otp_txn::txn::{TxnId, TxnRequest};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the live runtime.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of site threads.
+    pub sites: usize,
+    /// Number of conflict classes.
+    pub classes: usize,
+    /// Base one-way message delay between sites.
+    pub net_delay: Duration,
+    /// Uniform jitter added on top of `net_delay` (0..jitter).
+    pub net_jitter: Duration,
+    /// Simulated stored-procedure execution time.
+    pub exec_time: Duration,
+    /// Consensus round timeout.
+    pub consensus_timeout: Duration,
+}
+
+impl LiveConfig {
+    /// Defaults: 200µs ± 300µs network, 1ms execution, 100ms consensus
+    /// patience.
+    pub fn new(sites: usize, classes: usize) -> Self {
+        LiveConfig {
+            sites,
+            classes,
+            net_delay: Duration::from_micros(200),
+            net_jitter: Duration::from_micros(300),
+            exec_time: Duration::from_millis(1),
+            consensus_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+enum SiteMsg {
+    Wire { from: SiteId, wire: Wire<TxnPayload> },
+    Submit { request: TxnRequest },
+    Stop,
+}
+
+enum NetMsg {
+    Deliver { due: Instant, to: SiteId, from: SiteId, wire: Wire<TxnPayload> },
+    Stop,
+}
+
+struct DueWire {
+    due: Instant,
+    to: SiteId,
+    from: SiteId,
+    wire: Wire<TxnPayload>,
+}
+
+impl PartialEq for DueWire {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for DueWire {}
+impl PartialOrd for DueWire {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DueWire {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due) // min-heap
+    }
+}
+
+/// Final report returned by [`LiveCluster::shutdown`].
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Committed transaction ids per site, in local commit order.
+    pub committed: Vec<Vec<TxnId>>,
+    /// Whether all sites reached the same committed database state.
+    pub converged: bool,
+    /// Final database copies.
+    pub dbs: Vec<Database>,
+}
+
+/// A running threaded cluster. See the [module docs](self).
+pub struct LiveCluster {
+    site_txs: Vec<crossbeam::channel::Sender<SiteMsg>>,
+    net_tx: crossbeam::channel::Sender<NetMsg>,
+    handles: Vec<JoinHandle<(Vec<TxnId>, Database)>>,
+    net_handle: Option<JoinHandle<()>>,
+    next_seq: Mutex<Vec<u64>>,
+    submitted: Arc<Mutex<u64>>,
+    committed_total: Arc<Mutex<u64>>,
+    running: Arc<AtomicBool>,
+    sites: usize,
+}
+
+impl LiveCluster {
+    /// Spawns the site threads and the network thread.
+    pub fn start(
+        config: LiveConfig,
+        registry: Arc<ProcRegistry>,
+        initial_data: Vec<(ObjectId, Value)>,
+    ) -> Self {
+        let n = config.sites;
+        let running = Arc::new(AtomicBool::new(true));
+        let committed_total = Arc::new(Mutex::new(0u64));
+        let (net_tx, net_rx) = crossbeam::channel::unbounded::<NetMsg>();
+        let mut site_txs = Vec::new();
+        let mut site_rxs = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = crossbeam::channel::unbounded::<SiteMsg>();
+            site_txs.push(tx);
+            site_rxs.push(rx);
+        }
+
+        // Network thread: delivers wires after their due time.
+        let site_txs_for_net = site_txs.clone();
+        let net_handle = std::thread::spawn(move || {
+            let mut heap: BinaryHeap<DueWire> = BinaryHeap::new();
+            loop {
+                let timeout = heap
+                    .peek()
+                    .map(|w| w.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(50));
+                match net_rx.recv_timeout(timeout) {
+                    Ok(NetMsg::Deliver { due, to, from, wire }) => {
+                        heap.push(DueWire { due, to, from, wire });
+                    }
+                    Ok(NetMsg::Stop) => break,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+                while heap.peek().is_some_and(|w| w.due <= Instant::now()) {
+                    let w = heap.pop().expect("peeked");
+                    let _ = site_txs_for_net[w.to.index()]
+                        .send(SiteMsg::Wire { from: w.from, wire: w.wire });
+                }
+            }
+        });
+
+        // One database template.
+        let mut base_db = Database::new(config.classes);
+        for (oid, v) in &initial_data {
+            base_db.load(*oid, v.clone());
+        }
+
+        // Site threads.
+        let mut handles = Vec::new();
+        for (i, rx) in site_rxs.into_iter().enumerate() {
+            let me = SiteId::new(i as u16);
+            let cfg = config.clone();
+            let reg = registry.clone();
+            let db = base_db.clone();
+            let net = net_tx.clone();
+            let committed_total = committed_total.clone();
+            handles.push(std::thread::spawn(move || {
+                site_main(me, cfg, reg, db, rx, net, committed_total)
+            }));
+        }
+
+        LiveCluster {
+            site_txs,
+            net_tx,
+            handles,
+            net_handle: Some(net_handle),
+            next_seq: Mutex::new(vec![0; n]),
+            submitted: Arc::new(Mutex::new(0)),
+            committed_total,
+            running,
+            sites: n,
+        }
+    }
+
+    /// Submits an update transaction at `site`; returns its id.
+    pub fn submit(&self, site: SiteId, class: ClassId, proc: ProcId, args: Vec<Value>) -> TxnId {
+        let mut seqs = self.next_seq.lock();
+        let id = TxnId::new(site, seqs[site.index()]);
+        seqs[site.index()] += 1;
+        drop(seqs);
+        *self.submitted.lock() += 1;
+        let request = TxnRequest::new(id, class, proc, args);
+        let _ = self.site_txs[site.index()].send(SiteMsg::Submit { request });
+        id
+    }
+
+    /// Waits until every submitted transaction committed at every site (or
+    /// the deadline passes), then stops all threads and reports.
+    pub fn shutdown(self, deadline: Duration) -> LiveReport {
+        let expect = *self.submitted.lock() * self.sites as u64;
+        let start = Instant::now();
+        while Instant::now().duration_since(start) < deadline {
+            if *self.committed_total.lock() >= expect {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.running.store(false, Ordering::SeqCst);
+        for tx in &self.site_txs {
+            let _ = tx.send(SiteMsg::Stop);
+        }
+        let _ = self.net_tx.send(NetMsg::Stop);
+        if let Some(h) = self.net_handle {
+            let _ = h.join();
+        }
+        let mut committed = Vec::new();
+        let mut dbs = Vec::new();
+        for h in self.handles {
+            let (log, db) = h.join().expect("site thread panicked");
+            committed.push(log);
+            dbs.push(db);
+        }
+        let converged = dbs.iter().all(|d| d.committed_state_eq(&dbs[0]));
+        LiveReport { committed, converged, dbs }
+    }
+}
+
+/// What a site thread waits on besides channel messages.
+enum Pending {
+    Timer(TimerToken),
+    ExecDone(crate::event::ExecToken),
+}
+
+struct DuePending {
+    due: Instant,
+    what: Pending,
+}
+
+impl PartialEq for DuePending {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for DuePending {}
+impl PartialOrd for DuePending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DuePending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn site_main(
+    me: SiteId,
+    cfg: LiveConfig,
+    registry: Arc<ProcRegistry>,
+    db: Database,
+    rx: crossbeam::channel::Receiver<SiteMsg>,
+    net: crossbeam::channel::Sender<NetMsg>,
+    committed_total: Arc<Mutex<u64>>,
+) -> (Vec<TxnId>, Database) {
+    let mut engine: OptAbcast<TxnPayload> = OptAbcast::new(
+        me,
+        OptAbcastConfig::new(cfg.sites, SimDuration::from_nanos(cfg.consensus_timeout.as_nanos() as u64)),
+    );
+    let mut replica = Replica::new(me, db, registry);
+    let mut timers: BinaryHeap<DuePending> = BinaryHeap::new();
+    // Deterministic-enough jitter for a live demo: simple xorshift seeded
+    // by the site id (we are not aiming for reproducibility here).
+    let mut jstate: u64 = 0x9e3779b97f4a7c15 ^ (me.raw() as u64 + 1);
+    let mut jitter = move || {
+        jstate ^= jstate << 13;
+        jstate ^= jstate >> 7;
+        jstate ^= jstate << 17;
+        Duration::from_nanos(jstate % (cfg.net_jitter.as_nanos().max(1) as u64))
+    };
+    let mut msg_map: std::collections::HashMap<otp_broadcast::MsgId, (TxnId, ClassId)> =
+        std::collections::HashMap::new();
+
+    let mut stopping = false;
+    loop {
+        // Handle due timers/executions first.
+        while timers.peek().is_some_and(|t| t.due <= Instant::now()) {
+            let t = timers.pop().expect("peeked");
+            let (engine_actions, replica_actions) = match t.what {
+                Pending::Timer(token) => (engine.on_timer(token), Vec::new()),
+                Pending::ExecDone(token) => (Vec::new(), replica.on_exec_done(token)),
+            };
+            process_replica_actions(
+                replica_actions,
+                &mut timers,
+                cfg.exec_time,
+                &committed_total,
+            );
+            process_engine_actions(
+                me,
+                engine_actions,
+                &mut engine,
+                &mut replica,
+                &mut timers,
+                &net,
+                &mut jitter,
+                &cfg,
+                &mut msg_map,
+                &committed_total,
+            );
+        }
+        if stopping && timers.is_empty() {
+            break;
+        }
+        let timeout = timers
+            .peek()
+            .map(|t| t.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        match rx.recv_timeout(timeout) {
+            Ok(SiteMsg::Submit { request }) => {
+                let (_, actions) = engine.broadcast(TxnPayload(request));
+                process_engine_actions(
+                    me,
+                    actions,
+                    &mut engine,
+                    &mut replica,
+                    &mut timers,
+                    &net,
+                    &mut jitter,
+                    &cfg,
+                    &mut msg_map,
+                    &committed_total,
+                );
+            }
+            Ok(SiteMsg::Wire { from, wire }) => {
+                let actions = engine.on_receive(from, wire);
+                process_engine_actions(
+                    me,
+                    actions,
+                    &mut engine,
+                    &mut replica,
+                    &mut timers,
+                    &net,
+                    &mut jitter,
+                    &cfg,
+                    &mut msg_map,
+                    &committed_total,
+                );
+            }
+            Ok(SiteMsg::Stop) => stopping = true,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if stopping {
+                    break;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let log: Vec<TxnId> = replica.commit_log().iter().map(|(t, _)| *t).collect();
+    // Hand the final database back by value. `Replica` has no into_db
+    // accessor on purpose (nothing else needs it); clone at shutdown.
+    let db = replica.db().clone();
+    (log, db)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_engine_actions(
+    me: SiteId,
+    actions: Vec<EngineAction<TxnPayload>>,
+    engine: &mut OptAbcast<TxnPayload>,
+    replica: &mut Replica,
+    timers: &mut BinaryHeap<DuePending>,
+    net: &crossbeam::channel::Sender<NetMsg>,
+    jitter: &mut impl FnMut() -> Duration,
+    cfg: &LiveConfig,
+    msg_map: &mut std::collections::HashMap<otp_broadcast::MsgId, (TxnId, ClassId)>,
+    committed_total: &Arc<Mutex<u64>>,
+) {
+    let mut queue: Vec<EngineAction<TxnPayload>> = actions;
+    while !queue.is_empty() {
+        let batch: Vec<_> = std::mem::take(&mut queue);
+        for a in batch {
+            match a {
+                EngineAction::Multicast(wire) => {
+                    for to in SiteId::all(cfg.sites) {
+                        let due = Instant::now() + cfg.net_delay + jitter();
+                        let _ = net.send(NetMsg::Deliver { due, to, from: me, wire: wire.clone() });
+                    }
+                }
+                EngineAction::Send(to, wire) => {
+                    let due = Instant::now() + cfg.net_delay + jitter();
+                    let _ = net.send(NetMsg::Deliver { due, to, from: me, wire });
+                }
+                EngineAction::SetTimer { token, delay } => {
+                    timers.push(DuePending {
+                        due: Instant::now() + Duration::from_nanos(delay.as_nanos()),
+                        what: Pending::Timer(token),
+                    });
+                }
+                EngineAction::OptDeliver(msg) => {
+                    let req = msg.payload.0.clone();
+                    msg_map.insert(msg.id, (req.id, req.class));
+                    let ra = replica.on_opt_deliver(req);
+                    process_replica_actions(ra, timers, cfg.exec_time, committed_total);
+                }
+                EngineAction::ToDeliver(id) => {
+                    let (txn, class) = *msg_map.get(&id).expect("Local Order");
+                    let ra = replica.on_to_deliver(txn, class);
+                    process_replica_actions(ra, timers, cfg.exec_time, committed_total);
+                }
+            }
+        }
+        let _ = engine; // engine only needed for type symmetry today
+    }
+}
+
+fn process_replica_actions(
+    actions: Vec<ReplicaAction>,
+    timers: &mut BinaryHeap<DuePending>,
+    exec_time: Duration,
+    committed_total: &Arc<Mutex<u64>>,
+) {
+    for a in actions {
+        match a {
+            ReplicaAction::StartExecution { token } => {
+                timers.push(DuePending {
+                    due: Instant::now() + exec_time,
+                    what: Pending::ExecDone(token),
+                });
+            }
+            ReplicaAction::Committed { .. } => {
+                *committed_total.lock() += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otp_storage::{ObjectKey, ProcError};
+
+    fn registry() -> Arc<ProcRegistry> {
+        let mut reg = ProcRegistry::new();
+        reg.register_fn("add", |ctx, args| {
+            let (k, d) = match (args.first(), args.get(1)) {
+                (Some(Value::Int(k)), Some(Value::Int(d))) => (ObjectKey::new(*k as u64), *d),
+                _ => return Err(ProcError::BadArgs("add(key, delta)".into())),
+            };
+            let v = ctx.read(k)?.as_int().unwrap_or(0);
+            ctx.write(k, Value::Int(v + d))?;
+            Ok(())
+        });
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn live_cluster_commits_everywhere_in_same_order() {
+        let cluster = LiveCluster::start(
+            LiveConfig::new(3, 2),
+            registry(),
+            vec![
+                (ObjectId::new(0, 0), Value::Int(0)),
+                (ObjectId::new(1, 0), Value::Int(0)),
+            ],
+        );
+        for i in 0..20u64 {
+            cluster.submit(
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+        }
+        let report = cluster.shutdown(Duration::from_secs(30));
+        assert!(report.converged, "all copies identical");
+        for log in &report.committed {
+            assert_eq!(log.len(), 20, "every site committed everything");
+        }
+        // Same-class (conflicting) commits appear in the same order at
+        // every site — Lemma 4.1. Cross-class order may differ, so project
+        // the logs by class: submission `i` went to site `i % 3` with class
+        // `i % 2`, so TxnId{origin: s, seq: k} has class `(s + 3k) % 2`.
+        let class_of = |t: &TxnId| (t.origin.raw() as u64 + 3 * t.seq) % 2;
+        for class in 0..2u64 {
+            let proj = |log: &Vec<TxnId>| -> Vec<TxnId> {
+                log.iter().filter(|t| class_of(t) == class).copied().collect()
+            };
+            assert_eq!(proj(&report.committed[0]), proj(&report.committed[1]));
+            assert_eq!(proj(&report.committed[1]), proj(&report.committed[2]));
+        }
+        // 10 adds of +1 per class.
+        assert_eq!(
+            report.dbs[0].read_committed(ObjectId::new(0, 0)),
+            Some(&Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn live_cluster_single_site() {
+        let cluster = LiveCluster::start(
+            LiveConfig::new(1, 1),
+            registry(),
+            vec![(ObjectId::new(0, 0), Value::Int(0))],
+        );
+        cluster.submit(SiteId::new(0), ClassId::new(0), ProcId::new(0),
+                       vec![Value::Int(0), Value::Int(5)]);
+        let report = cluster.shutdown(Duration::from_secs(10));
+        assert_eq!(report.committed[0].len(), 1);
+        assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(5)));
+    }
+}

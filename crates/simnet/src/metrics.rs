@@ -1,0 +1,336 @@
+//! Measurement utilities shared by experiments and benches.
+//!
+//! [`Histogram`] collects latency samples and reports quantiles;
+//! [`Table`] accumulates result rows and renders them as aligned markdown
+//! or CSV — every figure/table harness in `otp-bench` prints through it so
+//! outputs are uniform and machine-readable.
+//!
+//! # Examples
+//!
+//! ```
+//! use otp_simnet::metrics::Histogram;
+//! use otp_simnet::time::SimDuration;
+//!
+//! let mut h = Histogram::new();
+//! for ms in [1, 2, 3, 4, 100] {
+//!     h.record(SimDuration::from_millis(ms));
+//! }
+//! assert_eq!(h.len(), 5);
+//! assert!(h.mean().as_millis() >= 20);
+//! assert!(h.quantile(0.5) <= SimDuration::from_millis(3));
+//! ```
+
+use crate::time::SimDuration;
+use std::fmt::Write as _;
+
+/// A latency histogram backed by the full sample set.
+///
+/// Simulation runs produce at most a few million samples, so storing them
+/// exactly (8 bytes each) is cheaper than the complexity of a sketch, and
+/// quantiles are exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>, // nanoseconds
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Merges all samples from `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Arithmetic mean. Returns zero for an empty histogram.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Exact quantile `q ∈ [0, 1]` (nearest-rank). Returns zero for an
+    /// empty histogram.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        SimDuration::from_nanos(self.samples[rank])
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// One-line summary: `n / mean / p50 / p95 / p99 / max`.
+    pub fn summary(&mut self) -> String {
+        format!(
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.len(),
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max(),
+        )
+    }
+}
+
+/// A result table with aligned markdown and CSV renderers.
+///
+/// ```
+/// use otp_simnet::metrics::Table;
+///
+/// let mut t = Table::new(vec!["x", "y"]);
+/// t.row(vec!["1".into(), "2".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| x | y |"));
+/// assert!(t.to_csv().starts_with("x,y\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns true if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavored markdown with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<1$}|", "", w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting — callers must not embed
+    /// commas in cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Simple event counters keyed by a fixed set of names, used by replicas
+/// to report aborts, commits, reorderings and the like.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            *v += delta;
+        } else {
+            self.entries.push((name.to_string(), delta));
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the named counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (n, v) in &other.entries {
+            self.add(n, *v);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn histogram_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for ms in 1..=100 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.quantile(0.0), SimDuration::from_millis(1));
+        assert_eq!(h.quantile(1.0), SimDuration::from_millis(100));
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= SimDuration::from_millis(50) && p50 <= SimDuration::from_millis(51));
+        assert_eq!(h.min(), SimDuration::from_millis(1));
+        assert_eq!(h.max(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn histogram_summary_contains_fields() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(2));
+        let s = h.summary();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("p99"));
+    }
+
+    #[test]
+    fn table_markdown_shape() {
+        let mut t = Table::new(vec!["interval_ms", "ordered_pct"]);
+        t.row(vec!["0.0".into(), "83.1".into()]);
+        t.row(vec!["4.0".into(), "99.2".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("|-"));
+        assert!(lines[3].contains("99.2"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut c = Counters::new();
+        c.incr("abort");
+        c.add("abort", 2);
+        c.incr("commit");
+        assert_eq!(c.get("abort"), 3);
+        assert_eq!(c.get("commit"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let mut d = Counters::new();
+        d.add("abort", 10);
+        c.merge(&d);
+        assert_eq!(c.get("abort"), 13);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["abort", "commit"]);
+    }
+}

@@ -1,0 +1,539 @@
+//! LAN multicast network models.
+//!
+//! The ICDCS'99 paper's Figure 1 measures *spontaneous total order* on a
+//! 4-site Ethernet (10 Mbit/s) cluster using IP multicast: frames serialize
+//! on the shared medium, so every receiver sees nearly the same arrival
+//! order; disagreements come from per-host receive-path jitter. This module
+//! reproduces that physics:
+//!
+//! * a **shared bus** serializes transmissions (a frame occupies the wire
+//!   for `size / bandwidth`, queuing behind earlier frames),
+//! * every receiver observes `wire_done + propagation + jitter`, with
+//!   jitter sampled per `(message, receiver)` from a clamped normal,
+//! * optional per-receiver loss is modeled as a retransmission *delay*
+//!   (geometric number of timeouts), preserving the paper's reliable-
+//!   channel assumption ("a message sent by Nᵢ to Nⱼ is eventually
+//!   received by Nⱼ"),
+//! * sites can crash and recover; the driver buffers deliveries for down
+//!   sites (see [`MulticastNet::is_up`]) so reliability is preserved across
+//!   crashes,
+//! * links can be blocked to emulate partitions; blocked deliveries are
+//!   retried after the heal time.
+//!
+//! The model is a *timing calculator*: it maps a send to per-receiver
+//! arrival instants. The simulation driver owns the event queue and
+//! schedules the receive events; this keeps the network model independent
+//! of the message type flowing through it.
+//!
+//! # Examples
+//!
+//! ```
+//! use otp_simnet::net::{MulticastNet, NetConfig, SiteId};
+//! use otp_simnet::rng::SimRng;
+//! use otp_simnet::time::SimTime;
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let mut net = MulticastNet::new(NetConfig::lan_10mbps(4));
+//! let arrivals = net.multicast(SiteId::new(0), 128, SimTime::ZERO, &mut rng);
+//! assert_eq!(arrivals.len(), 4); // every site, including the sender
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a site (replica host) in the system.
+///
+/// Sites are numbered densely from zero, which lets components index
+/// per-site state with `SiteId::index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(u16);
+
+impl SiteId {
+    /// Creates a site identifier.
+    #[inline]
+    pub const fn new(id: u16) -> Self {
+        SiteId(id)
+    }
+
+    /// Raw numeric id.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The id as a `usize`, for indexing per-site vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` site ids: `N0, N1, …`.
+    ///
+    /// ```
+    /// # use otp_simnet::net::SiteId;
+    /// let all: Vec<_> = SiteId::all(3).collect();
+    /// assert_eq!(all.len(), 3);
+    /// assert_eq!(all[2].index(), 2);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = SiteId> {
+        (0..n as u16).map(SiteId)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Timing parameters of the simulated LAN.
+///
+/// Use the presets ([`NetConfig::lan_10mbps`], [`NetConfig::lan_fast`]) or
+/// build a custom configuration and adjust fields through the `with_*`
+/// methods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Number of sites attached to the network.
+    pub sites: usize,
+    /// Shared-medium bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Per-frame overhead added to every payload (headers, preamble).
+    pub frame_overhead_bytes: u32,
+    /// One-way propagation plus fixed stack traversal cost.
+    pub propagation: SimDuration,
+    /// Mean of the per-receiver processing jitter.
+    pub jitter_mean: SimDuration,
+    /// Standard deviation of the per-receiver processing jitter. This is
+    /// the knob that destroys spontaneous order when messages are close
+    /// together on the wire.
+    pub jitter_std: SimDuration,
+    /// Probability that a given receiver misses the first transmission and
+    /// waits for a retransmission (applied independently per receiver).
+    pub loss_probability: f64,
+    /// Extra delay for each retransmission round after a loss.
+    pub retransmit_delay: SimDuration,
+    /// Probability of a receive-path *processing spike* (OS scheduling,
+    /// interrupt coalescing): the receiver's stack stalls for an extra
+    /// exponentially-distributed delay. Spikes are what keeps measured
+    /// spontaneous order below 100 % even at large send intervals.
+    pub spike_probability: f64,
+    /// Mean of the exponential spike delay.
+    pub spike_mean: SimDuration,
+}
+
+impl NetConfig {
+    /// The paper's testbed: a 10 Mbit/s Ethernet with UDP/IP multicast.
+    ///
+    /// Jitter values are calibrated so the Figure 1 reproduction matches
+    /// the paper's curve shape (≈82–85 % spontaneously ordered messages at
+    /// back-to-back sends, ≥99 % at 4 ms inter-send interval); see
+    /// EXPERIMENTS.md.
+    pub fn lan_10mbps(sites: usize) -> Self {
+        NetConfig {
+            sites,
+            bandwidth_bps: 10_000_000,
+            frame_overhead_bytes: 58, // Ethernet + IP + UDP headers
+            propagation: SimDuration::from_micros(50),
+            jitter_mean: SimDuration::from_micros(120),
+            jitter_std: SimDuration::from_micros(220),
+            loss_probability: 0.0,
+            retransmit_delay: SimDuration::from_millis(5),
+            spike_probability: 0.0,
+            spike_mean: SimDuration::from_millis(1),
+        }
+    }
+
+    /// The Figure 1 testbed calibration: jitter and spike parameters tuned
+    /// so that 4 sites multicasting 64-byte UDP messages over 10 Mbit/s
+    /// Ethernet reproduce the paper's spontaneous-order curve (≈82–85 %
+    /// ordered at back-to-back sends, ≈99 % at 4 ms intervals). See
+    /// EXPERIMENTS.md §E1 for the calibration procedure.
+    pub fn fig1_testbed(sites: usize) -> Self {
+        NetConfig {
+            sites,
+            bandwidth_bps: 10_000_000,
+            frame_overhead_bytes: 58,
+            propagation: SimDuration::from_micros(50),
+            jitter_mean: SimDuration::from_micros(80),
+            jitter_std: SimDuration::from_micros(40),
+            loss_probability: 0.0,
+            retransmit_delay: SimDuration::from_millis(5),
+            spike_probability: 0.004,
+            spike_mean: SimDuration::from_micros(1500),
+        }
+    }
+
+    /// A modern switched LAN (1 Gbit/s, low jitter); useful to show the
+    /// protocols are not tied to the 1999 testbed.
+    pub fn lan_fast(sites: usize) -> Self {
+        NetConfig {
+            sites,
+            bandwidth_bps: 1_000_000_000,
+            frame_overhead_bytes: 58,
+            propagation: SimDuration::from_micros(10),
+            jitter_mean: SimDuration::from_micros(15),
+            jitter_std: SimDuration::from_micros(25),
+            loss_probability: 0.0,
+            retransmit_delay: SimDuration::from_millis(1),
+            spike_probability: 0.0,
+            spike_mean: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Sets the per-receiver jitter (mean and standard deviation).
+    pub fn with_jitter(mut self, mean: SimDuration, std: SimDuration) -> Self {
+        self.jitter_mean = mean;
+        self.jitter_std = std;
+        self
+    }
+
+    /// Sets the per-receiver loss probability (clamped to `[0, 1)`).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_probability = p.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Sets the propagation delay.
+    pub fn with_propagation(mut self, d: SimDuration) -> Self {
+        self.propagation = d;
+        self
+    }
+
+    /// Time a frame of `payload_bytes` occupies the shared medium.
+    pub fn transmission_time(&self, payload_bytes: u32) -> SimDuration {
+        let bits = (payload_bytes as u64 + self.frame_overhead_bytes as u64) * 8;
+        // ceil(bits / bandwidth) in nanoseconds.
+        let ns = bits.saturating_mul(1_000_000_000).div_ceil(self.bandwidth_bps);
+        SimDuration::from_nanos(ns)
+    }
+}
+
+/// A planned delivery of one transmission to one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving site.
+    pub to: SiteId,
+    /// Instant at which the receiver's protocol stack hands the message up.
+    pub arrival: SimTime,
+}
+
+/// The shared-medium multicast network.
+///
+/// Tracks the wire occupancy (for serialization of frames), the up/down
+/// state of sites, and blocked links (partitions). See the module
+/// documentation for the model.
+#[derive(Debug)]
+pub struct MulticastNet {
+    config: NetConfig,
+    wire_free_at: SimTime,
+    down: HashSet<SiteId>,
+    /// Blocked directed links with their heal time.
+    blocked: Vec<(SiteId, SiteId, SimTime)>,
+    sent_frames: u64,
+    sent_bytes: u64,
+}
+
+impl MulticastNet {
+    /// Creates a network with all sites up and no partitions.
+    pub fn new(config: NetConfig) -> Self {
+        MulticastNet {
+            config,
+            wire_free_at: SimTime::ZERO,
+            down: HashSet::new(),
+            blocked: Vec::new(),
+            sent_frames: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Number of frames put on the wire so far.
+    pub fn sent_frames(&self) -> u64 {
+        self.sent_frames
+    }
+
+    /// Total payload bytes put on the wire so far.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Computes per-receiver arrivals for a multicast of `payload_bytes`
+    /// sent by `from` at `now`. Every site — including the sender, which
+    /// receives its own multicast through the loopback of the stack — gets
+    /// a delivery.
+    ///
+    /// Deliveries to *down* sites are still returned (the driver must
+    /// buffer them until recovery — the channel is reliable); deliveries
+    /// over *blocked* links are postponed to the heal time plus jitter.
+    pub fn multicast(
+        &mut self,
+        from: SiteId,
+        payload_bytes: u32,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        let wire_done = self.occupy_wire(payload_bytes, now);
+        let sites = self.config.sites;
+        let mut out = Vec::with_capacity(sites);
+        for to in SiteId::all(sites) {
+            let arrival = self.receiver_arrival(from, to, wire_done, rng);
+            out.push(Delivery { to, arrival });
+        }
+        out
+    }
+
+    /// Computes the arrival for a point-to-point message. Unicasts share
+    /// the same medium as multicasts (it is one wire).
+    pub fn unicast(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        payload_bytes: u32,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        let wire_done = self.occupy_wire(payload_bytes, now);
+        let arrival = self.receiver_arrival(from, to, wire_done, rng);
+        Delivery { to, arrival }
+    }
+
+    fn occupy_wire(&mut self, payload_bytes: u32, now: SimTime) -> SimTime {
+        let start = self.wire_free_at.max(now);
+        let done = start + self.config.transmission_time(payload_bytes);
+        self.wire_free_at = done;
+        self.sent_frames += 1;
+        self.sent_bytes += payload_bytes as u64;
+        done
+    }
+
+    fn receiver_arrival(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        wire_done: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let jitter = SimDuration::from_secs_f64(rng.normal_min(
+            self.config.jitter_mean.as_secs_f64(),
+            self.config.jitter_std.as_secs_f64(),
+            0.0,
+        ));
+        let mut arrival = wire_done + self.config.propagation + jitter;
+        // Rare receive-path processing spike.
+        if self.config.spike_probability > 0.0 && rng.chance(self.config.spike_probability) {
+            arrival += SimDuration::from_secs_f64(
+                rng.exponential(self.config.spike_mean.as_secs_f64()),
+            );
+        }
+        // Loss → geometric number of retransmission rounds, each adding a
+        // fixed delay. The message is never dropped: channels are reliable.
+        while self.config.loss_probability > 0.0 && rng.chance(self.config.loss_probability) {
+            arrival += self.config.retransmit_delay;
+        }
+        // Partition: postpone past the heal time, plus a fresh jitter for
+        // the retransmission that succeeds after healing.
+        if let Some(heal) = self.blocked_until(from, to) {
+            if arrival < heal {
+                arrival = heal + self.config.propagation + jitter;
+            }
+        }
+        arrival
+    }
+
+    /// Marks a site as crashed. Messages continue to be produced for it;
+    /// the simulation driver must hold them and replay on recovery.
+    pub fn set_down(&mut self, site: SiteId) {
+        self.down.insert(site);
+    }
+
+    /// Marks a site as recovered.
+    pub fn set_up(&mut self, site: SiteId) {
+        self.down.remove(&site);
+    }
+
+    /// Whether a site is currently up.
+    pub fn is_up(&self, site: SiteId) -> bool {
+        !self.down.contains(&site)
+    }
+
+    /// Blocks the directed link `from → to` until `heal`. Messages whose
+    /// arrival would fall inside the blocked window are postponed to just
+    /// after `heal`.
+    pub fn block_link(&mut self, from: SiteId, to: SiteId, heal: SimTime) {
+        self.blocked.push((from, to, heal));
+    }
+
+    /// Heal time of the directed link, if it is currently blocked.
+    fn blocked_until(&self, from: SiteId, to: SiteId) -> Option<SimTime> {
+        self.blocked
+            .iter()
+            .filter(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, heal)| *heal)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(42)
+    }
+
+    #[test]
+    fn site_id_basics() {
+        let s = SiteId::new(3);
+        assert_eq!(s.raw(), 3);
+        assert_eq!(s.index(), 3);
+        assert_eq!(format!("{s}"), "N3");
+        assert_eq!(SiteId::all(4).count(), 4);
+    }
+
+    #[test]
+    fn transmission_time_scales_with_size() {
+        let cfg = NetConfig::lan_10mbps(4);
+        let small = cfg.transmission_time(100);
+        let big = cfg.transmission_time(1000);
+        assert!(big > small);
+        // 1058 bytes at 10 Mbit/s ≈ 846 µs.
+        assert!(big.as_micros() > 800 && big.as_micros() < 900, "{big}");
+    }
+
+    #[test]
+    fn multicast_reaches_every_site() {
+        let mut net = MulticastNet::new(NetConfig::lan_10mbps(4));
+        let ds = net.multicast(SiteId::new(1), 100, SimTime::ZERO, &mut rng());
+        assert_eq!(ds.len(), 4);
+        let tx = net.config().transmission_time(100);
+        for d in &ds {
+            assert!(d.arrival >= SimTime::ZERO + tx);
+        }
+        assert_eq!(net.sent_frames(), 1);
+        assert_eq!(net.sent_bytes(), 100);
+    }
+
+    #[test]
+    fn wire_serializes_back_to_back_sends() {
+        let mut net = MulticastNet::new(NetConfig::lan_10mbps(4).with_jitter(
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        ));
+        let mut r = rng();
+        let a = net.multicast(SiteId::new(0), 500, SimTime::ZERO, &mut r);
+        let b = net.multicast(SiteId::new(1), 500, SimTime::ZERO, &mut r);
+        // With zero jitter, the second frame arrives strictly after the
+        // first at every site: the wire is serial.
+        for (da, db) in a.iter().zip(&b) {
+            assert!(db.arrival > da.arrival);
+        }
+    }
+
+    #[test]
+    fn jitter_can_reorder_close_sends() {
+        let cfg = NetConfig::lan_10mbps(4)
+            .with_jitter(SimDuration::from_micros(100), SimDuration::from_micros(400));
+        let mut net = MulticastNet::new(cfg);
+        let mut r = rng();
+        let mut reordered = 0;
+        for _ in 0..200 {
+            let now = net.wire_free_at.max(SimTime::ZERO);
+            let a = net.multicast(SiteId::new(0), 64, now, &mut r);
+            let b = net.multicast(SiteId::new(1), 64, now, &mut r);
+            // Does any site see b before a?
+            if a.iter().zip(&b).any(|(da, db)| db.arrival < da.arrival) {
+                reordered += 1;
+            }
+        }
+        assert!(reordered > 0, "high jitter should occasionally reorder");
+    }
+
+    #[test]
+    fn loss_adds_retransmit_delay_but_delivers() {
+        let cfg = NetConfig::lan_10mbps(2).with_loss(0.5);
+        let mut net = MulticastNet::new(cfg);
+        let mut r = rng();
+        let mut delayed = 0;
+        for i in 0..100 {
+            let now = SimTime::from_millis(i * 20);
+            let d = net.unicast(SiteId::new(0), SiteId::new(1), 64, now, &mut r);
+            if d.arrival.saturating_since(now) >= SimDuration::from_millis(5) {
+                delayed += 1;
+            }
+        }
+        assert!(delayed > 20, "with p=0.5 many messages should be delayed: {delayed}");
+    }
+
+    #[test]
+    fn down_sites_are_tracked() {
+        let mut net = MulticastNet::new(NetConfig::lan_10mbps(3));
+        let s = SiteId::new(2);
+        assert!(net.is_up(s));
+        net.set_down(s);
+        assert!(!net.is_up(s));
+        // Deliveries are still produced for down sites.
+        let ds = net.multicast(SiteId::new(0), 64, SimTime::ZERO, &mut rng());
+        assert!(ds.iter().any(|d| d.to == s));
+        net.set_up(s);
+        assert!(net.is_up(s));
+    }
+
+    #[test]
+    fn blocked_link_postpones_delivery() {
+        let mut net = MulticastNet::new(
+            NetConfig::lan_10mbps(2).with_jitter(SimDuration::ZERO, SimDuration::ZERO),
+        );
+        let heal = SimTime::from_millis(50);
+        net.block_link(SiteId::new(0), SiteId::new(1), heal);
+        let d = net.unicast(SiteId::new(0), SiteId::new(1), 64, SimTime::ZERO, &mut rng());
+        assert!(d.arrival > heal);
+        // The reverse direction is unaffected.
+        let d2 = net.unicast(SiteId::new(1), SiteId::new(0), 64, SimTime::from_millis(1), &mut rng());
+        assert!(d2.arrival < heal);
+    }
+
+    #[test]
+    fn spikes_occasionally_delay_arrivals() {
+        let mut cfg = NetConfig::lan_10mbps(2).with_jitter(SimDuration::ZERO, SimDuration::ZERO);
+        cfg.spike_probability = 0.2;
+        cfg.spike_mean = SimDuration::from_millis(2);
+        let mut net = MulticastNet::new(cfg);
+        let mut r = rng();
+        let mut spiked = 0;
+        for i in 0..200 {
+            let now = SimTime::from_millis(i * 10);
+            let d = net.unicast(SiteId::new(0), SiteId::new(1), 64, now, &mut r);
+            if d.arrival.saturating_since(now) > SimDuration::from_millis(1) {
+                spiked += 1;
+            }
+        }
+        assert!(spiked > 10 && spiked < 120, "~20% spike with 2ms mean: {spiked}");
+    }
+
+    #[test]
+    fn fig1_preset_has_spikes_and_tight_jitter() {
+        let cfg = NetConfig::fig1_testbed(4);
+        assert_eq!(cfg.sites, 4);
+        assert!(cfg.spike_probability > 0.0);
+        assert!(cfg.jitter_std < NetConfig::lan_10mbps(4).jitter_std);
+        assert_eq!(cfg.bandwidth_bps, 10_000_000);
+    }
+
+    #[test]
+    fn unicast_and_multicast_share_the_wire() {
+        let mut net = MulticastNet::new(
+            NetConfig::lan_10mbps(3).with_jitter(SimDuration::ZERO, SimDuration::ZERO),
+        );
+        let mut r = rng();
+        let d1 = net.unicast(SiteId::new(0), SiteId::new(1), 1000, SimTime::ZERO, &mut r);
+        let ds = net.multicast(SiteId::new(2), 1000, SimTime::ZERO, &mut r);
+        assert!(ds[0].arrival > d1.arrival, "multicast queued behind the unicast");
+    }
+}

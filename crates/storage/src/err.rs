@@ -1,0 +1,97 @@
+//! Error types for storage and stored-procedure execution.
+
+use crate::ids::{ClassId, ObjectId};
+use std::error::Error;
+use std::fmt;
+
+/// An illegal data access by a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// An update transaction of one class touched an object of another —
+    /// forbidden by the conflict-class model (Section 2.3).
+    WrongClass {
+        /// Class the transaction belongs to.
+        txn_class: ClassId,
+        /// Object it tried to touch.
+        object: ObjectId,
+    },
+    /// The class id does not exist in this database.
+    NoSuchClass(ClassId),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::WrongClass { txn_class, object } => {
+                write!(f, "transaction of class {txn_class} accessed {object}")
+            }
+            AccessError::NoSuchClass(c) => write!(f, "no such conflict class {c}"),
+        }
+    }
+}
+
+impl Error for AccessError {}
+
+/// A stored procedure failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcError {
+    /// Illegal data access.
+    Access(AccessError),
+    /// The procedure's arguments were malformed.
+    BadArgs(String),
+    /// A business-rule failure (e.g. insufficient funds). The transaction
+    /// still *commits* in the OTP model — stored procedures are determinate
+    /// request handlers; a rule failure is a result, not an abort — but the
+    /// error is reported to the client.
+    Rule(String),
+}
+
+impl fmt::Display for ProcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcError::Access(e) => write!(f, "{e}"),
+            ProcError::BadArgs(m) => write!(f, "bad arguments: {m}"),
+            ProcError::Rule(m) => write!(f, "rule violation: {m}"),
+        }
+    }
+}
+
+impl Error for ProcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProcError::Access(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AccessError> for ProcError {
+    fn from(e: AccessError) -> Self {
+        ProcError::Access(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AccessError::WrongClass { txn_class: ClassId::new(1), object: ObjectId::new(2, 3) };
+        assert_eq!(format!("{e}"), "transaction of class C1 accessed C2/k3");
+        let e2 = AccessError::NoSuchClass(ClassId::new(9));
+        assert!(format!("{e2}").contains("C9"));
+        let p = ProcError::BadArgs("want 2 args".into());
+        assert!(format!("{p}").contains("want 2 args"));
+        let r = ProcError::Rule("insufficient funds".into());
+        assert!(format!("{r}").contains("insufficient"));
+    }
+
+    #[test]
+    fn proc_error_wraps_access() {
+        let a = AccessError::NoSuchClass(ClassId::new(1));
+        let p: ProcError = a.clone().into();
+        assert_eq!(p, ProcError::Access(a));
+        assert!(Error::source(&p).is_some());
+    }
+}

@@ -1,0 +1,189 @@
+//! Identifiers for conflict classes, objects and version labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A conflict class (Section 2.3 of the paper).
+///
+/// The database is partitioned: transactions of class `C` may only touch
+/// objects of `C`'s partition, so transactions in different classes never
+/// conflict and transactions in the same class always may.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Creates a class id.
+    pub const fn new(id: u32) -> Self {
+        ClassId(id)
+    }
+
+    /// Raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// As an index into per-class vectors.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` classes.
+    pub fn all(n: usize) -> impl Iterator<Item = ClassId> {
+        (0..n as u32).map(ClassId)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A key within a class partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectKey(u64);
+
+impl ObjectKey {
+    /// Creates a key.
+    pub const fn new(k: u64) -> Self {
+        ObjectKey(k)
+    }
+
+    /// Raw key.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Fully qualified object identifier: class plus key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId {
+    /// The conflict class owning the object.
+    pub class: ClassId,
+    /// The key within the class partition.
+    pub key: ObjectKey,
+}
+
+impl ObjectId {
+    /// Creates an object id from raw class and key numbers.
+    pub const fn new(class: u32, key: u64) -> Self {
+        ObjectId { class: ClassId::new(class), key: ObjectKey::new(key) }
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.class, self.key)
+    }
+}
+
+/// Version label: the position of the writing transaction in the
+/// definitive total order (Section 5: "each data is labeled with the index
+/// of the transaction that created the version").
+///
+/// `TxnIndex::INITIAL` (zero) labels pre-loaded data; real transactions are
+/// indexed from 1 in TO-delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct TxnIndex(u64);
+
+impl TxnIndex {
+    /// Label of initially loaded data (before any transaction).
+    pub const INITIAL: TxnIndex = TxnIndex(0);
+
+    /// Creates an index (1-based for transactions).
+    pub const fn new(i: u64) -> Self {
+        TxnIndex(i)
+    }
+
+    /// Raw index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next index.
+    pub const fn next(self) -> TxnIndex {
+        TxnIndex(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TxnIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A query's snapshot index (Section 5).
+///
+/// A query starting after the `i`-th TO-delivered transaction was processed
+/// gets index `i.5`: it sees every version labeled `≤ i` and nothing newer.
+/// Internally we store `i`; the ".5" is the strictness of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SnapshotIndex(u64);
+
+impl SnapshotIndex {
+    /// Snapshot right after `last_processed` (i.e. index `i.5`).
+    pub const fn after(last_processed: TxnIndex) -> Self {
+        SnapshotIndex(last_processed.raw())
+    }
+
+    /// True if a version labeled `v` is visible in this snapshot.
+    pub const fn sees(self, v: TxnIndex) -> bool {
+        v.raw() <= self.0
+    }
+
+    /// The underlying watermark `i`.
+    pub const fn watermark(self) -> TxnIndex {
+        TxnIndex::new(self.0)
+    }
+}
+
+impl fmt::Display for SnapshotIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.5", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ids() {
+        let c = ClassId::new(3);
+        assert_eq!(c.raw(), 3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "C3");
+        assert_eq!(ClassId::all(4).count(), 4);
+    }
+
+    #[test]
+    fn object_ids() {
+        let o = ObjectId::new(1, 42);
+        assert_eq!(o.class, ClassId::new(1));
+        assert_eq!(o.key, ObjectKey::new(42));
+        assert_eq!(format!("{o}"), "C1/k42");
+    }
+
+    #[test]
+    fn txn_index_ordering() {
+        assert!(TxnIndex::INITIAL < TxnIndex::new(1));
+        assert_eq!(TxnIndex::new(1).next(), TxnIndex::new(2));
+        assert_eq!(format!("{}", TxnIndex::new(7)), "t7");
+    }
+
+    #[test]
+    fn snapshot_visibility() {
+        let s = SnapshotIndex::after(TxnIndex::new(5)); // index 5.5
+        assert!(s.sees(TxnIndex::new(5)));
+        assert!(s.sees(TxnIndex::INITIAL));
+        assert!(!s.sees(TxnIndex::new(6)));
+        assert_eq!(format!("{s}"), "5.5");
+        assert_eq!(s.watermark(), TxnIndex::new(5));
+    }
+}

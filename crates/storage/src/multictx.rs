@@ -1,0 +1,207 @@
+//! Execution context for multi-class transactions (finer granularity).
+//!
+//! The paper's conclusion acknowledges the single-class-per-transaction
+//! model is restrictive and points to the authors' follow-up (\[13\],
+//! Kemme et al. 1999) with finer-granularity solutions. [`MultiCtx`] is
+//! the storage-side support: a transaction declares a *set* of conflict
+//! classes up front and may read and write objects in any of them, with
+//! per-class undo logs so an abort rolls back every touched partition.
+
+use crate::db::{Database, UndoLog};
+use crate::err::AccessError;
+use crate::ids::{ClassId, ObjectId};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Effects of a finished multi-class execution: one undo log per touched
+/// class plus the read set.
+#[derive(Debug, Clone, Default)]
+pub struct MultiEffects {
+    /// Per-class before-images (keys are also the per-class write sets).
+    pub undo: BTreeMap<ClassId, UndoLog>,
+    /// Objects read.
+    pub reads: Vec<ObjectId>,
+    /// Values emitted for the client.
+    pub output: Vec<Value>,
+}
+
+impl MultiEffects {
+    /// Total number of written objects across all classes.
+    pub fn written(&self) -> usize {
+        self.undo.values().map(UndoLog::len).sum()
+    }
+}
+
+/// The execution context of one multi-class update transaction.
+///
+/// # Examples
+///
+/// ```
+/// use otp_storage::{Database, MultiCtx, ObjectId, Value, ClassId};
+///
+/// let mut db = Database::new(2);
+/// db.load(ObjectId::new(0, 0), Value::Int(10));
+/// db.load(ObjectId::new(1, 0), Value::Int(20));
+/// let classes = vec![ClassId::new(0), ClassId::new(1)];
+/// let mut ctx = MultiCtx::new(&mut db, &classes);
+/// // Move value across classes — impossible in the single-class model.
+/// let a = ctx.read(ObjectId::new(0, 0)).unwrap().as_int().unwrap();
+/// ctx.write(ObjectId::new(0, 0), Value::Int(a - 5)).unwrap();
+/// let b = ctx.read(ObjectId::new(1, 0)).unwrap().as_int().unwrap();
+/// ctx.write(ObjectId::new(1, 0), Value::Int(b + 5)).unwrap();
+/// assert_eq!(ctx.finish().written(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MultiCtx<'a> {
+    db: &'a mut Database,
+    classes: &'a [ClassId],
+    effects: MultiEffects,
+}
+
+impl<'a> MultiCtx<'a> {
+    /// Opens a context for a transaction declaring `classes`.
+    pub fn new(db: &'a mut Database, classes: &'a [ClassId]) -> Self {
+        MultiCtx { db, classes, effects: MultiEffects::default() }
+    }
+
+    /// The declared classes.
+    pub fn classes(&self) -> &[ClassId] {
+        self.classes
+    }
+
+    fn check(&self, object: ObjectId) -> Result<(), AccessError> {
+        if self.classes.contains(&object.class) {
+            Ok(())
+        } else {
+            Err(AccessError::WrongClass {
+                txn_class: self.classes.first().copied().unwrap_or(ClassId::new(u32::MAX)),
+                object,
+            })
+        }
+    }
+
+    /// Reads an object of any declared class (working state).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object's class was not declared or does not exist.
+    pub fn read(&mut self, object: ObjectId) -> Result<Value, AccessError> {
+        self.check(object)?;
+        let p = self.db.partition(object.class)?;
+        self.effects.reads.push(object);
+        Ok(p.read_current(object.key).cloned().unwrap_or(Value::Null))
+    }
+
+    /// Writes an object of any declared class in place, recording the
+    /// before-image in that class's undo log.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object's class was not declared or does not exist.
+    pub fn write(&mut self, object: ObjectId, value: Value) -> Result<(), AccessError> {
+        self.check(object)?;
+        let p = self.db.partition_mut(object.class)?;
+        let before = p.write_current(object.key, value);
+        self.effects.undo.entry(object.class).or_default().record(object.key, before);
+        Ok(())
+    }
+
+    /// Appends an output value for the client.
+    pub fn emit(&mut self, value: Value) {
+        self.effects.output.push(value);
+    }
+
+    /// Closes the context, returning the collected effects.
+    pub fn finish(self) -> MultiEffects {
+        self.effects
+    }
+}
+
+/// Rolls back a multi-class execution: applies every class's undo log.
+pub fn apply_multi_undo(db: &mut Database, effects: &MultiEffects) {
+    for (class, undo) in &effects.undo {
+        db.partition_mut(*class).expect("declared class exists").apply_undo(undo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnIndex;
+
+    fn db() -> Database {
+        let mut d = Database::new(3);
+        d.load(ObjectId::new(0, 0), Value::Int(10));
+        d.load(ObjectId::new(1, 0), Value::Int(20));
+        d.load(ObjectId::new(2, 0), Value::Int(30));
+        d
+    }
+
+    #[test]
+    fn reads_and_writes_across_declared_classes() {
+        let mut d = db();
+        let classes = [ClassId::new(0), ClassId::new(1)];
+        let mut ctx = MultiCtx::new(&mut d, &classes);
+        assert_eq!(ctx.read(ObjectId::new(0, 0)).unwrap(), Value::Int(10));
+        ctx.write(ObjectId::new(1, 0), Value::Int(99)).unwrap();
+        assert_eq!(ctx.read(ObjectId::new(1, 0)).unwrap(), Value::Int(99));
+        let eff = ctx.finish();
+        assert_eq!(eff.written(), 1);
+        assert_eq!(eff.reads.len(), 2);
+        assert_eq!(ctx_classes(&classes), 2);
+    }
+
+    fn ctx_classes(c: &[ClassId]) -> usize {
+        c.len()
+    }
+
+    #[test]
+    fn undeclared_class_rejected() {
+        let mut d = db();
+        let classes = [ClassId::new(0)];
+        let mut ctx = MultiCtx::new(&mut d, &classes);
+        assert!(ctx.read(ObjectId::new(2, 0)).is_err());
+        assert!(ctx.write(ObjectId::new(2, 0), Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn multi_undo_restores_all_classes() {
+        let mut d = db();
+        let classes = [ClassId::new(0), ClassId::new(2)];
+        let mut ctx = MultiCtx::new(&mut d, &classes);
+        ctx.write(ObjectId::new(0, 0), Value::Int(-1)).unwrap();
+        ctx.write(ObjectId::new(2, 0), Value::Int(-1)).unwrap();
+        ctx.write(ObjectId::new(2, 7), Value::Int(5)).unwrap(); // new key
+        let eff = ctx.finish();
+        apply_multi_undo(&mut d, &eff);
+        let p0 = d.partition(ClassId::new(0)).unwrap();
+        let p2 = d.partition(ClassId::new(2)).unwrap();
+        assert_eq!(p0.read_current(crate::ids::ObjectKey::new(0)), Some(&Value::Int(10)));
+        assert_eq!(p2.read_current(crate::ids::ObjectKey::new(0)), Some(&Value::Int(30)));
+        assert_eq!(p2.read_current(crate::ids::ObjectKey::new(7)), None);
+    }
+
+    #[test]
+    fn promote_per_class() {
+        let mut d = db();
+        let classes = [ClassId::new(0), ClassId::new(1)];
+        let mut ctx = MultiCtx::new(&mut d, &classes);
+        ctx.write(ObjectId::new(0, 0), Value::Int(11)).unwrap();
+        ctx.write(ObjectId::new(1, 0), Value::Int(21)).unwrap();
+        let eff = ctx.finish();
+        for (class, undo) in &eff.undo {
+            d.partition_mut(*class).unwrap().promote(undo.written_keys(), TxnIndex::new(1));
+        }
+        assert_eq!(d.read_committed(ObjectId::new(0, 0)), Some(&Value::Int(11)));
+        assert_eq!(d.read_committed(ObjectId::new(1, 0)), Some(&Value::Int(21)));
+    }
+
+    #[test]
+    fn emit_and_output() {
+        let mut d = db();
+        let classes = [ClassId::new(0)];
+        let mut ctx = MultiCtx::new(&mut d, &classes);
+        ctx.emit(Value::Bool(true));
+        assert_eq!(ctx.finish().output, vec![Value::Bool(true)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Version chains: the multi-version backbone of snapshot queries.
+
+use crate::ids::{SnapshotIndex, TxnIndex};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The committed versions of one object, ordered by writer index.
+///
+/// Section 5 of the paper: "different versions of the data of a conflict
+/// class are maintained. Each data is labeled with the index of the
+/// transaction that created the version." A query with snapshot index `i.5`
+/// reads the version written by `T_j` where `j = max{k ≤ i}` over the
+/// writers of this object.
+///
+/// # Examples
+///
+/// ```
+/// use otp_storage::mvcc::VersionChain;
+/// use otp_storage::{SnapshotIndex, TxnIndex, Value};
+///
+/// let mut chain = VersionChain::new();
+/// chain.install(TxnIndex::INITIAL, Value::Int(100));
+/// chain.install(TxnIndex::new(3), Value::Int(90));
+/// let snap = SnapshotIndex::after(TxnIndex::new(2)); // 2.5
+/// assert_eq!(chain.read_at(snap), Some(&Value::Int(100)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VersionChain {
+    /// `(writer, value)` sorted ascending by writer. Installs arrive in
+    /// commit order per class, which is ascending — enforced in `install`.
+    versions: Vec<(TxnIndex, Value)>,
+}
+
+impl VersionChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        VersionChain::default()
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Returns true if the chain holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Installs a committed version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writer` is not greater than the last installed writer —
+    /// commits within a class happen in definitive order, so out-of-order
+    /// installs are a logic error in the replica.
+    pub fn install(&mut self, writer: TxnIndex, value: Value) {
+        if let Some((last, _)) = self.versions.last() {
+            assert!(
+                writer > *last,
+                "version install out of order: {writer} after {last}"
+            );
+        }
+        self.versions.push((writer, value));
+    }
+
+    /// The latest committed version.
+    pub fn read_latest(&self) -> Option<&Value> {
+        self.versions.last().map(|(_, v)| v)
+    }
+
+    /// The writer of the latest committed version.
+    pub fn latest_writer(&self) -> Option<TxnIndex> {
+        self.versions.last().map(|(w, _)| *w)
+    }
+
+    /// The version visible at `snap`: the newest version whose writer is
+    /// `≤ snap`'s watermark. `None` if the object did not exist yet.
+    pub fn read_at(&self, snap: SnapshotIndex) -> Option<&Value> {
+        // Binary search for the partition point.
+        let idx = self.versions.partition_point(|(w, _)| snap.sees(*w));
+        idx.checked_sub(1).map(|i| &self.versions[i].1)
+    }
+
+    /// Drops versions that can no longer be seen by any snapshot at or
+    /// above `watermark`: keeps the newest version `≤ watermark` plus
+    /// everything newer. Returns the number of dropped versions.
+    pub fn collect_below(&mut self, watermark: TxnIndex) -> usize {
+        let visible = SnapshotIndex::after(watermark);
+        let idx = self.versions.partition_point(|(w, _)| visible.sees(*w));
+        // Keep the last visible version (idx-1) and everything after.
+        let drop_count = idx.saturating_sub(1);
+        if drop_count > 0 {
+            self.versions.drain(..drop_count);
+        }
+        drop_count
+    }
+
+    /// Iterates `(writer, value)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (TxnIndex, &Value)> {
+        self.versions.iter().map(|(w, v)| (*w, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> VersionChain {
+        let mut c = VersionChain::new();
+        c.install(TxnIndex::INITIAL, Value::Int(0));
+        c.install(TxnIndex::new(2), Value::Int(20));
+        c.install(TxnIndex::new(5), Value::Int(50));
+        c
+    }
+
+    #[test]
+    fn latest_reads() {
+        let c = chain();
+        assert_eq!(c.read_latest(), Some(&Value::Int(50)));
+        assert_eq!(c.latest_writer(), Some(TxnIndex::new(5)));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn snapshot_reads_pick_right_version() {
+        let c = chain();
+        let at = |i| SnapshotIndex::after(TxnIndex::new(i));
+        assert_eq!(c.read_at(at(0)), Some(&Value::Int(0)));
+        assert_eq!(c.read_at(at(1)), Some(&Value::Int(0)));
+        assert_eq!(c.read_at(at(2)), Some(&Value::Int(20)));
+        assert_eq!(c.read_at(at(4)), Some(&Value::Int(20)));
+        assert_eq!(c.read_at(at(5)), Some(&Value::Int(50)));
+        assert_eq!(c.read_at(at(99)), Some(&Value::Int(50)));
+    }
+
+    #[test]
+    fn snapshot_before_creation_sees_nothing() {
+        let mut c = VersionChain::new();
+        c.install(TxnIndex::new(4), Value::Int(1));
+        assert_eq!(c.read_at(SnapshotIndex::after(TxnIndex::new(3))), None);
+        assert_eq!(c.read_at(SnapshotIndex::after(TxnIndex::new(4))), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_out_of_order_installs() {
+        let mut c = chain();
+        c.install(TxnIndex::new(3), Value::Int(30));
+    }
+
+    #[test]
+    fn gc_keeps_visible_versions() {
+        let mut c = chain();
+        let dropped = c.collect_below(TxnIndex::new(4));
+        // Versions 0 and 2 existed below watermark 4; version 2 must stay
+        // (a snapshot at 4.5 still reads it), version 0 goes.
+        assert_eq!(dropped, 1);
+        assert_eq!(c.read_at(SnapshotIndex::after(TxnIndex::new(4))), Some(&Value::Int(20)));
+        assert_eq!(c.read_latest(), Some(&Value::Int(50)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn gc_on_empty_and_single() {
+        let mut c = VersionChain::new();
+        assert_eq!(c.collect_below(TxnIndex::new(10)), 0);
+        c.install(TxnIndex::new(1), Value::Int(1));
+        assert_eq!(c.collect_below(TxnIndex::new(10)), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let c = chain();
+        let writers: Vec<u64> = c.iter().map(|(w, _)| w.raw()).collect();
+        assert_eq!(writers, vec![0, 2, 5]);
+    }
+}

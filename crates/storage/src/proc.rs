@@ -1,0 +1,259 @@
+//! Stored procedures — the only way to update the database.
+//!
+//! The paper's transaction model (Section 2.2): "all data access is done
+//! through stored procedures, with one transaction corresponding to one
+//! stored procedure." Procedures are registered once, globally, and a
+//! transaction request names its procedure plus arguments — that pair is
+//! what gets TO-broadcast, so every site executes the same deterministic
+//! logic.
+//!
+//! **Determinism contract**: a procedure must compute its writes purely
+//! from the database state it reads, its arguments and its class — never
+//! from ambient randomness or time. The replication scheme executes the
+//! same procedure at every site and relies on identical outcomes.
+
+use crate::err::ProcError;
+use crate::txctx::TxnCtx;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a registered stored procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Creates a procedure id.
+    pub const fn new(id: u32) -> Self {
+        ProcId(id)
+    }
+
+    /// Raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// A stored procedure body.
+///
+/// Implementations must be deterministic (see the [module docs](self)).
+pub trait StoredProcedure: Send + Sync {
+    /// Human-readable name (unique within a registry).
+    fn name(&self) -> &str;
+
+    /// Executes the procedure against the transaction context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcError`] on illegal access, malformed arguments or
+    /// business-rule failures. Note that in the OTP model a `Rule` error
+    /// does not abort the transaction (procedures are deterministic, so
+    /// every site fails identically); it is reported to the client.
+    fn execute(&self, ctx: &mut TxnCtx<'_>, args: &[Value]) -> Result<(), ProcError>;
+}
+
+/// Adapter turning a closure into a [`StoredProcedure`].
+///
+/// # Examples
+///
+/// ```
+/// use otp_storage::{FnProcedure, Database, ClassId, ObjectKey, TxnCtx, Value};
+///
+/// let incr = FnProcedure::new("incr", |ctx, _args| {
+///     let v = ctx.read(ObjectKey::new(0))?.as_int().unwrap_or(0);
+///     ctx.write(ObjectKey::new(0), Value::Int(v + 1))?;
+///     Ok(())
+/// });
+/// let mut db = Database::new(1);
+/// let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+/// use otp_storage::StoredProcedure;
+/// incr.execute(&mut ctx, &[]).unwrap();
+/// ```
+pub struct FnProcedure<F> {
+    name: String,
+    body: F,
+}
+
+impl<F> FnProcedure<F>
+where
+    F: Fn(&mut TxnCtx<'_>, &[Value]) -> Result<(), ProcError> + Send + Sync,
+{
+    /// Wraps a closure as a named procedure.
+    pub fn new(name: &str, body: F) -> Self {
+        FnProcedure { name: name.to_string(), body }
+    }
+}
+
+impl<F> StoredProcedure for FnProcedure<F>
+where
+    F: Fn(&mut TxnCtx<'_>, &[Value]) -> Result<(), ProcError> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, ctx: &mut TxnCtx<'_>, args: &[Value]) -> Result<(), ProcError> {
+        (self.body)(ctx, args)
+    }
+}
+
+impl<F> fmt::Debug for FnProcedure<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProcedure").field("name", &self.name).finish()
+    }
+}
+
+/// The procedure registry shared by all sites.
+///
+/// Registration order defines [`ProcId`]s, so every site must register the
+/// same procedures in the same order (the registry is typically built once
+/// and shared via `Arc`).
+#[derive(Clone, Default)]
+pub struct ProcRegistry {
+    procs: Vec<Arc<dyn StoredProcedure>>,
+    by_name: HashMap<String, ProcId>,
+}
+
+impl ProcRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ProcRegistry::default()
+    }
+
+    /// Registers a procedure, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a procedure with the same name is already registered.
+    pub fn register(&mut self, proc: Arc<dyn StoredProcedure>) -> ProcId {
+        let name = proc.name().to_string();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate stored procedure name: {name}"
+        );
+        let id = ProcId::new(self.procs.len() as u32);
+        self.by_name.insert(name, id);
+        self.procs.push(proc);
+        id
+    }
+
+    /// Convenience: registers a closure via [`FnProcedure`].
+    pub fn register_fn<F>(&mut self, name: &str, body: F) -> ProcId
+    where
+        F: Fn(&mut TxnCtx<'_>, &[Value]) -> Result<(), ProcError> + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnProcedure::new(name, body)))
+    }
+
+    /// Looks up a procedure by id.
+    pub fn get(&self, id: ProcId) -> Option<&Arc<dyn StoredProcedure>> {
+        self.procs.get(id.raw() as usize)
+    }
+
+    /// Looks up a procedure id by name.
+    pub fn id_of(&self, name: &str) -> Option<ProcId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Returns true if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+impl fmt::Debug for ProcRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.procs.iter().map(|p| p.name()).collect();
+        f.debug_struct("ProcRegistry").field("procs", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::ids::{ClassId, ObjectId, ObjectKey};
+
+    fn incr_proc() -> Arc<dyn StoredProcedure> {
+        Arc::new(FnProcedure::new("incr", |ctx, args| {
+            let key = match args.first() {
+                Some(Value::Int(k)) => ObjectKey::new(*k as u64),
+                _ => return Err(ProcError::BadArgs("need key".into())),
+            };
+            let v = ctx.read(key)?.as_int().unwrap_or(0);
+            ctx.write(key, Value::Int(v + 1))?;
+            ctx.emit(Value::Int(v + 1));
+            Ok(())
+        }))
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = ProcRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.register(incr_proc());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.id_of("incr"), Some(id));
+        assert_eq!(reg.id_of("nope"), None);
+        assert!(reg.get(id).is_some());
+        assert!(reg.get(ProcId::new(9)).is_none());
+        assert_eq!(format!("{id}"), "proc0");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stored procedure")]
+    fn duplicate_names_rejected() {
+        let mut reg = ProcRegistry::new();
+        reg.register(incr_proc());
+        reg.register(incr_proc());
+    }
+
+    #[test]
+    fn execution_through_registry() {
+        let mut reg = ProcRegistry::new();
+        let id = reg.register(incr_proc());
+        let mut db = Database::new(1);
+        db.load(ObjectId::new(0, 5), Value::Int(10));
+
+        let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+        reg.get(id).unwrap().execute(&mut ctx, &[Value::Int(5)]).unwrap();
+        let eff = ctx.finish();
+        assert_eq!(eff.output, vec![Value::Int(11)]);
+        assert_eq!(
+            db.partition(ClassId::new(0)).unwrap().read_current(ObjectKey::new(5)),
+            Some(&Value::Int(11))
+        );
+    }
+
+    #[test]
+    fn bad_args_error() {
+        let mut reg = ProcRegistry::new();
+        let id = reg.register(incr_proc());
+        let mut db = Database::new(1);
+        let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+        let err = reg.get(id).unwrap().execute(&mut ctx, &[]).unwrap_err();
+        assert!(matches!(err, ProcError::BadArgs(_)));
+    }
+
+    #[test]
+    fn register_fn_shorthand() {
+        let mut reg = ProcRegistry::new();
+        let id = reg.register_fn("noop", |_ctx, _args| Ok(()));
+        assert_eq!(reg.id_of("noop"), Some(id));
+        let dbg = format!("{reg:?}");
+        assert!(dbg.contains("noop"));
+    }
+}

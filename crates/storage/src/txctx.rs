@@ -1,0 +1,254 @@
+//! Execution contexts handed to stored procedures.
+//!
+//! [`TxnCtx`] is the update-transaction context: reads and in-place writes
+//! restricted to the transaction's conflict class, with before-images
+//! collected for abort. [`QueryCtx`] is the read-only context: snapshot
+//! reads across *any* classes at a fixed [`SnapshotIndex`] (Section 5) —
+//! queries never block and are never blocked.
+
+use crate::db::{Database, UndoLog};
+use crate::err::AccessError;
+use crate::ids::{ClassId, ObjectId, ObjectKey, SnapshotIndex};
+use crate::value::Value;
+
+/// What a finished execution leaves behind: the undo log (whose keys are
+/// also the write set) and the read set, for recovery and for history
+/// checking.
+#[derive(Debug, Clone, Default)]
+pub struct TxnEffects {
+    /// Before-images; `written_keys()` is the write set.
+    pub undo: UndoLog,
+    /// Objects read (own class only, by construction).
+    pub reads: Vec<ObjectKey>,
+    /// Result values the procedure chose to return to the client.
+    pub output: Vec<Value>,
+}
+
+/// The mutable execution context of one update transaction.
+///
+/// Writes go to the class partition's working state immediately (execution
+/// within a class is serial, so no other transaction sees them); the undo
+/// log lets the correctness-check module roll them back when the tentative
+/// order proves wrong.
+///
+/// # Examples
+///
+/// ```
+/// use otp_storage::{Database, ObjectId, ObjectKey, ClassId, TxnCtx, Value};
+///
+/// let mut db = Database::new(1);
+/// db.load(ObjectId::new(0, 0), Value::Int(5));
+/// let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+/// let v = ctx.read(ObjectKey::new(0)).unwrap().as_int().unwrap();
+/// ctx.write(ObjectKey::new(0), Value::Int(v + 1)).unwrap();
+/// let effects = ctx.finish();
+/// assert_eq!(effects.undo.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TxnCtx<'a> {
+    db: &'a mut Database,
+    class: ClassId,
+    effects: TxnEffects,
+}
+
+impl<'a> TxnCtx<'a> {
+    /// Opens a context for a transaction of `class`.
+    pub fn new(db: &'a mut Database, class: ClassId) -> Self {
+        TxnCtx { db, class, effects: TxnEffects::default() }
+    }
+
+    /// The transaction's conflict class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Reads an object of the transaction's class (working state: committed
+    /// values plus this transaction's own writes). Returns [`Value::Null`]
+    /// for objects that do not exist — stored procedures treat missing data
+    /// as null rather than erroring.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class does not exist in the database.
+    pub fn read(&mut self, key: ObjectKey) -> Result<Value, AccessError> {
+        let p = self.db.partition(self.class)?;
+        self.effects.reads.push(key);
+        Ok(p.read_current(key).cloned().unwrap_or(Value::Null))
+    }
+
+    /// Writes an object of the transaction's class in place, recording the
+    /// before-image for a potential abort.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class does not exist in the database.
+    pub fn write(&mut self, key: ObjectKey, value: Value) -> Result<(), AccessError> {
+        let p = self.db.partition_mut(self.class)?;
+        let before = p.write_current(key, value);
+        self.effects.undo.record(key, before);
+        Ok(())
+    }
+
+    /// Guards cross-class access attempts: procedures that compute an
+    /// [`ObjectId`] must call this to convert it to a key of their own
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`AccessError::WrongClass`] if the object belongs to a
+    /// different class.
+    pub fn own_key(&self, object: ObjectId) -> Result<ObjectKey, AccessError> {
+        if object.class != self.class {
+            return Err(AccessError::WrongClass { txn_class: self.class, object });
+        }
+        Ok(object.key)
+    }
+
+    /// Appends a result value for the client.
+    pub fn emit(&mut self, value: Value) {
+        self.effects.output.push(value);
+    }
+
+    /// Closes the context, returning the collected effects.
+    pub fn finish(self) -> TxnEffects {
+        self.effects
+    }
+}
+
+/// The read-only snapshot context of a query (Section 5).
+///
+/// A query receives index `i.5` when the `i`-th TO-delivered transaction
+/// was the last one processed; every read of a class `C` object then
+/// returns the version written by `T_j`, `j = max{k ≤ i : T_k ∈ C}` —
+/// implemented directly by the per-object version chains.
+#[derive(Debug)]
+pub struct QueryCtx<'a> {
+    db: &'a Database,
+    snap: SnapshotIndex,
+    reads: Vec<ObjectId>,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Opens a query context over `db` at snapshot `snap`.
+    pub fn new(db: &'a Database, snap: SnapshotIndex) -> Self {
+        QueryCtx { db, snap, reads: Vec::new() }
+    }
+
+    /// The query's snapshot index.
+    pub fn snapshot(&self) -> SnapshotIndex {
+        self.snap
+    }
+
+    /// Reads any object of any class at the snapshot. Returns
+    /// [`Value::Null`] if the object has no visible version.
+    pub fn read(&mut self, object: ObjectId) -> Value {
+        self.reads.push(object);
+        self.db.read_at(object, self.snap).cloned().unwrap_or(Value::Null)
+    }
+
+    /// The objects read so far.
+    pub fn reads(&self) -> &[ObjectId] {
+        &self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnIndex;
+
+    fn setup() -> Database {
+        let mut db = Database::new(3);
+        db.load(ObjectId::new(0, 0), Value::Int(100));
+        db.load(ObjectId::new(1, 0), Value::Int(200));
+        db.load(ObjectId::new(2, 0), Value::Int(300));
+        db
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut db = setup();
+        let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+        assert_eq!(ctx.read(ObjectKey::new(0)).unwrap(), Value::Int(100));
+        ctx.write(ObjectKey::new(0), Value::Int(1)).unwrap();
+        assert_eq!(ctx.read(ObjectKey::new(0)).unwrap(), Value::Int(1));
+        let eff = ctx.finish();
+        assert_eq!(eff.reads.len(), 2);
+        assert_eq!(eff.undo.len(), 1);
+    }
+
+    #[test]
+    fn missing_objects_read_null() {
+        let mut db = setup();
+        let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+        assert_eq!(ctx.read(ObjectKey::new(77)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn cross_class_guard() {
+        let mut db = setup();
+        let ctx = TxnCtx::new(&mut db, ClassId::new(0));
+        assert!(ctx.own_key(ObjectId::new(0, 5)).is_ok());
+        let err = ctx.own_key(ObjectId::new(1, 5)).unwrap_err();
+        assert!(matches!(err, AccessError::WrongClass { .. }));
+    }
+
+    #[test]
+    fn abort_via_undo_restores_state() {
+        let mut db = setup();
+        let mut ctx = TxnCtx::new(&mut db, ClassId::new(0));
+        ctx.write(ObjectKey::new(0), Value::Int(-5)).unwrap();
+        ctx.write(ObjectKey::new(9), Value::Int(1)).unwrap();
+        let eff = ctx.finish();
+        db.partition_mut(ClassId::new(0)).unwrap().apply_undo(&eff.undo);
+        assert_eq!(db.partition(ClassId::new(0)).unwrap().read_current(ObjectKey::new(0)),
+                   Some(&Value::Int(100)));
+        assert_eq!(db.partition(ClassId::new(0)).unwrap().read_current(ObjectKey::new(9)), None);
+    }
+
+    #[test]
+    fn emit_collects_output() {
+        let mut db = setup();
+        let mut ctx = TxnCtx::new(&mut db, ClassId::new(1));
+        ctx.emit(Value::Int(1));
+        ctx.emit(Value::from("done"));
+        let eff = ctx.finish();
+        assert_eq!(eff.output, vec![Value::Int(1), Value::from("done")]);
+    }
+
+    #[test]
+    fn query_reads_across_classes_at_snapshot() {
+        let mut db = setup();
+        // Commit a change in class 0 at index 1 and class 1 at index 2.
+        let p0 = db.partition_mut(ClassId::new(0)).unwrap();
+        p0.write_current(ObjectKey::new(0), Value::Int(101));
+        p0.promote([ObjectKey::new(0)].into_iter(), TxnIndex::new(1));
+        let p1 = db.partition_mut(ClassId::new(1)).unwrap();
+        p1.write_current(ObjectKey::new(0), Value::Int(201));
+        p1.promote([ObjectKey::new(0)].into_iter(), TxnIndex::new(2));
+
+        // Snapshot 1.5 sees class-0's update but not class-1's.
+        let mut q = QueryCtx::new(&db, SnapshotIndex::after(TxnIndex::new(1)));
+        assert_eq!(q.read(ObjectId::new(0, 0)), Value::Int(101));
+        assert_eq!(q.read(ObjectId::new(1, 0)), Value::Int(200));
+        assert_eq!(q.read(ObjectId::new(2, 0)), Value::Int(300));
+        assert_eq!(q.reads().len(), 3);
+        assert_eq!(format!("{}", q.snapshot()), "1.5");
+    }
+
+    #[test]
+    fn query_never_sees_uncommitted_writes() {
+        let mut db = setup();
+        let p0 = db.partition_mut(ClassId::new(0)).unwrap();
+        p0.write_current(ObjectKey::new(0), Value::Int(-1)); // in-flight, not promoted
+        let mut q = QueryCtx::new(&db, SnapshotIndex::after(TxnIndex::new(50)));
+        assert_eq!(q.read(ObjectId::new(0, 0)), Value::Int(100));
+    }
+
+    #[test]
+    fn query_missing_object_is_null() {
+        let db = setup();
+        let mut q = QueryCtx::new(&db, SnapshotIndex::after(TxnIndex::new(1)));
+        assert_eq!(q.read(ObjectId::new(0, 777)), Value::Null);
+    }
+}

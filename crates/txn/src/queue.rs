@@ -1,0 +1,498 @@
+//! Class queues — the concurrency-control structure of the paper.
+//!
+//! One FIFO queue per conflict class (Figure 2). Transactions enter in
+//! tentative (Opt-delivery) order, at most one per class executes at a
+//! time, and the head commits only when it is both fully `executed` and
+//! `committable` (TO-delivered). When TO-delivery reveals the tentative
+//! order was wrong, the correctness-check module *reschedules*: the
+//! TO-delivered transaction moves in front of the first `pending` entry
+//! (step CC10), and a `pending` head caught executing is aborted (CC8).
+//!
+//! The structural invariant maintained throughout (and checked by
+//! [`ClassQueue::check_invariants`]) is the one the paper's proof relies
+//! on: **all `committable` entries precede all `pending` entries**, and
+//! only the head may be `executed`.
+
+use crate::txn::{DeliveryState, ExecState, TxnId, TxnRequest};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One entry in a class queue.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// The transaction request (procedure + args + class).
+    pub request: TxnRequest,
+    /// Execution state: `Active` or `Executed`.
+    pub exec: ExecState,
+    /// Delivery state: `Pending` or `Committable`.
+    pub delivery: DeliveryState,
+    /// Execution attempt number — bumped by aborts, so that a stale
+    /// completion event for a cancelled attempt can be recognized and
+    /// discarded.
+    pub attempt: u32,
+}
+
+impl QueueEntry {
+    fn new(request: TxnRequest) -> Self {
+        QueueEntry {
+            request,
+            exec: ExecState::Active,
+            delivery: DeliveryState::Pending,
+            attempt: 0,
+        }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.request.id
+    }
+}
+
+/// Errors from queue operations — they indicate protocol bugs, so replicas
+/// treat them as fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueError {
+    /// The transaction is not in this queue.
+    NotQueued(TxnId),
+    /// The operation requires the transaction to be the queue head.
+    NotHead(TxnId),
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::NotQueued(t) => write!(f, "transaction {t} is not in the queue"),
+            QueueError::NotHead(t) => write!(f, "transaction {t} is not the queue head"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// The FIFO class queue with the paper's rescheduling operation.
+///
+/// # Examples
+///
+/// ```
+/// use otp_txn::queue::ClassQueue;
+/// use otp_txn::txn::{TxnId, TxnRequest};
+/// use otp_simnet::SiteId;
+/// use otp_storage::{ClassId, ProcId};
+///
+/// let req = |seq| TxnRequest::new(
+///     TxnId::new(SiteId::new(0), seq), ClassId::new(0), ProcId::new(0), vec![],
+/// );
+/// let mut q = ClassQueue::new(ClassId::new(0));
+/// assert!(q.append(req(0)), "first entry should start executing");
+/// assert!(!q.append(req(1)), "second waits");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassQueue {
+    class: otp_storage::ClassId,
+    entries: VecDeque<QueueEntry>,
+}
+
+impl ClassQueue {
+    /// Creates an empty queue for `class`.
+    pub fn new(class: otp_storage::ClassId) -> Self {
+        ClassQueue { class, entries: VecDeque::new() }
+    }
+
+    /// The conflict class this queue serializes.
+    pub fn class(&self) -> otp_storage::ClassId {
+        self.class
+    }
+
+    /// Number of queued transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if no transactions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an Opt-delivered transaction (steps S1–S2: enters `pending`
+    /// and `active`). Returns `true` if it is now the only entry — i.e. the
+    /// caller should submit it for execution (S3–S4).
+    pub fn append(&mut self, request: TxnRequest) -> bool {
+        self.entries.push_back(QueueEntry::new(request));
+        self.entries.len() == 1
+    }
+
+    /// The head entry.
+    pub fn head(&self) -> Option<&QueueEntry> {
+        self.entries.front()
+    }
+
+    /// Position of a transaction in the queue.
+    pub fn position(&self, txn: TxnId) -> Option<usize> {
+        self.entries.iter().position(|e| e.id() == txn)
+    }
+
+    /// Immutable entry lookup.
+    pub fn entry(&self, txn: TxnId) -> Option<&QueueEntry> {
+        self.entries.iter().find(|e| e.id() == txn)
+    }
+
+    /// Iterates entries front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// Marks the head as fully executed (step E5).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `txn` is not the head — only the head ever executes.
+    pub fn mark_executed(&mut self, txn: TxnId) -> Result<(), QueueError> {
+        let head = self.entries.front_mut().ok_or(QueueError::NotQueued(txn))?;
+        if head.id() != txn {
+            return Err(QueueError::NotHead(txn));
+        }
+        head.exec = ExecState::Executed;
+        Ok(())
+    }
+
+    /// Marks a transaction committable (step CC6).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is not queued.
+    pub fn mark_committable(&mut self, txn: TxnId) -> Result<(), QueueError> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.id() == txn)
+            .ok_or(QueueError::NotQueued(txn))?;
+        e.delivery = DeliveryState::Committable;
+        Ok(())
+    }
+
+    /// Removes the head for commit (steps E2/CC3). Returns the removed
+    /// entry and whether a next head exists (to submit, E3/CC4).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `txn` is not the head.
+    pub fn commit_head(&mut self, txn: TxnId) -> Result<(QueueEntry, bool), QueueError> {
+        match self.entries.front() {
+            Some(h) if h.id() == txn => {}
+            Some(_) => return Err(QueueError::NotHead(txn)),
+            None => return Err(QueueError::NotQueued(txn)),
+        }
+        let e = self.entries.pop_front().expect("checked head");
+        Ok((e, !self.entries.is_empty()))
+    }
+
+    /// Aborts the head (step CC8): resets it to `active` + bumps its
+    /// attempt counter so the in-flight execution's completion is ignored.
+    /// The entry *stays queued* — "the aborted transaction will be
+    /// reexecuted at a later point in time".
+    ///
+    /// # Errors
+    ///
+    /// Fails if the queue is empty.
+    pub fn abort_head(&mut self) -> Result<TxnId, QueueError> {
+        let head = self
+            .entries
+            .front_mut()
+            .ok_or(QueueError::NotQueued(TxnId::new(otp_simnet::SiteId::new(0), 0)))?;
+        head.exec = ExecState::Active;
+        head.attempt += 1;
+        Ok(head.id())
+    }
+
+    /// Reschedules a committable transaction before the first `pending`
+    /// entry (step CC10). Returns its new position.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is not queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the transaction is not committable — CC10 is only
+    /// ever applied to the just-TO-delivered transaction.
+    pub fn reschedule_before_first_pending(&mut self, txn: TxnId) -> Result<usize, QueueError> {
+        let from = self.position(txn).ok_or(QueueError::NotQueued(txn))?;
+        debug_assert_eq!(
+            self.entries[from].delivery,
+            DeliveryState::Committable,
+            "CC10 applies to TO-delivered transactions"
+        );
+        let entry = self.entries.remove(from).expect("position is valid");
+        let to = self
+            .entries
+            .iter()
+            .position(|e| e.delivery == DeliveryState::Pending)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(to, entry);
+        Ok(to)
+    }
+
+    /// Bumps the attempt counter of the head and returns `(id, attempt)` —
+    /// used when submitting an execution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the queue is empty.
+    pub fn head_for_execution(&mut self) -> Result<(TxnId, u32), QueueError> {
+        let head = self
+            .entries
+            .front()
+            .ok_or(QueueError::NotQueued(TxnId::new(otp_simnet::SiteId::new(0), 0)))?;
+        Ok((head.id(), head.attempt))
+    }
+
+    /// The paper's structural invariant: committable entries form a prefix,
+    /// and only the head may be executed.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen_pending = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            match e.delivery {
+                DeliveryState::Pending => seen_pending = true,
+                DeliveryState::Committable if seen_pending => {
+                    return Err(format!(
+                        "committable {} at position {i} after a pending entry",
+                        e.id()
+                    ));
+                }
+                DeliveryState::Committable => {}
+            }
+            if e.exec == ExecState::Executed && i != 0 {
+                return Err(format!("executed {} at non-head position {i}", e.id()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otp_simnet::SiteId;
+    use otp_storage::{ClassId, ProcId};
+
+    fn req(seq: u64) -> TxnRequest {
+        TxnRequest::new(TxnId::new(SiteId::new(0), seq), ClassId::new(0), ProcId::new(0), vec![])
+    }
+
+    fn id(seq: u64) -> TxnId {
+        TxnId::new(SiteId::new(0), seq)
+    }
+
+    fn queue_with(n: u64) -> ClassQueue {
+        let mut q = ClassQueue::new(ClassId::new(0));
+        for s in 0..n {
+            q.append(req(s));
+        }
+        q
+    }
+
+    #[test]
+    fn append_signals_first_entry() {
+        let mut q = ClassQueue::new(ClassId::new(0));
+        assert!(q.append(req(0)));
+        assert!(!q.append(req(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.head().unwrap().id(), id(0));
+        assert_eq!(q.position(id(1)), Some(1));
+        assert_eq!(q.class(), ClassId::new(0));
+    }
+
+    #[test]
+    fn entries_enter_pending_active() {
+        let q = queue_with(1);
+        let e = q.head().unwrap();
+        assert_eq!(e.exec, ExecState::Active);
+        assert_eq!(e.delivery, DeliveryState::Pending);
+        assert_eq!(e.attempt, 0);
+    }
+
+    #[test]
+    fn mark_executed_only_head() {
+        let mut q = queue_with(2);
+        assert_eq!(q.mark_executed(id(1)), Err(QueueError::NotHead(id(1))));
+        q.mark_executed(id(0)).unwrap();
+        assert_eq!(q.head().unwrap().exec, ExecState::Executed);
+        assert!(q.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn commit_head_pops_and_signals_next() {
+        let mut q = queue_with(2);
+        q.mark_committable(id(0)).unwrap();
+        let (e, has_next) = q.commit_head(id(0)).unwrap();
+        assert_eq!(e.id(), id(0));
+        assert!(has_next);
+        let (_, has_next) = q.commit_head(id(1)).unwrap();
+        assert!(!has_next);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn commit_non_head_fails() {
+        let mut q = queue_with(2);
+        assert_eq!(q.commit_head(id(1)).unwrap_err(), QueueError::NotHead(id(1)));
+        let mut empty = ClassQueue::new(ClassId::new(0));
+        assert!(matches!(empty.commit_head(id(0)), Err(QueueError::NotQueued(_))));
+    }
+
+    #[test]
+    fn abort_resets_and_bumps_attempt() {
+        let mut q = queue_with(1);
+        q.mark_executed(id(0)).unwrap();
+        let aborted = q.abort_head().unwrap();
+        assert_eq!(aborted, id(0));
+        let e = q.head().unwrap();
+        assert_eq!(e.exec, ExecState::Active);
+        assert_eq!(e.attempt, 1);
+        // Still pending — abort does not change delivery state.
+        assert_eq!(e.delivery, DeliveryState::Pending);
+    }
+
+    /// The paper's first §3.3 example: CQ = T1[a,c], T2[a,p], T3[a,p];
+    /// T3 is TO-delivered next → rescheduled between T1 and T2.
+    #[test]
+    fn paper_example_reschedule_behind_committable() {
+        let mut q = queue_with(3);
+        q.mark_committable(id(0)).unwrap(); // T1 committable, still active
+        q.mark_committable(id(2)).unwrap(); // T3 TO-delivered (CC6)
+        let pos = q.reschedule_before_first_pending(id(2)).unwrap();
+        assert_eq!(pos, 1);
+        let order: Vec<TxnId> = q.iter().map(|e| e.id()).collect();
+        assert_eq!(order, vec![id(0), id(2), id(1)]);
+        assert!(q.check_invariants().is_ok());
+    }
+
+    /// The paper's second §3.3 example: CQ = T1[e,p], T2[a,p], T3[a,p];
+    /// T3 TO-delivered first → T1 aborted, T3 moves to the front.
+    #[test]
+    fn paper_example_abort_pending_head() {
+        let mut q = queue_with(3);
+        q.mark_executed(id(0)).unwrap(); // T1 executed but pending
+        // CC6: T3 committable; CC7-8: head pending → abort; CC10: move T3.
+        q.mark_committable(id(2)).unwrap();
+        q.abort_head().unwrap();
+        let pos = q.reschedule_before_first_pending(id(2)).unwrap();
+        assert_eq!(pos, 0);
+        let order: Vec<TxnId> = q.iter().map(|e| e.id()).collect();
+        assert_eq!(order, vec![id(2), id(0), id(1)]);
+        let head = q.head().unwrap();
+        assert_eq!(head.delivery, DeliveryState::Committable);
+        // T1 is active again, attempt bumped.
+        let t1 = q.entry(id(0)).unwrap();
+        assert_eq!(t1.exec, ExecState::Active);
+        assert_eq!(t1.attempt, 1);
+        assert!(q.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn reschedule_keeps_committable_prefix() {
+        let mut q = queue_with(5);
+        // TO-deliver 3, then 1, then 4 — each goes before first pending.
+        for t in [3u64, 1, 4] {
+            q.mark_committable(id(t)).unwrap();
+            q.reschedule_before_first_pending(id(t)).unwrap();
+            assert!(q.check_invariants().is_ok(), "after {t}: {q:?}");
+        }
+        let order: Vec<TxnId> = q.iter().map(|e| e.id()).collect();
+        assert_eq!(order, vec![id(3), id(1), id(4), id(0), id(2)]);
+    }
+
+    #[test]
+    fn reschedule_missing_txn_fails() {
+        let mut q = queue_with(1);
+        assert!(matches!(
+            q.reschedule_before_first_pending(id(9)),
+            Err(QueueError::NotQueued(_))
+        ));
+        assert!(matches!(q.mark_committable(id(9)), Err(QueueError::NotQueued(_))));
+    }
+
+    #[test]
+    fn head_for_execution_reports_attempt() {
+        let mut q = queue_with(1);
+        assert_eq!(q.head_for_execution().unwrap(), (id(0), 0));
+        q.abort_head().unwrap();
+        assert_eq!(q.head_for_execution().unwrap(), (id(0), 1));
+        let mut empty = ClassQueue::new(ClassId::new(0));
+        assert!(empty.head_for_execution().is_err());
+        assert!(empty.abort_head().is_err());
+    }
+
+    #[test]
+    fn invariant_detects_violations() {
+        let mut q = queue_with(3);
+        // Force an illegal state manually: committable after pending.
+        q.mark_committable(id(2)).unwrap();
+        assert!(q.check_invariants().is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Random interleavings of the queue operations preserve the
+        /// committable-prefix invariant and never lose transactions.
+        #[test]
+        fn prop_random_ops_keep_invariants(ops in proptest::collection::vec(0u8..5, 1..60)) {
+            let mut q = ClassQueue::new(ClassId::new(0));
+            let mut next_seq = 0u64;
+            let mut to_order: Vec<TxnId> = Vec::new(); // ids TO-delivered so far
+            let mut committed = 0usize;
+            let mut appended = 0usize;
+            for op in ops {
+                match op {
+                    // Opt-deliver a new transaction.
+                    0 | 1 => {
+                        q.append(req(next_seq));
+                        next_seq += 1;
+                        appended += 1;
+                    }
+                    // TO-deliver the oldest not-yet-TO-delivered entry
+                    // (mimics CC6+CC10).
+                    2 => {
+                        let candidate = q
+                            .iter()
+                            .filter(|e| e.delivery == DeliveryState::Pending)
+                            .map(|e| e.id())
+                            .min_by_key(|t| t.seq);
+                        if let Some(t) = candidate {
+                            q.mark_committable(t).unwrap();
+                            // CC7/CC8: abort a pending head first.
+                            if let Some(h) = q.head() {
+                                if h.delivery == DeliveryState::Pending && h.id() != t {
+                                    q.abort_head().unwrap();
+                                }
+                            }
+                            q.reschedule_before_first_pending(t).unwrap();
+                            to_order.push(t);
+                        }
+                    }
+                    // Execute the head.
+                    3 => {
+                        if let Some(h) = q.head().map(|e| e.id()) {
+                            let _ = q.mark_executed(h);
+                        }
+                    }
+                    // Commit the head if executed + committable.
+                    _ => {
+                        if let Some(h) = q.head() {
+                            if h.exec == ExecState::Executed
+                                && h.delivery == DeliveryState::Committable
+                            {
+                                let id = h.id();
+                                q.commit_head(id).unwrap();
+                                committed += 1;
+                            }
+                        }
+                    }
+                }
+                proptest::prop_assert!(q.check_invariants().is_ok(), "{:?}", q);
+            }
+            proptest::prop_assert_eq!(q.len() + committed, appended, "no entry lost");
+        }
+    }
+}

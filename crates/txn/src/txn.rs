@@ -1,0 +1,118 @@
+//! Transaction identity, state and requests.
+
+use otp_simnet::SiteId;
+use otp_storage::{ClassId, ProcId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique transaction identifier: originating site plus a local
+/// sequence number. In the OTP architecture a transaction travels as one
+/// broadcast message, so its id mirrors the message id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId {
+    /// Site where the client submitted the transaction.
+    pub origin: SiteId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Creates a transaction id.
+    pub const fn new(origin: SiteId, seq: u64) -> Self {
+        TxnId { origin, seq }
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[{}:{}]", self.origin, self.seq)
+    }
+}
+
+/// Execution state of a transaction in its class queue (Section 3.3):
+/// `active` while its procedure is running (or waiting to run), `executed`
+/// once the procedure finished but the transaction cannot commit yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecState {
+    /// Not yet completely executed.
+    Active,
+    /// Completely executed, awaiting TO-delivery (only ever the queue head).
+    Executed,
+}
+
+/// Delivery state of a transaction (Section 3.3): `pending` after
+/// Opt-delivery — its position is tentative; `committable` after
+/// TO-delivery — its definitive position is fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryState {
+    /// Only optimistically delivered; may still be reordered or aborted.
+    Pending,
+    /// Definitively delivered; its serialization position is final.
+    Committable,
+}
+
+/// An update-transaction request: the unit that gets TO-broadcast.
+///
+/// Carries everything a remote site needs to execute the transaction
+/// deterministically: the stored procedure, its arguments and the conflict
+/// class (declared in advance — Section 2.4: "Since they are predefined,
+/// the type of the transaction can be declared in advance").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnRequest {
+    /// Unique id (assigned at the origin site).
+    pub id: TxnId,
+    /// Conflict class the transaction belongss to.
+    pub class: ClassId,
+    /// Stored procedure to run.
+    pub proc: ProcId,
+    /// Procedure arguments.
+    pub args: Vec<Value>,
+}
+
+impl TxnRequest {
+    /// Creates a request.
+    pub fn new(id: TxnId, class: ClassId, proc: ProcId, args: Vec<Value>) -> Self {
+        TxnRequest { id, class, proc, args }
+    }
+
+    /// Approximate wire size (used by the network model).
+    pub fn size_bytes(&self) -> u32 {
+        16 + 8 + self.args.iter().map(|v| v.size_bytes()).sum::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_ordering_and_display() {
+        let a = TxnId::new(SiteId::new(0), 3);
+        let b = TxnId::new(SiteId::new(1), 0);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "T[N0:3]");
+    }
+
+    #[test]
+    fn request_size_scales_with_args() {
+        let small = TxnRequest::new(
+            TxnId::new(SiteId::new(0), 0),
+            ClassId::new(0),
+            ProcId::new(0),
+            vec![],
+        );
+        let big = TxnRequest::new(
+            TxnId::new(SiteId::new(0), 1),
+            ClassId::new(0),
+            ProcId::new(0),
+            vec![Value::Bytes(vec![0; 100])],
+        );
+        assert!(big.size_bytes() > small.size_bytes() + 90);
+    }
+
+    #[test]
+    fn states_are_comparable() {
+        assert_ne!(ExecState::Active, ExecState::Executed);
+        assert_ne!(DeliveryState::Pending, DeliveryState::Committable);
+    }
+}

@@ -1,0 +1,417 @@
+//! Workload specification and schedule generation.
+//!
+//! A [`WorkloadSpec`] describes *what* load to offer (arrival process,
+//! conflict-class skew, query mix); [`WorkloadSpec::generate`] turns it
+//! into a concrete, deterministic [`Schedule`] of client operations, and
+//! [`Schedule::apply`] feeds that schedule into a [`Cluster`]. Keeping the
+//! schedule explicit means the *same* client behaviour can be replayed
+//! against OTP, the conservative baseline and the lazy baseline — which is
+//! what makes the comparison experiments fair.
+
+use otp_core::{AsyncCluster, Cluster};
+use otp_simnet::rng::Zipf;
+use otp_simnet::{SimDuration, SimRng, SimTime, SiteId};
+use otp_storage::{ClassId, ObjectId, ProcId, Value};
+use otp_txn::txn::TxnId;
+
+use crate::procs::StandardProcs;
+
+/// How transactions pick their conflict class.
+#[derive(Debug, Clone, Copy)]
+pub enum ClassSelection {
+    /// Uniform over all classes.
+    Uniform,
+    /// Zipf-distributed: rank 0 is the hottest class.
+    Zipf {
+        /// Skew exponent (0 = uniform, 1 ≈ classic Zipf).
+        exponent: f64,
+    },
+    /// A fraction of classes is "hot" and attracts most transactions.
+    HotSpot {
+        /// Fraction of classes that are hot (e.g. 0.1).
+        hot_fraction: f64,
+        /// Probability that a transaction goes to a hot class (e.g. 0.9).
+        hot_probability: f64,
+    },
+}
+
+/// Inter-arrival process of client requests per site.
+#[derive(Debug, Clone, Copy)]
+pub enum Arrival {
+    /// Fixed spacing between consecutive requests at a site.
+    Fixed(SimDuration),
+    /// Poisson arrivals with the given mean inter-arrival time.
+    Poisson {
+        /// Mean time between requests at one site.
+        mean: SimDuration,
+    },
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of sites issuing requests.
+    pub sites: usize,
+    /// Number of conflict classes.
+    pub classes: usize,
+    /// Objects per class (keys `0..objects_per_class`).
+    pub objects_per_class: u64,
+    /// Total update transactions to issue (across all sites).
+    pub updates: u64,
+    /// Fraction of additional read-only queries, relative to updates
+    /// (0.5 = one query per two updates).
+    pub query_ratio: f64,
+    /// Number of classes each query reads one object from.
+    pub query_classes: usize,
+    /// Class selection skew.
+    pub selection: ClassSelection,
+    /// Arrival process (per site).
+    pub arrival: Arrival,
+    /// Seed for the generator's private random stream.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A balanced default: uniform classes, fixed 1 ms arrivals, no
+    /// queries.
+    pub fn new(sites: usize, classes: usize, updates: u64) -> Self {
+        WorkloadSpec {
+            sites,
+            classes,
+            objects_per_class: 16,
+            updates,
+            query_ratio: 0.0,
+            query_classes: 2,
+            selection: ClassSelection::Uniform,
+            arrival: Arrival::Fixed(SimDuration::from_millis(1)),
+            seed: 1,
+        }
+    }
+
+    /// Sets the class-selection skew.
+    pub fn with_selection(mut self, s: ClassSelection) -> Self {
+        self.selection = s;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn with_arrival(mut self, a: Arrival) -> Self {
+        self.arrival = a;
+        self
+    }
+
+    /// Sets the query mix.
+    pub fn with_queries(mut self, ratio: f64, classes_per_query: usize) -> Self {
+        self.query_ratio = ratio;
+        self.query_classes = classes_per_query.max(1);
+        self
+    }
+
+    /// Sets the generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Initial data matching the spec: every object starts at `Int(1000)`
+    /// (large enough that `transfer` business rules rarely fire).
+    pub fn initial_data(&self) -> Vec<(ObjectId, Value)> {
+        let mut data = Vec::new();
+        for c in 0..self.classes as u32 {
+            for k in 0..self.objects_per_class {
+                data.push((ObjectId::new(c, k), Value::Int(1000)));
+            }
+        }
+        data
+    }
+
+    /// Generates the deterministic operation schedule.
+    pub fn generate(&self, procs: &StandardProcs) -> Schedule {
+        let mut rng = SimRng::seed_from(self.seed);
+        let zipf = match self.selection {
+            ClassSelection::Zipf { exponent } => Some(Zipf::new(self.classes, exponent)),
+            _ => None,
+        };
+        let mut ops = Vec::new();
+        // Per-site clocks, de-phased so clients at different sites do not
+        // submit at exactly the same instant (real clients are not
+        // synchronized; simultaneous submissions would race on the wire
+        // and inflate baseline tentative-order mismatches).
+        let base_step = match self.arrival {
+            Arrival::Fixed(d) => d,
+            Arrival::Poisson { mean } => mean,
+        };
+        let clocks_init: Vec<SimTime> = (0..self.sites)
+            .map(|i| SimTime::from_millis(1) + base_step.mul_u64(i as u64).div_u64(self.sites as u64))
+            .collect();
+        let mut clocks = clocks_init;
+        let advance = |rng: &mut SimRng, t: &mut SimTime| {
+            let step = match self.arrival {
+                Arrival::Fixed(d) => d,
+                Arrival::Poisson { mean } => {
+                    SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+                }
+            };
+            *t += step;
+            *t
+        };
+        let pick_class = |rng: &mut SimRng, zipf: &Option<Zipf>| -> ClassId {
+            let idx = match self.selection {
+                ClassSelection::Uniform => rng.index(self.classes),
+                ClassSelection::Zipf { .. } => zipf.as_ref().expect("built above").sample(rng),
+                ClassSelection::HotSpot { hot_fraction, hot_probability } => {
+                    let hot = ((self.classes as f64 * hot_fraction).ceil() as usize)
+                        .clamp(1, self.classes);
+                    if rng.chance(hot_probability) {
+                        rng.index(hot)
+                    } else if hot < self.classes {
+                        hot + rng.index(self.classes - hot)
+                    } else {
+                        rng.index(self.classes)
+                    }
+                }
+            };
+            ClassId::new(idx as u32)
+        };
+
+        let queries = (self.updates as f64 * self.query_ratio).round() as u64;
+        let total = self.updates + queries;
+        for i in 0..total {
+            let site = SiteId::new((i % self.sites as u64) as u16);
+            let at = advance(&mut rng, &mut clocks[site.index()]);
+            // Interleave exactly `queries` queries, spread evenly: position
+            // i is a query when the scaled counter crosses an integer.
+            let is_query = ((i + 1) * queries) / total > (i * queries) / total;
+            if is_query {
+                let mut reads = Vec::new();
+                let mut classes_left = self.query_classes.min(self.classes);
+                let mut c = pick_class(&mut rng, &zipf).raw() as usize;
+                while classes_left > 0 {
+                    let key = rng.uniform_range(0, self.objects_per_class);
+                    reads.push(ObjectId::new((c % self.classes) as u32, key));
+                    c += 1;
+                    classes_left -= 1;
+                }
+                ops.push(Op::Query { at, site, reads });
+            } else {
+                let class = pick_class(&mut rng, &zipf);
+                let key = rng.uniform_range(0, self.objects_per_class) as i64;
+                let delta = 1 + rng.uniform_range(0, 10) as i64;
+                ops.push(Op::Update {
+                    at,
+                    site,
+                    class,
+                    proc: procs.add,
+                    args: vec![Value::Int(key), Value::Int(delta)],
+                });
+            }
+        }
+        ops.sort_by_key(|o| o.at());
+        Schedule { ops }
+    }
+}
+
+/// One client operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// An update transaction request.
+    Update {
+        /// Submission time.
+        at: SimTime,
+        /// Client's site.
+        site: SiteId,
+        /// Conflict class.
+        class: ClassId,
+        /// Stored procedure.
+        proc: ProcId,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// A read-only query.
+    Query {
+        /// Submission time.
+        at: SimTime,
+        /// Client's site.
+        site: SiteId,
+        /// Objects to read.
+        reads: Vec<ObjectId>,
+    },
+}
+
+impl Op {
+    /// Submission time of the operation.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Op::Update { at, .. } | Op::Query { at, .. } => *at,
+        }
+    }
+}
+
+/// A deterministic, replayable operation schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Operations sorted by submission time.
+    pub ops: Vec<Op>,
+}
+
+impl Schedule {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns true if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of update operations.
+    pub fn updates(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Update { .. })).count()
+    }
+
+    /// Number of query operations.
+    pub fn queries(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Query { .. })).count()
+    }
+
+    /// The time of the last submission.
+    pub fn end_time(&self) -> SimTime {
+        self.ops.last().map(Op::at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Feeds the schedule into a simulated cluster. Returns the ids of all
+    /// scheduled update transactions.
+    pub fn apply(&self, cluster: &mut Cluster) -> Vec<TxnId> {
+        let mut ids = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Update { at, site, class, proc, args } => {
+                    ids.push(cluster.schedule_update(*at, *site, *class, *proc, args.clone()));
+                }
+                Op::Query { at, site, reads } => {
+                    cluster.schedule_query(*at, *site, reads.clone());
+                }
+            }
+        }
+        ids
+    }
+
+    /// Feeds the schedule into the lazy-replication cluster.
+    pub fn apply_async(&self, cluster: &mut AsyncCluster) -> Vec<TxnId> {
+        let mut ids = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Update { at, site, class, proc, args } => {
+                    ids.push(cluster.schedule_update(*at, *site, *class, *proc, args.clone()));
+                }
+                Op::Query { at, site, reads } => {
+                    cluster.schedule_query(*at, *site, reads.clone());
+                }
+            }
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procs() -> StandardProcs {
+        StandardProcs::registry().1
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let spec = WorkloadSpec::new(4, 8, 100).with_queries(0.5, 2);
+        let s = spec.generate(&procs());
+        assert_eq!(s.updates(), 100);
+        assert_eq!(s.queries(), 50);
+        assert_eq!(s.len(), 150);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_and_deterministic() {
+        let spec = WorkloadSpec::new(3, 4, 60).with_seed(9);
+        let a = spec.generate(&procs());
+        let b = spec.generate(&procs());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(x.at(), y.at());
+        }
+        for w in a.ops.windows(2) {
+            assert!(w[0].at() <= w[1].at());
+        }
+        assert!(a.end_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn zipf_selection_skews_classes() {
+        let spec = WorkloadSpec::new(2, 16, 2000)
+            .with_selection(ClassSelection::Zipf { exponent: 1.2 });
+        let s = spec.generate(&procs());
+        let mut counts = vec![0u32; 16];
+        for op in &s.ops {
+            if let Op::Update { class, .. } = op {
+                counts[class.index()] += 1;
+            }
+        }
+        assert!(counts[0] > counts[8] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn hotspot_selection_concentrates() {
+        let spec = WorkloadSpec::new(2, 10, 2000).with_selection(ClassSelection::HotSpot {
+            hot_fraction: 0.1,
+            hot_probability: 0.9,
+        });
+        let s = spec.generate(&procs());
+        let mut hot = 0u32;
+        for op in &s.ops {
+            if let Op::Update { class, .. } = op {
+                if class.index() == 0 {
+                    hot += 1;
+                }
+            }
+        }
+        // ~90% should land on the single hot class.
+        assert!(hot > 1500, "{hot}");
+    }
+
+    #[test]
+    fn poisson_arrivals_vary_spacing() {
+        let spec = WorkloadSpec::new(1, 2, 200)
+            .with_arrival(Arrival::Poisson { mean: SimDuration::from_millis(2) });
+        let s = spec.generate(&procs());
+        let gaps: Vec<u64> = s
+            .ops
+            .windows(2)
+            .map(|w| (w[1].at() - w[0].at()).as_nanos())
+            .collect();
+        let distinct: std::collections::HashSet<u64> = gaps.iter().copied().collect();
+        assert!(distinct.len() > 20, "exponential gaps should vary");
+    }
+
+    #[test]
+    fn initial_data_covers_all_objects() {
+        let spec = WorkloadSpec::new(2, 3, 10);
+        let data = spec.initial_data();
+        assert_eq!(data.len(), 3 * 16);
+        assert!(data.iter().all(|(_, v)| *v == Value::Int(1000)));
+    }
+
+    #[test]
+    fn query_reads_span_distinct_classes() {
+        let spec = WorkloadSpec::new(2, 8, 40).with_queries(1.0, 3);
+        let s = spec.generate(&procs());
+        for op in &s.ops {
+            if let Op::Query { reads, .. } = op {
+                assert_eq!(reads.len(), 3);
+                let classes: std::collections::HashSet<u32> =
+                    reads.iter().map(|o| o.class.raw()).collect();
+                assert_eq!(classes.len(), 3, "distinct classes per query");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # otp-workload — workload generators for otpdb experiments
+//!
+//! The ICDCS'99 OTP paper's claims are parameterized by conflict rate,
+//! class skew and load; this crate generates the corresponding client
+//! behaviour deterministically:
+//!
+//! * [`procs::StandardProcs`] — the stored-procedure library every
+//!   experiment shares (`add`, `transfer`, `set`, `touch_n`);
+//! * [`gen::WorkloadSpec`] — arrival processes (fixed, Poisson), conflict-
+//!   class selection (uniform, Zipf, hot-spot) and query mixes;
+//! * [`gen::Schedule`] — an explicit, replayable operation list that can
+//!   be applied unchanged to the OTP cluster, the conservative baseline
+//!   and the lazy-replication baseline, making comparisons apples-to-
+//!   apples.
+//!
+//! ```
+//! use otp_workload::{StandardProcs, WorkloadSpec};
+//!
+//! let (_registry, procs) = StandardProcs::registry();
+//! let schedule = WorkloadSpec::new(4, 8, 100).generate(&procs);
+//! assert_eq!(schedule.updates(), 100);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod procs;
+pub mod tpcb;
+
+pub use gen::{Arrival, ClassSelection, Op, Schedule, WorkloadSpec};
+pub use procs::StandardProcs;
+pub use tpcb::TpcB;

@@ -1,0 +1,169 @@
+//! The standard stored-procedure library used by examples and benches.
+//!
+//! All procedures follow the paper's model: deterministic, single conflict
+//! class, arguments carried in the broadcast request. [`StandardProcs`]
+//! registers them in a fresh [`ProcRegistry`] and remembers their ids.
+
+use otp_storage::{ObjectKey, ProcError, ProcId, ProcRegistry, Value};
+use std::sync::Arc;
+
+/// Ids of the standard procedures inside their registry.
+#[derive(Debug, Clone, Copy)]
+pub struct StandardProcs {
+    /// `add(key, delta)` — read-modify-write one object.
+    pub add: ProcId,
+    /// `transfer(from_key, to_key, amount)` — move value between two
+    /// objects of the same class; fails the business rule (but still
+    /// commits, deterministically) on insufficient funds.
+    pub transfer: ProcId,
+    /// `set(key, value)` — blind write.
+    pub set: ProcId,
+    /// `touch_n(key₀, …)` — read-modify-write each argument key (models a
+    /// transaction with a larger footprint).
+    pub touch_n: ProcId,
+}
+
+impl StandardProcs {
+    /// Builds a registry containing the standard procedures.
+    pub fn registry() -> (Arc<ProcRegistry>, StandardProcs) {
+        let mut reg = ProcRegistry::new();
+        let add = reg.register_fn("add", |ctx, args| {
+            let (k, d) = match (args.first(), args.get(1)) {
+                (Some(Value::Int(k)), Some(Value::Int(d))) => (ObjectKey::new(*k as u64), *d),
+                _ => return Err(ProcError::BadArgs("add(key, delta)".into())),
+            };
+            let v = ctx.read(k)?.as_int().unwrap_or(0);
+            ctx.write(k, Value::Int(v + d))?;
+            ctx.emit(Value::Int(v + d));
+            Ok(())
+        });
+        let transfer = reg.register_fn("transfer", |ctx, args| {
+            let (from, to, amount) = match (args.first(), args.get(1), args.get(2)) {
+                (Some(Value::Int(f)), Some(Value::Int(t)), Some(Value::Int(a))) => {
+                    (ObjectKey::new(*f as u64), ObjectKey::new(*t as u64), *a)
+                }
+                _ => return Err(ProcError::BadArgs("transfer(from, to, amount)".into())),
+            };
+            let src = ctx.read(from)?.as_int().unwrap_or(0);
+            if src < amount {
+                ctx.emit(Value::Bool(false));
+                return Err(ProcError::Rule(format!("insufficient funds: {src} < {amount}")));
+            }
+            let dst = ctx.read(to)?.as_int().unwrap_or(0);
+            ctx.write(from, Value::Int(src - amount))?;
+            ctx.write(to, Value::Int(dst + amount))?;
+            ctx.emit(Value::Bool(true));
+            Ok(())
+        });
+        let set = reg.register_fn("set", |ctx, args| {
+            let k = match args.first() {
+                Some(Value::Int(k)) => ObjectKey::new(*k as u64),
+                _ => return Err(ProcError::BadArgs("set(key, value)".into())),
+            };
+            let v = args.get(1).cloned().unwrap_or(Value::Null);
+            ctx.write(k, v)?;
+            Ok(())
+        });
+        let touch_n = reg.register_fn("touch_n", |ctx, args| {
+            if args.is_empty() {
+                return Err(ProcError::BadArgs("touch_n(key, …)".into()));
+            }
+            for a in args {
+                let Some(k) = a.as_int() else {
+                    return Err(ProcError::BadArgs("touch_n takes integer keys".into()));
+                };
+                let key = ObjectKey::new(k as u64);
+                let v = ctx.read(key)?.as_int().unwrap_or(0);
+                ctx.write(key, Value::Int(v + 1))?;
+            }
+            Ok(())
+        });
+        (Arc::new(reg), StandardProcs { add, transfer, set, touch_n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otp_storage::{ClassId, Database, ObjectId, TxnCtx};
+
+    fn db() -> Database {
+        let mut d = Database::new(1);
+        d.load(ObjectId::new(0, 0), Value::Int(100));
+        d.load(ObjectId::new(0, 1), Value::Int(50));
+        d
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let (reg, procs) = StandardProcs::registry();
+        let mut d = db();
+        let mut ctx = TxnCtx::new(&mut d, ClassId::new(0));
+        reg.get(procs.add)
+            .unwrap()
+            .execute(&mut ctx, &[Value::Int(0), Value::Int(11)])
+            .unwrap();
+        let eff = ctx.finish();
+        assert_eq!(eff.output, vec![Value::Int(111)]);
+    }
+
+    #[test]
+    fn transfer_moves_funds() {
+        let (reg, procs) = StandardProcs::registry();
+        let mut d = db();
+        let mut ctx = TxnCtx::new(&mut d, ClassId::new(0));
+        reg.get(procs.transfer)
+            .unwrap()
+            .execute(&mut ctx, &[Value::Int(0), Value::Int(1), Value::Int(30)])
+            .unwrap();
+        drop(ctx);
+        let p = d.partition(ClassId::new(0)).unwrap();
+        assert_eq!(p.read_current(ObjectKey::new(0)), Some(&Value::Int(70)));
+        assert_eq!(p.read_current(ObjectKey::new(1)), Some(&Value::Int(80)));
+    }
+
+    #[test]
+    fn transfer_insufficient_funds_is_rule_error() {
+        let (reg, procs) = StandardProcs::registry();
+        let mut d = db();
+        let mut ctx = TxnCtx::new(&mut d, ClassId::new(0));
+        let err = reg
+            .get(procs.transfer)
+            .unwrap()
+            .execute(&mut ctx, &[Value::Int(0), Value::Int(1), Value::Int(1000)])
+            .unwrap_err();
+        assert!(matches!(err, ProcError::Rule(_)));
+        // Nothing was written.
+        assert!(ctx.finish().undo.is_empty());
+    }
+
+    #[test]
+    fn set_and_touch() {
+        let (reg, procs) = StandardProcs::registry();
+        let mut d = db();
+        let mut ctx = TxnCtx::new(&mut d, ClassId::new(0));
+        reg.get(procs.set)
+            .unwrap()
+            .execute(&mut ctx, &[Value::Int(5), Value::from("hello")])
+            .unwrap();
+        reg.get(procs.touch_n)
+            .unwrap()
+            .execute(&mut ctx, &[Value::Int(0), Value::Int(1)])
+            .unwrap();
+        drop(ctx);
+        let p = d.partition(ClassId::new(0)).unwrap();
+        assert_eq!(p.read_current(ObjectKey::new(5)), Some(&Value::from("hello")));
+        assert_eq!(p.read_current(ObjectKey::new(0)), Some(&Value::Int(101)));
+    }
+
+    #[test]
+    fn bad_args_everywhere() {
+        let (reg, procs) = StandardProcs::registry();
+        let mut d = db();
+        for id in [procs.add, procs.transfer, procs.set, procs.touch_n] {
+            let mut ctx = TxnCtx::new(&mut d, ClassId::new(0));
+            let err = reg.get(id).unwrap().execute(&mut ctx, &[]).unwrap_err();
+            assert!(matches!(err, ProcError::BadArgs(_)), "{id}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Banking: branch-partitioned accounts with consistent audit queries.
+//!
+//! Run with: `cargo run --example banking`
+//!
+//! The scenario the paper's Section 5 motivates: the update load is
+//! branch-local (each branch is one conflict class — transfers move money
+//! between accounts of the same branch), while *audit queries* sweep all
+//! branches. Under OTP the audits read multi-class snapshots at index
+//! `i.5`, so every audit sees a state consistent with the definitive
+//! transaction order — the total balance is always exact, even while
+//! transfers are in flight. Under lazy (commercial-style) replication the
+//! same audits can observe skewed totals.
+
+use otpdb::core::{AsyncCluster, AsyncConfig, Cluster, ClusterConfig};
+use otpdb::simnet::{SimDuration, SimTime, SiteId};
+use otpdb::storage::{ClassId, ObjectId, Value};
+use otpdb::workload::StandardProcs;
+
+const BRANCHES: u32 = 4;
+const ACCOUNTS: u64 = 8;
+const OPENING: i64 = 1_000;
+
+fn initial_data() -> Vec<(ObjectId, Value)> {
+    let mut data = Vec::new();
+    for b in 0..BRANCHES {
+        for a in 0..ACCOUNTS {
+            data.push((ObjectId::new(b, a), Value::Int(OPENING)));
+        }
+    }
+    data
+}
+
+fn audit_reads() -> Vec<ObjectId> {
+    (0..BRANCHES)
+        .flat_map(|b| (0..ACCOUNTS).map(move |a| ObjectId::new(b, a)))
+        .collect()
+}
+
+fn main() {
+    let expected_total = (BRANCHES as i64) * (ACCOUNTS as i64) * OPENING;
+    println!("== otpdb banking example ==");
+    println!("{BRANCHES} branches × {ACCOUNTS} accounts, opening balance {OPENING}");
+    println!("invariant: total balance always {expected_total}\n");
+
+    // ---------------- OTP cluster ----------------
+    let (registry, procs) = StandardProcs::registry();
+    let mut cluster = Cluster::new(ClusterConfig::new(4, BRANCHES as usize), registry, initial_data());
+
+    // 60 intra-branch transfers, submitted all over the cluster.
+    let mut t = SimTime::from_millis(1);
+    for i in 0..60u64 {
+        let branch = ClassId::new((i % BRANCHES as u64) as u32);
+        let site = SiteId::new((i % 4) as u16);
+        let from = (i % ACCOUNTS) as i64;
+        let to = ((i * 3 + 1) % ACCOUNTS) as i64;
+        cluster.schedule_update(
+            t,
+            site,
+            branch,
+            procs.transfer,
+            vec![Value::Int(from), Value::Int(to), Value::Int(25)],
+        );
+        t += SimDuration::from_micros(700);
+    }
+    // Audits at staggered times and different sites, racing the updates.
+    let mut audit_ids = Vec::new();
+    for q in 0..8u64 {
+        let at = SimTime::from_millis(2 + q * 5);
+        let site = SiteId::new((q % 4) as u16);
+        audit_ids.push(cluster.schedule_query(at, site, audit_reads()));
+    }
+    cluster.run_until(SimTime::from_secs(30));
+
+    println!("-- OTP (this paper) --");
+    let stats = cluster.stats();
+    println!("transfers committed: {}", stats.completed);
+    println!("aborts/reorders: {}/{}",
+             stats.counters.get("abort"), stats.counters.get("reorder"));
+    let mut all_exact = true;
+    for (i, qid) in audit_ids.iter().enumerate() {
+        let (snap, values) = &cluster.query_results[qid];
+        let total: i64 = values.iter().filter_map(Value::as_int).sum();
+        let exact = total == expected_total;
+        all_exact &= exact;
+        println!("audit {i} @ snapshot {snap}: total = {total} ({})",
+                 if exact { "exact" } else { "INCONSISTENT" });
+    }
+    assert!(all_exact, "every OTP audit sees an exact total");
+    assert!(cluster.converged());
+
+    // ---------------- Lazy replication, same story ----------------
+    println!("\n-- lazy primary-copy replication (commercial baseline) --");
+    let (registry, procs) = StandardProcs::registry();
+    let mut lazy = AsyncCluster::new(AsyncConfig::new(4, BRANCHES as usize), registry, initial_data());
+    let mut t = SimTime::from_millis(1);
+    for i in 0..60u64 {
+        let branch = ClassId::new((i % BRANCHES as u64) as u32);
+        let site = SiteId::new((i % 4) as u16);
+        let from = (i % ACCOUNTS) as i64;
+        let to = ((i * 3 + 1) % ACCOUNTS) as i64;
+        lazy.schedule_update(
+            t,
+            site,
+            branch,
+            procs.transfer,
+            vec![Value::Int(from), Value::Int(to), Value::Int(25)],
+        );
+        t += SimDuration::from_micros(700);
+    }
+    // Audits at *pairs of sites at the same instant*: each sees its own
+    // local read-committed state. Under lazy replication two such
+    // observations can order non-conflicting updates in opposite ways —
+    // the Section 5 anomaly.
+    let mut lazy_audits = Vec::new();
+    for q in 0..8u64 {
+        let at = SimTime::from_millis(2 + q * 5);
+        lazy_audits.push(lazy.schedule_query(at, SiteId::new(0), audit_reads()));
+        lazy_audits.push(lazy.schedule_query(at, SiteId::new(3), audit_reads()));
+    }
+    lazy.run_until(SimTime::from_secs(30));
+
+    use otpdb::txn::history::check_one_copy_serializable;
+    let lazy_check = check_one_copy_serializable(&lazy.histories());
+    let otp_check = check_one_copy_serializable(&cluster.histories());
+    println!("commit latency (local only): {}", lazy.commit_latency.clone().summary());
+    println!("write-set staleness at replicas: {}", lazy.staleness.clone().summary());
+    match &lazy_check {
+        Ok(()) => println!("1-copy-serializable: yes (this run got lucky)"),
+        Err(v) => println!("1-copy-serializable: NO — {v}"),
+    }
+    println!("\n-- verdict --");
+    println!("OTP    : 1-copy-serializable = {}", otp_check.is_ok());
+    println!("lazy   : 1-copy-serializable = {}", lazy_check.is_ok());
+    println!("OTP offers lazy-like latency (coordination hidden behind execution)");
+    println!("while every audit everywhere sees a definitively-ordered snapshot.");
+    assert!(otp_check.is_ok(), "OTP histories must always be serializable");
+}

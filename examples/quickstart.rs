@@ -1,0 +1,75 @@
+//! Quickstart: a 4-site replicated database running the OTP algorithm.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Four replicas connected by a simulated 10 Mbit/s LAN. A client submits
+//! debit/credit transactions at different sites; every update is
+//! TO-broadcast, executed optimistically at its tentative position and
+//! committed in the definitive total order. At the end all copies are
+//! provably identical.
+
+use otpdb::core::{Cluster, ClusterConfig};
+use otpdb::simnet::{SimDuration, SimTime, SiteId};
+use otpdb::storage::{ClassId, ObjectId, Value};
+use otpdb::workload::StandardProcs;
+
+fn main() {
+    // The standard stored-procedure library: add / transfer / set / touch_n.
+    let (registry, procs) = StandardProcs::registry();
+
+    // 4 sites, 2 conflict classes (think: two database partitions).
+    // Class 0 holds accounts 0-9, class 1 holds accounts 10-19.
+    let mut initial = Vec::new();
+    for class in 0..2u32 {
+        for key in 0..10u64 {
+            initial.push((ObjectId::new(class, key), Value::Int(100)));
+        }
+    }
+    let mut cluster = Cluster::new(ClusterConfig::new(4, 2), registry, initial);
+
+    // Clients at different sites submit transfers. Within a class the
+    // transactions conflict and will be serialized in the definitive
+    // broadcast order; across classes they run concurrently.
+    let mut t = SimTime::from_millis(1);
+    for i in 0..12u64 {
+        let site = SiteId::new((i % 4) as u16);
+        let class = ClassId::new((i % 2) as u32);
+        let from = (i % 5) as i64;
+        let to = ((i + 1) % 5) as i64;
+        cluster.schedule_update(
+            t,
+            site,
+            class,
+            procs.transfer,
+            vec![Value::Int(from), Value::Int(to), Value::Int(10)],
+        );
+        t += SimDuration::from_millis(1);
+    }
+
+    // And a snapshot query reading across both classes mid-run.
+    cluster.schedule_query(
+        SimTime::from_millis(9),
+        SiteId::new(1),
+        vec![ObjectId::new(0, 0), ObjectId::new(1, 0)],
+    );
+
+    cluster.run_until(SimTime::from_secs(10));
+
+    let stats = cluster.stats();
+    println!("== otpdb quickstart ==");
+    println!("transactions committed : {}", stats.completed);
+    println!("commit latency         : {}", stats.commit_latency.clone().summary());
+    println!("aborts (mismatch cost) : {}", stats.counters.get("abort"));
+    println!("reorders               : {}", stats.counters.get("reorder"));
+    println!("all replicas identical : {}", cluster.converged());
+
+    // Inspect the data through any replica: they are all the same.
+    let db = cluster.replicas[2].db();
+    let total: i64 = (0..2u32)
+        .flat_map(|c| (0..10u64).map(move |k| ObjectId::new(c, k)))
+        .map(|oid| db.read_committed(oid).and_then(Value::as_int).unwrap_or(0))
+        .sum();
+    println!("total balance (invariant: 2000): {total}");
+    assert_eq!(total, 2000, "transfers preserve the total");
+    assert!(cluster.converged());
+}

@@ -1,0 +1,34 @@
+//! Spontaneous total order, live: the phenomenon the whole paper bets on.
+//!
+//! Run with: `cargo run --release --example spontaneous_order`
+//!
+//! Reproduces (a short version of) the paper's Figure 1 experiment and
+//! prints the curve as an ASCII plot: the percentage of multicast
+//! messages that arrive at all 4 sites in the same order, without any
+//! ordering protocol, as a function of the per-site send interval.
+
+use otp_bench::spontaneous_order_point;
+use otpdb::simnet::{NetConfig, SimDuration};
+
+fn main() {
+    println!("== spontaneous total order on a simulated 10 Mbit/s Ethernet ==");
+    println!("4 sites, 64-byte multicasts, 800 messages per site per point\n");
+    println!("interval  ordered  0%        50%       100%");
+    println!("--------  -------  |---------|---------|");
+    for us in [0u64, 250, 500, 750, 1000, 1500, 2000, 3000, 4000, 5000] {
+        let p = spontaneous_order_point(
+            NetConfig::fig1_testbed(4),
+            800,
+            64,
+            SimDuration::from_micros(us),
+            7,
+        );
+        let bar = "#".repeat((p.ordered_pct / 5.0).round() as usize);
+        println!("{:>6.2}ms  {:>5.1}%  {bar}", us as f64 / 1000.0, p.ordered_pct);
+    }
+    println!();
+    println!("The optimistic atomic broadcast Opt-delivers in exactly this");
+    println!("receive order; the OTP algorithm executes against it and only");
+    println!("pays (undo + redo) for the small disordered fraction — and only");
+    println!("when the affected transactions conflict.");
+}

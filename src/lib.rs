@@ -1,0 +1,73 @@
+//! # otpdb — Processing Transactions over Optimistic Atomic Broadcast
+//!
+//! A complete, from-scratch Rust reproduction of
+//!
+//! > Bettina Kemme, Fernando Pedone, Gustavo Alonso, André Schiper.
+//! > *Processing Transactions over Optimistic Atomic Broadcast Protocols.*
+//! > ICDCS 1999.
+//!
+//! The paper's idea: on a LAN, multicast messages usually arrive at every
+//! site in the same order *spontaneously*. An optimistic atomic broadcast
+//! exploits this by delivering messages twice — tentatively on receipt
+//! (`Opt-deliver`) and definitively once the sites agree (`TO-deliver`) —
+//! and a replicated database can start *executing* a transaction at its
+//! tentative position, hiding the entire coordination latency behind the
+//! transaction's own execution time. Commit waits for the definitive
+//! order; a mismatch costs an undo/redo, and only when the affected
+//! transactions actually conflict.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`simnet`] | deterministic discrete-event kernel, LAN multicast models, metrics |
+//! | [`consensus`] | rotating-coordinator crash-tolerant consensus (◇S-style) |
+//! | [`broadcast`] | optimistic atomic broadcast, sequencer baseline, oracle engine, spontaneous-order metrics |
+//! | [`storage`] | conflict-class partitioned multi-version store, undo logs, snapshots, stored procedures |
+//! | [`txn`] | transaction model, class queues (S/E/CC operations), 1-copy-serializability checkers |
+//! | [`core`] | the OTP replica (Figures 4–6), conservative + lazy baselines, simulated cluster, threaded runtime |
+//! | [`workload`] | deterministic workload generation (Zipf/hot-spot classes, Poisson arrivals, query mixes) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use otpdb::core::{Cluster, ClusterConfig};
+//! use otpdb::simnet::{SimTime, SiteId};
+//! use otpdb::storage::{ClassId, ObjectId, Value};
+//! use otpdb::workload::StandardProcs;
+//!
+//! // 4 replicas, 2 conflict classes, the paper's LAN.
+//! let (registry, procs) = StandardProcs::registry();
+//! let mut cluster = Cluster::new(
+//!     ClusterConfig::new(4, 2),
+//!     registry,
+//!     vec![(ObjectId::new(0, 0), Value::Int(100))],
+//! );
+//! cluster.schedule_update(
+//!     SimTime::from_millis(1),
+//!     SiteId::new(3),              // any site may accept the client
+//!     ClassId::new(0),
+//!     procs.add,
+//!     vec![Value::Int(0), Value::Int(42)],
+//! );
+//! cluster.run_until(SimTime::from_secs(5));
+//! assert!(cluster.converged());
+//! assert_eq!(
+//!     cluster.replicas[1].db().read_committed(ObjectId::new(0, 0)),
+//!     Some(&Value::Int(142)),
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness regenerating every figure/table of the paper (EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use otp_broadcast as broadcast;
+pub use otp_consensus as consensus;
+pub use otp_core as core;
+pub use otp_simnet as simnet;
+pub use otp_storage as storage;
+pub use otp_txn as txn;
+pub use otp_workload as workload;

@@ -1,0 +1,142 @@
+//! Fault-tolerance integration tests: crashes, recoveries, lossy links.
+//!
+//! The model (Section 2): sites fail by crashing and always recover;
+//! channels are reliable. These tests crash replicas mid-load, recover
+//! them with state transfer, and verify the cluster converges to a single
+//! serializable history.
+
+use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind};
+use otpdb::simnet::{NetConfig, SimDuration, SimTime, SiteId};
+use otpdb::storage::{ClassId, ProcId, Value};
+use otpdb::txn::history::check_one_copy_serializable;
+use otpdb::workload::StandardProcs;
+
+fn loaded_cluster(sites: usize, classes: usize, seed: u64) -> Cluster {
+    let (registry, _) = StandardProcs::registry();
+    let mut initial = Vec::new();
+    for c in 0..classes as u32 {
+        initial.push((otpdb::storage::ObjectId::new(c, 0), Value::Int(0)));
+    }
+    let config = ClusterConfig::new(sites, classes)
+        .with_engine(EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) })
+        .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+        .with_seed(seed);
+    Cluster::new(config, registry, initial)
+}
+
+/// Submits `n` increments from the first `submit_sites` sites.
+fn submit_load(cluster: &mut Cluster, n: u64, submit_sites: usize, classes: usize, from: SimTime) {
+    let mut t = from;
+    for i in 0..n {
+        cluster.schedule_update(
+            t,
+            SiteId::new((i % submit_sites as u64) as u16),
+            ClassId::new((i % classes as u64) as u32),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(1)],
+        );
+        t += SimDuration::from_millis(2);
+    }
+}
+
+#[test]
+fn each_site_can_crash_and_recover() {
+    for victim in 1..4u16 {
+        let mut cluster = loaded_cluster(4, 2, 200 + victim as u64);
+        submit_load(&mut cluster, 30, 1, 2, SimTime::from_millis(1)); // site 0 submits
+        cluster.schedule_crash(SimTime::from_millis(10), SiteId::new(victim));
+        cluster.schedule_recover(SimTime::from_millis(150), SiteId::new(victim), SiteId::new(0));
+        submit_load(&mut cluster, 10, 1, 2, SimTime::from_millis(200));
+        cluster.run_until(SimTime::from_secs(300));
+        assert_eq!(cluster.stats().completed, 40, "victim {victim}");
+        assert!(cluster.converged(), "victim {victim} converges");
+        check_one_copy_serializable(&cluster.histories()).unwrap();
+    }
+}
+
+#[test]
+fn repeated_crash_recover_cycles() {
+    let mut cluster = loaded_cluster(4, 2, 211);
+    submit_load(&mut cluster, 60, 2, 2, SimTime::from_millis(1));
+    // Site 3 bounces twice.
+    cluster.schedule_crash(SimTime::from_millis(10), SiteId::new(3));
+    cluster.schedule_recover(SimTime::from_millis(60), SiteId::new(3), SiteId::new(0));
+    cluster.schedule_crash(SimTime::from_millis(90), SiteId::new(3));
+    cluster.schedule_recover(SimTime::from_millis(140), SiteId::new(3), SiteId::new(1));
+    cluster.run_until(SimTime::from_secs(300));
+    assert_eq!(cluster.stats().completed, 60);
+    assert!(cluster.converged());
+    check_one_copy_serializable(&cluster.histories()).unwrap();
+}
+
+#[test]
+fn two_sites_down_simultaneously_in_five() {
+    // 5 sites tolerate 2 crashed (majority alive): progress continues.
+    let mut cluster = loaded_cluster(5, 2, 223);
+    submit_load(&mut cluster, 40, 2, 2, SimTime::from_millis(1));
+    cluster.schedule_crash(SimTime::from_millis(5), SiteId::new(3));
+    cluster.schedule_crash(SimTime::from_millis(7), SiteId::new(4));
+    cluster.schedule_recover(SimTime::from_millis(200), SiteId::new(3), SiteId::new(0));
+    cluster.schedule_recover(SimTime::from_millis(260), SiteId::new(4), SiteId::new(1));
+    cluster.run_until(SimTime::from_secs(300));
+    assert_eq!(cluster.stats().completed, 40);
+    assert!(cluster.converged());
+}
+
+#[test]
+fn lossy_network_delivers_everything() {
+    let (registry, _) = StandardProcs::registry();
+    let config = ClusterConfig::new(3, 2)
+        .with_net(NetConfig::lan_10mbps(3).with_loss(0.08))
+        .with_engine(EngineKind::Opt { consensus_timeout: SimDuration::from_millis(80) })
+        .with_seed(227);
+    let mut cluster = Cluster::new(
+        config,
+        registry,
+        vec![
+            (otpdb::storage::ObjectId::new(0, 0), Value::Int(0)),
+            (otpdb::storage::ObjectId::new(1, 0), Value::Int(0)),
+        ],
+    );
+    submit_load(&mut cluster, 40, 3, 2, SimTime::from_millis(1));
+    cluster.run_until(SimTime::from_secs(300));
+    assert_eq!(cluster.stats().completed, 40, "retransmissions mask loss");
+    assert!(cluster.converged());
+    check_one_copy_serializable(&cluster.histories()).unwrap();
+}
+
+#[test]
+fn crash_before_any_traffic() {
+    // A site that crashes before the first message and recovers later
+    // must still end up with the full state.
+    let mut cluster = loaded_cluster(4, 2, 229);
+    cluster.schedule_crash(SimTime::from_micros(100), SiteId::new(2));
+    submit_load(&mut cluster, 20, 2, 2, SimTime::from_millis(1));
+    cluster.schedule_recover(SimTime::from_millis(300), SiteId::new(2), SiteId::new(0));
+    cluster.run_until(SimTime::from_secs(300));
+    assert_eq!(cluster.stats().completed, 20);
+    assert!(cluster.converged());
+}
+
+#[test]
+fn recovered_site_serves_consistent_queries() {
+    let mut cluster = loaded_cluster(4, 2, 233);
+    submit_load(&mut cluster, 30, 2, 2, SimTime::from_millis(1));
+    cluster.schedule_crash(SimTime::from_millis(10), SiteId::new(3));
+    cluster.schedule_recover(SimTime::from_millis(150), SiteId::new(3), SiteId::new(0));
+    // Queries at the recovered site after recovery.
+    for q in 0..5u64 {
+        cluster.schedule_query(
+            SimTime::from_millis(200 + q * 10),
+            SiteId::new(3),
+            vec![
+                otpdb::storage::ObjectId::new(0, 0),
+                otpdb::storage::ObjectId::new(1, 0),
+            ],
+        );
+    }
+    cluster.run_until(SimTime::from_secs(300));
+    assert!(cluster.converged());
+    check_one_copy_serializable(&cluster.histories()).unwrap();
+    assert_eq!(cluster.query_results.len(), 5);
+}

@@ -1,0 +1,86 @@
+//! TPC-B-style workload on the full replicated cluster: the domain
+//! invariants (branch = Σ tellers = Σ accounts per branch) must hold at
+//! every site under every engine and mode, with audits racing the load.
+
+use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
+use otpdb::simnet::{SimDuration, SimTime, SiteId};
+use otpdb::txn::history::check_one_copy_serializable;
+use otpdb::workload::{Arrival, TpcB};
+
+fn run_tpcb(engine: EngineKind, mode: Mode, seed: u64) -> (TpcB, Cluster) {
+    let mut tpcb = TpcB::new(4, 4, 120);
+    tpcb.arrival = Arrival::Poisson { mean: SimDuration::from_millis(4) };
+    tpcb.seed = seed;
+    let (registry, proc) = tpcb.registry();
+    let schedule = tpcb.schedule(proc);
+    let config = ClusterConfig::new(4, 4)
+        .with_engine(engine)
+        .with_mode(mode)
+        .with_exec_time(DurationDist::Normal {
+            mean: SimDuration::from_millis(2),
+            std: SimDuration::from_micros(300),
+        })
+        .with_seed(seed);
+    let mut cluster = Cluster::new(config, registry, tpcb.initial_data());
+    schedule.apply(&mut cluster);
+    // Branch audits at every site while the load runs.
+    for q in 0..10u64 {
+        cluster.schedule_query(
+            SimTime::from_millis(5 + q * 17),
+            SiteId::new((q % 4) as u16),
+            tpcb.audit_reads((q % 4) as u32),
+        );
+    }
+    cluster.run_until(SimTime::from_secs(600));
+    (tpcb, cluster)
+}
+
+#[test]
+fn tpcb_on_otp_with_optimistic_broadcast() {
+    let engine = EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) };
+    let (tpcb, cluster) = run_tpcb(engine, Mode::Otp, 301);
+    assert_eq!(cluster.stats().completed, 120);
+    for (i, r) in cluster.replicas.iter().enumerate() {
+        assert!(tpcb.check_consistency(r.db()).is_ok(), "site {i} balanced");
+    }
+    assert!(cluster.converged());
+    check_one_copy_serializable(&cluster.histories()).unwrap();
+}
+
+#[test]
+fn tpcb_on_otp_with_mismatching_tentative_order() {
+    let engine = EngineKind::Scrambled {
+        agreement_delay: SimDuration::from_millis(5),
+        swap_probability: 0.35,
+    };
+    let (tpcb, cluster) = run_tpcb(engine, Mode::Otp, 307);
+    assert_eq!(cluster.stats().completed, 120);
+    for r in &cluster.replicas {
+        assert!(tpcb.check_consistency(r.db()).is_ok());
+    }
+    check_one_copy_serializable(&cluster.histories()).unwrap();
+}
+
+#[test]
+fn tpcb_otp_equals_conservative_final_state() {
+    let engine = EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) };
+    let (_, otp) = run_tpcb(engine, Mode::Otp, 311);
+    let (_, cons) = run_tpcb(engine, Mode::Conservative, 311);
+    assert!(otp.replicas[0].db().committed_state_eq(cons.replicas[0].db()),
+            "optimism must not change TPC-B outcomes");
+}
+
+#[test]
+fn tpcb_audits_see_balanced_snapshots() {
+    // Each audit reads one branch's balance and all its tellers from a
+    // snapshot: the sums must match *within the snapshot* even while
+    // updates race — that's the consistency Section 5's i.5 indexing buys.
+    let engine = EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) };
+    let (_tpcb, cluster) = run_tpcb(engine, Mode::Otp, 313);
+    assert!(!cluster.query_results.is_empty());
+    for (_qid, (snap, values)) in cluster.query_results.iter() {
+        let branch = values[0].as_int().unwrap_or(0);
+        let tellers: i64 = values[1..].iter().filter_map(|v| v.as_int()).sum();
+        assert_eq!(branch, tellers, "audit at snapshot {snap} is internally consistent");
+    }
+}
