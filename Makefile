@@ -1,0 +1,39 @@
+# One command per verification stage, matching .github/workflows/ci.yml
+# exactly — local `make ci` green implies CI green.
+
+CARGO ?= cargo
+# Bound property-based suite wall time (same value CI uses). Override:
+#   make test PROPTEST_CASES=256
+PROPTEST_CASES ?= 16
+
+.PHONY: all build test bench lint fmt clippy ci clean
+
+all: build
+
+## Build everything (release, all targets).
+build:
+	$(CARGO) build --release
+
+## Run every test suite: unit, integration, property-based, doctests,
+## plus the examples smoke suite.
+test:
+	PROPTEST_CASES=$(PROPTEST_CASES) $(CARGO) test -q
+
+## Run the criterion-style micro-benchmarks (wall-clock, release).
+bench:
+	$(CARGO) bench -p otp-bench
+
+## Formatting + lints, exactly as CI enforces them.
+lint: fmt clippy
+
+fmt:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## The full CI pipeline, in CI's order.
+ci: build test lint
+
+clean:
+	$(CARGO) clean

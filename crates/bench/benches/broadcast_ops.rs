@@ -3,14 +3,15 @@
 //! instance reaching a decision.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use otp_broadcast::{
-    AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, SeqAbcast, Wire,
-};
+use otp_broadcast::{AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, SeqAbcast, Wire};
 use otp_consensus::{Action, ConsensusMsg, Instance, InstanceConfig};
 use otp_simnet::{SimDuration, SiteId};
 
 /// Drives a set of engines until no wires remain (zero-latency lock-step).
-fn pump<E: AtomicBroadcast<u32>>(engines: &mut [E], start: Vec<(SiteId, Option<SiteId>, Wire<u32>)>) {
+fn pump<E: AtomicBroadcast<u32>>(
+    engines: &mut [E],
+    start: Vec<(SiteId, Option<SiteId>, Wire<u32>)>,
+) {
     let n = engines.len();
     let mut wires = start;
     while let Some((from, to, wire)) = wires.pop() {

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use otp_storage::mvcc::VersionChain;
-use otp_storage::{
-    ClassId, Database, ObjectId, ObjectKey, SnapshotIndex, TxnCtx, TxnIndex, Value,
-};
+use otp_storage::{ClassId, Database, ObjectId, ObjectKey, SnapshotIndex, TxnCtx, TxnIndex, Value};
 
 fn chain_with(n: u64) -> VersionChain {
     let mut c = VersionChain::new();
@@ -33,9 +31,7 @@ fn bench_install(c: &mut Criterion) {
 fn bench_snapshot_read(c: &mut Criterion) {
     let chain = chain_with(1000);
     let snap = SnapshotIndex::after(TxnIndex::new(500));
-    c.bench_function("storage/snapshot_read_chain_1000", |b| {
-        b.iter(|| chain.read_at(snap))
-    });
+    c.bench_function("storage/snapshot_read_chain_1000", |b| b.iter(|| chain.read_at(snap)));
 }
 
 fn bench_exec_with_undo(c: &mut Criterion) {

@@ -9,10 +9,7 @@
 //! execution + agreement on every transaction.
 
 fn main() {
-    let updates: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let updates: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     println!("# E2 — commit latency vs agreement delay (execution fixed at 2 ms)\n");
     let table = otp_bench::e2_overlap_latency(2, &[0, 1, 2, 3, 4, 6, 8], updates, 42);
     println!("{}", table.to_markdown());

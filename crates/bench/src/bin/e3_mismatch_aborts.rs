@@ -9,10 +9,7 @@
 //! leading to high abort rates."
 
 fn main() {
-    let updates: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
+    let updates: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
     println!("# E3 — abort/reorder rate vs mismatch probability × #classes\n");
     let table = otp_bench::e3_mismatch_aborts(
         &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],

@@ -7,10 +7,7 @@
 //! histories are not 1-copy-serializable (see the `serializable` column).
 
 fn main() {
-    let updates: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
+    let updates: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
     println!("# E4 — same workload on three replication schemes (4 sites, 8 classes)\n");
     let table = otp_bench::e4_async_comparison(updates, 8, 42);
     println!("{}", table.to_markdown());

@@ -4,10 +4,7 @@
 //! Usage: `cargo run --release -p otp-bench --bin e5_scalability [updates_per_site]`
 
 fn main() {
-    let per_site: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let per_site: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
     println!("# E5 — commit latency vs cluster size (fixed per-site load)\n");
     let table = otp_bench::e5_scalability(&[2, 4, 6, 8, 12, 16], per_site, 42);
     println!("{}", table.to_markdown());

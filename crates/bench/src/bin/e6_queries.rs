@@ -6,10 +6,7 @@
 //! serialization order still obeys the definitive total order.
 
 fn main() {
-    let updates: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let updates: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     println!("# E6 — update/query latency vs query share (4 sites, 8 classes)\n");
     let table = otp_bench::e6_queries(&[0.0, 0.3, 0.6, 0.9, 1.5], updates, 42);
     println!("{}", table.to_markdown());

@@ -3,10 +3,7 @@
 //! Usage: `cargo run --release -p otp-bench --bin e7_recovery [updates]`
 
 fn main() {
-    let updates: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let updates: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
     println!("# E7 — crash one of four sites mid-run, recover via state transfer\n");
     let table = otp_bench::e7_recovery(updates, 42);
     println!("{}", table.to_markdown());

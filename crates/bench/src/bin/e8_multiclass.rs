@@ -12,10 +12,7 @@
 //! where transactions declare exactly the partitions they touch.
 
 fn main() {
-    let txns: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let txns: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     println!("# E8 — coarse single class vs multi-class declaration\n");
     let table = otp_bench::e8_multiclass_granularity(&[2, 4, 8, 16], txns, 42);
     println!("{}", table.to_markdown());

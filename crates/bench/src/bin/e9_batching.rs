@@ -5,10 +5,7 @@
 //! Usage: `cargo run --release -p otp-bench --bin e9_batching [updates]`
 
 fn main() {
-    let updates: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let updates: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     println!("# E9 — agreement batching: confirmation latency vs network traffic\n");
     let table = otp_bench::e9_batching(&[0, 1, 2, 5, 10, 20], updates, 42);
     println!("{}", table.to_markdown());

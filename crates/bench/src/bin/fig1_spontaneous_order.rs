@@ -7,10 +7,7 @@
 //! at back-to-back sends, ≥99 % at 4 ms intervals.
 
 fn main() {
-    let msgs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let msgs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
     let intervals: Vec<u64> =
         vec![0, 250, 500, 750, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000];
     println!("# Figure 1 — spontaneous total order (4 sites, 10 Mbit/s Ethernet model)");

@@ -110,12 +110,8 @@ pub fn fig1_spontaneous_order(
     intervals_us: &[u64],
     seed: u64,
 ) -> Table {
-    let mut table = Table::new(vec![
-        "interval_ms",
-        "ordered_pct",
-        "pairwise_pct",
-        "paper_expectation",
-    ]);
+    let mut table =
+        Table::new(vec!["interval_ms", "ordered_pct", "pairwise_pct", "paper_expectation"]);
     for &us in intervals_us {
         // Average a few independent runs per point: the paper's plot is a
         // long-run average; single seeds carry phase-alignment variance.
@@ -221,13 +217,8 @@ pub fn e3_mismatch_aborts(
     updates: u64,
     seed: u64,
 ) -> Table {
-    let mut table = Table::new(vec![
-        "swap_prob",
-        "classes",
-        "abort_rate_pct",
-        "reorders",
-        "mean_latency_ms",
-    ]);
+    let mut table =
+        Table::new(vec!["swap_prob", "classes", "abort_rate_pct", "reorders", "mean_latency_ms"]);
     for &classes in class_counts {
         for &p in swap_probs {
             // Regime where mismatches can matter at all: messages arrive
@@ -305,11 +296,8 @@ pub fn e4_async_comparison(updates: u64, classes: usize, seed: u64) -> Table {
 
     // Lazy replication.
     let (registry, _) = StandardProcs::registry();
-    let mut lazy = AsyncCluster::new(
-        AsyncConfig::new(sites, classes),
-        registry,
-        spec.initial_data(),
-    );
+    let mut lazy =
+        AsyncCluster::new(AsyncConfig::new(sites, classes), registry, spec.initial_data());
     schedule.apply_async(&mut lazy);
     lazy.run_until(SimTime::from_secs(600));
     let ok = check_one_copy_serializable(&lazy.histories()).is_ok();
@@ -426,9 +414,8 @@ pub fn e7_recovery(updates: u64, seed: u64) -> Table {
     let mut cluster = Cluster::new(config, registry, spec.initial_data());
     schedule.apply(&mut cluster);
     let crash_at = SimTime::from_millis(20);
-    let recover_at = SimTime::from_millis(
-        (schedule.end_time().as_millis() / 2).max(crash_at.as_millis() + 50),
-    );
+    let recover_at =
+        SimTime::from_millis((schedule.end_time().as_millis() / 2).max(crash_at.as_millis() + 50));
     cluster.schedule_crash(crash_at, SiteId::new(3));
     cluster.schedule_recover(recover_at, SiteId::new(3), SiteId::new(0));
     cluster.run_until(SimTime::from_secs(600));
@@ -460,13 +447,8 @@ pub fn e7_recovery(updates: u64, seed: u64) -> Table {
 /// under the full OTP stack. Opt-deliveries (and hence execution start)
 /// are unaffected; only the *confirmation* waits.
 pub fn e9_batching(batch_delays_ms: &[u64], updates: u64, seed: u64) -> Table {
-    let mut table = Table::new(vec![
-        "batch_delay_ms",
-        "otp_mean_ms",
-        "otp_p95_ms",
-        "frames_per_txn",
-        "aborts",
-    ]);
+    let mut table =
+        Table::new(vec!["batch_delay_ms", "otp_mean_ms", "otp_p95_ms", "frames_per_txn", "aborts"]);
     for &d in batch_delays_ms {
         let spec = WorkloadSpec::new(4, 8, updates)
             .with_arrival(otp_workload::Arrival::Fixed(SimDuration::from_millis(4)))
@@ -522,12 +504,7 @@ pub fn e8_multiclass_granularity(partitions: &[usize], txns: u64, seed: u64) -> 
         Done(otp_core::ExecToken),
     }
 
-    let mut table = Table::new(vec![
-        "partitions",
-        "model",
-        "mean_latency_ms",
-        "makespan_ms",
-    ]);
+    let mut table = Table::new(vec!["partitions", "model", "mean_latency_ms", "makespan_ms"]);
 
     for &k in partitions {
         // mode = false → coarse single class; true → one class/partition.
@@ -641,13 +618,7 @@ mod tests {
 
     #[test]
     fn fig1_curve_rises_with_interval() {
-        let lo = spontaneous_order_point(
-            NetConfig::fig1_testbed(4),
-            400,
-            64,
-            SimDuration::ZERO,
-            2,
-        );
+        let lo = spontaneous_order_point(NetConfig::fig1_testbed(4), 400, 64, SimDuration::ZERO, 2);
         let hi = spontaneous_order_point(
             NetConfig::fig1_testbed(4),
             400,
@@ -731,10 +702,7 @@ mod tests {
         let csv = t.to_csv();
         let rows: Vec<&str> = csv.lines().skip(1).collect();
         let frames = |row: &str| -> f64 { row.split(',').nth(3).unwrap().parse().unwrap() };
-        assert!(
-            frames(rows[1]) < frames(rows[0]),
-            "batching should reduce frames: {csv}"
-        );
+        assert!(frames(rows[1]) < frames(rows[0]), "batching should reduce frames: {csv}");
     }
 
     #[test]
@@ -745,9 +713,6 @@ mod tests {
         let mean = |row: &str| -> f64 { row.split(',').nth(2).unwrap().parse().unwrap() };
         // Row 0 = coarse, row 1 = multi-class; fine granularity must be
         // substantially faster under a parallelizable load.
-        assert!(
-            mean(rows[0]) > mean(rows[1]) * 2.0,
-            "coarse should be much slower: {csv}"
-        );
+        assert!(mean(rows[0]) > mean(rows[1]) * 2.0, "coarse should be much slower: {csv}");
     }
 }

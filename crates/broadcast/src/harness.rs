@@ -217,10 +217,8 @@ where
                 // claim to have delivered (the pre-crash prefix is gone
                 // from the fresh engine's perspective), then apply the
                 // restore actions (re-emitted tentative deliveries).
-                self.to_logs[site.index()] =
-                    self.engines[site.index()].definitive_log().to_vec();
-                self.opt_logs[site.index()] =
-                    self.engines[site.index()].definitive_log().to_vec();
+                self.to_logs[site.index()] = self.engines[site.index()].definitive_log().to_vec();
+                self.opt_logs[site.index()] = self.engines[site.index()].definitive_log().to_vec();
                 self.apply_actions(site, actions);
                 // Replay everything buffered while down.
                 let held = std::mem::take(&mut self.held[site.index()]);

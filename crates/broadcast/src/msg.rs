@@ -71,11 +71,6 @@ impl PayloadSize for Vec<u8> {
         self.len() as u32
     }
 }
-impl PayloadSize for bytes::Bytes {
-    fn size_bytes(&self) -> u32 {
-        self.len() as u32
-    }
-}
 impl PayloadSize for String {
     fn size_bytes(&self) -> u32 {
         self.len() as u32
@@ -198,7 +193,6 @@ mod tests {
         assert_eq!(7u64.size_bytes(), 8);
         assert_eq!(vec![0u8; 10].size_bytes(), 10);
         assert_eq!(String::from("abc").size_bytes(), 3);
-        assert_eq!(bytes::Bytes::from_static(b"abcd").size_bytes(), 4);
     }
 
     #[test]

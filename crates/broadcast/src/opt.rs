@@ -389,12 +389,8 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         // undecided proposal material, in deterministic id order (the
         // donor's receive order is unknown to us). They are re-emitted as
         // fresh Opt-deliveries: tentative again at this site.
-        let mut pending: Vec<MsgId> = self
-            .received
-            .keys()
-            .filter(|id| !self.to_set.contains(id))
-            .copied()
-            .collect();
+        let mut pending: Vec<MsgId> =
+            self.received.keys().filter(|id| !self.to_set.contains(id)).copied().collect();
         pending.sort_unstable();
         let mut actions: Vec<EngineAction<P>> = Vec::new();
         for id in &pending {
@@ -416,12 +412,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         }
         self.next_initiate = self.cursor_instance;
         // Our own sequence numbers must not collide with pre-crash ones.
-        let my_max = self
-            .received
-            .keys()
-            .filter(|id| id.origin == self.me)
-            .map(|id| id.seq)
-            .max();
+        let my_max = self.received.keys().filter(|id| id.origin == self.me).map(|id| id.seq).max();
         if let Some(mx) = my_max {
             self.next_seq = self.next_seq.max(mx + 1);
         }
@@ -468,7 +459,10 @@ mod tests {
         }
     }
 
-    fn collect_broadcast(e: &mut OptAbcast<u32>, payload: u32) -> Vec<(SiteId, Option<SiteId>, Wire<u32>)> {
+    fn collect_broadcast(
+        e: &mut OptAbcast<u32>,
+        payload: u32,
+    ) -> Vec<(SiteId, Option<SiteId>, Wire<u32>)> {
         let me = e.me();
         let (_, actions) = e.broadcast(payload);
         actions
@@ -533,10 +527,9 @@ mod tests {
                         EngineAction::Multicast(w) => queue.push((t, None, w)),
                         EngineAction::Send(d, w) => queue.push((t, Some(d), w)),
                         EngineAction::OptDeliver(_) if t == SiteId::new(2) => seen_opt = true,
-                        EngineAction::ToDeliver(_) if t == SiteId::new(2)
-                            && !seen_opt => {
-                                order_ok = false;
-                            }
+                        EngineAction::ToDeliver(_) if t == SiteId::new(2) && !seen_opt => {
+                            order_ok = false;
+                        }
                         _ => {}
                     }
                 }

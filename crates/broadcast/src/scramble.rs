@@ -266,8 +266,10 @@ mod tests {
                 match a {
                     EngineAction::Multicast(w) => {
                         for to in SiteId::all(self.engines.len()) {
-                            self.queue
-                                .schedule(now + hop, Ev::Deliver { to, from: site, wire: w.clone() });
+                            self.queue.schedule(
+                                now + hop,
+                                Ev::Deliver { to, from: site, wire: w.clone() },
+                            );
                         }
                     }
                     EngineAction::Send(to, w) => {
@@ -330,10 +332,8 @@ mod tests {
 
     #[test]
     fn swaps_produce_tentative_mismatches_but_not_definitive_ones() {
-        let cfg = ScrambleConfig {
-            agreement_delay: SimDuration::from_millis(1),
-            swap_probability: 0.5,
-        };
+        let cfg =
+            ScrambleConfig { agreement_delay: SimDuration::from_millis(1), swap_probability: 0.5 };
         let mut d = Driver::new(2, cfg, 3);
         for k in 0..100u32 {
             d.broadcast(SiteId::new(0), k);
@@ -357,10 +357,8 @@ mod tests {
     fn local_order_holds_even_with_swaps() {
         // With swap probability 1.0 every message is held; the hold must be
         // released before its TO-delivery.
-        let cfg = ScrambleConfig {
-            agreement_delay: SimDuration::from_micros(10),
-            swap_probability: 1.0,
-        };
+        let cfg =
+            ScrambleConfig { agreement_delay: SimDuration::from_micros(10), swap_probability: 1.0 };
         let oracle = Oracle::new();
         let mut rng = SimRng::seed_from(4);
         let mut e: ScrambledAbcast<u32> =
@@ -387,22 +385,16 @@ mod tests {
 
     #[test]
     fn measured_mismatch_rate_tracks_probability() {
-        let cfg = ScrambleConfig {
-            agreement_delay: SimDuration::from_millis(1),
-            swap_probability: 0.3,
-        };
+        let cfg =
+            ScrambleConfig { agreement_delay: SimDuration::from_millis(1), swap_probability: 0.3 };
         let mut d = Driver::new(2, cfg, 5);
         for k in 0..2000u32 {
             d.broadcast(SiteId::new(0), k);
         }
         d.run();
         let e = &d.engines[1];
-        let mismatches = e
-            .tentative_log()
-            .iter()
-            .zip(e.definitive_log())
-            .filter(|(a, b)| a != b)
-            .count();
+        let mismatches =
+            e.tentative_log().iter().zip(e.definitive_log()).filter(|(a, b)| a != b).count();
         let rate = mismatches as f64 / 2000.0;
         // Each swap displaces two adjacent positions ⇒ position-mismatch
         // rate ≈ 2·p·(1-p) ± noise. For p=0.3 that is ≈ 0.42.

@@ -160,24 +160,15 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
         }
         self.deliver_next = snapshot.definitive_log.len() as u64;
         self.next_global = self.deliver_next;
-        let my_max = self
-            .received
-            .keys()
-            .filter(|id| id.origin == self.me)
-            .map(|id| id.seq)
-            .max();
+        let my_max = self.received.keys().filter(|id| id.origin == self.me).map(|id| id.seq).max();
         if let Some(mx) = my_max {
             self.next_seq = self.next_seq.max(mx + 1);
         }
         // Received-but-undelivered messages are tentative again: re-emit
         // their Opt-deliveries (deterministic id order) so the application
         // can rebuild its queues, then whatever is sequenced and ready.
-        let mut pending: Vec<MsgId> = self
-            .received
-            .keys()
-            .filter(|id| !self.to_set.contains(id))
-            .copied()
-            .collect();
+        let mut pending: Vec<MsgId> =
+            self.received.keys().filter(|id| !self.to_set.contains(id)).copied().collect();
         pending.sort_unstable();
         let mut actions: Vec<EngineAction<P>> = Vec::new();
         for id in pending {

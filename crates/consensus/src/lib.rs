@@ -552,10 +552,8 @@ mod tests {
         let mut d = Driver::new(3, &[1, 2, 3]);
         d.run(SimTime::from_secs(10));
         let v = d.decisions()[0];
-        let a = d.instances[0].on_message(
-            SiteId::new(1),
-            ConsensusMsg::Propose { round: 99, value: 777 },
-        );
+        let a = d.instances[0]
+            .on_message(SiteId::new(1), ConsensusMsg::Propose { round: 99, value: 777 });
         assert!(a.is_empty());
         let b = d.instances[0].on_timeout(0);
         assert!(b.is_empty());
@@ -566,14 +564,10 @@ mod tests {
     fn late_estimate_gets_decision_replay() {
         let mut d = Driver::new(3, &[1, 2, 3]);
         d.run(SimTime::from_secs(10));
-        let actions = d.instances[0].on_message(
-            SiteId::new(2),
-            ConsensusMsg::Estimate { round: 50, est: 9, ts: 0 },
-        );
+        let actions = d.instances[0]
+            .on_message(SiteId::new(2), ConsensusMsg::Estimate { round: 50, est: 9, ts: 0 });
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, Action::Broadcast(ConsensusMsg::Decide { .. }))),
+            actions.iter().any(|a| matches!(a, Action::Broadcast(ConsensusMsg::Decide { .. }))),
             "decided site should replay the decision: {actions:?}"
         );
     }
@@ -583,9 +577,11 @@ mod tests {
         let cfg = InstanceConfig::new(3, SimDuration::from_millis(10));
         let (mut inst, _) = Instance::new(SiteId::new(0), cfg, 7u32);
         // Coordinator gathers a quorum and proposes.
-        let a1 = inst.on_message(SiteId::new(0), ConsensusMsg::Estimate { round: 0, est: 7, ts: 0 });
+        let a1 =
+            inst.on_message(SiteId::new(0), ConsensusMsg::Estimate { round: 0, est: 7, ts: 0 });
         assert!(a1.is_empty());
-        let a2 = inst.on_message(SiteId::new(1), ConsensusMsg::Estimate { round: 0, est: 8, ts: 0 });
+        let a2 =
+            inst.on_message(SiteId::new(1), ConsensusMsg::Estimate { round: 0, est: 8, ts: 0 });
         assert!(a2.iter().any(|a| matches!(a, Action::Broadcast(ConsensusMsg::Propose { .. }))));
         // A nack arrives before the acks; the acks must then be ignored.
         inst.on_message(SiteId::new(2), ConsensusMsg::Nack { round: 0 });

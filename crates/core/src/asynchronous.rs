@@ -91,15 +91,34 @@ impl AsyncConfig {
 }
 
 enum Ev {
-    Submit { site: SiteId, request: TxnRequest },
+    Submit {
+        site: SiteId,
+        request: TxnRequest,
+    },
     /// Request arriving at the class primary (possibly forwarded).
-    AtPrimary { request: TxnRequest, origin: SiteId },
-    ExecDone { class: ClassId, txn: TxnId },
+    AtPrimary {
+        request: TxnRequest,
+        origin: SiteId,
+    },
+    ExecDone {
+        class: ClassId,
+        txn: TxnId,
+    },
     /// Commit acknowledgment travelling back to the origin site.
-    Response { origin: SiteId, txn: TxnId },
+    Response {
+        origin: SiteId,
+        txn: TxnId,
+    },
     /// Lazy write-set propagation arriving at a site.
-    Apply { site: SiteId, ws: WriteSet },
-    Query { site: SiteId, qid: TxnId, reads: Vec<ObjectId> },
+    Apply {
+        site: SiteId,
+        ws: WriteSet,
+    },
+    Query {
+        site: SiteId,
+        qid: TxnId,
+        reads: Vec<ObjectId>,
+    },
 }
 
 /// The lazy primary-copy cluster. See the [module docs](self).
@@ -241,8 +260,7 @@ impl AsyncCluster {
                 self.submit_time.insert(request.id, self.queue.now());
                 let primary = self.primary(request.class);
                 if primary == site {
-                    self.queue
-                        .schedule(self.queue.now(), Ev::AtPrimary { request, origin: site });
+                    self.queue.schedule(self.queue.now(), Ev::AtPrimary { request, origin: site });
                 } else {
                     // Forward to the primary over the LAN.
                     self.counters.incr("forward");
@@ -279,8 +297,7 @@ impl AsyncCluster {
                 // Apply any contiguous run.
                 loop {
                     let next = self.applied[site.index()][class.index()];
-                    let Some(ws) = self.buffered[site.index()][class.index()].remove(&next)
-                    else {
+                    let Some(ws) = self.buffered[site.index()][class.index()].remove(&next) else {
                         break;
                     };
                     self.apply_write_set(site, ws);
@@ -315,8 +332,7 @@ impl AsyncCluster {
         };
         self.executing[class.index()] = true;
         let d = self.config.exec_time.sample(&mut self.rng);
-        self.queue
-            .schedule(self.queue.now() + d, Ev::ExecDone { class, txn: request.id });
+        self.queue.schedule(self.queue.now() + d, Ev::ExecDone { class, txn: request.id });
     }
 
     fn commit_at_primary(&mut self, class: ClassId, txn: TxnId) {
@@ -358,9 +374,7 @@ impl AsyncCluster {
                 (k, v)
             })
             .collect();
-        db.partition_mut(class)
-            .expect("class exists")
-            .promote(effects.undo.written_keys(), index);
+        db.partition_mut(class).expect("class exists").promote(effects.undo.written_keys(), index);
         self.counters.incr("commit");
 
         // Record in the primary's history.
@@ -383,14 +397,8 @@ impl AsyncCluster {
         }
 
         // Lazy propagation to everyone else.
-        let ws = WriteSet {
-            txn,
-            class,
-            seq,
-            writes,
-            reads: effects.reads.clone(),
-            committed_at: now,
-        };
+        let ws =
+            WriteSet { txn, class, seq, writes, reads: effects.reads.clone(), committed_at: now };
         let size = ws.size_bytes();
         for d in self.net.multicast(primary, size, now, &mut self.rng) {
             if d.to != primary {
@@ -416,11 +424,7 @@ impl AsyncCluster {
         self.histories[site.index()].push(CommittedTxn {
             id: ws.txn,
             reads: ws.reads.iter().map(|k| ObjectId { class: ws.class, key: *k }).collect(),
-            writes: ws
-                .writes
-                .iter()
-                .map(|(k, _)| ObjectId { class: ws.class, key: *k })
-                .collect(),
+            writes: ws.writes.iter().map(|(k, _)| ObjectId { class: ws.class, key: *k }).collect(),
             position: pos,
         });
     }
@@ -485,8 +489,10 @@ mod tests {
         assert!(c.converged(), "lazy replication converges at quiescence");
         // Each class key0 = 4.
         for cl in 0..3u32 {
-            assert_eq!(c.db(SiteId::new(0)).read_committed(ObjectId::new(cl, 0)),
-                       Some(&Value::Int(4)));
+            assert_eq!(
+                c.db(SiteId::new(0)).read_committed(ObjectId::new(cl, 0)),
+                Some(&Value::Int(4))
+            );
         }
         assert!(!c.staleness.is_empty(), "remote applies happened");
         assert!(c.commit_latency.len() == 12);
@@ -540,18 +546,34 @@ mod tests {
         // Classes 0 and 1 with primaries at sites 0 and 1.
         let mut c = AsyncCluster::new(AsyncConfig::new(2, 2), registry(), data(2));
         // Both primaries commit an update at ~the same time.
-        c.schedule_update(SimTime::from_millis(1), SiteId::new(0), ClassId::new(0),
-                          ProcId::new(0), vec![Value::Int(0), Value::Int(5)]);
-        c.schedule_update(SimTime::from_millis(1), SiteId::new(1), ClassId::new(1),
-                          ProcId::new(0), vec![Value::Int(0), Value::Int(7)]);
+        c.schedule_update(
+            SimTime::from_millis(1),
+            SiteId::new(0),
+            ClassId::new(0),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(5)],
+        );
+        c.schedule_update(
+            SimTime::from_millis(1),
+            SiteId::new(1),
+            ClassId::new(1),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(7)],
+        );
         // Immediately after local commit (1ms submit + 2ms exec = 3ms),
         // but before any remote apply can land (transmission + propagation
         // ≥ 120µs after commit), each site queries both objects: it sees
         // its own update but not the other's.
-        c.schedule_query(SimTime::from_micros(3050), SiteId::new(0),
-                         vec![ObjectId::new(0, 0), ObjectId::new(1, 0)]);
-        c.schedule_query(SimTime::from_micros(3050), SiteId::new(1),
-                         vec![ObjectId::new(0, 0), ObjectId::new(1, 0)]);
+        c.schedule_query(
+            SimTime::from_micros(3050),
+            SiteId::new(0),
+            vec![ObjectId::new(0, 0), ObjectId::new(1, 0)],
+        );
+        c.schedule_query(
+            SimTime::from_micros(3050),
+            SiteId::new(1),
+            vec![ObjectId::new(0, 0), ObjectId::new(1, 0)],
+        );
         c.run_until(SimTime::from_secs(10));
         assert!(c.converged(), "states converge eventually");
         // … but the observed histories are not 1-copy-serializable.

@@ -21,9 +21,7 @@ use otp_broadcast::{
 };
 use otp_simnet::metrics::{Counters, Histogram};
 use otp_simnet::{EventQueue, MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
-use otp_storage::{
-    ClassId, Database, ObjectId, ProcId, ProcRegistry, SnapshotIndex, Value,
-};
+use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, SnapshotIndex, Value};
 use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{TxnId, TxnRequest};
 use std::collections::HashMap;
@@ -551,10 +549,7 @@ impl Cluster {
 
     /// Per-site committed-transaction id lists.
     pub fn committed_ids(&self) -> Vec<Vec<TxnId>> {
-        self.replicas
-            .iter()
-            .map(|r| r.commit_log().iter().map(|(t, _)| *t).collect())
-            .collect()
+        self.replicas.iter().map(|r| r.commit_log().iter().map(|(t, _)| *t).collect()).collect()
     }
 
     /// Checks that every pair of sites converged to the same committed
@@ -573,8 +568,7 @@ impl Cluster {
                     return; // client's site is down; request lost
                 }
                 self.submit_time.insert(request.id, self.queue.now());
-                let (_msg_id, actions) =
-                    self.engines[site.index()].broadcast(TxnPayload(request));
+                let (_msg_id, actions) = self.engines[site.index()].broadcast(TxnPayload(request));
                 self.apply_engine_actions(site, actions);
             }
             Ev::Wire { from, to, wire } => {
@@ -645,8 +639,7 @@ impl Cluster {
                 let replica_actions = match &self.replicas[donor.index()] {
                     AnyReplica::Otp(donor_replica) => {
                         let snap = donor_replica.snapshot();
-                        let (fresh, actions) =
-                            Replica::restore(site, self.registry.clone(), snap);
+                        let (fresh, actions) = Replica::restore(site, self.registry.clone(), snap);
                         // Rebuild the message map from the donor's (ids the
                         // donor knows map identically everywhere).
                         self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
@@ -1036,9 +1029,6 @@ mod tests {
 
         let lo = otp.stats().commit_latency.mean();
         let lc = cons.stats().commit_latency.mean();
-        assert!(
-            lo < lc,
-            "OTP ({lo}) must beat conservative ({lc}) by overlapping agreement"
-        );
+        assert!(lo < lc, "OTP ({lo}) must beat conservative ({lc}) by overlapping agreement");
     }
 }

@@ -155,11 +155,7 @@ impl ConservativeReplica {
         self.history.push(CommittedTxn {
             id: token.txn,
             reads: effects.reads.iter().map(|k| ObjectId { class, key: *k }).collect(),
-            writes: effects
-                .undo
-                .written_keys()
-                .map(|k| ObjectId { class, key: k })
-                .collect(),
+            writes: effects.undo.written_keys().map(|k| ObjectId { class, key: k }).collect(),
             position: CommittedTxn::update_position(index),
         });
         self.committed_above.insert(index.raw());
@@ -167,11 +163,8 @@ impl ConservativeReplica {
             self.watermark = self.watermark.next();
         }
         self.counters.incr("commit");
-        let mut actions = vec![ReplicaAction::Committed {
-            txn: token.txn,
-            index,
-            output: effects.output,
-        }];
+        let mut actions =
+            vec![ReplicaAction::Committed { txn: token.txn, index, output: effects.output }];
         actions.extend(self.submit_next(class));
         actions
     }
@@ -203,8 +196,7 @@ impl ConservativeReplica {
     ) -> (Self, Vec<ReplicaAction>) {
         let mut r = ConservativeReplica::new(site, snapshot.db, registry);
         r.last_index = snapshot.last_index;
-        let pending_idx: BTreeSet<u64> =
-            snapshot.pending.iter().map(|(_, i)| i.raw()).collect();
+        let pending_idx: BTreeSet<u64> = snapshot.pending.iter().map(|(_, i)| i.raw()).collect();
         r.watermark = match pending_idx.iter().next() {
             Some(m) => TxnIndex::new(m - 1),
             None => snapshot.last_index,

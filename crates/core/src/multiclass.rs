@@ -34,8 +34,8 @@ use crate::event::ExecToken;
 use otp_simnet::metrics::Counters;
 use otp_simnet::SiteId;
 use otp_storage::{
-    apply_multi_undo, ClassId, Database, MultiCtx, MultiEffects, ObjectId, SnapshotIndex,
-    TxnIndex, Value,
+    apply_multi_undo, ClassId, Database, MultiCtx, MultiEffects, ObjectId, SnapshotIndex, TxnIndex,
+    Value,
 };
 use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{DeliveryState, ExecState, TxnId};
@@ -61,7 +61,12 @@ impl MultiRequest {
     /// # Panics
     ///
     /// Panics if `classes` is empty.
-    pub fn new(id: TxnId, classes: impl IntoIterator<Item = ClassId>, proc: MultiProcId, args: Vec<Value>) -> Self {
+    pub fn new(
+        id: TxnId,
+        classes: impl IntoIterator<Item = ClassId>,
+        proc: MultiProcId,
+        args: Vec<Value>,
+    ) -> Self {
         let classes: BTreeSet<ClassId> = classes.into_iter().collect();
         assert!(!classes.is_empty(), "a transaction needs at least one class");
         MultiRequest { id, classes, proc, args }
@@ -82,7 +87,8 @@ pub trait MultiProcedure: Send + Sync {
     ///
     /// Deterministic failures are reported but, as in the base model, do
     /// not abort the transaction.
-    fn execute(&self, ctx: &mut MultiCtx<'_>, args: &[Value]) -> Result<(), otp_storage::ProcError>;
+    fn execute(&self, ctx: &mut MultiCtx<'_>, args: &[Value])
+        -> Result<(), otp_storage::ProcError>;
 }
 
 /// Closure adapter for [`MultiProcedure`].
@@ -108,7 +114,11 @@ where
     fn name(&self) -> &str {
         &self.name
     }
-    fn execute(&self, ctx: &mut MultiCtx<'_>, args: &[Value]) -> Result<(), otp_storage::ProcError> {
+    fn execute(
+        &self,
+        ctx: &mut MultiCtx<'_>,
+        args: &[Value],
+    ) -> Result<(), otp_storage::ProcError> {
         (self.body)(ctx, args)
     }
 }
@@ -349,9 +359,7 @@ impl MultiReplica {
         let victims: BTreeSet<TxnId> = classes
             .iter()
             .filter_map(|class| self.queues[class.index()].front().copied())
-            .filter(|head| {
-                *head != txn && self.entries[head].delivery == DeliveryState::Pending
-            })
+            .filter(|head| *head != txn && self.entries[head].delivery == DeliveryState::Pending)
             .collect();
         for victim in victims {
             self.abort(victim);
@@ -389,12 +397,9 @@ impl MultiReplica {
         if e.exec == ExecState::Executed {
             return false;
         }
-        e.request
-            .classes
-            .iter()
-            .all(|c| self.queues[c.index()].front() == Some(&txn))
-            // None of its classes may be occupied by another running txn —
-            // implied by "head of all" since running txns are heads too.
+        e.request.classes.iter().all(|c| self.queues[c.index()].front() == Some(&txn))
+        // None of its classes may be occupied by another running txn —
+        // implied by "head of all" since running txns are heads too.
     }
 
     fn try_submit(&mut self, txn: TxnId) -> Option<MultiAction> {
@@ -416,9 +421,7 @@ impl MultiReplica {
         e.effects = Some(effects);
         self.running.insert(txn);
         self.counters.incr("submit");
-        Some(MultiAction::StartExecution {
-            token: ExecToken { txn, class: classes[0], attempt },
-        })
+        Some(MultiAction::StartExecution { token: ExecToken { txn, class: classes[0], attempt } })
     }
 
     fn submit_eligible_heads(&mut self, classes: &[ClassId]) -> Vec<MultiAction> {
@@ -721,7 +724,8 @@ mod tests {
                     MultiAction::StartExecution { token } => Some(*token),
                     _ => None,
                 }));
-                commits += actions.iter().filter(|a| matches!(a, MultiAction::Committed { .. })).count();
+                commits +=
+                    actions.iter().filter(|a| matches!(a, MultiAction::Committed { .. })).count();
                 actions.clear();
                 let Some(tok) = pending_tokens.pop() else {
                     break;
@@ -732,7 +736,9 @@ mod tests {
             r.check_invariants().unwrap();
             // Conservation: every transfer is ±1, so the grand total holds.
             let total: i64 = (0..4u32)
-                .map(|c| r.db().read_committed(ObjectId::new(c, 0)).and_then(Value::as_int).unwrap_or(0))
+                .map(|c| {
+                    r.db().read_committed(ObjectId::new(c, 0)).and_then(Value::as_int).unwrap_or(0)
+                })
                 .sum();
             assert_eq!(total, 400, "round {round}");
         }

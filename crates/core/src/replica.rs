@@ -248,9 +248,8 @@ impl Replica {
 
         let queue = &self.queues[class.index()];
         // CC1: the entry must exist (Local Order).
-        let entry = queue
-            .entry(txn)
-            .unwrap_or_else(|| panic!("{txn} TO-delivered before Opt-delivery"));
+        let entry =
+            queue.entry(txn).unwrap_or_else(|| panic!("{txn} TO-delivered before Opt-delivery"));
 
         if entry.exec == ExecState::Executed {
             // CC2–CC4: it can only be the head; commit and move on.
@@ -277,9 +276,7 @@ impl Replica {
 
         // CC10: schedule before the first pending transaction.
         let queue = &mut self.queues[class.index()];
-        let new_pos = queue
-            .reschedule_before_first_pending(txn)
-            .expect("entry exists");
+        let new_pos = queue.reschedule_before_first_pending(txn).expect("entry exists");
         if new_pos != tentative_pos {
             self.counters.incr("reorder");
         }
@@ -334,10 +331,7 @@ impl Replica {
         let queue = &mut self.queues[class.index()];
         let aborted = queue.abort_head().expect("queue is non-empty");
         if let Some(effects) = self.effects.remove(&aborted) {
-            self.db
-                .partition_mut(class)
-                .expect("class exists")
-                .apply_undo(&effects.undo);
+            self.db.partition_mut(class).expect("class exists").apply_undo(&effects.undo);
         }
         self.executing[class.index()] = None;
         self.counters.incr("abort");
@@ -346,16 +340,10 @@ impl Replica {
     /// E2–E3 / CC3–CC4: commit the head, install its versions at its
     /// definitive index, and submit the next transaction of the class.
     fn commit_head(&mut self, class: ClassId, txn: TxnId) -> Vec<ReplicaAction> {
-        let index = *self
-            .to_index
-            .get(&txn)
-            .expect("commit requires TO-delivery");
+        let index = *self.to_index.get(&txn).expect("commit requires TO-delivery");
         let queue = &mut self.queues[class.index()];
         let (_entry, has_next) = queue.commit_head(txn).expect("txn is the head");
-        let effects = self
-            .effects
-            .remove(&txn)
-            .expect("committed txn must have executed");
+        let effects = self.effects.remove(&txn).expect("committed txn must have executed");
         self.db
             .partition_mut(class)
             .expect("class exists")
@@ -368,11 +356,7 @@ impl Replica {
         self.history.push(CommittedTxn {
             id: txn,
             reads: effects.reads.iter().map(|k| ObjectId { class, key: *k }).collect(),
-            writes: effects
-                .undo
-                .written_keys()
-                .map(|k| ObjectId { class, key: k })
-                .collect(),
+            writes: effects.undo.written_keys().map(|k| ObjectId { class, key: k }).collect(),
             position: CommittedTxn::update_position(index),
         });
         self.committed_above.insert(index.raw());
@@ -381,11 +365,7 @@ impl Replica {
         }
         self.counters.incr("commit");
 
-        let mut actions = vec![ReplicaAction::Committed {
-            txn,
-            index,
-            output: effects.output,
-        }];
+        let mut actions = vec![ReplicaAction::Committed { txn, index, output: effects.output }];
         if has_next {
             actions.extend(self.submit_head(class));
         }
@@ -410,11 +390,7 @@ impl Replica {
             }
         }
         pending.sort_by_key(|(_, idx)| *idx);
-        ReplicaSnapshot {
-            db: self.db.committed_copy(),
-            last_index: self.last_index,
-            pending,
-        }
+        ReplicaSnapshot { db: self.db.committed_copy(), last_index: self.last_index, pending }
     }
 
     /// Rebuilds a fresh replica from a donor snapshot and immediately
@@ -428,8 +404,7 @@ impl Replica {
         let mut r = Replica::new(site, snapshot.db, registry);
         r.last_index = snapshot.last_index;
         // Committed = everything ≤ last_index except the pending tail.
-        let pending_idx: BTreeSet<u64> =
-            snapshot.pending.iter().map(|(_, i)| i.raw()).collect();
+        let pending_idx: BTreeSet<u64> = snapshot.pending.iter().map(|(_, i)| i.raw()).collect();
         let min_pending = pending_idx.iter().next().copied();
         r.watermark = match min_pending {
             Some(m) => TxnIndex::new(m - 1),
@@ -677,12 +652,7 @@ mod tests {
         let mut reg = ProcRegistry::new();
         reg.register_fn("fail", |_ctx, _args| Err(ProcError::Rule("always".into())));
         let mut r = Replica::new(SiteId::new(0), db(1), Arc::new(reg));
-        let request = TxnRequest::new(
-            tid(0),
-            ClassId::new(0),
-            otp_storage::ProcId::new(0),
-            vec![],
-        );
+        let request = TxnRequest::new(tid(0), ClassId::new(0), otp_storage::ProcId::new(0), vec![]);
         let a = r.on_opt_deliver(request);
         let tok = exec_token(&a);
         r.on_exec_done(tok);

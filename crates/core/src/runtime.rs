@@ -40,9 +40,7 @@
 use crate::cluster::TxnPayload;
 use crate::event::ReplicaAction;
 use crate::replica::Replica;
-use otp_broadcast::{
-    AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, TimerToken, Wire,
-};
+use otp_broadcast::{AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, TimerToken, Wire};
 use otp_simnet::{SimDuration, SiteId};
 use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, Value};
 use otp_txn::txn::{TxnId, TxnRequest};
@@ -304,7 +302,10 @@ fn site_main(
 ) -> (Vec<TxnId>, Database) {
     let mut engine: OptAbcast<TxnPayload> = OptAbcast::new(
         me,
-        OptAbcastConfig::new(cfg.sites, SimDuration::from_nanos(cfg.consensus_timeout.as_nanos() as u64)),
+        OptAbcastConfig::new(
+            cfg.sites,
+            SimDuration::from_nanos(cfg.consensus_timeout.as_nanos() as u64),
+        ),
     );
     let mut replica = Replica::new(me, db, registry);
     let mut timers: BinaryHeap<DuePending> = BinaryHeap::new();
@@ -329,12 +330,7 @@ fn site_main(
                 Pending::Timer(token) => (engine.on_timer(token), Vec::new()),
                 Pending::ExecDone(token) => (Vec::new(), replica.on_exec_done(token)),
             };
-            process_replica_actions(
-                replica_actions,
-                &mut timers,
-                cfg.exec_time,
-                &committed_total,
-            );
+            process_replica_actions(replica_actions, &mut timers, cfg.exec_time, &committed_total);
             process_engine_actions(
                 me,
                 engine_actions,
@@ -499,10 +495,7 @@ mod tests {
         let cluster = LiveCluster::start(
             LiveConfig::new(3, 2),
             registry(),
-            vec![
-                (ObjectId::new(0, 0), Value::Int(0)),
-                (ObjectId::new(1, 0), Value::Int(0)),
-            ],
+            vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
         );
         for i in 0..20u64 {
             cluster.submit(
@@ -530,10 +523,7 @@ mod tests {
             assert_eq!(proj(&report.committed[1]), proj(&report.committed[2]));
         }
         // 10 adds of +1 per class.
-        assert_eq!(
-            report.dbs[0].read_committed(ObjectId::new(0, 0)),
-            Some(&Value::Int(10))
-        );
+        assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(10)));
     }
 
     #[test]
@@ -543,8 +533,12 @@ mod tests {
             registry(),
             vec![(ObjectId::new(0, 0), Value::Int(0))],
         );
-        cluster.submit(SiteId::new(0), ClassId::new(0), ProcId::new(0),
-                       vec![Value::Int(0), Value::Int(5)]);
+        cluster.submit(
+            SiteId::new(0),
+            ClassId::new(0),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(5)],
+        );
         let report = cluster.shutdown(Duration::from_secs(10));
         assert_eq!(report.committed[0].len(), 1);
         assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(5)));

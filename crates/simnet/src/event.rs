@@ -76,12 +76,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            scheduled_total: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, scheduled_total: 0 }
     }
 
     /// Current virtual time: the timestamp of the most recently popped
@@ -119,11 +114,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than [`EventQueue::now`] — scheduling into
     /// the past is always a logic error in the caller.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: at={at} now={}",
-            self.now
-        );
+        assert!(at >= self.now, "cannot schedule into the past: at={at} now={}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;

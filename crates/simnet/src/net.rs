@@ -328,9 +328,8 @@ impl MulticastNet {
         let mut arrival = wire_done + self.config.propagation + jitter;
         // Rare receive-path processing spike.
         if self.config.spike_probability > 0.0 && rng.chance(self.config.spike_probability) {
-            arrival += SimDuration::from_secs_f64(
-                rng.exponential(self.config.spike_mean.as_secs_f64()),
-            );
+            arrival +=
+                SimDuration::from_secs_f64(rng.exponential(self.config.spike_mean.as_secs_f64()));
         }
         // Loss → geometric number of retransmission rounds, each adding a
         // fixed delay. The message is never dropped: channels are reliable.
@@ -422,10 +421,9 @@ mod tests {
 
     #[test]
     fn wire_serializes_back_to_back_sends() {
-        let mut net = MulticastNet::new(NetConfig::lan_10mbps(4).with_jitter(
-            SimDuration::ZERO,
-            SimDuration::ZERO,
-        ));
+        let mut net = MulticastNet::new(
+            NetConfig::lan_10mbps(4).with_jitter(SimDuration::ZERO, SimDuration::ZERO),
+        );
         let mut r = rng();
         let a = net.multicast(SiteId::new(0), 500, SimTime::ZERO, &mut r);
         let b = net.multicast(SiteId::new(1), 500, SimTime::ZERO, &mut r);
@@ -495,7 +493,8 @@ mod tests {
         let d = net.unicast(SiteId::new(0), SiteId::new(1), 64, SimTime::ZERO, &mut rng());
         assert!(d.arrival > heal);
         // The reverse direction is unaffected.
-        let d2 = net.unicast(SiteId::new(1), SiteId::new(0), 64, SimTime::from_millis(1), &mut rng());
+        let d2 =
+            net.unicast(SiteId::new(1), SiteId::new(0), 64, SimTime::from_millis(1), &mut rng());
         assert!(d2.arrival < heal);
     }
 

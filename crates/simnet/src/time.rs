@@ -24,7 +24,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// `SimTime` is totally ordered and cheap to copy. It is produced by the
 /// event loop and consumed by every timed component (network models,
 /// replicas, broadcast engines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -149,7 +151,9 @@ impl Sub<SimTime> for SimTime {
 ///
 /// Mirrors the subset of `std::time::Duration` the simulator needs, but is
 /// guaranteed to be 8 bytes and `Copy`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -89,7 +89,9 @@ impl fmt::Display for ObjectId {
 ///
 /// `TxnIndex::INITIAL` (zero) labels pre-loaded data; real transactions are
 /// indexed from 1 in TO-delivery order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct TxnIndex(u64);
 
 impl TxnIndex {

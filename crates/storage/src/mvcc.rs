@@ -56,10 +56,7 @@ impl VersionChain {
     /// installs are a logic error in the replica.
     pub fn install(&mut self, writer: TxnIndex, value: Value) {
         if let Some((last, _)) = self.versions.last() {
-            assert!(
-                writer > *last,
-                "version install out of order: {writer} after {last}"
-            );
+            assert!(writer > *last, "version install out of order: {writer} after {last}");
         }
         self.versions.push((writer, value));
     }

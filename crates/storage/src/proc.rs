@@ -135,10 +135,7 @@ impl ProcRegistry {
     /// Panics if a procedure with the same name is already registered.
     pub fn register(&mut self, proc: Arc<dyn StoredProcedure>) -> ProcId {
         let name = proc.name().to_string();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "duplicate stored procedure name: {name}"
-        );
+        assert!(!self.by_name.contains_key(&name), "duplicate stored procedure name: {name}");
         let id = ProcId::new(self.procs.len() as u32);
         self.by_name.insert(name, id);
         self.procs.push(proc);

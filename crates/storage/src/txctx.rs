@@ -201,8 +201,10 @@ mod tests {
         ctx.write(ObjectKey::new(9), Value::Int(1)).unwrap();
         let eff = ctx.finish();
         db.partition_mut(ClassId::new(0)).unwrap().apply_undo(&eff.undo);
-        assert_eq!(db.partition(ClassId::new(0)).unwrap().read_current(ObjectKey::new(0)),
-                   Some(&Value::Int(100)));
+        assert_eq!(
+            db.partition(ClassId::new(0)).unwrap().read_current(ObjectKey::new(0)),
+            Some(&Value::Int(100))
+        );
         assert_eq!(db.partition(ClassId::new(0)).unwrap().read_current(ObjectKey::new(9)), None);
     }
 

@@ -3,9 +3,7 @@
 //! model, for arbitrary operation sequences — including snapshot reads at
 //! arbitrary indices and garbage collection at arbitrary watermarks.
 
-use otp_storage::{
-    ClassId, Database, ObjectId, ObjectKey, SnapshotIndex, TxnCtx, TxnIndex, Value,
-};
+use otp_storage::{ClassId, Database, ObjectId, ObjectKey, SnapshotIndex, TxnCtx, TxnIndex, Value};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -213,10 +213,7 @@ mod tests {
 
     #[test]
     fn ww_conflict_ordered_by_position() {
-        let h = vec![
-            upd(1, 4, vec![], vec![obj(0, 0)]),
-            upd(2, 2, vec![], vec![obj(0, 0)]),
-        ];
+        let h = vec![upd(1, 4, vec![], vec![obj(0, 0)]), upd(2, 2, vec![], vec![obj(0, 0)])];
         let e = conflict_edges(&h);
         assert!(e.contains(&(tid(2), tid(1))));
         assert_eq!(e.len(), 1);
@@ -246,14 +243,8 @@ mod tests {
 
     #[test]
     fn sites_disagreeing_on_order_fail() {
-        let a = vec![
-            upd(1, 2, vec![], vec![obj(0, 0)]),
-            upd(2, 4, vec![], vec![obj(0, 0)]),
-        ];
-        let b = vec![
-            upd(1, 4, vec![], vec![obj(0, 0)]),
-            upd(2, 2, vec![], vec![obj(0, 0)]),
-        ];
+        let a = vec![upd(1, 2, vec![], vec![obj(0, 0)]), upd(2, 4, vec![], vec![obj(0, 0)])];
+        let b = vec![upd(1, 4, vec![], vec![obj(0, 0)]), upd(2, 2, vec![], vec![obj(0, 0)])];
         let err = check_one_copy_serializable(&[a, b]).unwrap_err();
         assert!(matches!(err, Violation::OrderConflict { .. }));
     }
@@ -265,6 +256,7 @@ mod tests {
     fn paper_query_anomaly_is_caught() {
         let x = obj(0, 0); // class Cx object
         let y = obj(1, 0); // class Cy object
+
         // Updates: T2 writes x (index 2), T5 writes y (index 5) — same at
         // both sites. Queries read both objects but at different local
         // points.
@@ -281,10 +273,7 @@ mod tests {
         // T2→(via Q)→T5 at N and T5→(via Q′)→T2 at N′: a cycle. Depending
         // on traversal order this may also surface as an order conflict —
         // either way it must be rejected.
-        assert!(
-            matches!(err, Violation::Cycle { .. } | Violation::OrderConflict { .. }),
-            "{err}"
-        );
+        assert!(matches!(err, Violation::Cycle { .. } | Violation::OrderConflict { .. }), "{err}");
     }
 
     #[test]
@@ -305,15 +294,16 @@ mod tests {
     #[test]
     fn position_helpers() {
         assert_eq!(CommittedTxn::update_position(TxnIndex::new(3)), 6);
-        assert_eq!(
-            CommittedTxn::query_position(SnapshotIndex::after(TxnIndex::new(3))),
-            7
-        );
+        assert_eq!(CommittedTxn::query_position(SnapshotIndex::after(TxnIndex::new(3))), 7);
         // A query at 3.5 sits strictly between updates 3 and 4.
-        assert!(CommittedTxn::query_position(SnapshotIndex::after(TxnIndex::new(3)))
-            > CommittedTxn::update_position(TxnIndex::new(3)));
-        assert!(CommittedTxn::query_position(SnapshotIndex::after(TxnIndex::new(3)))
-            < CommittedTxn::update_position(TxnIndex::new(4)));
+        assert!(
+            CommittedTxn::query_position(SnapshotIndex::after(TxnIndex::new(3)))
+                > CommittedTxn::update_position(TxnIndex::new(3))
+        );
+        assert!(
+            CommittedTxn::query_position(SnapshotIndex::after(TxnIndex::new(3)))
+                < CommittedTxn::update_position(TxnIndex::new(4))
+        );
     }
 
     #[test]

@@ -161,11 +161,8 @@ impl ClassQueue {
     ///
     /// Fails if the transaction is not queued.
     pub fn mark_committable(&mut self, txn: TxnId) -> Result<(), QueueError> {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.id() == txn)
-            .ok_or(QueueError::NotQueued(txn))?;
+        let e =
+            self.entries.iter_mut().find(|e| e.id() == txn).ok_or(QueueError::NotQueued(txn))?;
         e.delivery = DeliveryState::Committable;
         Ok(())
     }
@@ -373,6 +370,7 @@ mod tests {
     fn paper_example_abort_pending_head() {
         let mut q = queue_with(3);
         q.mark_executed(id(0)).unwrap(); // T1 executed but pending
+
         // CC6: T3 committable; CC7-8: head pending → abort; CC10: move T3.
         q.mark_committable(id(2)).unwrap();
         q.abort_head().unwrap();
@@ -405,10 +403,7 @@ mod tests {
     #[test]
     fn reschedule_missing_txn_fails() {
         let mut q = queue_with(1);
-        assert!(matches!(
-            q.reschedule_before_first_pending(id(9)),
-            Err(QueueError::NotQueued(_))
-        ));
+        assert!(matches!(q.reschedule_before_first_pending(id(9)), Err(QueueError::NotQueued(_))));
         assert!(matches!(q.mark_committable(id(9)), Err(QueueError::NotQueued(_))));
     }
 

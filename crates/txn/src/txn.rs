@@ -95,12 +95,8 @@ mod tests {
 
     #[test]
     fn request_size_scales_with_args() {
-        let small = TxnRequest::new(
-            TxnId::new(SiteId::new(0), 0),
-            ClassId::new(0),
-            ProcId::new(0),
-            vec![],
-        );
+        let small =
+            TxnRequest::new(TxnId::new(SiteId::new(0), 0), ClassId::new(0), ProcId::new(0), vec![]);
         let big = TxnRequest::new(
             TxnId::new(SiteId::new(0), 1),
             ClassId::new(0),

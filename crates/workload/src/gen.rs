@@ -142,7 +142,9 @@ impl WorkloadSpec {
             Arrival::Poisson { mean } => mean,
         };
         let clocks_init: Vec<SimTime> = (0..self.sites)
-            .map(|i| SimTime::from_millis(1) + base_step.mul_u64(i as u64).div_u64(self.sites as u64))
+            .map(|i| {
+                SimTime::from_millis(1) + base_step.mul_u64(i as u64).div_u64(self.sites as u64)
+            })
             .collect();
         let mut clocks = clocks_init;
         let advance = |rng: &mut SimRng, t: &mut SimTime| {
@@ -348,8 +350,8 @@ mod tests {
 
     #[test]
     fn zipf_selection_skews_classes() {
-        let spec = WorkloadSpec::new(2, 16, 2000)
-            .with_selection(ClassSelection::Zipf { exponent: 1.2 });
+        let spec =
+            WorkloadSpec::new(2, 16, 2000).with_selection(ClassSelection::Zipf { exponent: 1.2 });
         let s = spec.generate(&procs());
         let mut counts = vec![0u32; 16];
         for op in &s.ops {
@@ -362,10 +364,8 @@ mod tests {
 
     #[test]
     fn hotspot_selection_concentrates() {
-        let spec = WorkloadSpec::new(2, 10, 2000).with_selection(ClassSelection::HotSpot {
-            hot_fraction: 0.1,
-            hot_probability: 0.9,
-        });
+        let spec = WorkloadSpec::new(2, 10, 2000)
+            .with_selection(ClassSelection::HotSpot { hot_fraction: 0.1, hot_probability: 0.9 });
         let s = spec.generate(&procs());
         let mut hot = 0u32;
         for op in &s.ops {
@@ -384,11 +384,7 @@ mod tests {
         let spec = WorkloadSpec::new(1, 2, 200)
             .with_arrival(Arrival::Poisson { mean: SimDuration::from_millis(2) });
         let s = spec.generate(&procs());
-        let gaps: Vec<u64> = s
-            .ops
-            .windows(2)
-            .map(|w| (w[1].at() - w[0].at()).as_nanos())
-            .collect();
+        let gaps: Vec<u64> = s.ops.windows(2).map(|w| (w[1].at() - w[0].at()).as_nanos()).collect();
         let distinct: std::collections::HashSet<u64> = gaps.iter().copied().collect();
         assert!(distinct.len() > 20, "exponential gaps should vary");
     }

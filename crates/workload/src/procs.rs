@@ -99,10 +99,7 @@ mod tests {
         let (reg, procs) = StandardProcs::registry();
         let mut d = db();
         let mut ctx = TxnCtx::new(&mut d, ClassId::new(0));
-        reg.get(procs.add)
-            .unwrap()
-            .execute(&mut ctx, &[Value::Int(0), Value::Int(11)])
-            .unwrap();
+        reg.get(procs.add).unwrap().execute(&mut ctx, &[Value::Int(0), Value::Int(11)]).unwrap();
         let eff = ctx.finish();
         assert_eq!(eff.output, vec![Value::Int(111)]);
     }
@@ -146,10 +143,7 @@ mod tests {
             .unwrap()
             .execute(&mut ctx, &[Value::Int(5), Value::from("hello")])
             .unwrap();
-        reg.get(procs.touch_n)
-            .unwrap()
-            .execute(&mut ctx, &[Value::Int(0), Value::Int(1)])
-            .unwrap();
+        reg.get(procs.touch_n).unwrap().execute(&mut ctx, &[Value::Int(0), Value::Int(1)]).unwrap();
         drop(ctx);
         let p = d.partition(ClassId::new(0)).unwrap();
         assert_eq!(p.read_current(ObjectKey::new(5)), Some(&Value::from("hello")));

@@ -16,9 +16,7 @@
 
 use crate::gen::{Arrival, Op};
 use otp_simnet::{SimDuration, SimRng, SimTime, SiteId};
-use otp_storage::{
-    ClassId, ObjectId, ObjectKey, ProcError, ProcId, ProcRegistry, Value,
-};
+use otp_storage::{ClassId, ObjectId, ObjectKey, ProcError, ProcId, ProcRegistry, Value};
 use otp_txn::txn::TxnId;
 
 /// TPC-B-like workload configuration.
@@ -164,9 +162,7 @@ impl TpcB {
         for b in 0..self.branches {
             let class = ClassId::new(b);
             let read = |key: ObjectKey| -> i64 {
-                db.read_committed(ObjectId { class, key })
-                    .and_then(Value::as_int)
-                    .unwrap_or(0)
+                db.read_committed(ObjectId { class, key }).and_then(Value::as_int).unwrap_or(0)
             };
             let branch = read(Self::branch_key());
             let tellers: i64 = (0..self.tellers).map(|t| read(self.teller_key(t))).sum();

@@ -31,9 +31,7 @@ fn initial_data() -> Vec<(ObjectId, Value)> {
 }
 
 fn audit_reads() -> Vec<ObjectId> {
-    (0..BRANCHES)
-        .flat_map(|b| (0..ACCOUNTS).map(move |a| ObjectId::new(b, a)))
-        .collect()
+    (0..BRANCHES).flat_map(|b| (0..ACCOUNTS).map(move |a| ObjectId::new(b, a))).collect()
 }
 
 fn main() {
@@ -44,7 +42,8 @@ fn main() {
 
     // ---------------- OTP cluster ----------------
     let (registry, procs) = StandardProcs::registry();
-    let mut cluster = Cluster::new(ClusterConfig::new(4, BRANCHES as usize), registry, initial_data());
+    let mut cluster =
+        Cluster::new(ClusterConfig::new(4, BRANCHES as usize), registry, initial_data());
 
     // 60 intra-branch transfers, submitted all over the cluster.
     let mut t = SimTime::from_millis(1);
@@ -74,16 +73,17 @@ fn main() {
     println!("-- OTP (this paper) --");
     let stats = cluster.stats();
     println!("transfers committed: {}", stats.completed);
-    println!("aborts/reorders: {}/{}",
-             stats.counters.get("abort"), stats.counters.get("reorder"));
+    println!("aborts/reorders: {}/{}", stats.counters.get("abort"), stats.counters.get("reorder"));
     let mut all_exact = true;
     for (i, qid) in audit_ids.iter().enumerate() {
         let (snap, values) = &cluster.query_results[qid];
         let total: i64 = values.iter().filter_map(Value::as_int).sum();
         let exact = total == expected_total;
         all_exact &= exact;
-        println!("audit {i} @ snapshot {snap}: total = {total} ({})",
-                 if exact { "exact" } else { "INCONSISTENT" });
+        println!(
+            "audit {i} @ snapshot {snap}: total = {total} ({})",
+            if exact { "exact" } else { "INCONSISTENT" }
+        );
     }
     assert!(all_exact, "every OTP audit sees an exact total");
     assert!(cluster.converged());
@@ -91,7 +91,8 @@ fn main() {
     // ---------------- Lazy replication, same story ----------------
     println!("\n-- lazy primary-copy replication (commercial baseline) --");
     let (registry, procs) = StandardProcs::registry();
-    let mut lazy = AsyncCluster::new(AsyncConfig::new(4, BRANCHES as usize), registry, initial_data());
+    let mut lazy =
+        AsyncCluster::new(AsyncConfig::new(4, BRANCHES as usize), registry, initial_data());
     let mut t = SimTime::from_millis(1);
     for i in 0..60u64 {
         let branch = ClassId::new((i % BRANCHES as u64) as u32);

@@ -99,11 +99,7 @@ fn main() {
     println!("commit order        : {log:?}");
     let total: i64 = (0..DEPARTMENTS)
         .map(|d| {
-            replica
-                .db()
-                .read_committed(ObjectId::new(d, 0))
-                .and_then(Value::as_int)
-                .unwrap_or(0)
+            replica.db().read_committed(ObjectId::new(d, 0)).and_then(Value::as_int).unwrap_or(0)
         })
         .sum();
     println!("total funds         : {total} (invariant: {})", DEPARTMENTS as i64 * OPENING);

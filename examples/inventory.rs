@@ -65,8 +65,11 @@ fn main() {
     let sc = cons.stats();
     println!("-- OTP --");
     println!("commit latency : {}", so.commit_latency.clone().summary());
-    println!("aborts         : {} ({:.1}% of executions)",
-             so.counters.get("abort"), 100.0 * so.abort_rate());
+    println!(
+        "aborts         : {} ({:.1}% of executions)",
+        so.counters.get("abort"),
+        100.0 * so.abort_rate()
+    );
     println!("reorders       : {}", so.counters.get("reorder"));
     println!();
     println!("-- conservative --");
@@ -76,14 +79,18 @@ fn main() {
 
     let speedup = sc.commit_latency.mean().as_millis_f64()
         / so.commit_latency.mean().as_millis_f64().max(0.001);
-    println!("OTP mean latency is {speedup:.2}x lower, at the cost of {} aborts.",
-             so.counters.get("abort"));
+    println!(
+        "OTP mean latency is {speedup:.2}x lower, at the cost of {} aborts.",
+        so.counters.get("abort")
+    );
 
     // Both runs must end in the identical committed state: the aborts are
     // an implementation detail, never visible in the data.
     assert!(otp.converged() && cons.converged());
-    assert!(otp.replicas[0].db().committed_state_eq(cons.replicas[0].db()),
-            "optimism must not change the outcome");
+    assert!(
+        otp.replicas[0].db().committed_state_eq(cons.replicas[0].db()),
+        "optimism must not change the outcome"
+    );
     check_one_copy_serializable(&otp.histories()).expect("OTP is 1-copy-serializable");
     println!("\nfinal states of both systems are identical; histories 1-copy-serializable.");
 }

@@ -18,10 +18,7 @@ fn main() {
     let (registry, procs) = StandardProcs::registry();
 
     // Two conflict classes, one object each.
-    let initial = vec![
-        (ObjectId::new(0, 0), Value::Int(0)),
-        (ObjectId::new(1, 0), Value::Int(0)),
-    ];
+    let initial = vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))];
     let cluster = LiveCluster::start(LiveConfig::new(3, 2), registry, initial);
 
     println!("== otpdb live cluster (3 threads) ==");

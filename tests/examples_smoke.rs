@@ -1,0 +1,64 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion. The examples are the documentation's entry points (the
+//! README-level "how do I drive this thing"), so this suite keeps them
+//! from rotting as the API evolves.
+//!
+//! Each example is executed through the same `cargo` that runs this
+//! test, against the same target directory; after the main build this is
+//! an incremental no-op plus the example's own (seconds-long) runtime.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs one example to completion and asserts a zero exit status.
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    assert!(
+        Path::new(manifest_dir).join("examples").join(format!("{name}.rs")).exists(),
+        "example source examples/{name}.rs is missing"
+    );
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .env("PROPTEST_CASES", "2") // irrelevant to examples, cheap insurance
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn example_banking_runs() {
+    run_example("banking");
+}
+
+#[test]
+fn example_inventory_runs() {
+    run_example("inventory");
+}
+
+#[test]
+fn example_cross_class_transfers_runs() {
+    run_example("cross_class_transfers");
+}
+
+#[test]
+fn example_live_cluster_runs() {
+    run_example("live_cluster");
+}
+
+#[test]
+fn example_quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn example_spontaneous_order_runs() {
+    run_example("spontaneous_order");
+}

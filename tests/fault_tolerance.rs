@@ -129,10 +129,7 @@ fn recovered_site_serves_consistent_queries() {
         cluster.schedule_query(
             SimTime::from_millis(200 + q * 10),
             SiteId::new(3),
-            vec![
-                otpdb::storage::ObjectId::new(0, 0),
-                otpdb::storage::ObjectId::new(1, 0),
-            ],
+            vec![otpdb::storage::ObjectId::new(0, 0), otpdb::storage::ObjectId::new(1, 0)],
         );
     }
     cluster.run_until(SimTime::from_secs(300));

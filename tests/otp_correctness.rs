@@ -155,7 +155,8 @@ fn outputs_returned_to_origin() {
     let spec = WorkloadSpec::new(2, 2, 10).with_seed(131);
     let (registry, procs) = StandardProcs::registry();
     let schedule = spec.generate(&procs);
-    let mut cluster = Cluster::new(ClusterConfig::new(2, 2).with_seed(131), registry, spec.initial_data());
+    let mut cluster =
+        Cluster::new(ClusterConfig::new(2, 2).with_seed(131), registry, spec.initial_data());
     let ids = schedule.apply(&mut cluster);
     cluster.run_until(SimTime::from_secs(60));
     for id in ids {

@@ -66,8 +66,10 @@ fn tpcb_otp_equals_conservative_final_state() {
     let engine = EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) };
     let (_, otp) = run_tpcb(engine, Mode::Otp, 311);
     let (_, cons) = run_tpcb(engine, Mode::Conservative, 311);
-    assert!(otp.replicas[0].db().committed_state_eq(cons.replicas[0].db()),
-            "optimism must not change TPC-B outcomes");
+    assert!(
+        otp.replicas[0].db().committed_state_eq(cons.replicas[0].db()),
+        "optimism must not change TPC-B outcomes"
+    );
 }
 
 #[test]

@@ -1,0 +1,210 @@
+//! Offline shim for `criterion` 0.5: real wall-clock measurement with a
+//! plain-text report, no statistics machinery. Each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and prints the
+//! median per-iteration time. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in `iter_batched`; the shim
+/// times each routine call individually, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: thousands per batch upstream.
+    SmallInput,
+    /// Large inputs: tens per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call one
+    /// of its `iter*` methods.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Times closures on behalf of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// How many routine invocations one timed sample aggregates, so
+    /// that nanosecond-scale routines are not dominated by the two
+    /// `Instant` reads bracketing the sample. Aims each sample at
+    /// ~20 µs of work, bounded by `cap`.
+    fn iters_per_sample(estimate: Duration, cap: u64) -> u64 {
+        const TARGET: Duration = Duration::from_micros(20);
+        let est_nanos = estimate.as_nanos().max(1);
+        ((TARGET.as_nanos() / est_nanos) as u64).clamp(1, cap)
+    }
+
+    /// Times `routine` with no per-iteration setup.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (untimed) to fault in code and caches; the fastest
+        // warm-up call estimates the per-iteration cost.
+        let mut estimate = Duration::MAX;
+        for _ in 0..3.min(self.sample_size) {
+            let start = Instant::now();
+            black_box(routine());
+            estimate = estimate.min(start.elapsed());
+        }
+        let k = Self::iters_per_sample(estimate, 65_536);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..k {
+                    black_box(routine());
+                }
+                start.elapsed() / k as u32
+            })
+            .collect();
+    }
+
+    /// Times `routine` over fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut estimate = Duration::MAX;
+        for _ in 0..3.min(self.sample_size) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            estimate = estimate.min(start.elapsed());
+        }
+        // The batch-size hint bounds how many (possibly large) inputs
+        // are alive at once within one sample.
+        let cap = match size {
+            BatchSize::SmallInput => 1024,
+            BatchSize::LargeInput => 16,
+            BatchSize::PerIteration => 1,
+        };
+        let k = Self::iters_per_sample(estimate, cap);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let inputs: Vec<I> = (0..k).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                start.elapsed() / k as u32
+            })
+            .collect();
+    }
+
+    /// `iter_batched` with by-reference inputs.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size)
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no measurement: iter was never called)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "{id:<50} median {:>12?}  (min {:>12?}, max {:>12?}, n={})",
+            median,
+            lo,
+            hi,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark targets; both upstream forms are
+/// accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u32;
+        c.bench_function("shim/iter", |b| b.iter(|| ran += 1));
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(4);
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |mut v| v.pop(), BatchSize::SmallInput)
+        });
+    }
+}

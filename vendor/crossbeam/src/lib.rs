@@ -1,0 +1,62 @@
+//! Offline shim for `crossbeam`: the `channel` module the workspace
+//! uses, backed by `std::sync::mpsc`.
+//!
+//! Since Rust 1.72 the std mpsc implementation *is* crossbeam's
+//! (upstreamed), and `Sender` is `Sync`, so an unbounded MPSC channel
+//! behaves identically for this workspace's single-consumer-per-channel
+//! topology. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer channels with timeout-capable receivers.
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip_and_timeout() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

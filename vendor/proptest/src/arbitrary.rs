@@ -1,0 +1,87 @@
+//! The `any::<T>()` entry point and the [`Arbitrary`] trait behind it.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    fn arbitrary() -> AnyStrategy<Self>;
+
+    /// Draws one value; implementors only provide this.
+    fn sample_any(rng: &mut TestRng) -> Self;
+}
+
+/// Generates any value of `T` (the strategy behind [`any`]).
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AnyStrategy")
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => $sample:expr),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> AnyStrategy<Self> {
+                AnyStrategy { _marker: PhantomData }
+            }
+            #[allow(clippy::redundant_closure_call)]
+            fn sample_any(rng: &mut TestRng) -> Self {
+                ($sample)(rng)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary! {
+    bool => |rng: &mut TestRng| rng.next_u64() & 1 == 1,
+    u8 => |rng: &mut TestRng| rng.next_u64() as u8,
+    u16 => |rng: &mut TestRng| rng.next_u64() as u16,
+    u32 => |rng: &mut TestRng| rng.next_u64() as u32,
+    u64 => |rng: &mut TestRng| rng.next_u64(),
+    usize => |rng: &mut TestRng| rng.next_u64() as usize,
+    i8 => |rng: &mut TestRng| rng.next_u64() as i8,
+    i16 => |rng: &mut TestRng| rng.next_u64() as i16,
+    i32 => |rng: &mut TestRng| rng.next_u64() as i32,
+    i64 => |rng: &mut TestRng| rng.next_u64() as i64,
+    isize => |rng: &mut TestRng| rng.next_u64() as isize,
+    f64 => |rng: &mut TestRng| rng.unit_f64(),
+    f32 => |rng: &mut TestRng| rng.unit_f64() as f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let mut rng = TestRng::from_seed(10);
+        let s = any::<bool>();
+        let (mut t, mut f) = (false, false);
+        for _ in 0..100 {
+            if s.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+}

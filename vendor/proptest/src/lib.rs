@@ -1,0 +1,164 @@
+//! Offline shim for `proptest` 1.x: deterministic random property
+//! testing with the macro and strategy surface this workspace uses.
+//!
+//! Differences from upstream, by design (see `vendor/README.md`):
+//!
+//! * **Deterministic by default.** Each `proptest!`-generated test
+//!   derives its RNG seed from the test's module path and name, so two
+//!   consecutive runs generate identical cases — CI reproducibility is
+//!   a hard requirement of this workspace. Set `PROPTEST_SEED` to
+//!   explore a different universe of cases.
+//! * **No shrinking.** A failing case reports its case index and the
+//!   effective seed; re-running reproduces it exactly, which replaces
+//!   shrinking as the debugging workflow here.
+//! * **`PROPTEST_CASES`** (env) overrides every suite's configured case
+//!   count, letting CI bound wall-clock time globally.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: `fn name(pat in strategy, ...) { body }`
+/// items, each expanded to a `#[test]`-able function that runs the body
+/// over `cases` generated inputs. An optional leading
+/// `#![proptest_config(expr)]` sets the configuration for every test in
+/// the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item at a
+/// time so arbitrary numbers of tests share one config expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            let seed = $crate::test_runner::TestRng::resolve_seed(test_name);
+            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+            for case in 0..cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let __proptest_case = move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __proptest_case()
+                };
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case}/{cases} failed (seed {seed:#x}, \
+                         re-run with PROPTEST_SEED={seed} to reproduce): {e}"
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (with formatted context) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), l, r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), l),
+            ));
+        }
+    }};
+}
+
+/// Uniform (or weighted, `w => strat`) choice among strategies that
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

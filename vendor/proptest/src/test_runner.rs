@@ -1,0 +1,163 @@
+//! Configuration, error type and deterministic RNG for the shimmed
+//! property-test runner.
+
+use std::fmt;
+
+/// Per-block configuration; only the knobs this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test generates (before the
+    /// `PROPTEST_CASES` environment override).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable, when set and parseable, overrides the configured value
+    /// so CI can bound wall-clock time globally.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A failed (or, in upstream terms, rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message` as its explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Shorthand used by helpers that return into `?` inside `proptest!`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generator behind every strategy (xoshiro256++; same
+/// construction as the workspace's `rand` shim, duplicated so this
+/// crate stays dependency-free).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator from an explicit 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// The seed a test named `test_name` runs under: `PROPTEST_SEED`
+    /// (env) when set, otherwise an FNV-1a hash of the name — stable
+    /// across runs and across machines.
+    pub fn resolve_seed(test_name: &str) -> u64 {
+        if let Ok(v) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = v.trim().parse::<u64>() {
+                return seed;
+            }
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be non-zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = TestRng::resolve_seed("crate::tests::alpha");
+        let b = TestRng::resolve_seed("crate::tests::beta");
+        assert_eq!(a, TestRng::resolve_seed("crate::tests::alpha"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::from_seed(99);
+        let mut b = TestRng::from_seed(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..10_000 {
+            assert!(rng.index(13) < 13);
+        }
+    }
+
+    #[test]
+    fn config_cases_round_trip() {
+        assert_eq!(ProptestConfig::with_cases(17).cases, 17);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline shim for `rand` 0.8: the trait surface the workspace uses
+//! (`RngCore`, `SeedableRng`, `Rng::{gen, gen_range}`) over a
+//! deterministic xoshiro256++ generator seeded via SplitMix64.
+//!
+//! The bit streams differ from upstream `StdRng` (which is ChaCha12),
+//! but every consumer in this workspace treats the generator as an
+//! opaque deterministic stream, so only determinism and statistical
+//! quality matter — xoshiro256++ provides both. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// Core random-number generation: raw output words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain via `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types samplable uniformly from a sub-range via `Rng::gen_range`.
+pub trait SampleUniform: Sized + Copy {
+    /// Draws a value from the range described by the two bounds.
+    /// Panics on an empty range, like the real crate.
+    fn sample_bounds<R: RngCore + ?Sized>(rng: &mut R, lo: Bound<&Self>, hi: Bound<&Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_bounds<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Bound<&Self>,
+                hi: Bound<&Self>,
+            ) -> Self {
+                // Work in i128 so inclusive bounds at the type extremes
+                // (e.g. `0..=u64::MAX`) need no saturating arithmetic.
+                let lo = match lo {
+                    Bound::Included(&v) => v as i128,
+                    Bound::Excluded(&v) => v as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi_inclusive = match hi {
+                    Bound::Included(&v) => v as i128,
+                    Bound::Excluded(&v) => v as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi_inclusive, "gen_range requires a non-empty range");
+                // Multiply-shift bounded sampling (Lemire); span is at
+                // most 2^64 so the product fits in u128, and the bias
+                // for simulation-scale spans is immaterial.
+                let span = (hi_inclusive - lo + 1) as u128;
+                let v = ((rng.next_u64() as u128) * span) >> 64;
+                (lo + v as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_bounds<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Bound<&Self>,
+                hi: Bound<&Self>,
+            ) -> Self {
+                let lo = match lo {
+                    Bound::Included(&v) | Bound::Excluded(&v) => v,
+                    Bound::Unbounded => <$t>::MIN,
+                };
+                let hi = match hi {
+                    Bound::Included(&v) | Bound::Excluded(&v) => v,
+                    Bound::Unbounded => <$t>::MAX,
+                };
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`] like the real crate.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly over the type's whole domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+        Self: Sized,
+    {
+        T::sample_bounds(self, range.start_bound(), range.end_bound())
+    }
+
+    /// Bernoulli trial.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for upstream's
+    /// ChaCha12-based `StdRng`; see the crate docs for why that's fine).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the 64-bit seed into 256 bits of well-mixed state;
+            // SplitMix64 guarantees no all-zero state for any seed.
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step (Blackman & Vigna).
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(2);
+        assert_ne!(StdRng::seed_from_u64(1).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let x: i64 = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&x));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_type_extremes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Inclusive bounds at the domain edges must be reachable and
+        // must not panic (the real crate supports both).
+        assert_eq!(rng.gen_range(u64::MAX..=u64::MAX), u64::MAX);
+        assert_eq!(rng.gen_range(i64::MIN..=i64::MIN), i64::MIN);
+        let mut hit_top_half = false;
+        for _ in 0..64 {
+            let v: u64 = rng.gen_range(0..=u64::MAX);
+            hit_top_half |= v > u64::MAX / 2;
+        }
+        assert!(hit_top_half, "full-domain sampling never reached the top half");
+        let b: u8 = rng.gen_range(0..=u8::MAX);
+        let _ = b; // all u8 values are valid; just must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _: u32 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn unit_floats_fill_the_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline shim for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (for
+//! forward compatibility with a networked runtime); nothing serializes
+//! at run time, so the traits carry no methods. The derive macros are
+//! re-exported under the trait names exactly like the real crate, so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(Serialize)]`
+//! compile unchanged. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace stand-in mirroring `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

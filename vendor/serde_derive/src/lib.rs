@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its wire and
+//! storage types for forward compatibility (a future networked runtime
+//! will serialize them), but nothing in the simulation stack calls a
+//! serializer, so empty expansions are sufficient and keep the build
+//! dependency-free. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
