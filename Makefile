@@ -5,8 +5,11 @@ CARGO ?= cargo
 # Bound property-based suite wall time (same value CI uses). Override:
 #   make test PROPTEST_CASES=256
 PROPTEST_CASES ?= 16
+# Seed budget of the chaos swarm sweep (same value CI uses). Override:
+#   make chaos CHAOS_SEEDS=720
+CHAOS_SEEDS ?= 16
 
-.PHONY: all build test bench lint fmt clippy ci clean
+.PHONY: all build test bench chaos lint fmt clippy ci clean
 
 all: build
 
@@ -23,6 +26,12 @@ test:
 bench:
 	$(CARGO) bench -p otp-bench
 
+## Sweep CHAOS_SEEDS seeds across the chaos grid (engine × mode ×
+## nemesis intensity); fails with one-line reproducers on any invariant
+## violation. See DESIGN.md §6.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release -p otp-lab --bin swarm
+
 ## Formatting + lints, exactly as CI enforces them.
 lint: fmt clippy
 
@@ -33,7 +42,7 @@ clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
 ## The full CI pipeline, in CI's order.
-ci: build test lint
+ci: build test chaos lint
 
 clean:
 	$(CARGO) clean

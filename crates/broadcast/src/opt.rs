@@ -279,6 +279,12 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
             return Vec::new(); // duplicate
         }
         let id = msg.id;
+        // A message tagged with our own origin is one a previous
+        // incarnation of this endpoint sent before crashing: never reuse
+        // its sequence number.
+        if id.origin == self.me {
+            self.next_seq = self.next_seq.max(id.seq + 1);
+        }
         self.received.insert(id, msg.clone());
         let mut out = Vec::new();
         if self.to_set.contains(&id) {
@@ -372,6 +378,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
             decided: self.decided.clone(),
             received: self.received.values().cloned().collect(),
             definitive_log: self.definitive_log.clone(),
+            order_tags: Vec::new(),
         }
     }
 

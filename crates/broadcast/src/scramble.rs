@@ -172,6 +172,11 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
         if self.received.contains_key(&msg.id) {
             return Vec::new();
         }
+        // Sent by a previous incarnation of this endpoint: never reuse its
+        // sequence number.
+        if msg.id.origin == self.me {
+            self.next_seq = self.next_seq.max(msg.id.seq + 1);
+        }
         self.received.insert(msg.id, msg.clone());
         self.order.insert(oracle_seq, msg.id);
         self.ripe.insert(oracle_seq, false);
@@ -217,6 +222,10 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
             decided,
             received: self.received.values().cloned().collect(),
             definitive_log: self.definitive_log.clone(),
+            // The oracle seq of every known message: the only way a
+            // restored endpoint can re-arm messages the donor had received
+            // but not yet TO-delivered.
+            order_tags: self.order.iter().map(|(seq, id)| (*id, *seq)).collect(),
         }
     }
 
@@ -226,12 +235,36 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
         for m in snapshot.received {
             self.received.insert(m.id, m);
         }
+        // TO-delivery is strictly in oracle-seq order from zero, so the
+        // definitive log covers seqs 0..len densely.
         self.deliver_next = snapshot.definitive_log.len() as u64;
-        for (i, id) in snapshot.definitive_log.iter().enumerate() {
-            self.order.insert(i as u64, *id);
-            self.ripe.insert(i as u64, true);
+        let mut actions = Vec::new();
+        for (id, seq) in snapshot.order_tags {
+            self.order.insert(seq, id);
+            if seq < self.deliver_next {
+                self.ripe.insert(seq, true);
+            } else {
+                // Received by the donor but not yet TO-delivered: tentative
+                // again at this site — re-emit the Opt-delivery and restart
+                // the agreement timer (the pre-crash timer died with the
+                // crashed endpoint).
+                self.ripe.insert(seq, false);
+                let msg = self.received[&id].clone();
+                self.opt_deliver(msg, &mut actions);
+                actions.push(EngineAction::SetTimer {
+                    token: TimerToken { instance: seq, round: ORACLE_ROUND },
+                    delay: self.cfg.agreement_delay,
+                });
+            }
         }
-        Vec::new()
+        // Our own sequence numbers must not collide with pre-crash ones —
+        // peers would silently drop the reused ids and their oracle seqs
+        // would become permanent holes in the delivery order.
+        let my_max = self.received.keys().filter(|id| id.origin == self.me).map(|id| id.seq).max();
+        if let Some(mx) = my_max {
+            self.next_seq = self.next_seq.max(mx + 1);
+        }
+        actions
     }
 }
 
@@ -381,6 +414,68 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec!["opt", "to"]);
+    }
+
+    #[test]
+    fn restore_does_not_reuse_own_msg_ids() {
+        // Found by the chaos swarm: a restored endpoint restarting at
+        // next_seq = 0 reuses pre-crash MsgIds, which every peer silently
+        // deduplicates — the reused ids' oracle seqs become permanent holes
+        // and TO-delivery stalls cluster-wide.
+        let cfg = ScrambleConfig::delay_only(SimDuration::from_millis(1));
+        let oracle = Oracle::new();
+        let mut rng = SimRng::seed_from(8);
+        let mut a: ScrambledAbcast<u32> =
+            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
+        let (id0, actions) = a.broadcast(1);
+        // The endpoint must see its own multicast to know the id is taken.
+        for act in actions {
+            if let EngineAction::Multicast(w) = act {
+                a.on_receive(SiteId::new(0), w);
+            }
+        }
+        let snap = a.snapshot();
+        let mut fresh: ScrambledAbcast<u32> =
+            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
+        fresh.restore(snap);
+        let (id1, _) = fresh.broadcast(2);
+        assert_ne!(id0, id1, "restored endpoint must not reuse pre-crash ids");
+        assert!(id1.seq > id0.seq);
+    }
+
+    #[test]
+    fn restore_rearms_pending_messages() {
+        // A message the donor had received but not yet TO-delivered must be
+        // re-armed (fresh Opt-delivery + agreement timer) at the restored
+        // endpoint, otherwise its oracle seq never ripens there.
+        let cfg = ScrambleConfig::delay_only(SimDuration::from_millis(1));
+        let oracle = Oracle::new();
+        let mut rng = SimRng::seed_from(9);
+        let mut donor: ScrambledAbcast<u32> =
+            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
+        let id = MsgId::new(SiteId::new(1), 0);
+        donor.on_receive(
+            SiteId::new(1),
+            Wire::OracleData { msg: Message { id, payload: 7 }, oracle_seq: 0 },
+        );
+        // Not yet ripe at the donor — snapshot now.
+        let snap = donor.snapshot();
+        let mut fresh: ScrambledAbcast<u32> =
+            ScrambledAbcast::new(SiteId::new(2), cfg, Arc::clone(&oracle), rng.fork());
+        let actions = fresh.restore(snap);
+        assert!(
+            actions.iter().any(|a| matches!(a, EngineAction::OptDeliver(m) if m.id == id)),
+            "pending message is tentative again"
+        );
+        let timer = actions.iter().find_map(|a| match a {
+            EngineAction::SetTimer { token, .. } => Some(*token),
+            _ => None,
+        });
+        let token = timer.expect("agreement timer re-armed");
+        assert_eq!(token.instance, 0, "armed with the original oracle seq");
+        // When the timer fires the message TO-delivers.
+        let fired = fresh.on_timer(token);
+        assert!(fired.iter().any(|a| matches!(a, EngineAction::ToDeliver(d) if *d == id)));
     }
 
     #[test]

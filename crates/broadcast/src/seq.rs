@@ -88,6 +88,11 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
             return Vec::new();
         }
         let id = msg.id;
+        // Sent by a previous incarnation of this endpoint: never reuse its
+        // sequence number.
+        if id.origin == self.me {
+            self.next_seq = self.next_seq.max(id.seq + 1);
+        }
         self.received.insert(id, msg.clone());
         let mut out = Vec::new();
         if !self.to_set.contains(&id) && self.opt_set.insert(id) {
@@ -105,6 +110,12 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
 
     fn on_order(&mut self, seqno: u64, id: MsgId) -> Vec<EngineAction<P>> {
         self.order.entry(seqno).or_insert(id);
+        // A sequencer must never reassign a sequence number it has seen
+        // assigned — a restored sequencer learns its own pre-crash
+        // assignments through replayed SeqOrder wires.
+        if self.me == self.sequencer {
+            self.next_global = self.next_global.max(seqno + 1);
+        }
         self.try_deliver()
     }
 }
@@ -144,6 +155,9 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             decided,
             received: self.received.values().cloned().collect(),
             definitive_log: self.definitive_log.clone(),
+            // Every sequence assignment seen so far, delivered or not — a
+            // restored sequencer must never reassign one of them.
+            order_tags: self.order.iter().map(|(seqno, id)| (*id, *seqno)).collect(),
         }
     }
 
@@ -159,7 +173,15 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             self.order.insert(i as u64, *id);
         }
         self.deliver_next = snapshot.definitive_log.len() as u64;
+        // Undelivered assignments the donor knew about (e.g. an order wire
+        // that outran its data) survive the transfer, and the sequencing
+        // cursor moves past everything ever assigned — reassigning a seqno
+        // would make sites TO-deliver different messages at one position.
         self.next_global = self.deliver_next;
+        for (id, seqno) in snapshot.order_tags {
+            self.order.insert(seqno, id);
+            self.next_global = self.next_global.max(seqno + 1);
+        }
         let my_max = self.received.keys().filter(|id| id.origin == self.me).map(|id| id.seq).max();
         if let Some(mx) = my_max {
             self.next_seq = self.next_seq.max(mx + 1);
@@ -317,5 +339,40 @@ mod tests {
         pump(&mut es, wires);
         assert_eq!(es[0].definitive_log().len(), 6);
         assert_eq!(es[0].definitive_log(), es[1].definitive_log());
+    }
+
+    /// A restored sequencer must not reassign a sequence number the donor
+    /// had seen assigned but not yet delivered (an order wire can outrun
+    /// its data): reassignment would make sites TO-deliver different
+    /// messages at the same position.
+    #[test]
+    fn restored_sequencer_skips_donor_known_undelivered_seqnos() {
+        let id_m = MsgId::new(SiteId::new(0), 0);
+        // Donor (site 1) saw SeqOrder{0, M} but never M's data, so its
+        // definitive log is empty while order[0] is taken.
+        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        donor.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id: id_m });
+        assert!(donor.definitive_log().is_empty());
+        // The sequencer (site 0) recovers from that donor and numbers a
+        // fresh message: it must pick seqno 1, not 0.
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        seq.restore(donor.snapshot());
+        let (_, actions) = seq.broadcast(42);
+        let data = actions
+            .iter()
+            .find_map(|a| match a {
+                EngineAction::Multicast(Wire::Data(m)) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("broadcast multicasts data");
+        let assigned = seq
+            .on_receive(SiteId::new(0), Wire::Data(data))
+            .iter()
+            .find_map(|a| match a {
+                EngineAction::Multicast(Wire::SeqOrder { seqno, .. }) => Some(*seqno),
+                _ => None,
+            })
+            .expect("sequencer numbers the new message");
+        assert_eq!(assigned, 1, "seqno 0 is already taken by the undelivered assignment");
     }
 }

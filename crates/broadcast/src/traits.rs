@@ -20,6 +20,11 @@ pub struct EngineSnapshot<P> {
     pub received: Vec<Message<P>>,
     /// Definitive log: every TO-delivered id, in delivery order.
     pub definitive_log: Vec<MsgId>,
+    /// Engine-specific global sequence tags for received messages (empty
+    /// for engines whose order is reconstructible from `decided`; the
+    /// oracle engine needs them to re-arm undelivered messages after a
+    /// restore).
+    pub order_tags: Vec<(MsgId, u64)>,
 }
 
 /// An atomic broadcast endpoint at one site.

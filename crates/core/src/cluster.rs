@@ -20,11 +20,12 @@ use otp_broadcast::{
     ScrambleConfig, ScrambledAbcast, SeqAbcast, TimerToken, Wire,
 };
 use otp_simnet::metrics::{Counters, Histogram};
+use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
 use otp_simnet::{EventQueue, MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
 use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, SnapshotIndex, Value};
 use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{TxnId, TxnRequest};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Newtype wrapping [`TxnRequest`] as the broadcast payload (satisfies the
@@ -285,6 +286,7 @@ enum Ev {
     QueryDone { site: SiteId, epoch: u32, qid: TxnId },
     Crash { site: SiteId },
     Recover { site: SiteId, donor: SiteId },
+    Nemesis(NemesisEvent),
 }
 
 /// Aggregate results of a run.
@@ -343,13 +345,16 @@ pub struct Cluster {
     crashed: Vec<bool>,
     epoch: Vec<u32>,
     held_wires: Vec<Vec<(SiteId, Wire<TxnPayload>)>>,
+    /// Wires whose directed link is cut by a nemesis partition, replayed
+    /// on heal (channels are reliable across partitions, like crashes).
+    partition_held: Vec<(SiteId, SiteId, Wire<TxnPayload>)>,
     /// Per-site map from broadcast message id to transaction identity,
     /// filled at Opt-delivery (TO-deliver only carries the id).
     msg_map: Vec<HashMap<MsgId, (TxnId, ClassId)>>,
     next_txn_seq: Vec<u64>,
     next_query_seq: u64,
     submit_time: HashMap<TxnId, SimTime>,
-    commit_count: HashMap<TxnId, usize>,
+    commit_sites: HashMap<TxnId, HashSet<SiteId>>,
     query_start: HashMap<TxnId, SimTime>,
     /// Results of completed queries: `(snapshot, values read)`.
     pub query_results: HashMap<TxnId, (SnapshotIndex, Vec<Value>)>,
@@ -431,11 +436,12 @@ impl Cluster {
             crashed: vec![false; sites],
             epoch: vec![0; sites],
             held_wires: (0..sites).map(|_| Vec::new()).collect(),
+            partition_held: Vec::new(),
             msg_map: (0..sites).map(|_| HashMap::new()).collect(),
             next_txn_seq: vec![0; sites],
             next_query_seq: 0,
             submit_time: HashMap::new(),
-            commit_count: HashMap::new(),
+            commit_sites: HashMap::new(),
             query_start: HashMap::new(),
             query_results: HashMap::new(),
             txn_outputs: HashMap::new(),
@@ -510,6 +516,27 @@ impl Cluster {
         self.queue.schedule(at, Ev::Recover { site, donor });
     }
 
+    /// Schedules every event of a nemesis fault plan as timed mid-run
+    /// events. Crash/recover events route through the same machinery as
+    /// [`Cluster::schedule_crash`]/[`Cluster::schedule_recover`] (the
+    /// recovery donor is chosen among live sites at event time); partition
+    /// events hold cross-group traffic until the matching heal.
+    pub fn schedule_nemesis(&mut self, schedule: &NemesisSchedule) {
+        for (at, ev) in &schedule.events {
+            self.queue.schedule(*at, Ev::Nemesis(ev.clone()));
+        }
+    }
+
+    /// Whether `site` is currently up (not crashed).
+    pub fn is_live(&self, site: SiteId) -> bool {
+        !self.crashed[site.index()]
+    }
+
+    /// The currently live sites.
+    pub fn live_sites(&self) -> Vec<SiteId> {
+        SiteId::all(self.config.sites).filter(|s| !self.crashed[s.index()]).collect()
+    }
+
     /// Runs until the event queue empties or `deadline` passes. Returns
     /// the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
@@ -576,6 +603,10 @@ impl Cluster {
                     self.held_wires[to.index()].push((from, wire));
                     return;
                 }
+                if self.net.pair_blocked(from, to) {
+                    self.partition_held.push((from, to, wire));
+                    return;
+                }
                 let actions = self.engines[to.index()].on_receive(from, wire);
                 self.apply_engine_actions(to, actions);
             }
@@ -621,52 +652,139 @@ impl Cluster {
                     self.query_latency.record(self.queue.now() - start);
                 }
             }
-            Ev::Crash { site } => {
-                self.crashed[site.index()] = true;
-                self.epoch[site.index()] += 1;
-                self.net.set_down(site);
+            Ev::Crash { site } => self.crash_site(site),
+            Ev::Recover { site, donor } => self.recover_site(site, donor),
+            Ev::Nemesis(ev) => self.handle_nemesis(ev),
+        }
+    }
+
+    /// Marks `site` down: its epoch advances (cancelling in-flight local
+    /// events) and the network stops considering it a receiver.
+    fn crash_site(&mut self, site: SiteId) {
+        self.crashed[site.index()] = true;
+        self.epoch[site.index()] += 1;
+        self.net.set_down(site);
+    }
+
+    /// Brings `site` back with state transfer from the live `donor`: fresh
+    /// engine and replica from the donor's snapshots, then replay of
+    /// everything buffered while down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the donor is itself crashed.
+    fn recover_site(&mut self, site: SiteId, donor: SiteId) {
+        assert!(!self.crashed[donor.index()], "donor {donor} must be up");
+        self.crashed[site.index()] = false;
+        self.net.set_up(site);
+        // 1. Fresh engine from the donor's broadcast state.
+        let engine_snap = self.engines[donor.index()].snapshot();
+        let mut fresh_engine = (self.engine_factory)(site);
+        let engine_actions = fresh_engine.restore(engine_snap);
+        self.engines[site.index()] = fresh_engine;
+        // 2. Fresh replica from the donor's database + pending tail.
+        let replica_actions = match &self.replicas[donor.index()] {
+            AnyReplica::Otp(donor_replica) => {
+                let snap = donor_replica.snapshot();
+                let (fresh, actions) = Replica::restore(site, self.registry.clone(), snap);
+                // Rebuild the message map from the donor's (ids the
+                // donor knows map identically everywhere).
+                self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
+                self.replicas[site.index()] = AnyReplica::Otp(fresh);
+                actions
             }
-            Ev::Recover { site, donor } => {
-                assert!(!self.crashed[donor.index()], "donor {donor} must be up");
-                self.crashed[site.index()] = false;
-                self.net.set_up(site);
-                // 1. Fresh engine from the donor's broadcast state.
-                let engine_snap = self.engines[donor.index()].snapshot();
-                let mut fresh_engine = (self.engine_factory)(site);
-                let engine_actions = fresh_engine.restore(engine_snap);
-                self.engines[site.index()] = fresh_engine;
-                // 2. Fresh replica from the donor's database + pending tail.
-                let replica_actions = match &self.replicas[donor.index()] {
-                    AnyReplica::Otp(donor_replica) => {
-                        let snap = donor_replica.snapshot();
-                        let (fresh, actions) = Replica::restore(site, self.registry.clone(), snap);
-                        // Rebuild the message map from the donor's (ids the
-                        // donor knows map identically everywhere).
-                        self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
-                        self.replicas[site.index()] = AnyReplica::Otp(fresh);
-                        actions
-                    }
-                    AnyReplica::Conservative(donor_replica) => {
-                        let snap = donor_replica.snapshot();
-                        let (fresh, actions) =
-                            ConservativeReplica::restore(site, self.registry.clone(), snap);
-                        self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
-                        self.replicas[site.index()] = AnyReplica::Conservative(fresh);
-                        actions
-                    }
-                };
-                self.apply_replica_actions(site, replica_actions);
-                // 3. Deliveries the engine replays (tentative again here).
-                self.apply_engine_actions(site, engine_actions);
-                // 4. Everything buffered while down arrives now.
-                let held = std::mem::take(&mut self.held_wires[site.index()]);
-                let now = self.queue.now();
-                let mut delay = SimDuration::from_micros(10);
-                for (from, wire) in held {
-                    self.queue.schedule(now + delay, Ev::Wire { from, to: site, wire });
-                    delay += SimDuration::from_micros(10);
+            AnyReplica::Conservative(donor_replica) => {
+                let snap = donor_replica.snapshot();
+                let (fresh, actions) =
+                    ConservativeReplica::restore(site, self.registry.clone(), snap);
+                self.msg_map[site.index()] = self.msg_map[donor.index()].clone();
+                self.replicas[site.index()] = AnyReplica::Conservative(fresh);
+                actions
+            }
+        };
+        self.apply_replica_actions(site, replica_actions);
+        // 3. Deliveries the engine replays (tentative again here).
+        self.apply_engine_actions(site, engine_actions);
+        // 3b. Re-teach the fresh engine its own pre-crash traffic. A
+        // payload or order wire this site multicast before crashing may
+        // exist only in the driver's hold buffers (cut by a partition, or
+        // destined to a site that was down) — the donor never saw it, so
+        // the restored engine would otherwise reuse its message ids (or a
+        // restored sequencer its sequence numbers) and leave a hole in its
+        // own delivery order. Synchronously re-receiving the copies closes
+        // both gaps before any new submission can race them. Consensus
+        // wires are excluded: re-proposing lost material is the consensus
+        // protocol's own job.
+        let own: Vec<Wire<TxnPayload>> = self
+            .partition_held
+            .iter()
+            .filter(|(from, _, _)| *from == site)
+            .map(|(_, _, w)| w.clone())
+            .chain(
+                self.held_wires
+                    .iter()
+                    .flatten()
+                    .filter(|(from, _)| *from == site)
+                    .map(|(_, w)| w.clone()),
+            )
+            .filter(|w| {
+                matches!(w, Wire::Data(_) | Wire::OracleData { .. } | Wire::SeqOrder { .. })
+            })
+            .collect();
+        for wire in own {
+            let actions = self.engines[site.index()].on_receive(site, wire);
+            self.apply_engine_actions(site, actions);
+        }
+        // 4. Everything buffered while down arrives now. (Wires whose link
+        // a partition currently cuts go back on hold at delivery time.)
+        let held = std::mem::take(&mut self.held_wires[site.index()]);
+        let wires = held.into_iter().map(|(from, wire)| (from, site, wire)).collect();
+        self.replay_staggered(wires);
+    }
+
+    /// Schedules held wires for delivery now, 10 µs apart in hold order —
+    /// the one replay policy shared by crash recovery and partition heal.
+    fn replay_staggered(&mut self, wires: Vec<(SiteId, SiteId, Wire<TxnPayload>)>) {
+        let now = self.queue.now();
+        let mut delay = SimDuration::from_micros(10);
+        for (from, to, wire) in wires {
+            self.queue.schedule(now + delay, Ev::Wire { from, to, wire });
+            delay += SimDuration::from_micros(10);
+        }
+    }
+
+    /// Applies one nemesis event at its scheduled time.
+    fn handle_nemesis(&mut self, ev: NemesisEvent) {
+        match ev {
+            NemesisEvent::PartitionHalves { group_a } => {
+                self.net.partition_halves(&group_a);
+            }
+            NemesisEvent::Heal => {
+                self.net.heal();
+                // Reliable channels: everything held at the cut arrives
+                // now, staggered like post-recovery replay.
+                let held = std::mem::take(&mut self.partition_held);
+                self.replay_staggered(held);
+            }
+            NemesisEvent::Crash { site } => {
+                if !self.crashed[site.index()] {
+                    self.crash_site(site);
                 }
             }
+            NemesisEvent::Recover { site } => {
+                if self.crashed[site.index()] {
+                    let donor = SiteId::all(self.config.sites)
+                        .find(|s| *s != site && !self.crashed[s.index()])
+                        .expect("nemesis recovery requires a live donor");
+                    self.recover_site(site, donor);
+                }
+            }
+            NemesisEvent::LossBurst { probability } => {
+                self.net.set_loss_override(Some(probability));
+            }
+            NemesisEvent::LossEnd => self.net.set_loss_override(None),
+            NemesisEvent::JitterSpike { scale } => self.net.set_jitter_scale(scale),
+            NemesisEvent::JitterEnd => self.net.set_jitter_scale(1.0),
         }
     }
 
@@ -718,16 +836,23 @@ impl Cluster {
                     self.queue.schedule(now + d, Ev::ExecDone { site, epoch, token });
                 }
                 ReplicaAction::Committed { txn, index: _, output } => {
-                    let count = self.commit_count.entry(txn).or_insert(0);
-                    *count += 1;
-                    if txn.origin == site {
+                    // Tracked per site: a recovery replay can re-commit at
+                    // the same site (see below) and must not make the
+                    // global-commit count reach `sites` early.
+                    let committed_at = self.commit_sites.entry(txn).or_default();
+                    let first_at_site = committed_at.insert(site);
+                    // A site that commits at its origin, crashes, and is
+                    // recovered from a donor that never saw the
+                    // transaction legitimately re-commits it on replay —
+                    // count the completion (and its latency) only once.
+                    if txn.origin == site && !self.txn_outputs.contains_key(&txn) {
                         self.completed += 1;
-                        self.txn_outputs.insert(txn, output);
                         if let Some(t0) = self.submit_time.get(&txn) {
                             self.commit_latency.record(now.saturating_since(*t0));
                         }
+                        self.txn_outputs.insert(txn, output);
                     }
-                    if *count == self.config.sites {
+                    if first_at_site && self.commit_sites[&txn].len() == self.config.sites {
                         if let Some(t0) = self.submit_time.get(&txn) {
                             self.global_commit_latency.record(now.saturating_since(*t0));
                         }
@@ -1004,6 +1129,177 @@ mod tests {
         c.run_until(SimTime::from_secs(120));
         let (_, values) = c.query_results.values().next().expect("query ran");
         assert_eq!(values, &vec![Value::Int(50)]);
+    }
+
+    #[test]
+    fn nemesis_partition_heals_and_converges() {
+        use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
+        let cfg = ClusterConfig::new(4, 2).with_seed(61);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        drive_workload(&mut c, 30, SimDuration::from_millis(1));
+        // Site 3 is cut off mid-load; its traffic (and traffic to it) is
+        // held at the partition and released at heal.
+        let schedule = NemesisSchedule::from_events(vec![
+            (
+                SimTime::from_millis(5),
+                NemesisEvent::PartitionHalves { group_a: vec![SiteId::new(3)] },
+            ),
+            (SimTime::from_millis(120), NemesisEvent::Heal),
+        ]);
+        c.schedule_nemesis(&schedule);
+        c.run_until(SimTime::from_secs(300));
+        assert_eq!(c.stats().completed, 30, "heal releases everything");
+        assert!(c.converged());
+        check_one_copy_serializable(&c.histories()).unwrap();
+    }
+
+    #[test]
+    fn nemesis_crash_recover_picks_a_live_donor() {
+        use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
+        let cfg = ClusterConfig::new(4, 2).with_seed(67);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        // Submit from sites 0-2 only so the victim's crash loses nothing.
+        let mut t = SimTime::from_millis(1);
+        for i in 0..24u64 {
+            c.schedule_update(
+                t,
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += SimDuration::from_millis(1);
+        }
+        let schedule = NemesisSchedule::from_events(vec![
+            (SimTime::from_millis(8), NemesisEvent::Crash { site: SiteId::new(3) }),
+            (SimTime::from_millis(150), NemesisEvent::Recover { site: SiteId::new(3) }),
+        ]);
+        c.schedule_nemesis(&schedule);
+        assert_eq!(c.live_sites().len(), 4);
+        c.run_until(SimTime::from_secs(300));
+        assert!(c.is_live(SiteId::new(3)), "nemesis recovery brought it back");
+        assert_eq!(c.stats().completed, 24);
+        assert!(c.converged());
+        check_one_copy_serializable(&c.histories()).unwrap();
+    }
+
+    #[test]
+    fn nemesis_loss_burst_and_jitter_spike_only_delay() {
+        use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
+        let cfg = ClusterConfig::new(3, 2).with_seed(71);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        drive_workload(&mut c, 30, SimDuration::from_millis(1));
+        let schedule = NemesisSchedule::from_events(vec![
+            (SimTime::from_millis(3), NemesisEvent::LossBurst { probability: 0.3 }),
+            (SimTime::from_millis(40), NemesisEvent::LossEnd),
+            (SimTime::from_millis(50), NemesisEvent::JitterSpike { scale: 6.0 }),
+            (SimTime::from_millis(90), NemesisEvent::JitterEnd),
+        ]);
+        c.schedule_nemesis(&schedule);
+        c.run_until(SimTime::from_secs(300));
+        assert_eq!(c.stats().completed, 30, "loss is delay, not drop");
+        assert!(c.converged());
+        check_one_copy_serializable(&c.histories()).unwrap();
+    }
+
+    /// Composed-fault regression (caught in review of the chaos lab): a
+    /// site broadcasts into a partition hold, crashes, and recovers from a
+    /// donor that never saw the held wire. Without the recovery path
+    /// re-teaching the fresh engine its own held traffic, the engine
+    /// reuses the wire's message id — peers deduplicate the reuse and its
+    /// slot becomes a permanent hole that stalls TO-delivery everywhere.
+    #[test]
+    fn partitioned_broadcast_then_crash_recover_does_not_stall() {
+        use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
+        for engine in [
+            EngineKind::Opt { consensus_timeout: SimDuration::from_millis(50) },
+            EngineKind::Sequencer,
+            EngineKind::Scrambled {
+                agreement_delay: SimDuration::from_millis(3),
+                swap_probability: 0.0,
+            },
+        ] {
+            let cfg = ClusterConfig::new(4, 2).with_engine(engine).with_seed(83);
+            let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+            // Site 0 submits while isolated: its multicast is held at the
+            // cut. Then it crashes and recovers from site 1 mid-partition.
+            c.schedule_update(
+                SimTime::from_millis(1),
+                SiteId::new(0),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            let schedule = NemesisSchedule::from_events(vec![
+                (
+                    SimTime::from_micros(500),
+                    NemesisEvent::PartitionHalves { group_a: vec![SiteId::new(0)] },
+                ),
+                (SimTime::from_millis(10), NemesisEvent::Crash { site: SiteId::new(0) }),
+                (SimTime::from_millis(20), NemesisEvent::Recover { site: SiteId::new(0) }),
+                (SimTime::from_millis(50), NemesisEvent::Heal),
+            ]);
+            c.schedule_nemesis(&schedule);
+            // Post-heal probes at every site, including the bounced one.
+            let mut probes = Vec::new();
+            for s in 0..4u16 {
+                probes.push(c.schedule_update(
+                    SimTime::from_millis(200),
+                    SiteId::new(s),
+                    ClassId::new((s % 2) as u32),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                ));
+            }
+            c.run_until(SimTime::from_secs(300));
+            let report = c.check_invariants(&probes);
+            assert!(report.is_ok(), "{engine:?}: {report}");
+            assert_eq!(c.stats().completed, 5, "{engine:?}: held txn + probes all commit");
+            assert!(c.converged(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn generated_hostile_schedule_is_survivable() {
+        use otp_simnet::nemesis::{NemesisKnobs, NemesisSchedule};
+        let horizon = SimTime::from_millis(400);
+        let schedule = NemesisSchedule::generate(5, 4, horizon, &NemesisKnobs::hostile());
+        assert!(!schedule.is_empty());
+        let cfg = ClusterConfig::new(4, 2).with_seed(5);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        drive_workload(&mut c, 40, SimDuration::from_millis(5));
+        c.schedule_nemesis(&schedule);
+        // Liveness probes once the schedule is quiescent.
+        let mut probes = Vec::new();
+        let probe_at = schedule.quiet_from + SimDuration::from_millis(200);
+        for s in 0..4u16 {
+            probes.push(c.schedule_update(
+                probe_at,
+                SiteId::new(s),
+                ClassId::new((s % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            ));
+        }
+        c.run_until(SimTime::from_secs(600));
+        let report = c.check_invariants(&probes);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.live_sites, 4);
+        assert_eq!(report.checked_probes, 4);
+    }
+
+    #[test]
+    fn invariants_flag_a_phantom_probe() {
+        let cfg = ClusterConfig::new(3, 2).with_seed(73);
+        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        drive_workload(&mut c, 10, SimDuration::from_millis(1));
+        c.run_until(SimTime::from_secs(60));
+        let phantom = TxnId::new(SiteId::new(0), 999_999);
+        let report = c.check_invariants(&[phantom]);
+        assert!(!report.is_ok());
+        assert_eq!(report.violations.len(), 3, "one ProbeLost per live site");
+        let text = format!("{report}");
+        assert!(text.contains("liveness lost"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The post-run invariant bundle checked after a (possibly chaotic) run.
+//!
+//! A cluster that survived a nemesis schedule must still satisfy the
+//! paper's guarantees. [`Cluster::check_invariants`] verifies four of them
+//! in one pass and reports *every* violation found (not just the first):
+//!
+//! 1. **1-copy-serializability** (Section 2.2) — the union of all sites'
+//!    committed histories, via
+//!    [`otp_txn::history::check_one_copy_serializable`];
+//! 2. **uniform commit order** — every transaction committed at two live
+//!    sites carries the same definitive index at both (the total order is
+//!    one logical history);
+//! 3. **state convergence** — all live sites hold the same committed
+//!    database;
+//! 4. **liveness after heal** — every *probe* transaction (submitted by the
+//!    harness after the last fault ended) committed at every live site.
+//!
+//! Crashed sites are excluded from checks 2–4 (they are behind by design),
+//! but their histories still participate in check 1: everything a crashed
+//! site committed before going down must fit the single serial order.
+
+use crate::cluster::Cluster;
+use otp_simnet::SiteId;
+use otp_storage::TxnIndex;
+use otp_txn::history::{check_one_copy_serializable, Violation};
+use otp_txn::txn::TxnId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One way a run can violate the paper's guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// The union history is not 1-copy-serializable.
+    NotSerializable(Violation),
+    /// Two live sites committed the same transaction at different
+    /// definitive indexes.
+    CommitOrderMismatch {
+        /// The transaction committed at diverging positions.
+        txn: TxnId,
+        /// First site and the index it used.
+        site: SiteId,
+        /// Index at `site`.
+        index: TxnIndex,
+        /// Second site and the index it used.
+        other: SiteId,
+        /// Index at `other`.
+        other_index: TxnIndex,
+    },
+    /// A live site's committed database differs from the reference live
+    /// site's.
+    Diverged {
+        /// The diverging site.
+        site: SiteId,
+        /// The live site used as reference.
+        reference: SiteId,
+    },
+    /// A probe transaction never committed at a live site: the cluster
+    /// lost liveness after the last fault healed.
+    ProbeLost {
+        /// The missing probe transaction.
+        probe: TxnId,
+        /// The live site that never committed it.
+        site: SiteId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::NotSerializable(v) => write!(f, "not 1-copy-serializable: {v}"),
+            InvariantViolation::CommitOrderMismatch { txn, site, index, other, other_index } => {
+                write!(
+                    f,
+                    "commit order mismatch: {txn} has index {index} at {site} \
+                     but {other_index} at {other}"
+                )
+            }
+            InvariantViolation::Diverged { site, reference } => {
+                write!(f, "state divergence: {site} differs from {reference}")
+            }
+            InvariantViolation::ProbeLost { probe, site } => {
+                write!(f, "liveness lost: probe {probe} never committed at {site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Every violation found in one run, plus what was checked.
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// All violations, in check order (serializability, commit order,
+    /// convergence, liveness).
+    pub violations: Vec<InvariantViolation>,
+    /// Live sites the convergence/order/liveness checks covered.
+    pub live_sites: usize,
+    /// Probe transactions the liveness check covered.
+    pub checked_probes: usize,
+}
+
+impl InvariantReport {
+    /// True when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "all invariants hold ({} live sites, {} probes)",
+                self.live_sites, self.checked_probes
+            )
+        } else {
+            writeln!(f, "{} invariant violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl Cluster {
+    /// Runs the four-invariant bundle (see the [module docs](self)).
+    ///
+    /// `probes` are transaction ids submitted after the fault plan's
+    /// quiescent point; pass `&[]` to skip the liveness check.
+    pub fn check_invariants(&self, probes: &[TxnId]) -> InvariantReport {
+        let mut violations = Vec::new();
+
+        // 1. 1-copy-serializability over every site's history.
+        if let Err(v) = check_one_copy_serializable(&self.histories()) {
+            violations.push(InvariantViolation::NotSerializable(v));
+        }
+
+        let live = self.live_sites();
+
+        // 2. Uniform commit order among live sites: identical definitive
+        // index for every commonly committed transaction. Pairwise — a
+        // reference-only comparison would miss two non-reference sites
+        // disagreeing on a transaction the reference never committed
+        // (recovered sites restart their logs, so missing keys are
+        // common).
+        let index_maps: Vec<(SiteId, HashMap<TxnId, TxnIndex>)> = live
+            .iter()
+            .map(|s| {
+                (
+                    *s,
+                    self.replicas[s.index()]
+                        .commit_log()
+                        .iter()
+                        .copied()
+                        .collect::<HashMap<_, _>>(),
+                )
+            })
+            .collect();
+        for (i, (site, map)) in index_maps.iter().enumerate() {
+            for (other, other_map) in &index_maps[i + 1..] {
+                for (txn, index) in map {
+                    if let Some(other_index) = other_map.get(txn) {
+                        if other_index != index {
+                            violations.push(InvariantViolation::CommitOrderMismatch {
+                                txn: *txn,
+                                site: *site,
+                                index: *index,
+                                other: *other,
+                                other_index: *other_index,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Convergence: identical committed state at every live site.
+        if let Some(reference) = live.first() {
+            let ref_db = self.replicas[reference.index()].db();
+            for site in &live[1..] {
+                if !self.replicas[site.index()].db().committed_state_eq(ref_db) {
+                    violations
+                        .push(InvariantViolation::Diverged { site: *site, reference: *reference });
+                }
+            }
+        }
+
+        // 4. Liveness after heal: every probe committed at every live site.
+        for probe in probes {
+            for (site, map) in &index_maps {
+                if !map.contains_key(probe) {
+                    violations.push(InvariantViolation::ProbeLost { probe: *probe, site: *site });
+                }
+            }
+        }
+
+        InvariantReport { violations, live_sites: live.len(), checked_probes: probes.len() }
+    }
+}

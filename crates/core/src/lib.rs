@@ -66,6 +66,7 @@ pub mod asynchronous;
 pub mod cluster;
 pub mod conservative;
 pub mod event;
+pub mod invariants;
 pub mod multiclass;
 pub mod replica;
 pub mod runtime;
@@ -76,5 +77,6 @@ pub use cluster::{
 };
 pub use conservative::ConservativeReplica;
 pub use event::{ExecToken, ReplicaAction};
+pub use invariants::{InvariantReport, InvariantViolation};
 pub use multiclass::{MultiAction, MultiRegistry, MultiReplica, MultiRequest};
 pub use replica::{Replica, ReplicaSnapshot};

@@ -1,0 +1,156 @@
+//! The chaos swarm CLI.
+//!
+//! Sweep mode (default): run `CHAOS_SEEDS` seeds (or `--seeds N`) across
+//! the engine × mode × intensity grid and fail loudly — with a one-line
+//! reproducer per violation — if any invariant breaks.
+//!
+//! Reproducer mode: `--seed N --grid-cell CELL` re-runs exactly one cell
+//! and prints its invariant report and stats digest.
+//!
+//! ```text
+//! swarm [--seeds N] [--start-seed N] [--seed N] [--grid-cell CELL]
+//!       [--txns N] [--sabotage KIND] [--list-cells]
+//! ```
+
+use otp_lab::runner::DEFAULT_TXNS;
+use otp_lab::swarm::parse_seed_budget;
+use otp_lab::{run_cell, run_swarm, CellSpec, GridCell, Sabotage, SwarmConfig};
+use otp_simnet::metrics::Table;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: Option<u64>,
+    start_seed: u64,
+    seed: Option<u64>,
+    grid_cell: Option<GridCell>,
+    txns: u64,
+    sabotage: Option<Sabotage>,
+    list_cells: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: None,
+        start_seed: 1,
+        seed: None,
+        grid_cell: None,
+        txns: DEFAULT_TXNS,
+        sabotage: None,
+        list_cells: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = Some(parse_seed_budget(&value("--seeds")?)?),
+            "--start-seed" => args.start_seed = parse_num(&value("--start-seed")?)?,
+            "--seed" => args.seed = Some(parse_num(&value("--seed")?)?),
+            "--grid-cell" => args.grid_cell = Some(value("--grid-cell")?.parse()?),
+            "--txns" => args.txns = parse_num(&value("--txns")?)?,
+            "--sabotage" => args.sabotage = Some(Sabotage::parse(&value("--sabotage")?)?),
+            "--list-cells" => args.list_cells = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: swarm [--seeds N] [--start-seed N] [--seed N] \
+                     [--grid-cell CELL] [--txns N] [--sabotage KIND] [--list-cells]\n\
+                     CHAOS_SEEDS bounds the sweep when --seeds is absent."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swarm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list_cells {
+        for cell in GridCell::all() {
+            println!("{cell}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Reproducer mode: exactly one (seed, cell) run, full detail.
+    if let Some(seed) = args.seed {
+        let Some(cell) = args.grid_cell else {
+            eprintln!("swarm: --seed requires --grid-cell (see --list-cells)");
+            return ExitCode::FAILURE;
+        };
+        let mut spec = CellSpec::new(seed, cell).with_txns(args.txns);
+        if let Some(s) = args.sabotage {
+            spec = spec.with_sabotage(s);
+        }
+        let outcome = run_cell(&spec);
+        println!(
+            "seed {} cell {} — completed {} aborts {}",
+            seed, cell, outcome.completed, outcome.aborts
+        );
+        print!("{}", outcome.stats_digest);
+        println!("{}", outcome.report);
+        return if outcome.passed() {
+            ExitCode::SUCCESS
+        } else {
+            println!("repro: {}", outcome.reproducer);
+            ExitCode::FAILURE
+        };
+    }
+
+    // Sweep mode.
+    let mut config = match args.seeds {
+        Some(n) => SwarmConfig::new(n),
+        None => SwarmConfig::from_env(),
+    };
+    config.start_seed = args.start_seed;
+    config.txns = args.txns;
+    config.sabotage = args.sabotage;
+    if let Some(cell) = args.grid_cell {
+        config.cells = vec![cell];
+    }
+    println!(
+        "chaos swarm: {} seeds from {} across {} cells, {} txns each",
+        config.seeds,
+        config.start_seed,
+        config.cells.len(),
+        config.txns
+    );
+    let report = run_swarm(&config);
+
+    let mut table = Table::new(vec!["seed", "cell", "completed", "aborts", "invariants"]);
+    for o in &report.outcomes {
+        table.row(vec![
+            o.spec.seed.to_string(),
+            o.spec.cell.id(),
+            o.completed.to_string(),
+            o.aborts.to_string(),
+            if o.passed() { "ok".into() } else { "VIOLATED".into() },
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!("all {} runs passed the invariant bundle", report.runs());
+        ExitCode::SUCCESS
+    } else {
+        println!("{} of {} runs violated invariants:", failures.len(), report.runs());
+        for f in failures {
+            println!("--- seed {} cell {}", f.spec.seed, f.spec.cell);
+            print!("{}", f.report);
+            println!("repro: {}", f.reproducer);
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,193 @@
+//! The chaos grid: engine × mode × nemesis intensity.
+//!
+//! Every cell has a stable kebab-case id (`opt-otp-hostile`) used both in
+//! swarm output and in the `--grid-cell` reproducer flag, so a cell can be
+//! round-tripped through a command line.
+
+use otp_core::{EngineKind, Mode};
+use otp_simnet::nemesis::NemesisKnobs;
+use otp_simnet::SimDuration;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which broadcast engine a cell runs (fixed, swarm-friendly parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Consensus-based optimistic atomic broadcast.
+    Opt,
+    /// Fixed-sequencer total order (site 0 sequences).
+    Seq,
+    /// Oracle engine with tentative-order scrambling (forces mismatches).
+    Scramble,
+}
+
+impl EngineChoice {
+    /// The concrete engine configuration this choice denotes.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self {
+            EngineChoice::Opt => {
+                EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) }
+            }
+            EngineChoice::Seq => EngineKind::Sequencer,
+            EngineChoice::Scramble => EngineKind::Scrambled {
+                agreement_delay: SimDuration::from_millis(3),
+                swap_probability: 0.25,
+            },
+        }
+    }
+
+    fn id(&self) -> &'static str {
+        match self {
+            EngineChoice::Opt => "opt",
+            EngineChoice::Seq => "seq",
+            EngineChoice::Scramble => "scramble",
+        }
+    }
+
+    /// All engine choices, in grid order.
+    pub fn all() -> [EngineChoice; 3] {
+        [EngineChoice::Opt, EngineChoice::Seq, EngineChoice::Scramble]
+    }
+}
+
+/// How hard the nemesis hits a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intensity {
+    /// No faults (control).
+    Calm,
+    /// One partition, one crash, one loss burst.
+    Rough,
+    /// Two partitions, two crashes, two loss bursts, one jitter spike.
+    Hostile,
+}
+
+impl Intensity {
+    /// The generator knobs this intensity denotes.
+    pub fn knobs(&self) -> NemesisKnobs {
+        match self {
+            Intensity::Calm => NemesisKnobs::calm(),
+            Intensity::Rough => NemesisKnobs::rough(),
+            Intensity::Hostile => NemesisKnobs::hostile(),
+        }
+    }
+
+    fn id(&self) -> &'static str {
+        match self {
+            Intensity::Calm => "calm",
+            Intensity::Rough => "rough",
+            Intensity::Hostile => "hostile",
+        }
+    }
+
+    /// All intensities, in grid order.
+    pub fn all() -> [Intensity; 3] {
+        [Intensity::Calm, Intensity::Rough, Intensity::Hostile]
+    }
+}
+
+/// One cell of the chaos grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Broadcast engine under test.
+    pub engine: EngineChoice,
+    /// Processing mode under test.
+    pub mode: Mode,
+    /// Nemesis intensity applied to the run.
+    pub intensity: Intensity,
+}
+
+impl GridCell {
+    /// The full grid, in deterministic order (engine-major).
+    pub fn all() -> Vec<GridCell> {
+        let mut cells = Vec::new();
+        for engine in EngineChoice::all() {
+            for mode in [Mode::Otp, Mode::Conservative] {
+                for intensity in Intensity::all() {
+                    cells.push(GridCell { engine, mode, intensity });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Stable id, e.g. `scramble-conservative-rough`.
+    pub fn id(&self) -> String {
+        let mode = match self.mode {
+            Mode::Otp => "otp",
+            Mode::Conservative => "conservative",
+        };
+        format!("{}-{}-{}", self.engine.id(), mode, self.intensity.id())
+    }
+}
+
+impl fmt::Display for GridCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+impl FromStr for GridCell {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('-').collect();
+        let [engine, mode, intensity] = parts.as_slice() else {
+            return Err(format!("grid cell must be engine-mode-intensity, got {s:?}"));
+        };
+        let engine = match *engine {
+            "opt" => EngineChoice::Opt,
+            "seq" => EngineChoice::Seq,
+            "scramble" => EngineChoice::Scramble,
+            other => return Err(format!("unknown engine {other:?} (opt|seq|scramble)")),
+        };
+        let mode = match *mode {
+            "otp" => Mode::Otp,
+            "conservative" => Mode::Conservative,
+            other => return Err(format!("unknown mode {other:?} (otp|conservative)")),
+        };
+        let intensity = match *intensity {
+            "calm" => Intensity::Calm,
+            "rough" => Intensity::Rough,
+            "hostile" => Intensity::Hostile,
+            other => return Err(format!("unknown intensity {other:?} (calm|rough|hostile)")),
+        };
+        Ok(GridCell { engine, mode, intensity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_eighteen_cells_with_unique_ids() {
+        let cells = GridCell::all();
+        assert_eq!(cells.len(), 18);
+        let mut ids: Vec<String> = cells.iter().map(GridCell::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 18, "ids are unique");
+    }
+
+    #[test]
+    fn ids_round_trip_through_parsing() {
+        for cell in GridCell::all() {
+            let parsed: GridCell = cell.id().parse().unwrap();
+            assert_eq!(parsed, cell, "{}", cell.id());
+        }
+    }
+
+    #[test]
+    fn bad_ids_are_rejected_with_context() {
+        assert!("opt-otp".parse::<GridCell>().unwrap_err().contains("engine-mode-intensity"));
+        assert!("paxos-otp-calm".parse::<GridCell>().unwrap_err().contains("unknown engine"));
+        assert!("opt-lazy-calm".parse::<GridCell>().unwrap_err().contains("unknown mode"));
+        assert!("opt-otp-apocalyptic".parse::<GridCell>().unwrap_err().contains("intensity"));
+    }
+
+    #[test]
+    fn intensities_map_to_knobs() {
+        assert_eq!(Intensity::Calm.knobs().windows(), 0);
+        assert!(Intensity::Rough.knobs().windows() < Intensity::Hostile.knobs().windows());
+    }
+}

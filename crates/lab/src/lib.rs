@@ -1,0 +1,43 @@
+//! # otp-lab — deterministic chaos lab for the OTP stack
+//!
+//! FoundationDB-style simulation testing for the `otpdb` reproduction of
+//! *Processing Transactions over Optimistic Atomic Broadcast Protocols*
+//! (ICDCS 1999): every run is a pure function of a seed and a grid cell,
+//! so a failure anywhere in a sweep of thousands of runs is reproduced by
+//! a single command line.
+//!
+//! * [`grid`] — the swept dimensions: broadcast engine × processing mode ×
+//!   nemesis intensity, each cell named by a stable id like
+//!   `opt-otp-hostile`;
+//! * [`runner`] — one cell run: deterministic workload + generated
+//!   [`otp_simnet::nemesis::NemesisSchedule`] + post-quiescence liveness
+//!   probes, checked against the four-invariant bundle
+//!   ([`otp_core::InvariantReport`]) and fingerprinted for
+//!   byte-identical-replay assertions;
+//! * [`swarm`] — the sweep driver: distributes a seed budget (bounded by
+//!   the `CHAOS_SEEDS` environment knob) across the grid and collects
+//!   failures with their one-line reproducers.
+//!
+//! # Example: one reproducible chaos run
+//!
+//! ```
+//! use otp_lab::{CellSpec, GridCell};
+//!
+//! let cell: GridCell = "opt-otp-rough".parse().unwrap();
+//! let spec = CellSpec::new(7, cell).with_txns(24);
+//! let a = otp_lab::run_cell(&spec);
+//! let b = otp_lab::run_cell(&spec);
+//! assert!(a.passed(), "{}", a.report);
+//! assert_eq!(a.fingerprint, b.fingerprint); // same seed → same run
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod runner;
+pub mod swarm;
+
+pub use grid::{EngineChoice, GridCell, Intensity};
+pub use runner::{run_cell, CellOutcome, CellSpec, Sabotage};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};

@@ -15,6 +15,9 @@
 //! * [`net`] — shared-bus LAN multicast with per-receiver jitter, loss,
 //!   crash and partition injection ([`net::MulticastNet`]) — the physics
 //!   behind *spontaneous total order* (the paper's Figure 1);
+//! * [`nemesis`] — seed-deterministic fault schedules
+//!   ([`nemesis::NemesisSchedule`]): partitions, crashes, loss bursts and
+//!   jitter spikes generated from intensity knobs, for chaos testing;
 //! * [`metrics`] — histograms, counters and result tables used by every
 //!   experiment harness.
 //!
@@ -44,11 +47,13 @@
 
 pub mod event;
 pub mod metrics;
+pub mod nemesis;
 pub mod net;
 pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use nemesis::{NemesisEvent, NemesisKnobs, NemesisSchedule};
 pub use net::{MulticastNet, NetConfig, SiteId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

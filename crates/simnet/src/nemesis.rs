@@ -1,0 +1,395 @@
+//! Deterministic fault-injection schedules — the *nemesis*.
+//!
+//! The paper's guarantees (1-copy-serializability, abort-and-reschedule on
+//! tentative/definitive mismatch) are most interesting under adversarial
+//! message schedules: partitions, crashes, loss bursts and jitter spikes.
+//! This module turns "imagine a bad network" into an enumerable surface: a
+//! [`NemesisSchedule`] is a timed list of [`NemesisEvent`]s generated
+//! *deterministically* from `(seed, sites, horizon, knobs)`, so any failing
+//! run is reproducible from a single seed.
+//!
+//! The generator is deliberately conservative so that every generated
+//! schedule is *survivable* by construction:
+//!
+//! * fault windows are disjoint (no overlapping partitions, no crash during
+//!   a partition) — handcrafted schedules built with
+//!   [`NemesisSchedule::from_events`] can still compose faults arbitrarily;
+//! * at most one site is crashed at a time and every crash is paired with a
+//!   recovery (majority stays live, so consensus-based engines keep making
+//!   progress);
+//! * partitions always cut off a *minority* group and are always healed;
+//! * all faults end by [`NemesisSchedule::quiet_from`], leaving a quiescent
+//!   tail in which liveness-after-heal can be asserted.
+//!
+//! # Examples
+//!
+//! ```
+//! use otp_simnet::nemesis::{NemesisKnobs, NemesisSchedule};
+//! use otp_simnet::time::SimTime;
+//!
+//! let a = NemesisSchedule::generate(7, 4, SimTime::from_secs(1), &NemesisKnobs::rough());
+//! let b = NemesisSchedule::generate(7, 4, SimTime::from_secs(1), &NemesisKnobs::rough());
+//! assert_eq!(a.events, b.events); // same seed → same chaos
+//! assert!(a.quiet_from <= SimTime::from_secs(1));
+//! ```
+
+use crate::net::SiteId;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// One fault-injection action. Window-style faults come in begin/end pairs
+/// (`PartitionHalves`/`Heal`, `Crash`/`Recover`, `LossBurst`/`LossEnd`,
+/// `JitterSpike`/`JitterEnd`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NemesisEvent {
+    /// Split the network in two: `group_a` on one side, everyone else on
+    /// the other. Cross-group traffic is held until the next [`Heal`].
+    ///
+    /// [`Heal`]: NemesisEvent::Heal
+    PartitionHalves {
+        /// Sites on the isolated side of the cut.
+        group_a: Vec<SiteId>,
+    },
+    /// Remove every active partition and release held cross-group traffic.
+    Heal,
+    /// Crash a site (no-op if it is already down).
+    Crash {
+        /// The victim.
+        site: SiteId,
+    },
+    /// Recover a crashed site with state transfer from a live donor chosen
+    /// by the driver at event time (no-op if the site is up).
+    Recover {
+        /// The recovering site.
+        site: SiteId,
+    },
+    /// Raise the per-receiver loss probability (modeled as retransmission
+    /// delay — channels stay reliable) until [`LossEnd`].
+    ///
+    /// [`LossEnd`]: NemesisEvent::LossEnd
+    LossBurst {
+        /// Loss probability during the burst.
+        probability: f64,
+    },
+    /// End the current loss burst, restoring the configured baseline.
+    LossEnd,
+    /// Scale receive-path jitter (mean and deviation) by `scale` until
+    /// [`JitterEnd`].
+    ///
+    /// [`JitterEnd`]: NemesisEvent::JitterEnd
+    JitterSpike {
+        /// Multiplier applied to the configured jitter.
+        scale: f64,
+    },
+    /// End the current jitter spike, restoring the configured baseline.
+    JitterEnd,
+}
+
+/// Intensity knobs for [`NemesisSchedule::generate`]: how many windows of
+/// each fault kind to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NemesisKnobs {
+    /// Number of partition/heal windows.
+    pub partitions: u32,
+    /// Number of crash/recover windows.
+    pub crashes: u32,
+    /// Number of loss-burst windows.
+    pub loss_bursts: u32,
+    /// Number of jitter-spike windows.
+    pub jitter_spikes: u32,
+    /// Upper bound of the sampled burst loss probability.
+    pub max_loss: f64,
+    /// Upper bound of the sampled jitter scale.
+    pub max_jitter_scale: f64,
+}
+
+impl NemesisKnobs {
+    /// No faults at all — the control cell of a chaos grid.
+    pub fn calm() -> Self {
+        NemesisKnobs {
+            partitions: 0,
+            crashes: 0,
+            loss_bursts: 0,
+            jitter_spikes: 0,
+            max_loss: 0.0,
+            max_jitter_scale: 1.0,
+        }
+    }
+
+    /// One partition, one crash, one loss burst.
+    pub fn rough() -> Self {
+        NemesisKnobs {
+            partitions: 1,
+            crashes: 1,
+            loss_bursts: 1,
+            jitter_spikes: 0,
+            max_loss: 0.15,
+            max_jitter_scale: 4.0,
+        }
+    }
+
+    /// Two partitions, two crashes, two loss bursts, one jitter spike.
+    pub fn hostile() -> Self {
+        NemesisKnobs {
+            partitions: 2,
+            crashes: 2,
+            loss_bursts: 2,
+            jitter_spikes: 1,
+            max_loss: 0.3,
+            max_jitter_scale: 8.0,
+        }
+    }
+
+    /// Total number of fault windows this knob set produces.
+    pub fn windows(&self) -> u32 {
+        self.partitions + self.crashes + self.loss_bursts + self.jitter_spikes
+    }
+}
+
+/// A timed fault-injection plan, plus the instant from which the run is
+/// guaranteed quiescent (all partitions healed, all sites recovered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NemesisSchedule {
+    /// Events sorted by time (ties resolve in vector order).
+    pub events: Vec<(SimTime, NemesisEvent)>,
+    /// No fault is active at or after this instant.
+    pub quiet_from: SimTime,
+}
+
+/// The window-style fault kinds the generator draws from.
+#[derive(Debug, Clone, Copy)]
+enum FaultKind {
+    Partition,
+    Crash,
+    Loss,
+    Jitter,
+}
+
+impl NemesisSchedule {
+    /// An empty schedule (no faults, quiescent from time zero).
+    pub fn empty() -> Self {
+        NemesisSchedule { events: Vec::new(), quiet_from: SimTime::ZERO }
+    }
+
+    /// Wraps a handcrafted event list. `quiet_from` is set to the last
+    /// event's time; the caller is responsible for the list being
+    /// survivable (every crash recovered, every partition healed).
+    pub fn from_events(mut events: Vec<(SimTime, NemesisEvent)>) -> Self {
+        events.sort_by_key(|(t, _)| *t);
+        let quiet_from = events.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO);
+        NemesisSchedule { events, quiet_from }
+    }
+
+    /// Generates a survivable schedule deterministically from a seed.
+    ///
+    /// Fault windows are placed in disjoint slots inside
+    /// `[5 %, 75 %] × horizon`; see the module docs for the guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn generate(seed: u64, sites: usize, horizon: SimTime, knobs: &NemesisKnobs) -> Self {
+        assert!(sites > 0, "need at least one site");
+        let mut kinds: Vec<FaultKind> = Vec::new();
+        // Partitions and crashes need somebody left to talk to.
+        if sites >= 2 {
+            kinds.extend(std::iter::repeat_n(FaultKind::Partition, knobs.partitions as usize));
+            kinds.extend(std::iter::repeat_n(FaultKind::Crash, knobs.crashes as usize));
+        }
+        kinds.extend(std::iter::repeat_n(FaultKind::Loss, knobs.loss_bursts as usize));
+        kinds.extend(std::iter::repeat_n(FaultKind::Jitter, knobs.jitter_spikes as usize));
+        if kinds.is_empty() {
+            return NemesisSchedule::empty();
+        }
+
+        // The generator has its own stream, domain-separated from the
+        // cluster's master seed usage so schedules do not shift when the
+        // cluster adds samples.
+        let mut rng = SimRng::seed_from(seed ^ 0x006e_656d_6573_6973); // "nemesis"
+        rng.shuffle(&mut kinds);
+
+        let span_ns = horizon.as_nanos();
+        let chaos_start = SimTime::from_nanos(span_ns / 20); // 5 %
+        let chaos_end = SimTime::from_nanos(span_ns / 4 * 3); // 75 %
+        let slot = chaos_end.saturating_since(chaos_start).div_u64(kinds.len() as u64);
+
+        let mut events: Vec<(SimTime, NemesisEvent)> = Vec::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            let slot_start = chaos_start + slot.mul_u64(i as u64);
+            // Begin in the first third of the slot, end in the last third,
+            // leaving a gap before the next slot so windows never touch.
+            let begin = slot_start + slot.mul_f64(0.05 + 0.25 * rng.uniform_f64());
+            let end = slot_start + slot.mul_f64(0.60 + 0.30 * rng.uniform_f64());
+            let (open, close) = match kind {
+                FaultKind::Partition => {
+                    // Cut off a strict minority so the majority side keeps
+                    // deciding; heal releases the held traffic.
+                    let max_minority = (sites - 1) / 2;
+                    let g = 1 + rng.uniform_range(0, max_minority.max(1) as u64) as usize;
+                    let mut all: Vec<SiteId> = SiteId::all(sites).collect();
+                    rng.shuffle(&mut all);
+                    all.truncate(g.min(max_minority.max(1)));
+                    all.sort_unstable();
+                    (NemesisEvent::PartitionHalves { group_a: all }, NemesisEvent::Heal)
+                }
+                FaultKind::Crash => {
+                    let site = SiteId::new(rng.uniform_range(0, sites as u64) as u16);
+                    (NemesisEvent::Crash { site }, NemesisEvent::Recover { site })
+                }
+                FaultKind::Loss => {
+                    let p = 0.05 + (knobs.max_loss - 0.05).max(0.0) * rng.uniform_f64();
+                    (NemesisEvent::LossBurst { probability: p }, NemesisEvent::LossEnd)
+                }
+                FaultKind::Jitter => {
+                    let s = 2.0 + (knobs.max_jitter_scale - 2.0).max(0.0) * rng.uniform_f64();
+                    (NemesisEvent::JitterSpike { scale: s }, NemesisEvent::JitterEnd)
+                }
+            };
+            events.push((begin, open));
+            events.push((end, close));
+        }
+        events.sort_by_key(|(t, _)| *t);
+        let quiet_from = events.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO);
+        NemesisSchedule { events, quiet_from }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns true when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon() -> SimTime {
+        SimTime::from_secs(1)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for seed in 0..20 {
+            let a = NemesisSchedule::generate(seed, 5, horizon(), &NemesisKnobs::hostile());
+            let b = NemesisSchedule::generate(seed, 5, horizon(), &NemesisKnobs::hostile());
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NemesisSchedule::generate(1, 5, horizon(), &NemesisKnobs::hostile());
+        let b = NemesisSchedule::generate(2, 5, horizon(), &NemesisKnobs::hostile());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn calm_is_empty() {
+        let s = NemesisSchedule::generate(3, 4, horizon(), &NemesisKnobs::calm());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.quiet_from, SimTime::ZERO);
+    }
+
+    #[test]
+    fn windows_are_balanced_and_sorted() {
+        for seed in 0..50 {
+            let s = NemesisSchedule::generate(seed, 4, horizon(), &NemesisKnobs::hostile());
+            assert_eq!(s.len() as u32, 2 * NemesisKnobs::hostile().windows(), "seed {seed}");
+            let times: Vec<SimTime> = s.events.iter().map(|(t, _)| *t).collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            assert_eq!(times, sorted, "seed {seed}: sorted by time");
+            // Every opening event is later closed, in order.
+            let mut depth = 0i32;
+            for (_, ev) in &s.events {
+                match ev {
+                    NemesisEvent::PartitionHalves { .. }
+                    | NemesisEvent::Crash { .. }
+                    | NemesisEvent::LossBurst { .. }
+                    | NemesisEvent::JitterSpike { .. } => depth += 1,
+                    _ => depth -= 1,
+                }
+                assert!((0..=1).contains(&depth), "seed {seed}: windows are disjoint");
+            }
+            assert_eq!(depth, 0, "seed {seed}: every window closes");
+        }
+    }
+
+    #[test]
+    fn faults_fit_inside_the_horizon() {
+        for seed in 0..50 {
+            let s = NemesisSchedule::generate(seed, 4, horizon(), &NemesisKnobs::hostile());
+            assert!(s.quiet_from < horizon(), "seed {seed}");
+            for (t, _) in &s.events {
+                assert!(*t >= SimTime::from_millis(50), "seed {seed}: after 5% warmup");
+                assert!(*t <= s.quiet_from, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cut_minorities_and_crashes_hit_valid_sites() {
+        for seed in 0..50 {
+            let sites = 4 + (seed as usize % 3);
+            let s = NemesisSchedule::generate(seed, sites, horizon(), &NemesisKnobs::hostile());
+            for (_, ev) in &s.events {
+                match ev {
+                    NemesisEvent::PartitionHalves { group_a } => {
+                        assert!(!group_a.is_empty());
+                        assert!(group_a.len() <= (sites - 1) / 2, "minority cut: {group_a:?}");
+                        for site in group_a {
+                            assert!(site.index() < sites);
+                        }
+                    }
+                    NemesisEvent::Crash { site } | NemesisEvent::Recover { site } => {
+                        assert!(site.index() < sites);
+                    }
+                    NemesisEvent::LossBurst { probability } => {
+                        assert!((0.05..=0.3).contains(probability));
+                    }
+                    NemesisEvent::JitterSpike { scale } => {
+                        assert!((2.0..=8.0).contains(scale));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_site_cluster_gets_no_partitions_or_crashes() {
+        let s = NemesisSchedule::generate(9, 1, horizon(), &NemesisKnobs::hostile());
+        for (_, ev) in &s.events {
+            assert!(
+                matches!(
+                    ev,
+                    NemesisEvent::LossBurst { .. }
+                        | NemesisEvent::LossEnd
+                        | NemesisEvent::JitterSpike { .. }
+                        | NemesisEvent::JitterEnd
+                ),
+                "{ev:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_events_sorts_and_sets_quiet_from() {
+        let s = NemesisSchedule::from_events(vec![
+            (SimTime::from_millis(50), NemesisEvent::Heal),
+            (
+                SimTime::from_millis(10),
+                NemesisEvent::PartitionHalves { group_a: vec![SiteId::new(0)] },
+            ),
+        ]);
+        assert_eq!(s.events[0].0, SimTime::from_millis(10));
+        assert_eq!(s.quiet_from, SimTime::from_millis(50));
+        assert!(NemesisSchedule::empty().is_empty());
+    }
+}

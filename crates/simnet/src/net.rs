@@ -232,6 +232,14 @@ pub struct MulticastNet {
     down: HashSet<SiteId>,
     /// Blocked directed links with their heal time.
     blocked: Vec<(SiteId, SiteId, SimTime)>,
+    /// Indefinitely blocked directed links (nemesis partitions): the driver
+    /// holds deliveries crossing these pairs until [`MulticastNet::heal`].
+    blocked_pairs: HashSet<(SiteId, SiteId)>,
+    /// Temporary loss probability replacing the configured baseline
+    /// (nemesis loss burst).
+    loss_override: Option<f64>,
+    /// Multiplier on the configured receive jitter (nemesis jitter spike).
+    jitter_scale: f64,
     sent_frames: u64,
     sent_bytes: u64,
 }
@@ -244,6 +252,9 @@ impl MulticastNet {
             wire_free_at: SimTime::ZERO,
             down: HashSet::new(),
             blocked: Vec::new(),
+            blocked_pairs: HashSet::new(),
+            loss_override: None,
+            jitter_scale: 1.0,
             sent_frames: 0,
             sent_bytes: 0,
         }
@@ -321,8 +332,8 @@ impl MulticastNet {
         rng: &mut SimRng,
     ) -> SimTime {
         let jitter = SimDuration::from_secs_f64(rng.normal_min(
-            self.config.jitter_mean.as_secs_f64(),
-            self.config.jitter_std.as_secs_f64(),
+            self.config.jitter_mean.as_secs_f64() * self.jitter_scale,
+            self.config.jitter_std.as_secs_f64() * self.jitter_scale,
             0.0,
         ));
         let mut arrival = wire_done + self.config.propagation + jitter;
@@ -333,7 +344,8 @@ impl MulticastNet {
         }
         // Loss → geometric number of retransmission rounds, each adding a
         // fixed delay. The message is never dropped: channels are reliable.
-        while self.config.loss_probability > 0.0 && rng.chance(self.config.loss_probability) {
+        let loss = self.loss_override.unwrap_or(self.config.loss_probability);
+        while loss > 0.0 && rng.chance(loss) {
             arrival += self.config.retransmit_delay;
         }
         // Partition: postpone past the heal time, plus a fresh jitter for
@@ -367,6 +379,52 @@ impl MulticastNet {
     /// after `heal`.
     pub fn block_link(&mut self, from: SiteId, to: SiteId, heal: SimTime) {
         self.blocked.push((from, to, heal));
+    }
+
+    /// Blocks the directed link `from → to` with no scheduled heal time
+    /// (nemesis partition). Unlike [`MulticastNet::block_link`], the model
+    /// does not postpone arrivals itself: the driver must hold deliveries
+    /// whose link [`MulticastNet::pair_blocked`] reports as cut, and replay
+    /// them after [`MulticastNet::heal`].
+    pub fn block_pair(&mut self, from: SiteId, to: SiteId) {
+        if from != to {
+            self.blocked_pairs.insert((from, to));
+        }
+    }
+
+    /// Splits the network into `group_a` versus everyone else by blocking
+    /// every cross-group directed link in both directions.
+    pub fn partition_halves(&mut self, group_a: &[SiteId]) {
+        let a: HashSet<SiteId> = group_a.iter().copied().collect();
+        for x in SiteId::all(self.config.sites) {
+            for y in SiteId::all(self.config.sites) {
+                if x != y && a.contains(&x) != a.contains(&y) {
+                    self.blocked_pairs.insert((x, y));
+                }
+            }
+        }
+    }
+
+    /// Removes every indefinitely blocked pair (heals all partitions).
+    pub fn heal(&mut self) {
+        self.blocked_pairs.clear();
+    }
+
+    /// Whether the directed link `from → to` is currently cut by a
+    /// partition.
+    pub fn pair_blocked(&self, from: SiteId, to: SiteId) -> bool {
+        self.blocked_pairs.contains(&(from, to))
+    }
+
+    /// Replaces the configured loss probability (`Some(p)` during a nemesis
+    /// loss burst, `None` to restore the baseline).
+    pub fn set_loss_override(&mut self, p: Option<f64>) {
+        self.loss_override = p.map(|v| v.clamp(0.0, 0.999));
+    }
+
+    /// Scales the configured receive jitter (1.0 restores the baseline).
+    pub fn set_jitter_scale(&mut self, scale: f64) {
+        self.jitter_scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
     }
 
     /// Heal time of the directed link, if it is currently blocked.
@@ -523,6 +581,78 @@ mod tests {
         assert!(cfg.spike_probability > 0.0);
         assert!(cfg.jitter_std < NetConfig::lan_10mbps(4).jitter_std);
         assert_eq!(cfg.bandwidth_bps, 10_000_000);
+    }
+
+    #[test]
+    fn partition_halves_blocks_exactly_the_cross_pairs() {
+        let mut net = MulticastNet::new(NetConfig::lan_10mbps(4));
+        net.partition_halves(&[SiteId::new(0), SiteId::new(3)]);
+        assert!(net.pair_blocked(SiteId::new(0), SiteId::new(1)));
+        assert!(net.pair_blocked(SiteId::new(1), SiteId::new(0)));
+        assert!(net.pair_blocked(SiteId::new(3), SiteId::new(2)));
+        assert!(!net.pair_blocked(SiteId::new(0), SiteId::new(3)), "same side");
+        assert!(!net.pair_blocked(SiteId::new(1), SiteId::new(2)), "same side");
+        assert!(!net.pair_blocked(SiteId::new(0), SiteId::new(0)), "loopback never cut");
+        net.heal();
+        assert!(!net.pair_blocked(SiteId::new(0), SiteId::new(1)));
+    }
+
+    #[test]
+    fn block_pair_ignores_loopback() {
+        let mut net = MulticastNet::new(NetConfig::lan_10mbps(2));
+        net.block_pair(SiteId::new(1), SiteId::new(1));
+        assert!(!net.pair_blocked(SiteId::new(1), SiteId::new(1)));
+        net.block_pair(SiteId::new(0), SiteId::new(1));
+        assert!(net.pair_blocked(SiteId::new(0), SiteId::new(1)));
+        assert!(!net.pair_blocked(SiteId::new(1), SiteId::new(0)), "directed");
+    }
+
+    #[test]
+    fn loss_override_raises_and_restores_delay_behaviour() {
+        // Baseline has zero loss; the override must introduce retransmit
+        // delays, and clearing it must restore clean arrivals.
+        let cfg = NetConfig::lan_10mbps(2).with_jitter(SimDuration::ZERO, SimDuration::ZERO);
+        let mut net = MulticastNet::new(cfg);
+        let mut r = rng();
+        net.set_loss_override(Some(0.9));
+        let mut delayed = 0;
+        for i in 0..50 {
+            let now = SimTime::from_millis(i * 20);
+            let d = net.unicast(SiteId::new(0), SiteId::new(1), 64, now, &mut r);
+            if d.arrival.saturating_since(now) >= SimDuration::from_millis(5) {
+                delayed += 1;
+            }
+        }
+        assert!(delayed > 25, "p=0.9 burst must delay most messages: {delayed}");
+        net.set_loss_override(None);
+        for i in 50..80 {
+            let now = SimTime::from_millis(i * 20);
+            let d = net.unicast(SiteId::new(0), SiteId::new(1), 64, now, &mut r);
+            assert!(d.arrival.saturating_since(now) < SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn jitter_scale_widens_and_restores() {
+        let cfg =
+            NetConfig::lan_10mbps(2).with_jitter(SimDuration::from_micros(100), SimDuration::ZERO);
+        let mut net = MulticastNet::new(cfg);
+        let mut r = rng();
+        let base = net.unicast(SiteId::new(0), SiteId::new(1), 64, SimTime::ZERO, &mut r);
+        net.set_jitter_scale(10.0);
+        let now = SimTime::from_millis(10);
+        let spiked = net.unicast(SiteId::new(0), SiteId::new(1), 64, now, &mut r);
+        assert!(
+            spiked.arrival.saturating_since(now) > base.arrival.saturating_since(SimTime::ZERO),
+            "scaled jitter dominates"
+        );
+        net.set_jitter_scale(0.0); // invalid → restores 1.0
+        let now2 = SimTime::from_millis(20);
+        let restored = net.unicast(SiteId::new(0), SiteId::new(1), 64, now2, &mut r);
+        assert_eq!(
+            restored.arrival.saturating_since(now2),
+            base.arrival.saturating_since(SimTime::ZERO)
+        );
     }
 
     #[test]

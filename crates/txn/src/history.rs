@@ -291,6 +291,58 @@ mod tests {
         assert!(check_one_copy_serializable(&[site_n, site_n2]).is_ok());
     }
 
+    /// Fabricated order conflict: two sites serialize the same conflicting
+    /// write-write pair in opposite directions. The checker must identify
+    /// exactly that pair and report it readably.
+    #[test]
+    fn fabricated_order_conflict_reports_the_pair() {
+        let shared = obj(0, 7);
+        // Site A: T1 before T2; site B: T2 before T1. A third transaction
+        // on another object is noise the checker must not implicate.
+        let noise = upd(9, 0, vec![], vec![obj(1, 1)]);
+        let site_a =
+            vec![noise.clone(), upd(1, 2, vec![], vec![shared]), upd(2, 4, vec![], vec![shared])];
+        let site_b = vec![noise, upd(1, 4, vec![], vec![shared]), upd(2, 2, vec![], vec![shared])];
+        let err = check_one_copy_serializable(&[site_a, site_b]).unwrap_err();
+        let Violation::OrderConflict { a, b } = err else {
+            panic!("expected an order conflict, got {err:?}");
+        };
+        let mut pair = [a, b];
+        pair.sort();
+        assert_eq!(pair, [tid(1), tid(2)], "the conflicting pair is named");
+        let msg = format!("{}", Violation::OrderConflict { a, b });
+        assert!(msg.contains("disagree"), "{msg}");
+        assert!(msg.contains("T[N0:1]") && msg.contains("T[N0:2]"), "{msg}");
+    }
+
+    /// Fabricated cycle with *no* pairwise order conflict: every edge of
+    /// T1 → T2 → T3 → T1 comes from a different site over a different
+    /// object, so only the union graph's cycle detection can reject it.
+    #[test]
+    fn fabricated_cycle_without_order_conflict_is_reported() {
+        let x = obj(0, 0);
+        let y = obj(0, 1);
+        let z = obj(0, 2);
+        // Site A orders T1 → T2 (via x) and T2 → T3 (via y); site B orders
+        // T3 → T1 (via z). No object is shared by more than two of them,
+        // so no single conflicting pair is ordered both ways.
+        let site_a = vec![
+            upd(1, 2, vec![], vec![x]),
+            upd(2, 4, vec![], vec![x, y]),
+            upd(3, 6, vec![], vec![y]),
+        ];
+        let site_b = vec![upd(3, 2, vec![], vec![z]), upd(1, 4, vec![], vec![z])];
+        let err = check_one_copy_serializable(&[site_a, site_b]).unwrap_err();
+        let Violation::Cycle { on } = err else {
+            panic!("expected a cycle, got {err:?}");
+        };
+        assert!(
+            [tid(1), tid(2), tid(3)].contains(&on),
+            "the reported node lies on the fabricated cycle: {on}"
+        );
+        assert!(format!("{err}").contains("cycle"), "{err}");
+    }
+
     #[test]
     fn position_helpers() {
         assert_eq!(CommittedTxn::update_position(TxnIndex::new(3)), 6);
