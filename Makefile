@@ -5,11 +5,15 @@ CARGO ?= cargo
 # Bound property-based suite wall time (same value CI uses). Override:
 #   make test PROPTEST_CASES=256
 PROPTEST_CASES ?= 16
-# Seed budget of the chaos swarm sweep (same value CI uses). Override:
+# Seed budget of the chaos swarm sweep (same value CI uses per intensity).
+# Override:
 #   make chaos CHAOS_SEEDS=720
 CHAOS_SEEDS ?= 16
+# Relative tolerance of the perf gate (same value CI uses). Override:
+#   make perf-check PERF_TOLERANCE=0.10
+PERF_TOLERANCE ?= 0.25
 
-.PHONY: all build test bench chaos lint fmt clippy ci clean
+.PHONY: all build test bench chaos perf perf-check lint fmt clippy ci clean
 
 all: build
 
@@ -32,6 +36,18 @@ bench:
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release -p otp-lab --bin swarm
 
+## Run the deterministic perf matrix (simulated time) and rewrite
+## BENCH.json + BENCH_WALL.json. Refresh the committed baseline after a
+## legitimate shift with: make perf && cp BENCH.json BENCH_BASELINE.json
+perf:
+	$(CARGO) run --release -p otp-bench --bin perf
+
+## The CI perf gate: rerun the matrix and diff it against the committed
+## BENCH_BASELINE.json, failing with one-line reproducers on regression.
+perf-check:
+	$(CARGO) run --release -p otp-bench --bin perf -- \
+		--check BENCH_BASELINE.json --tolerance $(PERF_TOLERANCE)
+
 ## Formatting + lints, exactly as CI enforces them.
 lint: fmt clippy
 
@@ -42,7 +58,7 @@ clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
 ## The full CI pipeline, in CI's order.
-ci: build test chaos lint
+ci: build test chaos perf-check lint
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,398 @@
+//! A minimal JSON value, parser and writer for the perf harness.
+//!
+//! The workspace is offline (`vendor/serde` is a no-op shim), so
+//! `BENCH.json` is produced and consumed by this hand-rolled module. Two
+//! properties matter more than generality:
+//!
+//! * **byte-stable emission** — object keys keep insertion order and
+//!   numbers are formatted by the *writer of the value*, so the same
+//!   report always serializes to the same bytes (the CI determinism gate
+//!   compares two runs with `cmp`);
+//! * **loud parsing** — errors carry the byte offset, since a corrupted
+//!   baseline must fail the perf gate with a diagnosable message, not a
+//!   silent pass.
+//!
+//! Numbers are carried as pre-formatted strings ([`Json::Num`]) on the
+//! emit side and parsed to `f64` on the read side; the perf checker only
+//! ever compares them with a relative tolerance.
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its exact textual form (emission is therefore
+    /// byte-stable; use [`Json::as_f64`] to read it).
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an integer number.
+    pub fn int(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Convenience constructor for a float with fixed decimal places —
+    /// the emit-side policy that keeps the output byte-stable.
+    pub fn fixed(v: f64, decimals: usize) -> Json {
+        Json::Num(format!("{v:.decimals$}"))
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this node is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// String value, if this node is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this node is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline. Output
+    /// is a pure function of the value — byte-stable by construction.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Json::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| format!("short \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown escape {:?} at byte {}",
+                                other as char, self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        text.parse::<f64>().map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+        Ok(Json::Num(text.to_string()))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_report_shaped_document() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::int(1)),
+            ("name".into(), Json::Str("perf \"quoted\"\n".into())),
+            (
+                "cells".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("id".into(), Json::Str("opt-otp-uniform".into())),
+                    ("throughput".into(), Json::fixed(123.456789, 3)),
+                    ("empty".into(), Json::Arr(vec![])),
+                    ("none".into(), Json::Null),
+                    ("ok".into(), Json::Bool(true)),
+                ])]),
+            ),
+        ]);
+        let text = doc.to_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Emission is byte-stable.
+        assert_eq!(back.to_pretty(), text);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"a": 1.5, "b": "x", "c": [2, 3]}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("c").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers_parse() {
+        let doc = Json::parse("[-1, 2.5e3, 0.001]").unwrap();
+        let nums: Vec<f64> = doc.as_arr().unwrap().iter().filter_map(Json::as_f64).collect();
+        assert_eq!(nums, vec![-1.0, 2500.0, 0.001]);
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        assert!(Json::parse("{\"a\" 1}").unwrap_err().contains("byte"));
+        assert!(
+            Json::parse("[1, 2").unwrap_err().contains("byte")
+                || Json::parse("[1, 2").unwrap_err().contains("end of input")
+        );
+        assert!(Json::parse("{}extra").unwrap_err().contains("trailing"));
+        assert!(Json::parse("nope").unwrap_err().contains("unexpected"));
+    }
+}

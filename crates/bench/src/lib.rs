@@ -18,6 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod perf;
+
 use otp_broadcast::order::{pairwise_agreement_pct, spontaneous_order_pct};
 use otp_broadcast::MsgId;
 use otp_core::{AsyncCluster, AsyncConfig, Cluster, ClusterConfig, DurationDist, EngineKind, Mode};

@@ -1,0 +1,527 @@
+//! The perf harness: a canonical scenario matrix measured in simulated
+//! time, emitted as a byte-stable, machine-readable `BENCH.json`.
+//!
+//! Every metric here is *virtual*: throughput is commits per **simulated**
+//! second, latencies are simulated nanoseconds, messages-per-commit counts
+//! frames on the simulated medium. Two runs of the same binary therefore
+//! produce byte-identical reports — zero noise — which is what lets CI gate
+//! on them with a plain file comparison plus a relative-tolerance diff
+//! against the committed `BENCH_BASELINE.json` (see
+//! [`check_against_baseline`]). Wall-clock duration is *recorded* by the
+//! `perf` binary (stdout and `BENCH_WALL.json`) but never gated and never
+//! part of `BENCH.json`, precisely so the byte-stability holds.
+//!
+//! The matrix is engine × mode × workload:
+//!
+//! * **engine** — `opt` (consensus-based optimistic broadcast), `seq`
+//!   (fixed sequencer with order batching, the throughput-tuned
+//!   conservative transport), `scramble` (oracle engine with a fixed
+//!   agreement delay and a small mismatch rate);
+//! * **mode** — `otp` (execute on Opt-delivery) vs `conservative`
+//!   (execute after TO-delivery);
+//! * **workload** — `uniform` (even class selection), `hotspot` (80 % of
+//!   transactions on a quarter of the classes), `tpcb` (the TPC-B-like
+//!   banking profile).
+//!
+//! A regression found by `--check` prints a one-line reproducer
+//! (`… --bin perf -- --cell CELL`) exactly like the chaos swarm does for
+//! invariant violations.
+
+use crate::json::Json;
+use otp_core::{Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
+use otp_simnet::{SimDuration, SimTime};
+use otp_workload::{Arrival, ClassSelection, StandardProcs, TpcB, WorkloadSpec};
+use std::fmt;
+use std::str::FromStr;
+
+/// Schema version of `BENCH.json`; bump on any layout change.
+pub const PERF_SCHEMA: u64 = 1;
+/// Master seed of the canonical matrix.
+pub const PERF_SEED: u64 = 42;
+/// Update transactions per cell in the canonical matrix.
+pub const PERF_TXNS: u64 = 240;
+/// Sites in every perf cluster.
+pub const PERF_SITES: usize = 4;
+/// Conflict classes (= TPC-B branches) in every perf cluster.
+pub const PERF_CLASSES: usize = 4;
+
+/// Which broadcast engine a perf cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfEngine {
+    /// Consensus-based optimistic atomic broadcast.
+    Opt,
+    /// Fixed sequencer with a 250 µs order-batching window.
+    Seq,
+    /// Oracle engine: 2 ms agreement delay, 5 % tentative-order swaps.
+    Scramble,
+}
+
+impl PerfEngine {
+    /// The concrete engine configuration this choice denotes.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self {
+            PerfEngine::Opt => EngineKind::Opt { consensus_timeout: SimDuration::from_millis(50) },
+            PerfEngine::Seq => {
+                EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(250) }
+            }
+            PerfEngine::Scramble => EngineKind::Scrambled {
+                agreement_delay: SimDuration::from_millis(2),
+                swap_probability: 0.05,
+            },
+        }
+    }
+
+    fn id(&self) -> &'static str {
+        match self {
+            PerfEngine::Opt => "opt",
+            PerfEngine::Seq => "seq",
+            PerfEngine::Scramble => "scramble",
+        }
+    }
+
+    /// All engines, in matrix order.
+    pub fn all() -> [PerfEngine; 3] {
+        [PerfEngine::Opt, PerfEngine::Seq, PerfEngine::Scramble]
+    }
+}
+
+/// Which client workload a perf cell offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfWorkload {
+    /// Uniform class selection, fixed 2 ms per-site arrivals.
+    Uniform,
+    /// Hot-spot skew: 80 % of transactions hit 25 % of the classes.
+    Hotspot,
+    /// The TPC-B-like banking profile (one branch per class).
+    Tpcb,
+}
+
+impl PerfWorkload {
+    fn id(&self) -> &'static str {
+        match self {
+            PerfWorkload::Uniform => "uniform",
+            PerfWorkload::Hotspot => "hotspot",
+            PerfWorkload::Tpcb => "tpcb",
+        }
+    }
+
+    /// All workloads, in matrix order.
+    pub fn all() -> [PerfWorkload; 3] {
+        [PerfWorkload::Uniform, PerfWorkload::Hotspot, PerfWorkload::Tpcb]
+    }
+}
+
+/// One cell of the perf matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfCell {
+    /// Broadcast engine under measurement.
+    pub engine: PerfEngine,
+    /// Processing mode under measurement.
+    pub mode: Mode,
+    /// Offered workload.
+    pub workload: PerfWorkload,
+}
+
+impl PerfCell {
+    /// The full matrix, in deterministic (engine-major) order.
+    pub fn all() -> Vec<PerfCell> {
+        let mut cells = Vec::new();
+        for engine in PerfEngine::all() {
+            for mode in [Mode::Otp, Mode::Conservative] {
+                for workload in PerfWorkload::all() {
+                    cells.push(PerfCell { engine, mode, workload });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Stable id, e.g. `seq-conservative-tpcb`.
+    pub fn id(&self) -> String {
+        let mode = match self.mode {
+            Mode::Otp => "otp",
+            Mode::Conservative => "conservative",
+        };
+        format!("{}-{}-{}", self.engine.id(), mode, self.workload.id())
+    }
+}
+
+impl fmt::Display for PerfCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+impl FromStr for PerfCell {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('-').collect();
+        let [engine, mode, workload] = parts.as_slice() else {
+            return Err(format!("perf cell must be engine-mode-workload, got {s:?}"));
+        };
+        let engine = match *engine {
+            "opt" => PerfEngine::Opt,
+            "seq" => PerfEngine::Seq,
+            "scramble" => PerfEngine::Scramble,
+            other => return Err(format!("unknown engine {other:?} (opt|seq|scramble)")),
+        };
+        let mode = match *mode {
+            "otp" => Mode::Otp,
+            "conservative" => Mode::Conservative,
+            other => return Err(format!("unknown mode {other:?} (otp|conservative)")),
+        };
+        let workload = match *workload {
+            "uniform" => PerfWorkload::Uniform,
+            "hotspot" => PerfWorkload::Hotspot,
+            "tpcb" => PerfWorkload::Tpcb,
+            other => return Err(format!("unknown workload {other:?} (uniform|hotspot|tpcb)")),
+        };
+        Ok(PerfCell { engine, mode, workload })
+    }
+}
+
+/// Simulated-time metrics of one cell run. All values are deterministic
+/// functions of `(cell, txns, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Transactions committed at their origin site.
+    pub completed: u64,
+    /// Origin commits per simulated second.
+    pub throughput_per_sec: f64,
+    /// Median commit latency (submission → origin commit), simulated ns.
+    pub p50_commit_ns: u64,
+    /// 99th-percentile commit latency, simulated ns.
+    pub p99_commit_ns: u64,
+    /// Aborts / (commits + aborts), cluster-wide.
+    pub abort_rate: f64,
+    /// Frames on the simulated medium per origin commit — the metric the
+    /// delivery-path batching work moves.
+    pub msgs_per_commit: f64,
+    /// Virtual time at which the run went quiescent.
+    pub sim_duration_ns: u64,
+}
+
+/// Runs one perf cell deterministically.
+///
+/// A run that loses transactions (a bug — these scenarios are
+/// fault-free) is *reported*, not panicked over: `completed` lands in
+/// the metrics, the lost transactions go to stderr, and the baseline
+/// checker's zero-tolerance `completed` gate turns it into a regression
+/// with a reproducer line while the rest of the matrix still completes
+/// and `BENCH.json` is still written.
+pub fn run_perf_cell(cell: &PerfCell, txns: u64, seed: u64) -> CellMetrics {
+    let config = ClusterConfig::new(PERF_SITES, PERF_CLASSES)
+        .with_engine(cell.engine.engine_kind())
+        .with_mode(cell.mode)
+        .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+        .with_seed(seed);
+
+    let mut cluster = match cell.workload {
+        PerfWorkload::Uniform | PerfWorkload::Hotspot => {
+            let mut spec = WorkloadSpec::new(PERF_SITES, PERF_CLASSES, txns)
+                .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
+                .with_seed(seed);
+            if cell.workload == PerfWorkload::Hotspot {
+                spec = spec.with_selection(ClassSelection::HotSpot {
+                    hot_fraction: 0.25,
+                    hot_probability: 0.8,
+                });
+            }
+            let (registry, procs) = StandardProcs::registry();
+            let schedule = spec.generate(&procs);
+            let mut cluster = Cluster::new(config, registry, spec.initial_data());
+            schedule.apply(&mut cluster);
+            cluster
+        }
+        PerfWorkload::Tpcb => {
+            let tpcb = TpcB::new(PERF_CLASSES as u32, PERF_SITES, txns)
+                .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
+                .with_seed(seed);
+            let (registry, proc) = tpcb.registry();
+            let schedule = tpcb.schedule(proc);
+            let mut cluster = Cluster::new(config, registry, tpcb.initial_data());
+            schedule.apply(&mut cluster);
+            cluster
+        }
+    };
+
+    cluster.run_until(SimTime::from_secs(600));
+    let mut stats = cluster.stats();
+    if stats.completed != txns {
+        eprintln!(
+            "perf: cell {} lost transactions ({} of {txns} committed) — \
+             the completed gate will flag this against any baseline",
+            cell.id(),
+            stats.completed
+        );
+    }
+    CellMetrics {
+        completed: stats.completed,
+        throughput_per_sec: stats.throughput_per_sec(),
+        p50_commit_ns: stats.commit_latency.quantile(0.5).as_nanos(),
+        p99_commit_ns: stats.commit_latency.quantile(0.99).as_nanos(),
+        abort_rate: stats.abort_rate(),
+        msgs_per_commit: stats.network_frames as f64 / stats.completed.max(1) as f64,
+        sim_duration_ns: stats.now.as_nanos(),
+    }
+}
+
+/// A full matrix run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Transactions per cell.
+    pub txns: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// `(cell, metrics)` in matrix order.
+    pub cells: Vec<(PerfCell, CellMetrics)>,
+}
+
+/// Runs the given cells (usually [`PerfCell::all`]) into a report.
+pub fn run_matrix(cells: &[PerfCell], txns: u64, seed: u64) -> PerfReport {
+    let cells = cells.iter().map(|c| (*c, run_perf_cell(c, txns, seed))).collect();
+    PerfReport { txns, seed, cells }
+}
+
+impl PerfReport {
+    /// Serializes the report as the byte-stable `BENCH.json` document.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|(cell, m)| {
+                Json::Obj(vec![
+                    ("id".into(), Json::Str(cell.id())),
+                    ("completed".into(), Json::int(m.completed)),
+                    ("throughput_per_sec".into(), Json::fixed(m.throughput_per_sec, 3)),
+                    ("p50_commit_ns".into(), Json::int(m.p50_commit_ns)),
+                    ("p99_commit_ns".into(), Json::int(m.p99_commit_ns)),
+                    ("abort_rate".into(), Json::fixed(m.abort_rate, 6)),
+                    ("msgs_per_commit".into(), Json::fixed(m.msgs_per_commit, 4)),
+                    ("sim_duration_ns".into(), Json::int(m.sim_duration_ns)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::int(PERF_SCHEMA)),
+            ("tool".into(), Json::Str("otp-bench perf".into())),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("sites".into(), Json::int(PERF_SITES as u64)),
+                    ("classes".into(), Json::int(PERF_CLASSES as u64)),
+                    ("txns".into(), Json::int(self.txns)),
+                    ("seed".into(), Json::int(self.seed)),
+                ]),
+            ),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+        .to_pretty()
+    }
+}
+
+/// One perf regression found by [`check_against_baseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Cell id.
+    pub cell: String,
+    /// Metric name as it appears in `BENCH.json`.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// One-line command reproducing the cell measurement.
+    pub reproducer: String,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed {:.4} -> {:.4}\nrepro: {}",
+            self.cell, self.metric, self.baseline, self.current, self.reproducer
+        )
+    }
+}
+
+/// The one-line command re-measuring a single cell.
+pub fn reproducer(cell_id: &str) -> String {
+    format!("cargo run --release -p otp-bench --bin perf -- --cell {cell_id}")
+}
+
+/// Diffs a current report against a committed baseline document.
+///
+/// Gated metrics and their regression directions: `throughput_per_sec`
+/// (down), `p50_commit_ns`/`p99_commit_ns` (up), `msgs_per_commit` (up) —
+/// each with relative `tolerance` — plus `abort_rate` (up, with the same
+/// relative tolerance and a 0.01 absolute floor so zero-abort baselines do
+/// not trip on the first abort) and `completed` (any loss, no tolerance).
+/// A cell present in the baseline but missing from the current run is a
+/// regression; a new cell only present in the current run is allowed (the
+/// matrix may grow before the baseline is refreshed).
+///
+/// # Errors
+///
+/// Returns a description if the baseline does not parse or has an
+/// unexpected schema version.
+pub fn check_against_baseline(
+    current: &PerfReport,
+    baseline_text: &str,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let schema = baseline.get("schema").and_then(Json::as_f64);
+    if schema != Some(PERF_SCHEMA as f64) {
+        return Err(format!(
+            "baseline schema {:?} does not match supported schema {PERF_SCHEMA}",
+            schema
+        ));
+    }
+    let base_cells = baseline
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline: missing \"cells\" array".to_string())?;
+
+    let mut regressions = Vec::new();
+    for base in base_cells {
+        let id = base
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "baseline: cell without \"id\"".to_string())?;
+        let Some((_, cur)) = current.cells.iter().find(|(c, _)| c.id() == id) else {
+            regressions.push(Regression {
+                cell: id.to_string(),
+                metric: "missing",
+                baseline: 1.0,
+                current: 0.0,
+                reproducer: reproducer(id),
+            });
+            continue;
+        };
+        let metric = |name: &str| -> Result<f64, String> {
+            base.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline: cell {id} missing {name:?}"))
+        };
+        let mut push = |metric: &'static str, baseline: f64, current: f64| {
+            regressions.push(Regression {
+                cell: id.to_string(),
+                metric,
+                baseline,
+                current,
+                reproducer: reproducer(id),
+            });
+        };
+
+        let base_tput = metric("throughput_per_sec")?;
+        if cur.throughput_per_sec < base_tput * (1.0 - tolerance) {
+            push("throughput_per_sec", base_tput, cur.throughput_per_sec);
+        }
+        let base_p50 = metric("p50_commit_ns")?;
+        if cur.p50_commit_ns as f64 > base_p50 * (1.0 + tolerance) {
+            push("p50_commit_ns", base_p50, cur.p50_commit_ns as f64);
+        }
+        let base_p99 = metric("p99_commit_ns")?;
+        if cur.p99_commit_ns as f64 > base_p99 * (1.0 + tolerance) {
+            push("p99_commit_ns", base_p99, cur.p99_commit_ns as f64);
+        }
+        let base_mpc = metric("msgs_per_commit")?;
+        if cur.msgs_per_commit > base_mpc * (1.0 + tolerance) {
+            push("msgs_per_commit", base_mpc, cur.msgs_per_commit);
+        }
+        let base_abort = metric("abort_rate")?;
+        if cur.abort_rate > base_abort * (1.0 + tolerance) + 0.01 {
+            push("abort_rate", base_abort, cur.abort_rate);
+        }
+        let base_completed = metric("completed")?;
+        if (cur.completed as f64) < base_completed {
+            push("completed", base_completed, cur.completed as f64);
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_eighteen_cells_with_unique_round_tripping_ids() {
+        let cells = PerfCell::all();
+        assert_eq!(cells.len(), 18);
+        let mut ids: Vec<String> = cells.iter().map(PerfCell::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 18);
+        for cell in PerfCell::all() {
+            let parsed: PerfCell = cell.id().parse().unwrap();
+            assert_eq!(parsed, cell, "{}", cell.id());
+        }
+        assert!("seq-otp".parse::<PerfCell>().is_err());
+        assert!("paxos-otp-uniform".parse::<PerfCell>().is_err());
+        assert!("seq-lazy-uniform".parse::<PerfCell>().is_err());
+        assert!("seq-otp-ycsb".parse::<PerfCell>().is_err());
+    }
+
+    #[test]
+    fn one_cell_runs_and_reports_sane_metrics() {
+        let cell: PerfCell = "seq-conservative-uniform".parse().unwrap();
+        let m = run_perf_cell(&cell, 24, PERF_SEED);
+        assert_eq!(m.completed, 24);
+        assert!(m.throughput_per_sec > 0.0);
+        assert!(m.p50_commit_ns > 0 && m.p50_commit_ns <= m.p99_commit_ns);
+        assert_eq!(m.abort_rate, 0.0, "conservative never aborts");
+        assert!(m.msgs_per_commit > 0.0);
+        assert!(m.sim_duration_ns > 0);
+    }
+
+    #[test]
+    fn report_json_is_byte_stable_and_parses() {
+        let cells: Vec<PerfCell> =
+            vec!["opt-otp-uniform".parse().unwrap(), "seq-otp-tpcb".parse().unwrap()];
+        let a = run_matrix(&cells, 16, PERF_SEED);
+        let b = run_matrix(&cells, 16, PERF_SEED);
+        assert_eq!(a.to_json(), b.to_json(), "same inputs, same bytes");
+        let doc = Json::parse(&a.to_json()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn self_check_passes_and_doctored_baseline_fails_with_reproducer() {
+        let cells: Vec<PerfCell> = vec!["scramble-otp-hotspot".parse().unwrap()];
+        let report = run_matrix(&cells, 16, PERF_SEED);
+        let baseline = report.to_json();
+        assert_eq!(check_against_baseline(&report, &baseline, 0.1).unwrap(), vec![]);
+        // Doctor the baseline: pretend throughput used to be 100x higher.
+        let doctored = baseline
+            .replace("\"throughput_per_sec\": ", "\"throughput_per_sec\": 9999999.0, \"was\": ");
+        let regs = check_against_baseline(&report, &doctored, 0.25).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "throughput_per_sec");
+        assert!(regs[0].reproducer.contains("--cell scramble-otp-hotspot"));
+        assert!(!format!("{}", regs[0]).is_empty());
+    }
+
+    #[test]
+    fn missing_cell_and_bad_baseline_are_loud() {
+        let cells: Vec<PerfCell> = vec!["opt-otp-uniform".parse().unwrap()];
+        let report = run_matrix(&cells, 16, PERF_SEED);
+        // Baseline knows a cell the current run does not have.
+        let two = run_matrix(
+            &["opt-otp-uniform".parse().unwrap(), "opt-otp-tpcb".parse().unwrap()],
+            16,
+            PERF_SEED,
+        );
+        let regs = check_against_baseline(&report, &two.to_json(), 0.25).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "missing");
+        // Garbage baseline: an error, not a vacuous pass.
+        assert!(check_against_baseline(&report, "{not json", 0.25).is_err());
+        assert!(check_against_baseline(&report, "{\"schema\": 99}", 0.25)
+            .unwrap_err()
+            .contains("schema"));
+    }
+}

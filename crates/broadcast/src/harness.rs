@@ -159,8 +159,8 @@ where
                 EngineAction::OptDeliver(msg) => {
                     self.opt_logs[site.index()].push(msg.id);
                 }
-                EngineAction::ToDeliver(id) => {
-                    self.to_logs[site.index()].push(id);
+                EngineAction::ToDeliver(ids) => {
+                    self.to_logs[site.index()].extend(ids);
                 }
             }
         }
@@ -220,6 +220,11 @@ where
                 self.to_logs[site.index()] = self.engines[site.index()].definitive_log().to_vec();
                 self.opt_logs[site.index()] = self.engines[site.index()].definitive_log().to_vec();
                 self.apply_actions(site, actions);
+                // Post-restore repair (the harness holds no partition
+                // buffers, so there are no self-sent wires to re-teach
+                // first — see the cluster driver for the full sequence).
+                let finish = self.engines[site.index()].finish_restore();
+                self.apply_actions(site, finish);
                 // Replay everything buffered while down.
                 let held = std::mem::take(&mut self.held[site.index()]);
                 let now = self.queue.now();

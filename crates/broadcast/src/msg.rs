@@ -100,6 +100,16 @@ pub enum Wire<P> {
         /// The message being ordered.
         id: MsgId,
     },
+    /// Sequencer engine, batched: one wire carrying a run of consecutive
+    /// sequence assignments — `ids[k]` gets position `start_seqno + k`.
+    /// Amortizes the per-message ordering frame over a whole accumulation
+    /// window (the Slim-ABC style throughput optimization).
+    SeqOrderBatch {
+        /// Position of `ids[0]` in the definitive total order.
+        start_seqno: u64,
+        /// The messages being ordered, in consecutive positions.
+        ids: Vec<MsgId>,
+    },
     /// Oracle engine (test/bench harness): data stamped with the global
     /// send order.
     OracleData {
@@ -126,6 +136,7 @@ impl<P: PayloadSize> Wire<P> {
                 HDR + body
             }
             Wire::SeqOrder { .. } => HDR + 20,
+            Wire::SeqOrderBatch { ids, .. } => HDR + 8 + 12 * ids.len() as u32,
             Wire::OracleData { msg, .. } => HDR + 8 + msg.payload.size_bytes(),
         }
     }
@@ -160,10 +171,14 @@ pub enum EngineAction<P> {
     Send(SiteId, Wire<P>),
     /// Tentative delivery to the application, in receive order.
     OptDeliver(Message<P>),
-    /// Definitive delivery confirmation — only the id, matching the paper:
+    /// Definitive delivery confirmation — only the ids, matching the paper:
     /// "TO-deliver(m) will not deliver the entire body of the message …
-    /// but rather deliver only a confirmation message".
-    ToDeliver(MsgId),
+    /// but rather deliver only a confirmation message". Engines emit one
+    /// *batch* per causal step (a decided consensus batch, a filled order
+    /// gap, a ripened timer run): everything that becomes definitive at one
+    /// instant travels as one action, so drivers pay the dispatch and
+    /// lookup overhead once per batch instead of once per message.
+    ToDeliver(Vec<MsgId>),
     /// Arm a timer for `delay` from now, then call `on_timer(token)`.
     SetTimer {
         /// Identifies the timer when it fires.

@@ -239,9 +239,10 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         self.consensus_actions(instance, actions)
     }
 
-    /// Drains decided batches through the delivery cursor.
+    /// Drains decided batches through the delivery cursor. Everything that
+    /// becomes definitive in this step leaves as one `ToDeliver` batch.
     fn try_deliver(&mut self) -> Vec<EngineAction<P>> {
-        let mut out = Vec::new();
+        let mut delivered: Vec<MsgId> = Vec::new();
         while let Some(batch) = self.decided.get(&self.cursor_instance) {
             let batch = batch.clone();
             let mut stalled = false;
@@ -259,8 +260,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
                 }
                 self.to_set.insert(id);
                 self.definitive_log.push(id);
-                self.undecided.retain(|u| *u != id);
-                out.push(EngineAction::ToDeliver(id));
+                delivered.push(id);
                 self.cursor_pos += 1;
             }
             if stalled {
@@ -271,7 +271,14 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
                 self.cursor_pos = 0;
             }
         }
-        out
+        if delivered.is_empty() {
+            return Vec::new();
+        }
+        // One sweep over the proposal queue for the whole batch instead of
+        // one retain per delivered message (that was quadratic under load).
+        let gone: HashSet<MsgId> = delivered.iter().copied().collect();
+        self.undecided.retain(|u| !gone.contains(u));
+        vec![EngineAction::ToDeliver(delivered)]
     }
 
     fn on_data(&mut self, msg: Message<P>) -> Vec<EngineAction<P>> {
@@ -354,7 +361,9 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         match wire {
             Wire::Data(msg) => self.on_data(msg),
             Wire::Consensus { instance, msg } => self.on_consensus(from, instance, msg),
-            Wire::SeqOrder { .. } | Wire::OracleData { .. } => Vec::new(),
+            Wire::SeqOrder { .. } | Wire::SeqOrderBatch { .. } | Wire::OracleData { .. } => {
+                Vec::new()
+            }
         }
     }
 

@@ -134,6 +134,7 @@ impl<P: Clone + std::fmt::Debug> ScrambledAbcast<P> {
     }
 
     fn try_to_deliver(&mut self, out: &mut Vec<EngineAction<P>>) {
+        let mut delivered: Vec<MsgId> = Vec::new();
         while let (Some(&ready), Some(id)) =
             (self.ripe.get(&self.deliver_next), self.order.get(&self.deliver_next).copied())
         {
@@ -141,13 +142,20 @@ impl<P: Clone + std::fmt::Debug> ScrambledAbcast<P> {
                 break;
             }
             // Local Order: if the message is still held back for a swap,
-            // release its Opt-delivery first.
+            // release its Opt-delivery first — closing the current batch so
+            // the Opt-delivery stays ahead of the id's TO-delivery.
             if self.swap_hold.as_ref().is_some_and(|h| h.id == id) {
+                if !delivered.is_empty() {
+                    out.push(EngineAction::ToDeliver(std::mem::take(&mut delivered)));
+                }
                 self.flush_hold(out);
             }
             self.definitive_log.push(id);
-            out.push(EngineAction::ToDeliver(id));
+            delivered.push(id);
             self.deliver_next += 1;
+        }
+        if !delivered.is_empty() {
+            out.push(EngineAction::ToDeliver(delivered));
         }
     }
 }
@@ -475,7 +483,7 @@ mod tests {
         assert_eq!(token.instance, 0, "armed with the original oracle seq");
         // When the timer fires the message TO-delivers.
         let fired = fresh.on_timer(token);
-        assert!(fired.iter().any(|a| matches!(a, EngineAction::ToDeliver(d) if *d == id)));
+        assert!(fired.iter().any(|a| matches!(a, EngineAction::ToDeliver(d) if d.contains(&id))));
     }
 
     #[test]

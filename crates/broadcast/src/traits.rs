@@ -57,6 +57,20 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// Handles a wire message received from the network.
     fn on_receive(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>>;
 
+    /// Handles a whole tick's worth of wire messages at once. Drivers that
+    /// coalesce same-instant arrivals call this so engines can amortize
+    /// per-message work; the default simply loops over
+    /// [`AtomicBroadcast::on_receive`]. Engines may override it to batch
+    /// their outputs (the sequencer coalesces order assignments into one
+    /// [`crate::Wire::SeqOrderBatch`] frame per tick).
+    fn on_receive_batch(&mut self, wires: Vec<(SiteId, Wire<P>)>) -> Vec<EngineAction<P>> {
+        let mut out = Vec::new();
+        for (from, wire) in wires {
+            out.extend(self.on_receive(from, wire));
+        }
+        out
+    }
+
     /// Handles a timer armed via [`EngineAction::SetTimer`].
     fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>>;
 
@@ -73,4 +87,14 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// actions (they are tentative again at the recovering site), followed
     /// by any `ToDeliver`s that are immediately ready.
     fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>>;
+
+    /// Called by the driver once, after [`AtomicBroadcast::restore`] *and*
+    /// after it has re-fed the engine every surviving wire this site sent
+    /// before crashing (copies held at partitions or for down receivers).
+    /// Engines that must repair state no snapshot can carry do it here —
+    /// the batched sequencer renumbers order assignments that died in an
+    /// unflushed accumulation window. Default: nothing to repair.
+    fn finish_restore(&mut self) -> Vec<EngineAction<P>> {
+        Vec::new()
+    }
 }

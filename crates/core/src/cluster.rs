@@ -30,8 +30,14 @@ use std::sync::Arc;
 
 /// Newtype wrapping [`TxnRequest`] as the broadcast payload (satisfies the
 /// orphan rule for [`PayloadSize`]).
+///
+/// The request is behind an [`Arc`]: a multicast fans one payload out to
+/// every site, the engines keep a copy in their payload stores, and
+/// recovery snapshots clone those stores wholesale — sharing one allocation
+/// turns all of that into reference-count bumps. The only deep copy left on
+/// the delivery path is the one hand-off to the replica at Opt-delivery.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TxnPayload(pub TxnRequest);
+pub struct TxnPayload(pub Arc<TxnRequest>);
 
 impl PayloadSize for TxnPayload {
     fn size_bytes(&self) -> u32 {
@@ -93,6 +99,15 @@ pub enum EngineKind {
     },
     /// Fixed-sequencer total order (site 0 sequences).
     Sequencer,
+    /// Fixed-sequencer total order with order-batching: the sequencer
+    /// accumulates assignments for `order_delay` and multicasts them as one
+    /// [`otp_broadcast::Wire::SeqOrderBatch`] frame, amortizing the
+    /// per-message ordering frame (Slim-ABC style). Opt-delivery latency is
+    /// unaffected; confirmation waits at most `order_delay` longer.
+    SequencerBatched {
+        /// Accumulation window before the order multicast.
+        order_delay: SimDuration,
+    },
     /// Oracle engine with controlled agreement delay and mismatch rate
     /// (experiments E2/E3).
     Scrambled {
@@ -204,10 +219,10 @@ impl AnyReplica {
         }
     }
 
-    fn on_to_deliver(&mut self, txn: TxnId, class: ClassId) -> Vec<ReplicaAction> {
+    fn on_to_deliver_batch(&mut self, batch: &[(TxnId, ClassId)]) -> Vec<ReplicaAction> {
         match self {
-            AnyReplica::Otp(r) => r.on_to_deliver(txn, class),
-            AnyReplica::Conservative(r) => r.on_to_deliver(txn, class),
+            AnyReplica::Otp(r) => r.on_to_deliver_batch(batch),
+            AnyReplica::Conservative(r) => r.on_to_deliver_batch(batch),
         }
     }
 
@@ -398,6 +413,10 @@ impl Cluster {
             EngineKind::Sequencer => {
                 Box::new(move |s| Box::new(SeqAbcast::new(s, SiteId::new(0))) as Engine)
             }
+            EngineKind::SequencerBatched { order_delay } => Box::new(move |s| {
+                Box::new(SeqAbcast::new(s, SiteId::new(0)).with_order_batching(order_delay))
+                    as Engine
+            }),
             EngineKind::Scrambled { agreement_delay, swap_probability } => {
                 let oracle = Oracle::new();
                 let mut fork_rng = SimRng::seed_from(config.seed ^ 0x5ca1ab1e);
@@ -539,6 +558,12 @@ impl Cluster {
 
     /// Runs until the event queue empties or `deadline` passes. Returns
     /// the number of events processed.
+    ///
+    /// Wire arrivals forming an adjacent same-instant run to one site are
+    /// coalesced into a single per-tick delivery batch: the engine sees the
+    /// whole run in one [`AtomicBroadcast::on_receive_batch`] call and can
+    /// amortize its outputs (one ordering frame, one TO-delivery batch)
+    /// instead of paying the dispatch round-trip per message.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
         while let Some(t) = self.queue.peek_time() {
@@ -546,8 +571,23 @@ impl Cluster {
                 break;
             }
             let (_, ev) = self.queue.pop().expect("peeked");
-            self.handle(ev);
             processed += 1;
+            let Ev::Wire { from, to, wire } = ev else {
+                self.handle(ev);
+                continue;
+            };
+            let mut batch = vec![(from, wire)];
+            while let Some((nt, Ev::Wire { to: next_to, .. })) = self.queue.peek() {
+                if nt != t || *next_to != to {
+                    break;
+                }
+                let Some((_, Ev::Wire { from, wire, .. })) = self.queue.pop() else {
+                    unreachable!("peeked a same-instant wire");
+                };
+                batch.push((from, wire));
+                processed += 1;
+            }
+            self.handle_wire_batch(to, batch);
         }
         processed
     }
@@ -595,21 +635,11 @@ impl Cluster {
                     return; // client's site is down; request lost
                 }
                 self.submit_time.insert(request.id, self.queue.now());
-                let (_msg_id, actions) = self.engines[site.index()].broadcast(TxnPayload(request));
+                let (_msg_id, actions) =
+                    self.engines[site.index()].broadcast(TxnPayload(Arc::new(request)));
                 self.apply_engine_actions(site, actions);
             }
-            Ev::Wire { from, to, wire } => {
-                if self.crashed[to.index()] {
-                    self.held_wires[to.index()].push((from, wire));
-                    return;
-                }
-                if self.net.pair_blocked(from, to) {
-                    self.partition_held.push((from, to, wire));
-                    return;
-                }
-                let actions = self.engines[to.index()].on_receive(from, wire);
-                self.apply_engine_actions(to, actions);
-            }
+            Ev::Wire { from, to, wire } => self.handle_wire_batch(to, vec![(from, wire)]),
             Ev::Timer { site, token } => {
                 if self.crashed[site.index()] {
                     return;
@@ -656,6 +686,26 @@ impl Cluster {
             Ev::Recover { site, donor } => self.recover_site(site, donor),
             Ev::Nemesis(ev) => self.handle_nemesis(ev),
         }
+    }
+
+    /// Delivers one tick's worth of wires to `to`: crash/partition holds
+    /// are filtered per wire, the rest goes to the engine as one batch.
+    fn handle_wire_batch(&mut self, to: SiteId, wires: Vec<(SiteId, Wire<TxnPayload>)>) {
+        let mut deliverable = Vec::with_capacity(wires.len());
+        for (from, wire) in wires {
+            if self.crashed[to.index()] {
+                self.held_wires[to.index()].push((from, wire));
+            } else if self.net.pair_blocked(from, to) {
+                self.partition_held.push((from, to, wire));
+            } else {
+                deliverable.push((from, wire));
+            }
+        }
+        if deliverable.is_empty() {
+            return;
+        }
+        let actions = self.engines[to.index()].on_receive_batch(deliverable);
+        self.apply_engine_actions(to, actions);
     }
 
     /// Marks `site` down: its epoch advances (cancelling in-flight local
@@ -728,13 +778,24 @@ impl Cluster {
                     .map(|(_, w)| w.clone()),
             )
             .filter(|w| {
-                matches!(w, Wire::Data(_) | Wire::OracleData { .. } | Wire::SeqOrder { .. })
+                matches!(
+                    w,
+                    Wire::Data(_)
+                        | Wire::OracleData { .. }
+                        | Wire::SeqOrder { .. }
+                        | Wire::SeqOrderBatch { .. }
+                )
             })
             .collect();
         for wire in own {
             let actions = self.engines[site.index()].on_receive(site, wire);
             self.apply_engine_actions(site, actions);
         }
+        // 3c. With every surviving self-sent wire re-learned, the engine
+        // can repair what no snapshot or wire carries (a batched sequencer
+        // renumbers assignments that died in an unflushed window).
+        let finish_actions = self.engines[site.index()].finish_restore();
+        self.apply_engine_actions(site, finish_actions);
         // 4. Everything buffered while down arrives now. (Wires whose link
         // a partition currently cuts go back on hold at delivery time.)
         let held = std::mem::take(&mut self.held_wires[site.index()]);
@@ -794,11 +855,18 @@ impl Cluster {
             match a {
                 EngineAction::Multicast(wire) => {
                     let size = wire.size_bytes();
-                    for d in self.net.multicast(site, size, now, &mut self.rng) {
-                        self.queue.schedule(
-                            d.arrival,
-                            Ev::Wire { from: site, to: d.to, wire: wire.clone() },
-                        );
+                    let deliveries = self.net.multicast(site, size, now, &mut self.rng);
+                    // The last delivery takes ownership; the rest clone
+                    // (cheap: payloads are Arc-shared).
+                    let mut wire = Some(wire);
+                    let last = deliveries.len().saturating_sub(1);
+                    for (i, d) in deliveries.into_iter().enumerate() {
+                        let w = if i == last {
+                            wire.take().expect("one take per multicast")
+                        } else {
+                            wire.as_ref().expect("taken only at the end").clone()
+                        };
+                        self.queue.schedule(d.arrival, Ev::Wire { from: site, to: d.to, wire: w });
                     }
                 }
                 EngineAction::Send(to, wire) => {
@@ -810,16 +878,24 @@ impl Cluster {
                     self.queue.schedule(now + delay, Ev::Timer { site, token });
                 }
                 EngineAction::OptDeliver(msg) => {
-                    let request = msg.payload.0.clone();
+                    // The one deep copy on the delivery path: the replica
+                    // takes ownership of the request body.
+                    let request = TxnRequest::clone(&msg.payload.0);
                     self.msg_map[site.index()].insert(msg.id, (request.id, request.class));
                     let actions = self.replicas[site.index()].on_opt_deliver(request);
                     self.apply_replica_actions(site, actions);
                 }
-                EngineAction::ToDeliver(id) => {
-                    let (txn, class) = *self.msg_map[site.index()]
-                        .get(&id)
-                        .expect("Local Order: Opt-delivery precedes TO-delivery");
-                    let actions = self.replicas[site.index()].on_to_deliver(txn, class);
+                EngineAction::ToDeliver(ids) => {
+                    // One map borrow and one replica call for the whole
+                    // batch of same-instant definitive deliveries.
+                    let map = &self.msg_map[site.index()];
+                    let batch: Vec<(TxnId, ClassId)> = ids
+                        .iter()
+                        .map(|id| {
+                            *map.get(id).expect("Local Order: Opt-delivery precedes TO-delivery")
+                        })
+                        .collect();
+                    let actions = self.replicas[site.index()].on_to_deliver_batch(&batch);
                     self.apply_replica_actions(site, actions);
                 }
             }

@@ -121,6 +121,26 @@ impl ConservativeReplica {
     /// Panics if the body was never delivered (broadcast Local Order makes
     /// that impossible).
     pub fn on_to_deliver(&mut self, txn: TxnId, class: ClassId) -> Vec<ReplicaAction> {
+        let mut out = Vec::new();
+        self.apply_to_delivery(txn, class, &mut out);
+        out
+    }
+
+    /// Handles a whole TO-delivery batch; semantically identical to calling
+    /// [`ConservativeReplica::on_to_deliver`] in sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any body in the batch never arrived.
+    pub fn on_to_deliver_batch(&mut self, batch: &[(TxnId, ClassId)]) -> Vec<ReplicaAction> {
+        let mut out = Vec::new();
+        for (txn, class) in batch {
+            self.apply_to_delivery(*txn, *class, &mut out);
+        }
+        out
+    }
+
+    fn apply_to_delivery(&mut self, txn: TxnId, class: ClassId, out: &mut Vec<ReplicaAction>) {
         let request = self
             .pending_bodies
             .remove(&txn)
@@ -130,9 +150,8 @@ impl ConservativeReplica {
         self.to_index.insert(txn, index);
         self.queues[class.index()].push_back(request);
         if self.executing[class.index()].is_none() {
-            return self.submit_next(class);
+            out.extend(self.submit_next(class));
         }
-        Vec::new()
     }
 
     /// Commits the finished transaction and starts the next of its class.

@@ -354,7 +354,7 @@ fn site_main(
             .min(Duration::from_millis(20));
         match rx.recv_timeout(timeout) {
             Ok(SiteMsg::Submit { request }) => {
-                let (_, actions) = engine.broadcast(TxnPayload(request));
+                let (_, actions) = engine.broadcast(TxnPayload(std::sync::Arc::new(request)));
                 process_engine_actions(
                     me,
                     actions,
@@ -434,14 +434,15 @@ fn process_engine_actions(
                     });
                 }
                 EngineAction::OptDeliver(msg) => {
-                    let req = msg.payload.0.clone();
+                    let req = TxnRequest::clone(&msg.payload.0);
                     msg_map.insert(msg.id, (req.id, req.class));
                     let ra = replica.on_opt_deliver(req);
                     process_replica_actions(ra, timers, cfg.exec_time, committed_total);
                 }
-                EngineAction::ToDeliver(id) => {
-                    let (txn, class) = *msg_map.get(&id).expect("Local Order");
-                    let ra = replica.on_to_deliver(txn, class);
+                EngineAction::ToDeliver(ids) => {
+                    let batch: Vec<(TxnId, ClassId)> =
+                        ids.iter().map(|id| *msg_map.get(id).expect("Local Order")).collect();
+                    let ra = replica.on_to_deliver_batch(&batch);
                     process_replica_actions(ra, timers, cfg.exec_time, committed_total);
                 }
             }

@@ -12,6 +12,7 @@
 //!       [--txns N] [--sabotage KIND] [--list-cells]
 //! ```
 
+use otp_lab::grid::Intensity;
 use otp_lab::runner::DEFAULT_TXNS;
 use otp_lab::swarm::parse_seed_budget;
 use otp_lab::{run_cell, run_swarm, CellSpec, GridCell, Sabotage, SwarmConfig};
@@ -23,6 +24,7 @@ struct Args {
     start_seed: u64,
     seed: Option<u64>,
     grid_cell: Option<GridCell>,
+    intensity: Option<Intensity>,
     txns: u64,
     sabotage: Option<Sabotage>,
     list_cells: bool,
@@ -34,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         start_seed: 1,
         seed: None,
         grid_cell: None,
+        intensity: None,
         txns: DEFAULT_TXNS,
         sabotage: None,
         list_cells: false,
@@ -46,14 +49,17 @@ fn parse_args() -> Result<Args, String> {
             "--start-seed" => args.start_seed = parse_num(&value("--start-seed")?)?,
             "--seed" => args.seed = Some(parse_num(&value("--seed")?)?),
             "--grid-cell" => args.grid_cell = Some(value("--grid-cell")?.parse()?),
+            "--intensity" => args.intensity = Some(Intensity::parse(&value("--intensity")?)?),
             "--txns" => args.txns = parse_num(&value("--txns")?)?,
             "--sabotage" => args.sabotage = Some(Sabotage::parse(&value("--sabotage")?)?),
             "--list-cells" => args.list_cells = true,
             "--help" | "-h" => {
                 println!(
                     "usage: swarm [--seeds N] [--start-seed N] [--seed N] \
-                     [--grid-cell CELL] [--txns N] [--sabotage KIND] [--list-cells]\n\
-                     CHAOS_SEEDS bounds the sweep when --seeds is absent."
+                     [--grid-cell CELL] [--intensity calm|rough|hostile] [--txns N] \
+                     [--sabotage KIND] [--list-cells]\n\
+                     CHAOS_SEEDS bounds the sweep when --seeds is absent; --intensity \
+                     restricts the sweep to one nemesis intensity (the CI chaos matrix)."
                 );
                 std::process::exit(0);
             }
@@ -118,6 +124,13 @@ fn main() -> ExitCode {
     config.sabotage = args.sabotage;
     if let Some(cell) = args.grid_cell {
         config.cells = vec![cell];
+    }
+    if let Some(intensity) = args.intensity {
+        config.cells.retain(|c| c.intensity == intensity);
+        if config.cells.is_empty() {
+            eprintln!("swarm: --intensity filtered out every cell");
+            return ExitCode::FAILURE;
+        }
     }
     println!(
         "chaos swarm: {} seeds from {} across {} cells, {} txns each",

@@ -17,6 +17,11 @@ pub enum EngineChoice {
     Opt,
     /// Fixed-sequencer total order (site 0 sequences).
     Seq,
+    /// Fixed-sequencer with order-batching: assignments accumulate for a
+    /// short window and travel as one `SeqOrderBatch` frame. In the chaos
+    /// grid mainly to hammer the crash-during-window recovery path (the
+    /// sequencer must renumber an unflushed window after restore).
+    SeqBatch,
     /// Oracle engine with tentative-order scrambling (forces mismatches).
     Scramble,
 }
@@ -29,6 +34,9 @@ impl EngineChoice {
                 EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) }
             }
             EngineChoice::Seq => EngineKind::Sequencer,
+            EngineChoice::SeqBatch => {
+                EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(250) }
+            }
             EngineChoice::Scramble => EngineKind::Scrambled {
                 agreement_delay: SimDuration::from_millis(3),
                 swap_probability: 0.25,
@@ -40,13 +48,14 @@ impl EngineChoice {
         match self {
             EngineChoice::Opt => "opt",
             EngineChoice::Seq => "seq",
+            EngineChoice::SeqBatch => "seqbatch",
             EngineChoice::Scramble => "scramble",
         }
     }
 
     /// All engine choices, in grid order.
-    pub fn all() -> [EngineChoice; 3] {
-        [EngineChoice::Opt, EngineChoice::Seq, EngineChoice::Scramble]
+    pub fn all() -> [EngineChoice; 4] {
+        [EngineChoice::Opt, EngineChoice::Seq, EngineChoice::SeqBatch, EngineChoice::Scramble]
     }
 }
 
@@ -76,6 +85,20 @@ impl Intensity {
             Intensity::Calm => "calm",
             Intensity::Rough => "rough",
             Intensity::Hostile => "hostile",
+        }
+    }
+
+    /// Parses an intensity id (the `--intensity` flag of the swarm CLI).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the valid ids on unknown input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "calm" => Ok(Intensity::Calm),
+            "rough" => Ok(Intensity::Rough),
+            "hostile" => Ok(Intensity::Hostile),
+            other => Err(format!("unknown intensity {other:?} (calm|rough|hostile)")),
         }
     }
 
@@ -137,20 +160,16 @@ impl FromStr for GridCell {
         let engine = match *engine {
             "opt" => EngineChoice::Opt,
             "seq" => EngineChoice::Seq,
+            "seqbatch" => EngineChoice::SeqBatch,
             "scramble" => EngineChoice::Scramble,
-            other => return Err(format!("unknown engine {other:?} (opt|seq|scramble)")),
+            other => return Err(format!("unknown engine {other:?} (opt|seq|seqbatch|scramble)")),
         };
         let mode = match *mode {
             "otp" => Mode::Otp,
             "conservative" => Mode::Conservative,
             other => return Err(format!("unknown mode {other:?} (otp|conservative)")),
         };
-        let intensity = match *intensity {
-            "calm" => Intensity::Calm,
-            "rough" => Intensity::Rough,
-            "hostile" => Intensity::Hostile,
-            other => return Err(format!("unknown intensity {other:?} (calm|rough|hostile)")),
-        };
+        let intensity = Intensity::parse(intensity)?;
         Ok(GridCell { engine, mode, intensity })
     }
 }
@@ -160,13 +179,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_has_eighteen_cells_with_unique_ids() {
+    fn grid_has_twenty_four_cells_with_unique_ids() {
         let cells = GridCell::all();
-        assert_eq!(cells.len(), 18);
+        assert_eq!(cells.len(), 24);
         let mut ids: Vec<String> = cells.iter().map(GridCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "ids are unique");
+        assert_eq!(ids.len(), 24, "ids are unique");
     }
 
     #[test]

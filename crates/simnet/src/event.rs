@@ -126,6 +126,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The next event (timestamp and a borrow of its payload) without
+    /// popping it. Drivers use this to coalesce runs of same-instant events
+    /// into one batch before committing to the pops.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
     /// Pops the earliest event, advancing the virtual clock to its
     /// timestamp. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -225,5 +232,18 @@ mod tests {
         q.schedule(SimTime::from_millis(4), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn peek_exposes_the_next_event_in_fifo_tie_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(2);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert_eq!(q.peek(), Some((t, &"a")));
+        q.pop();
+        assert_eq!(q.peek(), Some((t, &"b")));
+        q.pop();
+        assert_eq!(q.peek(), None);
     }
 }

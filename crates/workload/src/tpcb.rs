@@ -52,6 +52,19 @@ impl TpcB {
         }
     }
 
+    /// Sets the arrival process (builder style, like
+    /// [`crate::WorkloadSpec::with_arrival`]).
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Key of the branch balance.
     pub fn branch_key() -> ObjectKey {
         ObjectKey::new(0)

@@ -1,0 +1,81 @@
+//! Tier-1 smoke coverage of the perf harness: the determinism and
+//! regression-gating guarantees CI relies on, exercised on a small slice
+//! of the matrix so `cargo test -q` stays fast.
+//!
+//! The full-size run is `make perf` / the CI `perf` job (the `perf`
+//! binary, gated against `BENCH_BASELINE.json`).
+
+use otp_bench::json::Json;
+use otp_bench::perf::{check_against_baseline, run_matrix, PerfCell, PERF_SEED};
+
+/// Small per-cell workload for tier-1 (the canonical matrix uses
+/// `PERF_TXNS`).
+const SMOKE_TXNS: u64 = 24;
+
+fn smoke_cells() -> Vec<PerfCell> {
+    vec!["seq-otp-uniform".parse().unwrap(), "opt-conservative-tpcb".parse().unwrap()]
+}
+
+#[test]
+fn double_run_emits_byte_identical_json() {
+    let a = run_matrix(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    let b = run_matrix(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    let (ja, jb) = (a.to_json(), b.to_json());
+    assert_eq!(ja, jb, "simulated-time metrics must be byte-stable");
+    // And the emitted document is well-formed with the advertised schema.
+    let doc = Json::parse(&ja).expect("BENCH.json parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+}
+
+#[test]
+fn check_against_own_output_is_clean() {
+    let report = run_matrix(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    let regs = check_against_baseline(&report, &report.to_json(), 0.25).unwrap();
+    assert!(regs.is_empty(), "{regs:?}");
+}
+
+#[test]
+fn doctored_baseline_fails_with_a_reproducer_line() {
+    let report = run_matrix(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    // The baseline claims the past was far better on every axis this cell
+    // reports: throughput 10x higher, latency 10x lower.
+    let doctored = report
+        .to_json()
+        .replace("\"throughput_per_sec\": ", "\"throughput_per_sec\": 99999999.0, \"old_t\": ")
+        .replace("\"p99_commit_ns\": ", "\"p99_commit_ns\": 1, \"old_p\": ");
+    let regs = check_against_baseline(&report, &doctored, 0.25).unwrap();
+    assert_eq!(regs.len(), 4, "two cells x (throughput + p99): {regs:?}");
+    for r in &regs {
+        assert!(
+            r.reproducer.starts_with("cargo run --release -p otp-bench --bin perf -- --cell "),
+            "{r:?}"
+        );
+        assert!(!r.reproducer.contains('\n'), "one line");
+        assert!(r.reproducer.contains(&r.cell), "reproducer names its cell");
+    }
+}
+
+#[test]
+fn committed_baseline_is_wellformed_and_known_to_the_matrix() {
+    // Guard the checked-in artifact itself: if BENCH_BASELINE.json rots
+    // (merge damage, hand edits), tier-1 fails before the CI perf job.
+    // Deliberately a *subset* check, not equality: the refresh policy lets
+    // the matrix grow new cells before the baseline learns them — but every
+    // baseline cell must name a cell the harness can still run.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_BASELINE.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_BASELINE.json is committed");
+    let doc = Json::parse(&text).expect("baseline parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+    let cells = doc.get("cells").and_then(Json::as_arr).expect("cells array");
+    assert!(!cells.is_empty(), "an empty baseline would gate nothing");
+    let mut ids: Vec<&str> =
+        cells.iter().map(|c| c.get("id").and_then(Json::as_str).expect("cell id")).collect();
+    ids.sort_unstable();
+    let unique: std::collections::HashSet<&str> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "duplicate baseline cells: {ids:?}");
+    for id in ids {
+        let parsed: PerfCell = id.parse().unwrap_or_else(|e| panic!("stale baseline cell: {e}"));
+        assert_eq!(parsed.id(), id);
+    }
+}
