@@ -64,7 +64,7 @@ pub mod scramble;
 pub mod seq;
 mod traits;
 
-pub use msg::{EngineAction, Message, MsgId, PayloadSize, TimerToken, Wire};
+pub use msg::{EngineAction, Message, MsgId, PayloadSize, TimerToken, Wire, RECOVERY_SEQ_GAP};
 pub use opt::{OptAbcast, OptAbcastConfig};
 pub use scramble::{Oracle, ScrambleConfig, ScrambledAbcast};
 pub use seq::SeqAbcast;

@@ -1,10 +1,25 @@
 //! Message identifiers, wire formats and engine actions shared by every
 //! atomic-broadcast implementation in this crate.
 
+use crate::traits::EngineSnapshot;
 use otp_consensus::ConsensusMsg;
 use otp_simnet::{SimDuration, SiteId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// How far a recovering endpoint jumps its own message-sequence space past
+/// the highest id any survivor (or its own held wires) knew about.
+///
+/// A message this site multicast immediately before crashing can still be
+/// in flight to *every* receiver when recovery runs — in that window no
+/// snapshot, digest or hold buffer can teach the restored endpoint that the
+/// id is taken, and reusing it would make peers silently deduplicate the
+/// new message (a permanent delivery hole). Jumping by more than any
+/// realistic in-flight backlog makes the new incarnation's id space
+/// disjoint from the dead one's. Applied by
+/// [`crate::AtomicBroadcast::bump_incarnation`], which the view-change
+/// recovery driver calls once per restore.
+pub const RECOVERY_SEQ_GAP: u64 = 1 << 20;
 
 /// Globally unique message identifier: the originating site plus a local
 /// sequence number.
@@ -93,8 +108,19 @@ pub enum Wire<P> {
         /// The inner consensus protocol message.
         msg: ConsensusMsg<Vec<MsgId>>,
     },
+    /// Batched decision help-out: one frame re-teaching a straggler every
+    /// consensus decision it asked about in one tick, instead of one
+    /// `Consensus`/`Decide` frame per instance.
+    DecideBatch {
+        /// `(instance, decided batch)` pairs, in instance order.
+        decides: Vec<(u64, Vec<MsgId>)>,
+    },
     /// Sequencer engine: global sequence number assignment for a message.
     SeqOrder {
+        /// View epoch the assigning sequencer incarnation was installed in.
+        /// Receivers reject assignments from an epoch below their order
+        /// fence (a dead sequencer incarnation) — see DESIGN.md §7.
+        epoch: u64,
         /// Position in the definitive total order.
         seqno: u64,
         /// The message being ordered.
@@ -105,6 +131,9 @@ pub enum Wire<P> {
     /// Amortizes the per-message ordering frame over a whole accumulation
     /// window (the Slim-ABC style throughput optimization).
     SeqOrderBatch {
+        /// View epoch of the assigning sequencer incarnation (see
+        /// [`Wire::SeqOrder`]).
+        epoch: u64,
         /// Position of `ids[0]` in the definitive total order.
         start_seqno: u64,
         /// The messages being ordered, in consecutive positions.
@@ -117,6 +146,26 @@ pub enum Wire<P> {
         msg: Message<P>,
         /// Position in the oracle's definitive order.
         oracle_seq: u64,
+    },
+    /// View-change round announcement, multicast by a recovering site: the
+    /// initiator asks every member of the proposed view for a state digest
+    /// before it re-admits itself (union-of-survivors recovery).
+    ViewChange {
+        /// The proposed view's epoch (strictly above every installed one).
+        epoch: u64,
+        /// The recovering site driving the round.
+        initiator: SiteId,
+    },
+    /// A member's reply to [`Wire::ViewChange`]: its full ordering-state
+    /// digest, unicast back to the initiator. The initiator installs the
+    /// view only after the union of all live members' digests is merged.
+    StateDigest {
+        /// Epoch of the round this digest answers.
+        epoch: u64,
+        /// The replying member.
+        from: SiteId,
+        /// The member's broadcast-engine state at reply time.
+        snapshot: EngineSnapshot<P>,
     },
 }
 
@@ -135,9 +184,21 @@ impl<P: PayloadSize> Wire<P> {
                 };
                 HDR + body
             }
-            Wire::SeqOrder { .. } => HDR + 20,
-            Wire::SeqOrderBatch { ids, .. } => HDR + 8 + 12 * ids.len() as u32,
+            Wire::DecideBatch { decides } => {
+                HDR + decides.iter().map(|(_, v)| 16 + 12 * v.len() as u32).sum::<u32>()
+            }
+            Wire::SeqOrder { .. } => HDR + 28,
+            Wire::SeqOrderBatch { ids, .. } => HDR + 16 + 12 * ids.len() as u32,
             Wire::OracleData { msg, .. } => HDR + 8 + msg.payload.size_bytes(),
+            Wire::ViewChange { .. } => HDR + 12,
+            Wire::StateDigest { snapshot, .. } => {
+                let payloads: u32 =
+                    snapshot.received.iter().map(|m| 12 + m.payload.size_bytes()).sum();
+                let orders = 12 * (snapshot.order_tags.len() + snapshot.definitive_log.len());
+                let decided: usize =
+                    snapshot.decided.values().map(|batch| 8 + 12 * batch.len()).sum();
+                HDR + 24 + payloads + orders as u32 + decided as u32
+            }
         }
     }
 }
@@ -214,7 +275,7 @@ mod tests {
     fn wire_sizes_scale_with_content() {
         let m = Message { id: MsgId::new(SiteId::new(0), 0), payload: vec![0u8; 100] };
         assert_eq!(Wire::Data(m.clone()).size_bytes(), 124);
-        let small = Wire::<Vec<u8>>::SeqOrder { seqno: 1, id: m.id };
+        let small = Wire::<Vec<u8>>::SeqOrder { epoch: 0, seqno: 1, id: m.id };
         assert!(small.size_bytes() < 64);
         let est = Wire::<Vec<u8>>::Consensus {
             instance: 0,

@@ -29,11 +29,11 @@
 //! batches — so progress is made as long as some site has undecided
 //! messages.
 
-use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
+use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_consensus::{Action as CAction, ConsensusMsg, Instance, InstanceConfig};
 use otp_simnet::{SimDuration, SiteId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Marker in [`TimerToken::round`] identifying batch-initiation timers
 /// (consensus round timers use small round numbers).
@@ -106,6 +106,11 @@ pub struct OptAbcast<P> {
     /// Delivery cursor: next instance to drain and offset within it.
     cursor_instance: u64,
     cursor_pos: usize,
+    /// Decision help-outs owed to stragglers, accumulated during one
+    /// receive call and flushed as one frame per target — a straggler that
+    /// asks about several already-decided instances in one tick gets a
+    /// single [`Wire::DecideBatch`] instead of one decide frame each.
+    pending_helpouts: BTreeMap<SiteId, BTreeSet<u64>>,
 }
 
 impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
@@ -128,6 +133,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
             batch_timer_for: None,
             cursor_instance: 0,
             cursor_pos: 0,
+            pending_helpouts: BTreeMap::new(),
         }
     }
 
@@ -314,16 +320,12 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         instance: u64,
         msg: ConsensusMsg<Vec<MsgId>>,
     ) -> Vec<EngineAction<P>> {
-        // Already decided instance: help stragglers with the decision.
-        if let Some(batch) = self.decided.get(&instance) {
+        // Already decided instance: help the straggler with the decision.
+        // Buffered, not sent — the receive path flushes everything owed to
+        // one target as a single frame per tick (see `flush_helpouts`).
+        if self.decided.contains_key(&instance) {
             if !matches!(msg, ConsensusMsg::Decide { .. }) {
-                return vec![EngineAction::Send(
-                    from,
-                    Wire::Consensus {
-                        instance,
-                        msg: ConsensusMsg::Decide { value: batch.clone() },
-                    },
-                )];
+                self.pending_helpouts.entry(from).or_default().insert(instance);
             }
             return Vec::new();
         }
@@ -338,6 +340,53 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
             out.extend(self.consensus_actions(instance, actions));
         }
         out
+    }
+
+    /// Handles one wire without flushing the helpout buffer — the receive
+    /// entry points flush exactly once per call, however many wires landed.
+    fn ingest_wire(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
+        match wire {
+            Wire::Data(msg) => self.on_data(msg),
+            Wire::Consensus { instance, msg } => self.on_consensus(from, instance, msg),
+            Wire::DecideBatch { decides } => {
+                let mut out = Vec::new();
+                for (instance, value) in decides {
+                    out.extend(self.on_consensus(from, instance, ConsensusMsg::Decide { value }));
+                }
+                out
+            }
+            Wire::SeqOrder { .. }
+            | Wire::SeqOrderBatch { .. }
+            | Wire::OracleData { .. }
+            | Wire::ViewChange { .. }
+            | Wire::StateDigest { .. } => Vec::new(),
+        }
+    }
+
+    /// Emits every buffered decision help-out: one target owed a single
+    /// decision gets the legacy `Consensus`/`Decide` frame, a target owed
+    /// several gets one [`Wire::DecideBatch`].
+    fn flush_helpouts(&mut self, out: &mut Vec<EngineAction<P>>) {
+        if self.pending_helpouts.is_empty() {
+            return;
+        }
+        for (to, instances) in std::mem::take(&mut self.pending_helpouts) {
+            let decides: Vec<(u64, Vec<MsgId>)> = instances
+                .into_iter()
+                .filter_map(|k| self.decided.get(&k).map(|batch| (k, batch.clone())))
+                .collect();
+            match decides.len() {
+                0 => {}
+                1 => {
+                    let (instance, value) = decides.into_iter().next().expect("one decide");
+                    out.push(EngineAction::Send(
+                        to,
+                        Wire::Consensus { instance, msg: ConsensusMsg::Decide { value } },
+                    ));
+                }
+                _ => out.push(EngineAction::Send(to, Wire::DecideBatch { decides })),
+            }
+        }
     }
 }
 
@@ -358,13 +407,21 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
     }
 
     fn on_receive(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
-        match wire {
-            Wire::Data(msg) => self.on_data(msg),
-            Wire::Consensus { instance, msg } => self.on_consensus(from, instance, msg),
-            Wire::SeqOrder { .. } | Wire::SeqOrderBatch { .. } | Wire::OracleData { .. } => {
-                Vec::new()
-            }
+        let mut out = self.ingest_wire(from, wire);
+        self.flush_helpouts(&mut out);
+        out
+    }
+
+    fn on_receive_batch(&mut self, wires: Vec<(SiteId, Wire<P>)>) -> Vec<EngineAction<P>> {
+        let mut out = Vec::new();
+        for (from, wire) in wires {
+            out.extend(self.ingest_wire(from, wire));
         }
+        // One helpout flush for the whole tick: a straggler's burst of
+        // questions about decided instances costs one frame, not one per
+        // instance.
+        self.flush_helpouts(&mut out);
+        out
     }
 
     fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>> {
@@ -388,6 +445,8 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
             received: self.received.values().cloned().collect(),
             definitive_log: self.definitive_log.clone(),
             order_tags: Vec::new(),
+            epoch: 0,
+            order_fence: 0,
         }
     }
 
@@ -436,6 +495,10 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         // state (data present, not yet in the definitive log).
         actions.extend(self.try_deliver());
         actions
+    }
+
+    fn bump_incarnation(&mut self) {
+        self.next_seq += RECOVERY_SEQ_GAP;
     }
 }
 
@@ -610,6 +673,88 @@ mod tests {
         pump(&mut es, wires);
         assert_eq!(es[2].definitive_log().len(), 4);
         assert_eq!(es[0].definitive_log(), es[2].definitive_log());
+    }
+
+    /// A straggler asking about several already-decided instances in one
+    /// tick is helped with ONE `DecideBatch` frame, not one decide frame
+    /// per instance — and applying the batch catches the straggler up.
+    #[test]
+    fn decide_helpouts_batch_per_tick() {
+        let mut es = engines(3);
+        let mut wires = Vec::new();
+        for k in 0..2u32 {
+            wires.extend(collect_broadcast(&mut es[0], k));
+            pump(&mut es, std::mem::take(&mut wires));
+        }
+        assert!(es[0].decided_instances() >= 2, "two decided instances to ask about");
+        // A straggler (fresh engine at site 2) asks about both instances in
+        // one tick.
+        let straggler_asks: Vec<(SiteId, Wire<u32>)> = (0..2u64)
+            .map(|instance| {
+                (
+                    SiteId::new(2),
+                    Wire::Consensus {
+                        instance,
+                        msg: ConsensusMsg::Estimate { round: 0, est: vec![], ts: 0 },
+                    },
+                )
+            })
+            .collect();
+        let actions = es[0].on_receive_batch(straggler_asks);
+        let decide_frames: Vec<&Wire<u32>> = actions
+            .iter()
+            .filter_map(|a| match a {
+                EngineAction::Send(to, w) if *to == SiteId::new(2) => Some(w),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decide_frames.len(), 1, "one frame for the whole tick: {actions:?}");
+        let Wire::DecideBatch { decides } = decide_frames[0] else {
+            panic!("expected a DecideBatch, got {:?}", decide_frames[0]);
+        };
+        assert_eq!(decides.len(), 2);
+        // The straggler applies the batch and decides both instances.
+        let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
+        let mut straggler: OptAbcast<u32> = OptAbcast::new(SiteId::new(2), cfg);
+        straggler.on_receive(
+            SiteId::new(0),
+            Wire::Data(Message { id: MsgId::new(SiteId::new(0), 0), payload: 0 }),
+        );
+        straggler.on_receive(
+            SiteId::new(0),
+            Wire::Data(Message { id: MsgId::new(SiteId::new(0), 1), payload: 1 }),
+        );
+        straggler.on_receive(SiteId::new(0), decide_frames[0].clone());
+        assert_eq!(straggler.decided_instances(), 2);
+        assert_eq!(straggler.definitive_log(), es[0].definitive_log());
+    }
+
+    /// A single owed decision still travels as the legacy `Decide` frame.
+    #[test]
+    fn single_decide_helpout_stays_legacy_frame() {
+        let mut es = engines(2);
+        let wires = collect_broadcast(&mut es[0], 7);
+        pump(&mut es, wires);
+        assert_eq!(es[0].decided_instances(), 1);
+        let actions = es[0].on_receive(
+            SiteId::new(1),
+            Wire::Consensus {
+                instance: 0,
+                msg: ConsensusMsg::Estimate { round: 0, est: vec![], ts: 0 },
+            },
+        );
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                EngineAction::Send(to, Wire::Consensus { msg: ConsensusMsg::Decide { .. }, .. })
+                    if *to == SiteId::new(1)
+            )),
+            "{actions:?}"
+        );
+        assert!(
+            !actions.iter().any(|a| matches!(a, EngineAction::Send(_, Wire::DecideBatch { .. }))),
+            "{actions:?}"
+        );
     }
 
     #[test]

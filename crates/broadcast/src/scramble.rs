@@ -20,7 +20,7 @@
 //! still hold, so OTP replicas run over it unchanged. It is *not* a real
 //! protocol — it is the lab instrument the benches use; see DESIGN.md §5.
 
-use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
+use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_simnet::rng::SimRng;
 use otp_simnet::{SimDuration, SiteId};
@@ -234,6 +234,8 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
             // restored endpoint can re-arm messages the donor had received
             // but not yet TO-delivered.
             order_tags: self.order.iter().map(|(seq, id)| (*id, *seq)).collect(),
+            epoch: 0,
+            order_fence: 0,
         }
     }
 
@@ -273,6 +275,10 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
             self.next_seq = self.next_seq.max(mx + 1);
         }
         actions
+    }
+
+    fn bump_incarnation(&mut self) {
+        self.next_seq += RECOVERY_SEQ_GAP;
     }
 }
 

@@ -12,12 +12,16 @@
 //! replica can run over it unchanged; a conservative replica just ignores
 //! the tentative deliveries.
 //!
-//! Failure handling: the sequencer is a single point of ordering. This
-//! implementation does not elect a replacement (the optimistic engine is
-//! the crate's fault-tolerant citizen); crash experiments use
-//! [`crate::OptAbcast`].
+//! Failure handling: the sequencer is a single point of ordering, recovered
+//! through the view-change protocol of `otp-view` (see DESIGN.md §7). Every
+//! order assignment is tagged with the installed view [`Wire::SeqOrder`]
+//! epoch; when a view change re-admits the sequencer site, survivors fence
+//! out assignment frames from the dead incarnation and the restored
+//! incarnation — rebuilt from the *union* of all survivors' order maps —
+//! renumbers what no survivor knew and re-announces everything else under
+//! the new epoch.
 
-use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
+use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_simnet::{SimDuration, SiteId};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -31,6 +35,17 @@ pub struct SeqAbcast<P> {
     me: SiteId,
     sequencer: SiteId,
     next_seq: u64,
+    /// Installed view epoch: stamps every order assignment this incarnation
+    /// multicasts (see [`Wire::SeqOrder`]).
+    epoch: u64,
+    /// Minimum acceptable assignment epoch. Raised when a view change
+    /// recovers the sequencer site: assignments tagged below the fence come
+    /// from the dead incarnation and are rejected (counted, not applied) —
+    /// the restored incarnation re-announces every live assignment under
+    /// the new epoch, so nothing legitimate is lost.
+    order_fence: u64,
+    /// Dead-epoch order frames rejected so far (surfaced in run stats).
+    stale_rejects: u64,
     /// Sequencer-only: accumulation window for order assignments. `None`
     /// multicasts every assignment immediately (one frame per message);
     /// `Some(d)` holds assignments for `d` and flushes them as one
@@ -64,6 +79,9 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
             me,
             sequencer,
             next_seq: 0,
+            epoch: 0,
+            order_fence: 0,
+            stale_rejects: 0,
             order_batch_delay: None,
             next_global: 0,
             numbered: HashSet::new(),
@@ -131,9 +149,14 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
             }
             let run = &pending[run_start..i];
             if run.len() == 1 {
-                out.push(EngineAction::Multicast(Wire::SeqOrder { seqno: run[0].0, id: run[0].1 }));
+                out.push(EngineAction::Multicast(Wire::SeqOrder {
+                    epoch: self.epoch,
+                    seqno: run[0].0,
+                    id: run[0].1,
+                }));
             } else {
                 out.push(EngineAction::Multicast(Wire::SeqOrderBatch {
+                    epoch: self.epoch,
                     start_seqno: run[0].0,
                     ids: run.iter().map(|(_, id)| *id).collect(),
                 }));
@@ -148,13 +171,17 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
     fn ingest(&mut self, wire: Wire<P>, out: &mut Vec<EngineAction<P>>) {
         match wire {
             Wire::Data(msg) => self.ingest_data(msg, out),
-            Wire::SeqOrder { seqno, id } => self.ingest_order(seqno, id),
-            Wire::SeqOrderBatch { start_seqno, ids } => {
+            Wire::SeqOrder { epoch, seqno, id } => self.ingest_order(epoch, seqno, id),
+            Wire::SeqOrderBatch { epoch, start_seqno, ids } => {
                 for (k, id) in ids.into_iter().enumerate() {
-                    self.ingest_order(start_seqno + k as u64, id);
+                    self.ingest_order(epoch, start_seqno + k as u64, id);
                 }
             }
-            Wire::Consensus { .. } | Wire::OracleData { .. } => {}
+            Wire::Consensus { .. }
+            | Wire::DecideBatch { .. }
+            | Wire::OracleData { .. }
+            | Wire::ViewChange { .. }
+            | Wire::StateDigest { .. } => {}
         }
     }
 
@@ -193,7 +220,18 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
         }
     }
 
-    fn ingest_order(&mut self, seqno: u64, id: MsgId) {
+    fn ingest_order(&mut self, epoch: u64, seqno: u64, id: MsgId) {
+        // A frame tagged below the fence comes from a sequencer incarnation
+        // a view change already declared dead: its assignment may have been
+        // renumbered by the restored incarnation, so applying it could put
+        // two different messages at one position. Reject it loudly (the
+        // counter reaches the run-stats digest) — every assignment that is
+        // still live was re-announced under the new epoch.
+        if epoch < self.order_fence {
+            self.stale_rejects += 1;
+            return;
+        }
+        self.epoch = self.epoch.max(epoch);
         self.order.entry(seqno).or_insert(id);
         // A sequencer must never reassign a sequence number it has seen
         // assigned — a restored sequencer learns its own pre-crash
@@ -264,10 +302,14 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             // Every sequence assignment seen so far, delivered or not — a
             // restored sequencer must never reassign one of them.
             order_tags: self.order.iter().map(|(seqno, id)| (*id, *seqno)).collect(),
+            epoch: self.epoch,
+            order_fence: self.order_fence,
         }
     }
 
     fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
+        self.epoch = self.epoch.max(snapshot.epoch);
+        self.order_fence = self.order_fence.max(snapshot.order_fence);
         self.definitive_log = snapshot.definitive_log.clone();
         self.to_set = snapshot.definitive_log.iter().copied().collect();
         self.opt_set = self.to_set.clone();
@@ -325,17 +367,24 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
     /// order batching, assignments accumulated in an unflushed window die
     /// with the crash — no surviving wire can re-teach them, so any
     /// received-but-unassigned message would stall at every site forever.
-    /// Re-number them deterministically and multicast at once.
+    /// Re-number them deterministically, then re-announce the *entire*
+    /// order map under the current epoch and multicast at once.
     ///
-    /// The driver calls this only after re-feeding every surviving held
-    /// wire of the crashed incarnation, so assignments that *were* flushed
-    /// pre-crash are already back in `order` and are not renumbered.
-    /// Residual limitation (single-donor recovery, predates batching): an
-    /// assignment wire still in flight to live sites that neither the
-    /// donor nor any hold buffer knew about can collide with a renumbered
-    /// seqno; closing that window needs view-change-style recovery that
-    /// reads the union of live sites' order maps — see ROADMAP. The
-    /// fault-tolerant engine of this crate remains [`crate::OptAbcast`].
+    /// The view-change driver calls this after the union-of-survivors
+    /// restore: assignments in any survivor's digest are already in
+    /// `order` and are not renumbered, while assignments that existed only
+    /// in hold buffers or in flight are renumbered — safe, because every
+    /// view member fenced the dead epoch at the announcement, so no held
+    /// or late copy of those assignments can ever be applied anywhere.
+    /// The full re-announce then matters exactly for those fenced copies:
+    /// a peer whose only copy of a live assignment gets rejected as
+    /// dead-epoch traffic re-learns it under the new epoch, and
+    /// `or_insert` makes the re-announce idempotent at peers that already
+    /// have it. (The fence-less legacy driver instead re-feeds the held
+    /// order wires *before* calling this, so there the held assignments
+    /// keep their slots.) Re-announcing the delivered prefix too is
+    /// redundant but harmless; a delta re-announce from the survivors'
+    /// minimum delivered length is a noted follow-up.
     fn finish_restore(&mut self) -> Vec<EngineAction<P>> {
         let mut actions = Vec::new();
         if self.me != self.sequencer {
@@ -350,11 +399,26 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             self.next_global += 1;
             self.numbered.insert(id);
             self.order.insert(seqno, id);
-            self.pending_order.push((seqno, id));
         }
+        self.pending_order = self.order.iter().map(|(seqno, id)| (*seqno, *id)).collect();
         self.flush_pending(&mut actions);
         self.try_deliver(&mut actions);
         actions
+    }
+
+    fn install_view(&mut self, epoch: u64, fence_orders: bool) {
+        self.epoch = self.epoch.max(epoch);
+        if fence_orders {
+            self.order_fence = self.order_fence.max(epoch);
+        }
+    }
+
+    fn bump_incarnation(&mut self) {
+        self.next_seq += RECOVERY_SEQ_GAP;
+    }
+
+    fn stale_epoch_rejects(&self) -> u64 {
+        self.stale_rejects
     }
 }
 
@@ -424,7 +488,7 @@ mod tests {
         let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
         let id = MsgId::new(SiteId::new(2), 0);
         // Order assignment arrives first (data raced behind it).
-        let a1 = e.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id });
+        let a1 = e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id });
         assert!(a1.is_empty());
         // Data arrives: opt-deliver then to-deliver, in that order.
         let a2 = e.on_receive(SiteId::new(2), Wire::Data(Message { id, payload: 9 }));
@@ -446,10 +510,10 @@ mod tests {
         let id1 = MsgId::new(SiteId::new(2), 1);
         e.on_receive(SiteId::new(2), Wire::Data(Message { id: id1, payload: 1 }));
         // seqno 1 known, seqno 0 missing → nothing TO-delivered.
-        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 1, id: id1 });
+        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 1, id: id1 });
         assert!(a.is_empty());
         e.on_receive(SiteId::new(2), Wire::Data(Message { id: id0, payload: 0 }));
-        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id: id0 });
+        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: id0 });
         // Both deliver now, in order — and in ONE batch (they became
         // definitive at the same instant).
         let tos: Vec<Vec<MsgId>> = a
@@ -506,7 +570,7 @@ mod tests {
         // Donor (site 1) saw SeqOrder{0, M} but never M's data, so its
         // definitive log is empty while order[0] is taken.
         let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
-        donor.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id: id_m });
+        donor.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: id_m });
         assert!(donor.definitive_log().is_empty());
         // The sequencer (site 0) recovers from that donor and numbers a
         // fresh message: it must pick seqno 1, not 0.
@@ -536,8 +600,10 @@ mod tests {
         let mut out = Vec::new();
         for a in actions {
             match a {
-                EngineAction::Multicast(Wire::SeqOrder { seqno, id }) => out.push((*seqno, *id)),
-                EngineAction::Multicast(Wire::SeqOrderBatch { start_seqno, ids }) => {
+                EngineAction::Multicast(Wire::SeqOrder { seqno, id, .. }) => {
+                    out.push((*seqno, *id))
+                }
+                EngineAction::Multicast(Wire::SeqOrderBatch { start_seqno, ids, .. }) => {
                     for (k, id) in ids.iter().enumerate() {
                         out.push((start_seqno + k as u64, *id));
                     }
@@ -574,8 +640,10 @@ mod tests {
         for (k, id) in ids.iter().enumerate() {
             peer.on_receive(SiteId::new(1), Wire::Data(Message { id: *id, payload: k as u32 }));
         }
-        let a = peer
-            .on_receive(SiteId::new(0), Wire::SeqOrderBatch { start_seqno: 0, ids: ids.clone() });
+        let a = peer.on_receive(
+            SiteId::new(0),
+            Wire::SeqOrderBatch { epoch: 0, start_seqno: 0, ids: ids.clone() },
+        );
         let tos: Vec<Vec<MsgId>> = a
             .iter()
             .filter_map(|x| match x {
@@ -613,7 +681,7 @@ mod tests {
         // Stray assignment from a previous incarnation at seqno 5.
         seq.on_receive(
             SiteId::new(0),
-            Wire::SeqOrder { seqno: 5, id: MsgId::new(SiteId::new(3), 9) },
+            Wire::SeqOrder { epoch: 0, seqno: 5, id: MsgId::new(SiteId::new(3), 9) },
         );
         seq.on_receive(SiteId::new(2), Wire::Data(Message { id: b0, payload: 2 }));
         let a = seq.on_timer(TimerToken { instance: 0, round: u64::MAX - 2 });
@@ -649,16 +717,18 @@ mod tests {
             "restored sequencer delivers what it renumbered: {actions:?}"
         );
         // The peer applies the fresh assignment and catches up.
-        let a = donor.on_receive(SiteId::new(0), Wire::SeqOrder { seqno: 0, id });
+        let a = donor.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id });
         assert!(a.iter().any(|x| matches!(x, EngineAction::ToDeliver(d) if d.as_slice() == [id])));
     }
 
     /// The two-phase restore exists so a flushed-then-held assignment is
     /// re-learned, not renumbered: a batch the crashed sequencer multicast
     /// into a partition hold comes back via the driver before
-    /// `finish_restore`, which must then find nothing left to assign.
+    /// `finish_restore`, which must then keep the original slot — the
+    /// repair pass re-announces it (under the current epoch, for peers
+    /// whose own held copies get epoch-fenced) but must not renumber it.
     #[test]
-    fn finish_restore_skips_assignments_retaught_from_held_wires() {
+    fn finish_restore_keeps_retaught_assignments_in_their_slots() {
         let id = MsgId::new(SiteId::new(1), 0);
         let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
         donor.on_receive(SiteId::new(1), Wire::Data(Message { id, payload: 7 }));
@@ -666,11 +736,68 @@ mod tests {
             .with_order_batching(SimDuration::from_millis(1));
         seq.restore(donor.snapshot());
         // Driver re-teaches the crashed incarnation's held order wire…
-        seq.on_receive(SiteId::new(0), Wire::SeqOrderBatch { start_seqno: 0, ids: vec![id] });
-        // …so the repair pass has no gap to close and must not renumber.
+        seq.on_receive(
+            SiteId::new(0),
+            Wire::SeqOrderBatch { epoch: 0, start_seqno: 0, ids: vec![id] },
+        );
+        // …so the repair pass has no gap to close: the re-announce carries
+        // the original assignment, nothing is renumbered.
         let actions = seq.finish_restore();
-        assert!(order_assignments(&actions).is_empty(), "{actions:?}");
+        assert_eq!(order_assignments(&actions), vec![(0, id)], "{actions:?}");
         assert_eq!(seq.definitive_log(), [id], "delivered under the original seqno");
+    }
+
+    /// Epoch fencing: after a view change fences the dead sequencer
+    /// incarnation, its late assignment frames are rejected (and counted),
+    /// while same-or-newer-epoch assignments are applied.
+    #[test]
+    fn order_fence_rejects_dead_epoch_assignments() {
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let m_old = MsgId::new(SiteId::new(2), 0);
+        let m_new = MsgId::new(SiteId::new(2), 1);
+        e.install_view(1, true);
+        // Late frame from the dead epoch-0 incarnation: rejected.
+        e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: m_old });
+        assert_eq!(e.stale_epoch_rejects(), 1);
+        // The restored incarnation's epoch-1 re-announce lands fine.
+        e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 1, seqno: 0, id: m_new });
+        let a = e.on_receive(SiteId::new(2), Wire::Data(Message { id: m_new, payload: 9 }));
+        assert!(
+            a.iter().any(|x| matches!(x, EngineAction::ToDeliver(d) if d.as_slice() == [m_new])),
+            "{a:?}"
+        );
+        assert_eq!(e.stale_epoch_rejects(), 1, "accepted frames are not counted");
+        // A batch from the dead epoch is fenced as a whole.
+        e.on_receive(
+            SiteId::new(0),
+            Wire::SeqOrderBatch { epoch: 0, start_seqno: 1, ids: vec![m_old] },
+        );
+        assert_eq!(e.stale_epoch_rejects(), 2);
+    }
+
+    /// An installed view stamps subsequent assignments with its epoch, and
+    /// a snapshot carries both the epoch and the fence across a restore.
+    #[test]
+    fn installed_epoch_tags_assignments_and_survives_snapshots() {
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        seq.install_view(3, true);
+        let id = MsgId::new(SiteId::new(1), 0);
+        let a = seq.on_receive(SiteId::new(1), Wire::Data(Message { id, payload: 1 }));
+        let epochs: Vec<u64> = a
+            .iter()
+            .filter_map(|x| match x {
+                EngineAction::Multicast(Wire::SeqOrder { epoch, .. }) => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs, vec![3]);
+        let snap = seq.snapshot();
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.order_fence, 3);
+        let mut fresh: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(2), SiteId::new(0));
+        fresh.restore(snap);
+        fresh.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 2, seqno: 9, id });
+        assert_eq!(fresh.stale_epoch_rejects(), 1, "fence survives the transfer");
     }
 
     #[test]

@@ -7,11 +7,14 @@ use std::fmt;
 
 /// State carried from a live site to a recovering one.
 ///
-/// Recovery model (see DESIGN.md §4): the donor produces a snapshot at a
-/// quiescent point; the recovering engine restores it, suppresses
-/// re-delivery of everything already in the definitive log, and joins new
-/// consensus instances as their first messages arrive.
-#[derive(Debug, Clone)]
+/// Recovery model (see DESIGN.md §4 and §7): the recovering driver takes a
+/// base snapshot from the most advanced survivor and *merges in* the state
+/// digests of every other live member (union-of-survivors), so an order
+/// assignment or payload known to any survivor — not just one donor —
+/// reaches the restored engine. The engine restores the merged snapshot,
+/// suppresses re-delivery of everything already in the definitive log, and
+/// joins new consensus instances as their first messages arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineSnapshot<P> {
     /// Decided batches by consensus instance (empty for engines that do
     /// not batch; the sequencer engine stores one implicit batch).
@@ -23,8 +26,70 @@ pub struct EngineSnapshot<P> {
     /// Engine-specific global sequence tags for received messages (empty
     /// for engines whose order is reconstructible from `decided`; the
     /// oracle engine needs them to re-arm undelivered messages after a
-    /// restore).
+    /// restore, the sequencer engine to never reassign a seqno).
     pub order_tags: Vec<(MsgId, u64)>,
+    /// View epoch the snapshotting engine had installed.
+    pub epoch: u64,
+    /// Order-assignment fence the snapshotting engine enforced: frames
+    /// tagged with an epoch below this come from a dead sequencer
+    /// incarnation and are rejected.
+    pub order_fence: u64,
+}
+
+impl<P> EngineSnapshot<P> {
+    /// A snapshot with no state at all (epoch 0, nothing delivered).
+    pub fn empty() -> Self {
+        EngineSnapshot {
+            decided: BTreeMap::new(),
+            received: Vec::new(),
+            definitive_log: Vec::new(),
+            order_tags: Vec::new(),
+            epoch: 0,
+            order_fence: 0,
+        }
+    }
+
+    /// Union-of-survivors merge: folds `other` into `self`.
+    ///
+    /// * `decided` — union by instance (consensus Agreement guarantees any
+    ///   two values for one instance are equal, so first-writer wins);
+    /// * `received` — union, deduplicated by [`MsgId`];
+    /// * `definitive_log` — **`self`'s log wins, always.** A restore pairs
+    ///   the merged engine state with the replica of the site the *base*
+    ///   snapshot came from, and everything in the definitive log is
+    ///   suppressed from re-delivery — so the log must never grow past
+    ///   what that replica actually executed. A digest whose sender was
+    ///   further along (it may even have crashed since replying) loses
+    ///   nothing: its delivered tail re-delivers through `order_tags` /
+    ///   `decided`, which cover every slot the sender ever knew;
+    /// * `order_tags` — union by seqno (the sequencer never reassigns a
+    ///   seqno, so any two tags for one slot agree); the max-seqno union is
+    ///   what closes the single-donor renumber window;
+    /// * `epoch` / `order_fence` — max.
+    pub fn merge(&mut self, other: EngineSnapshot<P>) {
+        for (instance, batch) in other.decided {
+            self.decided.entry(instance).or_insert(batch);
+        }
+        let mut known: std::collections::HashSet<MsgId> =
+            self.received.iter().map(|m| m.id).collect();
+        for m in other.received {
+            if known.insert(m.id) {
+                self.received.push(m);
+            }
+        }
+        // `other.definitive_log` is deliberately dropped — see above. Its
+        // entries survive in the unions below (a sequencer/oracle digest
+        // tags every slot it ever saw; an opt digest's decided map covers
+        // its whole log).
+        let mut slots: BTreeMap<u64, MsgId> =
+            self.order_tags.iter().map(|(id, seqno)| (*seqno, *id)).collect();
+        for (id, seqno) in other.order_tags {
+            slots.entry(seqno).or_insert(id);
+        }
+        self.order_tags = slots.into_iter().map(|(seqno, id)| (id, seqno)).collect();
+        self.epoch = self.epoch.max(other.epoch);
+        self.order_fence = self.order_fence.max(other.order_fence);
+    }
 }
 
 /// An atomic broadcast endpoint at one site.
@@ -96,5 +161,30 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// unflushed accumulation window. Default: nothing to repair.
     fn finish_restore(&mut self) -> Vec<EngineAction<P>> {
         Vec::new()
+    }
+
+    /// Installs a view epoch, called by the driver when a
+    /// [`crate::Wire::ViewChange`] round touches this site. `fence_orders`
+    /// is true when the round recovers the *ordering authority* (the
+    /// sequencer site): order-assignment frames tagged with an epoch below
+    /// the fence come from the dead incarnation and must be rejected — the
+    /// restored incarnation re-announces (or renumbers) every live
+    /// assignment under the new epoch. Engines without an ordering
+    /// authority have nothing to fence; default: ignore.
+    fn install_view(&mut self, _epoch: u64, _fence_orders: bool) {}
+
+    /// Jumps this endpoint's own message-sequence space by
+    /// [`crate::msg::RECOVERY_SEQ_GAP`] so a fresh incarnation can never
+    /// collide with an id of the dead one that is still in flight to every
+    /// receiver (known to no survivor, digest or hold buffer). The
+    /// view-change recovery driver calls this once per restore; default:
+    /// nothing (engines without own-id state).
+    fn bump_incarnation(&mut self) {}
+
+    /// Order-assignment frames this endpoint rejected because they carried
+    /// a dead sequencer incarnation's epoch (below the installed fence).
+    /// Surfaced in run statistics so stale traffic is loud, not silent.
+    fn stale_epoch_rejects(&self) -> u64 {
+        0
     }
 }

@@ -62,6 +62,26 @@ pub enum InvariantViolation {
         /// The live site that never committed it.
         site: SiteId,
     },
+    /// A site installed a view epoch at or below one it had already
+    /// installed: view epochs must be strictly increasing per site.
+    EpochRegressed {
+        /// The site whose history regressed.
+        site: SiteId,
+        /// The earlier installed epoch.
+        prev: u64,
+        /// The later — not greater — installed epoch.
+        next: u64,
+    },
+    /// A live site ended the run on an older view than another live site:
+    /// every installed view must reach every live member.
+    EpochDiverged {
+        /// The lagging site.
+        site: SiteId,
+        /// The epoch it has installed.
+        installed: u64,
+        /// The newest epoch installed by any live site.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -80,6 +100,15 @@ impl fmt::Display for InvariantViolation {
             }
             InvariantViolation::ProbeLost { probe, site } => {
                 write!(f, "liveness lost: probe {probe} never committed at {site}")
+            }
+            InvariantViolation::EpochRegressed { site, prev, next } => {
+                write!(f, "epoch regression: {site} installed v{next} after v{prev}")
+            }
+            InvariantViolation::EpochDiverged { site, installed, expected } => {
+                write!(
+                    f,
+                    "epoch divergence: live {site} sits at v{installed}, newest is v{expected}"
+                )
             }
         }
     }
@@ -193,6 +222,35 @@ impl Cluster {
                 if !map.contains_key(probe) {
                     violations.push(InvariantViolation::ProbeLost { probe: *probe, site: *site });
                 }
+            }
+        }
+
+        // 5. Epoch monotonicity: per-site installed views strictly
+        // increase (every site, crashed included — history is history),
+        // and every live site ends on the newest installed view (a view
+        // change that skipped a live member would leave it accepting a
+        // dead sequencer incarnation's assignments).
+        for site in SiteId::all(self.config().sites) {
+            let history = &self.epoch_history[site.index()];
+            for pair in history.windows(2) {
+                if pair[1] <= pair[0] {
+                    violations.push(InvariantViolation::EpochRegressed {
+                        site,
+                        prev: pair[0],
+                        next: pair[1],
+                    });
+                }
+            }
+        }
+        let newest = live.iter().map(|s| self.installed_epoch(*s)).max().unwrap_or(0);
+        for site in &live {
+            let installed = self.installed_epoch(*site);
+            if installed < newest {
+                violations.push(InvariantViolation::EpochDiverged {
+                    site: *site,
+                    installed,
+                    expected: newest,
+                });
             }
         }
 

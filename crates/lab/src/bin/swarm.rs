@@ -9,8 +9,11 @@
 //!
 //! ```text
 //! swarm [--seeds N] [--start-seed N] [--seed N] [--grid-cell CELL]
-//!       [--txns N] [--sabotage KIND] [--list-cells]
+//!       [--txns N] [--sabotage KIND] [--repro-out FILE] [--list-cells]
 //! ```
+//!
+//! `--repro-out FILE` writes one reproducer line per violated run (sweep
+//! mode) so CI can upload the lines as an artifact on failure.
 
 use otp_lab::grid::Intensity;
 use otp_lab::runner::DEFAULT_TXNS;
@@ -27,6 +30,7 @@ struct Args {
     intensity: Option<Intensity>,
     txns: u64,
     sabotage: Option<Sabotage>,
+    repro_out: Option<String>,
     list_cells: bool,
 }
 
@@ -39,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         intensity: None,
         txns: DEFAULT_TXNS,
         sabotage: None,
+        repro_out: None,
         list_cells: false,
     };
     let mut it = std::env::args().skip(1);
@@ -52,12 +57,13 @@ fn parse_args() -> Result<Args, String> {
             "--intensity" => args.intensity = Some(Intensity::parse(&value("--intensity")?)?),
             "--txns" => args.txns = parse_num(&value("--txns")?)?,
             "--sabotage" => args.sabotage = Some(Sabotage::parse(&value("--sabotage")?)?),
+            "--repro-out" => args.repro_out = Some(value("--repro-out")?),
             "--list-cells" => args.list_cells = true,
             "--help" | "-h" => {
                 println!(
                     "usage: swarm [--seeds N] [--start-seed N] [--seed N] \
-                     [--grid-cell CELL] [--intensity calm|rough|hostile] [--txns N] \
-                     [--sabotage KIND] [--list-cells]\n\
+                     [--grid-cell CELL] [--intensity calm|rough|hostile|viewchange] [--txns N] \
+                     [--sabotage KIND] [--repro-out FILE] [--list-cells]\n\
                      CHAOS_SEEDS bounds the sweep when --seeds is absent; --intensity \
                      restricts the sweep to one nemesis intensity (the CI chaos matrix)."
                 );
@@ -159,10 +165,20 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!("{} of {} runs violated invariants:", failures.len(), report.runs());
-        for f in failures {
+        for f in &failures {
             println!("--- seed {} cell {}", f.spec.seed, f.spec.cell);
             print!("{}", f.report);
             println!("repro: {}", f.reproducer);
+        }
+        // One reproducer line per violated run, for the CI failure
+        // artifact.
+        if let Some(path) = &args.repro_out {
+            let lines: String = failures.iter().map(|f| format!("{}\n", f.reproducer)).collect();
+            if let Err(e) = std::fs::write(path, lines) {
+                eprintln!("swarm: could not write {path}: {e}");
+            } else {
+                println!("reproducers written to {path}");
+            }
         }
         ExitCode::FAILURE
     }

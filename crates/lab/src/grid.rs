@@ -5,8 +5,8 @@
 //! round-tripped through a command line.
 
 use otp_core::{EngineKind, Mode};
-use otp_simnet::nemesis::NemesisKnobs;
-use otp_simnet::SimDuration;
+use otp_simnet::nemesis::{NemesisKnobs, NemesisSchedule};
+use otp_simnet::{SimDuration, SimTime};
 use std::fmt;
 use std::str::FromStr;
 
@@ -68,15 +68,28 @@ pub enum Intensity {
     Rough,
     /// Two partitions, two crashes, two loss bursts, one jitter spike.
     Hostile,
+    /// View-change targeted composition: the sequencer dies inside a
+    /// partition that cuts off its recovery donor (the transfer can only
+    /// complete at the heal), followed by two back-to-back crash/recover
+    /// pairs — three views installed per run. See
+    /// [`NemesisSchedule::view_change_targeted`].
+    ViewChange,
 }
 
 impl Intensity {
-    /// The generator knobs this intensity denotes.
-    pub fn knobs(&self) -> NemesisKnobs {
+    /// The fault plan this intensity injects for `(seed, sites, horizon)`.
+    pub fn schedule(&self, seed: u64, sites: usize, horizon: SimTime) -> NemesisSchedule {
         match self {
-            Intensity::Calm => NemesisKnobs::calm(),
-            Intensity::Rough => NemesisKnobs::rough(),
-            Intensity::Hostile => NemesisKnobs::hostile(),
+            Intensity::Calm => {
+                NemesisSchedule::generate(seed, sites, horizon, &NemesisKnobs::calm())
+            }
+            Intensity::Rough => {
+                NemesisSchedule::generate(seed, sites, horizon, &NemesisKnobs::rough())
+            }
+            Intensity::Hostile => {
+                NemesisSchedule::generate(seed, sites, horizon, &NemesisKnobs::hostile())
+            }
+            Intensity::ViewChange => NemesisSchedule::view_change_targeted(seed, sites, horizon),
         }
     }
 
@@ -85,6 +98,7 @@ impl Intensity {
             Intensity::Calm => "calm",
             Intensity::Rough => "rough",
             Intensity::Hostile => "hostile",
+            Intensity::ViewChange => "viewchange",
         }
     }
 
@@ -98,13 +112,14 @@ impl Intensity {
             "calm" => Ok(Intensity::Calm),
             "rough" => Ok(Intensity::Rough),
             "hostile" => Ok(Intensity::Hostile),
-            other => Err(format!("unknown intensity {other:?} (calm|rough|hostile)")),
+            "viewchange" => Ok(Intensity::ViewChange),
+            other => Err(format!("unknown intensity {other:?} (calm|rough|hostile|viewchange)")),
         }
     }
 
     /// All intensities, in grid order.
-    pub fn all() -> [Intensity; 3] {
-        [Intensity::Calm, Intensity::Rough, Intensity::Hostile]
+    pub fn all() -> [Intensity; 4] {
+        [Intensity::Calm, Intensity::Rough, Intensity::Hostile, Intensity::ViewChange]
     }
 }
 
@@ -179,13 +194,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_has_twenty_four_cells_with_unique_ids() {
+    fn grid_has_thirty_two_cells_with_unique_ids() {
         let cells = GridCell::all();
-        assert_eq!(cells.len(), 24);
+        assert_eq!(cells.len(), 32);
         let mut ids: Vec<String> = cells.iter().map(GridCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 24, "ids are unique");
+        assert_eq!(ids.len(), 32, "ids are unique");
     }
 
     #[test]
@@ -205,8 +220,13 @@ mod tests {
     }
 
     #[test]
-    fn intensities_map_to_knobs() {
-        assert_eq!(Intensity::Calm.knobs().windows(), 0);
-        assert!(Intensity::Rough.knobs().windows() < Intensity::Hostile.knobs().windows());
+    fn intensities_map_to_schedules() {
+        let horizon = SimTime::from_millis(400);
+        assert!(Intensity::Calm.schedule(1, 4, horizon).is_empty());
+        let rough = Intensity::Rough.schedule(1, 4, horizon).len();
+        let hostile = Intensity::Hostile.schedule(1, 4, horizon).len();
+        assert!(rough < hostile);
+        let vc = Intensity::ViewChange.schedule(1, 4, horizon);
+        assert_eq!(vc.len(), 8, "three crash/recover pairs + partition window");
     }
 }

@@ -8,7 +8,6 @@
 
 use crate::grid::GridCell;
 use otp_core::{Cluster, ClusterConfig, DurationDist, InvariantReport};
-use otp_simnet::nemesis::NemesisSchedule;
 use otp_simnet::{SimDuration, SimTime, SiteId};
 use otp_storage::{ClassId, ObjectId, Value};
 use otp_txn::txn::TxnId;
@@ -187,13 +186,8 @@ pub fn run_cell(spec: &CellSpec) -> CellOutcome {
         t += WORKLOAD_SPACING;
     }
 
-    // The nemesis: same seed, intensity from the cell.
-    let schedule = NemesisSchedule::generate(
-        spec.seed,
-        spec.sites,
-        CHAOS_HORIZON,
-        &spec.cell.intensity.knobs(),
-    );
+    // The nemesis: same seed, fault plan from the cell's intensity.
+    let schedule = spec.cell.intensity.schedule(spec.seed, spec.sites, CHAOS_HORIZON);
     cluster.schedule_nemesis(&schedule);
 
     // Liveness probes once every fault has ended (the workload may still

@@ -253,6 +253,55 @@ impl NemesisSchedule {
         NemesisSchedule { events, quiet_from }
     }
 
+    /// A schedule aimed squarely at view-change recovery (the chaos grid's
+    /// `viewchange` intensity). Unlike [`NemesisSchedule::generate`], the
+    /// windows deliberately *compose*:
+    ///
+    /// 1. a partition isolates site 1 — the site the nemesis recovery
+    ///    handler will pick as the donor hint;
+    /// 2. site 0 — the sequencer of the `seq`/`seqbatch` engines — crashes
+    ///    **inside** the partition window (for a batched sequencer that
+    ///    means mid-accumulation-window for some seeds) and recovers while
+    ///    the cut is still up: the donor is partitioned mid-transfer, so
+    ///    the view-change round can only complete at the heal;
+    /// 3. after the heal, the last site and site 1 crash back-to-back
+    ///    (recover, then the next crash lands right after), driving two
+    ///    more views in quick succession.
+    ///
+    /// Event times carry a small seed-derived jitter so a sweep explores
+    /// different interleavings while staying survivable: every crash is
+    /// recovered, the cut is healed, and a live majority remains at every
+    /// instant for 4+ sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites < 3` (the composition needs a donor, a victim and
+    /// a witness).
+    pub fn view_change_targeted(seed: u64, sites: usize, horizon: SimTime) -> Self {
+        assert!(sites >= 3, "view-change schedule needs at least 3 sites");
+        let mut rng = SimRng::seed_from(seed ^ 0x0076_6965_7763_6867); // "viewchg"
+        let span = horizon.as_nanos();
+        // A time at `pct`% of the horizon, jittered by up to ±1.5%.
+        let mut at = |pct: u64| {
+            let jitter = rng.uniform_range(0, span / 33) as i64 - (span / 66) as i64;
+            SimTime::from_nanos((span * pct / 100).saturating_add_signed(jitter))
+        };
+        let seq = SiteId::new(0);
+        let donor = SiteId::new(1);
+        let last = SiteId::new((sites - 1) as u16);
+        let events = vec![
+            (at(8), NemesisEvent::PartitionHalves { group_a: vec![donor] }),
+            (at(14), NemesisEvent::Crash { site: seq }),
+            (at(20), NemesisEvent::Recover { site: seq }),
+            (at(32), NemesisEvent::Heal),
+            (at(40), NemesisEvent::Crash { site: last }),
+            (at(46), NemesisEvent::Recover { site: last }),
+            (at(50), NemesisEvent::Crash { site: donor }),
+            (at(58), NemesisEvent::Recover { site: donor }),
+        ];
+        NemesisSchedule::from_events(events)
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -377,6 +426,58 @@ mod tests {
                 "{ev:?}"
             );
         }
+    }
+
+    #[test]
+    fn view_change_targeted_is_deterministic_and_survivable() {
+        for seed in 0..50 {
+            let a = NemesisSchedule::view_change_targeted(seed, 4, horizon());
+            let b = NemesisSchedule::view_change_targeted(seed, 4, horizon());
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(a.len(), 8);
+            // Sorted, inside the horizon, quiescent tail preserved.
+            let times: Vec<SimTime> = a.events.iter().map(|(t, _)| *t).collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            assert_eq!(times, sorted, "seed {seed}");
+            assert!(a.quiet_from < horizon(), "seed {seed}");
+            // Every crash recovered, the partition healed — in order.
+            let mut down: Vec<SiteId> = Vec::new();
+            let mut cut = false;
+            for (_, ev) in &a.events {
+                match ev {
+                    NemesisEvent::PartitionHalves { group_a } => {
+                        assert_eq!(group_a, &vec![SiteId::new(1)], "donor cut");
+                        cut = true;
+                    }
+                    NemesisEvent::Heal => cut = false,
+                    NemesisEvent::Crash { site } => {
+                        assert!(!down.contains(site), "seed {seed}: double crash");
+                        down.push(*site);
+                        assert_eq!(down.len(), 1, "seed {seed}: one site down at a time");
+                    }
+                    NemesisEvent::Recover { site } => {
+                        assert_eq!(down.pop(), Some(*site), "seed {seed}: paired recovery");
+                    }
+                    _ => panic!("unexpected event {ev:?}"),
+                }
+            }
+            assert!(down.is_empty() && !cut, "seed {seed}: everything healed");
+            // The sequencer's crash/recover pair sits inside the cut: the
+            // donor is partitioned for the whole transfer.
+            let crash0 = a
+                .events
+                .iter()
+                .position(|(_, e)| matches!(e, NemesisEvent::Crash { site } if site.index() == 0))
+                .unwrap();
+            let heal = a.events.iter().position(|(_, e)| matches!(e, NemesisEvent::Heal)).unwrap();
+            assert!(crash0 < heal, "seed {seed}: sequencer dies mid-partition");
+        }
+        assert_ne!(
+            NemesisSchedule::view_change_targeted(1, 4, horizon()),
+            NemesisSchedule::view_change_targeted(2, 4, horizon()),
+            "seeds shift the interleaving"
+        );
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! # otp-view — group membership and view-change recovery
+//!
+//! The OPT-delivery guarantees of the broadcast layer assume an order
+//! assignment is never lost or renumbered across a crash. Single-donor
+//! recovery cannot honor that: an assignment known only to sites *other*
+//! than the donor (delivered there, or still in their hold buffers) is
+//! invisible to the restored engine, and a restored sequencer will renumber
+//! the message — two sites then TO-deliver different messages at one
+//! position. This crate provides the standard fix from the ABC literature:
+//! **view-change recovery** — before a site is re-admitted, it collects an
+//! ordering-state digest from *every* live member of the proposed view and
+//! restores from the **union of survivors**.
+//!
+//! Three pieces:
+//!
+//! * [`ViewId`] / [`Membership`] — the epoch counter and the live set it
+//!   governs. Epochs are strictly monotonic; every installed view is
+//!   observed by all live members (the cluster's invariant bundle enforces
+//!   this across chaos runs).
+//! * [`ViewChange`] — the round state machine at the recovering site:
+//!   *propose* (multicast `Wire::ViewChange`), *collect* (one
+//!   `Wire::StateDigest` per live member, merged incrementally with
+//!   [`otp_broadcast::EngineSnapshot::merge`]), *install* (when every
+//!   expected member replied or crashed). The driver executes the wires;
+//!   the machine is pure state, so it runs identically in the simulator.
+//! * The **union argument** (see DESIGN.md §7): with crash faults only and
+//!   a live majority, every order assignment that any site will ever act
+//!   on is either (a) present in some survivor's digest — the union honors
+//!   it, and the restored sequencer re-announces it under the new epoch —
+//!   or (b) still in flight when every digest was taken, in which case it
+//!   is tagged with the dead incarnation's epoch and fenced out at every
+//!   member that installed the view. Either way no position is ever bound
+//!   to two messages.
+//!
+//! # Example: a three-member round
+//!
+//! ```
+//! use otp_broadcast::EngineSnapshot;
+//! use otp_simnet::SiteId;
+//! use otp_view::{DigestOutcome, ViewChange};
+//!
+//! let (s0, s1, s2) = (SiteId::new(0), SiteId::new(1), SiteId::new(2));
+//! // Site 0 recovers: it proposes epoch 1 over the live members {1, 2}.
+//! let mut round: ViewChange<u32> = ViewChange::propose(1, s0, [s1, s2]);
+//! assert!(!round.is_complete());
+//! assert_eq!(round.on_digest(s1, 1, EngineSnapshot::empty()), DigestOutcome::Accepted);
+//! assert_eq!(round.on_digest(s2, 1, EngineSnapshot::empty()), DigestOutcome::Completed);
+//! let merged = round.into_merged();
+//! assert_eq!(merged.epoch, 0); // two empty digests merge to an empty base
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use otp_broadcast::EngineSnapshot;
+use otp_simnet::SiteId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A view epoch: strictly increasing across installed views, cluster-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewId(pub u64);
+
+impl ViewId {
+    /// The initial view every cluster boots in.
+    pub const INITIAL: ViewId = ViewId(0);
+
+    /// The epoch that would follow this one.
+    pub fn next(self) -> ViewId {
+        ViewId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A membership view: the epoch plus the set of sites it declares live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    /// The view's epoch.
+    pub id: ViewId,
+    /// Sites the view declares live.
+    pub live: BTreeSet<SiteId>,
+}
+
+impl Membership {
+    /// The boot view: epoch 0, all `sites` live.
+    pub fn initial(sites: usize) -> Self {
+        Membership { id: ViewId::INITIAL, live: SiteId::all(sites).collect() }
+    }
+
+    /// A view at `id` over the given live set.
+    pub fn new(id: ViewId, live: impl IntoIterator<Item = SiteId>) -> Self {
+        Membership { id, live: live.into_iter().collect() }
+    }
+
+    /// Whether `site` is a member of this view.
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.live.contains(&site)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when the view has no members.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+impl fmt::Display for Membership {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        for (i, s) in self.live.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// What [`ViewChange::on_digest`] did with an incoming digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestOutcome {
+    /// Counted towards the round; more members are still expected.
+    Accepted,
+    /// Counted, and it was the last one: the round is now complete.
+    Completed,
+    /// Carried a different epoch than this round — ignored. Stale digests
+    /// are normal under crash/recover churn (a reply to a round that was
+    /// superseded); the driver surfaces a counter so they stay visible.
+    WrongEpoch {
+        /// Epoch the digest answered.
+        got: u64,
+    },
+    /// Sent by a site the round does not expect (not a member, or already
+    /// collected) — ignored.
+    Unexpected,
+}
+
+/// The view-change round state machine at the recovering site.
+///
+/// Propose → collect → install; see the [crate docs](self) for the
+/// protocol and the union argument. The machine never touches a network:
+/// the driver multicasts the `ViewChange` announcement, routes incoming
+/// `StateDigest` wires into [`ViewChange::on_digest`], reports crashes via
+/// [`ViewChange::on_member_crashed`], and calls
+/// [`ViewChange::into_merged`] once [`ViewChange::is_complete`].
+#[derive(Debug, Clone)]
+pub struct ViewChange<P> {
+    epoch: u64,
+    initiator: SiteId,
+    expected: BTreeSet<SiteId>,
+    collected: BTreeSet<SiteId>,
+    merged: EngineSnapshot<P>,
+}
+
+impl<P: Clone + fmt::Debug> ViewChange<P> {
+    /// Starts a round: the recovering `initiator` proposes `epoch` over the
+    /// given live members (the initiator itself is never expected — it has
+    /// nothing to contribute).
+    pub fn propose(
+        epoch: u64,
+        initiator: SiteId,
+        members: impl IntoIterator<Item = SiteId>,
+    ) -> Self {
+        let mut expected: BTreeSet<SiteId> = members.into_iter().collect();
+        expected.remove(&initiator);
+        ViewChange {
+            epoch,
+            initiator,
+            expected,
+            collected: BTreeSet::new(),
+            merged: EngineSnapshot::empty(),
+        }
+    }
+
+    /// The round's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The recovering site driving the round.
+    pub fn initiator(&self) -> SiteId {
+        self.initiator
+    }
+
+    /// Members whose digests are still outstanding.
+    pub fn outstanding(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.expected.iter().copied()
+    }
+
+    /// Members whose digests have been merged.
+    pub fn collected(&self) -> usize {
+        self.collected.len()
+    }
+
+    /// True when every expected member has replied or crashed.
+    pub fn is_complete(&self) -> bool {
+        self.expected.is_empty()
+    }
+
+    /// Feeds one member's digest into the round.
+    pub fn on_digest(
+        &mut self,
+        from: SiteId,
+        epoch: u64,
+        snapshot: EngineSnapshot<P>,
+    ) -> DigestOutcome {
+        if epoch != self.epoch {
+            return DigestOutcome::WrongEpoch { got: epoch };
+        }
+        if !self.expected.remove(&from) {
+            return DigestOutcome::Unexpected;
+        }
+        self.collected.insert(from);
+        self.merged.merge(snapshot);
+        if self.is_complete() {
+            DigestOutcome::Completed
+        } else {
+            DigestOutcome::Accepted
+        }
+    }
+
+    /// Removes a crashed member from the expected set (its knowledge is
+    /// lost with it; whatever it already contributed stays merged).
+    /// Returns true when this completed the round.
+    pub fn on_member_crashed(&mut self, site: SiteId) -> bool {
+        let was_waiting = self.expected.remove(&site);
+        was_waiting && self.is_complete()
+    }
+
+    /// Consumes the round and yields the union of every collected digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round is not complete — installing a partial union
+    /// would silently reopen the divergence window the round exists to
+    /// close.
+    pub fn into_merged(self) -> EngineSnapshot<P> {
+        assert!(
+            self.expected.is_empty(),
+            "view-change round {} still waiting on {:?}",
+            self.epoch,
+            self.expected
+        );
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otp_broadcast::{Message, MsgId};
+
+    fn id(origin: u16, seq: u64) -> MsgId {
+        MsgId::new(SiteId::new(origin), seq)
+    }
+
+    fn snap_with(tags: &[(MsgId, u64)], log: &[MsgId], epoch: u64) -> EngineSnapshot<u32> {
+        let mut s = EngineSnapshot::empty();
+        s.order_tags = tags.to_vec();
+        s.definitive_log = log.to_vec();
+        s.received = tags.iter().map(|(id, _)| Message { id: *id, payload: 1 }).collect();
+        s.epoch = epoch;
+        s
+    }
+
+    #[test]
+    fn view_ids_and_memberships() {
+        assert_eq!(ViewId::INITIAL.next(), ViewId(1));
+        assert!(ViewId(1) < ViewId(2));
+        let m = Membership::initial(3);
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(SiteId::new(2)));
+        assert!(!m.is_empty());
+        assert_eq!(format!("{m}"), "v0{N0,N1,N2}");
+        let m2 = Membership::new(ViewId(4), [SiteId::new(1)]);
+        assert_eq!(format!("{m2}"), "v4{N1}");
+    }
+
+    #[test]
+    fn round_collects_all_expected_members() {
+        let mut round: ViewChange<u32> = ViewChange::propose(2, SiteId::new(0), SiteId::all(4));
+        assert_eq!(round.outstanding().count(), 3, "initiator is never expected");
+        assert_eq!(
+            round.on_digest(SiteId::new(1), 2, EngineSnapshot::empty()),
+            DigestOutcome::Accepted
+        );
+        assert_eq!(
+            round.on_digest(SiteId::new(2), 2, EngineSnapshot::empty()),
+            DigestOutcome::Accepted
+        );
+        assert!(!round.is_complete());
+        assert_eq!(
+            round.on_digest(SiteId::new(3), 2, EngineSnapshot::empty()),
+            DigestOutcome::Completed
+        );
+        assert!(round.is_complete());
+        assert_eq!(round.collected(), 3);
+    }
+
+    #[test]
+    fn stale_duplicate_and_foreign_digests_are_ignored() {
+        let mut round: ViewChange<u32> = ViewChange::propose(5, SiteId::new(0), SiteId::all(3));
+        assert_eq!(
+            round.on_digest(SiteId::new(1), 4, EngineSnapshot::empty()),
+            DigestOutcome::WrongEpoch { got: 4 }
+        );
+        assert_eq!(
+            round.on_digest(SiteId::new(1), 5, EngineSnapshot::empty()),
+            DigestOutcome::Accepted
+        );
+        // Duplicate from the same member: ignored, not double-counted.
+        assert_eq!(
+            round.on_digest(SiteId::new(1), 5, EngineSnapshot::empty()),
+            DigestOutcome::Unexpected
+        );
+        // A site outside the view: ignored.
+        assert_eq!(
+            round.on_digest(SiteId::new(9), 5, EngineSnapshot::empty()),
+            DigestOutcome::Unexpected
+        );
+        assert!(!round.is_complete());
+    }
+
+    #[test]
+    fn member_crash_can_complete_the_round() {
+        let mut round: ViewChange<u32> = ViewChange::propose(1, SiteId::new(3), SiteId::all(4));
+        round.on_digest(SiteId::new(0), 1, snap_with(&[(id(0, 0), 0)], &[], 0));
+        assert!(!round.on_member_crashed(SiteId::new(1)), "one more still expected");
+        assert!(round.on_member_crashed(SiteId::new(2)), "last outstanding member crashed");
+        assert!(round.is_complete());
+        // The crashed members' knowledge is gone, the collected digest stays.
+        let merged = round.into_merged();
+        assert_eq!(merged.order_tags, vec![(id(0, 0), 0)]);
+        // A crash of an already-collected member changes nothing.
+    }
+
+    #[test]
+    fn union_covers_assignments_no_single_donor_has() {
+        // Survivor 1 knows slots 0-1, survivor 2 knows slots 1-2 and is
+        // further along: the union must cover all of 0-2.
+        let mut round: ViewChange<u32> = ViewChange::propose(1, SiteId::new(0), SiteId::all(3));
+        let (a, b, c) = (id(1, 0), id(2, 0), id(2, 1));
+        round.on_digest(SiteId::new(1), 1, snap_with(&[(a, 0), (b, 1)], &[a], 3));
+        round.on_digest(SiteId::new(2), 1, snap_with(&[(b, 1), (c, 2)], &[a, b], 3));
+        let merged = round.into_merged();
+        assert_eq!(merged.order_tags, vec![(a, 0), (b, 1), (c, 2)], "max-seqno union");
+        // The digests' definitive logs are NOT adopted: the restore pairs
+        // the merged state with the base snapshot's replica, and only the
+        // base's log may be suppressed from re-delivery. The digests'
+        // delivered tails live on as order tags.
+        assert_eq!(merged.definitive_log, Vec::<MsgId>::new(), "base log wins (empty base)");
+        let mut ids: Vec<MsgId> = merged.received.iter().map(|m| m.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![a, b, c], "payload union, deduplicated");
+        assert_eq!(merged.epoch, 3);
+    }
+
+    /// Regression (found in review): a digest sender that was *ahead* of
+    /// every survivor and crashed after replying must not drag the merged
+    /// definitive log past the base — everything in the log is suppressed
+    /// from re-delivery, so the base replica would permanently miss the
+    /// tail. The tail must instead come back as deliverable order tags.
+    #[test]
+    fn ahead_then_crashed_digest_does_not_extend_the_base_log() {
+        let (a, b) = (id(1, 0), id(1, 1));
+        let mut round: ViewChange<u32> = ViewChange::propose(1, SiteId::new(0), SiteId::all(3));
+        // Member 2 was ahead (delivered A and B), replies, then crashes.
+        round.on_digest(SiteId::new(2), 1, snap_with(&[(a, 0), (b, 1)], &[a, b], 0));
+        assert!(round.on_member_crashed(SiteId::new(1)));
+        // Base: a survivor that only delivered A.
+        let mut base = snap_with(&[(a, 0)], &[a], 0);
+        base.merge(round.into_merged());
+        assert_eq!(base.definitive_log, vec![a], "log stays the base replica's");
+        assert_eq!(base.order_tags, vec![(a, 0), (b, 1)], "the tail is re-deliverable");
+        assert!(base.received.iter().any(|m| m.id == b), "payload of the tail survives");
+    }
+
+    #[test]
+    #[should_panic(expected = "still waiting")]
+    fn partial_round_refuses_to_install() {
+        let round: ViewChange<u32> = ViewChange::propose(1, SiteId::new(0), SiteId::all(3));
+        let _ = round.into_merged();
+    }
+}

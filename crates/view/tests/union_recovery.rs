@@ -1,0 +1,192 @@
+//! The exact pre-fix divergence, demonstrated engine-by-engine.
+//!
+//! The old driver restored a crashed site from a *single* donor snapshot
+//! (`engine.restore(donor.snapshot())` + `finish_restore()` — the code path
+//! below labelled "legacy"). An order assignment known to a survivor other
+//! than the donor, or a message id known only to a non-donor survivor, was
+//! invisible to the restored engine:
+//!
+//! * a restored **sequencer** renumbered the message, binding one sequence
+//!   number to two different messages across sites;
+//! * a restored **oracle endpoint** reused its own pre-crash `MsgId`, which
+//!   peers silently deduplicate — the new message was lost at every peer
+//!   that knew the old one.
+//!
+//! Union-of-survivors recovery (`EngineSnapshot::merge` over every live
+//! member's digest, as collected by `otp_view::ViewChange`) closes both
+//! windows. Each test drives the legacy path to the observable divergence
+//! first, then shows the union path converging on the same inputs.
+
+use otp_broadcast::{
+    AtomicBroadcast, EngineAction, Message, MsgId, Oracle, ScrambleConfig, ScrambledAbcast,
+    SeqAbcast, Wire,
+};
+use otp_simnet::{SimDuration, SimRng, SiteId};
+
+fn site(n: u16) -> SiteId {
+    SiteId::new(n)
+}
+
+fn data(origin: u16, seq: u64, payload: u32) -> Wire<u32> {
+    Wire::Data(Message { id: MsgId::new(site(origin), seq), payload })
+}
+
+/// Applies every multicast order assignment in `actions` to `peer`.
+fn apply_orders(peer: &mut SeqAbcast<u32>, from: SiteId, actions: &[EngineAction<u32>]) {
+    for a in actions {
+        if let EngineAction::Multicast(w @ (Wire::SeqOrder { .. } | Wire::SeqOrderBatch { .. })) = a
+        {
+            peer.on_receive(from, w.clone());
+        }
+    }
+}
+
+/// Builds the survivor states of the renumber-collision scenario.
+///
+/// The sequencer (site 0) crashed. Among the survivors:
+/// * everyone delivered `A` at slot 0;
+/// * the *witness* (site 2) also holds the assignment `1 → M2` — the dead
+///   sequencer ordered `M2` before `M1` (receive order need not match id
+///   order) and the frame reached only the witness;
+/// * the *donor* (site 1) knows the payloads of `M1`/`M2` but no assignment
+///   for either — the wire to it is still in flight, in no hold buffer.
+fn renumber_scenario() -> (SeqAbcast<u32>, SeqAbcast<u32>, [MsgId; 3]) {
+    let a = MsgId::new(site(3), 0);
+    let m1 = MsgId::new(site(3), 1);
+    let m2 = MsgId::new(site(3), 2);
+    let mut donor: SeqAbcast<u32> = SeqAbcast::new(site(1), site(0));
+    let mut witness: SeqAbcast<u32> = SeqAbcast::new(site(2), site(0));
+    for peer in [&mut donor, &mut witness] {
+        peer.on_receive(site(3), data(3, 0, 10));
+        peer.on_receive(site(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: a });
+        peer.on_receive(site(3), data(3, 1, 11));
+        peer.on_receive(site(3), data(3, 2, 12));
+    }
+    witness.on_receive(site(0), Wire::SeqOrder { epoch: 0, seqno: 1, id: m2 });
+    assert_eq!(donor.definitive_log(), [a]);
+    assert_eq!(witness.definitive_log(), [a, m2]);
+    (donor, witness, [a, m1, m2])
+}
+
+/// The legacy single-donor path binds slot 1 to two different messages:
+/// the restored sequencer renumbers in deterministic id order (`M1` first)
+/// while the witness already holds `1 → M2`. The witness then ignores the
+/// conflicting re-announce and stalls on `M1` forever.
+fn seq_legacy_diverges(restored: &mut SeqAbcast<u32>) {
+    let (donor, mut witness, [a, m1, m2]) = renumber_scenario();
+    let mut actions = restored.restore(donor.snapshot());
+    actions.extend(restored.finish_restore());
+    assert_eq!(restored.definitive_log(), [a, m1, m2], "renumbered in id order");
+    apply_orders(&mut witness, site(0), &actions);
+    // Slot 1: M1 at the restored sequencer, M2 at the witness.
+    assert_eq!(restored.definitive_log()[1], m1);
+    assert_eq!(witness.definitive_log()[1], m2, "same slot, different message");
+    assert!(
+        !witness.definitive_log().contains(&m1),
+        "witness can never deliver M1: its slot is taken"
+    );
+}
+
+/// Union-of-survivors over the same survivors: the witness's digest
+/// teaches the restored sequencer `1 → M2`, so only `M1` is renumbered
+/// (into a fresh slot) and every site converges on `[A, M2, M1]`.
+fn seq_union_converges(restored: &mut SeqAbcast<u32>) {
+    let (mut donor, mut witness, [a, m1, m2]) = renumber_scenario();
+    let mut merged = donor.snapshot();
+    merged.merge(witness.snapshot());
+    let mut actions = restored.restore(merged);
+    restored.bump_incarnation();
+    restored.install_view(1, true);
+    actions.extend(restored.finish_restore());
+    assert_eq!(restored.definitive_log(), [a, m2, m1]);
+    apply_orders(&mut witness, site(0), &actions);
+    apply_orders(&mut donor, site(0), &actions);
+    assert_eq!(witness.definitive_log(), [a, m2, m1], "witness converges");
+    assert_eq!(donor.definitive_log(), [a, m2, m1], "donor converges");
+}
+
+#[test]
+fn sequencer_single_donor_renumber_collision_fixed_by_union() {
+    seq_legacy_diverges(&mut SeqAbcast::new(site(0), site(0)));
+    seq_union_converges(&mut SeqAbcast::new(site(0), site(0)));
+}
+
+#[test]
+fn batched_sequencer_single_donor_renumber_collision_fixed_by_union() {
+    // Same window, batched incarnation: the restored sequencer also has an
+    // unflushed-window repair to run — renumbering must still respect the
+    // union of survivor order maps.
+    let window = SimDuration::from_micros(250);
+    seq_legacy_diverges(&mut SeqAbcast::new(site(0), site(0)).with_order_batching(window));
+    seq_union_converges(&mut SeqAbcast::new(site(0), site(0)).with_order_batching(window));
+}
+
+/// Builds the id-reuse scenario for the oracle engine: the origin (site 0)
+/// broadcast `M` and crashed; the copy to the donor is still in flight, so
+/// only the witness knows the id is taken.
+fn scramble_scenario() -> (ScrambledAbcast<u32>, ScrambledAbcast<u32>, ScrambledAbcast<u32>, MsgId)
+{
+    let cfg = ScrambleConfig::delay_only(SimDuration::from_millis(1));
+    let oracle = Oracle::new();
+    let mut rng = SimRng::seed_from(77);
+    let mut origin: ScrambledAbcast<u32> =
+        ScrambledAbcast::new(site(0), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+    let donor: ScrambledAbcast<u32> =
+        ScrambledAbcast::new(site(1), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+    let mut witness: ScrambledAbcast<u32> =
+        ScrambledAbcast::new(site(2), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+    let (m, actions) = origin.broadcast(41);
+    let wire = actions
+        .iter()
+        .find_map(|a| match a {
+            EngineAction::Multicast(w) => Some(w.clone()),
+            _ => None,
+        })
+        .expect("broadcast multicasts");
+    witness.on_receive(site(0), wire);
+    // The donor's copy is in flight; the origin crashes before loopback.
+    let fresh: ScrambledAbcast<u32> =
+        ScrambledAbcast::new(site(0), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+    (fresh, donor, witness, m)
+}
+
+#[test]
+fn scramble_single_donor_id_reuse_fixed_by_union() {
+    // Legacy: the donor never saw M, so the restored origin reuses its id —
+    // the witness silently drops the new message (a permanent hole).
+    let (mut restored, donor, mut witness, m) = scramble_scenario();
+    restored.restore(donor.snapshot());
+    let (reused, actions) = restored.broadcast(42);
+    assert_eq!(reused, m, "single-donor restore reuses the dead incarnation's id");
+    let wire = actions
+        .iter()
+        .find_map(|a| match a {
+            EngineAction::Multicast(w) => Some(w.clone()),
+            _ => None,
+        })
+        .expect("broadcast multicasts");
+    let at_witness = witness.on_receive(site(0), wire);
+    assert!(at_witness.is_empty(), "witness deduplicates the reused id: message lost");
+
+    // Union: the witness's digest knows M, so the restored origin starts
+    // past it (plus the incarnation gap) and the new message is delivered.
+    let (mut restored, donor, mut witness, m) = scramble_scenario();
+    let mut merged = donor.snapshot();
+    merged.merge(witness.snapshot());
+    restored.restore(merged);
+    restored.bump_incarnation();
+    let (fresh_id, actions) = restored.broadcast(42);
+    assert_ne!(fresh_id, m, "union knows the id is taken");
+    let wire = actions
+        .iter()
+        .find_map(|a| match a {
+            EngineAction::Multicast(w) => Some(w.clone()),
+            _ => None,
+        })
+        .expect("broadcast multicasts");
+    let at_witness = witness.on_receive(site(0), wire);
+    assert!(
+        at_witness.iter().any(|a| matches!(a, EngineAction::OptDeliver(msg) if msg.id == fresh_id)),
+        "witness accepts the fresh incarnation's message: {at_witness:?}"
+    );
+}

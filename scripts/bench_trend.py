@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Print per-cell metric trajectories across a series of BENCH.json files.
+
+CI uploads one BENCH.json per run (the `bench-json` artifact); feed a
+chronological list of them to this script to audit the "every PR makes a
+hot path faster" claim cell by cell:
+
+    python3 scripts/bench_trend.py pr3/BENCH.json pr4/BENCH.json BENCH.json
+    python3 scripts/bench_trend.py --metric p50_commit_ns old.json new.json
+
+Columns are the files in the order given (labelled by their parent
+directory, falling back to the file name); the last column adds the total
+percentage change from the first to the last sample. No dependencies
+beyond the standard library; exits non-zero on unreadable input so a CI
+step cannot silently pass on a missing artifact.
+"""
+
+import argparse
+import json
+import sys
+
+METRICS = [
+    "throughput_per_sec",
+    "p50_commit_ns",
+    "p99_commit_ns",
+    "abort_rate",
+    "msgs_per_commit",
+]
+# Direction of improvement per metric: +1 when larger is better.
+BETTER = {
+    "throughput_per_sec": +1,
+    "p50_commit_ns": -1,
+    "p99_commit_ns": -1,
+    "abort_rate": -1,
+    "msgs_per_commit": -1,
+}
+
+
+def label_for(path):
+    parts = path.replace("\\", "/").rstrip("/").split("/")
+    return parts[-2] if len(parts) > 1 else parts[-1]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_trend: cannot read {path}: {e}")
+    if "cells" not in doc:
+        sys.exit(f"bench_trend: {path} has no 'cells' array (not a BENCH.json?)")
+    return {cell["id"]: cell for cell in doc["cells"]}
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float) and abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="BENCH.json files, oldest first")
+    ap.add_argument(
+        "--metric",
+        choices=METRICS,
+        action="append",
+        help="metric(s) to tabulate (default: all gated metrics)",
+    )
+    args = ap.parse_args()
+    metrics = args.metric or METRICS
+    samples = [(label_for(p), load(p)) for p in args.files]
+    cells = []
+    for _, doc in samples:
+        for cid in doc:
+            if cid not in cells:
+                cells.append(cid)
+
+    for metric in metrics:
+        sign = BETTER[metric]
+        print(f"\n## {metric}")
+        header = ["cell"] + [label for label, _ in samples] + ["Δ total"]
+        rows = []
+        for cid in cells:
+            values = [doc.get(cid, {}).get(metric) for _, doc in samples]
+            present = [v for v in values if v is not None]
+            if len(present) >= 2 and present[0]:
+                delta = (present[-1] - present[0]) / abs(present[0]) * 100.0
+                arrow = "+" if delta >= 0 else ""
+                good = "✓" if sign * delta >= 0 else "✗"
+                total = f"{arrow}{delta:.1f}% {good}"
+            else:
+                total = "-"
+            rows.append([cid] + [fmt(v) for v in values] + [total])
+        widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
+        def line(r):
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(r, widths)) + " |"
+        print(line(header))
+        print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for r in rows:
+            print(line(r))
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@
 //! | [`broadcast`] | optimistic atomic broadcast, sequencer baseline, oracle engine, spontaneous-order metrics |
 //! | [`storage`] | conflict-class partitioned multi-version store, undo logs, snapshots, stored procedures |
 //! | [`txn`] | transaction model, class queues (S/E/CC operations), 1-copy-serializability checkers |
+//! | [`view`] | group membership: view epochs and the union-of-survivors view-change recovery round |
 //! | [`core`] | the OTP replica (Figures 4–6), conservative + lazy baselines, simulated cluster, threaded runtime |
 //! | [`workload`] | deterministic workload generation (Zipf/hot-spot classes, Poisson arrivals, query mixes) |
 //!
@@ -70,4 +71,5 @@ pub use otp_core as core;
 pub use otp_simnet as simnet;
 pub use otp_storage as storage;
 pub use otp_txn as txn;
+pub use otp_view as view;
 pub use otp_workload as workload;

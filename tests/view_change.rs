@@ -1,0 +1,213 @@
+//! View-change recovery integration tests: the subsystem closes the
+//! single-donor divergence window at the cluster level.
+//!
+//! The window (ROADMAP, pre-fix): the batched sequencer multicasts an
+//! order-assignment window and crashes while the frames are still in
+//! flight — some live sites already applied them, the donor did not, and
+//! no hold buffer has them. The legacy synchronous recovery
+//! (`Cluster::legacy_recover_single_donor`, kept exactly for this test)
+//! restores from the donor alone and renumbers, binding one sequence
+//! number to two different messages across sites. The scan below drives a
+//! grid of (seed × crash instant) through both recovery paths: the legacy
+//! path must diverge somewhere in the grid, and the view-change path must
+//! survive *every* point of it.
+
+use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind};
+use otpdb::simnet::{SimDuration, SimTime, SiteId};
+use otpdb::storage::{ClassId, ObjectId, ProcId, Value};
+use otpdb::txn::txn::TxnId;
+use otpdb::view::ViewId;
+use otpdb::workload::StandardProcs;
+
+const ORDER_WINDOW: SimDuration = SimDuration::from_micros(250);
+
+/// A 4-site batched-sequencer cluster with a burst of updates from the
+/// non-sequencer sites — the workload that keeps assignment windows and
+/// order frames in flight around the crash instants the scan probes.
+fn seqbatch_cluster(seed: u64) -> Cluster {
+    let (registry, _) = StandardProcs::registry();
+    let config = ClusterConfig::new(4, 2)
+        .with_engine(EngineKind::SequencerBatched { order_delay: ORDER_WINDOW })
+        .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+        .with_seed(seed);
+    let mut cluster = Cluster::new(
+        config,
+        registry,
+        vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
+    );
+    let mut t = SimTime::from_millis(1);
+    for i in 0..8u64 {
+        cluster.schedule_update(
+            t,
+            SiteId::new((1 + i % 3) as u16), // sites 1-3: the crash loses no client
+            ClassId::new((i % 2) as u32),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(1)],
+        );
+        t += SimDuration::from_micros(300);
+    }
+    cluster
+}
+
+/// Post-recovery liveness probes, one per site.
+fn schedule_probes(cluster: &mut Cluster) -> Vec<TxnId> {
+    (0..4u16)
+        .map(|s| {
+            cluster.schedule_update(
+                SimTime::from_millis(120),
+                SiteId::new(s),
+                ClassId::new((s % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            )
+        })
+        .collect()
+}
+
+/// Runs one scan point: crash the sequencer at `crash_us`, recover it via
+/// `legacy` (single donor, synchronous) or the view-change round, and
+/// report whether every invariant held.
+fn scan_point(seed: u64, crash_us: u64, legacy: bool) -> bool {
+    let mut c = seqbatch_cluster(seed);
+    let crash_at = SimTime::from_micros(crash_us);
+    c.schedule_crash(crash_at, SiteId::new(0));
+    if legacy {
+        c.run_until(crash_at);
+        c.legacy_recover_single_donor(SiteId::new(0), SiteId::new(1));
+    } else {
+        c.schedule_recover(crash_at + SimDuration::from_micros(10), SiteId::new(0), SiteId::new(1));
+    }
+    let probes = schedule_probes(&mut c);
+    c.run_until(SimTime::from_secs(120));
+    c.check_invariants(&probes).is_ok() && c.converged()
+}
+
+/// The scan grid: crash instants straddling the order-frame flight times
+/// of the first few assignment windows.
+const CRASH_GRID_US: [u64; 5] = [1350, 1500, 1650, 1850, 2100];
+
+#[test]
+fn single_donor_recovery_diverges_where_view_change_survives() {
+    let mut diverging: Vec<(u64, u64)> = Vec::new();
+    for seed in 0..24 {
+        for crash_us in CRASH_GRID_US {
+            if !scan_point(seed, crash_us, true) {
+                diverging.push((seed, crash_us));
+            }
+        }
+    }
+    assert!(
+        !diverging.is_empty(),
+        "the legacy path must hit the renumber collision somewhere in the scan grid"
+    );
+    // Every scenario that breaks the legacy path passes under the
+    // view-change round — same seed, same crash instant, same workload.
+    for (seed, crash_us) in &diverging {
+        assert!(
+            scan_point(*seed, *crash_us, false),
+            "seed {seed} crash {crash_us}us: view-change recovery must survive"
+        );
+    }
+    // And the new path is clean across the whole grid, not just the
+    // legacy-breaking corner.
+    for seed in 0..24 {
+        for crash_us in CRASH_GRID_US {
+            assert!(scan_point(seed, crash_us, false), "seed {seed} crash {crash_us}us");
+        }
+    }
+}
+
+/// Two rounds overlap across a partition (found in review): round A
+/// (epoch 1) stalls waiting for the partitioned site 1's digest while
+/// round B (epoch 2) starts — its announcement is invisible to the
+/// still-recovering initiator of A. Both complete at the heal; whatever
+/// order they complete in, the cluster view must end monotonic at v2 and
+/// no live site may be left on a superseded epoch.
+#[test]
+fn overlapping_rounds_resolve_to_the_newest_view() {
+    use otpdb::simnet::nemesis::{NemesisEvent, NemesisSchedule};
+    for engine in [
+        EngineKind::Opt { consensus_timeout: SimDuration::from_millis(50) },
+        EngineKind::SequencerBatched { order_delay: ORDER_WINDOW },
+    ] {
+        let (registry, _) = StandardProcs::registry();
+        let config = ClusterConfig::new(4, 2)
+            .with_engine(engine)
+            .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+            .with_seed(53);
+        let mut c = Cluster::new(
+            config,
+            registry,
+            vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
+        );
+        let schedule = NemesisSchedule::from_events(vec![
+            (
+                SimTime::from_millis(5),
+                NemesisEvent::PartitionHalves { group_a: vec![SiteId::new(1)] },
+            ),
+            (SimTime::from_millis(8), NemesisEvent::Crash { site: SiteId::new(0) }),
+            // Round A (epoch 1): donor hint is chosen at event time among
+            // live sites; its expected set includes partitioned site 1, so
+            // the round can only complete at the heal.
+            (SimTime::from_millis(10), NemesisEvent::Recover { site: SiteId::new(0) }),
+            (SimTime::from_millis(12), NemesisEvent::Crash { site: SiteId::new(3) }),
+            // Round B (epoch 2) starts while A is still collecting.
+            (SimTime::from_millis(14), NemesisEvent::Recover { site: SiteId::new(3) }),
+            (SimTime::from_millis(30), NemesisEvent::Heal),
+        ]);
+        c.schedule_nemesis(&schedule);
+        let probes = schedule_probes(&mut c);
+        c.run_until(SimTime::from_secs(120));
+        assert_eq!(c.current_view().id, ViewId(2), "{engine:?}: newest view wins");
+        assert_eq!(c.current_view().len(), 4, "{engine:?}");
+        let report = c.check_invariants(&probes);
+        assert!(report.is_ok(), "{engine:?}: {report}");
+        assert!(c.converged(), "{engine:?}");
+    }
+}
+
+/// The round itself is observable: recovery installs a fresh view at every
+/// site and the recovered site serves probes under it.
+#[test]
+fn recovery_installs_a_fresh_view_and_serves() {
+    for engine in [
+        EngineKind::Opt { consensus_timeout: SimDuration::from_millis(50) },
+        EngineKind::Sequencer,
+        EngineKind::SequencerBatched { order_delay: ORDER_WINDOW },
+        EngineKind::Scrambled {
+            agreement_delay: SimDuration::from_millis(3),
+            swap_probability: 0.0,
+        },
+    ] {
+        let (registry, _) = StandardProcs::registry();
+        let config = ClusterConfig::new(4, 2)
+            .with_engine(engine)
+            .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+            .with_seed(31);
+        let mut c = Cluster::new(
+            config,
+            registry,
+            vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
+        );
+        let mut t = SimTime::from_millis(1);
+        for i in 0..12u64 {
+            c.schedule_update(
+                t,
+                SiteId::new((1 + i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += SimDuration::from_millis(1);
+        }
+        c.schedule_crash(SimTime::from_millis(5), SiteId::new(0));
+        c.schedule_recover(SimTime::from_millis(40), SiteId::new(0), SiteId::new(1));
+        let probes = schedule_probes(&mut c);
+        c.run_until(SimTime::from_secs(120));
+        assert_eq!(c.current_view().id, ViewId(1), "{engine:?}: one view installed");
+        assert_eq!(c.current_view().len(), 4, "{engine:?}: everyone is a member again");
+        let report = c.check_invariants(&probes);
+        assert!(report.is_ok(), "{engine:?}: {report}");
+        assert!(c.converged(), "{engine:?}");
+    }
+}
