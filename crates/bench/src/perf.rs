@@ -40,10 +40,18 @@ pub const PERF_SCHEMA: u64 = 1;
 pub const PERF_SEED: u64 = 42;
 /// Update transactions per cell in the canonical matrix.
 pub const PERF_TXNS: u64 = 240;
-/// Sites in every perf cluster.
+/// Sites in the default perf cluster (the `lanfast16` variant runs 16).
 pub const PERF_SITES: usize = 4;
 /// Conflict classes (= TPC-B branches) in every perf cluster.
 pub const PERF_CLASSES: usize = 4;
+/// Delivery quantum of the canonical matrix — the receive path's
+/// interrupt-coalescing window (see `ClusterConfig::delivery_quantum`).
+/// Applied to every cell: it is a property of the modeled receive stack,
+/// not of an engine. Zero reproduces the pre-quantum schedule
+/// byte-for-byte; the committed value trades a bounded latency cost for
+/// measurably fewer agreement frames per commit (bigger consensus
+/// batches) — see EXPERIMENTS.md for the calibration.
+pub const PERF_QUANTUM: SimDuration = SimDuration::from_micros(100);
 
 /// Which broadcast engine a perf cell runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +119,45 @@ impl PerfWorkload {
     }
 }
 
+/// Which network model (and cluster size) a perf cell runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfNet {
+    /// The paper's 10 Mbit/s shared Ethernet, 4 sites (the default; its
+    /// cells keep the legacy three-token ids).
+    Lan10,
+    /// A modern switched 1 Gbit/s LAN, 4 sites (`-lanfast` id suffix).
+    LanFast,
+    /// The 1 Gbit/s LAN at 16 sites (`-lanfast16` id suffix) — the scale
+    /// cell: consensus quorums of 9 and a 16-way multicast fan-out.
+    LanFast16,
+}
+
+impl PerfNet {
+    /// Number of sites this variant runs.
+    pub fn sites(&self) -> usize {
+        match self {
+            PerfNet::Lan10 | PerfNet::LanFast => PERF_SITES,
+            PerfNet::LanFast16 => 16,
+        }
+    }
+
+    /// The concrete network model.
+    pub fn net_config(&self) -> otp_simnet::NetConfig {
+        match self {
+            PerfNet::Lan10 => otp_simnet::NetConfig::lan_10mbps(self.sites()),
+            PerfNet::LanFast | PerfNet::LanFast16 => otp_simnet::NetConfig::lan_fast(self.sites()),
+        }
+    }
+
+    fn id_suffix(&self) -> &'static str {
+        match self {
+            PerfNet::Lan10 => "",
+            PerfNet::LanFast => "-lanfast",
+            PerfNet::LanFast16 => "-lanfast16",
+        }
+    }
+}
+
 /// One cell of the perf matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PerfCell {
@@ -120,29 +167,51 @@ pub struct PerfCell {
     pub mode: Mode,
     /// Offered workload.
     pub workload: PerfWorkload,
+    /// Network model / cluster size variant.
+    pub net: PerfNet,
 }
 
 impl PerfCell {
-    /// The full matrix, in deterministic (engine-major) order.
+    /// The full matrix, in deterministic (engine-major) order: the legacy
+    /// 18-cell `lan10` block, then the `lanfast` axis (every engine × mode
+    /// on the tpcb workload), then the two 16-site scale cells.
     pub fn all() -> Vec<PerfCell> {
         let mut cells = Vec::new();
         for engine in PerfEngine::all() {
             for mode in [Mode::Otp, Mode::Conservative] {
                 for workload in PerfWorkload::all() {
-                    cells.push(PerfCell { engine, mode, workload });
+                    cells.push(PerfCell { engine, mode, workload, net: PerfNet::Lan10 });
                 }
             }
+        }
+        for engine in PerfEngine::all() {
+            for mode in [Mode::Otp, Mode::Conservative] {
+                cells.push(PerfCell {
+                    engine,
+                    mode,
+                    workload: PerfWorkload::Tpcb,
+                    net: PerfNet::LanFast,
+                });
+            }
+        }
+        for engine in [PerfEngine::Opt, PerfEngine::Seq] {
+            cells.push(PerfCell {
+                engine,
+                mode: Mode::Otp,
+                workload: PerfWorkload::Tpcb,
+                net: PerfNet::LanFast16,
+            });
         }
         cells
     }
 
-    /// Stable id, e.g. `seq-conservative-tpcb`.
+    /// Stable id, e.g. `seq-conservative-tpcb` or `opt-otp-tpcb-lanfast16`.
     pub fn id(&self) -> String {
         let mode = match self.mode {
             Mode::Otp => "otp",
             Mode::Conservative => "conservative",
         };
-        format!("{}-{}-{}", self.engine.id(), mode, self.workload.id())
+        format!("{}-{}-{}{}", self.engine.id(), mode, self.workload.id(), self.net.id_suffix())
     }
 }
 
@@ -157,9 +226,18 @@ impl FromStr for PerfCell {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let parts: Vec<&str> = s.split('-').collect();
-        let [engine, mode, workload] = parts.as_slice() else {
-            return Err(format!("perf cell must be engine-mode-workload, got {s:?}"));
+        let (base, net) = match parts.as_slice() {
+            [e, m, w] => ([*e, *m, *w], PerfNet::Lan10),
+            [e, m, w, "lanfast"] => ([*e, *m, *w], PerfNet::LanFast),
+            [e, m, w, "lanfast16"] => ([*e, *m, *w], PerfNet::LanFast16),
+            [_, _, _, other] => {
+                return Err(format!("unknown net variant {other:?} (lanfast|lanfast16)"));
+            }
+            _ => {
+                return Err(format!("perf cell must be engine-mode-workload[-net], got {s:?}"));
+            }
         };
+        let [engine, mode, workload] = &base;
         let engine = match *engine {
             "opt" => PerfEngine::Opt,
             "seq" => PerfEngine::Seq,
@@ -177,7 +255,7 @@ impl FromStr for PerfCell {
             "tpcb" => PerfWorkload::Tpcb,
             other => return Err(format!("unknown workload {other:?} (uniform|hotspot|tpcb)")),
         };
-        Ok(PerfCell { engine, mode, workload })
+        Ok(PerfCell { engine, mode, workload, net })
     }
 }
 
@@ -211,15 +289,30 @@ pub struct CellMetrics {
 /// with a reproducer line while the rest of the matrix still completes
 /// and `BENCH.json` is still written.
 pub fn run_perf_cell(cell: &PerfCell, txns: u64, seed: u64) -> CellMetrics {
-    let config = ClusterConfig::new(PERF_SITES, PERF_CLASSES)
+    run_perf_cell_with_quantum(cell, txns, seed, PERF_QUANTUM)
+}
+
+/// [`run_perf_cell`] with an explicit delivery quantum. `SimDuration::ZERO`
+/// reproduces the pre-quantum driver schedule byte-for-byte (the zero
+/// pin in `tests/quantum.rs` holds the harness to that).
+pub fn run_perf_cell_with_quantum(
+    cell: &PerfCell,
+    txns: u64,
+    seed: u64,
+    quantum: SimDuration,
+) -> CellMetrics {
+    let sites = cell.net.sites();
+    let config = ClusterConfig::new(sites, PERF_CLASSES)
+        .with_net(cell.net.net_config())
         .with_engine(cell.engine.engine_kind())
         .with_mode(cell.mode)
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+        .with_delivery_quantum(quantum)
         .with_seed(seed);
 
     let mut cluster = match cell.workload {
         PerfWorkload::Uniform | PerfWorkload::Hotspot => {
-            let mut spec = WorkloadSpec::new(PERF_SITES, PERF_CLASSES, txns)
+            let mut spec = WorkloadSpec::new(sites, PERF_CLASSES, txns)
                 .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
                 .with_seed(seed);
             if cell.workload == PerfWorkload::Hotspot {
@@ -235,7 +328,7 @@ pub fn run_perf_cell(cell: &PerfCell, txns: u64, seed: u64) -> CellMetrics {
             cluster
         }
         PerfWorkload::Tpcb => {
-            let tpcb = TpcB::new(PERF_CLASSES as u32, PERF_SITES, txns)
+            let tpcb = TpcB::new(PERF_CLASSES as u32, sites, txns)
                 .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
                 .with_seed(seed);
             let (registry, proc) = tpcb.registry();
@@ -448,21 +541,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_eighteen_cells_with_unique_round_tripping_ids() {
+    fn matrix_has_twenty_six_cells_with_unique_round_tripping_ids() {
         let cells = PerfCell::all();
-        assert_eq!(cells.len(), 18);
+        assert_eq!(cells.len(), 26, "18 legacy + 6 lanfast + 2 lanfast16");
         let mut ids: Vec<String> = cells.iter().map(PerfCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 26);
         for cell in PerfCell::all() {
             let parsed: PerfCell = cell.id().parse().unwrap();
             assert_eq!(parsed, cell, "{}", cell.id());
         }
+        // The new axes are present and the 16-site variant really is 16.
+        assert!(ids.iter().any(|id| id == "seq-conservative-tpcb-lanfast"));
+        let scale: PerfCell = "opt-otp-tpcb-lanfast16".parse().unwrap();
+        assert_eq!(scale.net.sites(), 16);
+        assert!(ids.contains(&scale.id()));
         assert!("seq-otp".parse::<PerfCell>().is_err());
         assert!("paxos-otp-uniform".parse::<PerfCell>().is_err());
         assert!("seq-lazy-uniform".parse::<PerfCell>().is_err());
         assert!("seq-otp-ycsb".parse::<PerfCell>().is_err());
+        assert!("seq-otp-tpcb-wan".parse::<PerfCell>().is_err());
+        assert!("seq-otp-tpcb-lanfast-extra".parse::<PerfCell>().is_err());
     }
 
     #[test]

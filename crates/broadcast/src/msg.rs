@@ -6,6 +6,16 @@ use otp_consensus::ConsensusMsg;
 use otp_simnet::{SimDuration, SiteId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// The value type consensus agrees on: one batch of the definitive order.
+///
+/// Behind an [`Arc`] because a batch fans out hard: every round's estimate
+/// carries it, the coordinator re-broadcasts it, every receiver relays the
+/// decision once, and the simulation driver clones the wire per receiver —
+/// sharing one allocation turns all of that into reference-count bumps
+/// (the consensus `Instance` fan-out item of the flamegraph wishlist).
+pub type OrderBatch = Arc<Vec<MsgId>>;
 
 /// How far a recovering endpoint jumps its own message-sequence space past
 /// the highest id any survivor (or its own held wires) knew about.
@@ -19,6 +29,14 @@ use std::fmt;
 /// disjoint from the dead one's. Applied by
 /// [`crate::AtomicBroadcast::bump_incarnation`], which the view-change
 /// recovery driver calls once per restore.
+///
+/// The gap covers only the *truly invisible* window — ids in flight to
+/// every receiver at once, which is bounded by one network round-trip of
+/// traffic, not by history. Everything any survivor digest reports (payload
+/// store, order tags, **and decided consensus batches**) is folded into the
+/// restored `next_seq` *before* the gap is applied, so a long-running site
+/// whose reported ids span more than `RECOVERY_SEQ_GAP` cannot overflow it:
+/// the jump starts from the highest reported id, not from a stale cursor.
 pub const RECOVERY_SEQ_GAP: u64 = 1 << 20;
 
 /// Globally unique message identifier: the originating site plus a local
@@ -106,14 +124,14 @@ pub enum Wire<P> {
         /// Consensus instance number (batch number).
         instance: u64,
         /// The inner consensus protocol message.
-        msg: ConsensusMsg<Vec<MsgId>>,
+        msg: ConsensusMsg<OrderBatch>,
     },
     /// Batched decision help-out: one frame re-teaching a straggler every
     /// consensus decision it asked about in one tick, instead of one
     /// `Consensus`/`Decide` frame per instance.
     DecideBatch {
         /// `(instance, decided batch)` pairs, in instance order.
-        decides: Vec<(u64, Vec<MsgId>)>,
+        decides: Vec<(u64, OrderBatch)>,
     },
     /// Sequencer engine: global sequence number assignment for a message.
     SeqOrder {
@@ -279,7 +297,7 @@ mod tests {
         assert!(small.size_bytes() < 64);
         let est = Wire::<Vec<u8>>::Consensus {
             instance: 0,
-            msg: ConsensusMsg::Estimate { round: 0, est: vec![m.id; 10], ts: 0 },
+            msg: ConsensusMsg::Estimate { round: 0, est: Arc::new(vec![m.id; 10]), ts: 0 },
         };
         let ack = Wire::<Vec<u8>>::Consensus { instance: 0, msg: ConsensusMsg::Ack { round: 0 } };
         assert!(est.size_bytes() > ack.size_bytes());

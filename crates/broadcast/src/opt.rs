@@ -29,11 +29,12 @@
 //! batches — so progress is made as long as some site has undecided
 //! messages.
 
-use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
+use crate::msg::{EngineAction, Message, MsgId, OrderBatch, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_consensus::{Action as CAction, ConsensusMsg, Instance, InstanceConfig};
 use otp_simnet::{SimDuration, SiteId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Marker in [`TimerToken::round`] identifying batch-initiation timers
 /// (consensus round timers use small round numbers).
@@ -95,10 +96,13 @@ pub struct OptAbcast<P> {
     /// Received (opt-delivered) but not yet covered by a processed
     /// decision, in receive order — this is what we propose.
     undecided: Vec<MsgId>,
-    /// Running consensus instances.
-    instances: HashMap<u64, Instance<Vec<MsgId>>>,
-    /// Decided batches by instance.
-    decided: BTreeMap<u64, Vec<MsgId>>,
+    /// Running consensus instances. The value type is [`OrderBatch`]
+    /// (`Arc`-shared): one proposal allocation per joined instance, and all
+    /// the estimate/propose/decide fan-out is reference-count bumps.
+    instances: HashMap<u64, Instance<OrderBatch>>,
+    /// Decided batches by instance (shared with helpout frames and the
+    /// delivery cursor — cloning a batch is a refcount bump).
+    decided: BTreeMap<u64, OrderBatch>,
     /// Next instance this site would initiate.
     next_initiate: u64,
     /// Batch timer currently armed for this instance number, if any.
@@ -155,7 +159,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
     fn consensus_actions(
         &mut self,
         instance: u64,
-        actions: Vec<CAction<Vec<MsgId>>>,
+        actions: Vec<CAction<OrderBatch>>,
     ) -> Vec<EngineAction<P>> {
         let mut out = Vec::new();
         for a in actions {
@@ -180,7 +184,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         out
     }
 
-    fn on_decided(&mut self, instance: u64, batch: Vec<MsgId>) -> Vec<EngineAction<P>> {
+    fn on_decided(&mut self, instance: u64, batch: OrderBatch) -> Vec<EngineAction<P>> {
         self.decided.entry(instance).or_insert(batch);
         self.instances.remove(&instance);
         let mut out = self.try_deliver();
@@ -239,7 +243,10 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         if self.instances.contains_key(&instance) || self.decided.contains_key(&instance) {
             return Vec::new();
         }
-        let proposal = self.undecided.clone();
+        // The one allocation per joined instance; every subsequent clone of
+        // the proposal (estimates, proposes, decides, per-receiver wire
+        // fan-out) shares it.
+        let proposal: OrderBatch = Arc::new(self.undecided.clone());
         let (inst, actions) = Instance::new(self.me, self.ccfg, proposal);
         self.instances.insert(instance, inst);
         self.consensus_actions(instance, actions)
@@ -250,7 +257,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
     fn try_deliver(&mut self) -> Vec<EngineAction<P>> {
         let mut delivered: Vec<MsgId> = Vec::new();
         while let Some(batch) = self.decided.get(&self.cursor_instance) {
-            let batch = batch.clone();
+            let batch = Arc::clone(batch);
             let mut stalled = false;
             while self.cursor_pos < batch.len() {
                 let id = batch[self.cursor_pos];
@@ -318,7 +325,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         &mut self,
         from: SiteId,
         instance: u64,
-        msg: ConsensusMsg<Vec<MsgId>>,
+        msg: ConsensusMsg<OrderBatch>,
     ) -> Vec<EngineAction<P>> {
         // Already decided instance: help the straggler with the decision.
         // Buffered, not sent — the receive path flushes everything owed to
@@ -371,9 +378,9 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
             return;
         }
         for (to, instances) in std::mem::take(&mut self.pending_helpouts) {
-            let decides: Vec<(u64, Vec<MsgId>)> = instances
+            let decides: Vec<(u64, OrderBatch)> = instances
                 .into_iter()
-                .filter_map(|k| self.decided.get(&k).map(|batch| (k, batch.clone())))
+                .filter_map(|k| self.decided.get(&k).map(|batch| (k, Arc::clone(batch))))
                 .collect();
             match decides.len() {
                 0 => {}
@@ -441,17 +448,18 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
 
     fn snapshot(&self) -> EngineSnapshot<P> {
         EngineSnapshot {
-            decided: self.decided.clone(),
+            decided: self.decided.iter().map(|(k, v)| (*k, v.as_ref().clone())).collect(),
             received: self.received.values().cloned().collect(),
             definitive_log: self.definitive_log.clone(),
             order_tags: Vec::new(),
             epoch: 0,
             order_fence: 0,
+            min_delivered: self.definitive_log.len() as u64,
         }
     }
 
     fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
-        self.decided = snapshot.decided;
+        self.decided = snapshot.decided.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
         self.definitive_log = snapshot.definitive_log.clone();
         self.to_set = snapshot.definitive_log.iter().copied().collect();
         // Everything already TO-delivered is also considered opt-delivered.
@@ -487,7 +495,21 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         }
         self.next_initiate = self.cursor_instance;
         // Our own sequence numbers must not collide with pre-crash ones.
-        let my_max = self.received.keys().filter(|id| id.origin == self.me).map(|id| id.seq).max();
+        // Scan *everything* the snapshot reports, not just the payload
+        // store: a decided batch can name an own id whose data the donor
+        // never received (a proposal can outrun its data wire). Missing
+        // those made the post-restore incarnation gap start from a stale
+        // cursor — with more than RECOVERY_SEQ_GAP ids in the reported
+        // window, the jump landed on ids the dead incarnation had already
+        // used and peers silently deduplicated the new messages.
+        let my_max = self
+            .received
+            .keys()
+            .copied()
+            .chain(self.decided.values().flat_map(|batch| batch.iter().copied()))
+            .filter(|id| id.origin == self.me)
+            .map(|id| id.seq)
+            .max();
         if let Some(mx) = my_max {
             self.next_seq = self.next_seq.max(mx + 1);
         }
@@ -695,7 +717,7 @@ mod tests {
                     SiteId::new(2),
                     Wire::Consensus {
                         instance,
-                        msg: ConsensusMsg::Estimate { round: 0, est: vec![], ts: 0 },
+                        msg: ConsensusMsg::Estimate { round: 0, est: Arc::new(vec![]), ts: 0 },
                     },
                 )
             })
@@ -740,7 +762,7 @@ mod tests {
             SiteId::new(1),
             Wire::Consensus {
                 instance: 0,
-                msg: ConsensusMsg::Estimate { round: 0, est: vec![], ts: 0 },
+                msg: ConsensusMsg::Estimate { round: 0, est: Arc::new(vec![]), ts: 0 },
             },
         );
         assert!(
@@ -755,6 +777,30 @@ mod tests {
             !actions.iter().any(|a| matches!(a, EngineAction::Send(_, Wire::DecideBatch { .. }))),
             "{actions:?}"
         );
+    }
+
+    /// The incarnation-gap audit's overflow case: a decided consensus
+    /// batch can name an own id whose *data* no survivor ever received (a
+    /// proposal can outrun its data wire). With a reported window wider
+    /// than `RECOVERY_SEQ_GAP`, deriving the post-restore cursor from the
+    /// payload store alone would make `bump_incarnation`'s jump land on
+    /// ids the dead incarnation already used — peers would silently
+    /// deduplicate the new incarnation's messages. The cursor must be
+    /// anchored at the highest id any digest reports, decided batches
+    /// included.
+    #[test]
+    fn incarnation_gap_clears_decided_only_ids_beyond_the_gap() {
+        let me = SiteId::new(2);
+        let huge = RECOVERY_SEQ_GAP * 3;
+        let mut snap: EngineSnapshot<u32> = EngineSnapshot::empty();
+        snap.decided.insert(0, vec![MsgId::new(me, huge)]);
+        snap.min_delivered = 0;
+        let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
+        let mut fresh: OptAbcast<u32> = OptAbcast::new(me, cfg);
+        fresh.restore(snap);
+        fresh.bump_incarnation();
+        let (id, _) = fresh.broadcast(9);
+        assert!(id.seq > huge, "must clear every reported id: {} <= {huge}", id.seq);
     }
 
     #[test]

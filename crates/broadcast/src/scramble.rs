@@ -236,6 +236,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
             order_tags: self.order.iter().map(|(seq, id)| (*id, *seq)).collect(),
             epoch: 0,
             order_fence: 0,
+            min_delivered: self.definitive_log.len() as u64,
         }
     }
 
@@ -269,8 +270,20 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
         }
         // Our own sequence numbers must not collide with pre-crash ones —
         // peers would silently drop the reused ids and their oracle seqs
-        // would become permanent holes in the delivery order.
-        let my_max = self.received.keys().filter(|id| id.origin == self.me).map(|id| id.seq).max();
+        // would become permanent holes in the delivery order. Scan the
+        // order map as well as the payload store: a merged digest can tag
+        // an own id this union's `received` happens to carry anyway, but
+        // the comprehensive scan keeps the incarnation gap anchored at the
+        // highest id *any* survivor reported, whatever shape the digest
+        // took (same audit as the opt engine's decided-batch scan).
+        let my_max = self
+            .received
+            .keys()
+            .copied()
+            .chain(self.order.values().copied())
+            .filter(|id| id.origin == self.me)
+            .map(|id| id.seq)
+            .max();
         if let Some(mx) = my_max {
             self.next_seq = self.next_seq.max(mx + 1);
         }

@@ -59,6 +59,12 @@ pub struct SeqAbcast<P> {
     pending_order: Vec<(u64, MsgId)>,
     /// Sequencer-only: whether a flush timer is armed.
     batch_timer_armed: bool,
+    /// Sequencer-only: floor of the post-restore re-announce. Set by
+    /// [`SeqAbcast::restore`] to the minimum delivered length across every
+    /// snapshot folded into the transfer — all live members have applied
+    /// everything below it, so [`SeqAbcast::finish_restore`] re-announces
+    /// only the suffix (delta re-announce).
+    reannounce_floor: u64,
     /// Payload store.
     received: HashMap<MsgId, Message<P>>,
     /// Global order assignments received so far.
@@ -87,6 +93,7 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
             numbered: HashSet::new(),
             pending_order: Vec::new(),
             batch_timer_armed: false,
+            reannounce_floor: 0,
             received: HashMap::new(),
             order: BTreeMap::new(),
             deliver_next: 0,
@@ -304,6 +311,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             order_tags: self.order.iter().map(|(seqno, id)| (*id, *seqno)).collect(),
             epoch: self.epoch,
             order_fence: self.order_fence,
+            min_delivered: self.definitive_log.len() as u64,
         }
     }
 
@@ -321,6 +329,12 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             self.order.insert(i as u64, *id);
         }
         self.deliver_next = snapshot.definitive_log.len() as u64;
+        // The delta re-announce floor: every member whose state is folded
+        // into this snapshot has delivered (hence applied) all assignments
+        // below the minimum delivered length, so the repair pass need not
+        // re-teach them. Clamped by the base log length — a floor can never
+        // exceed what the base itself delivered.
+        self.reannounce_floor = snapshot.min_delivered.min(self.deliver_next);
         // Undelivered assignments the donor knew about (e.g. an order wire
         // that outran its data) survive the transfer, and the sequencing
         // cursor moves past everything ever assigned — reassigning a seqno
@@ -367,8 +381,8 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
     /// order batching, assignments accumulated in an unflushed window die
     /// with the crash — no surviving wire can re-teach them, so any
     /// received-but-unassigned message would stall at every site forever.
-    /// Re-number them deterministically, then re-announce the *entire*
-    /// order map under the current epoch and multicast at once.
+    /// Re-number them deterministically, then re-announce the order map's
+    /// undelivered suffix under the current epoch and multicast at once.
     ///
     /// The view-change driver calls this after the union-of-survivors
     /// restore: assignments in any survivor's digest are already in
@@ -376,15 +390,23 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
     /// in hold buffers or in flight are renumbered — safe, because every
     /// view member fenced the dead epoch at the announcement, so no held
     /// or late copy of those assignments can ever be applied anywhere.
-    /// The full re-announce then matters exactly for those fenced copies:
-    /// a peer whose only copy of a live assignment gets rejected as
+    /// The re-announce then matters exactly for those fenced copies: a
+    /// peer whose only copy of a live assignment gets rejected as
     /// dead-epoch traffic re-learns it under the new epoch, and
     /// `or_insert` makes the re-announce idempotent at peers that already
     /// have it. (The fence-less legacy driver instead re-feeds the held
     /// order wires *before* calling this, so there the held assignments
-    /// keep their slots.) Re-announcing the delivered prefix too is
-    /// redundant but harmless; a delta re-announce from the survivors'
-    /// minimum delivered length is a noted follow-up.
+    /// keep their slots.)
+    ///
+    /// The re-announce is a **delta**: it starts at the minimum delivered
+    /// length across every snapshot folded into the restore
+    /// (`reannounce_floor`). An assignment below the floor was delivered —
+    /// hence applied — at every live member, so re-teaching it could only
+    /// ever be a redundant `or_insert`; an assignment at or above the
+    /// floor is undelivered at *some* member, which is exactly the case
+    /// where a fenced held copy can be that member's only other source.
+    /// This bounds the repair frame by the in-flight window instead of the
+    /// whole history.
     fn finish_restore(&mut self) -> Vec<EngineAction<P>> {
         let mut actions = Vec::new();
         if self.me != self.sequencer {
@@ -400,7 +422,8 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             self.numbered.insert(id);
             self.order.insert(seqno, id);
         }
-        self.pending_order = self.order.iter().map(|(seqno, id)| (*seqno, *id)).collect();
+        self.pending_order =
+            self.order.range(self.reannounce_floor..).map(|(seqno, id)| (*seqno, *id)).collect();
         self.flush_pending(&mut actions);
         self.try_deliver(&mut actions);
         actions
@@ -745,6 +768,76 @@ mod tests {
         let actions = seq.finish_restore();
         assert_eq!(order_assignments(&actions), vec![(0, id)], "{actions:?}");
         assert_eq!(seq.definitive_log(), [id], "delivered under the original seqno");
+    }
+
+    /// Delta re-announce: a restored sequencer announces only the order-map
+    /// suffix past the survivors' *minimum* delivered length. Everything
+    /// below the floor was delivered (hence applied) at every live member,
+    /// so re-teaching it would be pure frame growth — with history, the
+    /// old full re-announce grew without bound.
+    #[test]
+    fn finish_restore_re_announces_only_past_the_survivors_min_delivered() {
+        let ids: Vec<MsgId> = (0..4).map(|k| MsgId::new(SiteId::new(3), k)).collect();
+        // Survivor A delivered all four...
+        let mut a: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        for (k, id) in ids.iter().enumerate() {
+            a.on_receive(SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
+            a.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: k as u64, id: *id });
+        }
+        assert_eq!(a.definitive_log().len(), 4);
+        // ...survivor B knows every assignment but only delivered two (the
+        // data of the tail never reached it).
+        let mut b: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(2), SiteId::new(0));
+        for (k, id) in ids.iter().enumerate() {
+            if k < 2 {
+                b.on_receive(SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
+            }
+            b.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: k as u64, id: *id });
+        }
+        assert_eq!(b.definitive_log().len(), 2);
+        // Union-of-survivors transfer: base = the most advanced (A).
+        let mut snap = a.snapshot();
+        assert_eq!(snap.min_delivered, 4);
+        snap.merge(b.snapshot());
+        assert_eq!(snap.min_delivered, 2, "merge takes the minimum");
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        seq.restore(snap);
+        let actions = seq.finish_restore();
+        assert_eq!(
+            order_assignments(&actions),
+            vec![(2, ids[2]), (3, ids[3])],
+            "only the undelivered-somewhere suffix travels: {actions:?}"
+        );
+        // The delta is idempotent at the lagging peer and completes it.
+        for (k, id) in ids.iter().enumerate().skip(2) {
+            b.on_receive(SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
+        }
+        for a in &actions {
+            if let EngineAction::Multicast(w) = a {
+                b.on_receive(SiteId::new(0), w.clone());
+            }
+        }
+        assert_eq!(b.definitive_log(), seq.definitive_log());
+        assert_eq!(b.definitive_log().len(), 4);
+    }
+
+    /// The incarnation gap must be anchored at the highest own id *any*
+    /// survivor reported — here one known only through an order tag, with
+    /// a reported window wider than `RECOVERY_SEQ_GAP` itself (the
+    /// overflow case: a relative jump from a stale cursor would land on
+    /// ids the dead incarnation already used).
+    #[test]
+    fn incarnation_gap_clears_order_tag_only_ids_beyond_the_gap() {
+        let me = SiteId::new(0);
+        let huge = RECOVERY_SEQ_GAP * 3;
+        let mut snap: EngineSnapshot<u32> = EngineSnapshot::empty();
+        snap.order_tags = vec![(MsgId::new(me, huge), 7)];
+        snap.min_delivered = 0;
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(me, SiteId::new(0));
+        seq.restore(snap);
+        seq.bump_incarnation();
+        let (id, _) = seq.broadcast(1);
+        assert!(id.seq > huge, "must clear every reported id: {} <= {huge}", id.seq);
     }
 
     /// Epoch fencing: after a view change fences the dead sequencer

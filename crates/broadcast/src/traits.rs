@@ -34,10 +34,24 @@ pub struct EngineSnapshot<P> {
     /// tagged with an epoch below this come from a dead sequencer
     /// incarnation and are rejected.
     pub order_fence: u64,
+    /// Definitive-log length of the snapshotting engine; under
+    /// [`EngineSnapshot::merge`] the **minimum** over every folded-in
+    /// snapshot. A restored sequencer re-announces its order map only from
+    /// this floor upward (delta re-announce): every live member has already
+    /// delivered — and therefore applied — all assignments below the
+    /// minimum, so re-teaching them could only ever be a redundant
+    /// `or_insert`. Bounds the re-announce frame by the in-flight window
+    /// instead of by history.
+    pub min_delivered: u64,
 }
 
 impl<P> EngineSnapshot<P> {
     /// A snapshot with no state at all (epoch 0, nothing delivered).
+    ///
+    /// `min_delivered` starts at `u64::MAX` — the identity of the min-fold
+    /// in [`EngineSnapshot::merge`] — because this constructor is the fold
+    /// base of a view-change round, not a digest from a real engine (every
+    /// real engine's `snapshot()` reports its actual delivered length).
     pub fn empty() -> Self {
         EngineSnapshot {
             decided: BTreeMap::new(),
@@ -46,6 +60,7 @@ impl<P> EngineSnapshot<P> {
             order_tags: Vec::new(),
             epoch: 0,
             order_fence: 0,
+            min_delivered: u64::MAX,
         }
     }
 
@@ -65,7 +80,9 @@ impl<P> EngineSnapshot<P> {
     /// * `order_tags` — union by seqno (the sequencer never reassigns a
     ///   seqno, so any two tags for one slot agree); the max-seqno union is
     ///   what closes the single-donor renumber window;
-    /// * `epoch` / `order_fence` — max.
+    /// * `epoch` / `order_fence` — max;
+    /// * `min_delivered` — min: the floor of the restored sequencer's
+    ///   delta re-announce (everything below it is delivered everywhere).
     pub fn merge(&mut self, other: EngineSnapshot<P>) {
         for (instance, batch) in other.decided {
             self.decided.entry(instance).or_insert(batch);
@@ -89,6 +106,7 @@ impl<P> EngineSnapshot<P> {
         self.order_tags = slots.into_iter().map(|(seqno, id)| (id, seqno)).collect();
         self.epoch = self.epoch.max(other.epoch);
         self.order_fence = self.order_fence.max(other.order_fence);
+        self.min_delivered = self.min_delivered.min(other.min_delivered);
     }
 }
 

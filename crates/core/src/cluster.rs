@@ -149,6 +149,18 @@ pub struct ClusterConfig {
     pub exec_time: DurationDist,
     /// Query execution time distribution.
     pub query_time: DurationDist,
+    /// Delivery quantum — the interrupt-coalescing window of a site's
+    /// receive path. Zero (the default) delivers every wire the instant it
+    /// arrives, coalescing only exact same-instant runs (the pre-quantum
+    /// behavior, byte-identical). With a positive quantum, the first wire
+    /// arriving at an idle site *opens* a window: everything arriving
+    /// within `delivery_quantum` of it is handed to the engine as one
+    /// [`otp_broadcast::AtomicBroadcast::on_receive_batch`] call when the
+    /// window closes. Trades up to one quantum of delivery latency for
+    /// amortized per-message handling (bigger consensus batches, fewer
+    /// ordering frames). Crash, recovery and partition events fence any
+    /// open window first — see DESIGN.md §8.
+    pub delivery_quantum: SimDuration,
     /// Master seed.
     pub seed: u64,
 }
@@ -164,6 +176,7 @@ impl ClusterConfig {
             mode: Mode::Otp,
             exec_time: DurationDist::Fixed(SimDuration::from_millis(2)),
             query_time: DurationDist::Fixed(SimDuration::from_millis(5)),
+            delivery_quantum: SimDuration::ZERO,
             seed: 42,
         }
     }
@@ -195,6 +208,12 @@ impl ClusterConfig {
     /// Sets the network model.
     pub fn with_net(mut self, net: NetConfig) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Sets the delivery quantum (see [`ClusterConfig::delivery_quantum`]).
+    pub fn with_delivery_quantum(mut self, quantum: SimDuration) -> Self {
+        self.delivery_quantum = quantum;
         self
     }
 
@@ -296,15 +315,49 @@ type Engine = Box<dyn AtomicBroadcast<TxnPayload>>;
 type EngineFactory = Box<dyn FnMut(SiteId) -> Engine>;
 
 enum Ev {
-    Submit { site: SiteId, request: TxnRequest },
-    Wire { from: SiteId, to: SiteId, wire: Wire<TxnPayload> },
-    Timer { site: SiteId, token: TimerToken },
-    ExecDone { site: SiteId, epoch: u32, token: ExecToken },
-    Query { site: SiteId, qid: TxnId, reads: Vec<ObjectId> },
-    QueryDone { site: SiteId, epoch: u32, qid: TxnId },
-    Crash { site: SiteId },
-    Recover { site: SiteId, donor: SiteId },
+    Submit {
+        site: SiteId,
+        request: TxnRequest,
+    },
+    Wire {
+        from: SiteId,
+        to: SiteId,
+        wire: Wire<TxnPayload>,
+    },
+    Timer {
+        site: SiteId,
+        token: TimerToken,
+    },
+    ExecDone {
+        site: SiteId,
+        epoch: u32,
+        token: ExecToken,
+    },
+    Query {
+        site: SiteId,
+        qid: TxnId,
+        reads: Vec<ObjectId>,
+    },
+    QueryDone {
+        site: SiteId,
+        epoch: u32,
+        qid: TxnId,
+    },
+    Crash {
+        site: SiteId,
+    },
+    Recover {
+        site: SiteId,
+        donor: SiteId,
+    },
     Nemesis(NemesisEvent),
+    /// Closes the delivery quantum `site` opened at `gen` (stale
+    /// generations — the window was fenced by a fault event meanwhile —
+    /// are no-ops).
+    QuantumFlush {
+        site: SiteId,
+        gen: u64,
+    },
 }
 
 /// Aggregate results of a run.
@@ -389,6 +442,17 @@ pub struct Cluster {
     /// State digests that arrived for a round that no longer exists
     /// (superseded or completed) — normal under churn, but kept visible.
     stale_view_digests: u64,
+    /// Rounds explicitly aborted because a newer round for the same site
+    /// superseded them (newest epoch wins).
+    superseded_views: u64,
+    /// Per-site open delivery quantum: wires accumulated since the window
+    /// opened (empty = no window open). Only used when
+    /// `config.delivery_quantum > 0`.
+    open_quantum: Vec<Vec<(SiteId, Wire<TxnPayload>)>>,
+    /// Per-site quantum generation, bumped every time a window opens, so a
+    /// flush event scheduled for a window that was fenced early cannot
+    /// close a newer window.
+    quantum_gen: Vec<u64>,
     held_wires: Vec<Vec<(SiteId, Wire<TxnPayload>)>>,
     /// Wires whose directed link is cut by a nemesis partition, replayed
     /// on heal (channels are reliable across partitions, like crashes).
@@ -491,6 +555,9 @@ impl Cluster {
             pending_views: BTreeMap::new(),
             epoch_history: (0..sites).map(|_| Vec::new()).collect(),
             stale_view_digests: 0,
+            superseded_views: 0,
+            open_quantum: (0..sites).map(|_| Vec::new()).collect(),
+            quantum_gen: vec![0; sites],
             held_wires: (0..sites).map(|_| Vec::new()).collect(),
             partition_held: Vec::new(),
             msg_map: (0..sites).map(|_| HashMap::new()).collect(),
@@ -620,12 +687,25 @@ impl Cluster {
     /// Runs until the event queue empties or `deadline` passes. Returns
     /// the number of events processed.
     ///
-    /// Wire arrivals forming an adjacent same-instant run to one site are
-    /// coalesced into a single per-tick delivery batch: the engine sees the
-    /// whole run in one [`AtomicBroadcast::on_receive_batch`] call and can
-    /// amortize its outputs (one ordering frame, one TO-delivery batch)
-    /// instead of paying the dispatch round-trip per message.
+    /// With a zero delivery quantum (the default), wire arrivals forming an
+    /// adjacent same-instant run to one site are coalesced into a single
+    /// per-tick delivery batch: the engine sees the whole run in one
+    /// [`AtomicBroadcast::on_receive_batch`] call and can amortize its
+    /// outputs (one ordering frame, one TO-delivery batch) instead of
+    /// paying the dispatch round-trip per message. This path is
+    /// byte-identical to the pre-quantum driver.
+    ///
+    /// With a positive [`ClusterConfig::delivery_quantum`], the first wire
+    /// arriving at a site with no window open *opens* one: the wire and
+    /// everything arriving within the quantum accumulate, and the whole
+    /// window is handed over as one batch when the generation-guarded
+    /// [`Ev::QuantumFlush`] event fires. Event ordering stays deterministic
+    /// — flushes travel through the same FIFO-tie-broken queue as every
+    /// other event — and fault events (crash, recovery, partition, heal)
+    /// fence any open window before taking effect, so a delivery that
+    /// physically arrived before a fault is never reordered behind it.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let quantum = self.config.delivery_quantum;
         let mut processed = 0;
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
@@ -637,6 +717,10 @@ impl Cluster {
                 self.handle(ev);
                 continue;
             };
+            if !quantum.is_zero() {
+                self.quantum_accumulate(to, from, wire, t + quantum);
+                continue;
+            }
             let mut batch = vec![(from, wire)];
             while let Some((nt, Ev::Wire { to: next_to, .. })) = self.queue.peek() {
                 if nt != t || *next_to != to {
@@ -651,6 +735,46 @@ impl Cluster {
             self.handle_wire_batch(to, batch);
         }
         processed
+    }
+
+    /// Adds one wire arrival to `to`'s delivery quantum, opening a window
+    /// (and scheduling its flush) if none is open.
+    fn quantum_accumulate(
+        &mut self,
+        to: SiteId,
+        from: SiteId,
+        wire: Wire<TxnPayload>,
+        flush_at: SimTime,
+    ) {
+        let buf = &mut self.open_quantum[to.index()];
+        let opening = buf.is_empty();
+        buf.push((from, wire));
+        if opening {
+            self.quantum_gen[to.index()] += 1;
+            let gen = self.quantum_gen[to.index()];
+            self.queue.schedule(flush_at, Ev::QuantumFlush { site: to, gen });
+        }
+    }
+
+    /// Closes `site`'s open delivery quantum (if any), handing the
+    /// accumulated wires to the normal delivery path as one batch.
+    fn flush_quantum(&mut self, site: SiteId) {
+        let batch = std::mem::take(&mut self.open_quantum[site.index()]);
+        if !batch.is_empty() {
+            self.handle_wire_batch(site, batch);
+        }
+    }
+
+    /// Fences every open delivery quantum: fault events (crash, recovery,
+    /// partition, heal) call this before taking effect, so wires that
+    /// physically arrived *before* the fault are processed before it — a
+    /// window never spans a fault. The already-scheduled flush events turn
+    /// into no-ops through the generation guard (a fresh window bumps the
+    /// generation; an unreopened one flushes an empty buffer).
+    fn fence_quanta(&mut self) {
+        for site in SiteId::all(self.config.sites) {
+            self.flush_quantum(site);
+        }
     }
 
     /// Collects run statistics (cheap; can be called repeatedly).
@@ -668,6 +792,7 @@ impl Cluster {
             self.engines.iter().map(|e| e.stale_epoch_rejects()).sum::<u64>(),
         );
         counters.add("stale_view_digest", self.stale_view_digests);
+        counters.add("view_supersede", self.superseded_views);
         RunStats {
             commit_latency: self.commit_latency.clone(),
             global_commit_latency: self.global_commit_latency.clone(),
@@ -752,9 +877,39 @@ impl Cluster {
                     self.query_latency.record(self.queue.now() - start);
                 }
             }
-            Ev::Crash { site } => self.crash_site(site),
-            Ev::Recover { site, donor } => self.begin_recovery(site, donor),
-            Ev::Nemesis(ev) => self.handle_nemesis(ev),
+            Ev::Crash { site } => {
+                self.fence_quanta();
+                self.crash_site(site);
+            }
+            Ev::Recover { site, donor } => {
+                // Fencing before the round starts also guarantees that any
+                // of the recovering site's own pre-crash wires sitting in
+                // an open window reach the driver's hold buffers (or their
+                // targets) before `own_held_wires` scans them.
+                self.fence_quanta();
+                self.begin_recovery(site, donor);
+            }
+            Ev::Nemesis(ev) => {
+                if matches!(
+                    ev,
+                    NemesisEvent::PartitionHalves { .. }
+                        | NemesisEvent::Heal
+                        | NemesisEvent::Crash { .. }
+                        | NemesisEvent::Recover { .. }
+                ) {
+                    self.fence_quanta();
+                }
+                self.handle_nemesis(ev);
+            }
+            Ev::QuantumFlush { site, gen } => {
+                // A stale generation means the window this flush was armed
+                // for was already fenced; flushing here could close a
+                // *newer* window early, so only the matching generation
+                // acts.
+                if gen == self.quantum_gen[site.index()] {
+                    self.flush_quantum(site);
+                }
+            }
         }
     }
 
@@ -880,17 +1035,40 @@ impl Cluster {
     /// sources are *all* live members, with the most advanced survivor as
     /// the base.
     ///
+    /// Overlapping rounds for the **same** site resolve by supersession:
+    /// a recovery that starts while this site's previous round is still
+    /// collecting digests aborts the older round explicitly (newest epoch
+    /// wins — [`ViewChange::superseded_by`]) and proposes afresh under the
+    /// next epoch. The old round's late digests land as
+    /// `stale_view_digest`s; the abort itself is counted as
+    /// `view_supersede`.
+    ///
     /// # Panics
     ///
     /// Panics if the donor hint is itself crashed or recovering.
     fn begin_recovery(&mut self, site: SiteId, donor: SiteId) {
-        if !self.crashed[site.index()] {
-            return; // already up (or already mid-recovery)
+        if self.recovering[site.index()] {
+            // A second round racing the pending one for this same site:
+            // newest epoch wins, the older round aborts explicitly. (Epochs
+            // are handed out from a strictly increasing counter, so the new
+            // round always supersedes.)
+            let superseded = self
+                .pending_views
+                .get(&site)
+                .is_some_and(|round| round.superseded_by(self.next_epoch));
+            if !superseded {
+                return;
+            }
+            self.pending_views.remove(&site);
+            self.superseded_views += 1;
+        } else if !self.crashed[site.index()] {
+            return; // already up
+        } else {
+            assert!(self.is_live(donor), "donor {donor} must be up");
+            self.crashed[site.index()] = false;
+            self.recovering[site.index()] = true;
+            self.net.set_up(site);
         }
-        assert!(self.is_live(donor), "donor {donor} must be up");
-        self.crashed[site.index()] = false;
-        self.recovering[site.index()] = true;
-        self.net.set_up(site);
         let epoch = self.next_epoch;
         self.next_epoch += 1;
         if self.sequencer_site() == Some(site) {

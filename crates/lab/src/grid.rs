@@ -15,6 +15,13 @@ use std::str::FromStr;
 pub enum EngineChoice {
     /// Consensus-based optimistic atomic broadcast.
     Opt,
+    /// The optimistic engine with a positive delivery quantum: every
+    /// site's receive path coalesces arrivals in 250 µs windows
+    /// ([`otp_core::ClusterConfig::delivery_quantum`]). In the grid to
+    /// hammer the window-fencing paths: crashes, recoveries and
+    /// partitions landing inside open windows across the whole nemesis
+    /// vocabulary.
+    OptQuantum,
     /// Fixed-sequencer total order (site 0 sequences).
     Seq,
     /// Fixed-sequencer with order-batching: assignments accumulate for a
@@ -30,7 +37,7 @@ impl EngineChoice {
     /// The concrete engine configuration this choice denotes.
     pub fn engine_kind(&self) -> EngineKind {
         match self {
-            EngineChoice::Opt => {
+            EngineChoice::Opt | EngineChoice::OptQuantum => {
                 EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) }
             }
             EngineChoice::Seq => EngineKind::Sequencer,
@@ -44,9 +51,19 @@ impl EngineChoice {
         }
     }
 
+    /// The delivery quantum this choice configures on the cluster (zero
+    /// for every engine except the quantum-enabled column).
+    pub fn delivery_quantum(&self) -> SimDuration {
+        match self {
+            EngineChoice::OptQuantum => SimDuration::from_micros(250),
+            _ => SimDuration::ZERO,
+        }
+    }
+
     fn id(&self) -> &'static str {
         match self {
             EngineChoice::Opt => "opt",
+            EngineChoice::OptQuantum => "optq",
             EngineChoice::Seq => "seq",
             EngineChoice::SeqBatch => "seqbatch",
             EngineChoice::Scramble => "scramble",
@@ -54,8 +71,14 @@ impl EngineChoice {
     }
 
     /// All engine choices, in grid order.
-    pub fn all() -> [EngineChoice; 4] {
-        [EngineChoice::Opt, EngineChoice::Seq, EngineChoice::SeqBatch, EngineChoice::Scramble]
+    pub fn all() -> [EngineChoice; 5] {
+        [
+            EngineChoice::Opt,
+            EngineChoice::OptQuantum,
+            EngineChoice::Seq,
+            EngineChoice::SeqBatch,
+            EngineChoice::Scramble,
+        ]
     }
 }
 
@@ -174,10 +197,13 @@ impl FromStr for GridCell {
         };
         let engine = match *engine {
             "opt" => EngineChoice::Opt,
+            "optq" => EngineChoice::OptQuantum,
             "seq" => EngineChoice::Seq,
             "seqbatch" => EngineChoice::SeqBatch,
             "scramble" => EngineChoice::Scramble,
-            other => return Err(format!("unknown engine {other:?} (opt|seq|seqbatch|scramble)")),
+            other => {
+                return Err(format!("unknown engine {other:?} (opt|optq|seq|seqbatch|scramble)"));
+            }
         };
         let mode = match *mode {
             "otp" => Mode::Otp,
@@ -194,13 +220,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_has_thirty_two_cells_with_unique_ids() {
+    fn grid_has_forty_cells_with_unique_ids() {
         let cells = GridCell::all();
-        assert_eq!(cells.len(), 32);
+        assert_eq!(cells.len(), 40);
         let mut ids: Vec<String> = cells.iter().map(GridCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 32, "ids are unique");
+        assert_eq!(ids.len(), 40, "ids are unique");
+        assert!(ids.iter().any(|id| id == "optq-otp-hostile"), "quantum column present");
     }
 
     #[test]

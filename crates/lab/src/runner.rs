@@ -169,6 +169,7 @@ pub fn run_cell(spec: &CellSpec) -> CellOutcome {
         .with_engine(spec.cell.engine.engine_kind())
         .with_mode(spec.cell.mode)
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+        .with_delivery_quantum(spec.cell.engine.delivery_quantum())
         .with_seed(spec.seed);
     let mut cluster = Cluster::new(config, registry, initial);
 

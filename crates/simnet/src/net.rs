@@ -240,6 +240,15 @@ pub struct MulticastNet {
     loss_override: Option<f64>,
     /// Multiplier on the configured receive jitter (nemesis jitter spike).
     jitter_scale: f64,
+    /// Pre-scaled jitter mean in seconds (`jitter_mean × jitter_scale`).
+    /// [`MulticastNet::receiver_arrival`] runs once per `(message,
+    /// receiver)` pair — the hottest call in the whole simulation — so the
+    /// duration→f64 conversions and the scale multiply are hoisted here and
+    /// recomputed only when the scale changes. The *sampling* is untouched:
+    /// the rng stream and every arrival instant stay byte-identical.
+    jitter_mean_s: f64,
+    /// Pre-scaled jitter standard deviation in seconds.
+    jitter_std_s: f64,
     sent_frames: u64,
     sent_bytes: u64,
 }
@@ -247,6 +256,8 @@ pub struct MulticastNet {
 impl MulticastNet {
     /// Creates a network with all sites up and no partitions.
     pub fn new(config: NetConfig) -> Self {
+        let jitter_mean_s = config.jitter_mean.as_secs_f64();
+        let jitter_std_s = config.jitter_std.as_secs_f64();
         MulticastNet {
             config,
             wire_free_at: SimTime::ZERO,
@@ -255,6 +266,8 @@ impl MulticastNet {
             blocked_pairs: HashSet::new(),
             loss_override: None,
             jitter_scale: 1.0,
+            jitter_mean_s,
+            jitter_std_s,
             sent_frames: 0,
             sent_bytes: 0,
         }
@@ -331,11 +344,8 @@ impl MulticastNet {
         wire_done: SimTime,
         rng: &mut SimRng,
     ) -> SimTime {
-        let jitter = SimDuration::from_secs_f64(rng.normal_min(
-            self.config.jitter_mean.as_secs_f64() * self.jitter_scale,
-            self.config.jitter_std.as_secs_f64() * self.jitter_scale,
-            0.0,
-        ));
+        let jitter =
+            SimDuration::from_secs_f64(rng.normal_min(self.jitter_mean_s, self.jitter_std_s, 0.0));
         let mut arrival = wire_done + self.config.propagation + jitter;
         // Rare receive-path processing spike.
         if self.config.spike_probability > 0.0 && rng.chance(self.config.spike_probability) {
@@ -425,6 +435,8 @@ impl MulticastNet {
     /// Scales the configured receive jitter (1.0 restores the baseline).
     pub fn set_jitter_scale(&mut self, scale: f64) {
         self.jitter_scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
+        self.jitter_mean_s = self.config.jitter_mean.as_secs_f64() * self.jitter_scale;
+        self.jitter_std_s = self.config.jitter_std.as_secs_f64() * self.jitter_scale;
     }
 
     /// Heal time of the directed link, if it is currently blocked.

@@ -25,6 +25,7 @@ use crate::mvcc::VersionChain;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Before-images collected while a transaction executes, applied in reverse
 /// on abort.
@@ -129,6 +130,14 @@ impl ClassPartition {
 
 /// A full database copy (all class partitions) at one site.
 ///
+/// Partitions sit behind [`Arc`]s with copy-on-write semantics
+/// ([`Arc::make_mut`]): cloning a database — every replica of a cluster
+/// starts from a clone of one loaded base copy, and recovery snapshots
+/// clone again — is a vector of reference-count bumps, and a partition is
+/// deep-copied only on the first write after a clone. In many-cell sweeps
+/// the construction cost was dominated by `Database::clone`; now a site
+/// only ever pays for the partitions it actually touches.
+///
 /// # Examples
 ///
 /// ```
@@ -140,7 +149,7 @@ impl ClassPartition {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Database {
-    partitions: Vec<ClassPartition>,
+    partitions: Vec<Arc<ClassPartition>>,
 }
 
 impl Database {
@@ -151,7 +160,7 @@ impl Database {
     /// Panics if `classes == 0`.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "database needs at least one conflict class");
-        Database { partitions: (0..classes).map(|_| ClassPartition::default()).collect() }
+        Database { partitions: (0..classes).map(|_| Arc::default()).collect() }
     }
 
     /// Number of conflict classes.
@@ -165,16 +174,20 @@ impl Database {
     ///
     /// Fails if the class does not exist.
     pub fn partition(&self, class: ClassId) -> Result<&ClassPartition, AccessError> {
-        self.partitions.get(class.index()).ok_or(AccessError::NoSuchClass(class))
+        self.partitions.get(class.index()).map(Arc::as_ref).ok_or(AccessError::NoSuchClass(class))
     }
 
-    /// Mutable partition access.
+    /// Mutable partition access. Detaches the partition from any clones
+    /// still sharing it (copy-on-write).
     ///
     /// # Errors
     ///
     /// Fails if the class does not exist.
     pub fn partition_mut(&mut self, class: ClassId) -> Result<&mut ClassPartition, AccessError> {
-        self.partitions.get_mut(class.index()).ok_or(AccessError::NoSuchClass(class))
+        self.partitions
+            .get_mut(class.index())
+            .map(Arc::make_mut)
+            .ok_or(AccessError::NoSuchClass(class))
     }
 
     /// Loads initial data: sets both the working state and an initial
@@ -188,6 +201,7 @@ impl Database {
         let p = self
             .partitions
             .get_mut(object.class.index())
+            .map(Arc::make_mut)
             .unwrap_or_else(|| panic!("no such class {}", object.class));
         p.current.insert(object.key, value.clone());
         p.versions.entry(object.key).or_default().install(TxnIndex::INITIAL, value);
@@ -206,7 +220,7 @@ impl Database {
 
     /// Version GC across all partitions.
     pub fn collect_versions(&mut self, watermark: TxnIndex) -> usize {
-        self.partitions.iter_mut().map(|p| p.collect_versions(watermark)).sum()
+        self.partitions.iter_mut().map(|p| Arc::make_mut(p).collect_versions(watermark)).sum()
     }
 
     /// A clean copy containing only committed state: version chains are
@@ -225,7 +239,7 @@ impl Database {
                     .iter()
                     .filter_map(|(k, c)| c.read_latest().map(|v| (*k, v.clone())))
                     .collect();
-                ClassPartition { current, versions: p.versions.clone() }
+                Arc::new(ClassPartition { current, versions: p.versions.clone() })
             })
             .collect();
         Database { partitions }

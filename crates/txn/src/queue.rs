@@ -90,12 +90,19 @@ impl std::error::Error for QueueError {}
 pub struct ClassQueue {
     class: otp_storage::ClassId,
     entries: VecDeque<QueueEntry>,
+    /// Length of the leading `committable` run — equivalently, the index
+    /// of the first `pending` entry (or `entries.len()` when none).
+    /// Maintained incrementally so [`ClassQueue::reschedule_before_first_pending`]
+    /// finds its insertion point in O(1) instead of scanning the whole
+    /// committable prefix — under hotspot skew that scan was quadratic in
+    /// the backlog. [`ClassQueue::check_invariants`] cross-checks it.
+    committable_prefix: usize,
 }
 
 impl ClassQueue {
     /// Creates an empty queue for `class`.
     pub fn new(class: otp_storage::ClassId) -> Self {
-        ClassQueue { class, entries: VecDeque::new() }
+        ClassQueue { class, entries: VecDeque::new(), committable_prefix: 0 }
     }
 
     /// The conflict class this queue serializes.
@@ -161,9 +168,21 @@ impl ClassQueue {
     ///
     /// Fails if the transaction is not queued.
     pub fn mark_committable(&mut self, txn: TxnId) -> Result<(), QueueError> {
-        let e =
-            self.entries.iter_mut().find(|e| e.id() == txn).ok_or(QueueError::NotQueued(txn))?;
-        e.delivery = DeliveryState::Committable;
+        let p = self.position(txn).ok_or(QueueError::NotQueued(txn))?;
+        self.entries[p].delivery = DeliveryState::Committable;
+        // Marking the entry right at the boundary extends the committable
+        // prefix (and may absorb later entries that were already
+        // committable out of place).
+        if p == self.committable_prefix {
+            self.committable_prefix += 1;
+            while self
+                .entries
+                .get(self.committable_prefix)
+                .is_some_and(|e| e.delivery == DeliveryState::Committable)
+            {
+                self.committable_prefix += 1;
+            }
+        }
         Ok(())
     }
 
@@ -180,6 +199,20 @@ impl ClassQueue {
             None => return Err(QueueError::NotQueued(txn)),
         }
         let e = self.entries.pop_front().expect("checked head");
+        if e.delivery == DeliveryState::Committable {
+            self.committable_prefix = self.committable_prefix.saturating_sub(1);
+        }
+        // Committing a still-pending head is reachable through the raw
+        // queue API (the replica always marks committable first); the pop
+        // can expose out-of-place committable entries at the front, so
+        // re-extend until the cached prefix matches a fresh scan again.
+        while self
+            .entries
+            .get(self.committable_prefix)
+            .is_some_and(|entry| entry.delivery == DeliveryState::Committable)
+        {
+            self.committable_prefix += 1;
+        }
         Ok((e, !self.entries.is_empty()))
     }
 
@@ -220,12 +253,15 @@ impl ClassQueue {
             "CC10 applies to TO-delivered transactions"
         );
         let entry = self.entries.remove(from).expect("position is valid");
-        let to = self
-            .entries
-            .iter()
-            .position(|e| e.delivery == DeliveryState::Pending)
-            .unwrap_or(self.entries.len());
+        // The insertion point is the first pending entry — the cached
+        // committable-prefix length, no scan. An entry already inside the
+        // prefix just moves to its end (the removal shifted the boundary).
+        if from < self.committable_prefix {
+            self.committable_prefix -= 1;
+        }
+        let to = self.committable_prefix;
         self.entries.insert(to, entry);
+        self.committable_prefix += 1;
         Ok(to)
     }
 
@@ -261,6 +297,19 @@ impl ClassQueue {
             if e.exec == ExecState::Executed && i != 0 {
                 return Err(format!("executed {} at non-head position {i}", e.id()));
             }
+        }
+        // The cached prefix index must agree with a fresh scan whenever the
+        // structural invariant holds (it is only ever consulted then).
+        let scanned = self
+            .entries
+            .iter()
+            .position(|e| e.delivery == DeliveryState::Pending)
+            .unwrap_or(self.entries.len());
+        if self.committable_prefix != scanned {
+            return Err(format!(
+                "cached committable prefix {} disagrees with scan {scanned}",
+                self.committable_prefix
+            ));
         }
         Ok(())
     }

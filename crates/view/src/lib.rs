@@ -192,6 +192,17 @@ impl<P: Clone + fmt::Debug> ViewChange<P> {
         self.initiator
     }
 
+    /// The supersession rule for overlapping rounds of **one** site:
+    /// newest epoch wins. A driver about to propose `newer_epoch` for this
+    /// round's initiator must abort this round (explicitly — its late
+    /// digests become stale, its merged state is discarded) exactly when
+    /// this returns true; proposing a non-newer epoch is a caller bug and
+    /// must be dropped instead. Rounds for *different* sites never
+    /// supersede each other — they resolve monotonically at install time.
+    pub fn superseded_by(&self, newer_epoch: u64) -> bool {
+        newer_epoch > self.epoch
+    }
+
     /// Members whose digests are still outstanding.
     pub fn outstanding(&self) -> impl Iterator<Item = SiteId> + '_ {
         self.expected.iter().copied()
@@ -270,6 +281,7 @@ mod tests {
         s.definitive_log = log.to_vec();
         s.received = tags.iter().map(|(id, _)| Message { id: *id, payload: 1 }).collect();
         s.epoch = epoch;
+        s.min_delivered = log.len() as u64;
         s
     }
 
@@ -383,6 +395,32 @@ mod tests {
         assert_eq!(base.definitive_log, vec![a], "log stays the base replica's");
         assert_eq!(base.order_tags, vec![(a, 0), (b, 1)], "the tail is re-deliverable");
         assert!(base.received.iter().any(|m| m.id == b), "payload of the tail survives");
+    }
+
+    /// Supersession (newest epoch wins): only a strictly newer epoch may
+    /// replace a pending round for the same site.
+    #[test]
+    fn supersession_requires_a_strictly_newer_epoch() {
+        let round: ViewChange<u32> = ViewChange::propose(5, SiteId::new(0), SiteId::all(3));
+        assert!(round.superseded_by(6));
+        assert!(round.superseded_by(u64::MAX));
+        assert!(!round.superseded_by(5), "same epoch never supersedes");
+        assert!(!round.superseded_by(4), "older rounds never win");
+    }
+
+    /// The merged snapshot's `min_delivered` is the minimum over every
+    /// collected digest — the restored sequencer's delta re-announce
+    /// floor. The fold identity (`empty()` = MAX) must never survive a
+    /// real digest.
+    #[test]
+    fn merged_min_delivered_is_the_minimum_over_digests() {
+        let (a, b) = (id(1, 0), id(1, 1));
+        let mut round: ViewChange<u32> = ViewChange::propose(1, SiteId::new(0), SiteId::all(3));
+        assert_eq!(round.merged.min_delivered, u64::MAX, "fold identity");
+        round.on_digest(SiteId::new(1), 1, snap_with(&[(a, 0), (b, 1)], &[a, b], 0));
+        round.on_digest(SiteId::new(2), 1, snap_with(&[(a, 0)], &[a], 0));
+        let merged = round.into_merged();
+        assert_eq!(merged.min_delivered, 1, "the laggard's delivered length wins");
     }
 
     #[test]

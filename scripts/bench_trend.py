@@ -55,7 +55,9 @@ def load(path):
 def fmt(value):
     if value is None:
         return "-"
-    if isinstance(value, float) and abs(value) >= 1000:
+    # Integers too: p50/p99_commit_ns arrive as JSON ints, and ":g" would
+    # render them in lossy scientific notation.
+    if isinstance(value, (int, float)) and abs(value) >= 1000:
         return f"{value:.0f}"
     return f"{value:g}"
 
@@ -91,6 +93,14 @@ def main():
                 arrow = "+" if delta >= 0 else ""
                 good = "✓" if sign * delta >= 0 else "✗"
                 total = f"{arrow}{delta:.1f}% {good}"
+            elif len(present) >= 2 and present[-1] != present[0]:
+                # Zero base: a relative delta is undefined, but a move off
+                # zero (e.g. abort_rate 0 -> 0.05) is still a direction that
+                # must not vanish from the table — show the absolute change.
+                delta = present[-1] - present[0]
+                arrow = "+" if delta >= 0 else ""
+                good = "✓" if sign * delta >= 0 else "✗"
+                total = f"{arrow}{delta:.4g} abs {good}"
             else:
                 total = "-"
             rows.append([cid] + [fmt(v) for v in values] + [total])

@@ -161,6 +161,61 @@ fn partition_during_recovery_heals() {
     assert!(report.is_ok(), "{report}");
 }
 
+/// Two recovery rounds racing for the **same** site. Before the
+/// supersession rule the driver serialized them (the second was silently
+/// dropped while the first was still collecting digests); now the newer
+/// epoch wins: the older round aborts explicitly (`view_supersede`), its
+/// late digests land as `stale_view_digest`s, and the cluster converges on
+/// the newest view.
+#[test]
+fn racing_recovery_rounds_for_one_site_supersede() {
+    for engine in
+        [EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) }, EngineKind::Sequencer]
+    {
+        let (registry, _) = StandardProcs::registry();
+        let mut initial = Vec::new();
+        for c in 0..2u32 {
+            initial.push((otpdb::storage::ObjectId::new(c, 0), Value::Int(0)));
+        }
+        let config = ClusterConfig::new(4, 2)
+            .with_engine(engine)
+            .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
+            .with_seed(311);
+        let mut cluster = Cluster::new(config, registry, initial);
+        submit_load(&mut cluster, 20, 3, 2, SimTime::from_millis(1));
+        cluster.schedule_crash(SimTime::from_millis(10), SiteId::new(3));
+        // Round 1 starts at 150 ms; round 2 races it 100 µs later, while
+        // round 1's digests are still on the wire.
+        cluster.schedule_recover(SimTime::from_millis(150), SiteId::new(3), SiteId::new(0));
+        cluster.schedule_recover(
+            SimTime::from_millis(150) + SimDuration::from_micros(100),
+            SiteId::new(3),
+            SiteId::new(1),
+        );
+        // Load after the dust settles proves the re-admitted site serves.
+        submit_load(&mut cluster, 8, 3, 2, SimTime::from_millis(400));
+        cluster.run_until(SimTime::from_secs(300));
+        let stats = cluster.stats();
+        assert_eq!(
+            stats.counters.get("view_supersede"),
+            1,
+            "{engine:?}: the older round must abort explicitly"
+        );
+        assert!(
+            stats.counters.get("stale_view_digest") >= 1,
+            "{engine:?}: round 1's digests answer a dead round"
+        );
+        assert_eq!(cluster.current_view().id.0, 2, "{engine:?}: the superseding epoch installs");
+        assert_eq!(cluster.current_view().len(), 4, "{engine:?}: everyone live again");
+        assert!(cluster.is_live(SiteId::new(3)), "{engine:?}");
+        assert_eq!(stats.completed, 28, "{engine:?}: all load commits");
+        assert!(cluster.converged(), "{engine:?}");
+        check_one_copy_serializable(&cluster.histories()).unwrap();
+        let report = cluster.check_invariants(&[]);
+        assert!(report.is_ok(), "{engine:?}: {report}");
+    }
+}
+
 #[test]
 fn recovered_site_serves_consistent_queries() {
     let mut cluster = loaded_cluster(4, 2, 233);
