@@ -13,7 +13,7 @@ CHAOS_SEEDS ?= 16
 #   make perf-check PERF_TOLERANCE=0.10
 PERF_TOLERANCE ?= 0.25
 
-.PHONY: all build test bench chaos perf perf-check lint fmt clippy ci clean
+.PHONY: all build test bench chaos perf perf-check soak soak-smoke lint fmt clippy ci clean
 
 all: build
 
@@ -47,6 +47,17 @@ perf:
 perf-check:
 	$(CARGO) run --release -p otp-bench --bin perf -- \
 		--check BENCH_BASELINE.json --tolerance $(PERF_TOLERANCE)
+
+## Soak the threaded real-clock runtime at acceptance scale (8 sites ×
+## 100k txns) and write the wall-clock report to SOAK.json. Informational
+## only — never a CI gate; the binary exits nonzero solely on correctness
+## failures (convergence, quiescence). See DESIGN.md §9.
+soak:
+	$(CARGO) run --release -p otp-bench --bin soak -- --out SOAK.json
+
+## The CI-sized soak (4 sites × 5k txns), same report shape.
+soak-smoke:
+	$(CARGO) run --release -p otp-bench --bin soak -- --smoke --out SOAK.json
 
 ## Formatting + lints, exactly as CI enforces them.
 lint: fmt clippy

@@ -1,0 +1,111 @@
+//! The soak harness CLI — wall-clock scale numbers for the threaded
+//! runtime (never a CI gate; see `otp_bench::soak`).
+//!
+//! Default is the acceptance-scale run: 8 sites × 100k transactions.
+//! `--smoke` shrinks it to a CI-sized run. The process exits nonzero if
+//! the run fails its *correctness* obligations (convergence, quiescence)
+//! — timing numbers are informational only.
+//!
+//! ```text
+//! soak [--sites N] [--classes N] [--txns N]
+//!      [--engine opt|optbatch|seq|seqbatch|scramble] [--mode otp|conservative]
+//!      [--exec-us N] [--net-us N] [--jitter-us N] [--submitters N]
+//!      [--hotspot] [--seed N] [--out SOAK.json] [--smoke]
+//! ```
+
+use otp_bench::soak::{
+    parse_engine, parse_mode, run_soak, soak_report_json, summarize, SoakConfig,
+};
+use otp_workload::ClassSelection;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn parse_args() -> Result<(SoakConfig, Option<String>), String> {
+    let mut cfg = SoakConfig::new(8, 8, 100_000);
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let parse_n = |name: &str, v: String| -> Result<u64, String> {
+            v.parse::<u64>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{name} must be a positive integer: {v:?}"))
+        };
+        match flag.as_str() {
+            "--sites" => cfg.sites = parse_n("--sites", value("--sites")?)? as usize,
+            "--classes" => cfg.classes = parse_n("--classes", value("--classes")?)? as usize,
+            "--txns" => cfg.txns = parse_n("--txns", value("--txns")?)?,
+            "--engine" => cfg.engine = parse_engine(&value("--engine")?)?,
+            "--mode" => cfg.mode = parse_mode(&value("--mode")?)?,
+            "--exec-us" => {
+                cfg.exec_time = Duration::from_micros(parse_n("--exec-us", value("--exec-us")?)?)
+            }
+            "--net-us" => {
+                cfg.net_delay = Duration::from_micros(parse_n("--net-us", value("--net-us")?)?)
+            }
+            "--jitter-us" => {
+                cfg.net_jitter =
+                    Duration::from_micros(parse_n("--jitter-us", value("--jitter-us")?)?)
+            }
+            "--submitters" => {
+                cfg.submitters = parse_n("--submitters", value("--submitters")?)? as usize
+            }
+            "--hotspot" => {
+                cfg.selection = ClassSelection::HotSpot { hot_fraction: 0.25, hot_probability: 0.8 }
+            }
+            "--seed" => cfg.seed = parse_n("--seed", value("--seed")?)?,
+            "--out" => out = Some(value("--out")?),
+            "--smoke" => {
+                cfg.sites = 4;
+                cfg.classes = 4;
+                cfg.txns = 5_000;
+                cfg.exec_time = Duration::from_micros(50);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: soak [--sites N] [--classes N] [--txns N] \
+                     [--engine opt|optbatch|seq|seqbatch|scramble] \
+                     [--mode otp|conservative] [--exec-us N] [--net-us N] \
+                     [--jitter-us N] [--submitters N] [--hotspot] [--seed N] \
+                     [--out SOAK.json] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok((cfg, out))
+}
+
+fn main() -> ExitCode {
+    let (cfg, out) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "== otp-bench soak: {} sites × {} classes × {} txns ({:?}/{:?}, {} submitters) ==",
+        cfg.sites, cfg.classes, cfg.txns, cfg.engine, cfg.mode, cfg.submitters
+    );
+    let outcome = run_soak(&cfg);
+    println!("{}", summarize(&outcome));
+    if let Some(path) = out {
+        let doc = soak_report_json(&cfg, &outcome);
+        if let Err(e) = std::fs::write(&path, doc.to_pretty()) {
+            eprintln!("soak: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if !outcome.converged || !outcome.quiesced {
+        eprintln!(
+            "soak: FAILED correctness obligations (converged={}, quiesced={})",
+            outcome.converged, outcome.quiesced
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -20,6 +20,7 @@
 
 pub mod json;
 pub mod perf;
+pub mod soak;
 
 use otp_broadcast::order::{pairwise_agreement_pct, spontaneous_order_pct};
 use otp_broadcast::MsgId;

@@ -1,0 +1,320 @@
+//! Wall-clock soak harness over the threaded [`LiveCluster`].
+//!
+//! Where `perf` measures the *simulated* matrix deterministically, `soak`
+//! pushes hundreds of thousands of real transactions through the threaded
+//! runtime — N submitter threads against one OS thread per site — and
+//! reports wall-clock throughput and commit-latency quantiles. Numbers
+//! from this harness are hardware-dependent by construction: they are
+//! reported **alongside** the simulated matrix and never gate CI.
+//!
+//! What *is* checked (and should hold on any machine): the run converges
+//! (every site reaches the identical committed state), it quiesces (no
+//! in-flight work lost at shutdown), and memory stays bounded (every
+//! queue in the runtime is bounded and admission control backpressures
+//! the submitters).
+
+use otp_core::runtime::{LiveCluster, LiveConfig, SubmitError};
+use otp_core::{EngineKind, Mode};
+use otp_simnet::{SimDuration, SimRng, SiteId};
+use otp_storage::{ObjectId, Value};
+use otp_workload::{ClassSelection, StandardProcs};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Schema version of `SOAK.json`.
+pub const SOAK_SCHEMA: u64 = 1;
+
+/// Configuration of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Number of site threads.
+    pub sites: usize,
+    /// Number of conflict classes.
+    pub classes: usize,
+    /// Objects per class.
+    pub objects_per_class: u64,
+    /// Total transactions to submit (across all submitters).
+    pub txns: u64,
+    /// Broadcast engine.
+    pub engine: EngineKind,
+    /// Processing mode.
+    pub mode: Mode,
+    /// Class-selection skew of the offered load.
+    pub selection: ClassSelection,
+    /// Stored-procedure execution time.
+    pub exec_time: Duration,
+    /// Base one-way network delay.
+    pub net_delay: Duration,
+    /// Uniform network jitter (0..jitter).
+    pub net_jitter: Duration,
+    /// Number of OS threads submitting transactions.
+    pub submitters: usize,
+    /// Admission window (transactions in flight before `submit` blocks).
+    pub max_in_flight: usize,
+    /// Site channel capacity.
+    pub site_queue: usize,
+    /// Adaptive drain bound per receive-batch.
+    pub drain_limit: usize,
+    /// Completion deadline handed to [`LiveCluster::shutdown`] (shutdown
+    /// returns as soon as the system quiesces, so a generous value costs
+    /// nothing on a healthy run).
+    pub deadline: Duration,
+    /// Master seed (jitter, class selection).
+    pub seed: u64,
+}
+
+impl SoakConfig {
+    /// Defaults tuned so the acceptance-scale run (8 sites × 100k txns)
+    /// finishes in minutes on a laptop: optimistic engine, OTP mode,
+    /// uniform classes, 100µs execution, 50µs ± 100µs network.
+    pub fn new(sites: usize, classes: usize, txns: u64) -> Self {
+        SoakConfig {
+            sites,
+            classes,
+            objects_per_class: 8,
+            txns,
+            engine: EngineKind::Opt { consensus_timeout: SimDuration::from_millis(100) },
+            mode: Mode::Otp,
+            selection: ClassSelection::Uniform,
+            exec_time: Duration::from_micros(100),
+            net_delay: Duration::from_micros(50),
+            net_jitter: Duration::from_micros(100),
+            submitters: 4,
+            max_in_flight: 4096,
+            site_queue: 2048,
+            drain_limit: 128,
+            deadline: Duration::from_secs(600),
+            seed: 42,
+        }
+    }
+}
+
+/// Parses an engine name (`opt`, `optbatch`, `seq`, `seqbatch`,
+/// `scramble`) into an [`EngineKind`] with real-clock-scale parameters.
+pub fn parse_engine(name: &str) -> Result<EngineKind, String> {
+    match name {
+        "opt" => Ok(EngineKind::Opt { consensus_timeout: SimDuration::from_millis(100) }),
+        "optbatch" => Ok(EngineKind::OptBatched {
+            consensus_timeout: SimDuration::from_millis(100),
+            batch_delay: SimDuration::from_micros(500),
+        }),
+        "seq" => Ok(EngineKind::Sequencer),
+        "seqbatch" => {
+            Ok(EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(500) })
+        }
+        "scramble" => Ok(EngineKind::Scrambled {
+            agreement_delay: SimDuration::from_millis(2),
+            swap_probability: 0.01,
+        }),
+        other => {
+            Err(format!("unknown engine {other:?} (expected opt|optbatch|seq|seqbatch|scramble)"))
+        }
+    }
+}
+
+/// Parses a mode name (`otp`, `conservative`).
+pub fn parse_mode(name: &str) -> Result<Mode, String> {
+    match name {
+        "otp" => Ok(Mode::Otp),
+        "conservative" => Ok(Mode::Conservative),
+        other => Err(format!("unknown mode {other:?} (expected otp|conservative)")),
+    }
+}
+
+/// Result of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// Wall-clock time from first submission to full shutdown.
+    pub wall: Duration,
+    /// Transactions admitted (equals the configured count — `submit`
+    /// blocks rather than drops).
+    pub accepted: u64,
+    /// Commit events across all sites (`accepted × sites` when quiesced).
+    pub committed_total: u64,
+    /// Origin commits per wall-clock second.
+    pub throughput_per_sec: f64,
+    /// Median submit→origin-commit latency.
+    pub p50_commit: Duration,
+    /// Tail submit→origin-commit latency.
+    pub p99_commit: Duration,
+    /// Mean submit→origin-commit latency.
+    pub mean_commit: Duration,
+    /// Optimistic executions aborted (transient, re-executed) — summed
+    /// over all replicas.
+    pub aborts: u64,
+    /// Times a submitter was pushed back (window or queue full).
+    pub backpressure_events: u64,
+    /// All sites reached the identical committed state.
+    pub converged: bool,
+    /// Shutdown drained to provable idleness (no wire lost).
+    pub quiesced: bool,
+}
+
+/// Runs one soak: `cfg.submitters` threads drive `cfg.txns` transactions
+/// through a [`LiveCluster`], then shutdown drains and the report is
+/// reduced to a [`SoakOutcome`].
+pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
+    let (registry, procs) = StandardProcs::registry();
+    let mut initial = Vec::new();
+    for c in 0..cfg.classes as u32 {
+        for k in 0..cfg.objects_per_class {
+            initial.push((ObjectId::new(c, k), Value::Int(1000)));
+        }
+    }
+    let mut live = LiveConfig::new(cfg.sites, cfg.classes)
+        .with_engine(cfg.engine)
+        .with_mode(cfg.mode)
+        .with_exec_time(cfg.exec_time)
+        .with_seed(cfg.seed);
+    live.net_delay = cfg.net_delay;
+    live.net_jitter = cfg.net_jitter;
+    live.max_in_flight = cfg.max_in_flight;
+    live.site_queue = cfg.site_queue;
+    live.drain_limit = cfg.drain_limit;
+    let cluster = LiveCluster::start(live, registry, initial);
+
+    let t0 = Instant::now();
+    let submitters = cfg.submitters.max(1);
+    std::thread::scope(|s| {
+        for t in 0..submitters {
+            let cluster = &cluster;
+            let sampler = cfg.selection.sampler(cfg.classes);
+            let mut rng = SimRng::seed_from(cfg.seed ^ (0x50a4_0000 + t as u64));
+            s.spawn(move || {
+                // Submitter t drives global indices t, t+S, t+2S, …
+                let mut i = t as u64;
+                while i < cfg.txns {
+                    let site = SiteId::new((i % cfg.sites as u64) as u16);
+                    let class = sampler.pick(&mut rng);
+                    let key = rng.uniform_range(0, cfg.objects_per_class) as i64;
+                    let delta = 1 + rng.uniform_range(0, 10) as i64;
+                    match cluster.submit(
+                        site,
+                        class,
+                        procs.add,
+                        vec![Value::Int(key), Value::Int(delta)],
+                    ) {
+                        Ok(_) => i += submitters as u64,
+                        Err(SubmitError::ShuttingDown) => break,
+                        Err(SubmitError::Backpressure) => unreachable!("submit blocks"),
+                    }
+                }
+            });
+        }
+    });
+    let backpressure_events = cluster.backpressure_events();
+    let report = cluster.shutdown(cfg.deadline);
+    let wall = t0.elapsed();
+
+    let mut hist = report.commit_latency;
+    let to_wall = |d: SimDuration| Duration::from_nanos(d.as_nanos());
+    SoakOutcome {
+        wall,
+        accepted: report.accepted,
+        committed_total: report.committed_total,
+        throughput_per_sec: report.accepted as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        p50_commit: to_wall(hist.quantile(0.50)),
+        p99_commit: to_wall(hist.quantile(0.99)),
+        mean_commit: to_wall(hist.mean()),
+        aborts: report.counters.get("abort"),
+        backpressure_events,
+        converged: report.converged,
+        quiesced: report.quiesced,
+    }
+}
+
+/// Renders the machine-readable `SOAK.json` document (artifact shape,
+/// mirroring the wall-clock side files of the perf harness: recorded,
+/// uploaded, never gated).
+pub fn soak_report_json(cfg: &SoakConfig, outcome: &SoakOutcome) -> Json {
+    let engine = match cfg.engine {
+        EngineKind::Opt { .. } => "opt",
+        EngineKind::OptBatched { .. } => "optbatch",
+        EngineKind::Sequencer => "seq",
+        EngineKind::SequencerBatched { .. } => "seqbatch",
+        EngineKind::Scrambled { .. } => "scramble",
+    };
+    let mode = match cfg.mode {
+        Mode::Otp => "otp",
+        Mode::Conservative => "conservative",
+    };
+    Json::Obj(vec![
+        ("schema".into(), Json::int(SOAK_SCHEMA)),
+        ("tool".into(), Json::Str("otp-bench soak".into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("sites".into(), Json::int(cfg.sites as u64)),
+                ("classes".into(), Json::int(cfg.classes as u64)),
+                ("txns".into(), Json::int(cfg.txns)),
+                ("engine".into(), Json::Str(engine.into())),
+                ("mode".into(), Json::Str(mode.into())),
+                ("submitters".into(), Json::int(cfg.submitters as u64)),
+                ("exec_time_us".into(), Json::int(cfg.exec_time.as_micros() as u64)),
+                ("net_delay_us".into(), Json::int(cfg.net_delay.as_micros() as u64)),
+                ("net_jitter_us".into(), Json::int(cfg.net_jitter.as_micros() as u64)),
+                ("max_in_flight".into(), Json::int(cfg.max_in_flight as u64)),
+                ("site_queue".into(), Json::int(cfg.site_queue as u64)),
+                ("drain_limit".into(), Json::int(cfg.drain_limit as u64)),
+                ("seed".into(), Json::int(cfg.seed)),
+            ]),
+        ),
+        (
+            "results".into(),
+            Json::Obj(vec![
+                ("wall_seconds".into(), Json::fixed(outcome.wall.as_secs_f64(), 3)),
+                ("accepted".into(), Json::int(outcome.accepted)),
+                ("committed_total".into(), Json::int(outcome.committed_total)),
+                ("throughput_per_sec".into(), Json::fixed(outcome.throughput_per_sec, 1)),
+                ("p50_commit_ns".into(), Json::int(outcome.p50_commit.as_nanos() as u64)),
+                ("p99_commit_ns".into(), Json::int(outcome.p99_commit.as_nanos() as u64)),
+                ("mean_commit_ns".into(), Json::int(outcome.mean_commit.as_nanos() as u64)),
+                ("aborts".into(), Json::int(outcome.aborts)),
+                ("backpressure_events".into(), Json::int(outcome.backpressure_events)),
+                ("converged".into(), Json::Bool(outcome.converged)),
+                ("quiesced".into(), Json::Bool(outcome.quiesced)),
+            ]),
+        ),
+    ])
+}
+
+/// One-paragraph human summary of a soak outcome.
+pub fn summarize(outcome: &SoakOutcome) -> String {
+    format!(
+        "{} txns in {:.2?}: {:.0} txn/s, commit latency p50 {:.2?} / p99 {:.2?} \
+         (mean {:.2?}), {} aborts (transient), {} backpressure events, \
+         converged={}, quiesced={}",
+        outcome.accepted,
+        outcome.wall,
+        outcome.throughput_per_sec,
+        outcome.p50_commit,
+        outcome.p99_commit,
+        outcome.mean_commit,
+        outcome.aborts,
+        outcome.backpressure_events,
+        outcome.converged,
+        outcome.quiesced,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tier-1 smoke: a tiny soak completes, converges and quiesces.
+    #[test]
+    fn mini_soak_converges() {
+        let mut cfg = SoakConfig::new(3, 2, 300);
+        cfg.exec_time = Duration::from_micros(50);
+        cfg.submitters = 2;
+        let outcome = run_soak(&cfg);
+        assert_eq!(outcome.accepted, 300);
+        assert!(outcome.converged);
+        assert!(outcome.quiesced);
+        assert_eq!(outcome.committed_total, 300 * 3);
+        assert!(outcome.throughput_per_sec > 0.0);
+        let json = soak_report_json(&cfg, &outcome);
+        assert_eq!(json.get("schema").and_then(Json::as_f64), Some(1.0));
+    }
+}

@@ -140,12 +140,14 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// Handles a wire message received from the network.
     fn on_receive(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>>;
 
-    /// Handles a whole tick's worth of wire messages at once. Drivers that
-    /// coalesce same-instant arrivals call this so engines can amortize
-    /// per-message work; the default simply loops over
+    /// Handles a whole tick's worth of wire messages at once. Batching
+    /// drivers call this so engines can amortize per-message work: the
+    /// simulator coalesces same-instant (and, with a delivery quantum,
+    /// same-window) arrivals, and the threaded runtime drains its site
+    /// channel in bounded adaptive batches. The default simply loops over
     /// [`AtomicBroadcast::on_receive`]. Engines may override it to batch
     /// their outputs (the sequencer coalesces order assignments into one
-    /// [`crate::Wire::SeqOrderBatch`] frame per tick).
+    /// [`crate::Wire::SeqOrderBatch`] frame per batch).
     fn on_receive_batch(&mut self, wires: Vec<(SiteId, Wire<P>)>) -> Vec<EngineAction<P>> {
         let mut out = Vec::new();
         for (from, wire) in wires {

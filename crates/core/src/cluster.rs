@@ -234,21 +234,21 @@ pub enum AnyReplica {
 }
 
 impl AnyReplica {
-    fn on_opt_deliver(&mut self, request: TxnRequest) -> Vec<ReplicaAction> {
+    pub(crate) fn on_opt_deliver(&mut self, request: TxnRequest) -> Vec<ReplicaAction> {
         match self {
             AnyReplica::Otp(r) => r.on_opt_deliver(request),
             AnyReplica::Conservative(r) => r.on_opt_deliver(request),
         }
     }
 
-    fn on_to_deliver_batch(&mut self, batch: &[(TxnId, ClassId)]) -> Vec<ReplicaAction> {
+    pub(crate) fn on_to_deliver_batch(&mut self, batch: &[(TxnId, ClassId)]) -> Vec<ReplicaAction> {
         match self {
             AnyReplica::Otp(r) => r.on_to_deliver_batch(batch),
             AnyReplica::Conservative(r) => r.on_to_deliver_batch(batch),
         }
     }
 
-    fn on_exec_done(&mut self, token: ExecToken) -> Vec<ReplicaAction> {
+    pub(crate) fn on_exec_done(&mut self, token: ExecToken) -> Vec<ReplicaAction> {
         match self {
             AnyReplica::Otp(r) => r.on_exec_done(token),
             AnyReplica::Conservative(r) => r.on_exec_done(token),

@@ -1,4 +1,11 @@
 //! Actions emitted by replicas towards their driver.
+//!
+//! Both drivers consume these: the simulated cluster schedules
+//! [`ReplicaAction::StartExecution`] completions on its virtual-time
+//! event queue, while the threaded runtime arms a wall-clock timer and
+//! counts it as an in-flight work unit (its quiescence detection treats
+//! an armed completion exactly like an undelivered wire — see
+//! `runtime.rs` and DESIGN.md §9).
 
 use otp_storage::{ClassId, TxnIndex, Value};
 use otp_txn::txn::TxnId;

@@ -80,3 +80,4 @@ pub use event::{ExecToken, ReplicaAction};
 pub use invariants::{InvariantReport, InvariantViolation};
 pub use multiclass::{MultiAction, MultiRegistry, MultiReplica, MultiRequest};
 pub use replica::{Replica, ReplicaSnapshot};
+pub use runtime::{LiveCluster, LiveConfig, LiveReport, SubmitError};

@@ -25,6 +25,18 @@
 //! Re-execution after an abort re-runs the procedure against the current
 //! state — exactly the "undo … and redo it again in the proper order" of
 //! Section 3.2.
+//!
+//! ## Drivers
+//!
+//! The replica is a pure state machine: it never waits, sleeps or spawns.
+//! Two drivers feed it events — the deterministic simulated cluster
+//! ([`crate::Cluster`]) and the threaded wall-clock runtime
+//! ([`crate::runtime::LiveCluster`]) — and both must honor the same
+//! contract: every [`ReplicaAction::StartExecution`] is answered with an
+//! [`Replica::on_exec_done`] call after the modeled execution time, and
+//! aborts are *transient* (an aborted transaction re-executes and commits
+//! later), so "all work done" means every start has its completion
+//! delivered, not merely that a commit count was reached.
 
 use crate::event::{ExecToken, ReplicaAction};
 use otp_simnet::metrics::Counters;

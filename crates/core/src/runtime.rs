@@ -2,15 +2,43 @@
 //!
 //! [`LiveCluster`] runs one OS thread per site. Each thread hosts the same
 //! engine + replica state machines the simulator drives, fed from a
-//! crossbeam channel; a network thread delivers inter-site messages after a
-//! configurable real-time delay with jitter (so spontaneous order — and its
-//! violations — happen for real). Stored-procedure "execution time" is
-//! modeled the same way as in the simulator: effects apply at submission,
-//! the completion fires after the configured delay.
+//! *bounded* crossbeam channel; a network thread delivers inter-site
+//! messages after a configurable real-time delay with jitter (so
+//! spontaneous order — and its violations — happen for real).
+//! Stored-procedure "execution time" is modeled the same way as in the
+//! simulator: effects apply at submission, the completion fires after the
+//! configured delay.
 //!
-//! This runtime exists to demonstrate that nothing in `otp-core` depends on
-//! virtual time: the event-driven state machines are identical. For
+//! The runtime is generic over the same [`EngineKind`] / [`Mode`] axes as
+//! the simulated [`crate::Cluster`], and ports the simulator's hot-path
+//! wins: a site drains its channel in bounded adaptive batches into
+//! [`AtomicBroadcast::on_receive_batch`] (the real-clock analogue of the
+//! delivery quantum), and payloads stay `Arc`-shared end to end — the one
+//! deep copy per transaction happens at Opt-delivery, exactly as in the
+//! simulator.
+//!
+//! # Flow control and shutdown
+//!
+//! Every queue is bounded. [`LiveCluster::submit`] applies admission
+//! control (a global in-flight-transaction window plus the site queue
+//! capacity) and blocks the *caller* under overload;
+//! [`LiveCluster::try_submit`] is the non-blocking variant. The network
+//! thread never blocks: a full site queue makes it requeue the wire in its
+//! own delay heap with a small backoff, so the net↔site channel pair
+//! cannot deadlock.
+//!
+//! Shutdown is a two-phase quiescence protocol built on exact in-flight
+//! work accounting (one shared counter covering queued channel messages,
+//! undelivered wires in the network heap, and armed timers): phase one
+//! halts admissions and waits for the counter to hit zero — which is
+//! *provable* idleness, not a heuristic commit count — and phase two stops
+//! the threads, which at that point have empty queues and no timers, so no
+//! wire can be lost. See DESIGN.md §9.
+//!
+//! This runtime exists to demonstrate that nothing in `otp-core` depends
+//! on virtual time: the event-driven state machines are identical. For
 //! experiments use the simulator — it is deterministic and much faster.
+//! For wall-clock scale numbers, `otp-bench soak` drives this runtime.
 //!
 //! # Example
 //!
@@ -30,26 +58,44 @@
 //!     Arc::new(reg),
 //!     vec![(ObjectId::new(0, 0), Value::Int(0))],
 //! );
-//! cluster.submit(otp_simnet::SiteId::new(0), ClassId::new(0), ProcId::new(0),
-//!                vec![Value::Int(9)]);
+//! cluster
+//!     .submit(otp_simnet::SiteId::new(0), ClassId::new(0), ProcId::new(0),
+//!             vec![Value::Int(9)])
+//!     .expect("admitted");
 //! let report = cluster.shutdown(Duration::from_secs(5));
 //! assert_eq!(report.committed[0].len(), 1);
 //! assert!(report.converged);
+//! assert!(report.quiesced);
 //! ```
 
-use crate::cluster::TxnPayload;
+use crate::cluster::{AnyReplica, EngineKind, Mode, TxnPayload};
+use crate::conservative::ConservativeReplica;
 use crate::event::ReplicaAction;
 use crate::replica::Replica;
-use otp_broadcast::{AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, TimerToken, Wire};
-use otp_simnet::{SimDuration, SiteId};
+use otp_broadcast::{
+    AtomicBroadcast, EngineAction, MsgId, OptAbcast, OptAbcastConfig, Oracle, ScrambleConfig,
+    ScrambledAbcast, SeqAbcast, TimerToken, Wire,
+};
+use otp_simnet::metrics::{Counters, Histogram};
+use otp_simnet::{SimDuration, SimRng, SiteId};
 use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, Value};
 use otp_txn::txn::{TxnId, TxnRequest};
 use parking_lot::Mutex;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long a site thread sleeps in `recv_timeout` with nothing due —
+/// bounds how fast it notices the stop flag.
+const IDLE_TICK: Duration = Duration::from_millis(20);
+/// Same bound for the network thread.
+const NET_IDLE: Duration = Duration::from_millis(25);
+/// Requeue delay when a site queue is full (the net thread never blocks).
+const FULL_RETRY: Duration = Duration::from_micros(500);
+/// Backoff of the blocking [`LiveCluster::submit`] under backpressure.
+const SUBMIT_RETRY: Duration = Duration::from_micros(100);
 
 /// Configuration of the live runtime.
 #[derive(Debug, Clone)]
@@ -58,40 +104,109 @@ pub struct LiveConfig {
     pub sites: usize,
     /// Number of conflict classes.
     pub classes: usize,
+    /// Broadcast engine (same axis as the simulated cluster).
+    pub engine: EngineKind,
+    /// Processing mode (OTP or conservative baseline).
+    pub mode: Mode,
     /// Base one-way message delay between sites.
     pub net_delay: Duration,
     /// Uniform jitter added on top of `net_delay` (0..jitter).
     pub net_jitter: Duration,
     /// Simulated stored-procedure execution time.
     pub exec_time: Duration,
-    /// Consensus round timeout.
-    pub consensus_timeout: Duration,
+    /// Capacity of each site's inbound channel (wires + submissions).
+    pub site_queue: usize,
+    /// Capacity of the network thread's inbound channel.
+    pub net_queue: usize,
+    /// Admission window: maximum transactions accepted but not yet
+    /// committed at their origin. `submit` blocks (and `try_submit`
+    /// rejects) past this. The window is checked optimistically, so
+    /// concurrent submitters can overshoot it by at most their count.
+    pub max_in_flight: usize,
+    /// Upper bound of one adaptive channel drain: at most this many
+    /// queued messages are handed to the engine as a single
+    /// [`AtomicBroadcast::on_receive_batch`] call. Bounds per-batch
+    /// latency; the drain never *waits* for the limit to fill.
+    pub drain_limit: usize,
+    /// Extra time [`LiveCluster::shutdown`] spends draining in-flight
+    /// work after the caller's deadline, so admitted transactions are not
+    /// dropped on the floor by a tight deadline.
+    pub quiesce_grace: Duration,
+    /// Seed for network jitter and the scramble oracle.
+    pub seed: u64,
 }
 
 impl LiveConfig {
-    /// Defaults: 200µs ± 300µs network, 1ms execution, 100ms consensus
-    /// patience.
+    /// Defaults: optimistic engine (100ms consensus patience), OTP mode,
+    /// 200µs ± 300µs network, 1ms execution, 1024-deep queues.
     pub fn new(sites: usize, classes: usize) -> Self {
         LiveConfig {
             sites,
             classes,
+            engine: EngineKind::Opt { consensus_timeout: SimDuration::from_millis(100) },
+            mode: Mode::Otp,
             net_delay: Duration::from_micros(200),
             net_jitter: Duration::from_micros(300),
             exec_time: Duration::from_millis(1),
-            consensus_timeout: Duration::from_millis(100),
+            site_queue: 1024,
+            net_queue: 4096,
+            max_in_flight: 1024,
+            drain_limit: 128,
+            quiesce_grace: Duration::from_secs(5),
+            seed: 42,
+        }
+    }
+
+    /// Sets the broadcast engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the processing mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the stored-procedure execution time.
+    pub fn with_exec_time(mut self, d: Duration) -> Self {
+        self.exec_time = d;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission window or the site queue is full. Retry later (the
+    /// blocking [`LiveCluster::submit`] does this for you).
+    Backpressure,
+    /// Admissions are halted: shutdown has begun (or
+    /// [`LiveCluster::halt_admissions`] was called).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure => write!(f, "admission window full"),
+            SubmitError::ShuttingDown => write!(f, "cluster is shutting down"),
         }
     }
 }
 
+impl std::error::Error for SubmitError {}
+
 enum SiteMsg {
     Wire { from: SiteId, wire: Wire<TxnPayload> },
     Submit { request: TxnRequest },
-    Stop,
-}
-
-enum NetMsg {
-    Deliver { due: Instant, to: SiteId, from: SiteId, wire: Wire<TxnPayload> },
-    Stop,
 }
 
 struct DueWire {
@@ -118,6 +233,29 @@ impl Ord for DueWire {
     }
 }
 
+/// State shared between the controller, the site threads and the network
+/// thread.
+struct Shared {
+    /// Admission gate: `submit` refuses once this flips false.
+    running: AtomicBool,
+    /// Phase-2 stop signal: threads exit once set (after draining).
+    stop: AtomicBool,
+    /// Exact count of pending work units: queued channel messages,
+    /// undelivered wires in the net heap, armed timers. The invariant is
+    /// increment-before-enqueue, decrement-after-processing (with the
+    /// units a message spawns counted first), so zero ⇔ the system is
+    /// quiescent — no thread can produce another event.
+    in_flight: AtomicI64,
+    /// Transactions admitted by `submit`/`try_submit`.
+    accepted: AtomicU64,
+    /// Admitted transactions that committed at their origin site.
+    origin_committed: AtomicU64,
+    /// Commit events across all sites.
+    committed_total: AtomicU64,
+    /// Rejections due to a full window or site queue.
+    backpressure: AtomicU64,
+}
+
 /// Final report returned by [`LiveCluster::shutdown`].
 #[derive(Debug)]
 pub struct LiveReport {
@@ -127,19 +265,40 @@ pub struct LiveReport {
     pub converged: bool,
     /// Final database copies.
     pub dbs: Vec<Database>,
+    /// Whether shutdown drained the system to provable idleness before
+    /// stopping the threads. When true, no in-flight wire was lost and
+    /// every admitted transaction terminated everywhere.
+    pub quiesced: bool,
+    /// Transactions admitted over the cluster's lifetime.
+    pub accepted: u64,
+    /// Commit events across all sites (`accepted × sites` when quiesced).
+    pub committed_total: u64,
+    /// Submit→origin-commit wall-clock latency, merged over all sites.
+    pub commit_latency: Histogram,
+    /// Replica protocol counters, merged over all sites.
+    pub counters: Counters,
+}
+
+type LiveEngine = Box<dyn AtomicBroadcast<TxnPayload> + Send>;
+
+struct SiteOutcome {
+    log: Vec<TxnId>,
+    db: Database,
+    latency: Histogram,
+    counters: Counters,
 }
 
 /// A running threaded cluster. See the [module docs](self).
 pub struct LiveCluster {
     site_txs: Vec<crossbeam::channel::Sender<SiteMsg>>,
-    net_tx: crossbeam::channel::Sender<NetMsg>,
-    handles: Vec<JoinHandle<(Vec<TxnId>, Database)>>,
+    handles: Vec<JoinHandle<SiteOutcome>>,
     net_handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
     next_seq: Mutex<Vec<u64>>,
-    submitted: Arc<Mutex<u64>>,
-    committed_total: Arc<Mutex<u64>>,
-    running: Arc<AtomicBool>,
-    sites: usize,
+    /// Per-origin-site submit timestamps, keyed by local sequence number.
+    submit_times: Vec<Arc<Mutex<HashMap<u64, Instant>>>>,
+    max_in_flight: u64,
+    quiesce_grace: Duration,
 }
 
 impl LiveCluster {
@@ -149,42 +308,65 @@ impl LiveCluster {
         registry: Arc<ProcRegistry>,
         initial_data: Vec<(ObjectId, Value)>,
     ) -> Self {
+        assert!(config.sites > 0, "need at least one site");
         let n = config.sites;
-        let running = Arc::new(AtomicBool::new(true));
-        let committed_total = Arc::new(Mutex::new(0u64));
-        let (net_tx, net_rx) = crossbeam::channel::unbounded::<NetMsg>();
+        let shared = Arc::new(Shared {
+            running: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicI64::new(0),
+            accepted: AtomicU64::new(0),
+            origin_committed: AtomicU64::new(0),
+            committed_total: AtomicU64::new(0),
+            backpressure: AtomicU64::new(0),
+        });
+        let (net_tx, net_rx) = crossbeam::channel::bounded::<DueWire>(config.net_queue);
         let mut site_txs = Vec::new();
         let mut site_rxs = Vec::new();
         for _ in 0..n {
-            let (tx, rx) = crossbeam::channel::unbounded::<SiteMsg>();
+            let (tx, rx) = crossbeam::channel::bounded::<SiteMsg>(config.site_queue);
             site_txs.push(tx);
             site_rxs.push(rx);
         }
 
-        // Network thread: delivers wires after their due time.
+        // Network thread: delivers wires to site queues after their due
+        // time, without ever blocking (full queues requeue with backoff).
         let site_txs_for_net = site_txs.clone();
-        let net_handle = std::thread::spawn(move || {
-            let mut heap: BinaryHeap<DueWire> = BinaryHeap::new();
-            loop {
-                let timeout = heap
-                    .peek()
-                    .map(|w| w.due.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(50));
-                match net_rx.recv_timeout(timeout) {
-                    Ok(NetMsg::Deliver { due, to, from, wire }) => {
-                        heap.push(DueWire { due, to, from, wire });
-                    }
-                    Ok(NetMsg::Stop) => break,
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                }
-                while heap.peek().is_some_and(|w| w.due <= Instant::now()) {
-                    let w = heap.pop().expect("peeked");
-                    let _ = site_txs_for_net[w.to.index()]
-                        .send(SiteMsg::Wire { from: w.from, wire: w.wire });
-                }
+        let shared_for_net = shared.clone();
+        let net_handle =
+            std::thread::spawn(move || net_main(net_rx, site_txs_for_net, shared_for_net));
+
+        // One engine per site, same factory axis as the simulated cluster.
+        // The scramble oracle is shared; everything here is Send.
+        let engines: Vec<LiveEngine> = match config.engine {
+            EngineKind::Opt { consensus_timeout } => {
+                let cfg = OptAbcastConfig::new(n, consensus_timeout);
+                SiteId::all(n).map(|s| Box::new(OptAbcast::new(s, cfg)) as LiveEngine).collect()
             }
-        });
+            EngineKind::OptBatched { consensus_timeout, batch_delay } => {
+                let cfg = OptAbcastConfig::new(n, consensus_timeout).with_batch_delay(batch_delay);
+                SiteId::all(n).map(|s| Box::new(OptAbcast::new(s, cfg)) as LiveEngine).collect()
+            }
+            EngineKind::Sequencer => SiteId::all(n)
+                .map(|s| Box::new(SeqAbcast::new(s, SiteId::new(0))) as LiveEngine)
+                .collect(),
+            EngineKind::SequencerBatched { order_delay } => SiteId::all(n)
+                .map(|s| {
+                    Box::new(SeqAbcast::new(s, SiteId::new(0)).with_order_batching(order_delay))
+                        as LiveEngine
+                })
+                .collect(),
+            EngineKind::Scrambled { agreement_delay, swap_probability } => {
+                let oracle = Oracle::new();
+                let mut rng = SimRng::seed_from(config.seed ^ 0x5ca1ab1e);
+                let cfg = ScrambleConfig { agreement_delay, swap_probability };
+                SiteId::all(n)
+                    .map(|s| {
+                        Box::new(ScrambledAbcast::new(s, cfg, Arc::clone(&oracle), rng.fork()))
+                            as LiveEngine
+                    })
+                    .collect()
+            }
+        };
 
         // One database template.
         let mut base_db = Database::new(config.classes);
@@ -192,73 +374,257 @@ impl LiveCluster {
             base_db.load(*oid, v.clone());
         }
 
+        let submit_times: Vec<Arc<Mutex<HashMap<u64, Instant>>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect();
+
         // Site threads.
         let mut handles = Vec::new();
-        for (i, rx) in site_rxs.into_iter().enumerate() {
+        for ((i, rx), engine) in site_rxs.into_iter().enumerate().zip(engines) {
             let me = SiteId::new(i as u16);
-            let cfg = config.clone();
-            let reg = registry.clone();
-            let db = base_db.clone();
-            let net = net_tx.clone();
-            let committed_total = committed_total.clone();
-            handles.push(std::thread::spawn(move || {
-                site_main(me, cfg, reg, db, rx, net, committed_total)
-            }));
+            let replica = match config.mode {
+                Mode::Otp => AnyReplica::Otp(Replica::new(me, base_db.clone(), registry.clone())),
+                Mode::Conservative => AnyReplica::Conservative(ConservativeReplica::new(
+                    me,
+                    base_db.clone(),
+                    registry.clone(),
+                )),
+            };
+            let worker = SiteWorker {
+                me,
+                cfg: config.clone(),
+                engine,
+                replica,
+                timers: BinaryHeap::new(),
+                msg_map: HashMap::new(),
+                net: net_tx.clone(),
+                shared: shared.clone(),
+                submit_times: submit_times[i].clone(),
+                latency: Histogram::new(),
+                jitter_rng: SimRng::seed_from(config.seed ^ (0x9e3779b97f4a7c15 + i as u64)),
+                stopping: false,
+            };
+            handles.push(std::thread::spawn(move || worker.run(rx)));
         }
 
         LiveCluster {
             site_txs,
-            net_tx,
             handles,
             net_handle: Some(net_handle),
+            shared,
             next_seq: Mutex::new(vec![0; n]),
-            submitted: Arc::new(Mutex::new(0)),
-            committed_total,
-            running,
-            sites: n,
+            submit_times,
+            max_in_flight: config.max_in_flight.max(1) as u64,
+            quiesce_grace: config.quiesce_grace,
         }
     }
 
-    /// Submits an update transaction at `site`; returns its id.
-    pub fn submit(&self, site: SiteId, class: ClassId, proc: ProcId, args: Vec<Value>) -> TxnId {
-        let mut seqs = self.next_seq.lock();
-        let id = TxnId::new(site, seqs[site.index()]);
-        seqs[site.index()] += 1;
-        drop(seqs);
-        *self.submitted.lock() += 1;
-        let request = TxnRequest::new(id, class, proc, args);
-        let _ = self.site_txs[site.index()].send(SiteMsg::Submit { request });
-        id
+    /// Submits an update transaction at `site`, blocking the caller while
+    /// the admission window or the site queue is full (backpressure).
+    /// Fails only once admissions are halted.
+    pub fn submit(
+        &self,
+        site: SiteId,
+        class: ClassId,
+        proc: ProcId,
+        mut args: Vec<Value>,
+    ) -> Result<TxnId, SubmitError> {
+        loop {
+            match self.admit(site, class, proc, args) {
+                Ok(id) => return Ok(id),
+                Err((SubmitError::ShuttingDown, _)) => return Err(SubmitError::ShuttingDown),
+                Err((SubmitError::Backpressure, returned)) => {
+                    args = returned;
+                    std::thread::sleep(SUBMIT_RETRY);
+                }
+            }
+        }
     }
 
-    /// Waits until every submitted transaction committed at every site (or
-    /// the deadline passes), then stops all threads and reports.
+    /// Non-blocking submission: rejects instead of waiting when the
+    /// admission window or the site queue is full.
+    pub fn try_submit(
+        &self,
+        site: SiteId,
+        class: ClassId,
+        proc: ProcId,
+        args: Vec<Value>,
+    ) -> Result<TxnId, SubmitError> {
+        self.admit(site, class, proc, args).map_err(|(e, _)| e)
+    }
+
+    /// One admission attempt; returns the args on failure so the blocking
+    /// path can retry without cloning.
+    fn admit(
+        &self,
+        site: SiteId,
+        class: ClassId,
+        proc: ProcId,
+        args: Vec<Value>,
+    ) -> Result<TxnId, (SubmitError, Vec<Value>)> {
+        if !self.shared.running.load(Ordering::Acquire) {
+            return Err((SubmitError::ShuttingDown, args));
+        }
+        let accepted = self.shared.accepted.load(Ordering::Acquire);
+        let done = self.shared.origin_committed.load(Ordering::Acquire);
+        if accepted.saturating_sub(done) >= self.max_in_flight {
+            self.shared.backpressure.fetch_add(1, Ordering::Relaxed);
+            return Err((SubmitError::Backpressure, args));
+        }
+        let mut seqs = self.next_seq.lock();
+        let seq = seqs[site.index()];
+        let id = TxnId::new(site, seq);
+        let request = TxnRequest::new(id, class, proc, args);
+        // Timestamp before the send: the site thread may commit (and look
+        // the timestamp up) before this function returns.
+        self.submit_times[site.index()].lock().insert(seq, Instant::now());
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        match self.site_txs[site.index()].try_send(SiteMsg::Submit { request }) {
+            Ok(()) => {
+                seqs[site.index()] = seq + 1;
+                drop(seqs);
+                self.shared.accepted.fetch_add(1, Ordering::AcqRel);
+                Ok(id)
+            }
+            Err(e) => {
+                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.submit_times[site.index()].lock().remove(&seq);
+                let (err, msg) = match e {
+                    crossbeam::channel::TrySendError::Full(m) => {
+                        self.shared.backpressure.fetch_add(1, Ordering::Relaxed);
+                        (SubmitError::Backpressure, m)
+                    }
+                    crossbeam::channel::TrySendError::Disconnected(m) => {
+                        (SubmitError::ShuttingDown, m)
+                    }
+                };
+                let SiteMsg::Submit { request } = msg else { unreachable!("we sent a Submit") };
+                Err((err, request.args))
+            }
+        }
+    }
+
+    /// Halts admissions: every subsequent `submit`/`try_submit` returns
+    /// [`SubmitError::ShuttingDown`]. Already-admitted transactions keep
+    /// processing; call [`LiveCluster::shutdown`] to drain and stop.
+    pub fn halt_admissions(&self) {
+        self.shared.running.store(false, Ordering::Release);
+    }
+
+    /// Transactions admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Acquire)
+    }
+
+    /// Submissions rejected (or blocked at least once) by backpressure.
+    pub fn backpressure_events(&self) -> u64 {
+        self.shared.backpressure.load(Ordering::Acquire)
+    }
+
+    /// Stops the cluster with a two-phase quiescence protocol and reports.
+    ///
+    /// Phase one halts admissions and waits for the in-flight work counter
+    /// to reach zero — every queued message delivered, every timer fired,
+    /// every admitted transaction terminated everywhere. The wait is
+    /// bounded by `deadline` plus the configured
+    /// [`LiveConfig::quiesce_grace`] (so a tight deadline still drains
+    /// admitted work instead of dropping wires). Phase two sets the stop
+    /// flag and joins the threads; after a clean phase one their queues
+    /// are provably empty, so nothing is lost. If the budget expires with
+    /// work still in flight (`quiesced: false` in the report), threads
+    /// drain what they can reach and exit.
     pub fn shutdown(self, deadline: Duration) -> LiveReport {
-        let expect = *self.submitted.lock() * self.sites as u64;
+        self.halt_admissions();
+        // Phase 1: drain to quiescence.
+        let budget = deadline.saturating_add(self.quiesce_grace);
         let start = Instant::now();
-        while Instant::now().duration_since(start) < deadline {
-            if *self.committed_total.lock() >= expect {
+        let mut quiesced = false;
+        loop {
+            if self.shared.in_flight.load(Ordering::Acquire) == 0 {
+                quiesced = true;
                 break;
             }
-            std::thread::sleep(Duration::from_millis(5));
+            if start.elapsed() >= budget {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
         }
-        self.running.store(false, Ordering::SeqCst);
-        for tx in &self.site_txs {
-            let _ = tx.send(SiteMsg::Stop);
-        }
-        let _ = self.net_tx.send(NetMsg::Stop);
+        // Phase 2: stop the threads (they notice within one idle tick).
+        self.shared.stop.store(true, Ordering::Release);
         if let Some(h) = self.net_handle {
             let _ = h.join();
         }
+        drop(self.site_txs);
         let mut committed = Vec::new();
         let mut dbs = Vec::new();
+        let mut commit_latency = Histogram::new();
+        let mut counters = Counters::new();
         for h in self.handles {
-            let (log, db) = h.join().expect("site thread panicked");
-            committed.push(log);
-            dbs.push(db);
+            let outcome = h.join().expect("site thread panicked");
+            committed.push(outcome.log);
+            dbs.push(outcome.db);
+            commit_latency.merge(&outcome.latency);
+            counters.merge(&outcome.counters);
         }
         let converged = dbs.iter().all(|d| d.committed_state_eq(&dbs[0]));
-        LiveReport { committed, converged, dbs }
+        LiveReport {
+            committed,
+            converged,
+            dbs,
+            quiesced,
+            accepted: self.shared.accepted.load(Ordering::Acquire),
+            committed_total: self.shared.committed_total.load(Ordering::Acquire),
+            commit_latency,
+            counters,
+        }
+    }
+}
+
+/// Network thread: a delay heap between the sites. Never blocks on a site
+/// queue — a full queue requeues the wire with a small backoff, so the
+/// site↔net channel pair cannot deadlock (sites may block sending here;
+/// this thread always returns to drain its channel).
+fn net_main(
+    rx: crossbeam::channel::Receiver<DueWire>,
+    site_txs: Vec<crossbeam::channel::Sender<SiteMsg>>,
+    shared: Arc<Shared>,
+) {
+    let mut heap: BinaryHeap<DueWire> = BinaryHeap::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            // Clean shutdown quiesced first, so the heap is empty here;
+            // in a forced teardown whatever it still holds is lost and
+            // reported via `quiesced: false`.
+            break;
+        }
+        let now = Instant::now();
+        while heap.peek().is_some_and(|w| w.due <= now) {
+            let DueWire { to, from, wire, .. } = heap.pop().expect("peeked");
+            if let Err(e) = site_txs[to.index()].try_send(SiteMsg::Wire { from, wire }) {
+                match e {
+                    crossbeam::channel::TrySendError::Full(SiteMsg::Wire { from, wire }) => {
+                        heap.push(DueWire { due: now + FULL_RETRY, to, from, wire });
+                    }
+                    crossbeam::channel::TrySendError::Full(_) => {
+                        unreachable!("net only forwards wires")
+                    }
+                    crossbeam::channel::TrySendError::Disconnected(_) => {
+                        // Site already exited (forced teardown): the wire
+                        // is lost; account for its unit.
+                        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+        }
+        let timeout = heap
+            .peek()
+            .map(|w| w.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(NET_IDLE)
+            .min(NET_IDLE);
+        match rx.recv_timeout(timeout) {
+            Ok(w) => heap.push(w),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
     }
 }
 
@@ -290,183 +656,227 @@ impl Ord for DuePending {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn site_main(
+/// Per-site thread state: one engine, one replica, one timer heap.
+struct SiteWorker {
     me: SiteId,
     cfg: LiveConfig,
-    registry: Arc<ProcRegistry>,
-    db: Database,
-    rx: crossbeam::channel::Receiver<SiteMsg>,
-    net: crossbeam::channel::Sender<NetMsg>,
-    committed_total: Arc<Mutex<u64>>,
-) -> (Vec<TxnId>, Database) {
-    let mut engine: OptAbcast<TxnPayload> = OptAbcast::new(
-        me,
-        OptAbcastConfig::new(
-            cfg.sites,
-            SimDuration::from_nanos(cfg.consensus_timeout.as_nanos() as u64),
-        ),
-    );
-    let mut replica = Replica::new(me, db, registry);
-    let mut timers: BinaryHeap<DuePending> = BinaryHeap::new();
-    // Deterministic-enough jitter for a live demo: simple xorshift seeded
-    // by the site id (we are not aiming for reproducibility here).
-    let mut jstate: u64 = 0x9e3779b97f4a7c15 ^ (me.raw() as u64 + 1);
-    let mut jitter = move || {
-        jstate ^= jstate << 13;
-        jstate ^= jstate >> 7;
-        jstate ^= jstate << 17;
-        Duration::from_nanos(jstate % (cfg.net_jitter.as_nanos().max(1) as u64))
-    };
-    let mut msg_map: std::collections::HashMap<otp_broadcast::MsgId, (TxnId, ClassId)> =
-        std::collections::HashMap::new();
-
-    let mut stopping = false;
-    loop {
-        // Handle due timers/executions first.
-        while timers.peek().is_some_and(|t| t.due <= Instant::now()) {
-            let t = timers.pop().expect("peeked");
-            let (engine_actions, replica_actions) = match t.what {
-                Pending::Timer(token) => (engine.on_timer(token), Vec::new()),
-                Pending::ExecDone(token) => (Vec::new(), replica.on_exec_done(token)),
-            };
-            process_replica_actions(replica_actions, &mut timers, cfg.exec_time, &committed_total);
-            process_engine_actions(
-                me,
-                engine_actions,
-                &mut engine,
-                &mut replica,
-                &mut timers,
-                &net,
-                &mut jitter,
-                &cfg,
-                &mut msg_map,
-                &committed_total,
-            );
-        }
-        if stopping && timers.is_empty() {
-            break;
-        }
-        let timeout = timers
-            .peek()
-            .map(|t| t.due.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(20))
-            .min(Duration::from_millis(20));
-        match rx.recv_timeout(timeout) {
-            Ok(SiteMsg::Submit { request }) => {
-                let (_, actions) = engine.broadcast(TxnPayload(std::sync::Arc::new(request)));
-                process_engine_actions(
-                    me,
-                    actions,
-                    &mut engine,
-                    &mut replica,
-                    &mut timers,
-                    &net,
-                    &mut jitter,
-                    &cfg,
-                    &mut msg_map,
-                    &committed_total,
-                );
-            }
-            Ok(SiteMsg::Wire { from, wire }) => {
-                let actions = engine.on_receive(from, wire);
-                process_engine_actions(
-                    me,
-                    actions,
-                    &mut engine,
-                    &mut replica,
-                    &mut timers,
-                    &net,
-                    &mut jitter,
-                    &cfg,
-                    &mut msg_map,
-                    &committed_total,
-                );
-            }
-            Ok(SiteMsg::Stop) => stopping = true,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                if stopping {
-                    break;
-                }
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    let log: Vec<TxnId> = replica.commit_log().iter().map(|(t, _)| *t).collect();
-    // Hand the final database back by value. `Replica` has no into_db
-    // accessor on purpose (nothing else needs it); clone at shutdown.
-    let db = replica.db().clone();
-    (log, db)
+    engine: LiveEngine,
+    replica: AnyReplica,
+    timers: BinaryHeap<DuePending>,
+    /// Opt-delivered message → transaction mapping, consumed (removed) at
+    /// TO-delivery so the map stays bounded by the in-flight window.
+    msg_map: HashMap<MsgId, (TxnId, ClassId)>,
+    net: crossbeam::channel::Sender<DueWire>,
+    shared: Arc<Shared>,
+    submit_times: Arc<Mutex<HashMap<u64, Instant>>>,
+    latency: Histogram,
+    jitter_rng: SimRng,
+    /// Set once the stop flag is observed; engine timers stop re-arming so
+    /// the teardown drain terminates.
+    stopping: bool,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn process_engine_actions(
-    me: SiteId,
-    actions: Vec<EngineAction<TxnPayload>>,
-    engine: &mut OptAbcast<TxnPayload>,
-    replica: &mut Replica,
-    timers: &mut BinaryHeap<DuePending>,
-    net: &crossbeam::channel::Sender<NetMsg>,
-    jitter: &mut impl FnMut() -> Duration,
-    cfg: &LiveConfig,
-    msg_map: &mut std::collections::HashMap<otp_broadcast::MsgId, (TxnId, ClassId)>,
-    committed_total: &Arc<Mutex<u64>>,
-) {
-    let mut queue: Vec<EngineAction<TxnPayload>> = actions;
-    while !queue.is_empty() {
-        let batch: Vec<_> = std::mem::take(&mut queue);
-        for a in batch {
+impl SiteWorker {
+    fn run(mut self, rx: crossbeam::channel::Receiver<SiteMsg>) -> SiteOutcome {
+        let drain_limit = self.cfg.drain_limit.max(1);
+        let mut wires: Vec<(SiteId, Wire<TxnPayload>)> = Vec::with_capacity(drain_limit);
+        loop {
+            self.fire_due_timers();
+            if self.shared.stop.load(Ordering::Acquire) {
+                self.drain_at_stop(&rx);
+                break;
+            }
+            let timeout = self
+                .timers
+                .peek()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(IDLE_TICK)
+                .min(IDLE_TICK);
+            let first = match rx.recv_timeout(timeout) {
+                Ok(m) => m,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            };
+            // Bounded adaptive drain: batch whatever is already queued (up
+            // to drain_limit) into one on_receive_batch call. Never waits
+            // for more — an idle channel closes the batch immediately.
+            let mut consumed: i64 = 0;
+            self.ingest(first, &mut wires, &mut consumed);
+            while (consumed as usize) < drain_limit {
+                match rx.try_recv() {
+                    Ok(m) => self.ingest(m, &mut wires, &mut consumed),
+                    Err(_) => break,
+                }
+            }
+            self.flush(&mut wires);
+            self.shared.in_flight.fetch_sub(consumed, Ordering::AcqRel);
+        }
+        let log = self.replica.commit_log().iter().map(|(t, _)| *t).collect();
+        // Hand the final database back by value; clone at shutdown.
+        let db = self.replica.db().clone();
+        let mut counters = Counters::new();
+        counters.merge(self.replica.counters());
+        SiteOutcome { log, db, latency: self.latency, counters }
+    }
+
+    /// Consumes one channel message. Wires accumulate into the batch;
+    /// a submission flushes the batch first (preserving arrival order
+    /// around the broadcast) and feeds the engine directly.
+    fn ingest(
+        &mut self,
+        msg: SiteMsg,
+        wires: &mut Vec<(SiteId, Wire<TxnPayload>)>,
+        consumed: &mut i64,
+    ) {
+        *consumed += 1;
+        match msg {
+            SiteMsg::Wire { from, wire } => wires.push((from, wire)),
+            SiteMsg::Submit { request } => {
+                self.flush(wires);
+                let (_, actions) = self.engine.broadcast(TxnPayload(Arc::new(request)));
+                self.apply_engine_actions(actions);
+            }
+        }
+    }
+
+    /// Hands the accumulated wires to the engine as one batch.
+    fn flush(&mut self, wires: &mut Vec<(SiteId, Wire<TxnPayload>)>) {
+        if wires.is_empty() {
+            return;
+        }
+        let actions = self.engine.on_receive_batch(std::mem::take(wires));
+        self.apply_engine_actions(actions);
+    }
+
+    fn fire_due_timers(&mut self) {
+        while self.timers.peek().is_some_and(|t| t.due <= Instant::now()) {
+            let t = self.timers.pop().expect("peeked");
+            match t.what {
+                Pending::Timer(token) => {
+                    let actions = self.engine.on_timer(token);
+                    self.apply_engine_actions(actions);
+                }
+                Pending::ExecDone(token) => {
+                    let actions = self.replica.on_exec_done(token);
+                    self.apply_replica_actions(actions);
+                }
+            }
+            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Teardown drain: consume whatever is still queued or armed without
+    /// blocking. After a clean (quiesced) phase one this is a no-op; in a
+    /// forced teardown it processes what is reachable so a site never
+    /// exits with messages sitting in its channel. Engine timers no
+    /// longer re-arm (`stopping`), so the loop terminates.
+    fn drain_at_stop(&mut self, rx: &crossbeam::channel::Receiver<SiteMsg>) {
+        self.stopping = true;
+        loop {
+            self.fire_due_timers();
+            match rx.try_recv() {
+                Ok(msg) => {
+                    let mut wires = Vec::new();
+                    let mut consumed = 0i64;
+                    self.ingest(msg, &mut wires, &mut consumed);
+                    self.flush(&mut wires);
+                    self.shared.in_flight.fetch_sub(consumed, Ordering::AcqRel);
+                }
+                Err(_) => {
+                    if self.timers.is_empty() {
+                        break;
+                    }
+                    let next = self.timers.peek().expect("non-empty").due;
+                    std::thread::sleep(
+                        next.saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(1)),
+                    );
+                }
+            }
+        }
+    }
+
+    fn jitter(&mut self) -> Duration {
+        let span = self.cfg.net_jitter.as_nanos() as u64;
+        if span == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.jitter_rng.index(span as usize) as u64)
+    }
+
+    /// Queues a wire for delayed delivery. The unit is counted before the
+    /// send; a failed send (net thread gone during forced teardown) gives
+    /// it back.
+    fn post_wire(&mut self, to: SiteId, wire: Wire<TxnPayload>) {
+        let due = Instant::now() + self.cfg.net_delay + self.jitter();
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        if self.net.send(DueWire { due, to, from: self.me, wire }).is_err() {
+            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn apply_engine_actions(&mut self, actions: Vec<EngineAction<TxnPayload>>) {
+        for a in actions {
             match a {
                 EngineAction::Multicast(wire) => {
-                    for to in SiteId::all(cfg.sites) {
-                        let due = Instant::now() + cfg.net_delay + jitter();
-                        let _ = net.send(NetMsg::Deliver { due, to, from: me, wire: wire.clone() });
+                    // Clone for all but the last destination — payloads are
+                    // Arc-shared, so each clone is a refcount bump.
+                    let last = SiteId::new((self.cfg.sites - 1) as u16);
+                    for to in SiteId::all(self.cfg.sites - 1) {
+                        self.post_wire(to, wire.clone());
                     }
+                    self.post_wire(last, wire);
                 }
-                EngineAction::Send(to, wire) => {
-                    let due = Instant::now() + cfg.net_delay + jitter();
-                    let _ = net.send(NetMsg::Deliver { due, to, from: me, wire });
-                }
+                EngineAction::Send(to, wire) => self.post_wire(to, wire),
                 EngineAction::SetTimer { token, delay } => {
-                    timers.push(DuePending {
+                    if self.stopping {
+                        continue;
+                    }
+                    self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                    self.timers.push(DuePending {
                         due: Instant::now() + Duration::from_nanos(delay.as_nanos()),
                         what: Pending::Timer(token),
                     });
                 }
                 EngineAction::OptDeliver(msg) => {
-                    let req = TxnRequest::clone(&msg.payload.0);
-                    msg_map.insert(msg.id, (req.id, req.class));
-                    let ra = replica.on_opt_deliver(req);
-                    process_replica_actions(ra, timers, cfg.exec_time, committed_total);
+                    // The one deep copy per transaction per site.
+                    let request = TxnRequest::clone(&msg.payload.0);
+                    self.msg_map.insert(msg.id, (request.id, request.class));
+                    let actions = self.replica.on_opt_deliver(request);
+                    self.apply_replica_actions(actions);
                 }
                 EngineAction::ToDeliver(ids) => {
-                    let batch: Vec<(TxnId, ClassId)> =
-                        ids.iter().map(|id| *msg_map.get(id).expect("Local Order")).collect();
-                    let ra = replica.on_to_deliver_batch(&batch);
-                    process_replica_actions(ra, timers, cfg.exec_time, committed_total);
+                    let batch: Vec<(TxnId, ClassId)> = ids
+                        .iter()
+                        .map(|id| self.msg_map.remove(id).expect("Opt-delivered before TO"))
+                        .collect();
+                    let actions = self.replica.on_to_deliver_batch(&batch);
+                    self.apply_replica_actions(actions);
                 }
             }
         }
-        let _ = engine; // engine only needed for type symmetry today
     }
-}
 
-fn process_replica_actions(
-    actions: Vec<ReplicaAction>,
-    timers: &mut BinaryHeap<DuePending>,
-    exec_time: Duration,
-    committed_total: &Arc<Mutex<u64>>,
-) {
-    for a in actions {
-        match a {
-            ReplicaAction::StartExecution { token } => {
-                timers.push(DuePending {
-                    due: Instant::now() + exec_time,
-                    what: Pending::ExecDone(token),
-                });
-            }
-            ReplicaAction::Committed { .. } => {
-                *committed_total.lock() += 1;
+    fn apply_replica_actions(&mut self, actions: Vec<ReplicaAction>) {
+        for a in actions {
+            match a {
+                ReplicaAction::StartExecution { token } => {
+                    self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                    self.timers.push(DuePending {
+                        due: Instant::now() + self.cfg.exec_time,
+                        what: Pending::ExecDone(token),
+                    });
+                }
+                ReplicaAction::Committed { txn, .. } => {
+                    self.shared.committed_total.fetch_add(1, Ordering::AcqRel);
+                    if txn.origin == self.me {
+                        self.shared.origin_committed.fetch_add(1, Ordering::AcqRel);
+                        if let Some(t0) = self.submit_times.lock().remove(&txn.seq) {
+                            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                            self.latency.record(SimDuration::from_nanos(ns));
+                        }
+                    }
+                }
             }
         }
     }
@@ -499,15 +909,18 @@ mod tests {
             vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
         );
         for i in 0..20u64 {
-            cluster.submit(
-                SiteId::new((i % 3) as u16),
-                ClassId::new((i % 2) as u32),
-                ProcId::new(0),
-                vec![Value::Int(0), Value::Int(1)],
-            );
+            cluster
+                .submit(
+                    SiteId::new((i % 3) as u16),
+                    ClassId::new((i % 2) as u32),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted");
         }
         let report = cluster.shutdown(Duration::from_secs(30));
         assert!(report.converged, "all copies identical");
+        assert!(report.quiesced, "drained before stop");
         for log in &report.committed {
             assert_eq!(log.len(), 20, "every site committed everything");
         }
@@ -525,6 +938,10 @@ mod tests {
         }
         // 10 adds of +1 per class.
         assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(10)));
+        // Latency samples: one per origin commit.
+        assert_eq!(report.commit_latency.len(), 20);
+        assert_eq!(report.accepted, 20);
+        assert_eq!(report.committed_total, 60);
     }
 
     #[test]
@@ -534,14 +951,17 @@ mod tests {
             registry(),
             vec![(ObjectId::new(0, 0), Value::Int(0))],
         );
-        cluster.submit(
-            SiteId::new(0),
-            ClassId::new(0),
-            ProcId::new(0),
-            vec![Value::Int(0), Value::Int(5)],
-        );
+        cluster
+            .submit(
+                SiteId::new(0),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(5)],
+            )
+            .expect("admitted");
         let report = cluster.shutdown(Duration::from_secs(10));
         assert_eq!(report.committed[0].len(), 1);
         assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(5)));
+        assert!(report.quiesced);
     }
 }

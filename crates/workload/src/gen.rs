@@ -35,6 +35,51 @@ pub enum ClassSelection {
     },
 }
 
+impl ClassSelection {
+    /// Builds a reusable sampler over `classes` conflict classes. Both the
+    /// simulated schedule generator and the threaded soak driver pick
+    /// classes through this, so skew semantics cannot drift between the
+    /// two paths.
+    pub fn sampler(self, classes: usize) -> ClassSampler {
+        let zipf = match self {
+            ClassSelection::Zipf { exponent } => Some(Zipf::new(classes, exponent)),
+            _ => None,
+        };
+        ClassSampler { selection: self, classes, zipf }
+    }
+}
+
+/// A prepared class picker for one [`ClassSelection`] (see
+/// [`ClassSelection::sampler`]).
+#[derive(Debug, Clone)]
+pub struct ClassSampler {
+    selection: ClassSelection,
+    classes: usize,
+    zipf: Option<Zipf>,
+}
+
+impl ClassSampler {
+    /// Draws one conflict class.
+    pub fn pick(&self, rng: &mut SimRng) -> ClassId {
+        let idx = match self.selection {
+            ClassSelection::Uniform => rng.index(self.classes),
+            ClassSelection::Zipf { .. } => self.zipf.as_ref().expect("built above").sample(rng),
+            ClassSelection::HotSpot { hot_fraction, hot_probability } => {
+                let hot =
+                    ((self.classes as f64 * hot_fraction).ceil() as usize).clamp(1, self.classes);
+                if rng.chance(hot_probability) {
+                    rng.index(hot)
+                } else if hot < self.classes {
+                    hot + rng.index(self.classes - hot)
+                } else {
+                    rng.index(self.classes)
+                }
+            }
+        };
+        ClassId::new(idx as u32)
+    }
+}
+
 /// Inter-arrival process of client requests per site.
 #[derive(Debug, Clone, Copy)]
 pub enum Arrival {
@@ -128,10 +173,7 @@ impl WorkloadSpec {
     /// Generates the deterministic operation schedule.
     pub fn generate(&self, procs: &StandardProcs) -> Schedule {
         let mut rng = SimRng::seed_from(self.seed);
-        let zipf = match self.selection {
-            ClassSelection::Zipf { exponent } => Some(Zipf::new(self.classes, exponent)),
-            _ => None,
-        };
+        let sampler = self.selection.sampler(self.classes);
         let mut ops = Vec::new();
         // Per-site clocks, de-phased so clients at different sites do not
         // submit at exactly the same instant (real clients are not
@@ -157,25 +199,6 @@ impl WorkloadSpec {
             *t += step;
             *t
         };
-        let pick_class = |rng: &mut SimRng, zipf: &Option<Zipf>| -> ClassId {
-            let idx = match self.selection {
-                ClassSelection::Uniform => rng.index(self.classes),
-                ClassSelection::Zipf { .. } => zipf.as_ref().expect("built above").sample(rng),
-                ClassSelection::HotSpot { hot_fraction, hot_probability } => {
-                    let hot = ((self.classes as f64 * hot_fraction).ceil() as usize)
-                        .clamp(1, self.classes);
-                    if rng.chance(hot_probability) {
-                        rng.index(hot)
-                    } else if hot < self.classes {
-                        hot + rng.index(self.classes - hot)
-                    } else {
-                        rng.index(self.classes)
-                    }
-                }
-            };
-            ClassId::new(idx as u32)
-        };
-
         let queries = (self.updates as f64 * self.query_ratio).round() as u64;
         let total = self.updates + queries;
         for i in 0..total {
@@ -187,7 +210,7 @@ impl WorkloadSpec {
             if is_query {
                 let mut reads = Vec::new();
                 let mut classes_left = self.query_classes.min(self.classes);
-                let mut c = pick_class(&mut rng, &zipf).raw() as usize;
+                let mut c = sampler.pick(&mut rng).raw() as usize;
                 while classes_left > 0 {
                     let key = rng.uniform_range(0, self.objects_per_class);
                     reads.push(ObjectId::new((c % self.classes) as u32, key));
@@ -196,7 +219,7 @@ impl WorkloadSpec {
                 }
                 ops.push(Op::Query { at, site, reads });
             } else {
-                let class = pick_class(&mut rng, &zipf);
+                let class = sampler.pick(&mut rng);
                 let key = rng.uniform_range(0, self.objects_per_class) as i64;
                 let delta = 1 + rng.uniform_range(0, 10) as i64;
                 ops.push(Op::Update {

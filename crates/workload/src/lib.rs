@@ -27,6 +27,6 @@ pub mod gen;
 pub mod procs;
 pub mod tpcb;
 
-pub use gen::{Arrival, ClassSelection, Op, Schedule, WorkloadSpec};
+pub use gen::{Arrival, ClassSampler, ClassSelection, Op, Schedule, WorkloadSpec};
 pub use procs::StandardProcs;
 pub use tpcb::TpcB;

@@ -24,12 +24,14 @@ fn main() {
     println!("== otpdb live cluster (3 threads) ==");
     let n = 30u64;
     for i in 0..n {
-        cluster.submit(
-            SiteId::new((i % 3) as u16),
-            ClassId::new((i % 2) as u32),
-            procs.add,
-            vec![Value::Int(0), Value::Int(1)],
-        );
+        cluster
+            .submit(
+                SiteId::new((i % 3) as u16),
+                ClassId::new((i % 2) as u32),
+                procs.add,
+                vec![Value::Int(0), Value::Int(1)],
+            )
+            .expect("admitted");
     }
     println!("submitted {n} increments across 3 sites / 2 classes …");
 

@@ -1,0 +1,251 @@
+//! Threaded-runtime integration suite: the engine × mode matrix under
+//! real threads, plus regression tests for the shutdown/liveness bugs the
+//! production pass fixed (in-flight wire loss at stop, deadline behavior
+//! under conflict aborts, the unwired admission gate) and a tier-1
+//! mini-soak exercising backpressure.
+
+use otp_core::runtime::{LiveCluster, LiveConfig, SubmitError};
+use otp_core::{EngineKind, Mode};
+use otp_simnet::{SimDuration, SiteId};
+use otp_storage::{ClassId, ObjectId, ObjectKey, ProcError, ProcId, ProcRegistry, Value};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn registry() -> Arc<ProcRegistry> {
+    let mut reg = ProcRegistry::new();
+    reg.register_fn("add", |ctx, args| {
+        let (k, d) = match (args.first(), args.get(1)) {
+            (Some(Value::Int(k)), Some(Value::Int(d))) => (ObjectKey::new(*k as u64), *d),
+            _ => return Err(ProcError::BadArgs("add(key, delta)".into())),
+        };
+        let v = ctx.read(k)?.as_int().unwrap_or(0);
+        ctx.write(k, Value::Int(v + d))?;
+        Ok(())
+    });
+    Arc::new(reg)
+}
+
+fn initial(classes: u32) -> Vec<(ObjectId, Value)> {
+    (0..classes).map(|c| (ObjectId::new(c, 0), Value::Int(0))).collect()
+}
+
+/// Every broadcast engine × both processing modes converges under real
+/// threads (the pre-production runtime hardwired `OptAbcast`, leaving the
+/// other engines with zero real-clock coverage).
+#[test]
+fn threaded_engine_mode_matrix() {
+    let engines: Vec<(&str, EngineKind)> = vec![
+        ("opt", EngineKind::Opt { consensus_timeout: SimDuration::from_millis(100) }),
+        (
+            "optbatch",
+            EngineKind::OptBatched {
+                consensus_timeout: SimDuration::from_millis(100),
+                batch_delay: SimDuration::from_micros(500),
+            },
+        ),
+        ("seq", EngineKind::Sequencer),
+        ("seqbatch", EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(500) }),
+        (
+            "scramble",
+            EngineKind::Scrambled {
+                agreement_delay: SimDuration::from_millis(2),
+                swap_probability: 0.2,
+            },
+        ),
+    ];
+    for (name, engine) in engines {
+        for mode in [Mode::Otp, Mode::Conservative] {
+            let cfg = LiveConfig::new(3, 2)
+                .with_engine(engine)
+                .with_mode(mode)
+                .with_exec_time(Duration::from_micros(200));
+            let cluster = LiveCluster::start(cfg, registry(), initial(2));
+            for i in 0..30u64 {
+                cluster
+                    .submit(
+                        SiteId::new((i % 3) as u16),
+                        ClassId::new((i % 2) as u32),
+                        ProcId::new(0),
+                        vec![Value::Int(0), Value::Int(1)],
+                    )
+                    .expect("admitted");
+            }
+            let report = cluster.shutdown(Duration::from_secs(30));
+            assert!(report.converged, "{name}/{mode:?}: replicas diverged");
+            assert!(report.quiesced, "{name}/{mode:?}: did not quiesce");
+            for (s, log) in report.committed.iter().enumerate() {
+                assert_eq!(log.len(), 30, "{name}/{mode:?}: site {s} missing commits");
+            }
+            assert_eq!(report.committed_total, 90, "{name}/{mode:?}");
+        }
+    }
+}
+
+/// Regression (wire loss at stop): the old runtime's site threads broke
+/// out of their loop on the first recv timeout after `Stop`, while the
+/// net thread's heap and the site channels could still hold due wires —
+/// so a deadline shorter than the workload silently dropped in-flight
+/// work and flipped `converged` false. The two-phase shutdown quiesces
+/// (bounded by the grace budget) before any thread exits: even a ZERO
+/// deadline must lose nothing that was admitted.
+#[test]
+fn zero_deadline_shutdown_loses_no_admitted_work() {
+    let mut cfg = LiveConfig::new(4, 1).with_exec_time(Duration::from_millis(2));
+    cfg.quiesce_grace = Duration::from_secs(60);
+    let cluster = LiveCluster::start(cfg, registry(), initial(1));
+    for i in 0..200u64 {
+        cluster
+            .submit(
+                SiteId::new((i % 4) as u16),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            )
+            .expect("admitted");
+    }
+    // Shut down immediately: everything submitted is still in flight.
+    let report = cluster.shutdown(Duration::ZERO);
+    assert!(report.quiesced, "grace budget must drain admitted work");
+    assert!(report.converged);
+    assert_eq!(report.accepted, 200);
+    assert_eq!(report.committed_total, 800, "every admitted txn commits at every site");
+    for log in &report.committed {
+        assert_eq!(log.len(), 200);
+    }
+    assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(200)));
+}
+
+/// Regression (shutdown under conflict aborts): the old shutdown waited
+/// on `committed == submitted × sites` — a commit-only count that ignores
+/// the abort path entirely. The production shutdown is driven by exact
+/// in-flight accounting: it returns as soon as the system is provably
+/// idle, aborts included, without burning the deadline. A same-class
+/// cross-site workload forces spontaneous-order violations (real aborts);
+/// the run must still converge, quiesce, and return long before a
+/// deliberately huge deadline.
+#[test]
+fn conflict_aborts_converge_without_burning_deadline() {
+    let mut cfg = LiveConfig::new(8, 1).with_exec_time(Duration::from_micros(1500));
+    // Jitter an order of magnitude above the base delay: per-receiver
+    // arrival spread makes tentative orders disagree across sites, so
+    // spontaneous-order violations (real aborts) are statistically
+    // certain over 300 same-class transactions, independent of thread
+    // scheduling luck.
+    cfg.net_delay = Duration::from_micros(100);
+    cfg.net_jitter = Duration::from_millis(2);
+    let cluster = LiveCluster::start(cfg, registry(), initial(1));
+    for i in 0..300u64 {
+        cluster
+            .submit(
+                SiteId::new((i % 8) as u16),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            )
+            .expect("admitted");
+    }
+    let t0 = Instant::now();
+    let report = cluster.shutdown(Duration::from_secs(120));
+    let elapsed = t0.elapsed();
+    assert!(report.converged);
+    assert!(report.quiesced);
+    assert_eq!(report.committed_total, 300 * 8);
+    assert!(
+        report.counters.get("abort") > 0,
+        "workload must actually exercise the abort path (got none)"
+    );
+    assert!(elapsed < Duration::from_secs(60), "shutdown burned the deadline: {elapsed:?}");
+}
+
+/// Regression (dead admission gate): `running` was stored at shutdown but
+/// never read, so nothing ever refused work. Now `halt_admissions` fences
+/// submissions — racing submitters each see a clean cut, and everything
+/// admitted before the fence still commits everywhere.
+#[test]
+fn halted_admissions_reject_racing_submitters() {
+    let cfg = LiveConfig::new(2, 2).with_exec_time(Duration::from_micros(200));
+    let cluster = LiveCluster::start(cfg, registry(), initial(2));
+    let admitted: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    for i in 0..500u64 {
+                        match cluster.submit(
+                            SiteId::new(((t + i) % 2) as u16),
+                            ClassId::new((i % 2) as u32),
+                            ProcId::new(0),
+                            vec![Value::Int(0), Value::Int(1)],
+                        ) {
+                            Ok(_) => ok += 1,
+                            Err(SubmitError::ShuttingDown) => break,
+                            Err(SubmitError::Backpressure) => unreachable!("submit blocks"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        // Let the submitters make progress, then slam the gate.
+        std::thread::sleep(Duration::from_millis(5));
+        cluster.halt_admissions();
+        handles.into_iter().map(|h| h.join().expect("submitter")).sum()
+    });
+    assert_eq!(
+        cluster.try_submit(
+            SiteId::new(0),
+            ClassId::new(0),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(1)]
+        ),
+        Err(SubmitError::ShuttingDown),
+        "gate must refuse new work once halted"
+    );
+    assert_eq!(cluster.accepted(), admitted, "accepted must equal successful submits");
+    let report = cluster.shutdown(Duration::from_secs(60));
+    assert!(report.converged);
+    assert!(report.quiesced);
+    assert_eq!(report.accepted, admitted);
+    assert_eq!(report.committed_total, admitted * 2, "admitted work commits everywhere");
+}
+
+/// Tier-1 mini-soak: submit much faster than `exec_time` drains through
+/// deliberately tiny queues and a tiny admission window. Backpressure
+/// must engage (not deadlock, not drop), memory stays bounded by
+/// construction, and the run completes fully.
+#[test]
+fn mini_soak_backpressure_bounds_inflight() {
+    let mut cfg = LiveConfig::new(3, 1).with_exec_time(Duration::from_millis(1));
+    cfg.max_in_flight = 16;
+    cfg.site_queue = 8;
+    let cluster = LiveCluster::start(cfg, registry(), initial(1));
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let cluster = &cluster;
+            s.spawn(move || {
+                for i in 0..150u64 {
+                    cluster
+                        .submit(
+                            SiteId::new(((t + i) % 3) as u16),
+                            ClassId::new(0),
+                            ProcId::new(0),
+                            vec![Value::Int(0), Value::Int(1)],
+                        )
+                        .expect("admitted");
+                }
+            });
+        }
+    });
+    assert!(
+        cluster.backpressure_events() > 0,
+        "window of 16 against 300 fast submissions must push back"
+    );
+    let report = cluster.shutdown(Duration::from_secs(120));
+    assert!(report.converged);
+    assert!(report.quiesced);
+    assert_eq!(report.accepted, 300);
+    assert_eq!(report.committed_total, 900);
+    assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(300)));
+    assert_eq!(report.commit_latency.len(), 300, "one latency sample per origin commit");
+}

@@ -2,22 +2,84 @@
 //! uses, backed by `std::sync::mpsc`.
 //!
 //! Since Rust 1.72 the std mpsc implementation *is* crossbeam's
-//! (upstreamed), and `Sender` is `Sync`, so an unbounded MPSC channel
-//! behaves identically for this workspace's single-consumer-per-channel
-//! topology. See `vendor/README.md`.
+//! (upstreamed), and `Sender` is `Sync`, so both the unbounded and the
+//! bounded (`sync_channel`) flavors behave identically for this
+//! workspace's single-consumer-per-channel topology. See
+//! `vendor/README.md`.
+//!
+//! Unlike real crossbeam, std has two sender types (`Sender` /
+//! `SyncSender`). This shim unifies them behind one [`channel::Sender`]
+//! enum so call sites can hold a channel of either flavor and use
+//! `send` / `try_send` uniformly — which is what `crossbeam-channel`'s
+//! API looks like.
 
 #![forbid(unsafe_code)]
 
 pub mod channel {
-    //! Multi-producer channels with timeout-capable receivers.
+    //! Multi-producer channels with timeout-capable receivers, in
+    //! unbounded and bounded flavors.
+
+    use std::sync::mpsc;
 
     pub use std::sync::mpsc::{
-        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+        Receiver, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError,
     };
+
+    /// A sender for either channel flavor (crossbeam has one sender type;
+    /// std has two — this wrapper restores the uniform API).
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Sender of an [`unbounded`] channel.
+        Unbounded(mpsc::Sender<T>),
+        /// Sender of a [`bounded`] channel.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    // Manual impl: `#[derive(Clone)]` would demand `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full. Errors only
+        /// when the receiver is gone (including while blocked on a full
+        /// bounded channel whose receiver then disconnects).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking send. `Err(TrySendError::Full)` is only possible
+        /// on the bounded flavor.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => {
+                    tx.send(value).map_err(|SendError(v)| TrySendError::Disconnected(v))
+                }
+                Sender::Bounded(tx) => tx.try_send(value),
+            }
+        }
+    }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), rx)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages
+    /// (`cap >= 1`; a zero-capacity rendezvous channel is a deadlock trap
+    /// in a try_send world, so it is rounded up).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender::Bounded(tx), rx)
     }
 }
 
@@ -58,5 +120,35 @@ mod tests {
         let mut got: Vec<u32> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn bounded_blocking_send_unblocks_on_recv() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2)); // blocks: full
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_instead_of_rendezvous() {
+        let (tx, rx) = channel::bounded::<u32>(0);
+        tx.try_send(9).unwrap(); // would be Full(9) on a rendezvous channel
+        assert_eq!(rx.recv().unwrap(), 9);
     }
 }
