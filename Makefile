@@ -9,11 +9,15 @@ PROPTEST_CASES ?= 16
 # Override:
 #   make chaos CHAOS_SEEDS=720
 CHAOS_SEEDS ?= 16
+# Seed budget per fault kind of the live cross-driver conformance suite
+# (same value CI uses). Override:
+#   make live-chaos LIVE_CHAOS_SEEDS=32
+LIVE_CHAOS_SEEDS ?= 8
 # Relative tolerance of the perf gate (same value CI uses). Override:
 #   make perf-check PERF_TOLERANCE=0.10
 PERF_TOLERANCE ?= 0.25
 
-.PHONY: all build test bench chaos perf perf-check soak soak-smoke lint fmt clippy ci clean
+.PHONY: all build test bench chaos live-chaos perf perf-check soak soak-smoke lint fmt clippy ci clean
 
 all: build
 
@@ -35,6 +39,13 @@ bench:
 ## violation. See DESIGN.md §6.
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release -p otp-lab --bin swarm
+
+## Run LIVE_CHAOS_SEEDS seeds per fault kind (crash, partition, stall,
+## pressure) through both the simulator and the threaded LiveCluster,
+## judging both with the identical invariant bundle. Wall-clock and
+## watchdog-capped; non-gating in CI. See DESIGN.md §10.
+live-chaos:
+	LIVE_CHAOS_SEEDS=$(LIVE_CHAOS_SEEDS) $(CARGO) test --release --test live_chaos
 
 ## Run the deterministic perf matrix (simulated time) and rewrite
 ## BENCH.json + BENCH_WALL.json. Refresh the committed baseline after a

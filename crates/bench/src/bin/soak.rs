@@ -10,11 +10,17 @@
 //! soak [--sites N] [--classes N] [--txns N]
 //!      [--engine opt|optbatch|seq|seqbatch|scramble] [--mode otp|conservative]
 //!      [--exec-us N] [--net-us N] [--jitter-us N] [--submitters N]
-//!      [--hotspot] [--seed N] [--out SOAK.json] [--smoke]
+//!      [--hotspot] [--seed N] [--nemesis calm|rough|hostile|live]
+//!      [--out SOAK.json] [--smoke]
 //! ```
+//!
+//! `--nemesis` injects a seed-generated fault plan (partitions, crashes,
+//! stalls, pressure spikes — the `live` preset exercises the live-only
+//! vocabulary) while the submitters run; the correctness obligations
+//! must still hold once the plan heals.
 
 use otp_bench::soak::{
-    parse_engine, parse_mode, run_soak, soak_report_json, summarize, SoakConfig,
+    parse_engine, parse_mode, run_soak, soak_report_json, summarize, SoakConfig, SoakNemesis,
 };
 use otp_workload::ClassSelection;
 use std::process::ExitCode;
@@ -55,6 +61,7 @@ fn parse_args() -> Result<(SoakConfig, Option<String>), String> {
                 cfg.selection = ClassSelection::HotSpot { hot_fraction: 0.25, hot_probability: 0.8 }
             }
             "--seed" => cfg.seed = parse_n("--seed", value("--seed")?)?,
+            "--nemesis" => cfg.nemesis = Some(SoakNemesis::parse(&value("--nemesis")?)?),
             "--out" => out = Some(value("--out")?),
             "--smoke" => {
                 cfg.sites = 4;
@@ -68,7 +75,7 @@ fn parse_args() -> Result<(SoakConfig, Option<String>), String> {
                      [--engine opt|optbatch|seq|seqbatch|scramble] \
                      [--mode otp|conservative] [--exec-us N] [--net-us N] \
                      [--jitter-us N] [--submitters N] [--hotspot] [--seed N] \
-                     [--out SOAK.json] [--smoke]"
+                     [--nemesis calm|rough|hostile|live] [--out SOAK.json] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -87,8 +94,15 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "== otp-bench soak: {} sites × {} classes × {} txns ({:?}/{:?}, {} submitters) ==",
-        cfg.sites, cfg.classes, cfg.txns, cfg.engine, cfg.mode, cfg.submitters
+        "== otp-bench soak: {} sites × {} classes × {} txns ({:?}/{:?}, {} submitters, \
+         nemesis {}) ==",
+        cfg.sites,
+        cfg.classes,
+        cfg.txns,
+        cfg.engine,
+        cfg.mode,
+        cfg.submitters,
+        cfg.nemesis.map(|n| n.id()).unwrap_or("none"),
     );
     let outcome = run_soak(&cfg);
     println!("{}", summarize(&outcome));

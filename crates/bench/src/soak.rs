@@ -15,7 +15,8 @@
 
 use otp_core::runtime::{LiveCluster, LiveConfig, SubmitError};
 use otp_core::{EngineKind, Mode};
-use otp_simnet::{SimDuration, SimRng, SiteId};
+use otp_simnet::nemesis::{NemesisKnobs, NemesisSchedule};
+use otp_simnet::{SimDuration, SimRng, SimTime, SiteId};
 use otp_storage::{ObjectId, Value};
 use otp_workload::{ClassSelection, StandardProcs};
 use std::time::{Duration, Instant};
@@ -62,6 +63,70 @@ pub struct SoakConfig {
     pub deadline: Duration,
     /// Master seed (jitter, class selection).
     pub seed: u64,
+    /// Fault plan injected while the submitters run (`None` = fault-free
+    /// soak). The intensity's knob preset generates a survivable
+    /// [`NemesisSchedule`] over [`SoakConfig::nemesis_horizon`] from the
+    /// master seed, delivered by [`LiveCluster::inject_nemesis`].
+    pub nemesis: Option<SoakNemesis>,
+    /// Wall-clock window the fault plan is spread over (maps 1 ns : 1 ns
+    /// from the schedule's virtual times).
+    pub nemesis_horizon: Duration,
+}
+
+/// Nemesis intensity of a soak run (the `--nemesis` CLI knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoakNemesis {
+    /// No fault windows (schedule generation control).
+    Calm,
+    /// One partition, one crash, one loss burst.
+    Rough,
+    /// Two partitions, two crashes, two loss bursts, one jitter spike.
+    Hostile,
+    /// The live-runtime preset: partition + crash + thread stall +
+    /// channel-pressure spike (the two live-only fault kinds).
+    Live,
+}
+
+impl SoakNemesis {
+    /// Stable id used by the `--nemesis` flag and the JSON artifact.
+    pub fn id(&self) -> &'static str {
+        match self {
+            SoakNemesis::Calm => "calm",
+            SoakNemesis::Rough => "rough",
+            SoakNemesis::Hostile => "hostile",
+            SoakNemesis::Live => "live",
+        }
+    }
+
+    /// Parses a `--nemesis` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the valid ids on unknown input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "calm" => Ok(SoakNemesis::Calm),
+            "rough" => Ok(SoakNemesis::Rough),
+            "hostile" => Ok(SoakNemesis::Hostile),
+            "live" => Ok(SoakNemesis::Live),
+            other => Err(format!("unknown nemesis {other:?} (calm|rough|hostile|live)")),
+        }
+    }
+
+    fn knobs(&self) -> NemesisKnobs {
+        match self {
+            SoakNemesis::Calm => NemesisKnobs::calm(),
+            SoakNemesis::Rough => NemesisKnobs::rough(),
+            SoakNemesis::Hostile => NemesisKnobs::hostile(),
+            SoakNemesis::Live => NemesisKnobs::live(),
+        }
+    }
+
+    /// The schedule this intensity injects for `(seed, sites, horizon)`.
+    pub fn schedule(&self, seed: u64, sites: usize, horizon: Duration) -> NemesisSchedule {
+        let horizon = SimTime::from_nanos(horizon.as_nanos() as u64);
+        NemesisSchedule::generate(seed, sites, horizon, &self.knobs())
+    }
 }
 
 impl SoakConfig {
@@ -86,6 +151,8 @@ impl SoakConfig {
             drain_limit: 128,
             deadline: Duration::from_secs(600),
             seed: 42,
+            nemesis: None,
+            nemesis_horizon: Duration::from_secs(2),
         }
     }
 }
@@ -173,6 +240,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
     live.site_queue = cfg.site_queue;
     live.drain_limit = cfg.drain_limit;
     let cluster = LiveCluster::start(live, registry, initial);
+    let nemesis = cfg
+        .nemesis
+        .map(|n| cluster.inject_nemesis(&n.schedule(cfg.seed, cfg.sites, cfg.nemesis_horizon)));
 
     let t0 = Instant::now();
     let submitters = cfg.submitters.max(1);
@@ -203,6 +273,11 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
             });
         }
     });
+    // Let the fault plan run to its quiescent point even if the
+    // submitters finished early — shutdown must not race a live cut.
+    if let Some(n) = nemesis {
+        n.join();
+    }
     let backpressure_events = cluster.backpressure_events();
     let report = cluster.shutdown(cfg.deadline);
     let wall = t0.elapsed();
@@ -258,6 +333,8 @@ pub fn soak_report_json(cfg: &SoakConfig, outcome: &SoakOutcome) -> Json {
                 ("site_queue".into(), Json::int(cfg.site_queue as u64)),
                 ("drain_limit".into(), Json::int(cfg.drain_limit as u64)),
                 ("seed".into(), Json::int(cfg.seed)),
+                ("nemesis".into(), Json::Str(cfg.nemesis.map(|n| n.id()).unwrap_or("none").into())),
+                ("nemesis_horizon_ms".into(), Json::int(cfg.nemesis_horizon.as_millis() as u64)),
             ]),
         ),
         (
@@ -316,5 +393,24 @@ mod tests {
         assert!(outcome.throughput_per_sec > 0.0);
         let json = soak_report_json(&cfg, &outcome);
         assert_eq!(json.get("schema").and_then(Json::as_f64), Some(1.0));
+    }
+
+    /// A nemesis-flavored soak still meets the correctness obligations:
+    /// every admitted transaction commits everywhere once the faults heal.
+    #[test]
+    fn mini_soak_survives_live_nemesis() {
+        let mut cfg = SoakConfig::new(4, 2, 400);
+        cfg.exec_time = Duration::from_micros(50);
+        cfg.submitters = 2;
+        cfg.nemesis = Some(SoakNemesis::Live);
+        cfg.nemesis_horizon = Duration::from_millis(300);
+        let outcome = run_soak(&cfg);
+        assert_eq!(outcome.accepted, 400);
+        assert!(outcome.converged, "sites diverged under nemesis");
+        assert!(outcome.quiesced, "shutdown failed to quiesce after heal");
+        assert_eq!(outcome.committed_total, 400 * 4);
+        let json = soak_report_json(&cfg, &outcome);
+        let rendered = json.to_pretty();
+        assert!(rendered.contains("\"nemesis\": \"live\""), "{rendered}");
     }
 }

@@ -1320,6 +1320,13 @@ impl Cluster {
             NemesisEvent::LossEnd => self.net.set_loss_override(None),
             NemesisEvent::JitterSpike { scale } => self.net.set_jitter_scale(scale),
             NemesisEvent::JitterEnd => self.net.set_jitter_scale(1.0),
+            // Live-only faults: the virtual-time driver has no OS threads
+            // to stall and no bounded channels to saturate, so a schedule
+            // carrying them degrades to its network/crash subset here. The
+            // threaded runtime (`runtime::LiveNemesis`) injects them for
+            // real — the cross-driver conformance suite runs the same
+            // schedule through both.
+            NemesisEvent::ThreadStall { .. } | NemesisEvent::PressureSpike { .. } => {}
         }
     }
 

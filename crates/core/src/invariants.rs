@@ -1,8 +1,15 @@
 //! The post-run invariant bundle checked after a (possibly chaotic) run.
 //!
 //! A cluster that survived a nemesis schedule must still satisfy the
-//! paper's guarantees. [`Cluster::check_invariants`] verifies four of them
-//! in one pass and reports *every* violation found (not just the first):
+//! paper's guarantees. The checker is **driver-agnostic**: the free
+//! [`check_invariants`] entry takes a [`RunHistories`] — the collected
+//! histories, commit logs, databases and view epochs of one finished run —
+//! so the simulated [`Cluster`] and the threaded
+//! [`crate::runtime::LiveCluster`] are judged by the *identical* code
+//! path. [`Cluster::check_invariants`] and
+//! [`crate::runtime::LiveReport::check_invariants`] are thin collectors
+//! over it. The bundle verifies in one pass and reports *every* violation
+//! found (not just the first):
 //!
 //! 1. **1-copy-serializability** (Section 2.2) — the union of all sites'
 //!    committed histories, via
@@ -21,8 +28,8 @@
 
 use crate::cluster::Cluster;
 use otp_simnet::SiteId;
-use otp_storage::TxnIndex;
-use otp_txn::history::{check_one_copy_serializable, Violation};
+use otp_storage::{Database, TxnIndex};
+use otp_txn::history::{check_one_copy_serializable, CommittedTxn, Violation};
 use otp_txn::txn::TxnId;
 use std::collections::HashMap;
 use std::fmt;
@@ -153,107 +160,155 @@ impl fmt::Display for InvariantReport {
     }
 }
 
-impl Cluster {
-    /// Runs the four-invariant bundle (see the [module docs](self)).
-    ///
-    /// `probes` are transaction ids submitted after the fault plan's
-    /// quiescent point; pass `&[]` to skip the liveness check.
-    pub fn check_invariants(&self, probes: &[TxnId]) -> InvariantReport {
-        let mut violations = Vec::new();
+/// Everything the invariant bundle needs from one finished run, collected
+/// by value so either driver — the virtual-time [`Cluster`] or the
+/// threaded [`crate::runtime::LiveCluster`] — can hand its state over
+/// (database copies are cheap: partitions are copy-on-write behind `Arc`).
+///
+/// The per-site vectors (`histories`, `commit_logs`, `dbs`,
+/// `epoch_history`) are indexed by site and must all have the same length;
+/// `live` names the sites covered by the order/convergence/liveness
+/// checks. Crashed sites still participate in the serializability and
+/// epoch-monotonicity checks — history is history.
+#[derive(Debug, Clone)]
+pub struct RunHistories {
+    /// Per-site committed histories (updates + queries) with read/write
+    /// sets and serialization positions.
+    pub histories: Vec<Vec<CommittedTxn>>,
+    /// Per-site commit logs: `(txn, definitive index)` in commit order.
+    pub commit_logs: Vec<Vec<(TxnId, TxnIndex)>>,
+    /// Per-site final databases.
+    pub dbs: Vec<Database>,
+    /// Sites that finished the run live (checks 2–4 cover only these).
+    pub live: Vec<SiteId>,
+    /// Per-site installed view epochs, in installation order. Drivers
+    /// without view changes pass empty vectors (the checks pass
+    /// trivially).
+    pub epoch_history: Vec<Vec<u64>>,
+}
 
-        // 1. 1-copy-serializability over every site's history.
-        if let Err(v) = check_one_copy_serializable(&self.histories()) {
-            violations.push(InvariantViolation::NotSerializable(v));
-        }
+impl RunHistories {
+    /// Number of sites in the run.
+    pub fn sites(&self) -> usize {
+        self.histories.len()
+    }
+}
 
-        let live = self.live_sites();
+/// Runs the invariant bundle over collected run state (see the
+/// [module docs](self)). Driver-agnostic: both the simulated and the
+/// threaded cluster reduce to a [`RunHistories`] and call this.
+///
+/// `probes` are transaction ids submitted after the fault plan's
+/// quiescent point; pass `&[]` to skip the liveness check.
+pub fn check_invariants(run: &RunHistories, probes: &[TxnId]) -> InvariantReport {
+    let mut violations = Vec::new();
 
-        // 2. Uniform commit order among live sites: identical definitive
-        // index for every commonly committed transaction. Pairwise — a
-        // reference-only comparison would miss two non-reference sites
-        // disagreeing on a transaction the reference never committed
-        // (recovered sites restart their logs, so missing keys are
-        // common).
-        let index_maps: Vec<(SiteId, HashMap<TxnId, TxnIndex>)> = live
-            .iter()
-            .map(|s| {
-                (
-                    *s,
-                    self.replicas[s.index()]
-                        .commit_log()
-                        .iter()
-                        .copied()
-                        .collect::<HashMap<_, _>>(),
-                )
-            })
-            .collect();
-        for (i, (site, map)) in index_maps.iter().enumerate() {
-            for (other, other_map) in &index_maps[i + 1..] {
-                for (txn, index) in map {
-                    if let Some(other_index) = other_map.get(txn) {
-                        if other_index != index {
-                            violations.push(InvariantViolation::CommitOrderMismatch {
-                                txn: *txn,
-                                site: *site,
-                                index: *index,
-                                other: *other,
-                                other_index: *other_index,
-                            });
-                        }
+    // 1. 1-copy-serializability over every site's history.
+    if let Err(v) = check_one_copy_serializable(&run.histories) {
+        violations.push(InvariantViolation::NotSerializable(v));
+    }
+
+    let live = &run.live;
+
+    // 2. Uniform commit order among live sites: identical definitive
+    // index for every commonly committed transaction. Pairwise — a
+    // reference-only comparison would miss two non-reference sites
+    // disagreeing on a transaction the reference never committed
+    // (recovered sites restart their logs, so missing keys are
+    // common).
+    let index_maps: Vec<(SiteId, HashMap<TxnId, TxnIndex>)> = live
+        .iter()
+        .map(|s| (*s, run.commit_logs[s.index()].iter().copied().collect::<HashMap<_, _>>()))
+        .collect();
+    for (i, (site, map)) in index_maps.iter().enumerate() {
+        for (other, other_map) in &index_maps[i + 1..] {
+            for (txn, index) in map {
+                if let Some(other_index) = other_map.get(txn) {
+                    if other_index != index {
+                        violations.push(InvariantViolation::CommitOrderMismatch {
+                            txn: *txn,
+                            site: *site,
+                            index: *index,
+                            other: *other,
+                            other_index: *other_index,
+                        });
                     }
                 }
             }
         }
+    }
 
-        // 3. Convergence: identical committed state at every live site.
-        if let Some(reference) = live.first() {
-            let ref_db = self.replicas[reference.index()].db();
-            for site in &live[1..] {
-                if !self.replicas[site.index()].db().committed_state_eq(ref_db) {
-                    violations
-                        .push(InvariantViolation::Diverged { site: *site, reference: *reference });
-                }
+    // 3. Convergence: identical committed state at every live site.
+    if let Some(reference) = live.first() {
+        let ref_db = &run.dbs[reference.index()];
+        for site in &live[1..] {
+            if !run.dbs[site.index()].committed_state_eq(ref_db) {
+                violations
+                    .push(InvariantViolation::Diverged { site: *site, reference: *reference });
             }
         }
+    }
 
-        // 4. Liveness after heal: every probe committed at every live site.
-        for probe in probes {
-            for (site, map) in &index_maps {
-                if !map.contains_key(probe) {
-                    violations.push(InvariantViolation::ProbeLost { probe: *probe, site: *site });
-                }
+    // 4. Liveness after heal: every probe committed at every live site.
+    for probe in probes {
+        for (site, map) in &index_maps {
+            if !map.contains_key(probe) {
+                violations.push(InvariantViolation::ProbeLost { probe: *probe, site: *site });
             }
         }
+    }
 
-        // 5. Epoch monotonicity: per-site installed views strictly
-        // increase (every site, crashed included — history is history),
-        // and every live site ends on the newest installed view (a view
-        // change that skipped a live member would leave it accepting a
-        // dead sequencer incarnation's assignments).
-        for site in SiteId::all(self.config().sites) {
-            let history = &self.epoch_history[site.index()];
-            for pair in history.windows(2) {
-                if pair[1] <= pair[0] {
-                    violations.push(InvariantViolation::EpochRegressed {
-                        site,
-                        prev: pair[0],
-                        next: pair[1],
-                    });
-                }
-            }
-        }
-        let newest = live.iter().map(|s| self.installed_epoch(*s)).max().unwrap_or(0);
-        for site in &live {
-            let installed = self.installed_epoch(*site);
-            if installed < newest {
-                violations.push(InvariantViolation::EpochDiverged {
-                    site: *site,
-                    installed,
-                    expected: newest,
+    // 5. Epoch monotonicity: per-site installed views strictly
+    // increase (every site, crashed included — history is history),
+    // and every live site ends on the newest installed view (a view
+    // change that skipped a live member would leave it accepting a
+    // dead sequencer incarnation's assignments).
+    let installed = |site: &SiteId| run.epoch_history[site.index()].last().copied().unwrap_or(0);
+    for site in SiteId::all(run.sites()) {
+        let history = &run.epoch_history[site.index()];
+        for pair in history.windows(2) {
+            if pair[1] <= pair[0] {
+                violations.push(InvariantViolation::EpochRegressed {
+                    site,
+                    prev: pair[0],
+                    next: pair[1],
                 });
             }
         }
+    }
+    let newest = live.iter().map(installed).max().unwrap_or(0);
+    for site in live {
+        if installed(site) < newest {
+            violations.push(InvariantViolation::EpochDiverged {
+                site: *site,
+                installed: installed(site),
+                expected: newest,
+            });
+        }
+    }
 
-        InvariantReport { violations, live_sites: live.len(), checked_probes: probes.len() }
+    InvariantReport { violations, live_sites: live.len(), checked_probes: probes.len() }
+}
+
+impl Cluster {
+    /// Reduces this cluster's end-of-run state to the driver-agnostic
+    /// [`RunHistories`] the invariant bundle consumes.
+    pub fn run_histories(&self) -> RunHistories {
+        RunHistories {
+            histories: self.histories(),
+            commit_logs: self.replicas.iter().map(|r| r.commit_log().to_vec()).collect(),
+            dbs: self.replicas.iter().map(|r| r.db().clone()).collect(),
+            live: self.live_sites(),
+            epoch_history: self.epoch_history.clone(),
+        }
+    }
+
+    /// Runs the invariant bundle (see the [module docs](self)) over this
+    /// cluster's state.
+    ///
+    /// `probes` are transaction ids submitted after the fault plan's
+    /// quiescent point; pass `&[]` to skip the liveness check.
+    pub fn check_invariants(&self, probes: &[TxnId]) -> InvariantReport {
+        check_invariants(&self.run_histories(), probes)
     }
 }

@@ -77,7 +77,7 @@ pub use cluster::{
 };
 pub use conservative::ConservativeReplica;
 pub use event::{ExecToken, ReplicaAction};
-pub use invariants::{InvariantReport, InvariantViolation};
+pub use invariants::{check_invariants, InvariantReport, InvariantViolation, RunHistories};
 pub use multiclass::{MultiAction, MultiRegistry, MultiReplica, MultiRequest};
 pub use replica::{Replica, ReplicaSnapshot};
 pub use runtime::{LiveCluster, LiveConfig, LiveReport, SubmitError};

@@ -71,14 +71,17 @@
 use crate::cluster::{AnyReplica, EngineKind, Mode, TxnPayload};
 use crate::conservative::ConservativeReplica;
 use crate::event::ReplicaAction;
+use crate::invariants::{InvariantReport, RunHistories};
 use crate::replica::Replica;
 use otp_broadcast::{
     AtomicBroadcast, EngineAction, MsgId, OptAbcast, OptAbcastConfig, Oracle, ScrambleConfig,
     ScrambledAbcast, SeqAbcast, TimerToken, Wire,
 };
 use otp_simnet::metrics::{Counters, Histogram};
+use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
 use otp_simnet::{SimDuration, SimRng, SiteId};
-use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, Value};
+use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, TxnIndex, Value};
+use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{TxnId, TxnRequest};
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, HashMap};
@@ -96,6 +99,13 @@ const NET_IDLE: Duration = Duration::from_millis(25);
 const FULL_RETRY: Duration = Duration::from_micros(500);
 /// Backoff of the blocking [`LiveCluster::submit`] under backpressure.
 const SUBMIT_RETRY: Duration = Duration::from_micros(100);
+/// Pause a site thread inserts between drains while a pressure spike is
+/// active (on top of the shrunken drain budget), so its bounded queue
+/// actually saturates instead of the smaller batches just running hotter.
+const PRESSURE_PAUSE: Duration = Duration::from_micros(200);
+/// Delivery stagger between wires released from a healed cut — the
+/// real-clock analogue of the simulator's staggered post-heal replay.
+const RELEASE_STAGGER: Duration = Duration::from_micros(50);
 
 /// Configuration of the live runtime.
 #[derive(Debug, Clone)]
@@ -256,6 +266,91 @@ struct Shared {
     backpressure: AtomicU64,
 }
 
+/// Dynamic fault state shared by the cluster handle, the injector thread
+/// and the network thread. All of it is *topology*, not payload: wires
+/// never bypass the in-flight accounting, they only get parked (still
+/// counted) or delayed.
+struct ChaosCtl {
+    /// Active partition: `side[i]` is true for sites on the isolated
+    /// group-A side. `None` when healed.
+    cut: Mutex<Option<Vec<bool>>>,
+    /// Per-site network isolation — the live mapping of a nemesis crash
+    /// (the site thread is frozen *and* cut off; see DESIGN.md §10).
+    isolated: Mutex<Vec<bool>>,
+    /// Bits of the f64 loss probability (0.0 outside a burst).
+    loss_bits: AtomicU64,
+    /// Bits of the f64 jitter scale (1.0 baseline).
+    jitter_bits: AtomicU64,
+    /// Wires currently parked behind a cut or an isolation. Every parked
+    /// wire is still counted in `Shared::in_flight`; shutdown treats
+    /// `in_flight == held` as quiescent-modulo-undeliverable.
+    held: AtomicI64,
+    /// Bumped on every topology change so the network thread rescans its
+    /// parked wires exactly when a release can matter.
+    version: AtomicU64,
+}
+
+impl ChaosCtl {
+    fn new(sites: usize) -> Self {
+        ChaosCtl {
+            cut: Mutex::new(None),
+            isolated: Mutex::new(vec![false; sites]),
+            loss_bits: AtomicU64::new(0f64.to_bits()),
+            jitter_bits: AtomicU64::new(1f64.to_bits()),
+            held: AtomicI64::new(0),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a wire from `from` to `to` must be parked right now:
+    /// endpoints on opposite sides of the cut, or the destination
+    /// isolated. (Wires *from* an isolated site were sent before it
+    /// froze and still deliver — same as the simulator, where in-flight
+    /// frames of a crashing site are not clawed back.)
+    fn blocked(&self, from: SiteId, to: SiteId) -> bool {
+        if self.isolated.lock()[to.index()] {
+            return true;
+        }
+        if let Some(side) = self.cut.lock().as_ref() {
+            return side[from.index()] != side[to.index()];
+        }
+        false
+    }
+
+    fn loss(&self) -> f64 {
+        f64::from_bits(self.loss_bits.load(Ordering::Acquire))
+    }
+
+    fn jitter_scale(&self) -> f64 {
+        f64::from_bits(self.jitter_bits.load(Ordering::Acquire))
+    }
+
+    fn bump(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Control-plane message to one site thread. Deliberately *not* counted in
+/// `Shared::in_flight`: control messages carry no transaction work, and a
+/// stall/freeze only delays the worker's decrements — it can never skip
+/// one — so the accounting invariant is untouched (DESIGN.md §10).
+enum SiteCtrl {
+    /// Sleep mid-drain for the duration (thread stall).
+    Stall(Duration),
+    /// Shrink the effective drain budget and pause between drains for the
+    /// duration (channel pressure spike).
+    Pressure {
+        /// Effective per-batch drain budget during the spike.
+        drain_limit: usize,
+        /// Spike length.
+        dur: Duration,
+    },
+    /// Stop processing entirely until [`SiteCtrl::Thaw`] (live crash).
+    Freeze,
+    /// Resume processing (live recovery).
+    Thaw,
+}
+
 /// Final report returned by [`LiveCluster::shutdown`].
 #[derive(Debug)]
 pub struct LiveReport {
@@ -265,24 +360,61 @@ pub struct LiveReport {
     pub converged: bool,
     /// Final database copies.
     pub dbs: Vec<Database>,
-    /// Whether shutdown drained the system to provable idleness before
-    /// stopping the threads. When true, no in-flight wire was lost and
-    /// every admitted transaction terminated everywhere.
+    /// Whether shutdown drained every *deliverable* work unit before
+    /// stopping the threads. Wires parked behind a partition or isolation
+    /// still active at shutdown are never deliverable; they are excluded
+    /// from this verdict and counted in
+    /// [`LiveReport::undelivered_at_stop`] instead. The run was fully
+    /// lossless iff `quiesced && undelivered_at_stop == 0`.
     pub quiesced: bool,
+    /// Wires still parked behind an unhealed cut or isolation when the
+    /// threads stopped (zero on any run whose faults all ended).
+    pub undelivered_at_stop: u64,
     /// Transactions admitted over the cluster's lifetime.
     pub accepted: u64,
-    /// Commit events across all sites (`accepted × sites` when quiesced).
+    /// Commit events across all sites (`accepted × sites` when quiesced
+    /// with nothing undelivered).
     pub committed_total: u64,
     /// Submit→origin-commit wall-clock latency, merged over all sites.
     pub commit_latency: Histogram,
     /// Replica protocol counters, merged over all sites.
     pub counters: Counters,
+    /// Per-site committed histories (read/write sets + serialization
+    /// positions) for the driver-agnostic invariant bundle.
+    pub histories: Vec<Vec<CommittedTxn>>,
+    /// Per-site commit logs with definitive indexes.
+    pub commit_logs: Vec<Vec<(TxnId, TxnIndex)>>,
+}
+
+impl LiveReport {
+    /// Reduces this report to the driver-agnostic [`RunHistories`] the
+    /// invariant bundle consumes. All sites count as live (a live "crash"
+    /// is a freeze: the thread rejoined and caught up before shutdown) and
+    /// the threaded runtime installs no views, so the epoch checks pass
+    /// trivially.
+    pub fn run_histories(&self) -> RunHistories {
+        RunHistories {
+            histories: self.histories.clone(),
+            commit_logs: self.commit_logs.clone(),
+            dbs: self.dbs.clone(),
+            live: SiteId::all(self.dbs.len()).collect(),
+            epoch_history: vec![Vec::new(); self.dbs.len()],
+        }
+    }
+
+    /// Runs the same invariant bundle the simulated driver is checked
+    /// against (see [`crate::invariants`]) over this run's histories.
+    pub fn check_invariants(&self, probes: &[TxnId]) -> InvariantReport {
+        crate::invariants::check_invariants(&self.run_histories(), probes)
+    }
 }
 
 type LiveEngine = Box<dyn AtomicBroadcast<TxnPayload> + Send>;
 
 struct SiteOutcome {
     log: Vec<TxnId>,
+    commit_log: Vec<(TxnId, TxnIndex)>,
+    history: Vec<CommittedTxn>,
     db: Database,
     latency: Histogram,
     counters: Counters,
@@ -294,11 +426,130 @@ pub struct LiveCluster {
     handles: Vec<JoinHandle<SiteOutcome>>,
     net_handle: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
+    chaos: ChaosHandle,
     next_seq: Mutex<Vec<u64>>,
     /// Per-origin-site submit timestamps, keyed by local sequence number.
     submit_times: Vec<Arc<Mutex<HashMap<u64, Instant>>>>,
     max_in_flight: u64,
     quiesce_grace: Duration,
+}
+
+/// Cheap clonable handle applying fault events to a running cluster: used
+/// by the [`LiveCluster`] chaos methods and owned by the [`LiveNemesis`]
+/// injector thread.
+#[derive(Clone)]
+struct ChaosHandle {
+    chaos: Arc<ChaosCtl>,
+    ctrl_txs: Vec<crossbeam::channel::Sender<SiteCtrl>>,
+    shared: Arc<Shared>,
+}
+
+impl ChaosHandle {
+    fn partition_halves(&self, group_a: &[SiteId]) {
+        let sites = self.ctrl_txs.len();
+        let mut side = vec![false; sites];
+        for s in group_a {
+            side[s.index()] = true;
+        }
+        *self.chaos.cut.lock() = Some(side);
+        self.chaos.bump();
+    }
+
+    fn heal(&self) {
+        *self.chaos.cut.lock() = None;
+        self.chaos.bump();
+    }
+
+    fn crash_site(&self, site: SiteId) {
+        self.chaos.isolated.lock()[site.index()] = true;
+        self.chaos.bump();
+        let _ = self.ctrl_txs[site.index()].send(SiteCtrl::Freeze);
+    }
+
+    fn recover_site(&self, site: SiteId) {
+        self.chaos.isolated.lock()[site.index()] = false;
+        self.chaos.bump();
+        let _ = self.ctrl_txs[site.index()].send(SiteCtrl::Thaw);
+    }
+
+    fn set_loss(&self, p: f64) {
+        self.chaos.loss_bits.store(p.clamp(0.0, 1.0).to_bits(), Ordering::Release);
+    }
+
+    fn set_jitter_scale(&self, scale: f64) {
+        self.chaos.jitter_bits.store(scale.max(1.0).to_bits(), Ordering::Release);
+    }
+
+    fn stall_site(&self, site: SiteId, dur: Duration) {
+        let _ = self.ctrl_txs[site.index()].send(SiteCtrl::Stall(dur));
+    }
+
+    fn pressure_site(&self, site: SiteId, drain_limit: usize, dur: Duration) {
+        let _ = self.ctrl_txs[site.index()].send(SiteCtrl::Pressure { drain_limit, dur });
+    }
+
+    fn apply(&self, ev: &NemesisEvent) {
+        let wall = |d: &SimDuration| Duration::from_nanos(d.as_nanos());
+        match ev {
+            NemesisEvent::PartitionHalves { group_a } => self.partition_halves(group_a),
+            NemesisEvent::Heal => self.heal(),
+            NemesisEvent::Crash { site } => self.crash_site(*site),
+            NemesisEvent::Recover { site } => self.recover_site(*site),
+            NemesisEvent::LossBurst { probability } => self.set_loss(*probability),
+            NemesisEvent::LossEnd => self.set_loss(0.0),
+            NemesisEvent::JitterSpike { scale } => self.set_jitter_scale(*scale),
+            NemesisEvent::JitterEnd => self.set_jitter_scale(1.0),
+            NemesisEvent::ThreadStall { site, duration } => self.stall_site(*site, wall(duration)),
+            NemesisEvent::PressureSpike { site, drain_limit, duration } => {
+                self.pressure_site(*site, *drain_limit, wall(duration));
+            }
+        }
+    }
+}
+
+/// A running real-clock fault injector (see
+/// [`LiveCluster::inject_nemesis`]). Join it before shutdown so every
+/// scheduled heal/recover has fired; an injector still running when
+/// admissions halt exits without applying further events (deliberate: a
+/// heal racing the shutdown accounting would be indistinguishable from a
+/// lost wire).
+pub struct LiveNemesis {
+    handle: JoinHandle<()>,
+}
+
+impl LiveNemesis {
+    /// Blocks until the whole schedule has been applied (or the injector
+    /// exited early because the cluster began shutting down).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+/// Read-only diagnostics handle that outlives [`LiveCluster::shutdown`]
+/// (which consumes the cluster) — watchdogs hold one to print the
+/// accounting state of a wedged run.
+#[derive(Clone)]
+pub struct LiveDiag {
+    shared: Arc<Shared>,
+    chaos: Arc<ChaosCtl>,
+}
+
+impl LiveDiag {
+    /// One-line snapshot of the live accounting counters.
+    pub fn snapshot(&self) -> String {
+        format!(
+            "in_flight={} held={} accepted={} origin_committed={} committed_total={} \
+             backpressure={} admissions_open={} stop={}",
+            self.shared.in_flight.load(Ordering::Acquire),
+            self.chaos.held.load(Ordering::Acquire),
+            self.shared.accepted.load(Ordering::Acquire),
+            self.shared.origin_committed.load(Ordering::Acquire),
+            self.shared.committed_total.load(Ordering::Acquire),
+            self.shared.backpressure.load(Ordering::Acquire),
+            self.shared.running.load(Ordering::Acquire),
+            self.shared.stop.load(Ordering::Acquire),
+        )
+    }
 }
 
 impl LiveCluster {
@@ -319,21 +570,38 @@ impl LiveCluster {
             committed_total: AtomicU64::new(0),
             backpressure: AtomicU64::new(0),
         });
+        let chaos = Arc::new(ChaosCtl::new(n));
         let (net_tx, net_rx) = crossbeam::channel::bounded::<DueWire>(config.net_queue);
         let mut site_txs = Vec::new();
         let mut site_rxs = Vec::new();
+        let mut ctrl_txs = Vec::new();
+        let mut ctrl_rxs = Vec::new();
         for _ in 0..n {
             let (tx, rx) = crossbeam::channel::bounded::<SiteMsg>(config.site_queue);
             site_txs.push(tx);
             site_rxs.push(rx);
+            // Control plane: unbounded and outside the in-flight
+            // accounting — a handful of nemesis events per run.
+            let (ctx, crx) = crossbeam::channel::unbounded::<SiteCtrl>();
+            ctrl_txs.push(ctx);
+            ctrl_rxs.push(crx);
         }
 
         // Network thread: delivers wires to site queues after their due
         // time, without ever blocking (full queues requeue with backoff).
+        // It owns the dynamic fault rules: partition/isolation parking,
+        // loss-burst retransmission and jitter-spike delay scaling.
         let site_txs_for_net = site_txs.clone();
         let shared_for_net = shared.clone();
-        let net_handle =
-            std::thread::spawn(move || net_main(net_rx, site_txs_for_net, shared_for_net));
+        let chaos_for_net = chaos.clone();
+        let net_rules = NetRules {
+            jitter_span: config.net_jitter,
+            retransmit: config.net_delay.max(Duration::from_micros(500)),
+            rng: SimRng::seed_from(config.seed ^ 0x6e65_745f_7468_6421),
+        };
+        let net_handle = std::thread::spawn(move || {
+            net_main(net_rx, site_txs_for_net, shared_for_net, chaos_for_net, net_rules)
+        });
 
         // One engine per site, same factory axis as the simulated cluster.
         // The scramble oracle is shared; everything here is Send.
@@ -379,7 +647,8 @@ impl LiveCluster {
 
         // Site threads.
         let mut handles = Vec::new();
-        for ((i, rx), engine) in site_rxs.into_iter().enumerate().zip(engines) {
+        for (((i, rx), ctrl), engine) in site_rxs.into_iter().enumerate().zip(ctrl_rxs).zip(engines)
+        {
             let me = SiteId::new(i as u16);
             let replica = match config.mode {
                 Mode::Otp => AnyReplica::Otp(Replica::new(me, base_db.clone(), registry.clone())),
@@ -398,6 +667,8 @@ impl LiveCluster {
                 msg_map: HashMap::new(),
                 net: net_tx.clone(),
                 shared: shared.clone(),
+                ctrl,
+                pressure: None,
                 submit_times: submit_times[i].clone(),
                 latency: Histogram::new(),
                 jitter_rng: SimRng::seed_from(config.seed ^ (0x9e3779b97f4a7c15 + i as u64)),
@@ -410,6 +681,7 @@ impl LiveCluster {
             site_txs,
             handles,
             net_handle: Some(net_handle),
+            chaos: ChaosHandle { chaos, ctrl_txs, shared: shared.clone() },
             shared,
             next_seq: Mutex::new(vec![0; n]),
             submit_times,
@@ -520,26 +792,142 @@ impl LiveCluster {
         self.shared.backpressure.load(Ordering::Acquire)
     }
 
+    /// Commit events across all sites so far (each transaction counts
+    /// once per site that committed it). Lets harnesses wait for a
+    /// workload phase to settle before injecting the next fault.
+    pub fn committed_total(&self) -> u64 {
+        self.shared.committed_total.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------------
+    // Real-clock nemesis: the chaos vocabulary applied to live threads.
+    // See DESIGN.md §10 for what each fault maps to in the thread/channel
+    // topology and why none of them can corrupt the in-flight accounting.
+
+    /// Splits the network in two: cross-cut wires are parked by the net
+    /// thread (still counted in flight) until [`LiveCluster::heal`].
+    pub fn partition_halves(&self, group_a: &[SiteId]) {
+        self.chaos.partition_halves(group_a);
+    }
+
+    /// Removes the partition; parked cross-cut wires are released with a
+    /// small delivery stagger.
+    pub fn heal(&self) {
+        self.chaos.heal();
+    }
+
+    /// Live mapping of a nemesis crash: freezes the site's worker thread
+    /// (no processing, no timers) and isolates it on the network (inbound
+    /// wires park). State is *not* lost — the threaded runtime has no
+    /// state-transfer recovery; the simulator remains the oracle for that
+    /// path. See DESIGN.md §10.
+    pub fn crash_site(&self, site: SiteId) {
+        self.chaos.crash_site(site);
+    }
+
+    /// Thaws a crashed (frozen) site and rejoins it to the network; parked
+    /// inbound wires are released and the site catches up.
+    pub fn recover_site(&self, site: SiteId) {
+        self.chaos.recover_site(site);
+    }
+
+    /// Sets the message-loss probability (loss is modeled as retransmission
+    /// delay — channels stay reliable, as in the simulator). Pass `0.0` to
+    /// end the burst.
+    pub fn set_loss(&self, probability: f64) {
+        self.chaos.set_loss(probability);
+    }
+
+    /// Scales network jitter by `scale` (≥ 1.0) until reset to `1.0`.
+    pub fn set_jitter_scale(&self, scale: f64) {
+        self.chaos.set_jitter_scale(scale);
+    }
+
+    /// *(live-only fault)* Stalls `site`'s worker thread for `dur`: it
+    /// sleeps mid-drain, processing nothing and firing no timers.
+    pub fn stall_site(&self, site: SiteId, dur: Duration) {
+        self.chaos.stall_site(site, dur);
+    }
+
+    /// *(live-only fault)* Shrinks `site`'s effective drain budget to
+    /// `drain_limit` (with a pause between drains) for `dur`, so its
+    /// bounded queue saturates and admission backpressure fires.
+    pub fn pressure_site(&self, site: SiteId, drain_limit: usize, dur: Duration) {
+        self.chaos.pressure_site(site, drain_limit, dur);
+    }
+
+    /// Spawns the real-clock fault injector: each event of `schedule`
+    /// fires at its virtual offset mapped 1:1 onto wall-clock time from
+    /// *now*. Join the returned [`LiveNemesis`] before calling
+    /// [`LiveCluster::shutdown`]; an injector that observes halted
+    /// admissions exits without applying further events.
+    pub fn inject_nemesis(&self, schedule: &NemesisSchedule) -> LiveNemesis {
+        let events: Vec<(Duration, NemesisEvent)> = schedule
+            .events
+            .iter()
+            .map(|(t, ev)| (Duration::from_nanos(t.as_nanos()), ev.clone()))
+            .collect();
+        let h = self.chaos.clone();
+        let handle = std::thread::spawn(move || {
+            let anchor = Instant::now();
+            for (offset, ev) in events {
+                let due = anchor + offset;
+                loop {
+                    if !h.shared.running.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let left = due.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    std::thread::sleep(left.min(Duration::from_millis(5)));
+                }
+                h.apply(&ev);
+            }
+        });
+        LiveNemesis { handle }
+    }
+
+    /// A diagnostics handle that stays valid after
+    /// [`LiveCluster::shutdown`] consumes the cluster (for watchdogs).
+    pub fn diag_handle(&self) -> LiveDiag {
+        LiveDiag { shared: self.shared.clone(), chaos: self.chaos.chaos.clone() }
+    }
+
     /// Stops the cluster with a two-phase quiescence protocol and reports.
     ///
     /// Phase one halts admissions and waits for the in-flight work counter
-    /// to reach zero — every queued message delivered, every timer fired,
-    /// every admitted transaction terminated everywhere. The wait is
-    /// bounded by `deadline` plus the configured
-    /// [`LiveConfig::quiesce_grace`] (so a tight deadline still drains
-    /// admitted work instead of dropping wires). Phase two sets the stop
-    /// flag and joins the threads; after a clean phase one their queues
-    /// are provably empty, so nothing is lost. If the budget expires with
-    /// work still in flight (`quiesced: false` in the report), threads
-    /// drain what they can reach and exit.
+    /// to drain: every queued message delivered, every timer fired, every
+    /// admitted transaction terminated everywhere. Wires parked behind a
+    /// partition or isolation still active at shutdown are *forever
+    /// undeliverable* (the injector is gone; nobody will heal the cut), so
+    /// they do not count against quiescence: phase one ends when
+    /// `in_flight` equals the parked count, and the report carries that
+    /// count as [`LiveReport::undelivered_at_stop`]. The wait is bounded
+    /// by `deadline` plus the configured [`LiveConfig::quiesce_grace`] (so
+    /// a tight deadline still drains admitted work instead of dropping
+    /// wires). Phase two sets the stop flag and joins the threads; after a
+    /// clean phase one their queues hold nothing deliverable, so nothing
+    /// reachable is lost. If the budget expires with deliverable work
+    /// still in flight (`quiesced: false` in the report), threads drain
+    /// what they can reach and exit.
     pub fn shutdown(self, deadline: Duration) -> LiveReport {
         self.halt_admissions();
-        // Phase 1: drain to quiescence.
+        // Phase 1: drain to quiescence-modulo-undeliverable.
         let budget = deadline.saturating_add(self.quiesce_grace);
         let start = Instant::now();
         let mut quiesced = false;
         loop {
-            if self.shared.in_flight.load(Ordering::Acquire) == 0 {
+            // Read order matters: `in_flight` first, `held` second. A wire
+            // parked between the reads only delays this round (caught next
+            // iteration); the reverse order could observe a release and
+            // declare quiescence with deliverable wires still in the heap.
+            // Releases require a heal/recover, which after halted
+            // admissions only a direct caller can trigger — the injector
+            // has already exited.
+            let in_flight = self.shared.in_flight.load(Ordering::Acquire);
+            let held = self.chaos.chaos.held.load(Ordering::Acquire);
+            if in_flight == held {
                 quiesced = true;
                 break;
             }
@@ -548,6 +936,7 @@ impl LiveCluster {
             }
             std::thread::sleep(Duration::from_micros(500));
         }
+        let undelivered_at_stop = self.chaos.chaos.held.load(Ordering::Acquire).max(0) as u64;
         // Phase 2: stop the threads (they notice within one idle tick).
         self.shared.stop.store(true, Ordering::Release);
         if let Some(h) = self.net_handle {
@@ -555,12 +944,16 @@ impl LiveCluster {
         }
         drop(self.site_txs);
         let mut committed = Vec::new();
+        let mut commit_logs = Vec::new();
+        let mut histories = Vec::new();
         let mut dbs = Vec::new();
         let mut commit_latency = Histogram::new();
         let mut counters = Counters::new();
         for h in self.handles {
             let outcome = h.join().expect("site thread panicked");
             committed.push(outcome.log);
+            commit_logs.push(outcome.commit_log);
+            histories.push(outcome.history);
             dbs.push(outcome.db);
             commit_latency.merge(&outcome.latency);
             counters.merge(&outcome.counters);
@@ -571,34 +964,99 @@ impl LiveCluster {
             converged,
             dbs,
             quiesced,
+            undelivered_at_stop,
             accepted: self.shared.accepted.load(Ordering::Acquire),
             committed_total: self.shared.committed_total.load(Ordering::Acquire),
             commit_latency,
             counters,
+            histories,
+            commit_logs,
         }
     }
+}
+
+/// Static inputs the network thread needs for fault emulation: the
+/// baseline jitter span (scaled during a jitter spike), the retransmission
+/// delay charged to a "lost" wire, and a private rng stream for loss and
+/// jitter draws.
+struct NetRules {
+    jitter_span: Duration,
+    retransmit: Duration,
+    rng: SimRng,
 }
 
 /// Network thread: a delay heap between the sites. Never blocks on a site
 /// queue — a full queue requeues the wire with a small backoff, so the
 /// site↔net channel pair cannot deadlock (sites may block sending here;
 /// this thread always returns to drain its channel).
+///
+/// Fault emulation happens here, at the same three points as the
+/// simulator's `SimNet`:
+///
+/// * **ingest** — during a jitter spike every arriving wire gains extra
+///   delay proportional to the spike scale;
+/// * **due-pop** — a wire whose endpoints straddle the active cut (or
+///   whose destination is isolated) is *parked*, not dropped: it stays
+///   counted in `in_flight` and is released (staggered) when the topology
+///   heals. Loss is modeled as a retransmission delay — channels stay
+///   reliable, matching the sim, so no accounting unit ever disappears;
+/// * **version bump** — a heal/recover rescans the parked set exactly
+///   once per topology change.
 fn net_main(
     rx: crossbeam::channel::Receiver<DueWire>,
     site_txs: Vec<crossbeam::channel::Sender<SiteMsg>>,
     shared: Arc<Shared>,
+    chaos: Arc<ChaosCtl>,
+    mut rules: NetRules,
 ) {
     let mut heap: BinaryHeap<DueWire> = BinaryHeap::new();
+    let mut parked: Vec<DueWire> = Vec::new();
+    let mut seen_version = chaos.version.load(Ordering::Acquire);
     loop {
         if shared.stop.load(Ordering::Acquire) {
-            // Clean shutdown quiesced first, so the heap is empty here;
-            // in a forced teardown whatever it still holds is lost and
-            // reported via `quiesced: false`.
+            // Clean shutdown quiesced first, so the heap holds nothing
+            // deliverable here; parked wires are reported via
+            // `undelivered_at_stop`, and in a forced teardown whatever
+            // else remains is covered by `quiesced: false`.
             break;
+        }
+        let version = chaos.version.load(Ordering::Acquire);
+        if version != seen_version {
+            seen_version = version;
+            // Topology changed: release every parked wire that can now
+            // cross. Staggered re-dues keep a large release from landing
+            // as one burst on a just-thawed site's bounded queue.
+            let now = Instant::now();
+            let mut still_parked = Vec::with_capacity(parked.len());
+            let mut released = 0u32;
+            for mut w in parked.drain(..) {
+                if chaos.blocked(w.from, w.to) {
+                    still_parked.push(w);
+                } else {
+                    w.due = now + RELEASE_STAGGER * released;
+                    released += 1;
+                    chaos.held.fetch_sub(1, Ordering::AcqRel);
+                    heap.push(w);
+                }
+            }
+            parked = still_parked;
         }
         let now = Instant::now();
         while heap.peek().is_some_and(|w| w.due <= now) {
-            let DueWire { to, from, wire, .. } = heap.pop().expect("peeked");
+            let w = heap.pop().expect("peeked");
+            if chaos.blocked(w.from, w.to) {
+                chaos.held.fetch_add(1, Ordering::AcqRel);
+                parked.push(w);
+                continue;
+            }
+            let loss = chaos.loss();
+            if loss > 0.0 && rules.rng.uniform_f64() < loss {
+                // "Lost": charge a retransmission delay and requeue. The
+                // wire never leaves the accounting, same as the sim.
+                heap.push(DueWire { due: now + rules.retransmit, ..w });
+                continue;
+            }
+            let DueWire { to, from, wire, .. } = w;
             if let Err(e) = site_txs[to.index()].try_send(SiteMsg::Wire { from, wire }) {
                 match e {
                     crossbeam::channel::TrySendError::Full(SiteMsg::Wire { from, wire }) => {
@@ -621,7 +1079,16 @@ fn net_main(
             .unwrap_or(NET_IDLE)
             .min(NET_IDLE);
         match rx.recv_timeout(timeout) {
-            Ok(w) => heap.push(w),
+            Ok(mut w) => {
+                let scale = chaos.jitter_scale();
+                if scale > 1.0 && !rules.jitter_span.is_zero() {
+                    // Jitter spike: stretch the spread (not the base
+                    // delay), mirroring the sim's scaled jitter draw.
+                    let extra = rules.jitter_span.mul_f64((scale - 1.0) * rules.rng.uniform_f64());
+                    w.due += extra;
+                }
+                heap.push(w);
+            }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
@@ -674,18 +1141,28 @@ struct SiteWorker {
     /// Set once the stop flag is observed; engine timers stop re-arming so
     /// the teardown drain terminates.
     stopping: bool,
+    /// Nemesis control channel: stalls, pressure spikes, freeze/thaw.
+    /// Control messages are *not* counted in `in_flight` — they carry no
+    /// protocol work, they only delay it (see DESIGN.md §10).
+    ctrl: crossbeam::channel::Receiver<SiteCtrl>,
+    /// Active pressure spike: `(drain_limit, expires)`. While set, the
+    /// drain batch shrinks to `drain_limit` and each iteration pauses,
+    /// so the bounded inbound queue saturates and backpressure fires.
+    pressure: Option<(usize, Instant)>,
 }
 
 impl SiteWorker {
     fn run(mut self, rx: crossbeam::channel::Receiver<SiteMsg>) -> SiteOutcome {
-        let drain_limit = self.cfg.drain_limit.max(1);
-        let mut wires: Vec<(SiteId, Wire<TxnPayload>)> = Vec::with_capacity(drain_limit);
+        let cfg_limit = self.cfg.drain_limit.max(1);
+        let mut wires: Vec<(SiteId, Wire<TxnPayload>)> = Vec::with_capacity(cfg_limit);
         loop {
+            self.poll_ctrl();
             self.fire_due_timers();
             if self.shared.stop.load(Ordering::Acquire) {
                 self.drain_at_stop(&rx);
                 break;
             }
+            let drain_limit = self.effective_drain_limit(cfg_limit);
             let timeout = self
                 .timers
                 .peek()
@@ -710,13 +1187,94 @@ impl SiteWorker {
             }
             self.flush(&mut wires);
             self.shared.in_flight.fetch_sub(consumed, Ordering::AcqRel);
+            if self.pressure.is_some() {
+                // Throttle between drains so the queue actually backs up.
+                std::thread::sleep(PRESSURE_PAUSE);
+            }
         }
         let log = self.replica.commit_log().iter().map(|(t, _)| *t).collect();
         // Hand the final database back by value; clone at shutdown.
         let db = self.replica.db().clone();
         let mut counters = Counters::new();
         counters.merge(self.replica.counters());
-        SiteOutcome { log, db, latency: self.latency, counters }
+        SiteOutcome {
+            log,
+            commit_log: self.replica.commit_log().to_vec(),
+            history: self.replica.history().to_vec(),
+            db,
+            latency: self.latency,
+            counters,
+        }
+    }
+
+    /// Applies any queued nemesis control messages. Stalls and freezes
+    /// block *here*, inside the site's own loop — inbound wires keep
+    /// queueing (and keep their in-flight units), which is exactly what a
+    /// descheduled or crashed process looks like from the outside.
+    fn poll_ctrl(&mut self) {
+        while let Ok(msg) = self.ctrl.try_recv() {
+            match msg {
+                SiteCtrl::Stall(d) => self.stall(d),
+                SiteCtrl::Pressure { drain_limit, dur } => {
+                    self.pressure = Some((drain_limit.max(1), Instant::now() + dur));
+                }
+                SiteCtrl::Freeze => self.frozen(),
+                // Thaw without a matching freeze: stale (the freeze loop
+                // already consumed its pair, or recover raced crash).
+                SiteCtrl::Thaw => {}
+            }
+        }
+    }
+
+    /// Sleeps through a stall in small chunks so phase-2 stop still
+    /// interrupts it. No timer fires and no message is processed while
+    /// stalled — their work units simply wait, they are never dropped.
+    fn stall(&mut self, d: Duration) {
+        let until = Instant::now() + d;
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            std::thread::sleep(left.min(IDLE_TICK));
+        }
+    }
+
+    /// Crash emulation: process *nothing* until thawed. The thread parks
+    /// on its control channel; protocol messages stay queued upstream
+    /// (the net thread also parks wires to an isolated site), timers stay
+    /// armed. No state is lost — the live driver models fail-stop-recover
+    /// without state transfer; the simulator remains the oracle for
+    /// recovery-with-state-transfer.
+    fn frozen(&mut self) {
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            match self.ctrl.recv_timeout(IDLE_TICK) {
+                Ok(SiteCtrl::Thaw) => return,
+                // A nested stall/pressure while frozen is meaningless;
+                // swallow it (schedules never overlap windows anyway).
+                Ok(_) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Current drain budget: the pressure spike's limit while one is
+    /// active, the configured limit otherwise.
+    fn effective_drain_limit(&mut self, cfg_limit: usize) -> usize {
+        if let Some((limit, expires)) = self.pressure {
+            if Instant::now() < expires {
+                return limit;
+            }
+            self.pressure = None;
+        }
+        cfg_limit
     }
 
     /// Consumes one channel message. Wires accumulate into the batch;

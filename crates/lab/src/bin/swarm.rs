@@ -7,8 +7,14 @@
 //! Reproducer mode: `--seed N --grid-cell CELL` re-runs exactly one cell
 //! and prints its invariant report and stats digest.
 //!
+//! Conformance mode: `--seed N --live-fault FAULT` runs one cross-driver
+//! conformance check (same fault plan through the simulator and the
+//! threaded runtime, identical invariant bundle on both) and prints both
+//! verdicts — the reproducer line the live-chaos suite emits.
+//!
 //! ```text
 //! swarm [--seeds N] [--start-seed N] [--seed N] [--grid-cell CELL]
+//!       [--live-fault crash|partition|stall|pressure]
 //!       [--txns N] [--sabotage KIND] [--repro-out FILE] [--list-cells]
 //! ```
 //!
@@ -16,6 +22,7 @@
 //! mode) so CI can upload the lines as an artifact on failure.
 
 use otp_lab::grid::Intensity;
+use otp_lab::live::{run_conformance, ConformanceSpec, LiveFault};
 use otp_lab::runner::DEFAULT_TXNS;
 use otp_lab::swarm::parse_seed_budget;
 use otp_lab::{run_cell, run_swarm, CellSpec, GridCell, Sabotage, SwarmConfig};
@@ -27,8 +34,9 @@ struct Args {
     start_seed: u64,
     seed: Option<u64>,
     grid_cell: Option<GridCell>,
+    live_fault: Option<LiveFault>,
     intensity: Option<Intensity>,
-    txns: u64,
+    txns: Option<u64>,
     sabotage: Option<Sabotage>,
     repro_out: Option<String>,
     list_cells: bool,
@@ -40,8 +48,9 @@ fn parse_args() -> Result<Args, String> {
         start_seed: 1,
         seed: None,
         grid_cell: None,
+        live_fault: None,
         intensity: None,
-        txns: DEFAULT_TXNS,
+        txns: None,
         sabotage: None,
         repro_out: None,
         list_cells: false,
@@ -54,18 +63,21 @@ fn parse_args() -> Result<Args, String> {
             "--start-seed" => args.start_seed = parse_num(&value("--start-seed")?)?,
             "--seed" => args.seed = Some(parse_num(&value("--seed")?)?),
             "--grid-cell" => args.grid_cell = Some(value("--grid-cell")?.parse()?),
+            "--live-fault" => args.live_fault = Some(LiveFault::parse(&value("--live-fault")?)?),
             "--intensity" => args.intensity = Some(Intensity::parse(&value("--intensity")?)?),
-            "--txns" => args.txns = parse_num(&value("--txns")?)?,
+            "--txns" => args.txns = Some(parse_num(&value("--txns")?)?),
             "--sabotage" => args.sabotage = Some(Sabotage::parse(&value("--sabotage")?)?),
             "--repro-out" => args.repro_out = Some(value("--repro-out")?),
             "--list-cells" => args.list_cells = true,
             "--help" | "-h" => {
                 println!(
                     "usage: swarm [--seeds N] [--start-seed N] [--seed N] \
-                     [--grid-cell CELL] [--intensity calm|rough|hostile|viewchange] [--txns N] \
+                     [--grid-cell CELL] [--live-fault crash|partition|stall|pressure] \
+                     [--intensity calm|rough|hostile|viewchange] [--txns N] \
                      [--sabotage KIND] [--repro-out FILE] [--list-cells]\n\
                      CHAOS_SEEDS bounds the sweep when --seeds is absent; --intensity \
-                     restricts the sweep to one nemesis intensity (the CI chaos matrix)."
+                     restricts the sweep to one nemesis intensity (the CI chaos matrix); \
+                     --live-fault with --seed runs one cross-driver conformance check."
                 );
                 std::process::exit(0);
             }
@@ -95,13 +107,45 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Conformance reproducer mode: one cross-driver run, both verdicts.
+    if let Some(fault) = args.live_fault {
+        let Some(seed) = args.seed else {
+            eprintln!("swarm: --live-fault requires --seed");
+            return ExitCode::FAILURE;
+        };
+        let mut spec = ConformanceSpec::new(seed, fault);
+        if let Some(txns) = args.txns {
+            spec = spec.with_txns(txns);
+        }
+        let outcome = run_conformance(&spec);
+        println!(
+            "seed {} fault {} — sim completed {}, live commits {} (quiesced: {}, held: {})",
+            seed,
+            fault.id(),
+            outcome.sim.completed,
+            outcome.live_commits,
+            outcome.live_quiesced,
+            outcome.live_undelivered,
+        );
+        println!("sim leg:  {}", outcome.sim.report);
+        println!("live leg: {}", outcome.live);
+        return if outcome.passed() {
+            println!("conformance: both drivers agree");
+            ExitCode::SUCCESS
+        } else {
+            print!("{}", outcome.describe_failure());
+            println!("repro: {}", outcome.reproducer);
+            ExitCode::FAILURE
+        };
+    }
+
     // Reproducer mode: exactly one (seed, cell) run, full detail.
     if let Some(seed) = args.seed {
         let Some(cell) = args.grid_cell else {
             eprintln!("swarm: --seed requires --grid-cell (see --list-cells)");
             return ExitCode::FAILURE;
         };
-        let mut spec = CellSpec::new(seed, cell).with_txns(args.txns);
+        let mut spec = CellSpec::new(seed, cell).with_txns(args.txns.unwrap_or(DEFAULT_TXNS));
         if let Some(s) = args.sabotage {
             spec = spec.with_sabotage(s);
         }
@@ -126,7 +170,7 @@ fn main() -> ExitCode {
         None => SwarmConfig::from_env(),
     };
     config.start_seed = args.start_seed;
-    config.txns = args.txns;
+    config.txns = args.txns.unwrap_or(DEFAULT_TXNS);
     config.sabotage = args.sabotage;
     if let Some(cell) = args.grid_cell {
         config.cells = vec![cell];

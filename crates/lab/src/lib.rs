@@ -16,7 +16,13 @@
 //!   byte-identical-replay assertions;
 //! * [`swarm`] — the sweep driver: distributes a seed budget (bounded by
 //!   the `CHAOS_SEEDS` environment knob) across the grid and collects
-//!   failures with their one-line reproducers.
+//!   failures with their one-line reproducers;
+//! * [`live`] — the live column: cross-driver conformance runs pushing
+//!   one seed-generated fault plan + workload through both the simulator
+//!   and the threaded [`otp_core::runtime::LiveCluster`], judged by the
+//!   identical invariant bundle;
+//! * [`watchdog`] — a hard wall-clock cap for real-clock tests, with a
+//!   thread-dump-style diagnostic instead of a silent CI hang.
 //!
 //! # Example: one reproducible chaos run
 //!
@@ -35,9 +41,15 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod live;
 pub mod runner;
 pub mod swarm;
+pub mod watchdog;
 
 pub use grid::{EngineChoice, GridCell, Intensity};
-pub use runner::{run_cell, CellOutcome, CellSpec, Sabotage};
+pub use live::{
+    conformance_schedule, run_conformance, ConformanceOutcome, ConformanceSpec, LiveFault,
+};
+pub use runner::{run_cell, run_cell_with_schedule, CellOutcome, CellSpec, Sabotage};
 pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
+pub use watchdog::{with_watchdog, Watchdog};

@@ -160,6 +160,23 @@ impl CellOutcome {
 
 /// Runs one grid cell deterministically. See the [module docs](self).
 pub fn run_cell(spec: &CellSpec) -> CellOutcome {
+    let schedule = spec.cell.intensity.schedule(spec.seed, spec.sites, CHAOS_HORIZON);
+    run_cell_with_schedule(spec, &schedule)
+}
+
+/// Runs one grid cell against an *externally supplied* nemesis schedule
+/// instead of the one `spec.cell.intensity` would generate. This is the
+/// entry the cross-driver conformance harness uses: the same schedule is
+/// pushed through this simulated run and through a [`crate::live`] run,
+/// and both must pass the identical invariant bundle.
+///
+/// The outcome's [`CellOutcome::reproducer`] reproduces the *cell* (its
+/// intensity-derived schedule), not a custom schedule — conformance
+/// outcomes carry their own reproducer line.
+pub fn run_cell_with_schedule(
+    spec: &CellSpec,
+    schedule: &otp_simnet::nemesis::NemesisSchedule,
+) -> CellOutcome {
     let (registry, procs) = StandardProcs::registry();
     let mut initial = Vec::new();
     for c in 0..spec.classes as u32 {
@@ -187,9 +204,7 @@ pub fn run_cell(spec: &CellSpec) -> CellOutcome {
         t += WORKLOAD_SPACING;
     }
 
-    // The nemesis: same seed, fault plan from the cell's intensity.
-    let schedule = spec.cell.intensity.schedule(spec.seed, spec.sites, CHAOS_HORIZON);
-    cluster.schedule_nemesis(&schedule);
+    cluster.schedule_nemesis(schedule);
 
     // Liveness probes once every fault has ended (the workload may still
     // be in flight — probes are ordinary transactions).

@@ -1,0 +1,137 @@
+//! Hard wall-clock watchdog for real-clock tests.
+//!
+//! A deadlocked thread in a [`otp_core::runtime::LiveCluster`] test does
+//! not fail — it hangs until the CI job's global timeout kills the whole
+//! process with no diagnostic. [`with_watchdog`] bounds one test body with
+//! a hard cap: the body runs on its own thread, and if it has not
+//! finished when the cap expires the supervising thread prints a
+//! thread-dump-style diagnostic (every [`Watchdog::set_diag`] source the
+//! body registered, e.g. a [`otp_core::runtime::LiveCluster::diag_handle`]
+//! snapshot of the in-flight accounting) and panics — the *test* fails,
+//! with evidence, while sibling tests keep running.
+//!
+//! ```
+//! use otp_lab::watchdog::with_watchdog;
+//! use std::time::Duration;
+//!
+//! let n = with_watchdog("addition", Duration::from_secs(5), |_dog| 2 + 2);
+//! assert_eq!(n, 4);
+//! ```
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type DiagFn = Box<dyn Fn() -> String + Send>;
+
+/// Handle the watched body uses to register timeout diagnostics.
+pub struct Watchdog {
+    diags: Mutex<Vec<(String, DiagFn)>>,
+}
+
+impl Watchdog {
+    fn new() -> Self {
+        Watchdog { diags: Mutex::new(Vec::new()) }
+    }
+
+    /// Registers a named diagnostic source, evaluated (in registration
+    /// order) if — and only if — the cap expires. Register cheap
+    /// snapshot closures, e.g. `move || diag.snapshot()` over a
+    /// [`otp_core::runtime::LiveCluster::diag_handle`].
+    pub fn set_diag(&self, label: &str, f: impl Fn() -> String + Send + 'static) {
+        self.diags.lock().expect("watchdog lock").push((label.to_string(), Box::new(f)));
+    }
+
+    fn dump(&self, name: &str, cap: Duration) -> String {
+        let mut out = format!("watchdog: {name:?} still running after {cap:?}\n");
+        let diags = self.diags.lock().expect("watchdog lock");
+        if diags.is_empty() {
+            out.push_str("  (no diagnostic sources registered)\n");
+        }
+        for (label, f) in diags.iter() {
+            out.push_str(&format!("  --- {label} ---\n"));
+            for line in f().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Runs `f` under a hard wall-clock cap. Returns `f`'s value if it
+/// finishes in time; on timeout prints the registered diagnostics to
+/// stderr and panics in the *calling* thread (failing the test without
+/// taking the process down). A panic inside `f` is propagated.
+///
+/// The body receives a [`Watchdog`] reference to register diagnostics
+/// with; pass a closure ignoring it if there is nothing to dump.
+///
+/// # Panics
+///
+/// Panics when the cap expires before `f` returns, and re-panics with
+/// `f`'s payload when `f` itself panicked.
+pub fn with_watchdog<T, F>(name: &str, cap: Duration, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce(&Watchdog) -> T + Send + 'static,
+{
+    let dog = Arc::new(Watchdog::new());
+    let body_dog = Arc::clone(&dog);
+    let (tx, rx) = mpsc::channel();
+    let start = Instant::now();
+    let handle = std::thread::Builder::new()
+        .name(format!("watchdog-{name}"))
+        .spawn(move || {
+            let _ = tx.send(f(&body_dog));
+        })
+        .expect("spawn watchdog body");
+    match rx.recv_timeout(cap) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprint!("{}", dog.dump(name, start.elapsed()));
+            // The body thread is left behind; the test harness exits the
+            // process after the run, which reaps it.
+            panic!("watchdog: test {name:?} exceeded its {cap:?} wall-clock cap");
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!("body sent nothing yet exited cleanly"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_time_body_returns_its_value() {
+        let v = with_watchdog("quick", Duration::from_secs(10), |_| vec![1, 2, 3]);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn timeout_panics_with_the_test_name() {
+        let r = std::panic::catch_unwind(|| {
+            with_watchdog("sleeper", Duration::from_millis(50), |dog| {
+                dog.set_diag("state", || "mid-sleep".into());
+                std::thread::sleep(Duration::from_secs(30));
+            })
+        });
+        let msg = *r.expect_err("must time out").downcast::<String>().expect("string payload");
+        assert!(msg.contains("sleeper"), "{msg}");
+        assert!(msg.contains("wall-clock cap"), "{msg}");
+    }
+
+    #[test]
+    fn body_panic_is_propagated() {
+        let r = std::panic::catch_unwind(|| {
+            with_watchdog("bomb", Duration::from_secs(10), |_| panic!("inner boom"))
+        });
+        let msg = *r.expect_err("must propagate").downcast::<&str>().expect("str payload");
+        assert!(msg.contains("inner boom"), "{msg}");
+    }
+}

@@ -35,11 +35,18 @@
 
 use crate::net::SiteId;
 use crate::rng::SimRng;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// One fault-injection action. Window-style faults come in begin/end pairs
 /// (`PartitionHalves`/`Heal`, `Crash`/`Recover`, `LossBurst`/`LossEnd`,
-/// `JitterSpike`/`JitterEnd`).
+/// `JitterSpike`/`JitterEnd`). The two *live-only* faults —
+/// [`ThreadStall`] and [`PressureSpike`] — are one-shot events that carry
+/// their own duration: they describe thread/channel phenomena that have no
+/// analogue in the virtual-time driver, which ignores them (the simulator
+/// has no OS threads to stall and its queues are unbounded).
+///
+/// [`ThreadStall`]: NemesisEvent::ThreadStall
+/// [`PressureSpike`]: NemesisEvent::PressureSpike
 #[derive(Debug, Clone, PartialEq)]
 pub enum NemesisEvent {
     /// Split the network in two: `group_a` on one side, everyone else on
@@ -83,6 +90,28 @@ pub enum NemesisEvent {
     },
     /// End the current jitter spike, restoring the configured baseline.
     JitterEnd,
+    /// *(live-only)* Stall a site's worker thread: it sleeps mid-drain for
+    /// `duration` without processing messages or firing timers. Ignored by
+    /// the virtual-time driver.
+    ThreadStall {
+        /// The stalled site.
+        site: SiteId,
+        /// How long the thread sleeps.
+        duration: SimDuration,
+    },
+    /// *(live-only)* Shrink a site's effective per-batch drain budget to
+    /// `drain_limit` (with a small pause between drains) for `duration`,
+    /// so its bounded inbound queue saturates and admission backpressure
+    /// fires. Ignored by the virtual-time driver.
+    PressureSpike {
+        /// The throttled site.
+        site: SiteId,
+        /// Effective drain budget during the spike (normally
+        /// `LiveConfig::drain_limit`).
+        drain_limit: usize,
+        /// How long the throttle lasts.
+        duration: SimDuration,
+    },
 }
 
 /// Intensity knobs for [`NemesisSchedule::generate`]: how many windows of
@@ -97,6 +126,11 @@ pub struct NemesisKnobs {
     pub loss_bursts: u32,
     /// Number of jitter-spike windows.
     pub jitter_spikes: u32,
+    /// Number of thread-stall windows (live-only; the sim driver ignores
+    /// the generated events).
+    pub stalls: u32,
+    /// Number of channel-pressure-spike windows (live-only).
+    pub pressures: u32,
     /// Upper bound of the sampled burst loss probability.
     pub max_loss: f64,
     /// Upper bound of the sampled jitter scale.
@@ -111,6 +145,8 @@ impl NemesisKnobs {
             crashes: 0,
             loss_bursts: 0,
             jitter_spikes: 0,
+            stalls: 0,
+            pressures: 0,
             max_loss: 0.0,
             max_jitter_scale: 1.0,
         }
@@ -123,6 +159,8 @@ impl NemesisKnobs {
             crashes: 1,
             loss_bursts: 1,
             jitter_spikes: 0,
+            stalls: 0,
+            pressures: 0,
             max_loss: 0.15,
             max_jitter_scale: 4.0,
         }
@@ -135,14 +173,38 @@ impl NemesisKnobs {
             crashes: 2,
             loss_bursts: 2,
             jitter_spikes: 1,
+            stalls: 0,
+            pressures: 0,
             max_loss: 0.3,
             max_jitter_scale: 8.0,
         }
     }
 
+    /// The live-runtime mix: one partition, one crash, one thread stall,
+    /// one pressure spike — every fault family the threaded driver can
+    /// express, one window each. Run through the sim driver the same
+    /// schedule degrades gracefully (the live-only events are ignored).
+    pub fn live() -> Self {
+        NemesisKnobs {
+            partitions: 1,
+            crashes: 1,
+            loss_bursts: 0,
+            jitter_spikes: 0,
+            stalls: 1,
+            pressures: 1,
+            max_loss: 0.0,
+            max_jitter_scale: 1.0,
+        }
+    }
+
     /// Total number of fault windows this knob set produces.
     pub fn windows(&self) -> u32 {
-        self.partitions + self.crashes + self.loss_bursts + self.jitter_spikes
+        self.partitions
+            + self.crashes
+            + self.loss_bursts
+            + self.jitter_spikes
+            + self.stalls
+            + self.pressures
     }
 }
 
@@ -156,13 +218,17 @@ pub struct NemesisSchedule {
     pub quiet_from: SimTime,
 }
 
-/// The window-style fault kinds the generator draws from.
+/// The window-style fault kinds the generator draws from. `Stall` and
+/// `Pressure` occupy a window slot like the others but emit a single
+/// one-shot event carrying the window length as its duration.
 #[derive(Debug, Clone, Copy)]
 enum FaultKind {
     Partition,
     Crash,
     Loss,
     Jitter,
+    Stall,
+    Pressure,
 }
 
 impl NemesisSchedule {
@@ -198,6 +264,8 @@ impl NemesisSchedule {
         }
         kinds.extend(std::iter::repeat_n(FaultKind::Loss, knobs.loss_bursts as usize));
         kinds.extend(std::iter::repeat_n(FaultKind::Jitter, knobs.jitter_spikes as usize));
+        kinds.extend(std::iter::repeat_n(FaultKind::Stall, knobs.stalls as usize));
+        kinds.extend(std::iter::repeat_n(FaultKind::Pressure, knobs.pressures as usize));
         if kinds.is_empty() {
             return NemesisSchedule::empty();
         }
@@ -214,13 +282,19 @@ impl NemesisSchedule {
         let slot = chaos_end.saturating_since(chaos_start).div_u64(kinds.len() as u64);
 
         let mut events: Vec<(SimTime, NemesisEvent)> = Vec::new();
+        // Every window — paired or one-shot — is over by its `end`, so the
+        // quiescent point is the max end (one-shot events sit at `begin`
+        // but their *effect* runs to `end`).
+        let mut quiet_from = SimTime::ZERO;
         for (i, kind) in kinds.iter().enumerate() {
             let slot_start = chaos_start + slot.mul_u64(i as u64);
             // Begin in the first third of the slot, end in the last third,
             // leaving a gap before the next slot so windows never touch.
             let begin = slot_start + slot.mul_f64(0.05 + 0.25 * rng.uniform_f64());
             let end = slot_start + slot.mul_f64(0.60 + 0.30 * rng.uniform_f64());
-            let (open, close) = match kind {
+            quiet_from = quiet_from.max(end);
+            let duration = end.saturating_since(begin);
+            match kind {
                 FaultKind::Partition => {
                     // Cut off a strict minority so the majority side keeps
                     // deciding; heal releases the held traffic.
@@ -230,26 +304,38 @@ impl NemesisSchedule {
                     rng.shuffle(&mut all);
                     all.truncate(g.min(max_minority.max(1)));
                     all.sort_unstable();
-                    (NemesisEvent::PartitionHalves { group_a: all }, NemesisEvent::Heal)
+                    events.push((begin, NemesisEvent::PartitionHalves { group_a: all }));
+                    events.push((end, NemesisEvent::Heal));
                 }
                 FaultKind::Crash => {
                     let site = SiteId::new(rng.uniform_range(0, sites as u64) as u16);
-                    (NemesisEvent::Crash { site }, NemesisEvent::Recover { site })
+                    events.push((begin, NemesisEvent::Crash { site }));
+                    events.push((end, NemesisEvent::Recover { site }));
                 }
                 FaultKind::Loss => {
                     let p = 0.05 + (knobs.max_loss - 0.05).max(0.0) * rng.uniform_f64();
-                    (NemesisEvent::LossBurst { probability: p }, NemesisEvent::LossEnd)
+                    events.push((begin, NemesisEvent::LossBurst { probability: p }));
+                    events.push((end, NemesisEvent::LossEnd));
                 }
                 FaultKind::Jitter => {
                     let s = 2.0 + (knobs.max_jitter_scale - 2.0).max(0.0) * rng.uniform_f64();
-                    (NemesisEvent::JitterSpike { scale: s }, NemesisEvent::JitterEnd)
+                    events.push((begin, NemesisEvent::JitterSpike { scale: s }));
+                    events.push((end, NemesisEvent::JitterEnd));
                 }
-            };
-            events.push((begin, open));
-            events.push((end, close));
+                FaultKind::Stall => {
+                    let site = SiteId::new(rng.uniform_range(0, sites as u64) as u16);
+                    events.push((begin, NemesisEvent::ThreadStall { site, duration }));
+                }
+                FaultKind::Pressure => {
+                    let site = SiteId::new(rng.uniform_range(0, sites as u64) as u16);
+                    events.push((
+                        begin,
+                        NemesisEvent::PressureSpike { site, drain_limit: 1, duration },
+                    ));
+                }
+            }
         }
         events.sort_by_key(|(t, _)| *t);
-        let quiet_from = events.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO);
         NemesisSchedule { events, quiet_from }
     }
 
@@ -425,6 +511,61 @@ mod tests {
                 ),
                 "{ev:?}"
             );
+        }
+    }
+
+    #[test]
+    fn live_knobs_emit_one_shot_events_covered_by_quiet_from() {
+        for seed in 0..50 {
+            let a = NemesisSchedule::generate(seed, 4, horizon(), &NemesisKnobs::live());
+            let b = NemesisSchedule::generate(seed, 4, horizon(), &NemesisKnobs::live());
+            assert_eq!(a, b, "seed {seed}: deterministic");
+            // 1 partition + 1 crash are paired; 1 stall + 1 pressure are
+            // one-shot: 2×2 + 2 events.
+            assert_eq!(a.len(), 6, "seed {seed}");
+            let mut stalls = 0;
+            let mut pressures = 0;
+            for (t, ev) in &a.events {
+                match ev {
+                    NemesisEvent::ThreadStall { site, duration } => {
+                        stalls += 1;
+                        assert!(site.index() < 4, "seed {seed}");
+                        assert!(*duration > SimDuration::ZERO, "seed {seed}");
+                        assert!(*t + *duration <= a.quiet_from, "seed {seed}: effect covered");
+                    }
+                    NemesisEvent::PressureSpike { site, drain_limit, duration } => {
+                        pressures += 1;
+                        assert!(site.index() < 4, "seed {seed}");
+                        assert_eq!(*drain_limit, 1, "seed {seed}");
+                        assert!(*duration > SimDuration::ZERO, "seed {seed}");
+                        assert!(*t + *duration <= a.quiet_from, "seed {seed}: effect covered");
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!((stalls, pressures), (1, 1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn live_only_knobs_do_not_shift_existing_streams() {
+        // The paired-fault schedules must stay byte-identical when the new
+        // knob fields are zero: the 720-seed sim sweep's reproducers depend
+        // on the generator's rng stream not moving.
+        for seed in 0..20 {
+            for knobs in [NemesisKnobs::rough(), NemesisKnobs::hostile()] {
+                let s = NemesisSchedule::generate(seed, 5, horizon(), &knobs);
+                for (_, ev) in &s.events {
+                    assert!(
+                        !matches!(
+                            ev,
+                            NemesisEvent::ThreadStall { .. } | NemesisEvent::PressureSpike { .. }
+                        ),
+                        "seed {seed}: zero knobs emit no live-only events"
+                    );
+                }
+                assert_eq!(s.len() as u32, 2 * knobs.windows(), "seed {seed}");
+            }
         }
     }
 

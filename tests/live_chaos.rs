@@ -1,0 +1,110 @@
+//! Cross-driver conformance suite (the live-chaos gate).
+//!
+//! For every fault kind — crash, partition, thread stall, channel
+//! pressure — and every seed in the budget, one seed-generated
+//! single-fault [`otp_simnet::nemesis::NemesisSchedule`] plus one
+//! workload is pushed through **both** drivers:
+//!
+//! * the deterministic virtual-time [`otp_core::Cluster`], and
+//! * the threaded wall-clock [`otp_core::runtime::LiveCluster`]
+//!   (via [`otp_core::runtime::LiveCluster::inject_nemesis`]),
+//!
+//! and both ends must pass the *identical* invariant bundle
+//! ([`otp_core::check_invariants`]): 1-copy-serializability, uniform
+//! commit order, state convergence, liveness after heal. The live-only
+//! faults are ignored by the simulator by design, so there the sim leg is
+//! the fault-free control for the same seed.
+//!
+//! The seed budget comes from `LIVE_CHAOS_SEEDS` (default
+//! [`DEFAULT_SEEDS`]). This is deliberately *not* `CHAOS_SEEDS`: the
+//! tier-1 sim swarm's budget dial must not silently multiply wall-clock
+//! minutes into this real-time suite. Failing seeds print their one-line
+//! reproducer (`swarm --live-fault …`), and `LIVE_CHAOS_REPRO_OUT=<file>`
+//! collects the lines for a CI artifact.
+//!
+//! Every test runs under a hard watchdog: a wedged run fails with an
+//! in-flight-accounting snapshot instead of hanging the job.
+
+use otp_lab::live::{run_conformance, ConformanceSpec, LiveFault};
+use otp_lab::watchdog::with_watchdog;
+use std::time::Duration;
+
+/// Seeds per fault kind when `LIVE_CHAOS_SEEDS` is unset.
+const DEFAULT_SEEDS: u64 = 8;
+
+fn seed_budget() -> u64 {
+    match std::env::var("LIVE_CHAOS_SEEDS") {
+        Err(_) => DEFAULT_SEEDS,
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .filter(|n| *n > 0)
+            .unwrap_or_else(|| panic!("LIVE_CHAOS_SEEDS must be a positive integer, got {v:?}")),
+    }
+}
+
+/// Runs the conformance matrix column for one fault kind and fails with
+/// every reproducer line if any seed disagrees.
+fn conformance_column(fault: LiveFault) {
+    let seeds = seed_budget();
+    // Each seed costs roughly a second of wall clock on the live leg;
+    // the cap leaves an order of magnitude of headroom.
+    let cap = Duration::from_secs(60 + 15 * seeds);
+    let name = format!("live_chaos::{}", fault.id());
+    let failures = with_watchdog(&name, cap, move |_| {
+        let mut failures = Vec::new();
+        for seed in 1..=seeds {
+            let outcome = run_conformance(&ConformanceSpec::new(seed, fault));
+            if !outcome.passed() {
+                eprintln!(
+                    "conformance FAILED: seed {seed} fault {}\n{}repro: {}",
+                    fault.id(),
+                    outcome.describe_failure(),
+                    outcome.reproducer,
+                );
+                failures.push(outcome.reproducer);
+            }
+        }
+        failures
+    });
+    if !failures.is_empty() {
+        if let Ok(path) = std::env::var("LIVE_CHAOS_REPRO_OUT") {
+            let mut lines: String = failures.iter().map(|l| format!("{l}\n")).collect();
+            // Appending keeps reproducers from every failing column when
+            // several tests write the same artifact file.
+            if let Ok(prev) = std::fs::read_to_string(&path) {
+                lines = prev + &lines;
+            }
+            if let Err(e) = std::fs::write(&path, lines) {
+                eprintln!("live_chaos: could not write {path}: {e}");
+            }
+        }
+        panic!(
+            "{} of {} {} seeds failed cross-driver conformance (reproducers above)",
+            failures.len(),
+            seed_budget(),
+            fault.id(),
+        );
+    }
+}
+
+#[test]
+fn conformance_crash() {
+    conformance_column(LiveFault::Crash);
+}
+
+#[test]
+fn conformance_partition() {
+    conformance_column(LiveFault::Partition);
+}
+
+#[test]
+fn conformance_stall() {
+    conformance_column(LiveFault::Stall);
+}
+
+#[test]
+fn conformance_pressure() {
+    conformance_column(LiveFault::Pressure);
+}

@@ -1,15 +1,26 @@
 //! Threaded-runtime integration suite: the engine × mode matrix under
 //! real threads, plus regression tests for the shutdown/liveness bugs the
 //! production pass fixed (in-flight wire loss at stop, deadline behavior
-//! under conflict aborts, the unwired admission gate) and a tier-1
-//! mini-soak exercising backpressure.
+//! under conflict aborts, the unwired admission gate), a tier-1 mini-soak
+//! exercising backpressure, and the live-nemesis satellites: stall
+//! tolerance, pressure-spike backpressure, and bounded shutdown under a
+//! never-healed partition.
+//!
+//! Every test body runs under a hard wall-clock watchdog
+//! ([`otp_lab::watchdog::with_watchdog`]) — a deadlock fails fast with an
+//! in-flight-accounting snapshot instead of hanging the whole job.
 
 use otp_core::runtime::{LiveCluster, LiveConfig, SubmitError};
 use otp_core::{EngineKind, Mode};
+use otp_lab::watchdog::with_watchdog;
 use otp_simnet::{SimDuration, SiteId};
 use otp_storage::{ClassId, ObjectId, ObjectKey, ProcError, ProcId, ProcRegistry, Value};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Wall-clock cap for one test body — far above any healthy run, far
+/// below the CI job timeout.
+const WATCHDOG_CAP: Duration = Duration::from_secs(240);
 
 fn registry() -> Arc<ProcRegistry> {
     let mut reg = ProcRegistry::new();
@@ -34,51 +45,56 @@ fn initial(classes: u32) -> Vec<(ObjectId, Value)> {
 /// other engines with zero real-clock coverage).
 #[test]
 fn threaded_engine_mode_matrix() {
-    let engines: Vec<(&str, EngineKind)> = vec![
-        ("opt", EngineKind::Opt { consensus_timeout: SimDuration::from_millis(100) }),
-        (
-            "optbatch",
-            EngineKind::OptBatched {
-                consensus_timeout: SimDuration::from_millis(100),
-                batch_delay: SimDuration::from_micros(500),
-            },
-        ),
-        ("seq", EngineKind::Sequencer),
-        ("seqbatch", EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(500) }),
-        (
-            "scramble",
-            EngineKind::Scrambled {
-                agreement_delay: SimDuration::from_millis(2),
-                swap_probability: 0.2,
-            },
-        ),
-    ];
-    for (name, engine) in engines {
-        for mode in [Mode::Otp, Mode::Conservative] {
-            let cfg = LiveConfig::new(3, 2)
-                .with_engine(engine)
-                .with_mode(mode)
-                .with_exec_time(Duration::from_micros(200));
-            let cluster = LiveCluster::start(cfg, registry(), initial(2));
-            for i in 0..30u64 {
-                cluster
-                    .submit(
-                        SiteId::new((i % 3) as u16),
-                        ClassId::new((i % 2) as u32),
-                        ProcId::new(0),
-                        vec![Value::Int(0), Value::Int(1)],
-                    )
-                    .expect("admitted");
+    with_watchdog("threaded_engine_mode_matrix", WATCHDOG_CAP, |_| {
+        let engines: Vec<(&str, EngineKind)> = vec![
+            ("opt", EngineKind::Opt { consensus_timeout: SimDuration::from_millis(100) }),
+            (
+                "optbatch",
+                EngineKind::OptBatched {
+                    consensus_timeout: SimDuration::from_millis(100),
+                    batch_delay: SimDuration::from_micros(500),
+                },
+            ),
+            ("seq", EngineKind::Sequencer),
+            (
+                "seqbatch",
+                EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(500) },
+            ),
+            (
+                "scramble",
+                EngineKind::Scrambled {
+                    agreement_delay: SimDuration::from_millis(2),
+                    swap_probability: 0.2,
+                },
+            ),
+        ];
+        for (name, engine) in engines {
+            for mode in [Mode::Otp, Mode::Conservative] {
+                let cfg = LiveConfig::new(3, 2)
+                    .with_engine(engine)
+                    .with_mode(mode)
+                    .with_exec_time(Duration::from_micros(200));
+                let cluster = LiveCluster::start(cfg, registry(), initial(2));
+                for i in 0..30u64 {
+                    cluster
+                        .submit(
+                            SiteId::new((i % 3) as u16),
+                            ClassId::new((i % 2) as u32),
+                            ProcId::new(0),
+                            vec![Value::Int(0), Value::Int(1)],
+                        )
+                        .expect("admitted");
+                }
+                let report = cluster.shutdown(Duration::from_secs(30));
+                assert!(report.converged, "{name}/{mode:?}: replicas diverged");
+                assert!(report.quiesced, "{name}/{mode:?}: did not quiesce");
+                for (s, log) in report.committed.iter().enumerate() {
+                    assert_eq!(log.len(), 30, "{name}/{mode:?}: site {s} missing commits");
+                }
+                assert_eq!(report.committed_total, 90, "{name}/{mode:?}");
             }
-            let report = cluster.shutdown(Duration::from_secs(30));
-            assert!(report.converged, "{name}/{mode:?}: replicas diverged");
-            assert!(report.quiesced, "{name}/{mode:?}: did not quiesce");
-            for (s, log) in report.committed.iter().enumerate() {
-                assert_eq!(log.len(), 30, "{name}/{mode:?}: site {s} missing commits");
-            }
-            assert_eq!(report.committed_total, 90, "{name}/{mode:?}");
         }
-    }
+    });
 }
 
 /// Regression (wire loss at stop): the old runtime's site threads broke
@@ -90,29 +106,31 @@ fn threaded_engine_mode_matrix() {
 /// deadline must lose nothing that was admitted.
 #[test]
 fn zero_deadline_shutdown_loses_no_admitted_work() {
-    let mut cfg = LiveConfig::new(4, 1).with_exec_time(Duration::from_millis(2));
-    cfg.quiesce_grace = Duration::from_secs(60);
-    let cluster = LiveCluster::start(cfg, registry(), initial(1));
-    for i in 0..200u64 {
-        cluster
-            .submit(
-                SiteId::new((i % 4) as u16),
-                ClassId::new(0),
-                ProcId::new(0),
-                vec![Value::Int(0), Value::Int(1)],
-            )
-            .expect("admitted");
-    }
-    // Shut down immediately: everything submitted is still in flight.
-    let report = cluster.shutdown(Duration::ZERO);
-    assert!(report.quiesced, "grace budget must drain admitted work");
-    assert!(report.converged);
-    assert_eq!(report.accepted, 200);
-    assert_eq!(report.committed_total, 800, "every admitted txn commits at every site");
-    for log in &report.committed {
-        assert_eq!(log.len(), 200);
-    }
-    assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(200)));
+    with_watchdog("zero_deadline_shutdown_loses_no_admitted_work", WATCHDOG_CAP, |_| {
+        let mut cfg = LiveConfig::new(4, 1).with_exec_time(Duration::from_millis(2));
+        cfg.quiesce_grace = Duration::from_secs(60);
+        let cluster = LiveCluster::start(cfg, registry(), initial(1));
+        for i in 0..200u64 {
+            cluster
+                .submit(
+                    SiteId::new((i % 4) as u16),
+                    ClassId::new(0),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted");
+        }
+        // Shut down immediately: everything submitted is still in flight.
+        let report = cluster.shutdown(Duration::ZERO);
+        assert!(report.quiesced, "grace budget must drain admitted work");
+        assert!(report.converged);
+        assert_eq!(report.accepted, 200);
+        assert_eq!(report.committed_total, 800, "every admitted txn commits at every site");
+        for log in &report.committed {
+            assert_eq!(log.len(), 200);
+        }
+        assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(200)));
+    });
 }
 
 /// Regression (shutdown under conflict aborts): the old shutdown waited
@@ -125,36 +143,38 @@ fn zero_deadline_shutdown_loses_no_admitted_work() {
 /// deliberately huge deadline.
 #[test]
 fn conflict_aborts_converge_without_burning_deadline() {
-    let mut cfg = LiveConfig::new(8, 1).with_exec_time(Duration::from_micros(1500));
-    // Jitter an order of magnitude above the base delay: per-receiver
-    // arrival spread makes tentative orders disagree across sites, so
-    // spontaneous-order violations (real aborts) are statistically
-    // certain over 300 same-class transactions, independent of thread
-    // scheduling luck.
-    cfg.net_delay = Duration::from_micros(100);
-    cfg.net_jitter = Duration::from_millis(2);
-    let cluster = LiveCluster::start(cfg, registry(), initial(1));
-    for i in 0..300u64 {
-        cluster
-            .submit(
-                SiteId::new((i % 8) as u16),
-                ClassId::new(0),
-                ProcId::new(0),
-                vec![Value::Int(0), Value::Int(1)],
-            )
-            .expect("admitted");
-    }
-    let t0 = Instant::now();
-    let report = cluster.shutdown(Duration::from_secs(120));
-    let elapsed = t0.elapsed();
-    assert!(report.converged);
-    assert!(report.quiesced);
-    assert_eq!(report.committed_total, 300 * 8);
-    assert!(
-        report.counters.get("abort") > 0,
-        "workload must actually exercise the abort path (got none)"
-    );
-    assert!(elapsed < Duration::from_secs(60), "shutdown burned the deadline: {elapsed:?}");
+    with_watchdog("conflict_aborts_converge_without_burning_deadline", WATCHDOG_CAP, |_| {
+        let mut cfg = LiveConfig::new(8, 1).with_exec_time(Duration::from_micros(1500));
+        // Jitter an order of magnitude above the base delay: per-receiver
+        // arrival spread makes tentative orders disagree across sites, so
+        // spontaneous-order violations (real aborts) are statistically
+        // certain over 300 same-class transactions, independent of thread
+        // scheduling luck.
+        cfg.net_delay = Duration::from_micros(100);
+        cfg.net_jitter = Duration::from_millis(2);
+        let cluster = LiveCluster::start(cfg, registry(), initial(1));
+        for i in 0..300u64 {
+            cluster
+                .submit(
+                    SiteId::new((i % 8) as u16),
+                    ClassId::new(0),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted");
+        }
+        let t0 = Instant::now();
+        let report = cluster.shutdown(Duration::from_secs(120));
+        let elapsed = t0.elapsed();
+        assert!(report.converged);
+        assert!(report.quiesced);
+        assert_eq!(report.committed_total, 300 * 8);
+        assert!(
+            report.counters.get("abort") > 0,
+            "workload must actually exercise the abort path (got none)"
+        );
+        assert!(elapsed < Duration::from_secs(60), "shutdown burned the deadline: {elapsed:?}");
+    });
 }
 
 /// Regression (dead admission gate): `running` was stored at shutdown but
@@ -163,51 +183,53 @@ fn conflict_aborts_converge_without_burning_deadline() {
 /// admitted before the fence still commits everywhere.
 #[test]
 fn halted_admissions_reject_racing_submitters() {
-    let cfg = LiveConfig::new(2, 2).with_exec_time(Duration::from_micros(200));
-    let cluster = LiveCluster::start(cfg, registry(), initial(2));
-    let admitted: u64 = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..4u64)
-            .map(|t| {
-                let cluster = &cluster;
-                s.spawn(move || {
-                    let mut ok = 0u64;
-                    for i in 0..500u64 {
-                        match cluster.submit(
-                            SiteId::new(((t + i) % 2) as u16),
-                            ClassId::new((i % 2) as u32),
-                            ProcId::new(0),
-                            vec![Value::Int(0), Value::Int(1)],
-                        ) {
-                            Ok(_) => ok += 1,
-                            Err(SubmitError::ShuttingDown) => break,
-                            Err(SubmitError::Backpressure) => unreachable!("submit blocks"),
+    with_watchdog("halted_admissions_reject_racing_submitters", WATCHDOG_CAP, |_| {
+        let cfg = LiveConfig::new(2, 2).with_exec_time(Duration::from_micros(200));
+        let cluster = LiveCluster::start(cfg, registry(), initial(2));
+        let admitted: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let cluster = &cluster;
+                    s.spawn(move || {
+                        let mut ok = 0u64;
+                        for i in 0..500u64 {
+                            match cluster.submit(
+                                SiteId::new(((t + i) % 2) as u16),
+                                ClassId::new((i % 2) as u32),
+                                ProcId::new(0),
+                                vec![Value::Int(0), Value::Int(1)],
+                            ) {
+                                Ok(_) => ok += 1,
+                                Err(SubmitError::ShuttingDown) => break,
+                                Err(SubmitError::Backpressure) => unreachable!("submit blocks"),
+                            }
                         }
-                    }
-                    ok
+                        ok
+                    })
                 })
-            })
-            .collect();
-        // Let the submitters make progress, then slam the gate.
-        std::thread::sleep(Duration::from_millis(5));
-        cluster.halt_admissions();
-        handles.into_iter().map(|h| h.join().expect("submitter")).sum()
+                .collect();
+            // Let the submitters make progress, then slam the gate.
+            std::thread::sleep(Duration::from_millis(5));
+            cluster.halt_admissions();
+            handles.into_iter().map(|h| h.join().expect("submitter")).sum()
+        });
+        assert_eq!(
+            cluster.try_submit(
+                SiteId::new(0),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)]
+            ),
+            Err(SubmitError::ShuttingDown),
+            "gate must refuse new work once halted"
+        );
+        assert_eq!(cluster.accepted(), admitted, "accepted must equal successful submits");
+        let report = cluster.shutdown(Duration::from_secs(60));
+        assert!(report.converged);
+        assert!(report.quiesced);
+        assert_eq!(report.accepted, admitted);
+        assert_eq!(report.committed_total, admitted * 2, "admitted work commits everywhere");
     });
-    assert_eq!(
-        cluster.try_submit(
-            SiteId::new(0),
-            ClassId::new(0),
-            ProcId::new(0),
-            vec![Value::Int(0), Value::Int(1)]
-        ),
-        Err(SubmitError::ShuttingDown),
-        "gate must refuse new work once halted"
-    );
-    assert_eq!(cluster.accepted(), admitted, "accepted must equal successful submits");
-    let report = cluster.shutdown(Duration::from_secs(60));
-    assert!(report.converged);
-    assert!(report.quiesced);
-    assert_eq!(report.accepted, admitted);
-    assert_eq!(report.committed_total, admitted * 2, "admitted work commits everywhere");
 }
 
 /// Tier-1 mini-soak: submit much faster than `exec_time` drains through
@@ -216,36 +238,240 @@ fn halted_admissions_reject_racing_submitters() {
 /// construction, and the run completes fully.
 #[test]
 fn mini_soak_backpressure_bounds_inflight() {
-    let mut cfg = LiveConfig::new(3, 1).with_exec_time(Duration::from_millis(1));
-    cfg.max_in_flight = 16;
-    cfg.site_queue = 8;
-    let cluster = LiveCluster::start(cfg, registry(), initial(1));
-    std::thread::scope(|s| {
-        for t in 0..2u64 {
-            let cluster = &cluster;
-            s.spawn(move || {
-                for i in 0..150u64 {
-                    cluster
-                        .submit(
-                            SiteId::new(((t + i) % 3) as u16),
-                            ClassId::new(0),
-                            ProcId::new(0),
-                            vec![Value::Int(0), Value::Int(1)],
-                        )
-                        .expect("admitted");
+    with_watchdog("mini_soak_backpressure_bounds_inflight", WATCHDOG_CAP, |_| {
+        let mut cfg = LiveConfig::new(3, 1).with_exec_time(Duration::from_millis(1));
+        cfg.max_in_flight = 16;
+        cfg.site_queue = 8;
+        let cluster = LiveCluster::start(cfg, registry(), initial(1));
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    for i in 0..150u64 {
+                        cluster
+                            .submit(
+                                SiteId::new(((t + i) % 3) as u16),
+                                ClassId::new(0),
+                                ProcId::new(0),
+                                vec![Value::Int(0), Value::Int(1)],
+                            )
+                            .expect("admitted");
+                    }
+                });
+            }
+        });
+        assert!(
+            cluster.backpressure_events() > 0,
+            "window of 16 against 300 fast submissions must push back"
+        );
+        let report = cluster.shutdown(Duration::from_secs(120));
+        assert!(report.converged);
+        assert!(report.quiesced);
+        assert_eq!(report.accepted, 300);
+        assert_eq!(report.committed_total, 900);
+        assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(300)));
+        assert_eq!(report.commit_latency.len(), 300, "one latency sample per origin commit");
+    });
+}
+
+/// Satellite (stall tolerance): one site's worker thread stalls 200 ms
+/// mid-run while the rest of the cluster keeps committing. The stalled
+/// thread processes nothing during the stall — its inbound queue and the
+/// in-flight units simply wait — so once it wakes the cluster must
+/// converge with the stalled site's commit order identical (hence
+/// prefix-consistent at every instant) to everyone else's.
+#[test]
+fn stalled_site_catches_up_with_prefix_consistent_order() {
+    with_watchdog("stalled_site_catches_up_with_prefix_consistent_order", WATCHDOG_CAP, |dog| {
+        let cfg = LiveConfig::new(4, 2).with_exec_time(Duration::from_micros(200));
+        let cluster = LiveCluster::start(cfg, registry(), initial(2));
+        let diag = cluster.diag_handle();
+        dog.set_diag("live-cluster", move || diag.snapshot());
+        let submit = |i: u64| {
+            cluster
+                .submit(
+                    SiteId::new((i % 4) as u16),
+                    ClassId::new((i % 2) as u32),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted")
+        };
+        for i in 0..40u64 {
+            submit(i);
+        }
+        // Mid-run: stall site 2 while traffic keeps flowing around it.
+        cluster.stall_site(SiteId::new(2), Duration::from_millis(200));
+        for i in 40..80u64 {
+            submit(i);
+        }
+        let report = cluster.shutdown(Duration::from_secs(60));
+        assert!(report.quiesced, "stall only delays work, it must all drain");
+        assert!(report.converged, "stalled site failed to catch up");
+        assert_eq!(report.undelivered_at_stop, 0);
+        assert_eq!(report.accepted, 80);
+        assert_eq!(report.committed_total, 80 * 4);
+        // Local commit sequences may legally interleave the two
+        // *non-conflicting* classes differently per site (the paper's
+        // whole point is that only conflicting transactions need the
+        // definitive order). The definitive order itself — each log
+        // sorted by its TxnIndex — must match the others exactly, so the
+        // stalled site's order is a permutation-free prefix of no one:
+        // it is the *same* total order.
+        let definitive = |log: &[(otp_txn::txn::TxnId, otp_storage::TxnIndex)]| {
+            let mut v = log.to_vec();
+            v.sort_by_key(|(_, idx)| *idx);
+            v
+        };
+        let reference = definitive(&report.commit_logs[0]);
+        for (s, log) in report.commit_logs.iter().enumerate() {
+            assert_eq!(log.len(), 80, "site {s}");
+            assert_eq!(
+                definitive(log),
+                reference,
+                "site {s}: definitive commit order diverged from site 0"
+            );
+        }
+        let inv = report.check_invariants(&[]);
+        assert!(inv.is_ok(), "{inv}");
+    });
+}
+
+/// Satellite (pressure spike → backpressure): throttling one site's drain
+/// budget to 1 must saturate its bounded inbound queue and make
+/// `try_submit` *return* `SubmitError::Backpressure` — never block, never
+/// drop. Once the spike expires, everything accepted (before, during and
+/// after) commits exactly once at every site.
+#[test]
+fn pressure_spike_backpressures_then_commits_exactly_once() {
+    with_watchdog("pressure_spike_backpressures_then_commits_exactly_once", WATCHDOG_CAP, |dog| {
+        let mut cfg = LiveConfig::new(3, 1).with_exec_time(Duration::from_millis(1));
+        cfg.max_in_flight = 8;
+        cfg.site_queue = 8;
+        let cluster = LiveCluster::start(cfg, registry(), initial(1));
+        let diag = cluster.diag_handle();
+        dog.set_diag("live-cluster", move || diag.snapshot());
+
+        cluster.pressure_site(SiteId::new(0), 1, Duration::from_millis(400));
+        // Give the control message one idle tick to land before hammering.
+        std::thread::sleep(Duration::from_millis(30));
+
+        let mut accepted = Vec::new();
+        let mut rejections = 0u64;
+        for _ in 0..5_000u64 {
+            match cluster.try_submit(
+                SiteId::new(0),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            ) {
+                Ok(id) => accepted.push(id),
+                Err(SubmitError::Backpressure) => {
+                    rejections += 1;
+                    if rejections > 50 {
+                        break;
+                    }
                 }
-            });
+                Err(SubmitError::ShuttingDown) => unreachable!("nobody halted admissions"),
+            }
+        }
+        assert!(
+            rejections > 0,
+            "a drain budget of 1 against a tight submit loop must backpressure"
+        );
+
+        // Wait the spike out, then prove the lane is fully healthy again.
+        std::thread::sleep(Duration::from_millis(500));
+        for i in 0..20u64 {
+            accepted.push(
+                cluster
+                    .submit(
+                        SiteId::new((i % 3) as u16),
+                        ClassId::new(0),
+                        ProcId::new(0),
+                        vec![Value::Int(0), Value::Int(1)],
+                    )
+                    .expect("admitted after the spike healed"),
+            );
+        }
+
+        let report = cluster.shutdown(Duration::from_secs(60));
+        assert!(report.quiesced);
+        assert!(report.converged);
+        assert_eq!(report.accepted, accepted.len() as u64);
+        assert_eq!(report.committed_total, accepted.len() as u64 * 3);
+        for (s, log) in report.committed.iter().enumerate() {
+            assert_eq!(log.len(), accepted.len(), "site {s}");
+            let unique: std::collections::HashSet<_> = log.iter().collect();
+            assert_eq!(unique.len(), log.len(), "site {s}: a txn committed twice");
+            for id in &accepted {
+                assert!(unique.contains(id), "site {s}: accepted {id} never committed");
+            }
         }
     });
-    assert!(
-        cluster.backpressure_events() > 0,
-        "window of 16 against 300 fast submissions must push back"
-    );
-    let report = cluster.shutdown(Duration::from_secs(120));
-    assert!(report.converged);
-    assert!(report.quiesced);
-    assert_eq!(report.accepted, 300);
-    assert_eq!(report.committed_total, 900);
-    assert_eq!(report.dbs[0].read_committed(ObjectId::new(0, 0)), Some(&Value::Int(300)));
-    assert_eq!(report.commit_latency.len(), 300, "one latency sample per origin commit");
+}
+
+/// Satellite (bounded shutdown under a never-healed cut): wires parked
+/// behind a partition nobody will ever heal are forever undeliverable —
+/// they must not hold phase-1 quiescence hostage. With a deliberately
+/// huge grace budget, shutdown must still return promptly (quiescent
+/// *modulo* the held wires), reporting them via `undelivered_at_stop`.
+#[test]
+fn shutdown_is_bounded_under_never_healed_partition() {
+    with_watchdog("shutdown_is_bounded_under_never_healed_partition", WATCHDOG_CAP, |dog| {
+        let mut cfg = LiveConfig::new(4, 1).with_exec_time(Duration::from_micros(200));
+        // The regression would burn this entire budget; the fix must not.
+        cfg.quiesce_grace = Duration::from_secs(600);
+        let cluster = LiveCluster::start(cfg, registry(), initial(1));
+        let diag = cluster.diag_handle();
+        dog.set_diag("live-cluster", move || diag.snapshot());
+
+        // Phase A: a batch that commits everywhere while the net is whole.
+        for i in 0..40u64 {
+            cluster
+                .submit(
+                    SiteId::new((i % 4) as u16),
+                    ClassId::new(0),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted");
+        }
+        let settled = Instant::now();
+        while cluster.committed_total() < 40 * 4 {
+            assert!(settled.elapsed() < Duration::from_secs(60), "phase A never settled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Phase B: cut site 3 off forever; the 3-site majority quorum
+        // keeps deciding, its wires to site 3 park in the net thread.
+        cluster.partition_halves(&[SiteId::new(3)]);
+        for i in 0..20u64 {
+            cluster
+                .submit(
+                    SiteId::new((i % 3) as u16),
+                    ClassId::new(0),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted");
+        }
+
+        let t0 = Instant::now();
+        let report = cluster.shutdown(Duration::ZERO);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(120),
+            "shutdown burned the grace budget against held wires: {elapsed:?}"
+        );
+        assert!(report.quiesced, "deliverable work drained; held wires must not count");
+        assert!(report.undelivered_at_stop > 0, "the cut was never healed");
+        assert!(!report.converged, "site 3 cannot have phase B");
+        assert_eq!(report.accepted, 60);
+        // Majority sites carry both phases; the minority only phase A.
+        for s in 0..3 {
+            assert_eq!(report.committed[s].len(), 60, "majority site {s}");
+        }
+        assert_eq!(report.committed[3].len(), 40, "cut-off site has phase A only");
+    });
 }
