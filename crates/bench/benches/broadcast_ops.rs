@@ -3,7 +3,10 @@
 //! instance reaching a decision.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use otp_broadcast::{AtomicBroadcast, EngineAction, OptAbcast, OptAbcastConfig, SeqAbcast, Wire};
+use otp_broadcast::{
+    AtomicBroadcast, EngineAction, EngineCtx, OptAbcast, OptAbcastConfig, OrderDomain, SeqAbcast,
+    Wire,
+};
 use otp_consensus::{Action, ConsensusMsg, Instance, InstanceConfig};
 use otp_simnet::{SimDuration, SiteId};
 
@@ -13,6 +16,7 @@ fn pump<E: AtomicBroadcast<u32>>(
     start: Vec<(SiteId, Option<SiteId>, Wire<u32>)>,
 ) {
     let n = engines.len();
+    let domain = OrderDomain::global(n);
     let mut wires = start;
     while let Some((from, to, wire)) = wires.pop() {
         let targets: Vec<SiteId> = match to {
@@ -20,7 +24,8 @@ fn pump<E: AtomicBroadcast<u32>>(
             None => SiteId::all(n).collect(),
         };
         for t in targets {
-            for a in engines[t.index()].on_receive(from, wire.clone()) {
+            let ctx = EngineCtx::new(t, &domain);
+            for a in engines[t.index()].on_receive(&ctx, from, wire.clone()) {
                 match a {
                     EngineAction::Multicast(w) => wires.push((t, None, w)),
                     EngineAction::Send(d, w) => wires.push((t, Some(d), w)),
@@ -33,11 +38,11 @@ fn pump<E: AtomicBroadcast<u32>>(
 
 fn opt_engines(n: usize) -> Vec<OptAbcast<u32>> {
     let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(50));
-    SiteId::all(n).map(|s| OptAbcast::new(s, cfg)).collect()
+    (0..n).map(|_| OptAbcast::new(cfg)).collect()
 }
 
 fn seq_engines(n: usize) -> Vec<SeqAbcast<u32>> {
-    SiteId::all(n).map(|s| SeqAbcast::new(s, SiteId::new(0))).collect()
+    (0..n).map(|_| SeqAbcast::new(SiteId::new(0))).collect()
 }
 
 fn bench_opt_round(c: &mut Criterion) {
@@ -45,10 +50,11 @@ fn bench_opt_round(c: &mut Criterion) {
         b.iter_batched(
             || opt_engines(4),
             |mut es| {
+                let domain = OrderDomain::global(4);
                 let mut wires = Vec::new();
                 for k in 0..10u32 {
                     let me = SiteId::new((k % 4) as u16);
-                    let (_, actions) = es[me.index()].broadcast(k);
+                    let (_, actions) = es[me.index()].broadcast(&EngineCtx::new(me, &domain), k);
                     for a in actions {
                         if let EngineAction::Multicast(w) = a {
                             wires.push((me, None, w));
@@ -69,10 +75,11 @@ fn bench_seq_round(c: &mut Criterion) {
         b.iter_batched(
             || seq_engines(4),
             |mut es| {
+                let domain = OrderDomain::global(4);
                 let mut wires = Vec::new();
                 for k in 0..10u32 {
                     let me = SiteId::new((k % 4) as u16);
-                    let (_, actions) = es[me.index()].broadcast(k);
+                    let (_, actions) = es[me.index()].broadcast(&EngineCtx::new(me, &domain), k);
                     for a in actions {
                         if let EngineAction::Multicast(w) = a {
                             wires.push((me, None, w));

@@ -3,7 +3,7 @@
 //! replica → storage) processes, for both processing modes.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use otp_core::{Cluster, ClusterConfig, Mode};
+use otp_core::{Cluster, ClusterBuilder, ClusterConfig, Mode};
 use otp_simnet::{SimDuration, SimTime};
 use otp_workload::{StandardProcs, WorkloadSpec};
 
@@ -13,11 +13,11 @@ fn run_mode(mode: Mode) -> Cluster {
         .with_seed(7);
     let (registry, procs) = StandardProcs::registry();
     let schedule = spec.generate(&procs);
-    let mut cluster = Cluster::new(
-        ClusterConfig::new(4, 4).with_mode(mode).with_seed(7),
-        registry,
-        spec.initial_data(),
-    );
+    let mut cluster =
+        ClusterBuilder::from_config(ClusterConfig::new(4, 4).with_mode(mode).with_seed(7))
+            .registry(registry)
+            .initial_data(spec.initial_data())
+            .build();
     schedule.apply(&mut cluster);
     cluster.run_until(SimTime::from_secs(120));
     assert_eq!(cluster.stats().completed, 100);

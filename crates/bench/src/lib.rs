@@ -24,7 +24,10 @@ pub mod soak;
 
 use otp_broadcast::order::{pairwise_agreement_pct, spontaneous_order_pct};
 use otp_broadcast::MsgId;
-use otp_core::{AsyncCluster, AsyncConfig, Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
+use otp_core::{
+    AsyncCluster, AsyncConfig, Cluster, ClusterBuilder, ClusterConfig, DurationDist, EngineKind,
+    Mode,
+};
 use otp_simnet::metrics::Table;
 use otp_simnet::{MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
 use otp_txn::history::check_one_copy_serializable;
@@ -156,7 +159,10 @@ pub fn fig1_spontaneous_order(
 
 fn run_schedule(config: ClusterConfig, spec: &WorkloadSpec, schedule: &Schedule) -> Cluster {
     let (registry, _) = StandardProcs::registry();
-    let mut cluster = Cluster::new(config, registry, spec.initial_data());
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(spec.initial_data())
+        .build();
     schedule.apply(&mut cluster);
     cluster.run_until(SimTime::from_secs(600));
     cluster
@@ -415,7 +421,10 @@ pub fn e7_recovery(updates: u64, seed: u64) -> Table {
     let config = ClusterConfig::new(sites, classes)
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(2)))
         .with_seed(seed);
-    let mut cluster = Cluster::new(config, registry, spec.initial_data());
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(spec.initial_data())
+        .build();
     schedule.apply(&mut cluster);
     let crash_at = SimTime::from_millis(20);
     let recover_at =

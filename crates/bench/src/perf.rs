@@ -23,13 +23,20 @@
 //!   transactions on a quarter of the classes), `tpcb` (the TPC-B-like
 //!   banking profile).
 //!
+//! On top of the engine × mode × workload block sit the net variants:
+//! `-lanfast` / `-lanfast16` (1 Gbit/s, 4 and 16 sites) and the sharding
+//! scale pair `-lan16` / `-sharded` — the same saturated uniform workload
+//! on one 16-site sequencing group vs 4 groups × 4 sites, each group on
+//! its own wire segment (see `ClusterConfig::with_groups`).
+//!
 //! A regression found by `--check` prints a one-line reproducer
 //! (`… --bin perf -- --cell CELL`) exactly like the chaos swarm does for
 //! invariant violations.
 
 use crate::json::Json;
-use otp_core::{Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
-use otp_simnet::{SimDuration, SimTime};
+use otp_core::{ClusterBuilder, ClusterConfig, DurationDist, EngineKind, Mode};
+use otp_simnet::{SimDuration, SimTime, SiteId};
+use otp_storage::{ClassId, ObjectId, Value};
 use otp_workload::{Arrival, ClassSelection, StandardProcs, TpcB, WorkloadSpec};
 use std::fmt;
 use std::str::FromStr;
@@ -52,6 +59,20 @@ pub const PERF_CLASSES: usize = 4;
 /// measurably fewer agreement frames per commit (bigger consensus
 /// batches) — see EXPERIMENTS.md for the calibration.
 pub const PERF_QUANTUM: SimDuration = SimDuration::from_micros(100);
+/// Sites of the 16-site sharding scale pair (`-lan16` / `-sharded`).
+pub const PERF_SCALE_SITES: usize = 16;
+/// Conflict classes of the scale pair — wide enough that per-class
+/// execution chains (1 ms × txns / classes) do not floor the sharded
+/// cell, so the pair measures ordering capacity, not execution.
+pub const PERF_SCALE_CLASSES: usize = 32;
+/// Sequencing groups of the `-sharded` cell: 4 groups × 4 sites.
+pub const PERF_SCALE_GROUPS: usize = 4;
+/// Aggregate arrival spacing of the scale pair's uniform workload: 25 µs
+/// between submissions (40 k txns/s offered) — past the wire capacity of
+/// a single 10 Mbit/s segment, so the single-group cell saturates its
+/// shared bus while the sharded cell spreads the same load over four
+/// per-group segments.
+pub const PERF_SCALE_SPACING: SimDuration = SimDuration::from_micros(25);
 
 /// Which broadcast engine a perf cell runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +151,17 @@ pub enum PerfNet {
     /// The 1 Gbit/s LAN at 16 sites (`-lanfast16` id suffix) — the scale
     /// cell: consensus quorums of 9 and a 16-way multicast fan-out.
     LanFast16,
+    /// The 10 Mbit/s Ethernet at 16 sites, one sequencing group
+    /// (`-lan16` id suffix): the saturated single-bus half of the
+    /// sharding scale pair. Runs the group-routed uniform workload at
+    /// [`PERF_SCALE_SPACING`] over [`PERF_SCALE_CLASSES`] classes.
+    Lan16,
+    /// The 10 Mbit/s Ethernet at 16 sites sharded into
+    /// [`PERF_SCALE_GROUPS`] sequencing groups of 4 (`-sharded` id
+    /// suffix): each group orders on its own wire segment, the relay
+    /// rides the backbone. Same workload as [`PerfNet::Lan16`], so the
+    /// pair isolates what partitioning the total order buys.
+    Sharded,
 }
 
 impl PerfNet {
@@ -138,13 +170,32 @@ impl PerfNet {
         match self {
             PerfNet::Lan10 | PerfNet::LanFast => PERF_SITES,
             PerfNet::LanFast16 => 16,
+            PerfNet::Lan16 | PerfNet::Sharded => PERF_SCALE_SITES,
+        }
+    }
+
+    /// Number of conflict classes this variant's cluster hosts.
+    pub fn classes(&self) -> usize {
+        match self {
+            PerfNet::Lan16 | PerfNet::Sharded => PERF_SCALE_CLASSES,
+            _ => PERF_CLASSES,
+        }
+    }
+
+    /// Number of sequencing groups this variant shards the order into.
+    pub fn groups(&self) -> usize {
+        match self {
+            PerfNet::Sharded => PERF_SCALE_GROUPS,
+            _ => 1,
         }
     }
 
     /// The concrete network model.
     pub fn net_config(&self) -> otp_simnet::NetConfig {
         match self {
-            PerfNet::Lan10 => otp_simnet::NetConfig::lan_10mbps(self.sites()),
+            PerfNet::Lan10 | PerfNet::Lan16 | PerfNet::Sharded => {
+                otp_simnet::NetConfig::lan_10mbps(self.sites())
+            }
             PerfNet::LanFast | PerfNet::LanFast16 => otp_simnet::NetConfig::lan_fast(self.sites()),
         }
     }
@@ -154,6 +205,8 @@ impl PerfNet {
             PerfNet::Lan10 => "",
             PerfNet::LanFast => "-lanfast",
             PerfNet::LanFast16 => "-lanfast16",
+            PerfNet::Lan16 => "-lan16",
+            PerfNet::Sharded => "-sharded",
         }
     }
 }
@@ -202,6 +255,16 @@ impl PerfCell {
                 net: PerfNet::LanFast16,
             });
         }
+        // The sharding scale pair: the same saturated uniform workload on
+        // one 16-site sequencing group vs 4 groups × 4 sites.
+        for net in [PerfNet::Lan16, PerfNet::Sharded] {
+            cells.push(PerfCell {
+                engine: PerfEngine::Seq,
+                mode: Mode::Otp,
+                workload: PerfWorkload::Uniform,
+                net,
+            });
+        }
         cells
     }
 
@@ -230,8 +293,12 @@ impl FromStr for PerfCell {
             [e, m, w] => ([*e, *m, *w], PerfNet::Lan10),
             [e, m, w, "lanfast"] => ([*e, *m, *w], PerfNet::LanFast),
             [e, m, w, "lanfast16"] => ([*e, *m, *w], PerfNet::LanFast16),
+            [e, m, w, "lan16"] => ([*e, *m, *w], PerfNet::Lan16),
+            [e, m, w, "sharded"] => ([*e, *m, *w], PerfNet::Sharded),
             [_, _, _, other] => {
-                return Err(format!("unknown net variant {other:?} (lanfast|lanfast16)"));
+                return Err(format!(
+                    "unknown net variant {other:?} (lanfast|lanfast16|lan16|sharded)"
+                ));
             }
             _ => {
                 return Err(format!("perf cell must be engine-mode-workload[-net], got {s:?}"));
@@ -302,40 +369,78 @@ pub fn run_perf_cell_with_quantum(
     quantum: SimDuration,
 ) -> CellMetrics {
     let sites = cell.net.sites();
-    let config = ClusterConfig::new(sites, PERF_CLASSES)
+    let classes = cell.net.classes();
+    let config = ClusterConfig::new(sites, classes)
         .with_net(cell.net.net_config())
         .with_engine(cell.engine.engine_kind())
         .with_mode(cell.mode)
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
         .with_delivery_quantum(quantum)
+        .with_groups(cell.net.groups())
         .with_seed(seed);
 
-    let mut cluster = match cell.workload {
-        PerfWorkload::Uniform | PerfWorkload::Hotspot => {
-            let mut spec = WorkloadSpec::new(sites, PERF_CLASSES, txns)
-                .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
-                .with_seed(seed);
-            if cell.workload == PerfWorkload::Hotspot {
-                spec = spec.with_selection(ClassSelection::HotSpot {
-                    hot_fraction: 0.25,
-                    hot_probability: 0.8,
-                });
-            }
-            let (registry, procs) = StandardProcs::registry();
-            let schedule = spec.generate(&procs);
-            let mut cluster = Cluster::new(config, registry, spec.initial_data());
-            schedule.apply(&mut cluster);
-            cluster
+    let scale_pair = matches!(cell.net, PerfNet::Lan16 | PerfNet::Sharded)
+        && cell.workload == PerfWorkload::Uniform;
+    let mut cluster = if scale_pair {
+        // The sharding scale pair routes every submission to a site of
+        // its class's own group (identical rotation for both halves, so
+        // the single-group cell runs the exact same class/site sequence)
+        // at a saturating fixed aggregate arrival rate.
+        let (registry, procs) = StandardProcs::registry();
+        let data = (0..classes).map(|c| (ObjectId::new(c as u32, 0), Value::Int(0))).collect();
+        let mut cluster =
+            ClusterBuilder::from_config(config).registry(registry).initial_data(data).build();
+        let groups = cell.net.groups();
+        let per = sites / groups;
+        let mut t = SimTime::from_millis(1);
+        for i in 0..txns {
+            let class = (i % classes as u64) as u32;
+            let g = class as usize % groups;
+            let site = (g * per + (i as usize / classes) % per) as u16;
+            cluster.schedule_update(
+                t,
+                SiteId::new(site),
+                ClassId::new(class),
+                procs.add,
+                vec![Value::Int(0), Value::Int(1)],
+            );
+            t += PERF_SCALE_SPACING;
         }
-        PerfWorkload::Tpcb => {
-            let tpcb = TpcB::new(PERF_CLASSES as u32, sites, txns)
-                .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
-                .with_seed(seed);
-            let (registry, proc) = tpcb.registry();
-            let schedule = tpcb.schedule(proc);
-            let mut cluster = Cluster::new(config, registry, tpcb.initial_data());
-            schedule.apply(&mut cluster);
-            cluster
+        cluster
+    } else {
+        match cell.workload {
+            PerfWorkload::Uniform | PerfWorkload::Hotspot => {
+                let mut spec = WorkloadSpec::new(sites, classes, txns)
+                    .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
+                    .with_seed(seed);
+                if cell.workload == PerfWorkload::Hotspot {
+                    spec = spec.with_selection(ClassSelection::HotSpot {
+                        hot_fraction: 0.25,
+                        hot_probability: 0.8,
+                    });
+                }
+                let (registry, procs) = StandardProcs::registry();
+                let schedule = spec.generate(&procs);
+                let mut cluster = ClusterBuilder::from_config(config)
+                    .registry(registry)
+                    .initial_data(spec.initial_data())
+                    .build();
+                schedule.apply(&mut cluster);
+                cluster
+            }
+            PerfWorkload::Tpcb => {
+                let tpcb = TpcB::new(classes as u32, sites, txns)
+                    .with_arrival(Arrival::Fixed(SimDuration::from_millis(2)))
+                    .with_seed(seed);
+                let (registry, proc) = tpcb.registry();
+                let schedule = tpcb.schedule(proc);
+                let mut cluster = ClusterBuilder::from_config(config)
+                    .registry(registry)
+                    .initial_data(tpcb.initial_data())
+                    .build();
+                schedule.apply(&mut cluster);
+                cluster
+            }
         }
     };
 
@@ -541,13 +646,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_twenty_six_cells_with_unique_round_tripping_ids() {
+    fn matrix_has_twenty_eight_cells_with_unique_round_tripping_ids() {
         let cells = PerfCell::all();
-        assert_eq!(cells.len(), 26, "18 legacy + 6 lanfast + 2 lanfast16");
+        assert_eq!(cells.len(), 28, "18 legacy + 6 lanfast + 2 lanfast16 + 2 scale pair");
         let mut ids: Vec<String> = cells.iter().map(PerfCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 26);
+        assert_eq!(ids.len(), 28);
         for cell in PerfCell::all() {
             let parsed: PerfCell = cell.id().parse().unwrap();
             assert_eq!(parsed, cell, "{}", cell.id());
@@ -557,12 +662,38 @@ mod tests {
         let scale: PerfCell = "opt-otp-tpcb-lanfast16".parse().unwrap();
         assert_eq!(scale.net.sites(), 16);
         assert!(ids.contains(&scale.id()));
+        let sharded: PerfCell = "seq-otp-uniform-sharded".parse().unwrap();
+        assert_eq!(sharded.net.sites(), 16);
+        assert_eq!(sharded.net.groups(), 4, "4 groups × 4 sites");
+        assert!(ids.contains(&sharded.id()));
+        let single: PerfCell = "seq-otp-uniform-lan16".parse().unwrap();
+        assert_eq!((single.net.sites(), single.net.groups()), (16, 1));
+        assert!(ids.contains(&single.id()));
         assert!("seq-otp".parse::<PerfCell>().is_err());
         assert!("paxos-otp-uniform".parse::<PerfCell>().is_err());
         assert!("seq-lazy-uniform".parse::<PerfCell>().is_err());
         assert!("seq-otp-ycsb".parse::<PerfCell>().is_err());
         assert!("seq-otp-tpcb-wan".parse::<PerfCell>().is_err());
         assert!("seq-otp-tpcb-lanfast-extra".parse::<PerfCell>().is_err());
+    }
+
+    #[test]
+    fn sharding_multiplies_aggregate_throughput_on_the_scale_pair() {
+        // The PR's acceptance gate: on the saturated uniform workload,
+        // 4 groups × 4 sites commit at ≥ 2.5× the aggregate rate of the
+        // 16-site single-group cell, with no transaction lost by either.
+        let single = run_perf_cell(&"seq-otp-uniform-lan16".parse().unwrap(), PERF_TXNS, PERF_SEED);
+        let sharded =
+            run_perf_cell(&"seq-otp-uniform-sharded".parse().unwrap(), PERF_TXNS, PERF_SEED);
+        assert_eq!(single.completed, PERF_TXNS);
+        assert_eq!(sharded.completed, PERF_TXNS);
+        let speedup = sharded.throughput_per_sec / single.throughput_per_sec;
+        assert!(
+            speedup >= 2.5,
+            "sharded {:.0}/s vs single-group {:.0}/s — {speedup:.2}× < 2.5×",
+            sharded.throughput_per_sec,
+            single.throughput_per_sec
+        );
     }
 
     #[test]

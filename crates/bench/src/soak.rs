@@ -267,7 +267,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
                     ) {
                         Ok(_) => i += submitters as u64,
                         Err(SubmitError::ShuttingDown) => break,
-                        Err(SubmitError::Backpressure) => unreachable!("submit blocks"),
+                        Err(e) => unreachable!("submit blocks on backpressure: {e}"),
                     }
                 }
             });

@@ -1,0 +1,155 @@
+//! Order domains: the group scope an engine endpoint orders within.
+//!
+//! The seed system baked one implicit global order domain into every
+//! engine: `me()` was a stored field, the member set was "all sites", and
+//! epochs lived wherever each engine stashed them. Sharded sequencing
+//! groups make the domain explicit — a [`GroupId`] names a partition of
+//! the conflict-class space, an [`OrderDomain`] carries its member sites,
+//! and an [`EngineCtx`] hands both (plus the driver's installed epoch) to
+//! every [`crate::AtomicBroadcast`] call. One engine *instance* still
+//! serves one domain; the context makes that domain a driver-owned fact
+//! instead of per-engine bookkeeping.
+
+use otp_simnet::SiteId;
+use std::fmt;
+
+/// Identifier of one ordering group (a shard of the conflict-class
+/// space). Groups are numbered `0..G`; [`GroupId::RELAY`] names the
+/// cluster-wide relay domain that serializes cross-group transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u16);
+
+impl GroupId {
+    /// The relay domain spanning every site: orders cross-group
+    /// transaction descriptors, never application data.
+    pub const RELAY: GroupId = GroupId(u16::MAX);
+
+    /// Raw numeric id.
+    pub fn raw(&self) -> u16 {
+        self.0
+    }
+
+    /// True for the cluster-wide relay domain.
+    pub fn is_relay(&self) -> bool {
+        *self == GroupId::RELAY
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_relay() {
+            write!(f, "relay")
+        } else {
+            write!(f, "g{}", self.0)
+        }
+    }
+}
+
+/// One ordering scope: a group id plus the sites that participate in its
+/// broadcast stream. `MsgId` sequence spaces, sequencer seqnos and view
+/// epochs are all scoped to one domain; two domains never share them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderDomain {
+    /// The group this domain orders for.
+    pub id: GroupId,
+    /// Member sites, ascending. Multicasts from this domain's engines
+    /// reach exactly these sites; the first member is the conventional
+    /// sequencer seat for sequencer-based engines.
+    pub members: Vec<SiteId>,
+}
+
+impl OrderDomain {
+    /// A domain over an explicit member list (sorted, deduplicated).
+    pub fn new(id: GroupId, members: impl IntoIterator<Item = SiteId>) -> Self {
+        let mut members: Vec<SiteId> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        OrderDomain { id, members }
+    }
+
+    /// The single global domain of an unsharded cluster: group 0 over
+    /// sites `0..n`.
+    pub fn global(n: usize) -> Self {
+        OrderDomain::new(GroupId(0), SiteId::all(n))
+    }
+
+    /// Number of member sites.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the domain has no members (never the case for a domain
+    /// a driver actually runs).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when `site` participates in this domain's stream.
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.members.binary_search(&site).is_ok()
+    }
+
+    /// The conventional sequencer seat: the lowest member.
+    pub fn sequencer(&self) -> SiteId {
+        *self.members.first().expect("domain has members")
+    }
+}
+
+/// Per-call context handed to every [`crate::AtomicBroadcast`] behavior
+/// method: which site this endpoint is, which [`OrderDomain`] it orders
+/// within, and the view epoch the driver has installed for that domain.
+/// Replaces the `me()` accessor and the per-engine stashed site/epoch
+/// fields — the driver owns this state, engines borrow it per call.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineCtx<'a> {
+    /// The site this endpoint lives on.
+    pub me: SiteId,
+    /// The ordering scope this endpoint serves.
+    pub domain: &'a OrderDomain,
+    /// The domain's view epoch as installed by the driver (engines fold
+    /// it into their learned epoch via max).
+    pub epoch: u64,
+}
+
+impl<'a> EngineCtx<'a> {
+    /// Context at epoch 0 — the common case for fresh clusters and
+    /// harnesses without view changes.
+    pub fn new(me: SiteId, domain: &'a OrderDomain) -> Self {
+        EngineCtx { me, domain, epoch: 0 }
+    }
+
+    /// Same context with an explicit installed epoch.
+    pub fn at_epoch(me: SiteId, domain: &'a OrderDomain, epoch: u64) -> Self {
+        EngineCtx { me, domain, epoch }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_domain_covers_all_sites() {
+        let d = OrderDomain::global(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.id, GroupId(0));
+        assert_eq!(d.sequencer(), SiteId::new(0));
+        assert!(d.contains(SiteId::new(3)));
+        assert!(!d.contains(SiteId::new(4)));
+    }
+
+    #[test]
+    fn members_are_sorted_and_deduped() {
+        let d = OrderDomain::new(GroupId(1), [SiteId::new(3), SiteId::new(1), SiteId::new(3)]);
+        assert_eq!(d.members, vec![SiteId::new(1), SiteId::new(3)]);
+        assert_eq!(d.sequencer(), SiteId::new(1));
+    }
+
+    #[test]
+    fn relay_id_displays_distinctly() {
+        assert_eq!(GroupId::RELAY.to_string(), "relay");
+        assert_eq!(GroupId(2).to_string(), "g2");
+        assert!(GroupId::RELAY.is_relay());
+        assert!(!GroupId(0).is_relay());
+    }
+}

@@ -22,7 +22,7 @@
 //! let mut cluster = LanCluster::new(
 //!     NetConfig::lan_10mbps(3),
 //!     7, // seed
-//!     Box::new(move |s| OptAbcast::<u64>::new(s, cfg)),
+//!     Box::new(move |_| OptAbcast::<u64>::new(cfg)),
 //! );
 //! cluster.schedule_broadcast(SimTime::from_millis(1), SiteId::new(0), 42u64, 64);
 //! cluster.run_until(SimTime::from_secs(5));
@@ -31,6 +31,7 @@
 //! assert_eq!(cluster.to_logs[1], cluster.to_logs[0]);
 //! ```
 
+use crate::domain::{EngineCtx, OrderDomain};
 use crate::msg::{EngineAction, MsgId, PayloadSize, TimerToken, Wire};
 use crate::traits::AtomicBroadcast;
 use otp_simnet::{EventQueue, MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
@@ -57,6 +58,9 @@ enum Ev<P> {
 pub struct LanCluster<P, E> {
     engines: Vec<E>,
     factory: EngineFactory<E>,
+    /// The single global order domain the harness runs (sharded domains
+    /// live in the `otp-core` cluster driver).
+    domain: OrderDomain,
     net: MulticastNet,
     queue: EventQueue<Ev<P>>,
     rng: SimRng,
@@ -84,6 +88,7 @@ where
         LanCluster {
             engines,
             factory,
+            domain: OrderDomain::global(n),
             net: MulticastNet::new(net_config),
             queue: EventQueue::new(),
             rng: SimRng::seed_from(seed),
@@ -181,14 +186,16 @@ where
                     };
                     self.receive_logs[to.index()].push(id);
                 }
-                let actions = self.engines[to.index()].on_receive(from, wire);
+                let ctx = EngineCtx::new(to, &self.domain);
+                let actions = self.engines[to.index()].on_receive(&ctx, from, wire);
                 self.apply_actions(to, actions);
             }
             Ev::Timer { site, token } => {
                 if self.crashed[site.index()] {
                     return;
                 }
-                let actions = self.engines[site.index()].on_timer(token);
+                let ctx = EngineCtx::new(site, &self.domain);
+                let actions = self.engines[site.index()].on_timer(&ctx, token);
                 self.apply_actions(site, actions);
             }
             Ev::Broadcast { site, payload, size } => {
@@ -196,7 +203,8 @@ where
                     return; // a crashed client/site cannot broadcast
                 }
                 let _ = size;
-                let (id, actions) = self.engines[site.index()].broadcast(payload);
+                let ctx = EngineCtx::new(site, &self.domain);
+                let (id, actions) = self.engines[site.index()].broadcast(&ctx, payload);
                 self.broadcasts.push(id);
                 self.apply_actions(site, actions);
             }
@@ -210,8 +218,9 @@ where
                 self.net.set_up(site);
                 // Fresh engine + state transfer.
                 let snapshot = self.engines[donor.index()].snapshot();
+                let ctx = EngineCtx::new(site, &self.domain);
                 let mut fresh = (self.factory)(site);
-                let actions = fresh.restore(snapshot);
+                let actions = fresh.restore(&ctx, snapshot);
                 self.engines[site.index()] = fresh;
                 // Reset local delivery logs to the definitive log we now
                 // claim to have delivered (the pre-crash prefix is gone
@@ -223,7 +232,10 @@ where
                 // Post-restore repair (the harness holds no partition
                 // buffers, so there are no self-sent wires to re-teach
                 // first — see the cluster driver for the full sequence).
-                let finish = self.engines[site.index()].finish_restore();
+                let finish = {
+                    let ctx = EngineCtx::new(site, &self.domain);
+                    self.engines[site.index()].finish_restore(&ctx)
+                };
                 self.apply_actions(site, finish);
                 // Replay everything buffered while down.
                 let held = std::mem::take(&mut self.held[site.index()]);
@@ -271,14 +283,14 @@ mod tests {
 
     fn opt_cluster(n: usize, seed: u64) -> LanCluster<u64, OptAbcast<u64>> {
         let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(50));
-        LanCluster::new(NetConfig::lan_10mbps(n), seed, Box::new(move |s| OptAbcast::new(s, cfg)))
+        LanCluster::new(NetConfig::lan_10mbps(n), seed, Box::new(move |_| OptAbcast::new(cfg)))
     }
 
     fn seq_cluster(n: usize, seed: u64) -> LanCluster<u64, SeqAbcast<u64>> {
         LanCluster::new(
             NetConfig::lan_10mbps(n),
             seed,
-            Box::new(move |s| SeqAbcast::new(s, SiteId::new(0))),
+            Box::new(move |_| SeqAbcast::new(SiteId::new(0))),
         )
     }
 
@@ -380,7 +392,7 @@ mod tests {
             let mut c: LanCluster<u64, OptAbcast<u64>> = LanCluster::new(
                 NetConfig::lan_10mbps(3),
                 41,
-                Box::new(move |s| OptAbcast::new(s, cfg)),
+                Box::new(move |_| OptAbcast::new(cfg)),
             );
             let mut t = SimTime::from_millis(1);
             for k in 0..30u64 {
@@ -409,7 +421,7 @@ mod tests {
         let mut c: LanCluster<u64, OptAbcast<u64>> = LanCluster::new(
             NetConfig::lan_10mbps(n).with_loss(0.05),
             31,
-            Box::new(move |s| OptAbcast::new(s, cfg)),
+            Box::new(move |_| OptAbcast::new(cfg)),
         );
         let mut t = SimTime::from_millis(1);
         for k in 0..25u64 {

@@ -38,7 +38,7 @@
 //! let mut cluster = LanCluster::new(
 //!     NetConfig::lan_10mbps(4),
 //!     1,
-//!     Box::new(move |s| OptAbcast::<u32>::new(s, cfg)),
+//!     Box::new(move |_| OptAbcast::<u32>::new(cfg)),
 //! );
 //! for k in 0..8 {
 //!     cluster.schedule_broadcast(
@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domain;
 pub mod harness;
 pub mod msg;
 pub mod opt;
@@ -64,6 +65,7 @@ pub mod scramble;
 pub mod seq;
 mod traits;
 
+pub use domain::{EngineCtx, GroupId, OrderDomain};
 pub use msg::{EngineAction, Message, MsgId, PayloadSize, TimerToken, Wire, RECOVERY_SEQ_GAP};
 pub use opt::{OptAbcast, OptAbcastConfig};
 pub use scramble::{Oracle, ScrambleConfig, ScrambledAbcast};

@@ -29,6 +29,7 @@
 //! batches — so progress is made as long as some site has undecided
 //! messages.
 
+use crate::domain::EngineCtx;
 use crate::msg::{EngineAction, Message, MsgId, OrderBatch, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_consensus::{Action as CAction, ConsensusMsg, Instance, InstanceConfig};
@@ -81,7 +82,6 @@ impl OptAbcastConfig {
 /// [`AtomicBroadcast`] for the delivery guarantees.
 #[derive(Debug)]
 pub struct OptAbcast<P> {
-    me: SiteId,
     cfg: OptAbcastConfig,
     ccfg: InstanceConfig,
     next_seq: u64,
@@ -118,10 +118,10 @@ pub struct OptAbcast<P> {
 }
 
 impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
-    /// Creates the endpoint for site `me`.
-    pub fn new(me: SiteId, cfg: OptAbcastConfig) -> Self {
+    /// Creates an endpoint. The site it lives on and the domain it
+    /// orders within arrive per call via [`EngineCtx`].
+    pub fn new(cfg: OptAbcastConfig) -> Self {
         OptAbcast {
-            me,
             cfg,
             ccfg: InstanceConfig::new(cfg.sites, cfg.consensus_timeout),
             next_seq: 0,
@@ -158,6 +158,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
 
     fn consensus_actions(
         &mut self,
+        me: SiteId,
         instance: u64,
         actions: Vec<CAction<OrderBatch>>,
     ) -> Vec<EngineAction<P>> {
@@ -177,25 +178,25 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
                     });
                 }
                 CAction::Decided(batch) => {
-                    out.extend(self.on_decided(instance, batch));
+                    out.extend(self.on_decided(me, instance, batch));
                 }
             }
         }
         out
     }
 
-    fn on_decided(&mut self, instance: u64, batch: OrderBatch) -> Vec<EngineAction<P>> {
+    fn on_decided(&mut self, me: SiteId, instance: u64, batch: OrderBatch) -> Vec<EngineAction<P>> {
         self.decided.entry(instance).or_insert(batch);
         self.instances.remove(&instance);
         let mut out = self.try_deliver();
-        out.extend(self.maybe_initiate());
+        out.extend(self.maybe_initiate(me));
         out
     }
 
     /// Starts the next instance if the previous one is decided and there
     /// is something to order. With batching enabled, arms a timer instead
     /// and initiates when it fires.
-    fn maybe_initiate(&mut self) -> Vec<EngineAction<P>> {
+    fn maybe_initiate(&mut self, me: SiteId) -> Vec<EngineAction<P>> {
         // Find the first instance number not yet decided and not running.
         while self.decided.contains_key(&self.next_initiate) {
             self.next_initiate += 1;
@@ -219,13 +220,13 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
                 delay,
             }];
         }
-        self.join_instance(k)
+        self.join_instance(me, k)
     }
 
     /// Fires the batch timer: initiate the instance if it is still needed
     /// (it may have been joined meanwhile through another site's traffic,
     /// or decided already).
-    fn on_batch_timer(&mut self, instance: u64) -> Vec<EngineAction<P>> {
+    fn on_batch_timer(&mut self, me: SiteId, instance: u64) -> Vec<EngineAction<P>> {
         if self.batch_timer_for == Some(instance) {
             self.batch_timer_for = None;
         }
@@ -234,12 +235,12 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
             || self.decided.contains_key(&instance)
         {
             // Re-evaluate: a later batch may still be owed a timer.
-            return self.maybe_initiate();
+            return self.maybe_initiate(me);
         }
-        self.join_instance(instance)
+        self.join_instance(me, instance)
     }
 
-    fn join_instance(&mut self, instance: u64) -> Vec<EngineAction<P>> {
+    fn join_instance(&mut self, me: SiteId, instance: u64) -> Vec<EngineAction<P>> {
         if self.instances.contains_key(&instance) || self.decided.contains_key(&instance) {
             return Vec::new();
         }
@@ -247,9 +248,9 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         // the proposal (estimates, proposes, decides, per-receiver wire
         // fan-out) shares it.
         let proposal: OrderBatch = Arc::new(self.undecided.clone());
-        let (inst, actions) = Instance::new(self.me, self.ccfg, proposal);
+        let (inst, actions) = Instance::new(me, self.ccfg, proposal);
         self.instances.insert(instance, inst);
-        self.consensus_actions(instance, actions)
+        self.consensus_actions(me, instance, actions)
     }
 
     /// Drains decided batches through the delivery cursor. Everything that
@@ -294,7 +295,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         vec![EngineAction::ToDeliver(delivered)]
     }
 
-    fn on_data(&mut self, msg: Message<P>) -> Vec<EngineAction<P>> {
+    fn on_data(&mut self, me: SiteId, msg: Message<P>) -> Vec<EngineAction<P>> {
         if self.received.contains_key(&msg.id) {
             return Vec::new(); // duplicate
         }
@@ -302,7 +303,7 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         // A message tagged with our own origin is one a previous
         // incarnation of this endpoint sent before crashing: never reuse
         // its sequence number.
-        if id.origin == self.me {
+        if id.origin == me {
             self.next_seq = self.next_seq.max(id.seq + 1);
         }
         self.received.insert(id, msg.clone());
@@ -317,12 +318,13 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         }
         // A decided batch may have been stalled waiting for this data.
         out.extend(self.try_deliver());
-        out.extend(self.maybe_initiate());
+        out.extend(self.maybe_initiate(me));
         out
     }
 
     fn on_consensus(
         &mut self,
+        me: SiteId,
         from: SiteId,
         instance: u64,
         msg: ConsensusMsg<OrderBatch>,
@@ -338,27 +340,32 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         }
         // Join unknown instances on first contact.
         let mut out = if !self.instances.contains_key(&instance) {
-            self.join_instance(instance)
+            self.join_instance(me, instance)
         } else {
             Vec::new()
         };
         if let Some(inst) = self.instances.get_mut(&instance) {
             let actions = inst.on_message(from, msg);
-            out.extend(self.consensus_actions(instance, actions));
+            out.extend(self.consensus_actions(me, instance, actions));
         }
         out
     }
 
     /// Handles one wire without flushing the helpout buffer — the receive
     /// entry points flush exactly once per call, however many wires landed.
-    fn ingest_wire(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
+    fn ingest_wire(&mut self, me: SiteId, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
         match wire {
-            Wire::Data(msg) => self.on_data(msg),
-            Wire::Consensus { instance, msg } => self.on_consensus(from, instance, msg),
+            Wire::Data(msg) => self.on_data(me, msg),
+            Wire::Consensus { instance, msg } => self.on_consensus(me, from, instance, msg),
             Wire::DecideBatch { decides } => {
                 let mut out = Vec::new();
                 for (instance, value) in decides {
-                    out.extend(self.on_consensus(from, instance, ConsensusMsg::Decide { value }));
+                    out.extend(self.on_consensus(
+                        me,
+                        from,
+                        instance,
+                        ConsensusMsg::Decide { value },
+                    ));
                 }
                 out
             }
@@ -398,12 +405,8 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
 }
 
 impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
-    fn me(&self) -> SiteId {
-        self.me
-    }
-
-    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
-        let id = MsgId::new(self.me, self.next_seq);
+    fn broadcast(&mut self, ctx: &EngineCtx<'_>, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
+        let id = MsgId::new(ctx.me, self.next_seq);
         self.next_seq += 1;
         let msg = Message { id, payload };
         // The data is multicast to everyone including ourselves; our own
@@ -413,16 +416,25 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         (id, vec![EngineAction::Multicast(Wire::Data(msg))])
     }
 
-    fn on_receive(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
-        let mut out = self.ingest_wire(from, wire);
+    fn on_receive(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        from: SiteId,
+        wire: Wire<P>,
+    ) -> Vec<EngineAction<P>> {
+        let mut out = self.ingest_wire(ctx.me, from, wire);
         self.flush_helpouts(&mut out);
         out
     }
 
-    fn on_receive_batch(&mut self, wires: Vec<(SiteId, Wire<P>)>) -> Vec<EngineAction<P>> {
+    fn on_receive_batch(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        wires: Vec<(SiteId, Wire<P>)>,
+    ) -> Vec<EngineAction<P>> {
         let mut out = Vec::new();
         for (from, wire) in wires {
-            out.extend(self.ingest_wire(from, wire));
+            out.extend(self.ingest_wire(ctx.me, from, wire));
         }
         // One helpout flush for the whole tick: a straggler's burst of
         // questions about decided instances costs one frame, not one per
@@ -431,15 +443,15 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         out
     }
 
-    fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>> {
+    fn on_timer(&mut self, ctx: &EngineCtx<'_>, token: TimerToken) -> Vec<EngineAction<P>> {
         if token.round == BATCH_ROUND {
-            return self.on_batch_timer(token.instance);
+            return self.on_batch_timer(ctx.me, token.instance);
         }
         let Some(inst) = self.instances.get_mut(&token.instance) else {
             return Vec::new();
         };
         let actions = inst.on_timeout(token.round);
-        self.consensus_actions(token.instance, actions)
+        self.consensus_actions(ctx.me, token.instance, actions)
     }
 
     fn definitive_log(&self) -> &[MsgId] {
@@ -458,7 +470,11 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
         }
     }
 
-    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
+    fn restore(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        snapshot: EngineSnapshot<P>,
+    ) -> Vec<EngineAction<P>> {
         self.decided = snapshot.decided.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
         self.definitive_log = snapshot.definitive_log.clone();
         self.to_set = snapshot.definitive_log.iter().copied().collect();
@@ -507,7 +523,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
             .keys()
             .copied()
             .chain(self.decided.values().flat_map(|batch| batch.iter().copied()))
-            .filter(|id| id.origin == self.me)
+            .filter(|id| id.origin == ctx.me)
             .map(|id| id.seq)
             .max();
         if let Some(mx) = my_max {
@@ -527,10 +543,15 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::OrderDomain;
 
     fn engines(n: usize) -> Vec<OptAbcast<u32>> {
         let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(20));
-        SiteId::all(n).map(|s| OptAbcast::new(s, cfg)).collect()
+        (0..n).map(|_| OptAbcast::new(cfg)).collect()
+    }
+
+    fn ctx_at(dom: &OrderDomain, me: SiteId) -> EngineCtx<'_> {
+        EngineCtx::new(me, dom)
     }
 
     /// Synchronous lock-step driver: delivers all pending wires in FIFO
@@ -538,6 +559,7 @@ mod tests {
     /// the jittery/lossy cases live in the harness-based tests.
     fn pump(engines: &mut [OptAbcast<u32>], mut wires: Vec<(SiteId, Option<SiteId>, Wire<u32>)>) {
         let n = engines.len();
+        let dom = OrderDomain::global(n);
         let mut guard = 0;
         while !wires.is_empty() {
             guard += 1;
@@ -548,7 +570,7 @@ mod tests {
                 None => SiteId::all(n).collect(),
             };
             for t in targets {
-                let actions = engines[t.index()].on_receive(from, wire.clone());
+                let actions = engines[t.index()].on_receive(&ctx_at(&dom, t), from, wire.clone());
                 for a in actions {
                     match a {
                         EngineAction::Multicast(w) => wires.push((t, None, w)),
@@ -561,11 +583,12 @@ mod tests {
     }
 
     fn collect_broadcast(
+        dom: &OrderDomain,
         e: &mut OptAbcast<u32>,
+        me: SiteId,
         payload: u32,
     ) -> Vec<(SiteId, Option<SiteId>, Wire<u32>)> {
-        let me = e.me();
-        let (_, actions) = e.broadcast(payload);
+        let (_, actions) = e.broadcast(&ctx_at(dom, me), payload);
         actions
             .into_iter()
             .filter_map(|a| match a {
@@ -579,11 +602,12 @@ mod tests {
     #[test]
     fn single_message_is_opt_and_to_delivered_everywhere() {
         let mut es = engines(3);
-        let wires = collect_broadcast(&mut es[0], 42);
+        let dom = OrderDomain::global(3);
+        let wires = collect_broadcast(&dom, &mut es[0], SiteId::new(0), 42);
         pump(&mut es, wires);
-        for e in &es {
-            assert_eq!(e.tentative_log().len(), 1, "opt-delivered at {}", e.me());
-            assert_eq!(e.definitive_log().len(), 1, "to-delivered at {}", e.me());
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(e.tentative_log().len(), 1, "opt-delivered at site {i}");
+            assert_eq!(e.definitive_log().len(), 1, "to-delivered at site {i}");
             assert_eq!(e.definitive_log()[0], MsgId::new(SiteId::new(0), 0));
         }
     }
@@ -591,24 +615,31 @@ mod tests {
     #[test]
     fn definitive_order_identical_across_sites() {
         let mut es = engines(4);
+        let dom = OrderDomain::global(4);
         let mut wires = Vec::new();
         for (i, e) in es.iter_mut().enumerate() {
             for k in 0..5u32 {
-                wires.extend(collect_broadcast(e, (i as u32) * 100 + k));
+                wires.extend(collect_broadcast(
+                    &dom,
+                    e,
+                    SiteId::new(i as u16),
+                    (i as u32) * 100 + k,
+                ));
             }
         }
         pump(&mut es, wires);
         let log0: Vec<MsgId> = es[0].definitive_log().to_vec();
         assert_eq!(log0.len(), 20);
-        for e in &es[1..] {
-            assert_eq!(e.definitive_log(), log0.as_slice(), "global order at {}", e.me());
+        for (i, e) in es.iter().enumerate().skip(1) {
+            assert_eq!(e.definitive_log(), log0.as_slice(), "global order at site {i}");
         }
     }
 
     #[test]
     fn local_order_opt_before_to() {
         let mut es = engines(3);
-        let wires = collect_broadcast(&mut es[1], 7);
+        let dom = OrderDomain::global(3);
+        let wires = collect_broadcast(&dom, &mut es[1], SiteId::new(1), 7);
         // Track the interleaving at site 2 manually.
         let mut seen_opt = false;
         let mut order_ok = true;
@@ -623,7 +654,7 @@ mod tests {
                 None => SiteId::all(3).collect(),
             };
             for t in targets {
-                for a in es[t.index()].on_receive(from, wire.clone()) {
+                for a in es[t.index()].on_receive(&ctx_at(&dom, t), from, wire.clone()) {
                     match a {
                         EngineAction::Multicast(w) => queue.push((t, None, w)),
                         EngineAction::Send(d, w) => queue.push((t, Some(d), w)),
@@ -642,19 +673,22 @@ mod tests {
     #[test]
     fn duplicate_data_is_ignored() {
         let mut es = engines(2);
+        let dom = OrderDomain::global(2);
+        let c1 = ctx_at(&dom, SiteId::new(1));
         let msg = Message { id: MsgId::new(SiteId::new(0), 0), payload: 1u32 };
-        let a1 = es[1].on_receive(SiteId::new(0), Wire::Data(msg.clone()));
+        let a1 = es[1].on_receive(&c1, SiteId::new(0), Wire::Data(msg.clone()));
         assert!(a1.iter().any(|a| matches!(a, EngineAction::OptDeliver(_))));
-        let a2 = es[1].on_receive(SiteId::new(0), Wire::Data(msg));
+        let a2 = es[1].on_receive(&c1, SiteId::new(0), Wire::Data(msg));
         assert!(a2.is_empty(), "duplicate must be silent: {a2:?}");
     }
 
     #[test]
     fn snapshot_restore_suppresses_redelivery() {
         let mut es = engines(3);
+        let dom = OrderDomain::global(3);
         let mut wires = Vec::new();
         for k in 0..4u32 {
-            wires.extend(collect_broadcast(&mut es[0], k));
+            wires.extend(collect_broadcast(&dom, &mut es[0], SiteId::new(0), k));
         }
         pump(&mut es, wires);
         assert_eq!(es[1].definitive_log().len(), 4);
@@ -662,13 +696,14 @@ mod tests {
         // Site 2 "crashes"; a fresh engine restores from site 1.
         let snap = es[1].snapshot();
         let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
-        let mut recovered: OptAbcast<u32> = OptAbcast::new(SiteId::new(2), cfg);
-        recovered.restore(snap);
+        let c2 = ctx_at(&dom, SiteId::new(2));
+        let mut recovered: OptAbcast<u32> = OptAbcast::new(cfg);
+        recovered.restore(&c2, snap);
         assert_eq!(recovered.definitive_log().len(), 4);
 
         // Old data arriving again after recovery must not re-deliver.
         let old = Message { id: MsgId::new(SiteId::new(0), 2), payload: 2u32 };
-        let actions = recovered.on_receive(SiteId::new(0), Wire::Data(old));
+        let actions = recovered.on_receive(&c2, SiteId::new(0), Wire::Data(old));
         assert!(
             !actions
                 .iter()
@@ -680,18 +715,19 @@ mod tests {
     #[test]
     fn restore_continues_with_new_traffic() {
         let mut es = engines(3);
+        let dom = OrderDomain::global(3);
         let mut wires = Vec::new();
         for k in 0..3u32 {
-            wires.extend(collect_broadcast(&mut es[0], k));
+            wires.extend(collect_broadcast(&dom, &mut es[0], SiteId::new(0), k));
         }
         pump(&mut es, wires);
         let snap = es[0].snapshot();
         let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
-        let mut fresh: OptAbcast<u32> = OptAbcast::new(SiteId::new(2), cfg);
-        fresh.restore(snap);
+        let mut fresh: OptAbcast<u32> = OptAbcast::new(cfg);
+        fresh.restore(&ctx_at(&dom, SiteId::new(2)), snap);
         es[2] = fresh;
         // New broadcast flows through all three, including the recovered one.
-        let wires = collect_broadcast(&mut es[1], 99);
+        let wires = collect_broadcast(&dom, &mut es[1], SiteId::new(1), 99);
         pump(&mut es, wires);
         assert_eq!(es[2].definitive_log().len(), 4);
         assert_eq!(es[0].definitive_log(), es[2].definitive_log());
@@ -703,9 +739,10 @@ mod tests {
     #[test]
     fn decide_helpouts_batch_per_tick() {
         let mut es = engines(3);
+        let dom = OrderDomain::global(3);
         let mut wires = Vec::new();
         for k in 0..2u32 {
-            wires.extend(collect_broadcast(&mut es[0], k));
+            wires.extend(collect_broadcast(&dom, &mut es[0], SiteId::new(0), k));
             pump(&mut es, std::mem::take(&mut wires));
         }
         assert!(es[0].decided_instances() >= 2, "two decided instances to ask about");
@@ -722,7 +759,7 @@ mod tests {
                 )
             })
             .collect();
-        let actions = es[0].on_receive_batch(straggler_asks);
+        let actions = es[0].on_receive_batch(&ctx_at(&dom, SiteId::new(0)), straggler_asks);
         let decide_frames: Vec<&Wire<u32>> = actions
             .iter()
             .filter_map(|a| match a {
@@ -737,16 +774,19 @@ mod tests {
         assert_eq!(decides.len(), 2);
         // The straggler applies the batch and decides both instances.
         let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
-        let mut straggler: OptAbcast<u32> = OptAbcast::new(SiteId::new(2), cfg);
+        let c2 = ctx_at(&dom, SiteId::new(2));
+        let mut straggler: OptAbcast<u32> = OptAbcast::new(cfg);
         straggler.on_receive(
+            &c2,
             SiteId::new(0),
             Wire::Data(Message { id: MsgId::new(SiteId::new(0), 0), payload: 0 }),
         );
         straggler.on_receive(
+            &c2,
             SiteId::new(0),
             Wire::Data(Message { id: MsgId::new(SiteId::new(0), 1), payload: 1 }),
         );
-        straggler.on_receive(SiteId::new(0), decide_frames[0].clone());
+        straggler.on_receive(&c2, SiteId::new(0), decide_frames[0].clone());
         assert_eq!(straggler.decided_instances(), 2);
         assert_eq!(straggler.definitive_log(), es[0].definitive_log());
     }
@@ -755,10 +795,12 @@ mod tests {
     #[test]
     fn single_decide_helpout_stays_legacy_frame() {
         let mut es = engines(2);
-        let wires = collect_broadcast(&mut es[0], 7);
+        let dom = OrderDomain::global(2);
+        let wires = collect_broadcast(&dom, &mut es[0], SiteId::new(0), 7);
         pump(&mut es, wires);
         assert_eq!(es[0].decided_instances(), 1);
         let actions = es[0].on_receive(
+            &ctx_at(&dom, SiteId::new(0)),
             SiteId::new(1),
             Wire::Consensus {
                 instance: 0,
@@ -796,17 +838,20 @@ mod tests {
         snap.decided.insert(0, vec![MsgId::new(me, huge)]);
         snap.min_delivered = 0;
         let cfg = OptAbcastConfig::new(3, SimDuration::from_millis(20));
-        let mut fresh: OptAbcast<u32> = OptAbcast::new(me, cfg);
-        fresh.restore(snap);
+        let dom = OrderDomain::global(3);
+        let c2 = ctx_at(&dom, me);
+        let mut fresh: OptAbcast<u32> = OptAbcast::new(cfg);
+        fresh.restore(&c2, snap);
         fresh.bump_incarnation();
-        let (id, _) = fresh.broadcast(9);
+        let (id, _) = fresh.broadcast(&c2, 9);
         assert!(id.seq > huge, "must clear every reported id: {} <= {huge}", id.seq);
     }
 
     #[test]
     fn own_broadcast_not_delivered_until_loopback() {
         let mut es = engines(2);
-        let (_, actions) = es[0].broadcast(5);
+        let dom = OrderDomain::global(2);
+        let (_, actions) = es[0].broadcast(&ctx_at(&dom, SiteId::new(0)), 5);
         // Broadcasting alone does not deliver anything locally.
         assert!(actions
             .iter()

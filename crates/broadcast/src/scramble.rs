@@ -20,6 +20,7 @@
 //! still hold, so OTP replicas run over it unchanged. It is *not* a real
 //! protocol — it is the lab instrument the benches use; see DESIGN.md §5.
 
+use crate::domain::EngineCtx;
 use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_simnet::rng::SimRng;
@@ -71,7 +72,6 @@ impl Oracle {
 /// [module docs](self) for semantics.
 #[derive(Debug)]
 pub struct ScrambledAbcast<P> {
-    me: SiteId,
     cfg: ScrambleConfig,
     oracle: Arc<Oracle>,
     rng: SimRng,
@@ -91,10 +91,10 @@ pub struct ScrambledAbcast<P> {
 
 impl<P: Clone + std::fmt::Debug> ScrambledAbcast<P> {
     /// Creates the endpoint. All endpoints of a group must share the same
-    /// `oracle`; give each its own forked `rng`.
-    pub fn new(me: SiteId, cfg: ScrambleConfig, oracle: Arc<Oracle>, rng: SimRng) -> Self {
+    /// `oracle`; give each its own forked `rng` (the per-call
+    /// [`EngineCtx`] says which site the endpoint is).
+    pub fn new(cfg: ScrambleConfig, oracle: Arc<Oracle>, rng: SimRng) -> Self {
         ScrambledAbcast {
-            me,
             cfg,
             oracle,
             rng,
@@ -112,9 +112,7 @@ impl<P: Clone + std::fmt::Debug> ScrambledAbcast<P> {
     /// Convenience: builds a whole connected group of `n` endpoints.
     pub fn group(n: usize, cfg: ScrambleConfig, rng: &mut SimRng) -> Vec<ScrambledAbcast<P>> {
         let oracle = Oracle::new();
-        SiteId::all(n)
-            .map(|s| ScrambledAbcast::new(s, cfg, Arc::clone(&oracle), rng.fork()))
-            .collect()
+        (0..n).map(|_| ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork())).collect()
     }
 
     /// The tentative (Opt-delivery) order observed so far.
@@ -161,19 +159,20 @@ impl<P: Clone + std::fmt::Debug> ScrambledAbcast<P> {
 }
 
 impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
-    fn me(&self) -> SiteId {
-        self.me
-    }
-
-    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
-        let id = MsgId::new(self.me, self.next_seq);
+    fn broadcast(&mut self, ctx: &EngineCtx<'_>, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
+        let id = MsgId::new(ctx.me, self.next_seq);
         self.next_seq += 1;
         let oracle_seq = self.oracle.next();
         let msg = Message { id, payload };
         (id, vec![EngineAction::Multicast(Wire::OracleData { msg, oracle_seq })])
     }
 
-    fn on_receive(&mut self, _from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
+    fn on_receive(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        _from: SiteId,
+        wire: Wire<P>,
+    ) -> Vec<EngineAction<P>> {
         let Wire::OracleData { msg, oracle_seq } = wire else {
             return Vec::new();
         };
@@ -182,7 +181,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
         }
         // Sent by a previous incarnation of this endpoint: never reuse its
         // sequence number.
-        if msg.id.origin == self.me {
+        if msg.id.origin == ctx.me {
             self.next_seq = self.next_seq.max(msg.id.seq + 1);
         }
         self.received.insert(msg.id, msg.clone());
@@ -209,7 +208,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
         out
     }
 
-    fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>> {
+    fn on_timer(&mut self, _ctx: &EngineCtx<'_>, token: TimerToken) -> Vec<EngineAction<P>> {
         if token.round != ORACLE_ROUND {
             return Vec::new();
         }
@@ -240,7 +239,11 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
         }
     }
 
-    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
+    fn restore(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        snapshot: EngineSnapshot<P>,
+    ) -> Vec<EngineAction<P>> {
         self.definitive_log = snapshot.definitive_log.clone();
         self.opt_log = snapshot.definitive_log.clone();
         for m in snapshot.received {
@@ -281,7 +284,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
             .keys()
             .copied()
             .chain(self.order.values().copied())
-            .filter(|id| id.origin == self.me)
+            .filter(|id| id.origin == ctx.me)
             .map(|id| id.seq)
             .max();
         if let Some(mx) = my_max {
@@ -298,10 +301,12 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for ScrambledAbcast<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::OrderDomain;
 
     /// Timed mini-driver for the oracle engine (it needs timers).
     struct Driver {
         engines: Vec<ScrambledAbcast<u32>>,
+        dom: OrderDomain,
         queue: otp_simnet::EventQueue<Ev>,
     }
 
@@ -315,6 +320,7 @@ mod tests {
             let mut rng = SimRng::seed_from(seed);
             Driver {
                 engines: ScrambledAbcast::group(n, cfg, &mut rng),
+                dom: OrderDomain::global(n),
                 queue: otp_simnet::EventQueue::new(),
             }
         }
@@ -344,7 +350,8 @@ mod tests {
         }
 
         fn broadcast(&mut self, site: SiteId, payload: u32) {
-            let (_, actions) = self.engines[site.index()].broadcast(payload);
+            let ctx = EngineCtx::new(site, &self.dom);
+            let (_, actions) = self.engines[site.index()].broadcast(&ctx, payload);
             self.apply(site, actions);
         }
 
@@ -352,11 +359,13 @@ mod tests {
             while let Some((_, ev)) = self.queue.pop() {
                 match ev {
                     Ev::Deliver { to, from, wire } => {
-                        let actions = self.engines[to.index()].on_receive(from, wire);
+                        let ctx = EngineCtx::new(to, &self.dom);
+                        let actions = self.engines[to.index()].on_receive(&ctx, from, wire);
                         self.apply(to, actions);
                     }
                     Ev::Timer { site, token } => {
-                        let actions = self.engines[site.index()].on_timer(token);
+                        let ctx = EngineCtx::new(site, &self.dom);
+                        let actions = self.engines[site.index()].on_timer(&ctx, token);
                         self.apply(site, actions);
                     }
                 }
@@ -421,17 +430,20 @@ mod tests {
             ScrambleConfig { agreement_delay: SimDuration::from_micros(10), swap_probability: 1.0 };
         let oracle = Oracle::new();
         let mut rng = SimRng::seed_from(4);
+        let dom = OrderDomain::global(2);
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
         let mut e: ScrambledAbcast<u32> =
-            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
+            ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork());
         let id = MsgId::new(SiteId::new(1), 0);
         let a1 = e.on_receive(
+            &c0,
             SiteId::new(1),
             Wire::OracleData { msg: Message { id, payload: 1 }, oracle_seq: 0 },
         );
         // Held: no opt-delivery yet.
         assert!(!a1.iter().any(|a| matches!(a, EngineAction::OptDeliver(_))));
         // Timer fires → opt then to, in that order.
-        let a2 = e.on_timer(TimerToken { instance: 0, round: u64::MAX });
+        let a2 = e.on_timer(&c0, TimerToken { instance: 0, round: u64::MAX });
         let kinds: Vec<&str> = a2
             .iter()
             .map(|a| match a {
@@ -452,20 +464,22 @@ mod tests {
         let cfg = ScrambleConfig::delay_only(SimDuration::from_millis(1));
         let oracle = Oracle::new();
         let mut rng = SimRng::seed_from(8);
+        let dom = OrderDomain::global(2);
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
         let mut a: ScrambledAbcast<u32> =
-            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
-        let (id0, actions) = a.broadcast(1);
+            ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork());
+        let (id0, actions) = a.broadcast(&c0, 1);
         // The endpoint must see its own multicast to know the id is taken.
         for act in actions {
             if let EngineAction::Multicast(w) = act {
-                a.on_receive(SiteId::new(0), w);
+                a.on_receive(&c0, SiteId::new(0), w);
             }
         }
         let snap = a.snapshot();
         let mut fresh: ScrambledAbcast<u32> =
-            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
-        fresh.restore(snap);
-        let (id1, _) = fresh.broadcast(2);
+            ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork());
+        fresh.restore(&c0, snap);
+        let (id1, _) = fresh.broadcast(&c0, 2);
         assert_ne!(id0, id1, "restored endpoint must not reuse pre-crash ids");
         assert!(id1.seq > id0.seq);
     }
@@ -478,18 +492,22 @@ mod tests {
         let cfg = ScrambleConfig::delay_only(SimDuration::from_millis(1));
         let oracle = Oracle::new();
         let mut rng = SimRng::seed_from(9);
+        let dom = OrderDomain::global(3);
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c2 = EngineCtx::new(SiteId::new(2), &dom);
         let mut donor: ScrambledAbcast<u32> =
-            ScrambledAbcast::new(SiteId::new(0), cfg, Arc::clone(&oracle), rng.fork());
+            ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork());
         let id = MsgId::new(SiteId::new(1), 0);
         donor.on_receive(
+            &c0,
             SiteId::new(1),
             Wire::OracleData { msg: Message { id, payload: 7 }, oracle_seq: 0 },
         );
         // Not yet ripe at the donor — snapshot now.
         let snap = donor.snapshot();
         let mut fresh: ScrambledAbcast<u32> =
-            ScrambledAbcast::new(SiteId::new(2), cfg, Arc::clone(&oracle), rng.fork());
-        let actions = fresh.restore(snap);
+            ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork());
+        let actions = fresh.restore(&c2, snap);
         assert!(
             actions.iter().any(|a| matches!(a, EngineAction::OptDeliver(m) if m.id == id)),
             "pending message is tentative again"
@@ -501,7 +519,7 @@ mod tests {
         let token = timer.expect("agreement timer re-armed");
         assert_eq!(token.instance, 0, "armed with the original oracle seq");
         // When the timer fires the message TO-delivers.
-        let fired = fresh.on_timer(token);
+        let fired = fresh.on_timer(&c2, token);
         assert!(fired.iter().any(|a| matches!(a, EngineAction::ToDeliver(d) if d.contains(&id))));
     }
 

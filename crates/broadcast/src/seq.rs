@@ -21,6 +21,7 @@
 //! renumbers what no survivor knew and re-announces everything else under
 //! the new epoch.
 
+use crate::domain::EngineCtx;
 use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_simnet::{SimDuration, SiteId};
@@ -32,7 +33,6 @@ const SEQ_BATCH_ROUND: u64 = u64::MAX - 2;
 /// The fixed-sequencer endpoint at one site.
 #[derive(Debug)]
 pub struct SeqAbcast<P> {
-    me: SiteId,
     sequencer: SiteId,
     next_seq: u64,
     /// Installed view epoch: stamps every order assignment this incarnation
@@ -78,11 +78,12 @@ pub struct SeqAbcast<P> {
 }
 
 impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
-    /// Creates the endpoint for site `me` with the given sequencer site.
-    /// Order assignments are multicast immediately, one frame per message.
-    pub fn new(me: SiteId, sequencer: SiteId) -> Self {
+    /// Creates an endpoint with the given sequencer site (conventionally
+    /// the domain's first member). Which site this endpoint lives on
+    /// arrives per call via [`EngineCtx`]. Order assignments are
+    /// multicast immediately, one frame per message.
+    pub fn new(sequencer: SiteId) -> Self {
         SeqAbcast {
-            me,
             sequencer,
             next_seq: 0,
             epoch: 0,
@@ -175,13 +176,13 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
     /// Ingests one wire without flushing pending assignments or running the
     /// delivery loop — [`SeqAbcast::on_receive`] and the batched receive
     /// path do both exactly once per call, however many wires arrived.
-    fn ingest(&mut self, wire: Wire<P>, out: &mut Vec<EngineAction<P>>) {
+    fn ingest(&mut self, me: SiteId, wire: Wire<P>, out: &mut Vec<EngineAction<P>>) {
         match wire {
-            Wire::Data(msg) => self.ingest_data(msg, out),
-            Wire::SeqOrder { epoch, seqno, id } => self.ingest_order(epoch, seqno, id),
+            Wire::Data(msg) => self.ingest_data(me, msg, out),
+            Wire::SeqOrder { epoch, seqno, id } => self.ingest_order(me, epoch, seqno, id),
             Wire::SeqOrderBatch { epoch, start_seqno, ids } => {
                 for (k, id) in ids.into_iter().enumerate() {
-                    self.ingest_order(epoch, start_seqno + k as u64, id);
+                    self.ingest_order(me, epoch, start_seqno + k as u64, id);
                 }
             }
             Wire::Consensus { .. }
@@ -192,14 +193,14 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
         }
     }
 
-    fn ingest_data(&mut self, msg: Message<P>, out: &mut Vec<EngineAction<P>>) {
+    fn ingest_data(&mut self, me: SiteId, msg: Message<P>, out: &mut Vec<EngineAction<P>>) {
         if self.received.contains_key(&msg.id) {
             return;
         }
         let id = msg.id;
         // Sent by a previous incarnation of this endpoint: never reuse its
         // sequence number.
-        if id.origin == self.me {
+        if id.origin == me {
             self.next_seq = self.next_seq.max(id.seq + 1);
         }
         self.received.insert(id, msg.clone());
@@ -207,7 +208,7 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
             self.opt_log.push(id);
             out.push(EngineAction::OptDeliver(msg));
         }
-        if self.me == self.sequencer && self.numbered.insert(id) {
+        if me == self.sequencer && self.numbered.insert(id) {
             let seqno = self.next_global;
             self.next_global += 1;
             // The assignment is definitive the moment it is made: record it
@@ -227,7 +228,7 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
         }
     }
 
-    fn ingest_order(&mut self, epoch: u64, seqno: u64, id: MsgId) {
+    fn ingest_order(&mut self, me: SiteId, epoch: u64, seqno: u64, id: MsgId) {
         // A frame tagged below the fence comes from a sequencer incarnation
         // a view change already declared dead: its assignment may have been
         // renumbered by the restored incarnation, so applying it could put
@@ -243,27 +244,30 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
         // A sequencer must never reassign a sequence number it has seen
         // assigned — a restored sequencer learns its own pre-crash
         // assignments through replayed SeqOrder wires.
-        if self.me == self.sequencer {
+        if me == self.sequencer {
             self.next_global = self.next_global.max(seqno + 1);
         }
     }
 }
 
 impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
-    fn me(&self) -> SiteId {
-        self.me
-    }
-
-    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
-        let id = MsgId::new(self.me, self.next_seq);
+    fn broadcast(&mut self, ctx: &EngineCtx<'_>, payload: P) -> (MsgId, Vec<EngineAction<P>>) {
+        self.epoch = self.epoch.max(ctx.epoch);
+        let id = MsgId::new(ctx.me, self.next_seq);
         self.next_seq += 1;
         let msg = Message { id, payload };
         (id, vec![EngineAction::Multicast(Wire::Data(msg))])
     }
 
-    fn on_receive(&mut self, _from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>> {
+    fn on_receive(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        _from: SiteId,
+        wire: Wire<P>,
+    ) -> Vec<EngineAction<P>> {
+        self.epoch = self.epoch.max(ctx.epoch);
         let mut out = Vec::new();
-        self.ingest(wire, &mut out);
+        self.ingest(ctx.me, wire, &mut out);
         if self.order_batch_delay.is_none() {
             self.flush_pending(&mut out);
         }
@@ -271,10 +275,15 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
         out
     }
 
-    fn on_receive_batch(&mut self, wires: Vec<(SiteId, Wire<P>)>) -> Vec<EngineAction<P>> {
+    fn on_receive_batch(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        wires: Vec<(SiteId, Wire<P>)>,
+    ) -> Vec<EngineAction<P>> {
+        self.epoch = self.epoch.max(ctx.epoch);
         let mut out = Vec::new();
         for (_, wire) in wires {
-            self.ingest(wire, &mut out);
+            self.ingest(ctx.me, wire, &mut out);
         }
         // One flush and one delivery sweep for the whole tick: several data
         // frames arriving together cost one ordering frame, not one each.
@@ -285,7 +294,8 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
         out
     }
 
-    fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>> {
+    fn on_timer(&mut self, ctx: &EngineCtx<'_>, token: TimerToken) -> Vec<EngineAction<P>> {
+        self.epoch = self.epoch.max(ctx.epoch);
         if token.round != SEQ_BATCH_ROUND {
             return Vec::new();
         }
@@ -315,8 +325,12 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
         }
     }
 
-    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>> {
-        self.epoch = self.epoch.max(snapshot.epoch);
+    fn restore(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        snapshot: EngineSnapshot<P>,
+    ) -> Vec<EngineAction<P>> {
+        self.epoch = self.epoch.max(snapshot.epoch).max(ctx.epoch);
         self.order_fence = self.order_fence.max(snapshot.order_fence);
         self.definitive_log = snapshot.definitive_log.clone();
         self.to_set = snapshot.definitive_log.iter().copied().collect();
@@ -351,7 +365,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
             .received
             .keys()
             .chain(self.order.values())
-            .filter(|id| id.origin == self.me)
+            .filter(|id| id.origin == ctx.me)
             .map(|id| id.seq)
             .max();
         if let Some(mx) = my_max {
@@ -370,7 +384,7 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
                 actions.push(EngineAction::OptDeliver(self.received[&id].clone()));
             }
         }
-        if self.me == self.sequencer {
+        if ctx.me == self.sequencer {
             self.numbered = self.order.values().copied().collect();
         }
         self.try_deliver(&mut actions);
@@ -407,9 +421,9 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
     /// where a fenced held copy can be that member's only other source.
     /// This bounds the repair frame by the in-flight window instead of the
     /// whole history.
-    fn finish_restore(&mut self) -> Vec<EngineAction<P>> {
+    fn finish_restore(&mut self, ctx: &EngineCtx<'_>) -> Vec<EngineAction<P>> {
         let mut actions = Vec::new();
-        if self.me != self.sequencer {
+        if ctx.me != self.sequencer {
             return actions;
         }
         self.numbered = self.order.values().copied().collect();
@@ -448,13 +462,19 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::OrderDomain;
+
+    fn dom4() -> OrderDomain {
+        OrderDomain::global(4)
+    }
 
     fn engines(n: usize) -> Vec<SeqAbcast<u32>> {
-        SiteId::all(n).map(|s| SeqAbcast::new(s, SiteId::new(0))).collect()
+        (0..n).map(|_| SeqAbcast::new(SiteId::new(0))).collect()
     }
 
     fn pump(engines: &mut [SeqAbcast<u32>], mut wires: Vec<(SiteId, Option<SiteId>, Wire<u32>)>) {
         let n = engines.len();
+        let dom = OrderDomain::global(n);
         let mut guard = 0;
         while !wires.is_empty() {
             guard += 1;
@@ -465,7 +485,8 @@ mod tests {
                 None => SiteId::all(n).collect(),
             };
             for t in targets {
-                for a in engines[t.index()].on_receive(from, wire.clone()) {
+                let ctx = EngineCtx::new(t, &dom);
+                for a in engines[t.index()].on_receive(&ctx, from, wire.clone()) {
                     match a {
                         EngineAction::Multicast(w) => wires.push((t, None, w)),
                         EngineAction::Send(dst, w) => wires.push((t, Some(dst), w)),
@@ -476,9 +497,13 @@ mod tests {
         }
     }
 
-    fn bcast(e: &mut SeqAbcast<u32>, p: u32) -> Vec<(SiteId, Option<SiteId>, Wire<u32>)> {
-        let me = e.me();
-        let (_, actions) = e.broadcast(p);
+    fn bcast(
+        dom: &OrderDomain,
+        e: &mut SeqAbcast<u32>,
+        me: SiteId,
+        p: u32,
+    ) -> Vec<(SiteId, Option<SiteId>, Wire<u32>)> {
+        let (_, actions) = e.broadcast(&EngineCtx::new(me, dom), p);
         actions
             .into_iter()
             .filter_map(|a| match a {
@@ -492,10 +517,11 @@ mod tests {
     #[test]
     fn sequencer_orders_everything() {
         let mut es = engines(3);
+        let dom = OrderDomain::global(3);
         let mut wires = Vec::new();
-        for e in es.iter_mut() {
+        for (i, e) in es.iter_mut().enumerate() {
             for k in 0..4u32 {
-                wires.extend(bcast(e, k));
+                wires.extend(bcast(&dom, e, SiteId::new(i as u16), k));
             }
         }
         pump(&mut es, wires);
@@ -508,13 +534,15 @@ mod tests {
 
     #[test]
     fn order_before_data_stalls_until_data() {
-        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let dom = dom4();
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         let id = MsgId::new(SiteId::new(2), 0);
         // Order assignment arrives first (data raced behind it).
-        let a1 = e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id });
+        let a1 = e.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id });
         assert!(a1.is_empty());
         // Data arrives: opt-deliver then to-deliver, in that order.
-        let a2 = e.on_receive(SiteId::new(2), Wire::Data(Message { id, payload: 9 }));
+        let a2 = e.on_receive(&c1, SiteId::new(2), Wire::Data(Message { id, payload: 9 }));
         let kinds: Vec<&str> = a2
             .iter()
             .map(|a| match a {
@@ -528,15 +556,17 @@ mod tests {
 
     #[test]
     fn gaps_block_subsequent_deliveries() {
-        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let dom = dom4();
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         let id0 = MsgId::new(SiteId::new(2), 0);
         let id1 = MsgId::new(SiteId::new(2), 1);
-        e.on_receive(SiteId::new(2), Wire::Data(Message { id: id1, payload: 1 }));
+        e.on_receive(&c1, SiteId::new(2), Wire::Data(Message { id: id1, payload: 1 }));
         // seqno 1 known, seqno 0 missing → nothing TO-delivered.
-        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 1, id: id1 });
+        let a = e.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 1, id: id1 });
         assert!(a.is_empty());
-        e.on_receive(SiteId::new(2), Wire::Data(Message { id: id0, payload: 0 }));
-        let a = e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: id0 });
+        e.on_receive(&c1, SiteId::new(2), Wire::Data(Message { id: id0, payload: 0 }));
+        let a = e.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: id0 });
         // Both deliver now, in order — and in ONE batch (they became
         // definitive at the same instant).
         let tos: Vec<Vec<MsgId>> = a
@@ -551,33 +581,36 @@ mod tests {
 
     #[test]
     fn duplicate_data_not_renumbered_by_sequencer() {
-        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         let id = MsgId::new(SiteId::new(1), 0);
         let m = Message { id, payload: 4 };
-        let a1 = e.on_receive(SiteId::new(1), Wire::Data(m.clone()));
+        let a1 = e.on_receive(&c0, SiteId::new(1), Wire::Data(m.clone()));
         let orders1 = a1
             .iter()
             .filter(|a| matches!(a, EngineAction::Multicast(Wire::SeqOrder { .. })))
             .count();
         assert_eq!(orders1, 1);
-        let a2 = e.on_receive(SiteId::new(1), Wire::Data(m));
+        let a2 = e.on_receive(&c0, SiteId::new(1), Wire::Data(m));
         assert!(a2.is_empty());
     }
 
     #[test]
     fn snapshot_restore_round_trip() {
         let mut es = engines(2);
+        let dom = OrderDomain::global(2);
         let mut wires = Vec::new();
         for k in 0..5u32 {
-            wires.extend(bcast(&mut es[1], k));
+            wires.extend(bcast(&dom, &mut es[1], SiteId::new(1), k));
         }
         pump(&mut es, wires);
         let snap = es[0].snapshot();
-        let mut fresh: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
-        fresh.restore(snap);
+        let mut fresh: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        fresh.restore(&EngineCtx::new(SiteId::new(1), &dom), snap);
         assert_eq!(fresh.definitive_log(), es[0].definitive_log());
         es[1] = fresh;
-        let wires = bcast(&mut es[1], 100);
+        let wires = bcast(&dom, &mut es[1], SiteId::new(1), 100);
         pump(&mut es, wires);
         assert_eq!(es[0].definitive_log().len(), 6);
         assert_eq!(es[0].definitive_log(), es[1].definitive_log());
@@ -589,17 +622,20 @@ mod tests {
     /// messages at the same position.
     #[test]
     fn restored_sequencer_skips_donor_known_undelivered_seqnos() {
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
         let id_m = MsgId::new(SiteId::new(0), 0);
         // Donor (site 1) saw SeqOrder{0, M} but never M's data, so its
         // definitive log is empty while order[0] is taken.
-        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
-        donor.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: id_m });
+        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        donor.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: id_m });
         assert!(donor.definitive_log().is_empty());
         // The sequencer (site 0) recovers from that donor and numbers a
         // fresh message: it must pick seqno 1, not 0.
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
-        seq.restore(donor.snapshot());
-        let (_, actions) = seq.broadcast(42);
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        seq.restore(&c0, donor.snapshot());
+        let (_, actions) = seq.broadcast(&c0, 42);
         let data = actions
             .iter()
             .find_map(|a| match a {
@@ -608,7 +644,7 @@ mod tests {
             })
             .expect("broadcast multicasts data");
         let assigned = seq
-            .on_receive(SiteId::new(0), Wire::Data(data))
+            .on_receive(&c0, SiteId::new(0), Wire::Data(data))
             .iter()
             .find_map(|a| match a {
                 EngineAction::Multicast(Wire::SeqOrder { seqno, .. }) => Some(*seqno),
@@ -639,19 +675,25 @@ mod tests {
 
     #[test]
     fn order_batching_coalesces_assignments_into_one_wire() {
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0))
-            .with_order_batching(SimDuration::from_micros(200));
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
+        let mut seq: SeqAbcast<u32> =
+            SeqAbcast::new(SiteId::new(0)).with_order_batching(SimDuration::from_micros(200));
         let ids: Vec<MsgId> = (0..3).map(|k| MsgId::new(SiteId::new(1), k)).collect();
         let mut timers = 0;
         for (k, id) in ids.iter().enumerate() {
-            let a =
-                seq.on_receive(SiteId::new(1), Wire::Data(Message { id: *id, payload: k as u32 }));
+            let a = seq.on_receive(
+                &c0,
+                SiteId::new(1),
+                Wire::Data(Message { id: *id, payload: k as u32 }),
+            );
             assert!(order_assignments(&a).is_empty(), "assignments held back: {a:?}");
             timers += a.iter().filter(|x| matches!(x, EngineAction::SetTimer { .. })).count();
         }
         assert_eq!(timers, 1, "one flush timer per window");
         // The flush timer fires: one SeqOrderBatch carrying all three.
-        let a = seq.on_timer(TimerToken { instance: 0, round: u64::MAX - 2 });
+        let a = seq.on_timer(&c0, TimerToken { instance: 0, round: u64::MAX - 2 });
         let batches = a
             .iter()
             .filter(|x| matches!(x, EngineAction::Multicast(Wire::SeqOrderBatch { .. })))
@@ -659,11 +701,16 @@ mod tests {
         assert_eq!(batches, 1, "{a:?}");
         assert_eq!(order_assignments(&a), vec![(0, ids[0]), (1, ids[1]), (2, ids[2])]);
         // A receiver applies the batch and TO-delivers everything at once.
-        let mut peer: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let mut peer: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         for (k, id) in ids.iter().enumerate() {
-            peer.on_receive(SiteId::new(1), Wire::Data(Message { id: *id, payload: k as u32 }));
+            peer.on_receive(
+                &c1,
+                SiteId::new(1),
+                Wire::Data(Message { id: *id, payload: k as u32 }),
+            );
         }
         let a = peer.on_receive(
+            &c1,
             SiteId::new(0),
             Wire::SeqOrderBatch { epoch: 0, start_seqno: 0, ids: ids.clone() },
         );
@@ -682,10 +729,12 @@ mod tests {
     fn batched_sequencer_delivers_locally_without_loopback() {
         // The sequencer's own assignment is definitive immediately: it can
         // TO-deliver before the order multicast loops back.
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0))
-            .with_order_batching(SimDuration::from_micros(200));
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let mut seq: SeqAbcast<u32> =
+            SeqAbcast::new(SiteId::new(0)).with_order_batching(SimDuration::from_micros(200));
         let id = MsgId::new(SiteId::new(1), 0);
-        let a = seq.on_receive(SiteId::new(1), Wire::Data(Message { id, payload: 1 }));
+        let a = seq.on_receive(&c0, SiteId::new(1), Wire::Data(Message { id, payload: 1 }));
         assert!(
             a.iter().any(|x| matches!(x, EngineAction::ToDeliver(d) if d.as_slice() == [id])),
             "{a:?}"
@@ -696,18 +745,21 @@ mod tests {
     fn flush_splits_non_contiguous_runs() {
         // A replayed pre-crash assignment bumps next_global mid-window: the
         // flush must not pretend the runs are contiguous.
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0))
-            .with_order_batching(SimDuration::from_millis(1));
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let mut seq: SeqAbcast<u32> =
+            SeqAbcast::new(SiteId::new(0)).with_order_batching(SimDuration::from_millis(1));
         let a0 = MsgId::new(SiteId::new(1), 0);
         let b0 = MsgId::new(SiteId::new(2), 0);
-        seq.on_receive(SiteId::new(1), Wire::Data(Message { id: a0, payload: 1 }));
+        seq.on_receive(&c0, SiteId::new(1), Wire::Data(Message { id: a0, payload: 1 }));
         // Stray assignment from a previous incarnation at seqno 5.
         seq.on_receive(
+            &c0,
             SiteId::new(0),
             Wire::SeqOrder { epoch: 0, seqno: 5, id: MsgId::new(SiteId::new(3), 9) },
         );
-        seq.on_receive(SiteId::new(2), Wire::Data(Message { id: b0, payload: 2 }));
-        let a = seq.on_timer(TimerToken { instance: 0, round: u64::MAX - 2 });
+        seq.on_receive(&c0, SiteId::new(2), Wire::Data(Message { id: b0, payload: 2 }));
+        let a = seq.on_timer(&c0, TimerToken { instance: 0, round: u64::MAX - 2 });
         assert_eq!(order_assignments(&a), vec![(0, a0), (6, b0)]);
         // Two separate wires: a run of one stays a plain SeqOrder.
         let singles = a
@@ -722,25 +774,28 @@ mod tests {
         // The sequencer crashes with assignments still in its accumulation
         // window. The donor knows the data but no assignment — the restored
         // sequencer must renumber, or the messages stall cluster-wide.
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
         let id = MsgId::new(SiteId::new(1), 0);
-        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
-        donor.on_receive(SiteId::new(1), Wire::Data(Message { id, payload: 7 }));
+        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        donor.on_receive(&c1, SiteId::new(1), Wire::Data(Message { id, payload: 7 }));
         assert!(donor.definitive_log().is_empty(), "no assignment ever arrived");
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0))
-            .with_order_batching(SimDuration::from_millis(1));
-        let restore_actions = seq.restore(donor.snapshot());
+        let mut seq: SeqAbcast<u32> =
+            SeqAbcast::new(SiteId::new(0)).with_order_batching(SimDuration::from_millis(1));
+        let restore_actions = seq.restore(&c0, donor.snapshot());
         assert!(
             order_assignments(&restore_actions).is_empty(),
             "renumbering waits until the driver has re-fed surviving wires: {restore_actions:?}"
         );
-        let actions = seq.finish_restore();
+        let actions = seq.finish_restore(&c0);
         assert_eq!(order_assignments(&actions), vec![(0, id)], "{actions:?}");
         assert!(
             actions.iter().any(|x| matches!(x, EngineAction::ToDeliver(d) if d.as_slice() == [id])),
             "restored sequencer delivers what it renumbered: {actions:?}"
         );
         // The peer applies the fresh assignment and catches up.
-        let a = donor.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id });
+        let a = donor.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id });
         assert!(a.iter().any(|x| matches!(x, EngineAction::ToDeliver(d) if d.as_slice() == [id])));
     }
 
@@ -752,20 +807,24 @@ mod tests {
     /// whose own held copies get epoch-fenced) but must not renumber it.
     #[test]
     fn finish_restore_keeps_retaught_assignments_in_their_slots() {
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
         let id = MsgId::new(SiteId::new(1), 0);
-        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
-        donor.on_receive(SiteId::new(1), Wire::Data(Message { id, payload: 7 }));
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0))
-            .with_order_batching(SimDuration::from_millis(1));
-        seq.restore(donor.snapshot());
+        let mut donor: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        donor.on_receive(&c1, SiteId::new(1), Wire::Data(Message { id, payload: 7 }));
+        let mut seq: SeqAbcast<u32> =
+            SeqAbcast::new(SiteId::new(0)).with_order_batching(SimDuration::from_millis(1));
+        seq.restore(&c0, donor.snapshot());
         // Driver re-teaches the crashed incarnation's held order wire…
         seq.on_receive(
+            &c0,
             SiteId::new(0),
             Wire::SeqOrderBatch { epoch: 0, start_seqno: 0, ids: vec![id] },
         );
         // …so the repair pass has no gap to close: the re-announce carries
         // the original assignment, nothing is renumbered.
-        let actions = seq.finish_restore();
+        let actions = seq.finish_restore(&c0);
         assert_eq!(order_assignments(&actions), vec![(0, id)], "{actions:?}");
         assert_eq!(seq.definitive_log(), [id], "delivered under the original seqno");
     }
@@ -777,22 +836,38 @@ mod tests {
     /// old full re-announce grew without bound.
     #[test]
     fn finish_restore_re_announces_only_past_the_survivors_min_delivered() {
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
+        let c2 = EngineCtx::new(SiteId::new(2), &dom);
         let ids: Vec<MsgId> = (0..4).map(|k| MsgId::new(SiteId::new(3), k)).collect();
         // Survivor A delivered all four...
-        let mut a: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let mut a: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         for (k, id) in ids.iter().enumerate() {
-            a.on_receive(SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
-            a.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: k as u64, id: *id });
+            a.on_receive(&c1, SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
+            a.on_receive(
+                &c1,
+                SiteId::new(0),
+                Wire::SeqOrder { epoch: 0, seqno: k as u64, id: *id },
+            );
         }
         assert_eq!(a.definitive_log().len(), 4);
         // ...survivor B knows every assignment but only delivered two (the
         // data of the tail never reached it).
-        let mut b: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(2), SiteId::new(0));
+        let mut b: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         for (k, id) in ids.iter().enumerate() {
             if k < 2 {
-                b.on_receive(SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
+                b.on_receive(
+                    &c2,
+                    SiteId::new(3),
+                    Wire::Data(Message { id: *id, payload: k as u32 }),
+                );
             }
-            b.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: k as u64, id: *id });
+            b.on_receive(
+                &c2,
+                SiteId::new(0),
+                Wire::SeqOrder { epoch: 0, seqno: k as u64, id: *id },
+            );
         }
         assert_eq!(b.definitive_log().len(), 2);
         // Union-of-survivors transfer: base = the most advanced (A).
@@ -800,9 +875,9 @@ mod tests {
         assert_eq!(snap.min_delivered, 4);
         snap.merge(b.snapshot());
         assert_eq!(snap.min_delivered, 2, "merge takes the minimum");
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
-        seq.restore(snap);
-        let actions = seq.finish_restore();
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        seq.restore(&c0, snap);
+        let actions = seq.finish_restore(&c0);
         assert_eq!(
             order_assignments(&actions),
             vec![(2, ids[2]), (3, ids[3])],
@@ -810,11 +885,11 @@ mod tests {
         );
         // The delta is idempotent at the lagging peer and completes it.
         for (k, id) in ids.iter().enumerate().skip(2) {
-            b.on_receive(SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
+            b.on_receive(&c2, SiteId::new(3), Wire::Data(Message { id: *id, payload: k as u32 }));
         }
         for a in &actions {
             if let EngineAction::Multicast(w) = a {
-                b.on_receive(SiteId::new(0), w.clone());
+                b.on_receive(&c2, SiteId::new(0), w.clone());
             }
         }
         assert_eq!(b.definitive_log(), seq.definitive_log());
@@ -828,15 +903,17 @@ mod tests {
     /// ids the dead incarnation already used).
     #[test]
     fn incarnation_gap_clears_order_tag_only_ids_beyond_the_gap() {
+        let dom = dom4();
         let me = SiteId::new(0);
+        let c0 = EngineCtx::new(me, &dom);
         let huge = RECOVERY_SEQ_GAP * 3;
         let mut snap: EngineSnapshot<u32> = EngineSnapshot::empty();
         snap.order_tags = vec![(MsgId::new(me, huge), 7)];
         snap.min_delivered = 0;
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(me, SiteId::new(0));
-        seq.restore(snap);
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        seq.restore(&c0, snap);
         seq.bump_incarnation();
-        let (id, _) = seq.broadcast(1);
+        let (id, _) = seq.broadcast(&c0, 1);
         assert!(id.seq > huge, "must clear every reported id: {} <= {huge}", id.seq);
     }
 
@@ -845,16 +922,18 @@ mod tests {
     /// while same-or-newer-epoch assignments are applied.
     #[test]
     fn order_fence_rejects_dead_epoch_assignments() {
-        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(1), SiteId::new(0));
+        let dom = dom4();
+        let c1 = EngineCtx::new(SiteId::new(1), &dom);
+        let mut e: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         let m_old = MsgId::new(SiteId::new(2), 0);
         let m_new = MsgId::new(SiteId::new(2), 1);
         e.install_view(1, true);
         // Late frame from the dead epoch-0 incarnation: rejected.
-        e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: m_old });
+        e.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: m_old });
         assert_eq!(e.stale_epoch_rejects(), 1);
         // The restored incarnation's epoch-1 re-announce lands fine.
-        e.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 1, seqno: 0, id: m_new });
-        let a = e.on_receive(SiteId::new(2), Wire::Data(Message { id: m_new, payload: 9 }));
+        e.on_receive(&c1, SiteId::new(0), Wire::SeqOrder { epoch: 1, seqno: 0, id: m_new });
+        let a = e.on_receive(&c1, SiteId::new(2), Wire::Data(Message { id: m_new, payload: 9 }));
         assert!(
             a.iter().any(|x| matches!(x, EngineAction::ToDeliver(d) if d.as_slice() == [m_new])),
             "{a:?}"
@@ -862,6 +941,7 @@ mod tests {
         assert_eq!(e.stale_epoch_rejects(), 1, "accepted frames are not counted");
         // A batch from the dead epoch is fenced as a whole.
         e.on_receive(
+            &c1,
             SiteId::new(0),
             Wire::SeqOrderBatch { epoch: 0, start_seqno: 1, ids: vec![m_old] },
         );
@@ -872,10 +952,13 @@ mod tests {
     /// a snapshot carries both the epoch and the fence across a restore.
     #[test]
     fn installed_epoch_tags_assignments_and_survives_snapshots() {
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let c2 = EngineCtx::new(SiteId::new(2), &dom);
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         seq.install_view(3, true);
         let id = MsgId::new(SiteId::new(1), 0);
-        let a = seq.on_receive(SiteId::new(1), Wire::Data(Message { id, payload: 1 }));
+        let a = seq.on_receive(&c0, SiteId::new(1), Wire::Data(Message { id, payload: 1 }));
         let epochs: Vec<u64> = a
             .iter()
             .filter_map(|x| match x {
@@ -887,9 +970,9 @@ mod tests {
         let snap = seq.snapshot();
         assert_eq!(snap.epoch, 3);
         assert_eq!(snap.order_fence, 3);
-        let mut fresh: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(2), SiteId::new(0));
-        fresh.restore(snap);
-        fresh.on_receive(SiteId::new(0), Wire::SeqOrder { epoch: 2, seqno: 9, id });
+        let mut fresh: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
+        fresh.restore(&c2, snap);
+        fresh.on_receive(&c2, SiteId::new(0), Wire::SeqOrder { epoch: 2, seqno: 9, id });
         assert_eq!(fresh.stale_epoch_rejects(), 1, "fence survives the transfer");
     }
 
@@ -897,13 +980,18 @@ mod tests {
     fn batched_receive_coalesces_immediate_mode_orders() {
         // Two data frames landing in the same tick at an immediate-mode
         // sequencer cost ONE ordering wire, not two.
-        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0), SiteId::new(0));
+        let dom = dom4();
+        let c0 = EngineCtx::new(SiteId::new(0), &dom);
+        let mut seq: SeqAbcast<u32> = SeqAbcast::new(SiteId::new(0));
         let a0 = MsgId::new(SiteId::new(1), 0);
         let a1 = MsgId::new(SiteId::new(1), 1);
-        let actions = seq.on_receive_batch(vec![
-            (SiteId::new(1), Wire::Data(Message { id: a0, payload: 1 })),
-            (SiteId::new(1), Wire::Data(Message { id: a1, payload: 2 })),
-        ]);
+        let actions = seq.on_receive_batch(
+            &c0,
+            vec![
+                (SiteId::new(1), Wire::Data(Message { id: a0, payload: 1 })),
+                (SiteId::new(1), Wire::Data(Message { id: a1, payload: 2 })),
+            ],
+        );
         let wires = actions.iter().filter(|x| matches!(x, EngineAction::Multicast(_))).count();
         assert_eq!(wires, 1, "{actions:?}");
         assert_eq!(order_assignments(&actions), vec![(0, a0), (1, a1)]);

@@ -1,5 +1,6 @@
 //! The engine-agnostic atomic-broadcast interface.
 
+use crate::domain::EngineCtx;
 use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire};
 use otp_simnet::SiteId;
 use std::collections::BTreeMap;
@@ -129,16 +130,25 @@ impl<P> EngineSnapshot<P> {
 /// touch a network. The driver executes the returned [`EngineAction`]s —
 /// this is what lets the same code run in the deterministic simulator, the
 /// property-test harnesses and the threaded runtime.
+///
+/// Every behavior method takes an [`EngineCtx`]: the site this endpoint
+/// lives on, the [`crate::OrderDomain`] it orders within, and the view
+/// epoch the driver installed for that domain. One engine instance serves
+/// one domain; `MsgId` sequence spaces, seqnos and epochs are all scoped
+/// to it. The context replaces the old `me()` accessor and the site/epoch
+/// fields each engine used to stash — the driver owns that state.
 pub trait AtomicBroadcast<P>: fmt::Debug {
-    /// The site this endpoint lives on.
-    fn me(&self) -> SiteId;
-
     /// TO-broadcasts a payload. Returns the new message's id and the
     /// actions to execute (typically a `Multicast` of the data).
-    fn broadcast(&mut self, payload: P) -> (MsgId, Vec<EngineAction<P>>);
+    fn broadcast(&mut self, ctx: &EngineCtx<'_>, payload: P) -> (MsgId, Vec<EngineAction<P>>);
 
     /// Handles a wire message received from the network.
-    fn on_receive(&mut self, from: SiteId, wire: Wire<P>) -> Vec<EngineAction<P>>;
+    fn on_receive(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        from: SiteId,
+        wire: Wire<P>,
+    ) -> Vec<EngineAction<P>>;
 
     /// Handles a whole tick's worth of wire messages at once. Batching
     /// drivers call this so engines can amortize per-message work: the
@@ -148,16 +158,20 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// [`AtomicBroadcast::on_receive`]. Engines may override it to batch
     /// their outputs (the sequencer coalesces order assignments into one
     /// [`crate::Wire::SeqOrderBatch`] frame per batch).
-    fn on_receive_batch(&mut self, wires: Vec<(SiteId, Wire<P>)>) -> Vec<EngineAction<P>> {
+    fn on_receive_batch(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        wires: Vec<(SiteId, Wire<P>)>,
+    ) -> Vec<EngineAction<P>> {
         let mut out = Vec::new();
         for (from, wire) in wires {
-            out.extend(self.on_receive(from, wire));
+            out.extend(self.on_receive(ctx, from, wire));
         }
         out
     }
 
     /// Handles a timer armed via [`EngineAction::SetTimer`].
-    fn on_timer(&mut self, token: TimerToken) -> Vec<EngineAction<P>>;
+    fn on_timer(&mut self, ctx: &EngineCtx<'_>, token: TimerToken) -> Vec<EngineAction<P>>;
 
     /// The definitive log so far: TO-delivered ids in delivery order.
     fn definitive_log(&self) -> &[MsgId];
@@ -171,7 +185,8 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// but not yet definitively delivered are re-emitted as `OptDeliver`
     /// actions (they are tentative again at the recovering site), followed
     /// by any `ToDeliver`s that are immediately ready.
-    fn restore(&mut self, snapshot: EngineSnapshot<P>) -> Vec<EngineAction<P>>;
+    fn restore(&mut self, ctx: &EngineCtx<'_>, snapshot: EngineSnapshot<P>)
+        -> Vec<EngineAction<P>>;
 
     /// Called by the driver once, after [`AtomicBroadcast::restore`] *and*
     /// after it has re-fed the engine every surviving wire this site sent
@@ -179,7 +194,7 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     /// Engines that must repair state no snapshot can carry do it here —
     /// the batched sequencer renumbers order assignments that died in an
     /// unflushed accumulation window. Default: nothing to repair.
-    fn finish_restore(&mut self) -> Vec<EngineAction<P>> {
+    fn finish_restore(&mut self, _ctx: &EngineCtx<'_>) -> Vec<EngineAction<P>> {
         Vec::new()
     }
 

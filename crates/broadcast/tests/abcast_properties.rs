@@ -59,7 +59,7 @@ proptest! {
             .with_loss(loss_pct as f64 / 100.0);
         let cfg = OptAbcastConfig::new(n, SimDuration::from_millis(60));
         let mut cluster: LanCluster<u64, OptAbcast<u64>> =
-            LanCluster::new(base, seed, Box::new(move |s| OptAbcast::new(s, cfg)));
+            LanCluster::new(base, seed, Box::new(move |_| OptAbcast::new(cfg)));
         let mut t = SimTime::from_millis(1);
         for k in 0..msgs {
             let site = SiteId::new((k % n) as u16);
@@ -84,7 +84,7 @@ proptest! {
         let mut cluster: LanCluster<u64, SeqAbcast<u64>> = LanCluster::new(
             base,
             seed,
-            Box::new(move |s| SeqAbcast::new(s, SiteId::new(0))),
+            Box::new(move |_| SeqAbcast::new(SiteId::new(0))),
         );
         let mut t = SimTime::from_millis(1);
         for k in 0..msgs {
@@ -114,7 +114,7 @@ proptest! {
         let mut cluster: LanCluster<u64, OptAbcast<u64>> = LanCluster::new(
             NetConfig::lan_10mbps(n),
             seed,
-            Box::new(move |s| OptAbcast::new(s, cfg)),
+            Box::new(move |_| OptAbcast::new(cfg)),
         );
         let mut t = SimTime::from_millis(1);
         for k in 0..msgs {

@@ -1,25 +1,41 @@
 //! The simulated replicated-database cluster.
 //!
-//! [`Cluster`] is the top-level driver: it owns the LAN model, one
-//! broadcast engine and one replica per site, and an event queue. Client
-//! requests enter as scheduled events; engine actions become network
-//! frames; deliveries drive the replicas; `StartExecution` actions become
-//! timed `ExecDone` events (execution duration is sampled from a
-//! configurable distribution). Queries run locally against snapshots.
-//! Crashes and recoveries can be scheduled at absolute times; recovery
-//! runs a view-change round ([`otp_view`]) in simulated time, restoring
-//! the site from the union of every live member's state digest (see
-//! DESIGN.md §7).
+//! [`Cluster`] is the top-level driver: it owns the LAN model, per-site
+//! broadcast engines and replicas, and an event queue. Client requests
+//! enter as scheduled events; engine actions become network frames;
+//! deliveries drive the replicas; `StartExecution` actions become timed
+//! `ExecDone` events (execution duration is sampled from a configurable
+//! distribution). Queries run locally against snapshots. Crashes and
+//! recoveries can be scheduled at absolute times; recovery runs a
+//! view-change round ([`otp_view`]) in simulated time, restoring the site
+//! from the union of every live member's state digest (see DESIGN.md §7).
+//!
+//! # Sharded sequencing groups
+//!
+//! With [`ClusterConfig::groups`] `> 1` the conflict-class space is
+//! partitioned across `G` independent ordering groups: sites split into
+//! `G` contiguous blocks, each block runs its own sequencer engine
+//! instance (own `MsgId` space, own seqnos, own view epochs — an
+//! [`otp_broadcast::OrderDomain`] each), and a transaction touching class
+//! `c` is ordered only by group `c % G`. Transactions spanning groups go
+//! through a cluster-wide *relay* stream: a descriptor carrying one
+//! sub-transaction per involved group is TO-broadcast on the relay, and
+//! each group inserts its sub into its own stream at the relay-dictated
+//! point (the per-site [`CrossGate`] enforces that point
+//! deterministically), so all sites serialize cross-group transactions
+//! identically without sharing a total order for everything else. See
+//! DESIGN.md §11.
 //!
 //! The driver is deterministic: a `(ClusterConfig, schedule)` pair always
-//! produces the same run.
+//! produces the same run. With `groups == 1` the driver is byte-identical
+//! to the pre-sharding single-total-order cluster.
 
 use crate::conservative::ConservativeReplica;
 use crate::event::{ExecToken, ReplicaAction};
 use crate::replica::Replica;
 use otp_broadcast::{
-    AtomicBroadcast, EngineAction, MsgId, OptAbcast, OptAbcastConfig, Oracle, PayloadSize,
-    ScrambleConfig, ScrambledAbcast, SeqAbcast, TimerToken, Wire,
+    AtomicBroadcast, EngineAction, EngineCtx, GroupId, Message, MsgId, OptAbcast, OptAbcastConfig,
+    Oracle, OrderDomain, PayloadSize, ScrambleConfig, ScrambledAbcast, SeqAbcast, TimerToken, Wire,
 };
 use otp_simnet::metrics::{Counters, Histogram};
 use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
@@ -28,23 +44,54 @@ use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, SnapshotInd
 use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{TxnId, TxnRequest};
 use otp_view::{DigestOutcome, Membership, ViewChange, ViewId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-/// Newtype wrapping [`TxnRequest`] as the broadcast payload (satisfies the
-/// orphan rule for [`PayloadSize`]).
-///
-/// The request is behind an [`Arc`]: a multicast fans one payload out to
-/// every site, the engines keep a copy in their payload stores, and
-/// recovery snapshots clone those stores wholesale — sharing one allocation
-/// turns all of that into reference-count bumps. The only deep copy left on
-/// the delivery path is the one hand-off to the replica at Opt-delivery.
+/// A cross-group transaction descriptor, TO-broadcast on the relay
+/// stream. It carries one sub-transaction per involved group; the relay's
+/// definitive order is the cluster-wide serialization point for the whole
+/// cross-group transaction (each group's [`CrossGate`] inserts the sub at
+/// exactly that point in its own stream).
 #[derive(Debug, Clone, PartialEq)]
-pub struct TxnPayload(pub Arc<TxnRequest>);
+pub struct CrossTag {
+    /// Cluster-unique cross-transaction id (origin site in the high bits,
+    /// a per-site counter below).
+    pub cross: u64,
+    /// One sub-transaction per involved group, each confined to one
+    /// conflict class of that group.
+    pub subs: Vec<Arc<TxnRequest>>,
+}
+
+/// The broadcast payload of the cluster's ordering streams.
+///
+/// Requests ride behind [`Arc`]s: a multicast fans one payload out to
+/// every member, the engines keep a copy in their payload stores, and
+/// recovery snapshots clone those stores wholesale — sharing one
+/// allocation turns all of that into reference-count bumps. The only deep
+/// copy left on the delivery path is the one hand-off to the replica at
+/// Opt-delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnPayload {
+    /// A transaction on a group stream.
+    Txn {
+        /// The client request (or a cross-group sub-transaction).
+        req: Arc<TxnRequest>,
+        /// `Some(cross id)` when this is a sub-transaction of a
+        /// cross-group transaction: the delivering site's [`CrossGate`]
+        /// holds it until the relay order admits it.
+        cross: Option<u64>,
+    },
+    /// A cross-group descriptor on the relay stream.
+    Cross(Arc<CrossTag>),
+}
 
 impl PayloadSize for TxnPayload {
     fn size_bytes(&self) -> u32 {
-        self.0.size_bytes()
+        match self {
+            TxnPayload::Txn { req, .. } => req.size_bytes(),
+            // Sub bodies plus the descriptor header.
+            TxnPayload::Cross(tag) => tag.subs.iter().map(|r| r.size_bytes()).sum::<u32>() + 16,
+        }
     }
 }
 
@@ -100,7 +147,8 @@ pub enum EngineKind {
         /// Accumulation delay before starting the next consensus batch.
         batch_delay: SimDuration,
     },
-    /// Fixed-sequencer total order (site 0 sequences).
+    /// Fixed-sequencer total order (the lowest member of each ordering
+    /// domain sequences).
     Sequencer,
     /// Fixed-sequencer total order with order-batching: the sequencer
     /// accumulates assignments for `order_delay` and multicasts them as one
@@ -131,8 +179,39 @@ pub enum Mode {
     Conservative,
 }
 
+/// Why a submission was not admitted — one error shape shared by the
+/// simulated [`Cluster::submit`] and the threaded
+/// [`crate::runtime::LiveCluster::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission window or the site queue is full (threaded runtime
+    /// only). Retry later (the blocking
+    /// [`crate::runtime::LiveCluster::submit`] does this for you).
+    Backpressure,
+    /// Admissions are halted: shutdown has begun (or
+    /// [`crate::runtime::LiveCluster::halt_admissions`] was called).
+    ShuttingDown,
+    /// The addressed site is crashed or mid-recovery (simulated driver
+    /// only — the threaded runtime's admission layer has no site-down
+    /// signal).
+    SiteDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure => write!(f, "admission window full"),
+            SubmitError::ShuttingDown => write!(f, "cluster is shutting down"),
+            SubmitError::SiteDown => write!(f, "site is down or recovering"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Cluster configuration. Build with [`ClusterConfig::new`] and adjust via
-/// the `with_*` methods.
+/// the `with_*` methods; construct the cluster itself with
+/// [`ClusterBuilder`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of sites.
@@ -161,6 +240,17 @@ pub struct ClusterConfig {
     /// ordering frames). Crash, recovery and partition events fence any
     /// open window first — see DESIGN.md §8.
     pub delivery_quantum: SimDuration,
+    /// Number of independent sequencing groups the conflict-class space
+    /// is partitioned across. `1` (the default) is the classic single
+    /// total order. With `G > 1`, sites split into `G` contiguous equal
+    /// blocks (site `i` serves group `i / (sites/G)`), class `c` belongs
+    /// to group `c % G`, each group runs its own engine instance with its
+    /// own view epochs, and cross-group transactions serialize through a
+    /// cluster-wide relay stream (see the [module docs](self) and
+    /// DESIGN.md §11). Requires a sequencer-family engine,
+    /// `sites % groups == 0`, and `classes >= groups` — validated by
+    /// [`ClusterBuilder::build`].
+    pub groups: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -177,6 +267,7 @@ impl ClusterConfig {
             exec_time: DurationDist::Fixed(SimDuration::from_millis(2)),
             query_time: DurationDist::Fixed(SimDuration::from_millis(5)),
             delivery_quantum: SimDuration::ZERO,
+            groups: 1,
             seed: 42,
         }
     }
@@ -217,10 +308,126 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the number of sequencing groups (see [`ClusterConfig::groups`]).
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+}
+
+/// Builds a [`Cluster`] from chained setters — the construction surface
+/// that replaced the positional `Cluster::new(config, registry, data)`
+/// constructor when the sharded topology arrived (a 4th positional
+/// argument was the tipping point).
+///
+/// ```
+/// use otp_core::{ClusterBuilder, ClusterConfig};
+///
+/// let cluster = ClusterBuilder::from_config(ClusterConfig::new(4, 2)).build();
+/// assert_eq!(cluster.config().sites, 4);
+/// ```
+pub struct ClusterBuilder {
+    config: ClusterConfig,
+    registry: Arc<ProcRegistry>,
+    initial_data: Vec<(ObjectId, Value)>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder from a prepared [`ClusterConfig`] (empty registry,
+    /// no initial data).
+    pub fn from_config(config: ClusterConfig) -> Self {
+        ClusterBuilder { config, registry: Arc::new(ProcRegistry::new()), initial_data: Vec::new() }
+    }
+
+    /// Sets the stored-procedure registry shared by every site.
+    pub fn registry(mut self, registry: Arc<ProcRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Sets the data loaded into every site's database copy before any
+    /// event runs.
+    pub fn initial_data(mut self, data: Vec<(ObjectId, Value)>) -> Self {
+        self.initial_data = data;
+        self
+    }
+
+    /// Sets the broadcast engine on the underlying config.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the processing mode on the underlying config.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Sets the network model on the underlying config.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.config.net = net;
+        self
+    }
+
+    /// Sets the delivery quantum on the underlying config.
+    pub fn delivery_quantum(mut self, quantum: SimDuration) -> Self {
+        self.config.delivery_quantum = quantum;
+        self
+    }
+
+    /// Sets the number of sequencing groups on the underlying config.
+    pub fn groups(mut self, groups: usize) -> Self {
+        self.config.groups = groups;
+        self
+    }
+
+    /// Sets the master seed on the underlying config.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates the topology and builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is unbuildable: no sites, no
+    /// classes, zero groups, sites not evenly divisible across groups,
+    /// fewer classes than groups, or a non-sequencer engine with more
+    /// than one group (the optimistic/oracle engines still assume one
+    /// global domain).
+    pub fn build(self) -> Cluster {
+        let c = &self.config;
+        assert!(c.sites > 0, "need at least one site");
+        assert!(c.classes > 0, "need at least one conflict class");
+        assert!(c.groups >= 1, "need at least one sequencing group");
+        if c.groups > 1 {
+            assert!(
+                c.sites.is_multiple_of(c.groups),
+                "{} sites do not partition evenly across {} groups",
+                c.sites,
+                c.groups
+            );
+            assert!(
+                c.classes >= c.groups,
+                "every group needs at least one conflict class ({} classes < {} groups)",
+                c.classes,
+                c.groups
+            );
+            assert!(
+                matches!(c.engine, EngineKind::Sequencer | EngineKind::SequencerBatched { .. }),
+                "sharded sequencing groups require a sequencer-family engine, got {:?}",
+                c.engine
+            );
+        }
+        Cluster::new(self.config, self.registry, self.initial_data)
     }
 }
 
@@ -311,21 +518,178 @@ impl AnyReplica {
     }
 }
 
+/// The sharded topology: which sites and classes belong to which
+/// sequencing group, plus the relay domain when there is more than one.
+///
+/// Domain indices (`u16` on the wire-event side, `usize` internally) run
+/// `0..groups` for the group domains; index `groups` is the relay domain
+/// (present only when `groups > 1`).
+#[derive(Debug, Clone)]
+pub(crate) struct GroupTopology {
+    /// Number of sequencing groups.
+    groups: usize,
+    /// Ordering domains: one per group, plus the relay last when
+    /// `groups > 1`.
+    pub(crate) domains: Vec<OrderDomain>,
+    /// Group of each site, indexed by `SiteId::index`.
+    pub(crate) site_group: Vec<u16>,
+}
+
+impl GroupTopology {
+    fn new(sites: usize, groups: usize) -> Self {
+        let per = sites / groups;
+        let mut domains: Vec<OrderDomain> = (0..groups)
+            .map(|g| {
+                OrderDomain::new(
+                    GroupId(g as u16),
+                    (g * per..(g + 1) * per).map(|i| SiteId::new(i as u16)),
+                )
+            })
+            .collect();
+        if groups > 1 {
+            domains.push(OrderDomain::new(GroupId::RELAY, SiteId::all(sites)));
+        }
+        let site_group = (0..sites).map(|i| (i / per) as u16).collect();
+        GroupTopology { groups, domains, site_group }
+    }
+
+    /// The group that orders conflict class `c`.
+    fn group_of_class(&self, c: ClassId) -> usize {
+        c.raw() as usize % self.groups
+    }
+
+    /// The group whose stream `site` participates in.
+    fn group_of_site(&self, site: SiteId) -> usize {
+        self.site_group[site.index()] as usize
+    }
+
+    /// Domain index of the relay stream (only meaningful when sharded).
+    fn relay_idx(&self) -> usize {
+        self.groups
+    }
+
+    /// True when domain index `d` is the relay.
+    fn is_relay(&self, d: usize) -> bool {
+        self.groups > 1 && d == self.groups
+    }
+
+    /// Wire segment of domain `d`'s traffic. An unsharded cluster is one
+    /// shared bus (segment 0). A sharded cluster is a switched topology:
+    /// each group's stream runs on its own segment (`d + 1`), while the
+    /// relay — whose members span every group — rides the shared backbone
+    /// (segment 0) together with gateway forwards.
+    fn segment_of(&self, d: usize) -> usize {
+        if self.groups == 1 || self.is_relay(d) {
+            0
+        } else {
+            d + 1
+        }
+    }
+
+    /// True when a frame from `a` to `b` crosses a group boundary — the
+    /// traffic sharding exists to avoid.
+    fn cross_frame(&self, a: SiteId, b: SiteId) -> bool {
+        self.groups > 1 && self.site_group[a.index()] != self.site_group[b.index()]
+    }
+}
+
+/// Per-site gate that merges a group's own TO-stream with the relay's
+/// definitive order of cross-group transactions.
+///
+/// A group member holds every group-TO-delivered transaction in `queue`
+/// and releases a prefix according to three rules, looped to fixpoint:
+///
+/// 1. a plain (single-group) head releases immediately — relay order
+///    only constrains cross-group transactions;
+/// 2. a cross head releases when it is the next unconsumed entry of
+///    `relay_order` (the relay admitted it);
+/// 3. if the next relay entry's sub is TO-delivered but stuck *behind* a
+///    stalled cross head, it jumps the queue — relay order wins between
+///    cross-group transactions, and nothing orders two cross txns within
+///    the group stream anyway.
+///
+/// The release sequence is a pure function of (group TO sequence, relay
+/// order), both cluster-agreed — so every member of a group releases the
+/// same sequence, and cross-group transactions interleave identically at
+/// *all* sites. A cross head whose relay slot has not arrived blocks the
+/// plain transactions behind it: deterministic, and it converges as soon
+/// as the relay stream catches up.
+#[derive(Debug, Clone, Default)]
+struct CrossGate {
+    /// Group-TO-delivered transactions awaiting release, in group TO
+    /// order, with their cross id when they are cross-group subs.
+    queue: VecDeque<(Arc<TxnRequest>, Option<u64>)>,
+    /// Relay-dictated order of cross ids whose sub belongs to this
+    /// site's group.
+    relay_order: Vec<u64>,
+    /// Next unconsumed `relay_order` index.
+    cursor: usize,
+    /// Cross ids whose relay descriptor this site already processed
+    /// (dedup across duplicate relay injections).
+    relay_seen: HashSet<u64>,
+    /// Txn ids already Opt-delivered to the replica (dedup across
+    /// duplicate sub copies injected by different relay members).
+    seen_opt: HashSet<TxnId>,
+    /// Txn ids already released to TO (same dedup, definitive side).
+    seen_to: HashSet<TxnId>,
+}
+
+impl CrossGate {
+    /// Releases every transaction the rules admit, in order.
+    fn release(&mut self) -> Vec<(TxnId, ClassId)> {
+        let mut out = Vec::new();
+        loop {
+            match self.queue.front() {
+                Some((req, None)) => {
+                    out.push((req.id, req.class));
+                    self.queue.pop_front();
+                }
+                Some((req, Some(c))) => {
+                    if self.cursor < self.relay_order.len() && self.relay_order[self.cursor] == *c {
+                        out.push((req.id, req.class));
+                        self.queue.pop_front();
+                        self.cursor += 1;
+                    } else if self.cursor < self.relay_order.len() {
+                        let want = self.relay_order[self.cursor];
+                        if let Some(pos) = self.queue.iter().position(|(_, x)| *x == Some(want)) {
+                            let (jumper, _) = self.queue.remove(pos).expect("position just found");
+                            out.push((jumper.id, jumper.class));
+                            self.cursor += 1;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
 type Engine = Box<dyn AtomicBroadcast<TxnPayload>>;
-type EngineFactory = Box<dyn FnMut(SiteId) -> Engine>;
+type EngineFactory = Box<dyn FnMut(&OrderDomain) -> Engine>;
 
 enum Ev {
     Submit {
         site: SiteId,
         request: TxnRequest,
     },
+    SubmitCross {
+        site: SiteId,
+        tag: CrossTag,
+    },
     Wire {
         from: SiteId,
         to: SiteId,
+        domain: u16,
         wire: Wire<TxnPayload>,
     },
     Timer {
         site: SiteId,
+        domain: u16,
         token: TimerToken,
     },
     ExecDone {
@@ -375,6 +739,11 @@ pub struct RunStats {
     pub completed: u64,
     /// Total frames the network carried.
     pub network_frames: u64,
+    /// Frames that crossed a group boundary (gateway forwards, relay
+    /// traffic, cross-domain view digests). Always 0 with one group; the
+    /// sharded throughput win exists because this stays a small fraction
+    /// of `network_frames`.
+    pub cross_group_frames: u64,
     /// Virtual time at collection.
     pub now: SimTime,
 }
@@ -402,6 +771,10 @@ impl RunStats {
     }
 }
 
+/// One site's group-stream message bodies: id → (request, cross id when
+/// the transaction is a cross-group sub).
+type SiteMsgMap = HashMap<MsgId, (Arc<TxnRequest>, Option<u64>)>;
+
 /// The simulated cluster. See the [module docs](self).
 pub struct Cluster {
     config: ClusterConfig,
@@ -409,7 +782,13 @@ pub struct Cluster {
     net: MulticastNet,
     queue: EventQueue<Ev>,
     rng: SimRng,
+    /// Group topology: domains (groups + relay), site→group, class→group.
+    pub(crate) topology: GroupTopology,
+    /// Per-site engine for the site's own group domain.
     engines: Vec<Engine>,
+    /// Per-site engine for the cluster-wide relay domain (empty when
+    /// `groups == 1` — there is no relay).
+    relay_engines: Vec<Engine>,
     engine_factory: EngineFactory,
     /// Public for test assertions; index by `SiteId::index`.
     pub replicas: Vec<AnyReplica>,
@@ -423,22 +802,35 @@ pub struct Cluster {
     local_epoch: Vec<u32>,
     /// The currently installed membership view (epoch + live set).
     view: Membership,
-    /// Next view epoch to propose — strictly increasing, cluster-wide.
-    next_epoch: u64,
-    /// Highest epoch whose round re-admits the ordering authority (the
-    /// sequencer site). A site that misses such a round's announcement —
-    /// it was mid-recovery itself — must still fence the dead
-    /// incarnation's order assignments when it catches up at install.
-    sequencer_fence: u64,
-    /// In-flight view-change rounds, keyed by the recovering initiator.
-    /// BTreeMap: crash notifications iterate this, and the iteration order
-    /// must be deterministic for byte-identical replays.
-    pending_views: BTreeMap<SiteId, ViewChange<TxnPayload>>,
-    /// Per-site view epochs in installation order (invariant: strictly
-    /// increasing; live sites converge on the newest). The last entry is
-    /// the site's currently installed epoch — see
-    /// [`Cluster::installed_epoch`].
+    /// Next view epoch to propose, per domain — strictly increasing
+    /// within each domain (epochs, like seqnos, are domain-scoped).
+    next_epoch: Vec<u64>,
+    /// Per domain: highest epoch whose round re-admits that domain's
+    /// ordering authority. A site that misses such a round's announcement
+    /// must still fence the dead incarnation's order assignments when it
+    /// catches up at install.
+    sequencer_fence: Vec<u64>,
+    /// In-flight view-change rounds, keyed by (domain, recovering
+    /// initiator) — a sharded site recovers each of its domains
+    /// independently. BTreeMap: crash notifications iterate this, and the
+    /// iteration order must be deterministic for byte-identical replays.
+    pending_views: BTreeMap<(u16, SiteId), ViewChange<TxnPayload>>,
+    /// Per recovering site: the domains whose round has not installed
+    /// yet. The site starts serving when this empties.
+    pending_domains: Vec<BTreeSet<u16>>,
+    /// Per-site *group-domain* view epochs in installation order
+    /// (invariant: strictly increasing; live group members converge on
+    /// the newest). The last entry is the site's currently installed
+    /// epoch — see [`Cluster::installed_epoch`].
     pub(crate) epoch_history: Vec<Vec<u64>>,
+    /// Per-site installed relay-domain epoch (sharded clusters only).
+    relay_epoch: Vec<u64>,
+    /// Per-site count of relay definitive deliveries already folded into
+    /// the gate — the recovery reconcile point for the relay stream.
+    relay_processed: Vec<usize>,
+    /// Relay-domain view installations (counted separately so the
+    /// single-group `view_install` counter is untouched by sharding).
+    relay_view_installs: u64,
     /// State digests that arrived for a round that no longer exists
     /// (superseded or completed) — normal under churn, but kept visible.
     stale_view_digests: u64,
@@ -448,19 +840,33 @@ pub struct Cluster {
     /// Per-site open delivery quantum: wires accumulated since the window
     /// opened (empty = no window open). Only used when
     /// `config.delivery_quantum > 0`.
-    open_quantum: Vec<Vec<(SiteId, Wire<TxnPayload>)>>,
+    open_quantum: Vec<Vec<(u16, SiteId, Wire<TxnPayload>)>>,
     /// Per-site quantum generation, bumped every time a window opens, so a
     /// flush event scheduled for a window that was fenced early cannot
     /// close a newer window.
     quantum_gen: Vec<u64>,
-    held_wires: Vec<Vec<(SiteId, Wire<TxnPayload>)>>,
+    held_wires: Vec<Vec<(u16, SiteId, Wire<TxnPayload>)>>,
     /// Wires whose directed link is cut by a nemesis partition, replayed
     /// on heal (channels are reliable across partitions, like crashes).
-    partition_held: Vec<(SiteId, SiteId, Wire<TxnPayload>)>,
-    /// Per-site map from broadcast message id to transaction identity,
-    /// filled at Opt-delivery (TO-deliver only carries the id).
-    msg_map: Vec<HashMap<MsgId, (TxnId, ClassId)>>,
+    partition_held: Vec<(SiteId, SiteId, u16, Wire<TxnPayload>)>,
+    /// Per-site map from group-stream message id to the transaction it
+    /// carries (and its cross id when it is a cross-group sub), filled at
+    /// Opt-delivery (TO-deliver only carries the id).
+    msg_map: Vec<SiteMsgMap>,
+    /// Per-site map from relay-stream message id to its descriptor.
+    relay_map: Vec<HashMap<MsgId, Arc<CrossTag>>>,
+    /// Per-site cross-group merge gate (inert when `groups == 1`).
+    gates: Vec<CrossGate>,
+    /// The group member that broadcast each transaction — completion and
+    /// commit latency count there (absent for cross subs: first commit
+    /// anywhere completes them).
+    home_site: HashMap<TxnId, SiteId>,
+    /// Group that orders each scheduled transaction.
+    pub(crate) txn_group: HashMap<TxnId, u16>,
+    /// Cross id of each cross-group sub-transaction.
+    pub(crate) cross_of: HashMap<TxnId, u64>,
     next_txn_seq: Vec<u64>,
+    next_cross_seq: Vec<u64>,
     next_query_seq: u64,
     submit_time: HashMap<TxnId, SimTime>,
     commit_sites: HashMap<TxnId, HashSet<SiteId>>,
@@ -473,55 +879,68 @@ pub struct Cluster {
     global_commit_latency: Histogram,
     query_latency: Histogram,
     completed: u64,
+    cross_group_frames: u64,
 }
 
 impl Cluster {
     /// Builds a cluster: `initial_data` is loaded into every site's
-    /// database copy before any event runs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sites == 0` or `classes == 0`.
-    pub fn new(
+    /// database copy before any event runs. Construct through
+    /// [`ClusterBuilder`], which validates the topology first.
+    fn new(
         config: ClusterConfig,
         registry: Arc<ProcRegistry>,
         initial_data: Vec<(ObjectId, Value)>,
     ) -> Self {
-        assert!(config.sites > 0, "need at least one site");
         let mut rng = SimRng::seed_from(config.seed);
         let net_rng = rng.fork();
         let _ = net_rng; // net uses the cluster rng directly at send time
 
-        // Engine factory (also used for recovery).
         let sites = config.sites;
+        let topology = GroupTopology::new(sites, config.groups);
+        let num_domains = topology.domains.len();
+
+        // Engine factory (also used for recovery): one engine instance
+        // per (site, domain) pair the site participates in.
         let mut factory: EngineFactory = match config.engine {
             EngineKind::Opt { consensus_timeout } => {
                 let cfg = OptAbcastConfig::new(sites, consensus_timeout);
-                Box::new(move |s| Box::new(OptAbcast::new(s, cfg)) as Engine)
+                Box::new(move |_: &OrderDomain| Box::new(OptAbcast::new(cfg)) as Engine)
             }
             EngineKind::OptBatched { consensus_timeout, batch_delay } => {
                 let cfg =
                     OptAbcastConfig::new(sites, consensus_timeout).with_batch_delay(batch_delay);
-                Box::new(move |s| Box::new(OptAbcast::new(s, cfg)) as Engine)
+                Box::new(move |_: &OrderDomain| Box::new(OptAbcast::new(cfg)) as Engine)
             }
             EngineKind::Sequencer => {
-                Box::new(move |s| Box::new(SeqAbcast::new(s, SiteId::new(0))) as Engine)
+                Box::new(move |d: &OrderDomain| Box::new(SeqAbcast::new(d.sequencer())) as Engine)
             }
-            EngineKind::SequencerBatched { order_delay } => Box::new(move |s| {
-                Box::new(SeqAbcast::new(s, SiteId::new(0)).with_order_batching(order_delay))
-                    as Engine
+            EngineKind::SequencerBatched { order_delay } => Box::new(move |d: &OrderDomain| {
+                Box::new(SeqAbcast::new(d.sequencer()).with_order_batching(order_delay)) as Engine
             }),
             EngineKind::Scrambled { agreement_delay, swap_probability } => {
                 let oracle = Oracle::new();
                 let mut fork_rng = SimRng::seed_from(config.seed ^ 0x5ca1ab1e);
                 let cfg = ScrambleConfig { agreement_delay, swap_probability };
-                Box::new(move |s| {
-                    Box::new(ScrambledAbcast::new(s, cfg, Arc::clone(&oracle), fork_rng.fork()))
+                Box::new(move |_: &OrderDomain| {
+                    Box::new(ScrambledAbcast::new(cfg, Arc::clone(&oracle), fork_rng.fork()))
                         as Engine
                 })
             }
         };
-        let engines: Vec<Engine> = SiteId::all(sites).map(&mut factory).collect();
+        let engines: Vec<Engine> = SiteId::all(sites)
+            .map(|s| factory(&topology.domains[topology.group_of_site(s)]))
+            .collect();
+        // The relay stream is always a plain sequencer: cross-group
+        // descriptors are rare and need nothing fancier than a total
+        // order everyone shares.
+        let relay_engines: Vec<Engine> = if config.groups > 1 {
+            let relay = &topology.domains[topology.relay_idx()];
+            SiteId::all(sites)
+                .map(|_| Box::new(SeqAbcast::new(relay.sequencer())) as Engine)
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // One database copy per site.
         let mut base_db = Database::new(config.classes);
@@ -539,21 +958,35 @@ impl Cluster {
             })
             .collect();
 
+        // Sharded clusters run a switched topology: one wire segment per
+        // group plus the shared backbone (segment 0) for relay and
+        // gateway traffic. Unsharded clusters keep the single shared bus.
+        let mut net = MulticastNet::new(config.net.clone());
+        if config.groups > 1 {
+            net.add_segments(config.groups);
+        }
+
         Cluster {
-            net: MulticastNet::new(config.net.clone()),
+            net,
             queue: EventQueue::new(),
             rng,
+            topology,
             engines,
+            relay_engines,
             engine_factory: factory,
             replicas,
             crashed: vec![false; sites],
             recovering: vec![false; sites],
             local_epoch: vec![0; sites],
             view: Membership::initial(sites),
-            next_epoch: 1,
-            sequencer_fence: 0,
+            next_epoch: vec![1; num_domains],
+            sequencer_fence: vec![0; num_domains],
             pending_views: BTreeMap::new(),
+            pending_domains: (0..sites).map(|_| BTreeSet::new()).collect(),
             epoch_history: (0..sites).map(|_| Vec::new()).collect(),
+            relay_epoch: vec![0; sites],
+            relay_processed: vec![0; sites],
+            relay_view_installs: 0,
             stale_view_digests: 0,
             superseded_views: 0,
             open_quantum: (0..sites).map(|_| Vec::new()).collect(),
@@ -561,7 +994,13 @@ impl Cluster {
             held_wires: (0..sites).map(|_| Vec::new()).collect(),
             partition_held: Vec::new(),
             msg_map: (0..sites).map(|_| HashMap::new()).collect(),
+            relay_map: (0..sites).map(|_| HashMap::new()).collect(),
+            gates: (0..sites).map(|_| CrossGate::default()).collect(),
+            home_site: HashMap::new(),
+            txn_group: HashMap::new(),
+            cross_of: HashMap::new(),
             next_txn_seq: vec![0; sites],
+            next_cross_seq: vec![0; sites],
             next_query_seq: 0,
             submit_time: HashMap::new(),
             commit_sites: HashMap::new(),
@@ -572,6 +1011,7 @@ impl Cluster {
             global_commit_latency: Histogram::new(),
             query_latency: Histogram::new(),
             completed: 0,
+            cross_group_frames: 0,
             config,
             registry,
         }
@@ -587,8 +1027,68 @@ impl Cluster {
         self.queue.now()
     }
 
+    /// Frames that crossed a group boundary so far (0 with one group).
+    pub fn cross_group_frames(&self) -> u64 {
+        self.cross_group_frames
+    }
+
+    /// The engine (own-group or relay) serving domain `d` at `site`, with
+    /// the context the next call on it needs. Split-borrows so the caller
+    /// can keep using `self` for everything *but* the engine vectors.
+    fn engine_parts(&mut self, site: SiteId, d: usize) -> (&mut Engine, EngineCtx<'_>) {
+        let epoch = if self.topology.is_relay(d) {
+            self.relay_epoch[site.index()]
+        } else {
+            self.epoch_history[site.index()].last().copied().unwrap_or(0)
+        };
+        let engine = if self.topology.is_relay(d) {
+            &mut self.relay_engines[site.index()]
+        } else {
+            &mut self.engines[site.index()]
+        };
+        (engine, EngineCtx::at_epoch(site, &self.topology.domains[d], epoch))
+    }
+
+    /// A fresh engine for domain `du` (recovery path).
+    fn make_engine(&mut self, du: usize) -> Engine {
+        let domain = &self.topology.domains[du];
+        if self.topology.is_relay(du) {
+            Box::new(SeqAbcast::new(domain.sequencer()))
+        } else {
+            (self.engine_factory)(domain)
+        }
+    }
+
+    /// Definitive-log length of the engine serving domain `du` at `s`.
+    fn domain_log_len(&self, s: SiteId, du: usize) -> usize {
+        if self.topology.is_relay(du) {
+            self.relay_engines[s.index()].definitive_log().len()
+        } else {
+            self.engines[s.index()].definitive_log().len()
+        }
+    }
+
+    /// The ordering-authority site of domain `du`, if its engine has one.
+    /// Recovering *this* site fences order assignments of its dead
+    /// incarnation at every member of the new view.
+    fn domain_sequencer(&self, du: usize) -> Option<SiteId> {
+        if self.topology.is_relay(du) {
+            return Some(self.topology.domains[du].sequencer());
+        }
+        match self.config.engine {
+            EngineKind::Sequencer | EngineKind::SequencerBatched { .. } => {
+                Some(self.topology.domains[du].sequencer())
+            }
+            _ => None,
+        }
+    }
+
     /// Schedules a client update request at `site`: the stored procedure
     /// `proc(args)` in conflict class `class`. Returns the transaction id.
+    ///
+    /// In a sharded cluster the request is routed to class `class`'s
+    /// group: submitted directly when `site` belongs to it, forwarded to a
+    /// live member (one gateway unicast) otherwise.
     pub fn schedule_update(
         &mut self,
         at: SimTime,
@@ -600,14 +1100,94 @@ impl Cluster {
         let seq = self.next_txn_seq[site.index()];
         self.next_txn_seq[site.index()] += 1;
         let id = TxnId::new(site, seq);
+        self.txn_group.insert(id, self.topology.group_of_class(class) as u16);
         let request = TxnRequest::new(id, class, proc, args);
         self.queue.schedule(at, Ev::Submit { site, request });
         id
     }
 
-    /// Schedules a read-only query at `site` over the given objects (any
-    /// classes). Returns the query id.
+    /// Schedules a cross-group update: one sub-transaction per involved
+    /// group (each `(class, proc, args)` part must map to a distinct
+    /// group). The parts are serialized as a unit through the relay
+    /// stream — every site orders them identically against all other
+    /// cross-group transactions — but commit independently, each in its
+    /// own group's stream. Returns the sub-transaction ids, in part
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cluster is not sharded, `parts` is empty, or two
+    /// parts map to the same group.
+    pub fn schedule_cross_update(
+        &mut self,
+        at: SimTime,
+        site: SiteId,
+        parts: Vec<(ClassId, ProcId, Vec<Value>)>,
+    ) -> Vec<TxnId> {
+        assert!(self.config.groups > 1, "cross-group updates need a sharded cluster");
+        assert!(!parts.is_empty(), "a cross-group update needs at least one part");
+        let mut groups_seen = HashSet::new();
+        for (class, _, _) in &parts {
+            assert!(
+                groups_seen.insert(self.topology.group_of_class(*class)),
+                "cross-group updates take one sub-transaction per group"
+            );
+        }
+        let cross = ((site.raw() as u64) << 48) | self.next_cross_seq[site.index()];
+        self.next_cross_seq[site.index()] += 1;
+        let mut ids = Vec::with_capacity(parts.len());
+        let mut subs = Vec::with_capacity(parts.len());
+        for (class, proc, args) in parts {
+            let seq = self.next_txn_seq[site.index()];
+            self.next_txn_seq[site.index()] += 1;
+            let id = TxnId::new(site, seq);
+            self.txn_group.insert(id, self.topology.group_of_class(class) as u16);
+            self.cross_of.insert(id, cross);
+            ids.push(id);
+            subs.push(Arc::new(TxnRequest::new(id, class, proc, args)));
+        }
+        self.queue.schedule(at, Ev::SubmitCross { site, tag: CrossTag { cross, subs } });
+        ids
+    }
+
+    /// Submits an update right now, with admission feedback — the
+    /// simulated twin of [`crate::runtime::LiveCluster::submit`]. A
+    /// request addressed to a crashed or recovering site is rejected as
+    /// [`SubmitError::SiteDown`] instead of silently lost; an accepted
+    /// request routes through the group router like
+    /// [`Cluster::schedule_update`].
+    pub fn submit(
+        &mut self,
+        site: SiteId,
+        class: ClassId,
+        proc: ProcId,
+        args: Vec<Value>,
+    ) -> Result<TxnId, SubmitError> {
+        if !self.is_live(site) {
+            return Err(SubmitError::SiteDown);
+        }
+        Ok(self.schedule_update(self.now(), site, class, proc, args))
+    }
+
+    /// Schedules a read-only query at `site` over the given objects.
+    /// Returns the query id.
+    ///
+    /// # Panics
+    ///
+    /// In a sharded cluster, panics if any read's class belongs to a
+    /// different group than `site`: a site only holds ordered state for
+    /// its own group, so a cross-group read would compare positions from
+    /// unrelated streams.
     pub fn schedule_query(&mut self, at: SimTime, site: SiteId, reads: Vec<ObjectId>) -> TxnId {
+        if self.config.groups > 1 {
+            for oid in &reads {
+                assert_eq!(
+                    self.topology.group_of_class(oid.class),
+                    self.topology.group_of_site(site),
+                    "sharded queries must read classes of the site's own group"
+                );
+            }
+        }
         // Query ids use a separate, shared sequence space flagged by a
         // high bit so they never collide with update ids.
         let qid = TxnId::new(site, (1 << 63) | self.next_query_seq);
@@ -635,12 +1215,14 @@ impl Cluster {
     }
 
     /// Schedules recovery of `site`. Recovery runs a view-change round in
-    /// simulated time: the site multicasts a `ViewChange` announcement,
-    /// every live member replies with a state digest, and the site starts
-    /// serving only once the union of all replies is installed — so an
-    /// order assignment known to *any* survivor is honored, not just the
-    /// donor's. `donor` is kept as a liveness hint (it must be up at
-    /// recovery time); the state actually comes from all live members.
+    /// simulated time — one per domain the site participates in (its own
+    /// group, plus the relay when sharded): the site multicasts a
+    /// `ViewChange` announcement to the domain, every live member replies
+    /// with a state digest, and the site starts serving only once every
+    /// domain's union-of-replies is installed — so an order assignment
+    /// known to *any* survivor is honored, not just the donor's. `donor`
+    /// is kept as a liveness hint (it must be up at recovery time); the
+    /// state actually comes from all live members.
     pub fn schedule_recover(&mut self, at: SimTime, site: SiteId, donor: SiteId) {
         self.queue.schedule(at, Ev::Recover { site, donor });
     }
@@ -649,7 +1231,7 @@ impl Cluster {
     /// events. Crash/recover events route through the same machinery as
     /// [`Cluster::schedule_crash`]/[`Cluster::schedule_recover`] (the
     /// recovery donor is chosen among live sites at event time); partition
-    /// events hold cross-group traffic until the matching heal.
+    /// events hold cross-partition traffic until the matching heal.
     pub fn schedule_nemesis(&mut self, schedule: &NemesisSchedule) {
         for (at, ev) in &schedule.events {
             self.queue.schedule(*at, Ev::Nemesis(ev.clone()));
@@ -672,16 +1254,6 @@ impl Cluster {
     /// is the boot view; every completed recovery installs a fresh one.
     pub fn current_view(&self) -> &Membership {
         &self.view
-    }
-
-    /// The fixed ordering-authority site of the configured engine, if any.
-    /// Recovering *this* site fences order assignments of its dead
-    /// incarnation at every member of the new view.
-    fn sequencer_site(&self) -> Option<SiteId> {
-        match self.config.engine {
-            EngineKind::Sequencer | EngineKind::SequencerBatched { .. } => Some(SiteId::new(0)),
-            _ => None,
-        }
     }
 
     /// Runs until the event queue empties or `deadline` passes. Returns
@@ -713,23 +1285,23 @@ impl Cluster {
             }
             let (_, ev) = self.queue.pop().expect("peeked");
             processed += 1;
-            let Ev::Wire { from, to, wire } = ev else {
+            let Ev::Wire { from, to, domain, wire } = ev else {
                 self.handle(ev);
                 continue;
             };
             if !quantum.is_zero() {
-                self.quantum_accumulate(to, from, wire, t + quantum);
+                self.quantum_accumulate(to, domain, from, wire, t + quantum);
                 continue;
             }
-            let mut batch = vec![(from, wire)];
+            let mut batch = vec![(domain, from, wire)];
             while let Some((nt, Ev::Wire { to: next_to, .. })) = self.queue.peek() {
                 if nt != t || *next_to != to {
                     break;
                 }
-                let Some((_, Ev::Wire { from, wire, .. })) = self.queue.pop() else {
+                let Some((_, Ev::Wire { from, domain, wire, .. })) = self.queue.pop() else {
                     unreachable!("peeked a same-instant wire");
                 };
-                batch.push((from, wire));
+                batch.push((domain, from, wire));
                 processed += 1;
             }
             self.handle_wire_batch(to, batch);
@@ -742,13 +1314,14 @@ impl Cluster {
     fn quantum_accumulate(
         &mut self,
         to: SiteId,
+        domain: u16,
         from: SiteId,
         wire: Wire<TxnPayload>,
         flush_at: SimTime,
     ) {
         let buf = &mut self.open_quantum[to.index()];
         let opening = buf.is_empty();
-        buf.push((from, wire));
+        buf.push((domain, from, wire));
         if opening {
             self.quantum_gen[to.index()] += 1;
             let gen = self.quantum_gen[to.index()];
@@ -789,10 +1362,17 @@ impl Cluster {
             .add("view_install", self.epoch_history.iter().map(|h| h.len() as u64).sum::<u64>());
         counters.add(
             "stale_epoch_reject",
-            self.engines.iter().map(|e| e.stale_epoch_rejects()).sum::<u64>(),
+            self.engines
+                .iter()
+                .chain(self.relay_engines.iter())
+                .map(|e| e.stale_epoch_rejects())
+                .sum::<u64>(),
         );
         counters.add("stale_view_digest", self.stale_view_digests);
         counters.add("view_supersede", self.superseded_views);
+        if self.config.groups > 1 {
+            counters.add("relay_view_install", self.relay_view_installs);
+        }
         RunStats {
             commit_latency: self.commit_latency.clone(),
             global_commit_latency: self.global_commit_latency.clone(),
@@ -800,6 +1380,7 @@ impl Cluster {
             counters,
             completed: self.completed,
             network_frames: self.net.sent_frames(),
+            cross_group_frames: self.cross_group_frames,
             now: self.queue.now(),
         }
     }
@@ -814,33 +1395,32 @@ impl Cluster {
         self.replicas.iter().map(|r| r.commit_log().iter().map(|(t, _)| *t).collect()).collect()
     }
 
-    /// Checks that every pair of sites converged to the same committed
-    /// state.
+    /// Checks that every pair of same-group sites converged to the same
+    /// committed state (different groups hold different class partitions,
+    /// so cross-group comparison is meaningless when sharded).
     pub fn converged(&self) -> bool {
-        let first = self.replicas[0].db();
-        self.replicas.iter().all(|r| r.db().committed_state_eq(first))
+        SiteId::all(self.config.sites).all(|s| {
+            let reference = self.topology.domains[self.topology.group_of_site(s)].sequencer();
+            self.replicas[s.index()].db().committed_state_eq(self.replicas[reference.index()].db())
+        })
     }
 
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Ev) {
         match ev {
-            Ev::Submit { site, request } => {
-                if self.crashed[site.index()] || self.recovering[site.index()] {
-                    return; // client's site is down; request lost
-                }
-                self.submit_time.insert(request.id, self.queue.now());
-                let (_msg_id, actions) =
-                    self.engines[site.index()].broadcast(TxnPayload(Arc::new(request)));
-                self.apply_engine_actions(site, actions);
+            Ev::Submit { site, request } => self.route_submit(site, request),
+            Ev::SubmitCross { site, tag } => self.submit_cross(site, tag),
+            Ev::Wire { from, to, domain, wire } => {
+                self.handle_wire_batch(to, vec![(domain, from, wire)])
             }
-            Ev::Wire { from, to, wire } => self.handle_wire_batch(to, vec![(from, wire)]),
-            Ev::Timer { site, token } => {
+            Ev::Timer { site, domain, token } => {
                 if self.crashed[site.index()] || self.recovering[site.index()] {
                     return;
                 }
-                let actions = self.engines[site.index()].on_timer(token);
-                self.apply_engine_actions(site, actions);
+                let (engine, ctx) = self.engine_parts(site, domain as usize);
+                let actions = engine.on_timer(&ctx, token);
+                self.apply_engine_actions(site, domain, actions);
             }
             Ev::ExecDone { site, epoch, token } => {
                 if self.crashed[site.index()] || epoch != self.local_epoch[site.index()] {
@@ -913,40 +1493,113 @@ impl Cluster {
         }
     }
 
+    /// Routes a submitted update to its class's group: broadcast into the
+    /// group stream when `site` is a member, forwarded to a live member
+    /// (one gateway unicast) otherwise.
+    fn route_submit(&mut self, site: SiteId, request: TxnRequest) {
+        let g = self.topology.group_of_class(request.class);
+        if self.crashed[site.index()] || self.recovering[site.index()] {
+            if request.id.origin == site {
+                return; // client's site is down; request lost
+            }
+            // Forwarded to a gateway that died in flight: the client
+            // re-routes to another member of the target group.
+            self.forward_to_group(site, g, request, false);
+            return;
+        }
+        self.submit_time.entry(request.id).or_insert(self.queue.now());
+        if self.topology.group_of_site(site) == g {
+            self.home_site.insert(request.id, site);
+            let payload = TxnPayload::Txn { req: Arc::new(request), cross: None };
+            let (engine, ctx) = self.engine_parts(site, g);
+            let (_msg_id, actions) = engine.broadcast(&ctx, payload);
+            self.apply_engine_actions(site, g as u16, actions);
+        } else {
+            self.forward_to_group(site, g, request, true);
+        }
+    }
+
+    /// Forwards a request to the first live member of group `g`. With
+    /// `via_net` the gateway unicasts it (normal path); without, the
+    /// client re-routes after a fixed re-route delay (its gateway died —
+    /// a down site cannot send). A group with no live member drops the
+    /// request, exactly like a crashed origin site.
+    fn forward_to_group(&mut self, from: SiteId, g: usize, request: TxnRequest, via_net: bool) {
+        let Some(target) =
+            self.topology.domains[g].members.iter().copied().find(|s| self.is_live(*s))
+        else {
+            return;
+        };
+        self.cross_group_frames += 1;
+        let now = self.queue.now();
+        let arrival = if via_net {
+            let size = request.size_bytes();
+            self.net.unicast(from, target, size, now, &mut self.rng).arrival
+        } else {
+            now + SimDuration::from_micros(100)
+        };
+        self.queue.schedule(arrival, Ev::Submit { site: target, request });
+    }
+
+    /// Broadcasts a cross-group descriptor on the relay stream.
+    fn submit_cross(&mut self, site: SiteId, tag: CrossTag) {
+        if self.crashed[site.index()] || self.recovering[site.index()] {
+            return; // client's site is down; descriptor lost
+        }
+        let now = self.queue.now();
+        for sub in &tag.subs {
+            self.submit_time.entry(sub.id).or_insert(now);
+        }
+        let relay = self.topology.relay_idx();
+        let payload = TxnPayload::Cross(Arc::new(tag));
+        let (engine, ctx) = self.engine_parts(site, relay);
+        let (_msg_id, actions) = engine.broadcast(&ctx, payload);
+        self.apply_engine_actions(site, relay as u16, actions);
+    }
+
     /// Delivers one tick's worth of wires to `to`: crash/partition/recovery
     /// holds are filtered per wire, view-change traffic is routed to the
-    /// membership layer, the rest goes to the engine as one batch.
-    fn handle_wire_batch(&mut self, to: SiteId, wires: Vec<(SiteId, Wire<TxnPayload>)>) {
-        let mut deliverable = Vec::with_capacity(wires.len());
-        for (from, wire) in wires {
+    /// membership layer, the rest goes to the domain's engine — one batch
+    /// per domain, ascending domain order (with one group there is one
+    /// domain, so this is the old single-batch path unchanged).
+    fn handle_wire_batch(&mut self, to: SiteId, wires: Vec<(u16, SiteId, Wire<TxnPayload>)>) {
+        let num_domains = self.topology.domains.len();
+        let mut buckets: Vec<Vec<(SiteId, Wire<TxnPayload>)>> =
+            (0..num_domains).map(|_| Vec::new()).collect();
+        for (domain, from, wire) in wires {
             let is_view = matches!(wire, Wire::ViewChange { .. } | Wire::StateDigest { .. });
             if self.crashed[to.index()] {
                 // View wires belong to a round; a crashed addressee will
                 // never answer it (the round learns via the crash
                 // notification), so they die here instead of being held.
                 if !is_view {
-                    self.held_wires[to.index()].push((from, wire));
+                    self.held_wires[to.index()].push((domain, from, wire));
                 }
             } else if self.net.pair_blocked(from, to) {
-                self.partition_held.push((from, to, wire));
+                self.partition_held.push((from, to, domain, wire));
             } else if is_view {
-                self.handle_view_wire(to, wire);
+                self.handle_view_wire(to, domain, wire);
             } else if self.recovering[to.index()] {
                 // Held during the round, replayed under the installed view.
-                self.held_wires[to.index()].push((from, wire));
+                self.held_wires[to.index()].push((domain, from, wire));
             } else {
-                deliverable.push((from, wire));
+                buckets[domain as usize].push((from, wire));
             }
         }
-        if deliverable.is_empty() {
-            return;
+        for (domain, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let (engine, ctx) = self.engine_parts(to, domain);
+            let actions = engine.on_receive_batch(&ctx, bucket);
+            self.apply_engine_actions(to, domain as u16, actions);
         }
-        let actions = self.engines[to.index()].on_receive_batch(deliverable);
-        self.apply_engine_actions(to, actions);
     }
 
-    /// Handles membership traffic addressed to the live site `to`.
-    fn handle_view_wire(&mut self, to: SiteId, wire: Wire<TxnPayload>) {
+    /// Handles membership traffic for domain `d` addressed to the live
+    /// site `to`.
+    fn handle_view_wire(&mut self, to: SiteId, d: u16, wire: Wire<TxnPayload>) {
+        let du = d as usize;
         match wire {
             Wire::ViewChange { epoch, initiator } => {
                 // The initiator's own loopback copy, or an announcement
@@ -962,21 +1615,32 @@ impl Cluster {
                 // dead incarnation is inside the digest, and anything
                 // arriving after it is fenced — no assignment can slip
                 // between the two (the union argument, DESIGN.md §7).
-                let snapshot = self.engines[to.index()].snapshot();
-                self.record_install(to, epoch, self.sequencer_site() == Some(initiator));
+                let snapshot = if self.topology.is_relay(du) {
+                    self.relay_engines[to.index()].snapshot()
+                } else {
+                    self.engines[to.index()].snapshot()
+                };
+                self.record_install(to, d, epoch, self.domain_sequencer(du) == Some(initiator));
                 let digest = Wire::StateDigest { epoch, from: to, snapshot };
                 let size = digest.size_bytes();
                 let now = self.queue.now();
-                let d = self.net.unicast(to, initiator, size, now, &mut self.rng);
-                self.queue.schedule(d.arrival, Ev::Wire { from: to, to: initiator, wire: digest });
+                if self.topology.cross_frame(to, initiator) {
+                    self.cross_group_frames += 1;
+                }
+                let seg = self.topology.segment_of(du);
+                let dl = self.net.unicast_on(seg, to, initiator, size, now, &mut self.rng);
+                self.queue.schedule(
+                    dl.arrival,
+                    Ev::Wire { from: to, to: initiator, domain: d, wire: digest },
+                );
             }
             Wire::StateDigest { epoch, from, snapshot } => {
-                let Some(round) = self.pending_views.get_mut(&to) else {
+                let Some(round) = self.pending_views.get_mut(&(d, to)) else {
                     self.stale_view_digests += 1; // reply to a dead round
                     return;
                 };
                 match round.on_digest(from, epoch, snapshot) {
-                    DigestOutcome::Completed => self.install_view_for(to),
+                    DigestOutcome::Completed => self.install_view_for(d, to),
                     DigestOutcome::Accepted => {}
                     DigestOutcome::WrongEpoch { .. } | DigestOutcome::Unexpected => {
                         self.stale_view_digests += 1;
@@ -987,60 +1651,81 @@ impl Cluster {
         }
     }
 
-    /// Installs `epoch` at `site`: the engine learns the epoch (and, when
-    /// `fence_orders` — the round re-admits the ordering authority —
-    /// fences the dead incarnation's assignments) and the per-site epoch
-    /// history grows — the invariant bundle checks it stays strictly
-    /// increasing.
-    fn record_install(&mut self, site: SiteId, epoch: u64, fence_orders: bool) {
-        self.engines[site.index()].install_view(epoch, fence_orders);
-        if epoch > self.installed_epoch(site) {
-            self.epoch_history[site.index()].push(epoch);
+    /// Installs `epoch` for domain `d` at `site`: the domain's engine
+    /// learns the epoch (and, when `fence_orders` — the round re-admits
+    /// the ordering authority — fences the dead incarnation's
+    /// assignments). Group-domain installs grow the per-site epoch history
+    /// the invariant bundle checks; relay installs track their own
+    /// watermark (and counter), leaving the single-group history
+    /// untouched.
+    fn record_install(&mut self, site: SiteId, d: u16, epoch: u64, fence_orders: bool) {
+        if self.topology.is_relay(d as usize) {
+            self.relay_engines[site.index()].install_view(epoch, fence_orders);
+            if epoch > self.relay_epoch[site.index()] {
+                self.relay_epoch[site.index()] = epoch;
+                self.relay_view_installs += 1;
+            }
+        } else {
+            self.engines[site.index()].install_view(epoch, fence_orders);
+            if epoch > self.installed_epoch(site) {
+                self.epoch_history[site.index()].push(epoch);
+            }
         }
     }
 
-    /// The view epoch `site` currently has installed (0 = the boot view).
+    /// The group-domain view epoch `site` currently has installed (0 =
+    /// the boot view).
     pub(crate) fn installed_epoch(&self, site: SiteId) -> u64 {
         self.epoch_history[site.index()].last().copied().unwrap_or(0)
     }
 
     /// Marks `site` down: its event epoch advances (cancelling in-flight
-    /// local events), the network stops considering it a receiver, a
-    /// recovery round it was driving is abandoned, and every round waiting
-    /// on its digest is notified (the crashed member will never reply).
+    /// local events), the network stops considering it a receiver, any
+    /// recovery rounds it was driving are abandoned, and every round
+    /// waiting on its digest is notified (the crashed member will never
+    /// reply).
     fn crash_site(&mut self, site: SiteId) {
         self.crashed[site.index()] = true;
         if self.recovering[site.index()] {
             self.recovering[site.index()] = false;
-            self.pending_views.remove(&site);
+            let stale: Vec<(u16, SiteId)> =
+                self.pending_views.keys().filter(|(_, s)| *s == site).copied().collect();
+            for key in stale {
+                self.pending_views.remove(&key);
+            }
+            self.pending_domains[site.index()].clear();
         }
         self.local_epoch[site.index()] += 1;
         self.net.set_down(site);
-        let completed: Vec<SiteId> = self
+        let completed: Vec<(u16, SiteId)> = self
             .pending_views
             .iter_mut()
-            .filter_map(|(initiator, round)| round.on_member_crashed(site).then_some(*initiator))
+            .filter_map(|((d, initiator), round)| {
+                round.on_member_crashed(site).then_some((*d, *initiator))
+            })
             .collect();
-        for initiator in completed {
-            self.install_view_for(initiator);
+        for (d, initiator) in completed {
+            self.install_view_for(d, initiator);
         }
     }
 
-    /// Starts view-change recovery of `site`: proposes the next epoch over
-    /// the current live members and multicasts the announcement. Every
-    /// member replies with a state digest; the view installs — and the
-    /// site starts serving — once the union of all replies is merged (see
-    /// [`Cluster::install_view_for`]). `donor` is a liveness hint kept
-    /// from the pre-view-change API: it must be up, but the actual state
-    /// sources are *all* live members, with the most advanced survivor as
-    /// the base.
+    /// Starts view-change recovery of `site`: one round per domain the
+    /// site participates in (own group + relay when sharded), each
+    /// proposing that domain's next epoch over its current live members.
+    /// Every member replies with a state digest; a domain's view installs
+    /// when the union of its replies is merged, and the site starts
+    /// serving once every domain has installed (see
+    /// [`Cluster::install_view_for`] / [`Cluster::finish_site_recovery`]).
+    /// `donor` is a liveness hint kept from the pre-view-change API: it
+    /// must be up, but the actual state sources are *all* live members,
+    /// with the most advanced survivor as the base.
     ///
     /// Overlapping rounds for the **same** site resolve by supersession:
-    /// a recovery that starts while this site's previous round is still
-    /// collecting digests aborts the older round explicitly (newest epoch
-    /// wins — [`ViewChange::superseded_by`]) and proposes afresh under the
-    /// next epoch. The old round's late digests land as
-    /// `stale_view_digest`s; the abort itself is counted as
+    /// a recovery that starts while this site's previous rounds are still
+    /// collecting digests aborts each older round explicitly (newest
+    /// epoch wins — [`ViewChange::superseded_by`]) and proposes afresh
+    /// under the domain's next epoch. The old rounds' late digests land
+    /// as `stale_view_digest`s; each abort is counted as
     /// `view_supersede`.
     ///
     /// # Panics
@@ -1048,82 +1733,166 @@ impl Cluster {
     /// Panics if the donor hint is itself crashed or recovering.
     fn begin_recovery(&mut self, site: SiteId, donor: SiteId) {
         if self.recovering[site.index()] {
-            // A second round racing the pending one for this same site:
-            // newest epoch wins, the older round aborts explicitly. (Epochs
-            // are handed out from a strictly increasing counter, so the new
-            // round always supersedes.)
-            let superseded = self
-                .pending_views
-                .get(&site)
-                .is_some_and(|round| round.superseded_by(self.next_epoch));
-            if !superseded {
-                return;
+            // A second recovery racing the pending rounds for this same
+            // site: newest epoch wins, each older round aborts explicitly.
+            // (Epochs are handed out from strictly increasing per-domain
+            // counters, so the new rounds always supersede.)
+            let stale: Vec<(u16, SiteId)> =
+                self.pending_views.keys().filter(|(_, s)| *s == site).copied().collect();
+            for (d, s) in stale {
+                let superseded = self
+                    .pending_views
+                    .get(&(d, s))
+                    .is_some_and(|round| round.superseded_by(self.next_epoch[d as usize]));
+                if superseded {
+                    self.pending_views.remove(&(d, s));
+                    self.superseded_views += 1;
+                    self.propose_round(d, site);
+                }
             }
-            self.pending_views.remove(&site);
-            self.superseded_views += 1;
-        } else if !self.crashed[site.index()] {
+            return;
+        }
+        if !self.crashed[site.index()] {
             return; // already up
-        } else {
-            assert!(self.is_live(donor), "donor {donor} must be up");
-            self.crashed[site.index()] = false;
-            self.recovering[site.index()] = true;
-            self.net.set_up(site);
         }
-        let epoch = self.next_epoch;
-        self.next_epoch += 1;
-        if self.sequencer_site() == Some(site) {
-            self.sequencer_fence = self.sequencer_fence.max(epoch);
+        assert!(self.is_live(donor), "donor {donor} must be up");
+        self.crashed[site.index()] = false;
+        self.recovering[site.index()] = true;
+        self.net.set_up(site);
+        self.pending_domains[site.index()].insert(self.topology.group_of_site(site) as u16);
+        if self.config.groups > 1 {
+            self.pending_domains[site.index()].insert(self.topology.relay_idx() as u16);
         }
-        let round = ViewChange::propose(epoch, site, self.live_sites());
-        self.pending_views.insert(site, round);
-        self.apply_engine_actions(
-            site,
-            vec![EngineAction::Multicast(Wire::ViewChange { epoch, initiator: site })],
-        );
+        let domains: Vec<u16> = self.pending_domains[site.index()].iter().copied().collect();
+        for d in domains {
+            self.propose_round(d, site);
+        }
     }
 
-    /// Completes a view-change round: restores `site` from the most
-    /// advanced survivor's state (engine + replica snapshotted at the same
-    /// instant, so the pair is consistent) merged with the union of every
-    /// collected digest, re-teaches the site its own surviving held wires,
-    /// fences the dead incarnation where needed, and replays everything
-    /// held during the round under the installed view.
-    fn install_view_for(&mut self, site: SiteId) {
-        let round = self.pending_views.remove(&site).expect("round pending for installer");
+    /// Proposes domain `d`'s next epoch for recovering `site` and
+    /// multicasts the announcement to the domain. A domain with no other
+    /// live member completes at propose (nothing to collect) and installs
+    /// immediately from this site's own stable-storage state.
+    fn propose_round(&mut self, d: u16, site: SiteId) {
+        let du = d as usize;
+        let epoch = self.next_epoch[du];
+        self.next_epoch[du] += 1;
+        if self.domain_sequencer(du) == Some(site) {
+            self.sequencer_fence[du] = self.sequencer_fence[du].max(epoch);
+        }
+        let members: Vec<SiteId> = self.topology.domains[du]
+            .members
+            .iter()
+            .copied()
+            .filter(|s| self.is_live(*s))
+            .collect();
+        let round = ViewChange::propose(epoch, site, members);
+        let complete = round.is_complete();
+        self.pending_views.insert((d, site), round);
+        if complete {
+            self.install_view_for(d, site);
+        } else {
+            self.apply_engine_actions(
+                site,
+                d,
+                vec![EngineAction::Multicast(Wire::ViewChange { epoch, initiator: site })],
+            );
+        }
+    }
+
+    /// Completes one domain's view-change round: restores `site`'s engine
+    /// for that domain from the most advanced survivor's state (engine +
+    /// replica snapshotted at the same instant, so the pair is
+    /// consistent) merged with the union of every collected digest,
+    /// re-teaches the site its own surviving held wires, fences the dead
+    /// incarnation where needed — and, once the site's *last* pending
+    /// domain installs, finishes recovery
+    /// ([`Cluster::finish_site_recovery`]).
+    fn install_view_for(&mut self, d: u16, site: SiteId) {
+        let du = d as usize;
+        let round = self.pending_views.remove(&(d, site)).expect("round pending for installer");
         let epoch = round.epoch();
-        // The base pair: among live members, the one whose definitive log
-        // is longest — restoring from the most advanced survivor minimizes
-        // re-execution at the recovered replica. Consistency does not
-        // depend on this choice: `EngineSnapshot::merge` never lets a
-        // digest extend the base's definitive log (a digest sender that
-        // was ahead may have crashed since replying), so the restored
-        // engine only suppresses re-delivery of what the base replica
-        // actually executed; everything beyond it re-delivers through the
-        // merged order tags / decided instances.
+        // The base pair: among the domain's live members, the one whose
+        // definitive log is longest — restoring from the most advanced
+        // survivor minimizes re-execution at the recovered replica.
+        // Consistency does not depend on this choice: `EngineSnapshot::
+        // merge` never lets a digest extend the base's definitive log (a
+        // digest sender that was ahead may have crashed since replying),
+        // so the restored engine only suppresses re-delivery of what the
+        // base replica actually executed; everything beyond it re-delivers
+        // through the merged order tags / decided instances.
         let mut primary: Option<SiteId> = None;
-        for s in SiteId::all(self.config.sites) {
+        let members = self.topology.domains[du].members.clone();
+        for s in members {
             if s == site || !self.is_live(s) {
                 continue;
             }
-            let len = self.engines[s.index()].definitive_log().len();
-            if primary.is_none_or(|p| len > self.engines[p.index()].definitive_log().len()) {
+            let len = self.domain_log_len(s, du);
+            if primary.is_none_or(|p| len > self.domain_log_len(p, du)) {
                 primary = Some(s);
             }
         }
-        let primary = primary
-            .unwrap_or_else(|| panic!("view v{epoch}: no live member left to restore {site} from"));
-        let mut engine_snap = self.engines[primary.index()].snapshot();
+        // No live member left in the domain: restore from this site's own
+        // pre-crash state — a crash never destroys the driver-held
+        // engine/replica pair, which models stable storage.
+        let primary = primary.unwrap_or(site);
+        let mut engine_snap = if self.topology.is_relay(du) {
+            self.relay_engines[primary.index()].snapshot()
+        } else {
+            self.engines[primary.index()].snapshot()
+        };
         engine_snap.merge(round.into_merged());
-        let mut fresh_engine = (self.engine_factory)(site);
-        let engine_actions = fresh_engine.restore(engine_snap);
-        self.engines[site.index()] = fresh_engine;
-        // Fresh replica from the primary's database + pending tail. (Ids
-        // only the digests knew are re-filled into the message map by the
-        // replayed Opt-deliveries below.)
-        let replica_actions = self.restore_replica_from(site, primary);
-        self.apply_replica_actions(site, replica_actions);
+        let mut fresh_engine = self.make_engine(du);
+        let engine_actions = {
+            let ctx = EngineCtx::at_epoch(site, &self.topology.domains[du], epoch);
+            fresh_engine.restore(&ctx, engine_snap)
+        };
+        if self.topology.is_relay(du) {
+            self.relay_engines[site.index()] = fresh_engine;
+            // The descriptor store rides alongside the relay engine the
+            // way the message map rides alongside the group engine.
+            if primary != site {
+                self.relay_map[site.index()] = self.relay_map[primary.index()].clone();
+            }
+        } else {
+            self.engines[site.index()] = fresh_engine;
+            // Fresh replica from the primary's database + pending tail.
+            // (Ids only the digests knew are re-filled into the message
+            // map by the replayed Opt-deliveries below.)
+            let replica_actions = self.restore_replica_from(site, primary);
+            self.apply_replica_actions(site, replica_actions);
+            if self.config.groups > 1 {
+                if primary != site {
+                    self.gates[site.index()] = self.gates[primary.index()].clone();
+                    self.relay_processed[site.index()] = self.relay_processed[primary.index()];
+                }
+                // The dedup sets must describe the *restored* engine log
+                // through this site's (rebuilt) message map — the adopted
+                // gate's sets describe the primary's live state, which can
+                // disagree with the merged log.
+                let suppressed: HashSet<TxnId> = self.engines[site.index()]
+                    .definitive_log()
+                    .iter()
+                    .filter_map(|id| self.msg_map[site.index()].get(id).map(|(req, _)| req.id))
+                    .collect();
+                self.gates[site.index()].seen_opt = suppressed.clone();
+                self.gates[site.index()].seen_to = suppressed;
+                // Gate-queued subs are in the engine's definitive log
+                // (suppressed from replay) but were never released to the
+                // replica, so the restored replica snapshot does not carry
+                // them — it must still see their Opt-delivery (Local
+                // Order) before the gate eventually releases them.
+                let queued: Vec<Arc<TxnRequest>> =
+                    self.gates[site.index()].queue.iter().map(|(r, _)| Arc::clone(r)).collect();
+                for req in queued {
+                    let actions =
+                        self.replicas[site.index()].on_opt_deliver(TxnRequest::clone(&req));
+                    self.apply_replica_actions(site, actions);
+                }
+            }
+        }
         // Deliveries the engine replays (tentative again here).
-        self.apply_engine_actions(site, engine_actions);
+        self.apply_engine_actions(site, d, engine_actions);
         // Re-teach the fresh engine its own pre-crash *payloads*: a data
         // wire this site multicast before crashing may exist only in the
         // driver's hold buffers (cut by a partition, or destined to a site
@@ -1135,48 +1904,108 @@ impl Cluster {
         // and `finish_restore` renumbers the affected messages under the
         // new epoch instead — re-teaching them would be fenced anyway (the
         // base snapshot inherits the primary's raised fence).
-        for wire in self.own_held_wires(site, false) {
-            let actions = self.engines[site.index()].on_receive(site, wire);
-            self.apply_engine_actions(site, actions);
+        for wire in self.own_held_wires(site, d, false) {
+            let (engine, ctx) = self.engine_parts(site, du);
+            let actions = engine.on_receive(&ctx, site, wire);
+            self.apply_engine_actions(site, d, actions);
         }
         // The new incarnation: its own id space jumps past anything the
         // dead one could still have in flight, and the view installs (with
-        // the order fence when this site is the sequencer) so the repair
-        // pass below emits under the new epoch.
-        self.engines[site.index()].bump_incarnation();
-        self.record_install(site, epoch, self.sequencer_site() == Some(site));
+        // the order fence when this site is the domain's sequencer) so the
+        // repair pass below emits under the new epoch.
+        if self.topology.is_relay(du) {
+            self.relay_engines[site.index()].bump_incarnation();
+        } else {
+            self.engines[site.index()].bump_incarnation();
+        }
+        self.record_install(site, d, epoch, self.domain_sequencer(du) == Some(site));
         // With every surviving self-sent wire re-learned and the view
         // installed, the engine repairs what no snapshot or wire carries:
         // a restored sequencer renumbers assignments no survivor knew and
         // re-announces the rest under the new epoch.
-        let finish_actions = self.engines[site.index()].finish_restore();
-        self.apply_engine_actions(site, finish_actions);
-        // The site serves again under the installed view.
+        let finish_actions = {
+            let (engine, ctx) = self.engine_parts(site, du);
+            engine.finish_restore(&ctx)
+        };
+        self.apply_engine_actions(site, d, finish_actions);
+        // Re-apply the highest order fence any round for this domain ever
+        // proposed — a concurrent round can have re-admitted the ordering
+        // authority, and this site missed that announcement (the base
+        // snapshot usually inherits the fence from the primary, but the
+        // primary is not guaranteed to have processed every concurrent
+        // announcement yet).
+        let fence = self.sequencer_fence[du];
+        if self.topology.is_relay(du) {
+            self.relay_engines[site.index()].install_view(fence, true);
+        } else {
+            self.engines[site.index()].install_view(fence, true);
+        }
+        self.pending_domains[site.index()].remove(&d);
+        if self.pending_domains[site.index()].is_empty() {
+            self.finish_site_recovery(site);
+        }
+    }
+
+    /// The site's last pending domain installed: catch up to the newest
+    /// epochs any live peer carries, reconcile the relay tail into the
+    /// gate, refresh the cluster-wide membership view and replay
+    /// everything held while down.
+    fn finish_site_recovery(&mut self, site: SiteId) {
+        // The site serves again under the installed views.
         self.recovering[site.index()] = false;
         // Overlapping rounds: a newer view may have installed while this
         // site was mid-round (it ignores other rounds' announcements — a
         // recovering engine has nothing to contribute). Catch up to the
-        // newest epoch any live member carries, so the re-admitted site is
-        // never left serving under a superseded view, and re-apply the
-        // highest order fence any round ever proposed — a concurrent round
-        // can have re-admitted the ordering authority, and this site
-        // missed that announcement (the base snapshot usually inherits the
-        // fence from the primary, but the primary is not guaranteed to
-        // have processed every concurrent announcement yet).
-        let newest =
-            self.live_sites().into_iter().map(|s| self.installed_epoch(s)).max().unwrap_or(epoch);
-        if newest > epoch {
-            self.record_install(site, newest, false);
+        // newest group epoch any live group peer carries, so the
+        // re-admitted site is never left serving under a superseded view.
+        let g = self.topology.group_of_site(site);
+        let newest = self.topology.domains[g]
+            .members
+            .iter()
+            .copied()
+            .filter(|s| self.is_live(*s))
+            .map(|s| self.installed_epoch(s))
+            .max()
+            .unwrap_or(0);
+        if newest > self.installed_epoch(site) {
+            self.record_install(site, g as u16, newest, false);
         }
-        self.engines[site.index()].install_view(self.sequencer_fence, true);
+        if self.config.groups > 1 {
+            let relay = self.topology.relay_idx() as u16;
+            let newest_relay = SiteId::all(self.config.sites)
+                .filter(|s| self.is_live(*s))
+                .map(|s| self.relay_epoch[s.index()])
+                .max()
+                .unwrap_or(0);
+            if newest_relay > self.relay_epoch[site.index()] {
+                self.record_install(site, relay, newest_relay, false);
+            }
+            // Relay definitive deliveries beyond what the adopted gate had
+            // folded in were skipped while recovering (`process_relay_to`
+            // no-ops then): fold the tail in now. Prefix consistency
+            // (Global Order) guarantees the restored relay log extends the
+            // gate primary's processed prefix; `.get` clamps defensively.
+            let done = self.relay_processed[site.index()];
+            let tail: Vec<MsgId> = self.relay_engines[site.index()]
+                .definitive_log()
+                .get(done..)
+                .map(|s| s.to_vec())
+                .unwrap_or_default();
+            if !tail.is_empty() {
+                self.process_relay_to(site, &tail);
+            }
+        }
         // The cluster-wide view is monotonic even when rounds complete out
         // of epoch order (round A can outwait round B across a partition).
-        self.view = Membership::new(ViewId(self.view.id.0.max(newest)), self.live_sites());
-        // Everything held while down and during the round arrives now.
+        let view_newest =
+            self.live_sites().into_iter().map(|s| self.installed_epoch(s)).max().unwrap_or(0);
+        self.view = Membership::new(ViewId(self.view.id.0.max(view_newest)), self.live_sites());
+        // Everything held while down and during the rounds arrives now.
         // (Wires whose link a partition currently cuts go back on hold at
         // delivery time.)
         let held = std::mem::take(&mut self.held_wires[site.index()]);
-        let wires = held.into_iter().map(|(from, wire)| (from, site, wire)).collect();
+        let wires =
+            held.into_iter().map(|(domain, from, wire)| (from, site, domain, wire)).collect();
         self.replay_staggered(wires);
     }
 
@@ -1203,23 +2032,28 @@ impl Cluster {
         }
     }
 
-    /// `site`'s own surviving pre-crash wires still sitting in the
-    /// driver's hold buffers (cut by a partition, or destined to a site
-    /// that was down): the payload wires, plus — for the legacy recovery
-    /// path only — the order-assignment wires (`include_orders`).
-    /// Consensus wires are never included: re-proposing lost material is
-    /// the consensus protocol's own job.
-    fn own_held_wires(&self, site: SiteId, include_orders: bool) -> Vec<Wire<TxnPayload>> {
+    /// `site`'s own surviving pre-crash wires for domain `domain` still
+    /// sitting in the driver's hold buffers (cut by a partition, or
+    /// destined to a site that was down): the payload wires, plus — for
+    /// the legacy recovery path only — the order-assignment wires
+    /// (`include_orders`). Consensus wires are never included:
+    /// re-proposing lost material is the consensus protocol's own job.
+    fn own_held_wires(
+        &self,
+        site: SiteId,
+        domain: u16,
+        include_orders: bool,
+    ) -> Vec<Wire<TxnPayload>> {
         self.partition_held
             .iter()
-            .filter(|(from, _, _)| *from == site)
-            .map(|(_, _, w)| w.clone())
+            .filter(|(from, _, d, _)| *from == site && *d == domain)
+            .map(|(_, _, _, w)| w.clone())
             .chain(
                 self.held_wires
                     .iter()
                     .flatten()
-                    .filter(|(from, _)| *from == site)
-                    .map(|(_, w)| w.clone()),
+                    .filter(|(d, from, _)| *from == site && *d == domain)
+                    .map(|(_, _, w)| w.clone()),
             )
             .filter(|w| {
                 matches!(w, Wire::Data(_) | Wire::OracleData { .. })
@@ -1243,47 +2077,58 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if the donor is itself crashed.
+    /// Panics if the donor is itself crashed, or the cluster is sharded
+    /// (this path predates sequencing groups).
     #[doc(hidden)]
     pub fn legacy_recover_single_donor(&mut self, site: SiteId, donor: SiteId) {
+        assert_eq!(self.config.groups, 1, "legacy single-donor recovery predates sharded groups");
         assert!(!self.crashed[donor.index()], "donor {donor} must be up");
         self.crashed[site.index()] = false;
         self.net.set_up(site);
         // 1. Fresh engine from the donor's broadcast state.
         let engine_snap = self.engines[donor.index()].snapshot();
-        let mut fresh_engine = (self.engine_factory)(site);
-        let engine_actions = fresh_engine.restore(engine_snap);
+        let mut fresh_engine = self.make_engine(0);
+        let engine_actions = {
+            let ctx =
+                EngineCtx::at_epoch(site, &self.topology.domains[0], self.installed_epoch(site));
+            fresh_engine.restore(&ctx, engine_snap)
+        };
         self.engines[site.index()] = fresh_engine;
         // 2. Fresh replica from the donor's database + pending tail.
         let replica_actions = self.restore_replica_from(site, donor);
         self.apply_replica_actions(site, replica_actions);
         // 3. Deliveries the engine replays (tentative again here).
-        self.apply_engine_actions(site, engine_actions);
+        self.apply_engine_actions(site, 0, engine_actions);
         // 3b. Re-teach the fresh engine its own held pre-crash traffic —
         // order assignments included: without a view round there is no
         // fence, so held-buffer assignments must be re-learned or the
         // repair pass would renumber them.
-        for wire in self.own_held_wires(site, true) {
-            let actions = self.engines[site.index()].on_receive(site, wire);
-            self.apply_engine_actions(site, actions);
+        for wire in self.own_held_wires(site, 0, true) {
+            let (engine, ctx) = self.engine_parts(site, 0);
+            let actions = engine.on_receive(&ctx, site, wire);
+            self.apply_engine_actions(site, 0, actions);
         }
         // 3c. Repair what no snapshot or wire carries (the divergence
         // window: this renumbers against one donor's knowledge only).
-        let finish_actions = self.engines[site.index()].finish_restore();
-        self.apply_engine_actions(site, finish_actions);
+        let finish_actions = {
+            let (engine, ctx) = self.engine_parts(site, 0);
+            engine.finish_restore(&ctx)
+        };
+        self.apply_engine_actions(site, 0, finish_actions);
         // 4. Everything buffered while down arrives now.
         let held = std::mem::take(&mut self.held_wires[site.index()]);
-        let wires = held.into_iter().map(|(from, wire)| (from, site, wire)).collect();
+        let wires =
+            held.into_iter().map(|(domain, from, wire)| (from, site, domain, wire)).collect();
         self.replay_staggered(wires);
     }
 
     /// Schedules held wires for delivery now, 10 µs apart in hold order —
     /// the one replay policy shared by crash recovery and partition heal.
-    fn replay_staggered(&mut self, wires: Vec<(SiteId, SiteId, Wire<TxnPayload>)>) {
+    fn replay_staggered(&mut self, wires: Vec<(SiteId, SiteId, u16, Wire<TxnPayload>)>) {
         let now = self.queue.now();
         let mut delay = SimDuration::from_micros(10);
-        for (from, to, wire) in wires {
-            self.queue.schedule(now + delay, Ev::Wire { from, to, wire });
+        for (from, to, domain, wire) in wires {
+            self.queue.schedule(now + delay, Ev::Wire { from, to, domain, wire });
             delay += SimDuration::from_micros(10);
         }
     }
@@ -1330,56 +2175,171 @@ impl Cluster {
         }
     }
 
-    fn apply_engine_actions(&mut self, site: SiteId, actions: Vec<EngineAction<TxnPayload>>) {
+    fn apply_engine_actions(
+        &mut self,
+        site: SiteId,
+        domain: u16,
+        actions: Vec<EngineAction<TxnPayload>>,
+    ) {
         let now = self.queue.now();
+        let segment = self.topology.segment_of(domain as usize);
         for a in actions {
             match a {
                 EngineAction::Multicast(wire) => {
                     let size = wire.size_bytes();
-                    let deliveries = self.net.multicast(site, size, now, &mut self.rng);
+                    let deliveries = self.net.multicast_to_on(
+                        segment,
+                        site,
+                        &self.topology.domains[domain as usize].members,
+                        size,
+                        now,
+                        &mut self.rng,
+                    );
                     // The last delivery takes ownership; the rest clone
                     // (cheap: payloads are Arc-shared).
                     let mut wire = Some(wire);
                     let last = deliveries.len().saturating_sub(1);
                     for (i, d) in deliveries.into_iter().enumerate() {
+                        if self.topology.cross_frame(site, d.to) {
+                            self.cross_group_frames += 1;
+                        }
                         let w = if i == last {
                             wire.take().expect("one take per multicast")
                         } else {
                             wire.as_ref().expect("taken only at the end").clone()
                         };
-                        self.queue.schedule(d.arrival, Ev::Wire { from: site, to: d.to, wire: w });
+                        self.queue.schedule(
+                            d.arrival,
+                            Ev::Wire { from: site, to: d.to, domain, wire: w },
+                        );
                     }
                 }
                 EngineAction::Send(to, wire) => {
                     let size = wire.size_bytes();
-                    let d = self.net.unicast(site, to, size, now, &mut self.rng);
-                    self.queue.schedule(d.arrival, Ev::Wire { from: site, to, wire });
+                    if self.topology.cross_frame(site, to) {
+                        self.cross_group_frames += 1;
+                    }
+                    let d = self.net.unicast_on(segment, site, to, size, now, &mut self.rng);
+                    self.queue.schedule(d.arrival, Ev::Wire { from: site, to, domain, wire });
                 }
                 EngineAction::SetTimer { token, delay } => {
-                    self.queue.schedule(now + delay, Ev::Timer { site, token });
+                    self.queue.schedule(now + delay, Ev::Timer { site, domain, token });
                 }
-                EngineAction::OptDeliver(msg) => {
-                    // The one deep copy on the delivery path: the replica
-                    // takes ownership of the request body.
-                    let request = TxnRequest::clone(&msg.payload.0);
-                    self.msg_map[site.index()].insert(msg.id, (request.id, request.class));
-                    let actions = self.replicas[site.index()].on_opt_deliver(request);
-                    self.apply_replica_actions(site, actions);
-                }
-                EngineAction::ToDeliver(ids) => {
-                    // One map borrow and one replica call for the whole
-                    // batch of same-instant definitive deliveries.
-                    let map = &self.msg_map[site.index()];
-                    let batch: Vec<(TxnId, ClassId)> = ids
-                        .iter()
-                        .map(|id| {
-                            *map.get(id).expect("Local Order: Opt-delivery precedes TO-delivery")
-                        })
-                        .collect();
-                    let actions = self.replicas[site.index()].on_to_deliver_batch(&batch);
-                    self.apply_replica_actions(site, actions);
-                }
+                EngineAction::OptDeliver(msg) => self.opt_deliver(site, domain, msg),
+                EngineAction::ToDeliver(ids) => self.to_deliver(site, domain, ids),
             }
+        }
+    }
+
+    /// One tentative delivery from domain `domain`'s stream at `site`.
+    fn opt_deliver(&mut self, site: SiteId, domain: u16, msg: Message<TxnPayload>) {
+        if self.topology.is_relay(domain as usize) {
+            // Relay descriptors never touch the replica: they only stock
+            // the descriptor store the definitive relay order consumes.
+            let TxnPayload::Cross(tag) = &msg.payload else {
+                unreachable!("relay stream carries only cross descriptors")
+            };
+            self.relay_map[site.index()].insert(msg.id, Arc::clone(tag));
+            return;
+        }
+        let TxnPayload::Txn { req, cross } = &msg.payload else {
+            unreachable!("group streams carry only transactions")
+        };
+        self.msg_map[site.index()].insert(msg.id, (Arc::clone(req), *cross));
+        if self.config.groups > 1 && !self.gates[site.index()].seen_opt.insert(req.id) {
+            return; // duplicate cross-sub copy; the replica saw the first
+        }
+        // The one deep copy on the delivery path: the replica takes
+        // ownership of the request body.
+        let request = TxnRequest::clone(req);
+        let actions = self.replicas[site.index()].on_opt_deliver(request);
+        self.apply_replica_actions(site, actions);
+    }
+
+    /// A batch of definitive deliveries from domain `domain` at `site`.
+    /// ("TO" is the paper's total-order verb, not a conversion prefix.)
+    #[allow(clippy::wrong_self_convention)]
+    fn to_deliver(&mut self, site: SiteId, domain: u16, ids: Vec<MsgId>) {
+        if self.topology.is_relay(domain as usize) {
+            self.process_relay_to(site, &ids);
+            return;
+        }
+        if self.config.groups == 1 {
+            // Unsharded: the gate is inert — one map borrow and one
+            // replica call for the whole batch of same-instant definitive
+            // deliveries (the pre-sharding path, byte-identical).
+            let map = &self.msg_map[site.index()];
+            let batch: Vec<(TxnId, ClassId)> = ids
+                .iter()
+                .map(|id| {
+                    let (req, _) =
+                        map.get(id).expect("Local Order: Opt-delivery precedes TO-delivery");
+                    (req.id, req.class)
+                })
+                .collect();
+            let actions = self.replicas[site.index()].on_to_deliver_batch(&batch);
+            self.apply_replica_actions(site, actions);
+            return;
+        }
+        for id in &ids {
+            let (req, cross) = {
+                let (req, cross) = self.msg_map[site.index()]
+                    .get(id)
+                    .expect("Local Order: Opt-delivery precedes TO-delivery");
+                (Arc::clone(req), *cross)
+            };
+            let gate = &mut self.gates[site.index()];
+            if !gate.seen_to.insert(req.id) {
+                continue; // duplicate cross-sub copy, already queued
+            }
+            gate.queue.push_back((req, cross));
+        }
+        self.drain_gate(site);
+    }
+
+    /// Releases everything the gate's rules admit to the replica.
+    fn drain_gate(&mut self, site: SiteId) {
+        let batch = self.gates[site.index()].release();
+        if !batch.is_empty() {
+            let actions = self.replicas[site.index()].on_to_deliver_batch(&batch);
+            self.apply_replica_actions(site, actions);
+        }
+    }
+
+    /// Consumes definitively-delivered relay descriptors at `site`: each
+    /// new cross id extends the gate's relay order and this site
+    /// broadcasts its own group's sub into the group stream. Every live
+    /// member of a group injects the sub (distinct message ids, same
+    /// transaction id — the gate's dedup sets collapse the copies), so a
+    /// crashed origin site can never stall a cross-group transaction:
+    /// one live member suffices.
+    fn process_relay_to(&mut self, site: SiteId, ids: &[MsgId]) {
+        if self.recovering[site.index()] {
+            // Folded in from `relay_processed` when recovery finishes.
+            return;
+        }
+        for id in ids {
+            let tag = Arc::clone(
+                self.relay_map[site.index()]
+                    .get(id)
+                    .expect("relay Local Order: descriptor Opt-delivery precedes TO-delivery"),
+            );
+            self.relay_processed[site.index()] += 1;
+            if !self.gates[site.index()].relay_seen.insert(tag.cross) {
+                continue;
+            }
+            let my_group = self.topology.group_of_site(site);
+            let Some(sub) =
+                tag.subs.iter().find(|s| self.topology.group_of_class(s.class) == my_group)
+            else {
+                continue; // descriptor has no sub for this site's group
+            };
+            self.gates[site.index()].relay_order.push(tag.cross);
+            let payload = TxnPayload::Txn { req: Arc::clone(sub), cross: Some(tag.cross) };
+            let (engine, ctx) = self.engine_parts(site, my_group);
+            let (_msg_id, actions) = engine.broadcast(&ctx, payload);
+            self.apply_engine_actions(site, my_group as u16, actions);
+            self.drain_gate(site);
         }
     }
 
@@ -1395,21 +2355,35 @@ impl Cluster {
                 ReplicaAction::Committed { txn, index: _, output } => {
                     // Tracked per site: a recovery replay can re-commit at
                     // the same site (see below) and must not make the
-                    // global-commit count reach `sites` early.
+                    // group-commit count reach the group size early.
                     let committed_at = self.commit_sites.entry(txn).or_default();
                     let first_at_site = committed_at.insert(site);
-                    // A site that commits at its origin, crashes, and is
-                    // recovered from a donor that never saw the
-                    // transaction legitimately re-commits it on replay —
-                    // count the completion (and its latency) only once.
-                    if txn.origin == site && !self.txn_outputs.contains_key(&txn) {
+                    // The home site (the group member that broadcast the
+                    // request) counts completion; cross subs have no home
+                    // — their first commit anywhere completes them. A site
+                    // that commits, crashes, and is recovered from a donor
+                    // that never saw the transaction legitimately
+                    // re-commits it on replay — count the completion (and
+                    // its latency) only once.
+                    let is_home = match self.home_site.get(&txn) {
+                        Some(h) => *h == site,
+                        None => true,
+                    };
+                    if is_home && !self.txn_outputs.contains_key(&txn) {
                         self.completed += 1;
                         if let Some(t0) = self.submit_time.get(&txn) {
                             self.commit_latency.record(now.saturating_since(*t0));
                         }
                         self.txn_outputs.insert(txn, output);
                     }
-                    if first_at_site && self.commit_sites[&txn].len() == self.config.sites {
+                    // "Global" commit = committed at every member of the
+                    // ordering group (the whole cluster when unsharded).
+                    let group_size = self
+                        .txn_group
+                        .get(&txn)
+                        .map(|g| self.topology.domains[*g as usize].len())
+                        .unwrap_or(self.config.sites);
+                    if first_at_site && self.commit_sites[&txn].len() == group_size {
                         if let Some(t0) = self.submit_time.get(&txn) {
                             self.global_commit_latency.record(now.saturating_since(*t0));
                         }
@@ -1425,6 +2399,7 @@ impl std::fmt::Debug for Cluster {
         f.debug_struct("Cluster")
             .field("sites", &self.config.sites)
             .field("classes", &self.config.classes)
+            .field("groups", &self.config.groups)
             .field("mode", &self.config.mode)
             .field("now", &self.queue.now())
             .field("completed", &self.completed)
@@ -1464,6 +2439,10 @@ mod tests {
         data
     }
 
+    fn cluster(cfg: ClusterConfig, data: Vec<(ObjectId, Value)>) -> Cluster {
+        ClusterBuilder::from_config(cfg).registry(test_registry()).initial_data(data).build()
+    }
+
     fn drive_workload(cluster: &mut Cluster, txns: u64, spacing: SimDuration) {
         let sites = cluster.config().sites;
         let classes = cluster.config().classes;
@@ -1485,7 +2464,7 @@ mod tests {
     #[test]
     fn otp_cluster_end_to_end() {
         let cfg = ClusterConfig::new(4, 4).with_seed(7);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(4, 2));
+        let mut c = cluster(cfg, initial_data(4, 2));
         drive_workload(&mut c, 40, SimDuration::from_millis(1));
         c.run_until(SimTime::from_secs(60));
         let stats = c.stats();
@@ -1505,7 +2484,7 @@ mod tests {
     #[test]
     fn conservative_cluster_end_to_end() {
         let cfg = ClusterConfig::new(3, 2).with_mode(Mode::Conservative).with_seed(11);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 2));
+        let mut c = cluster(cfg, initial_data(2, 2));
         drive_workload(&mut c, 20, SimDuration::from_millis(1));
         c.run_until(SimTime::from_secs(60));
         let stats = c.stats();
@@ -1519,7 +2498,7 @@ mod tests {
     fn otp_and_conservative_agree_on_final_state() {
         let mk = |mode| {
             let cfg = ClusterConfig::new(3, 2).with_mode(mode).with_seed(5);
-            let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+            let mut c = cluster(cfg, initial_data(2, 1));
             drive_workload(&mut c, 30, SimDuration::from_micros(700));
             c.run_until(SimTime::from_secs(60));
             c
@@ -1544,7 +2523,7 @@ mod tests {
                 swap_probability: 0.3,
             })
             .with_seed(13);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(1, 1));
+        let mut c = cluster(cfg, initial_data(1, 1));
         drive_workload(&mut c, 60, SimDuration::from_micros(500));
         c.run_until(SimTime::from_secs(120));
         let stats = c.stats();
@@ -1563,7 +2542,7 @@ mod tests {
     #[test]
     fn queries_snapshot_consistently() {
         let cfg = ClusterConfig::new(3, 2).with_seed(17);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 20, SimDuration::from_millis(1));
         // Queries at various times, reading both classes.
         for i in 0..10u64 {
@@ -1586,7 +2565,7 @@ mod tests {
             .with_engine(EngineKind::Sequencer)
             .with_mode(Mode::Conservative)
             .with_seed(23);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 15, SimDuration::from_millis(1));
         c.run_until(SimTime::from_secs(60));
         assert_eq!(c.stats().completed, 15);
@@ -1596,7 +2575,7 @@ mod tests {
     #[test]
     fn crash_recovery_converges() {
         let cfg = ClusterConfig::new(4, 2).with_seed(29);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         // Phase 1 workload — submitted at sites 0-2 only, so the crash of
         // site 3 cannot lose client requests (a crashed origin drops its
         // own unsent submissions by design).
@@ -1636,7 +2615,7 @@ mod tests {
     #[test]
     fn crash_recovery_converges_in_conservative_mode() {
         let cfg = ClusterConfig::new(4, 2).with_mode(Mode::Conservative).with_seed(43);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         let mut t = SimTime::from_millis(1);
         for i in 0..20u64 {
             c.schedule_update(
@@ -1670,7 +2649,7 @@ mod tests {
     #[test]
     fn version_gc_bounds_history_without_breaking_queries() {
         let cfg = ClusterConfig::new(3, 1).with_seed(37);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(1, 1));
+        let mut c = cluster(cfg, initial_data(1, 1));
         // 50 updates on the same key → 50 versions + the initial one.
         drive_workload(&mut c, 50, SimDuration::from_millis(2));
         c.run_until(SimTime::from_secs(60));
@@ -1692,7 +2671,7 @@ mod tests {
     fn nemesis_partition_heals_and_converges() {
         use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
         let cfg = ClusterConfig::new(4, 2).with_seed(61);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 30, SimDuration::from_millis(1));
         // Site 3 is cut off mid-load; its traffic (and traffic to it) is
         // held at the partition and released at heal.
@@ -1714,7 +2693,7 @@ mod tests {
     fn nemesis_crash_recover_picks_a_live_donor() {
         use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
         let cfg = ClusterConfig::new(4, 2).with_seed(67);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         // Submit from sites 0-2 only so the victim's crash loses nothing.
         let mut t = SimTime::from_millis(1);
         for i in 0..24u64 {
@@ -1744,7 +2723,7 @@ mod tests {
     fn nemesis_loss_burst_and_jitter_spike_only_delay() {
         use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
         let cfg = ClusterConfig::new(3, 2).with_seed(71);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 30, SimDuration::from_millis(1));
         let schedule = NemesisSchedule::from_events(vec![
             (SimTime::from_millis(3), NemesisEvent::LossBurst { probability: 0.3 }),
@@ -1777,7 +2756,7 @@ mod tests {
             },
         ] {
             let cfg = ClusterConfig::new(4, 2).with_engine(engine).with_seed(83);
-            let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+            let mut c = cluster(cfg, initial_data(2, 1));
             // Site 0 submits while isolated: its multicast is held at the
             // cut. Then it crashes and recovers from site 1 mid-partition.
             c.schedule_update(
@@ -1823,7 +2802,7 @@ mod tests {
         let schedule = NemesisSchedule::generate(5, 4, horizon, &NemesisKnobs::hostile());
         assert!(!schedule.is_empty());
         let cfg = ClusterConfig::new(4, 2).with_seed(5);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 40, SimDuration::from_millis(5));
         c.schedule_nemesis(&schedule);
         // Liveness probes once the schedule is quiescent.
@@ -1848,7 +2827,7 @@ mod tests {
     #[test]
     fn invariants_flag_a_phantom_probe() {
         let cfg = ClusterConfig::new(3, 2).with_seed(73);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 10, SimDuration::from_millis(1));
         c.run_until(SimTime::from_secs(60));
         let phantom = TxnId::new(SiteId::new(0), 999_999);
@@ -1869,7 +2848,7 @@ mod tests {
             EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(250) },
         ] {
             let cfg = ClusterConfig::new(4, 2).with_engine(engine).with_seed(97);
-            let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+            let mut c = cluster(cfg, initial_data(2, 1));
             assert_eq!(c.current_view().id, otp_view::ViewId(0), "boot view");
             // Site 3 bounces twice: views 1 and 2 install.
             c.schedule_crash(SimTime::from_millis(5), SiteId::new(3));
@@ -1908,7 +2887,7 @@ mod tests {
     #[test]
     fn epoch_invariants_flag_regression_and_divergence() {
         let cfg = ClusterConfig::new(3, 2).with_seed(101);
-        let mut c = Cluster::new(cfg, test_registry(), initial_data(2, 1));
+        let mut c = cluster(cfg, initial_data(2, 1));
         drive_workload(&mut c, 6, SimDuration::from_millis(1));
         c.run_until(SimTime::from_secs(30));
         assert!(c.check_invariants(&[]).is_ok());
@@ -1931,19 +2910,202 @@ mod tests {
                 swap_probability: 0.0,
             })
             .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(5)));
-        let mut otp = Cluster::new(base.clone().with_seed(31), test_registry(), initial_data(4, 1));
+        let mut otp = cluster(base.clone().with_seed(31), initial_data(4, 1));
         drive_workload(&mut otp, 24, SimDuration::from_millis(8));
         otp.run_until(SimTime::from_secs(60));
-        let mut cons = Cluster::new(
-            base.with_mode(Mode::Conservative).with_seed(31),
-            test_registry(),
-            initial_data(4, 1),
-        );
+        let mut cons =
+            cluster(base.with_mode(Mode::Conservative).with_seed(31), initial_data(4, 1));
         drive_workload(&mut cons, 24, SimDuration::from_millis(8));
         cons.run_until(SimTime::from_secs(60));
 
         let lo = otp.stats().commit_latency.mean();
         let lc = cons.stats().commit_latency.mean();
         assert!(lo < lc, "OTP ({lo}) must beat conservative ({lc}) by overlapping agreement");
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded sequencing groups
+    // ------------------------------------------------------------------
+
+    fn sharded_cfg(sites: usize, classes: usize, groups: usize, seed: u64) -> ClusterConfig {
+        ClusterConfig::new(sites, classes)
+            .with_engine(EngineKind::Sequencer)
+            .with_groups(groups)
+            .with_seed(seed)
+    }
+
+    /// The gate's three release rules, exercised directly: plain heads
+    /// release unconditionally, cross heads wait for their relay slot,
+    /// and the relay's next admission jumps a stalled cross head.
+    #[test]
+    fn cross_gate_release_rules() {
+        let req = |n: u64, class: u32| {
+            Arc::new(TxnRequest::new(
+                TxnId::new(SiteId::new(0), n),
+                ClassId::new(class),
+                ProcId::new(0),
+                vec![],
+            ))
+        };
+        let mut g = CrossGate::default();
+        // Rule 1: a plain head releases immediately.
+        g.queue.push_back((req(0, 0), None));
+        assert_eq!(g.release().len(), 1);
+        // Rule 2: a cross head stalls until the relay admits its id...
+        g.queue.push_back((req(1, 0), Some(7)));
+        assert!(g.release().is_empty(), "no relay slot yet");
+        g.relay_order.push(7);
+        let out = g.release();
+        assert_eq!(out, vec![(TxnId::new(SiteId::new(0), 1), ClassId::new(0))]);
+        // Rule 3: relay order [.., 9, 8] vs queue [8, 9] — the relay's
+        // next admission (9) jumps the stalled head (8), then 8 follows
+        // once the relay admits it.
+        g.relay_order.push(9);
+        g.queue.push_back((req(2, 0), Some(8)));
+        g.queue.push_back((req(3, 0), Some(9)));
+        let out = g.release();
+        assert_eq!(out, vec![(TxnId::new(SiteId::new(0), 3), ClassId::new(0))], "9 jumps");
+        g.relay_order.push(8);
+        let out = g.release();
+        assert_eq!(out, vec![(TxnId::new(SiteId::new(0), 2), ClassId::new(0))], "8 follows");
+        assert!(g.queue.is_empty());
+    }
+
+    /// A workload where every site submits only its own group's classes
+    /// never produces a single cross-group frame: the two groups run as
+    /// fully independent clusters.
+    #[test]
+    fn sharded_disjoint_workload_stays_in_group() {
+        // 4 sites, 2 groups: sites {0,1} order class 0, sites {2,3} class 1.
+        let cfg = sharded_cfg(4, 2, 2, 7);
+        let mut c = cluster(cfg, initial_data(2, 2));
+        let mut t = SimTime::from_millis(1);
+        for i in 0..20u64 {
+            let (site, class) = if i % 2 == 0 {
+                (SiteId::new((i / 2 % 2) as u16), ClassId::new(0))
+            } else {
+                (SiteId::new((2 + i / 2 % 2) as u16), ClassId::new(1))
+            };
+            c.schedule_update(t, site, class, ProcId::new(0), vec![Value::Int(0), Value::Int(1)]);
+            t += SimDuration::from_millis(1);
+        }
+        c.run_until(SimTime::from_secs(60));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 20);
+        assert_eq!(c.cross_group_frames(), 0, "disjoint workload crosses no group boundary");
+        assert!(c.converged(), "same-group sites agree");
+        let report = c.check_invariants(&[]);
+        assert!(report.is_ok(), "{report}");
+        // 10 adds of +1 per class, each visible at its group's sites.
+        assert_eq!(c.replicas[0].db().read_committed(ObjectId::new(0, 0)), Some(&Value::Int(10)));
+        assert_eq!(c.replicas[2].db().read_committed(ObjectId::new(1, 0)), Some(&Value::Int(10)));
+    }
+
+    /// A request for a foreign group's class is forwarded to a live
+    /// member of that group (one gateway unicast) and commits there.
+    #[test]
+    fn sharded_gateway_forwards_foreign_class() {
+        let cfg = sharded_cfg(4, 2, 2, 19);
+        let mut c = cluster(cfg, initial_data(2, 1));
+        // Site 0 (group 0) submits a class-1 transaction (group 1).
+        c.schedule_update(
+            SimTime::from_millis(1),
+            SiteId::new(0),
+            ClassId::new(1),
+            ProcId::new(0),
+            vec![Value::Int(0), Value::Int(1)],
+        );
+        c.run_until(SimTime::from_secs(30));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 1, "forwarded request commits");
+        assert!(c.cross_group_frames() > 0, "the forward itself crossed groups");
+        assert_eq!(c.replicas[2].db().read_committed(ObjectId::new(1, 0)), Some(&Value::Int(1)));
+        // The submitting group never sees the data: class 1 lives in
+        // group 1's replicas only.
+        assert_eq!(c.replicas[0].db().read_committed(ObjectId::new(1, 0)), Some(&Value::Int(0)));
+    }
+
+    /// A cross-group update's subs commit in every involved group, and
+    /// the invariant bundle (including cross-serialization) holds.
+    #[test]
+    fn sharded_cross_update_commits_in_both_groups() {
+        let cfg = sharded_cfg(4, 2, 2, 23);
+        let mut c = cluster(cfg, initial_data(2, 1));
+        // Background single-group traffic in both groups.
+        let mut t = SimTime::from_millis(1);
+        for i in 0..8u64 {
+            let (site, class) = if i % 2 == 0 {
+                (SiteId::new(0), ClassId::new(0))
+            } else {
+                (SiteId::new(2), ClassId::new(1))
+            };
+            c.schedule_update(t, site, class, ProcId::new(0), vec![Value::Int(0), Value::Int(1)]);
+            t += SimDuration::from_millis(1);
+        }
+        // One cross-group transaction touching both classes.
+        let ids = c.schedule_cross_update(
+            SimTime::from_millis(4),
+            SiteId::new(1),
+            vec![
+                (ClassId::new(0), ProcId::new(0), vec![Value::Int(0), Value::Int(100)]),
+                (ClassId::new(1), ProcId::new(0), vec![Value::Int(0), Value::Int(100)]),
+            ],
+        );
+        assert_eq!(ids.len(), 2);
+        c.run_until(SimTime::from_secs(60));
+        let stats = c.stats();
+        assert_eq!(stats.completed, 10, "8 singles + 2 cross subs");
+        assert!(c.converged());
+        let report = c.check_invariants(&[]);
+        assert!(report.is_ok(), "{report}");
+        // 4 adds of +1 plus one add of +100 per class.
+        assert_eq!(c.replicas[0].db().read_committed(ObjectId::new(0, 0)), Some(&Value::Int(104)));
+        assert_eq!(c.replicas[3].db().read_committed(ObjectId::new(1, 0)), Some(&Value::Int(104)));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not partition evenly")]
+    fn builder_rejects_uneven_site_partition() {
+        let _ = ClusterBuilder::from_config(
+            ClusterConfig::new(5, 2).with_engine(EngineKind::Sequencer).with_groups(2),
+        )
+        .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one conflict class")]
+    fn builder_rejects_fewer_classes_than_groups() {
+        let _ = ClusterBuilder::from_config(
+            ClusterConfig::new(4, 1).with_engine(EngineKind::Sequencer).with_groups(2),
+        )
+        .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "sequencer-family engine")]
+    fn builder_rejects_non_sequencer_engine_for_groups() {
+        let _ = ClusterBuilder::from_config(ClusterConfig::new(4, 2).with_groups(2)).build();
+    }
+
+    #[test]
+    fn submit_rejects_down_site_and_accepts_live_one() {
+        let cfg = ClusterConfig::new(3, 2).with_seed(3);
+        let mut c = cluster(cfg, initial_data(2, 1));
+        c.schedule_crash(SimTime::from_millis(1), SiteId::new(2));
+        c.run_until(SimTime::from_millis(2));
+        assert_eq!(
+            c.submit(SiteId::new(2), ClassId::new(0), ProcId::new(0), vec![]),
+            Err(SubmitError::SiteDown)
+        );
+        let id = c
+            .submit(
+                SiteId::new(0),
+                ClassId::new(0),
+                ProcId::new(0),
+                vec![Value::Int(0), Value::Int(1)],
+            )
+            .expect("live site admits");
+        c.run_until(SimTime::from_secs(30));
+        assert!(c.txn_outputs.contains_key(&id), "admitted request committed");
     }
 }

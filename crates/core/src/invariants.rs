@@ -53,6 +53,19 @@ pub enum InvariantViolation {
         /// Index at `other`.
         other_index: TxnIndex,
     },
+    /// Two live sites observed a different relative order of the
+    /// cross-group transactions they have in common: the relay's
+    /// serialization of cross-group work was not respected everywhere.
+    CrossOrderMismatch {
+        /// First site.
+        site: SiteId,
+        /// The cross-id sequence it committed (restricted to common ids).
+        seq: Vec<u64>,
+        /// Second site.
+        other: SiteId,
+        /// The cross-id sequence it committed (restricted to common ids).
+        other_seq: Vec<u64>,
+    },
     /// A live site's committed database differs from the reference live
     /// site's.
     Diverged {
@@ -100,6 +113,13 @@ impl fmt::Display for InvariantViolation {
                     f,
                     "commit order mismatch: {txn} has index {index} at {site} \
                      but {other_index} at {other}"
+                )
+            }
+            InvariantViolation::CrossOrderMismatch { site, seq, other, other_seq } => {
+                write!(
+                    f,
+                    "cross-group order mismatch: {site} committed cross ids {seq:?} \
+                     but {other} committed {other_seq:?}"
                 )
             }
             InvariantViolation::Diverged { site, reference } => {
@@ -185,6 +205,17 @@ pub struct RunHistories {
     /// without view changes pass empty vectors (the checks pass
     /// trivially).
     pub epoch_history: Vec<Vec<u64>>,
+    /// Ordering group of each site (all zeros for an unsharded run).
+    /// Order, convergence and divergence checks compare only same-group
+    /// sites: different groups legitimately hold different data.
+    pub site_group: Vec<u16>,
+    /// Home ordering group of each transaction the driver routed. Probes
+    /// missing from this map are checked at every live site.
+    pub txn_group: HashMap<TxnId, u16>,
+    /// Cross-group id of every sub-transaction spawned by a cross-group
+    /// update, keyed by sub id. Feeds the cross-order check; empty for
+    /// unsharded runs.
+    pub cross_of: HashMap<TxnId, u64>,
 }
 
 impl RunHistories {
@@ -220,8 +251,14 @@ pub fn check_invariants(run: &RunHistories, probes: &[TxnId]) -> InvariantReport
         .iter()
         .map(|s| (*s, run.commit_logs[s.index()].iter().copied().collect::<HashMap<_, _>>()))
         .collect();
+    let group_of = |s: &SiteId| run.site_group.get(s.index()).copied().unwrap_or(0);
     for (i, (site, map)) in index_maps.iter().enumerate() {
         for (other, other_map) in &index_maps[i + 1..] {
+            // Definitive indexes are per-group sequence positions; sites
+            // in different groups share no index space.
+            if group_of(site) != group_of(other) {
+                continue;
+            }
             for (txn, index) in map {
                 if let Some(other_index) = other_map.get(txn) {
                     if other_index != index {
@@ -238,20 +275,64 @@ pub fn check_invariants(run: &RunHistories, probes: &[TxnId]) -> InvariantReport
         }
     }
 
-    // 3. Convergence: identical committed state at every live site.
-    if let Some(reference) = live.first() {
-        let ref_db = &run.dbs[reference.index()];
-        for site in &live[1..] {
-            if !run.dbs[site.index()].committed_state_eq(ref_db) {
-                violations
-                    .push(InvariantViolation::Diverged { site: *site, reference: *reference });
+    // 2b. Cross-group serialization: every live site commits its subs of
+    // cross-group transactions in relay order, so any two sites must
+    // agree on the relative order of the cross ids they share — even
+    // (especially) across group boundaries.
+    if !run.cross_of.is_empty() {
+        let cross_seqs: Vec<(SiteId, Vec<u64>)> = live
+            .iter()
+            .map(|s| {
+                let seq: Vec<u64> = run.commit_logs[s.index()]
+                    .iter()
+                    .filter_map(|(txn, _)| run.cross_of.get(txn).copied())
+                    .collect();
+                (*s, seq)
+            })
+            .collect();
+        for (i, (site, seq)) in cross_seqs.iter().enumerate() {
+            for (other, other_seq) in &cross_seqs[i + 1..] {
+                let common: std::collections::HashSet<u64> =
+                    seq.iter().filter(|c| other_seq.contains(c)).copied().collect();
+                let a: Vec<u64> = seq.iter().filter(|c| common.contains(c)).copied().collect();
+                let b: Vec<u64> =
+                    other_seq.iter().filter(|c| common.contains(c)).copied().collect();
+                if a != b {
+                    violations.push(InvariantViolation::CrossOrderMismatch {
+                        site: *site,
+                        seq: a,
+                        other: *other,
+                        other_seq: b,
+                    });
+                }
             }
         }
     }
 
-    // 4. Liveness after heal: every probe committed at every live site.
+    // 3. Convergence: identical committed state at every live site of
+    // each group (different groups hold different conflict classes).
+    let mut group_reference: HashMap<u16, SiteId> = HashMap::new();
+    for site in live {
+        let reference = *group_reference.entry(group_of(site)).or_insert(*site);
+        if reference == *site {
+            continue;
+        }
+        if !run.dbs[site.index()].committed_state_eq(&run.dbs[reference.index()]) {
+            violations.push(InvariantViolation::Diverged { site: *site, reference });
+        }
+    }
+
+    // 4. Liveness after heal: every probe committed at every live site of
+    // its home group (a probe the router never saw is expected at every
+    // live site, so a phantom is loud everywhere).
     for probe in probes {
+        let home = run.txn_group.get(probe);
         for (site, map) in &index_maps {
+            if let Some(g) = home {
+                if group_of(site) != *g {
+                    continue;
+                }
+            }
             if !map.contains_key(probe) {
                 violations.push(InvariantViolation::ProbeLost { probe: *probe, site: *site });
             }
@@ -276,8 +357,15 @@ pub fn check_invariants(run: &RunHistories, probes: &[TxnId]) -> InvariantReport
             }
         }
     }
-    let newest = live.iter().map(installed).max().unwrap_or(0);
+    // View epochs are per-group-domain: a live site must match the newest
+    // epoch installed within *its* group, not cluster-wide.
+    let mut group_newest: HashMap<u16, u64> = HashMap::new();
     for site in live {
+        let e = group_newest.entry(group_of(site)).or_insert(0);
+        *e = (*e).max(installed(site));
+    }
+    for site in live {
+        let newest = group_newest.get(&group_of(site)).copied().unwrap_or(0);
         if installed(site) < newest {
             violations.push(InvariantViolation::EpochDiverged {
                 site: *site,
@@ -300,6 +388,9 @@ impl Cluster {
             dbs: self.replicas.iter().map(|r| r.db().clone()).collect(),
             live: self.live_sites(),
             epoch_history: self.epoch_history.clone(),
+            site_group: self.topology.site_group.clone(),
+            txn_group: self.txn_group.clone(),
+            cross_of: self.cross_of.clone(),
         }
     }
 

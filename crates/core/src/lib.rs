@@ -27,7 +27,7 @@
 //! # Quick example: a 4-site OTP cluster
 //!
 //! ```
-//! use otp_core::{Cluster, ClusterConfig};
+//! use otp_core::{ClusterBuilder, ClusterConfig};
 //! use otp_simnet::{SimTime, SiteId};
 //! use otp_storage::{ClassId, ObjectId, ObjectKey, ProcId, ProcRegistry, Value};
 //! use std::sync::Arc;
@@ -41,12 +41,11 @@
 //!     Ok(())
 //! });
 //!
-//! let mut cluster = Cluster::new(
-//!     ClusterConfig::new(4, 2),
-//!     Arc::new(reg),
-//!     vec![(ObjectId::new(0, 0), Value::Int(100)),
-//!          (ObjectId::new(1, 0), Value::Int(100))],
-//! );
+//! let mut cluster = ClusterBuilder::from_config(ClusterConfig::new(4, 2))
+//!     .registry(Arc::new(reg))
+//!     .initial_data(vec![(ObjectId::new(0, 0), Value::Int(100)),
+//!                        (ObjectId::new(1, 0), Value::Int(100))])
+//!     .build();
 //! cluster.schedule_update(
 //!     SimTime::from_millis(1), SiteId::new(2), ClassId::new(0), debit,
 //!     vec![Value::Int(30)],
@@ -73,11 +72,12 @@ pub mod runtime;
 
 pub use asynchronous::{AsyncCluster, AsyncConfig, WriteSet};
 pub use cluster::{
-    AnyReplica, Cluster, ClusterConfig, DurationDist, EngineKind, Mode, RunStats, TxnPayload,
+    AnyReplica, Cluster, ClusterBuilder, ClusterConfig, CrossTag, DurationDist, EngineKind, Mode,
+    RunStats, SubmitError, TxnPayload,
 };
 pub use conservative::ConservativeReplica;
 pub use event::{ExecToken, ReplicaAction};
 pub use invariants::{check_invariants, InvariantReport, InvariantViolation, RunHistories};
 pub use multiclass::{MultiAction, MultiRegistry, MultiReplica, MultiRequest};
 pub use replica::{Replica, ReplicaSnapshot};
-pub use runtime::{LiveCluster, LiveConfig, LiveReport, SubmitError};
+pub use runtime::{LiveCluster, LiveConfig, LiveReport};

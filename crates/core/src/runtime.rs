@@ -74,8 +74,8 @@ use crate::event::ReplicaAction;
 use crate::invariants::{InvariantReport, RunHistories};
 use crate::replica::Replica;
 use otp_broadcast::{
-    AtomicBroadcast, EngineAction, MsgId, OptAbcast, OptAbcastConfig, Oracle, ScrambleConfig,
-    ScrambledAbcast, SeqAbcast, TimerToken, Wire,
+    AtomicBroadcast, EngineAction, EngineCtx, MsgId, OptAbcast, OptAbcastConfig, Oracle,
+    OrderDomain, ScrambleConfig, ScrambledAbcast, SeqAbcast, TimerToken, Wire,
 };
 use otp_simnet::metrics::{Counters, Histogram};
 use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
@@ -192,27 +192,7 @@ impl LiveConfig {
     }
 }
 
-/// Why a submission was not admitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitError {
-    /// The admission window or the site queue is full. Retry later (the
-    /// blocking [`LiveCluster::submit`] does this for you).
-    Backpressure,
-    /// Admissions are halted: shutdown has begun (or
-    /// [`LiveCluster::halt_admissions`] was called).
-    ShuttingDown,
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::Backpressure => write!(f, "admission window full"),
-            SubmitError::ShuttingDown => write!(f, "cluster is shutting down"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
+pub use crate::cluster::SubmitError;
 
 enum SiteMsg {
     Wire { from: SiteId, wire: Wire<TxnPayload> },
@@ -399,6 +379,9 @@ impl LiveReport {
             dbs: self.dbs.clone(),
             live: SiteId::all(self.dbs.len()).collect(),
             epoch_history: vec![Vec::new(); self.dbs.len()],
+            site_group: vec![0; self.dbs.len()],
+            txn_group: std::collections::HashMap::new(),
+            cross_of: std::collections::HashMap::new(),
         }
     }
 
@@ -608,18 +591,18 @@ impl LiveCluster {
         let engines: Vec<LiveEngine> = match config.engine {
             EngineKind::Opt { consensus_timeout } => {
                 let cfg = OptAbcastConfig::new(n, consensus_timeout);
-                SiteId::all(n).map(|s| Box::new(OptAbcast::new(s, cfg)) as LiveEngine).collect()
+                (0..n).map(|_| Box::new(OptAbcast::new(cfg)) as LiveEngine).collect()
             }
             EngineKind::OptBatched { consensus_timeout, batch_delay } => {
                 let cfg = OptAbcastConfig::new(n, consensus_timeout).with_batch_delay(batch_delay);
-                SiteId::all(n).map(|s| Box::new(OptAbcast::new(s, cfg)) as LiveEngine).collect()
+                (0..n).map(|_| Box::new(OptAbcast::new(cfg)) as LiveEngine).collect()
             }
-            EngineKind::Sequencer => SiteId::all(n)
-                .map(|s| Box::new(SeqAbcast::new(s, SiteId::new(0))) as LiveEngine)
-                .collect(),
-            EngineKind::SequencerBatched { order_delay } => SiteId::all(n)
-                .map(|s| {
-                    Box::new(SeqAbcast::new(s, SiteId::new(0)).with_order_batching(order_delay))
+            EngineKind::Sequencer => {
+                (0..n).map(|_| Box::new(SeqAbcast::new(SiteId::new(0))) as LiveEngine).collect()
+            }
+            EngineKind::SequencerBatched { order_delay } => (0..n)
+                .map(|_| {
+                    Box::new(SeqAbcast::new(SiteId::new(0)).with_order_batching(order_delay))
                         as LiveEngine
                 })
                 .collect(),
@@ -627,9 +610,9 @@ impl LiveCluster {
                 let oracle = Oracle::new();
                 let mut rng = SimRng::seed_from(config.seed ^ 0x5ca1ab1e);
                 let cfg = ScrambleConfig { agreement_delay, swap_probability };
-                SiteId::all(n)
-                    .map(|s| {
-                        Box::new(ScrambledAbcast::new(s, cfg, Arc::clone(&oracle), rng.fork()))
+                (0..n)
+                    .map(|_| {
+                        Box::new(ScrambledAbcast::new(cfg, Arc::clone(&oracle), rng.fork()))
                             as LiveEngine
                     })
                     .collect()
@@ -661,6 +644,7 @@ impl LiveCluster {
             let worker = SiteWorker {
                 me,
                 cfg: config.clone(),
+                domain: OrderDomain::global(n),
                 engine,
                 replica,
                 timers: BinaryHeap::new(),
@@ -703,11 +687,11 @@ impl LiveCluster {
         loop {
             match self.admit(site, class, proc, args) {
                 Ok(id) => return Ok(id),
-                Err((SubmitError::ShuttingDown, _)) => return Err(SubmitError::ShuttingDown),
                 Err((SubmitError::Backpressure, returned)) => {
                     args = returned;
                     std::thread::sleep(SUBMIT_RETRY);
                 }
+                Err((e, _)) => return Err(e),
             }
         }
     }
@@ -1127,6 +1111,9 @@ impl Ord for DuePending {
 struct SiteWorker {
     me: SiteId,
     cfg: LiveConfig,
+    /// The single global order domain — the threaded runtime is unsharded,
+    /// so every engine call runs at epoch 0 over all sites.
+    domain: OrderDomain,
     engine: LiveEngine,
     replica: AnyReplica,
     timers: BinaryHeap<DuePending>,
@@ -1291,7 +1278,10 @@ impl SiteWorker {
             SiteMsg::Wire { from, wire } => wires.push((from, wire)),
             SiteMsg::Submit { request } => {
                 self.flush(wires);
-                let (_, actions) = self.engine.broadcast(TxnPayload(Arc::new(request)));
+                let (_, actions) = self.engine.broadcast(
+                    &EngineCtx::new(self.me, &self.domain),
+                    TxnPayload::Txn { req: Arc::new(request), cross: None },
+                );
                 self.apply_engine_actions(actions);
             }
         }
@@ -1302,7 +1292,9 @@ impl SiteWorker {
         if wires.is_empty() {
             return;
         }
-        let actions = self.engine.on_receive_batch(std::mem::take(wires));
+        let actions = self
+            .engine
+            .on_receive_batch(&EngineCtx::new(self.me, &self.domain), std::mem::take(wires));
         self.apply_engine_actions(actions);
     }
 
@@ -1311,7 +1303,8 @@ impl SiteWorker {
             let t = self.timers.pop().expect("peeked");
             match t.what {
                 Pending::Timer(token) => {
-                    let actions = self.engine.on_timer(token);
+                    let actions =
+                        self.engine.on_timer(&EngineCtx::new(self.me, &self.domain), token);
                     self.apply_engine_actions(actions);
                 }
                 Pending::ExecDone(token) => {
@@ -1397,8 +1390,11 @@ impl SiteWorker {
                     });
                 }
                 EngineAction::OptDeliver(msg) => {
+                    let TxnPayload::Txn { req, .. } = &msg.payload else {
+                        unreachable!("threaded runtime never broadcasts cross-group descriptors")
+                    };
                     // The one deep copy per transaction per site.
-                    let request = TxnRequest::clone(&msg.payload.0);
+                    let request = TxnRequest::clone(req);
                     self.msg_map.insert(msg.id, (request.id, request.class));
                     let actions = self.replica.on_opt_deliver(request);
                     self.apply_replica_actions(actions);

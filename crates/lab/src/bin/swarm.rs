@@ -37,6 +37,7 @@ struct Args {
     live_fault: Option<LiveFault>,
     intensity: Option<Intensity>,
     txns: Option<u64>,
+    groups: Option<usize>,
     sabotage: Option<Sabotage>,
     repro_out: Option<String>,
     list_cells: bool,
@@ -51,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         live_fault: None,
         intensity: None,
         txns: None,
+        groups: None,
         sabotage: None,
         repro_out: None,
         list_cells: false,
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
             "--live-fault" => args.live_fault = Some(LiveFault::parse(&value("--live-fault")?)?),
             "--intensity" => args.intensity = Some(Intensity::parse(&value("--intensity")?)?),
             "--txns" => args.txns = Some(parse_num(&value("--txns")?)?),
+            "--groups" => args.groups = Some(parse_num(&value("--groups")?)? as usize),
             "--sabotage" => args.sabotage = Some(Sabotage::parse(&value("--sabotage")?)?),
             "--repro-out" => args.repro_out = Some(value("--repro-out")?),
             "--list-cells" => args.list_cells = true,
@@ -73,7 +76,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: swarm [--seeds N] [--start-seed N] [--seed N] \
                      [--grid-cell CELL] [--live-fault crash|partition|stall|pressure] \
-                     [--intensity calm|rough|hostile|viewchange] [--txns N] \
+                     [--intensity calm|rough|hostile|viewchange] [--txns N] [--groups N] \
                      [--sabotage KIND] [--repro-out FILE] [--list-cells]\n\
                      CHAOS_SEEDS bounds the sweep when --seeds is absent; --intensity \
                      restricts the sweep to one nemesis intensity (the CI chaos matrix); \
@@ -146,6 +149,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         let mut spec = CellSpec::new(seed, cell).with_txns(args.txns.unwrap_or(DEFAULT_TXNS));
+        if let Some(g) = args.groups {
+            spec = spec.with_groups(g);
+        }
         if let Some(s) = args.sabotage {
             spec = spec.with_sabotage(s);
         }
@@ -165,6 +171,10 @@ fn main() -> ExitCode {
     }
 
     // Sweep mode.
+    if args.groups.is_some() {
+        eprintln!("swarm: --groups only applies to reproducer mode (--seed --grid-cell); sweep cells derive their group count from the engine column");
+        return ExitCode::FAILURE;
+    }
     let mut config = match args.seeds {
         Some(n) => SwarmConfig::new(n),
         None => SwarmConfig::from_env(),

@@ -31,6 +31,13 @@ pub enum EngineChoice {
     SeqBatch,
     /// Oracle engine with tentative-order scrambling (forces mismatches).
     Scramble,
+    /// Partitioned sequencing groups: the conflict-class space is split
+    /// across two independent sequencer groups plus the relay stream for
+    /// cross-group transactions ([`otp_core::ClusterConfig::with_groups`]).
+    /// In the grid to hammer the relay gate and the per-group view-change
+    /// paths under the full nemesis vocabulary; the runner injects one
+    /// cross-group transaction every 8th submission.
+    Sharded,
 }
 
 impl EngineChoice {
@@ -40,7 +47,7 @@ impl EngineChoice {
             EngineChoice::Opt | EngineChoice::OptQuantum => {
                 EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) }
             }
-            EngineChoice::Seq => EngineKind::Sequencer,
+            EngineChoice::Seq | EngineChoice::Sharded => EngineKind::Sequencer,
             EngineChoice::SeqBatch => {
                 EngineKind::SequencerBatched { order_delay: SimDuration::from_micros(250) }
             }
@@ -60,6 +67,15 @@ impl EngineChoice {
         }
     }
 
+    /// Number of sequencing groups this choice shards the cluster into
+    /// (1 for every column except the sharded one).
+    pub fn groups(&self) -> usize {
+        match self {
+            EngineChoice::Sharded => 2,
+            _ => 1,
+        }
+    }
+
     fn id(&self) -> &'static str {
         match self {
             EngineChoice::Opt => "opt",
@@ -67,17 +83,19 @@ impl EngineChoice {
             EngineChoice::Seq => "seq",
             EngineChoice::SeqBatch => "seqbatch",
             EngineChoice::Scramble => "scramble",
+            EngineChoice::Sharded => "sharded",
         }
     }
 
     /// All engine choices, in grid order.
-    pub fn all() -> [EngineChoice; 5] {
+    pub fn all() -> [EngineChoice; 6] {
         [
             EngineChoice::Opt,
             EngineChoice::OptQuantum,
             EngineChoice::Seq,
             EngineChoice::SeqBatch,
             EngineChoice::Scramble,
+            EngineChoice::Sharded,
         ]
     }
 }
@@ -201,8 +219,11 @@ impl FromStr for GridCell {
             "seq" => EngineChoice::Seq,
             "seqbatch" => EngineChoice::SeqBatch,
             "scramble" => EngineChoice::Scramble,
+            "sharded" => EngineChoice::Sharded,
             other => {
-                return Err(format!("unknown engine {other:?} (opt|optq|seq|seqbatch|scramble)"));
+                return Err(format!(
+                    "unknown engine {other:?} (opt|optq|seq|seqbatch|scramble|sharded)"
+                ));
             }
         };
         let mode = match *mode {
@@ -220,14 +241,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_has_forty_cells_with_unique_ids() {
+    fn grid_has_forty_eight_cells_with_unique_ids() {
         let cells = GridCell::all();
-        assert_eq!(cells.len(), 40);
+        assert_eq!(cells.len(), 48);
         let mut ids: Vec<String> = cells.iter().map(GridCell::id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 40, "ids are unique");
+        assert_eq!(ids.len(), 48, "ids are unique");
         assert!(ids.iter().any(|id| id == "optq-otp-hostile"), "quantum column present");
+        assert!(ids.iter().any(|id| id == "sharded-otp-hostile"), "sharded column present");
+    }
+
+    #[test]
+    fn sharded_column_configures_two_sequencer_groups() {
+        assert_eq!(EngineChoice::Sharded.groups(), 2);
+        assert!(matches!(EngineChoice::Sharded.engine_kind(), EngineKind::Sequencer));
+        for other in EngineChoice::all() {
+            if other != EngineChoice::Sharded {
+                assert_eq!(other.groups(), 1, "{other:?}");
+            }
+        }
     }
 
     #[test]

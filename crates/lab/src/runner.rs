@@ -7,7 +7,7 @@
 //! carries a one-line [`CellOutcome::reproducer`] command.
 
 use crate::grid::GridCell;
-use otp_core::{Cluster, ClusterConfig, DurationDist, InvariantReport};
+use otp_core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, InvariantReport};
 use otp_simnet::{SimDuration, SimTime, SiteId};
 use otp_storage::{ClassId, ObjectId, Value};
 use otp_txn::txn::TxnId;
@@ -62,6 +62,9 @@ pub struct CellSpec {
     pub sites: usize,
     /// Number of conflict classes.
     pub classes: usize,
+    /// Number of sequencing groups the class space is sharded into
+    /// (defaults to the cell's engine column: 2 for `sharded`, else 1).
+    pub groups: usize,
     /// Main-workload transactions (excluding the per-site probes).
     pub txns: u64,
     /// Optional checker sabotage (see [`Sabotage`]).
@@ -83,6 +86,7 @@ impl CellSpec {
             cell,
             sites: DEFAULT_SITES,
             classes: DEFAULT_CLASSES,
+            groups: cell.engine.groups(),
             txns: DEFAULT_TXNS,
             sabotage: None,
         }
@@ -98,6 +102,12 @@ impl CellSpec {
     pub fn with_shape(mut self, sites: usize, classes: usize) -> Self {
         self.sites = sites;
         self.classes = classes;
+        self
+    }
+
+    /// Sets the number of sequencing groups.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
         self
     }
 
@@ -123,6 +133,11 @@ impl CellSpec {
         }
         if self.classes != DEFAULT_CLASSES {
             let _ = write!(cmd, " --classes {}", self.classes);
+        }
+        // A sharded run always names its group count: reproducing a
+        // relay-gate violation without the sharding is meaningless.
+        if self.groups != 1 {
+            let _ = write!(cmd, " --groups {}", self.groups);
         }
         if let Some(s) = self.sabotage {
             let _ = write!(cmd, " --sabotage {}", s.id());
@@ -187,20 +202,40 @@ pub fn run_cell_with_schedule(
         .with_mode(spec.cell.mode)
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
         .with_delivery_quantum(spec.cell.engine.delivery_quantum())
+        .with_groups(spec.groups)
         .with_seed(spec.seed);
-    let mut cluster = Cluster::new(config, registry, initial);
+    let mut cluster =
+        ClusterBuilder::from_config(config).registry(registry).initial_data(initial).build();
 
     // Main workload: increments round-robined over sites and classes,
-    // spread across the chaos window.
+    // spread across the chaos window. A sharded run routes each update
+    // to a member of its class's group and turns every 8th submission
+    // into a cross-group transaction (one sub per group) so the relay
+    // gate is under fire throughout the nemesis schedule.
+    let sites_per_group = spec.sites / spec.groups;
     let mut t = SimTime::from_millis(1);
     for i in 0..spec.txns {
-        cluster.schedule_update(
-            t,
-            SiteId::new((i % spec.sites as u64) as u16),
-            ClassId::new((i % spec.classes as u64) as u32),
-            procs.add,
-            vec![Value::Int(0), Value::Int(1)],
-        );
+        if spec.groups > 1 && i % 8 == 7 {
+            let parts = (0..spec.groups)
+                .map(|g| (ClassId::new(g as u32), procs.add, vec![Value::Int(0), Value::Int(1)]))
+                .collect();
+            cluster.schedule_cross_update(t, SiteId::new((i % spec.sites as u64) as u16), parts);
+        } else {
+            let class = (i % spec.classes as u64) as u32;
+            let site = if spec.groups > 1 {
+                let g = class as usize % spec.groups;
+                (g * sites_per_group + i as usize % sites_per_group) as u16
+            } else {
+                (i % spec.sites as u64) as u16
+            };
+            cluster.schedule_update(
+                t,
+                SiteId::new(site),
+                ClassId::new(class),
+                procs.add,
+                vec![Value::Int(0), Value::Int(1)],
+            );
+        }
         t += WORKLOAD_SPACING;
     }
 
@@ -247,7 +282,11 @@ pub fn run_cell_with_schedule(
 pub fn stats_digest(cluster: &Cluster) -> String {
     let mut stats = cluster.stats();
     let mut out = String::new();
-    let _ = writeln!(out, "completed={} frames={}", stats.completed, stats.network_frames);
+    let _ = writeln!(
+        out,
+        "completed={} frames={} cross_frames={}",
+        stats.completed, stats.network_frames, stats.cross_group_frames
+    );
     let _ = writeln!(out, "now_ns={}", stats.now.as_nanos());
     let mut counters: Vec<(String, u64)> =
         stats.counters.iter().map(|(n, v)| (n.to_string(), v)).collect();
@@ -314,6 +353,25 @@ mod tests {
         let out = run_cell(&spec);
         assert!(out.passed(), "{}", out.report);
         assert_eq!(out.completed, 20 + DEFAULT_SITES as u64, "workload + probes");
+    }
+
+    #[test]
+    fn sharded_calm_cell_commits_workload_crosses_and_probes() {
+        let spec = CellSpec::new(3, cell(EngineChoice::Sharded, Intensity::Calm)).with_txns(24);
+        assert_eq!(spec.groups, 2, "sharded column defaults to two groups");
+        let out = run_cell(&spec);
+        assert!(out.passed(), "{}", out.report);
+        // 24 submissions: 3 are cross-group (i = 7, 15, 23), each worth
+        // two sub-transactions, plus the 4 probes.
+        assert_eq!(out.completed, 21 + 3 * 2 + 4);
+        assert!(out.reproducer.contains("--groups 2"), "{}", out.reproducer);
+    }
+
+    #[test]
+    fn sharded_rough_cell_survives_faults() {
+        let spec = CellSpec::new(6, cell(EngineChoice::Sharded, Intensity::Rough)).with_txns(24);
+        let out = run_cell(&spec);
+        assert!(out.passed(), "{}", out.report);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! reproduces that physics:
 //!
 //! * a **shared bus** serializes transmissions (a frame occupies the wire
-//!   for `size / bandwidth`, queuing behind earlier frames),
+//!   for `size / bandwidth`, queuing behind earlier frames) — and
+//!   [`MulticastNet::add_segments`] can split the medium into independent
+//!   per-group collision domains plus a shared backbone, the switched
+//!   topology a sharded cluster's sequencing groups run on,
 //! * every receiver observes `wire_done + propagation + jitter`, with
 //!   jitter sampled per `(message, receiver)` from a clamped normal,
 //! * optional per-receiver loss is modeled as a retransmission *delay*
@@ -228,7 +231,13 @@ pub struct Delivery {
 #[derive(Debug)]
 pub struct MulticastNet {
     config: NetConfig,
-    wire_free_at: SimTime,
+    /// Busy-until instant of each wire segment. Index 0 is the shared
+    /// backbone every network has; [`MulticastNet::add_segments`] appends
+    /// further independent collision domains (one per sequencing group in
+    /// a sharded cluster), each serializing only its own frames. An
+    /// unsegmented network has exactly one entry, which reproduces the
+    /// single-shared-bus model byte for byte.
+    wires: Vec<SimTime>,
     down: HashSet<SiteId>,
     /// Blocked directed links with their heal time.
     blocked: Vec<(SiteId, SiteId, SimTime)>,
@@ -260,7 +269,7 @@ impl MulticastNet {
         let jitter_std_s = config.jitter_std.as_secs_f64();
         MulticastNet {
             config,
-            wire_free_at: SimTime::ZERO,
+            wires: vec![SimTime::ZERO],
             down: HashSet::new(),
             blocked: Vec::new(),
             blocked_pairs: HashSet::new(),
@@ -276,6 +285,23 @@ impl MulticastNet {
     /// The network configuration.
     pub fn config(&self) -> &NetConfig {
         &self.config
+    }
+
+    /// Appends `n` independent wire segments to the backbone, turning the
+    /// single shared bus into a switched topology: segment 0 stays the
+    /// shared backbone (inter-group links, relay traffic), segments
+    /// `1..=n` are per-group collision domains whose frames serialize only
+    /// against their own segment. Crash, partition, loss and jitter state
+    /// are properties of sites and links, so they apply across all
+    /// segments unchanged.
+    pub fn add_segments(&mut self, n: usize) {
+        let len = self.wires.len() + n;
+        self.wires.resize(len, SimTime::ZERO);
+    }
+
+    /// Number of wire segments (1 for the unsegmented shared bus).
+    pub fn num_segments(&self) -> usize {
+        self.wires.len()
     }
 
     /// Number of frames put on the wire so far.
@@ -303,10 +329,48 @@ impl MulticastNet {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Vec<Delivery> {
-        let wire_done = self.occupy_wire(payload_bytes, now);
+        let wire_done = self.occupy_wire(0, payload_bytes, now);
         let sites = self.config.sites;
         let mut out = Vec::with_capacity(sites);
         for to in SiteId::all(sites) {
+            let arrival = self.receiver_arrival(from, to, wire_done, rng);
+            out.push(Delivery { to, arrival });
+        }
+        out
+    }
+
+    /// Computes per-receiver arrivals for a multicast addressed to an
+    /// explicit member set instead of every site — the group-scoped
+    /// variant used by sharded ordering domains. One wire occupancy, one
+    /// delivery per target (the sender gets its loopback delivery only
+    /// when it is itself a member of `targets`).
+    pub fn multicast_to(
+        &mut self,
+        from: SiteId,
+        targets: &[SiteId],
+        payload_bytes: u32,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        self.multicast_to_on(0, from, targets, payload_bytes, now, rng)
+    }
+
+    /// [`MulticastNet::multicast_to`] on an explicit wire segment: the
+    /// frame serializes only against that segment's earlier frames. The
+    /// sharded cluster puts each group's stream on the group's own
+    /// segment and relay traffic on the backbone (segment 0).
+    pub fn multicast_to_on(
+        &mut self,
+        segment: usize,
+        from: SiteId,
+        targets: &[SiteId],
+        payload_bytes: u32,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        let wire_done = self.occupy_wire(segment, payload_bytes, now);
+        let mut out = Vec::with_capacity(targets.len());
+        for &to in targets {
             let arrival = self.receiver_arrival(from, to, wire_done, rng);
             out.push(Delivery { to, arrival });
         }
@@ -323,15 +387,28 @@ impl MulticastNet {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Delivery {
-        let wire_done = self.occupy_wire(payload_bytes, now);
+        self.unicast_on(0, from, to, payload_bytes, now, rng)
+    }
+
+    /// [`MulticastNet::unicast`] on an explicit wire segment.
+    pub fn unicast_on(
+        &mut self,
+        segment: usize,
+        from: SiteId,
+        to: SiteId,
+        payload_bytes: u32,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        let wire_done = self.occupy_wire(segment, payload_bytes, now);
         let arrival = self.receiver_arrival(from, to, wire_done, rng);
         Delivery { to, arrival }
     }
 
-    fn occupy_wire(&mut self, payload_bytes: u32, now: SimTime) -> SimTime {
-        let start = self.wire_free_at.max(now);
+    fn occupy_wire(&mut self, segment: usize, payload_bytes: u32, now: SimTime) -> SimTime {
+        let start = self.wires[segment].max(now);
         let done = start + self.config.transmission_time(payload_bytes);
-        self.wire_free_at = done;
+        self.wires[segment] = done;
         self.sent_frames += 1;
         self.sent_bytes += payload_bytes as u64;
         done
@@ -505,6 +582,29 @@ mod tests {
     }
 
     #[test]
+    fn segments_serialize_independently() {
+        let mut net = MulticastNet::new(
+            NetConfig::lan_10mbps(8).with_jitter(SimDuration::ZERO, SimDuration::ZERO),
+        );
+        net.add_segments(2);
+        assert_eq!(net.num_segments(), 3);
+        let mut r = rng();
+        let g0: Vec<SiteId> = (0..4).map(SiteId::new).collect();
+        let g1: Vec<SiteId> = (4..8).map(SiteId::new).collect();
+        let a = net.multicast_to_on(1, SiteId::new(0), &g0, 500, SimTime::ZERO, &mut r);
+        let b = net.multicast_to_on(2, SiteId::new(4), &g1, 500, SimTime::ZERO, &mut r);
+        // Independent segments transmit concurrently: with zero jitter the
+        // two frames arrive at the same instant instead of queueing.
+        assert_eq!(a[0].arrival, b[0].arrival);
+        // A second frame on an occupied segment queues behind the first.
+        let c = net.multicast_to_on(1, SiteId::new(1), &g0, 500, SimTime::ZERO, &mut r);
+        assert!(c[0].arrival > a[0].arrival);
+        // The backbone is its own segment too.
+        let d = net.unicast_on(0, SiteId::new(0), SiteId::new(7), 500, SimTime::ZERO, &mut r);
+        assert_eq!(d.arrival, a[0].arrival);
+    }
+
+    #[test]
     fn jitter_can_reorder_close_sends() {
         let cfg = NetConfig::lan_10mbps(4)
             .with_jitter(SimDuration::from_micros(100), SimDuration::from_micros(400));
@@ -512,7 +612,7 @@ mod tests {
         let mut r = rng();
         let mut reordered = 0;
         for _ in 0..200 {
-            let now = net.wire_free_at.max(SimTime::ZERO);
+            let now = net.wires[0].max(SimTime::ZERO);
             let a = net.multicast(SiteId::new(0), 64, now, &mut r);
             let b = net.multicast(SiteId::new(1), 64, now, &mut r);
             // Does any site see b before a?

@@ -18,13 +18,20 @@
 //! first, then shows the union path converging on the same inputs.
 
 use otp_broadcast::{
-    AtomicBroadcast, EngineAction, Message, MsgId, Oracle, ScrambleConfig, ScrambledAbcast,
-    SeqAbcast, Wire,
+    AtomicBroadcast, EngineAction, EngineCtx, Message, MsgId, Oracle, OrderDomain, ScrambleConfig,
+    ScrambledAbcast, SeqAbcast, Wire,
 };
 use otp_simnet::{SimDuration, SimRng, SiteId};
+use std::sync::OnceLock;
 
 fn site(n: u16) -> SiteId {
     SiteId::new(n)
+}
+
+/// Per-endpoint call context over the one global 4-site domain.
+fn ctx(me: u16) -> EngineCtx<'static> {
+    static DOMAIN: OnceLock<OrderDomain> = OnceLock::new();
+    EngineCtx::new(site(me), DOMAIN.get_or_init(|| OrderDomain::global(4)))
 }
 
 fn data(origin: u16, seq: u64, payload: u32) -> Wire<u32> {
@@ -32,11 +39,11 @@ fn data(origin: u16, seq: u64, payload: u32) -> Wire<u32> {
 }
 
 /// Applies every multicast order assignment in `actions` to `peer`.
-fn apply_orders(peer: &mut SeqAbcast<u32>, from: SiteId, actions: &[EngineAction<u32>]) {
+fn apply_orders(peer: &mut SeqAbcast<u32>, me: u16, from: SiteId, actions: &[EngineAction<u32>]) {
     for a in actions {
         if let EngineAction::Multicast(w @ (Wire::SeqOrder { .. } | Wire::SeqOrderBatch { .. })) = a
         {
-            peer.on_receive(from, w.clone());
+            peer.on_receive(&ctx(me), from, w.clone());
         }
     }
 }
@@ -54,15 +61,15 @@ fn renumber_scenario() -> (SeqAbcast<u32>, SeqAbcast<u32>, [MsgId; 3]) {
     let a = MsgId::new(site(3), 0);
     let m1 = MsgId::new(site(3), 1);
     let m2 = MsgId::new(site(3), 2);
-    let mut donor: SeqAbcast<u32> = SeqAbcast::new(site(1), site(0));
-    let mut witness: SeqAbcast<u32> = SeqAbcast::new(site(2), site(0));
-    for peer in [&mut donor, &mut witness] {
-        peer.on_receive(site(3), data(3, 0, 10));
-        peer.on_receive(site(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: a });
-        peer.on_receive(site(3), data(3, 1, 11));
-        peer.on_receive(site(3), data(3, 2, 12));
+    let mut donor: SeqAbcast<u32> = SeqAbcast::new(site(0));
+    let mut witness: SeqAbcast<u32> = SeqAbcast::new(site(0));
+    for (peer, me) in [(&mut donor, 1u16), (&mut witness, 2)] {
+        peer.on_receive(&ctx(me), site(3), data(3, 0, 10));
+        peer.on_receive(&ctx(me), site(0), Wire::SeqOrder { epoch: 0, seqno: 0, id: a });
+        peer.on_receive(&ctx(me), site(3), data(3, 1, 11));
+        peer.on_receive(&ctx(me), site(3), data(3, 2, 12));
     }
-    witness.on_receive(site(0), Wire::SeqOrder { epoch: 0, seqno: 1, id: m2 });
+    witness.on_receive(&ctx(2), site(0), Wire::SeqOrder { epoch: 0, seqno: 1, id: m2 });
     assert_eq!(donor.definitive_log(), [a]);
     assert_eq!(witness.definitive_log(), [a, m2]);
     (donor, witness, [a, m1, m2])
@@ -74,10 +81,10 @@ fn renumber_scenario() -> (SeqAbcast<u32>, SeqAbcast<u32>, [MsgId; 3]) {
 /// conflicting re-announce and stalls on `M1` forever.
 fn seq_legacy_diverges(restored: &mut SeqAbcast<u32>) {
     let (donor, mut witness, [a, m1, m2]) = renumber_scenario();
-    let mut actions = restored.restore(donor.snapshot());
-    actions.extend(restored.finish_restore());
+    let mut actions = restored.restore(&ctx(0), donor.snapshot());
+    actions.extend(restored.finish_restore(&ctx(0)));
     assert_eq!(restored.definitive_log(), [a, m1, m2], "renumbered in id order");
-    apply_orders(&mut witness, site(0), &actions);
+    apply_orders(&mut witness, 2, site(0), &actions);
     // Slot 1: M1 at the restored sequencer, M2 at the witness.
     assert_eq!(restored.definitive_log()[1], m1);
     assert_eq!(witness.definitive_log()[1], m2, "same slot, different message");
@@ -94,21 +101,21 @@ fn seq_union_converges(restored: &mut SeqAbcast<u32>) {
     let (mut donor, mut witness, [a, m1, m2]) = renumber_scenario();
     let mut merged = donor.snapshot();
     merged.merge(witness.snapshot());
-    let mut actions = restored.restore(merged);
+    let mut actions = restored.restore(&ctx(0), merged);
     restored.bump_incarnation();
     restored.install_view(1, true);
-    actions.extend(restored.finish_restore());
+    actions.extend(restored.finish_restore(&ctx(0)));
     assert_eq!(restored.definitive_log(), [a, m2, m1]);
-    apply_orders(&mut witness, site(0), &actions);
-    apply_orders(&mut donor, site(0), &actions);
+    apply_orders(&mut witness, 2, site(0), &actions);
+    apply_orders(&mut donor, 1, site(0), &actions);
     assert_eq!(witness.definitive_log(), [a, m2, m1], "witness converges");
     assert_eq!(donor.definitive_log(), [a, m2, m1], "donor converges");
 }
 
 #[test]
 fn sequencer_single_donor_renumber_collision_fixed_by_union() {
-    seq_legacy_diverges(&mut SeqAbcast::new(site(0), site(0)));
-    seq_union_converges(&mut SeqAbcast::new(site(0), site(0)));
+    seq_legacy_diverges(&mut SeqAbcast::new(site(0)));
+    seq_union_converges(&mut SeqAbcast::new(site(0)));
 }
 
 #[test]
@@ -117,8 +124,8 @@ fn batched_sequencer_single_donor_renumber_collision_fixed_by_union() {
     // unflushed-window repair to run — renumbering must still respect the
     // union of survivor order maps.
     let window = SimDuration::from_micros(250);
-    seq_legacy_diverges(&mut SeqAbcast::new(site(0), site(0)).with_order_batching(window));
-    seq_union_converges(&mut SeqAbcast::new(site(0), site(0)).with_order_batching(window));
+    seq_legacy_diverges(&mut SeqAbcast::new(site(0)).with_order_batching(window));
+    seq_union_converges(&mut SeqAbcast::new(site(0)).with_order_batching(window));
 }
 
 /// Builds the id-reuse scenario for the oracle engine: the origin (site 0)
@@ -130,12 +137,12 @@ fn scramble_scenario() -> (ScrambledAbcast<u32>, ScrambledAbcast<u32>, Scrambled
     let oracle = Oracle::new();
     let mut rng = SimRng::seed_from(77);
     let mut origin: ScrambledAbcast<u32> =
-        ScrambledAbcast::new(site(0), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+        ScrambledAbcast::new(cfg, std::sync::Arc::clone(&oracle), rng.fork());
     let donor: ScrambledAbcast<u32> =
-        ScrambledAbcast::new(site(1), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+        ScrambledAbcast::new(cfg, std::sync::Arc::clone(&oracle), rng.fork());
     let mut witness: ScrambledAbcast<u32> =
-        ScrambledAbcast::new(site(2), cfg, std::sync::Arc::clone(&oracle), rng.fork());
-    let (m, actions) = origin.broadcast(41);
+        ScrambledAbcast::new(cfg, std::sync::Arc::clone(&oracle), rng.fork());
+    let (m, actions) = origin.broadcast(&ctx(0), 41);
     let wire = actions
         .iter()
         .find_map(|a| match a {
@@ -143,10 +150,10 @@ fn scramble_scenario() -> (ScrambledAbcast<u32>, ScrambledAbcast<u32>, Scrambled
             _ => None,
         })
         .expect("broadcast multicasts");
-    witness.on_receive(site(0), wire);
+    witness.on_receive(&ctx(2), site(0), wire);
     // The donor's copy is in flight; the origin crashes before loopback.
     let fresh: ScrambledAbcast<u32> =
-        ScrambledAbcast::new(site(0), cfg, std::sync::Arc::clone(&oracle), rng.fork());
+        ScrambledAbcast::new(cfg, std::sync::Arc::clone(&oracle), rng.fork());
     (fresh, donor, witness, m)
 }
 
@@ -155,8 +162,8 @@ fn scramble_single_donor_id_reuse_fixed_by_union() {
     // Legacy: the donor never saw M, so the restored origin reuses its id —
     // the witness silently drops the new message (a permanent hole).
     let (mut restored, donor, mut witness, m) = scramble_scenario();
-    restored.restore(donor.snapshot());
-    let (reused, actions) = restored.broadcast(42);
+    restored.restore(&ctx(0), donor.snapshot());
+    let (reused, actions) = restored.broadcast(&ctx(0), 42);
     assert_eq!(reused, m, "single-donor restore reuses the dead incarnation's id");
     let wire = actions
         .iter()
@@ -165,7 +172,7 @@ fn scramble_single_donor_id_reuse_fixed_by_union() {
             _ => None,
         })
         .expect("broadcast multicasts");
-    let at_witness = witness.on_receive(site(0), wire);
+    let at_witness = witness.on_receive(&ctx(2), site(0), wire);
     assert!(at_witness.is_empty(), "witness deduplicates the reused id: message lost");
 
     // Union: the witness's digest knows M, so the restored origin starts
@@ -173,9 +180,9 @@ fn scramble_single_donor_id_reuse_fixed_by_union() {
     let (mut restored, donor, mut witness, m) = scramble_scenario();
     let mut merged = donor.snapshot();
     merged.merge(witness.snapshot());
-    restored.restore(merged);
+    restored.restore(&ctx(0), merged);
     restored.bump_incarnation();
-    let (fresh_id, actions) = restored.broadcast(42);
+    let (fresh_id, actions) = restored.broadcast(&ctx(0), 42);
     assert_ne!(fresh_id, m, "union knows the id is taken");
     let wire = actions
         .iter()
@@ -184,7 +191,7 @@ fn scramble_single_donor_id_reuse_fixed_by_union() {
             _ => None,
         })
         .expect("broadcast multicasts");
-    let at_witness = witness.on_receive(site(0), wire);
+    let at_witness = witness.on_receive(&ctx(2), site(0), wire);
     assert!(
         at_witness.iter().any(|a| matches!(a, EngineAction::OptDeliver(msg) if msg.id == fresh_id)),
         "witness accepts the fresh incarnation's message: {at_witness:?}"

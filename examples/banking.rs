@@ -11,7 +11,7 @@
 //! transfers are in flight. Under lazy (commercial-style) replication the
 //! same audits can observe skewed totals.
 
-use otpdb::core::{AsyncCluster, AsyncConfig, Cluster, ClusterConfig};
+use otpdb::core::{AsyncCluster, AsyncConfig, ClusterBuilder, ClusterConfig};
 use otpdb::simnet::{SimDuration, SimTime, SiteId};
 use otpdb::storage::{ClassId, ObjectId, Value};
 use otpdb::workload::StandardProcs;
@@ -42,8 +42,10 @@ fn main() {
 
     // ---------------- OTP cluster ----------------
     let (registry, procs) = StandardProcs::registry();
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(4, BRANCHES as usize), registry, initial_data());
+    let mut cluster = ClusterBuilder::from_config(ClusterConfig::new(4, BRANCHES as usize))
+        .registry(registry)
+        .initial_data(initial_data())
+        .build();
 
     // 60 intra-branch transfers, submitted all over the cluster.
     let mut t = SimTime::from_millis(1);

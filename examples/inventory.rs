@@ -15,7 +15,7 @@
 //! optimism — only paid inside hot classes) and the final state (identical
 //! in both, bit for bit).
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
+use otpdb::core::{ClusterBuilder, ClusterConfig, DurationDist, EngineKind, Mode};
 use otpdb::simnet::{SimDuration, SimTime};
 use otpdb::txn::history::check_one_copy_serializable;
 use otpdb::workload::{Arrival, ClassSelection, StandardProcs, WorkloadSpec};
@@ -52,7 +52,10 @@ fn main() {
                 std: SimDuration::from_micros(400),
             })
             .with_seed(7);
-        let mut cluster = Cluster::new(config, registry, spec.initial_data());
+        let mut cluster = ClusterBuilder::from_config(config)
+            .registry(registry)
+            .initial_data(spec.initial_data())
+            .build();
         schedule.apply(&mut cluster);
         cluster.run_until(SimTime::from_secs(120));
         cluster

@@ -8,7 +8,7 @@
 //! committed in the definitive total order. At the end all copies are
 //! provably identical.
 
-use otpdb::core::{Cluster, ClusterConfig};
+use otpdb::core::{ClusterBuilder, ClusterConfig};
 use otpdb::simnet::{SimDuration, SimTime, SiteId};
 use otpdb::storage::{ClassId, ObjectId, Value};
 use otpdb::workload::StandardProcs;
@@ -25,7 +25,10 @@ fn main() {
             initial.push((ObjectId::new(class, key), Value::Int(100)));
         }
     }
-    let mut cluster = Cluster::new(ClusterConfig::new(4, 2), registry, initial);
+    let mut cluster = ClusterBuilder::from_config(ClusterConfig::new(4, 2))
+        .registry(registry)
+        .initial_data(initial)
+        .build();
 
     // Clients at different sites submit transfers. Within a class the
     // transactions conflict and will be serialized in the definitive

@@ -32,18 +32,17 @@
 //! # Quickstart
 //!
 //! ```
-//! use otpdb::core::{Cluster, ClusterConfig};
+//! use otpdb::core::{ClusterBuilder, ClusterConfig};
 //! use otpdb::simnet::{SimTime, SiteId};
 //! use otpdb::storage::{ClassId, ObjectId, Value};
 //! use otpdb::workload::StandardProcs;
 //!
 //! // 4 replicas, 2 conflict classes, the paper's LAN.
 //! let (registry, procs) = StandardProcs::registry();
-//! let mut cluster = Cluster::new(
-//!     ClusterConfig::new(4, 2),
-//!     registry,
-//!     vec![(ObjectId::new(0, 0), Value::Int(100))],
-//! );
+//! let mut cluster = ClusterBuilder::from_config(ClusterConfig::new(4, 2))
+//!     .registry(registry)
+//!     .initial_data(vec![(ObjectId::new(0, 0), Value::Int(100))])
+//!     .build();
 //! cluster.schedule_update(
 //!     SimTime::from_millis(1),
 //!     SiteId::new(3),              // any site may accept the client

@@ -4,7 +4,7 @@
 //! on the exact same final database state (the definitive order is the
 //! same logical history everywhere).
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
+use otpdb::core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, EngineKind, Mode};
 use otpdb::simnet::{SimDuration, SimTime};
 use otpdb::txn::history::check_one_copy_serializable;
 use otpdb::workload::{Arrival, StandardProcs, WorkloadSpec};
@@ -47,7 +47,10 @@ fn every_engine_times_every_mode_is_correct_and_equivalent() {
                 .with_mode(mode)
                 .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
                 .with_seed(401);
-            let mut cluster = Cluster::new(config, registry, spec.initial_data());
+            let mut cluster = ClusterBuilder::from_config(config)
+                .registry(registry)
+                .initial_data(spec.initial_data())
+                .build();
             schedule.apply(&mut cluster);
             cluster.run_until(SimTime::from_secs(600));
 

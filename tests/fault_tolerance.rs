@@ -5,7 +5,7 @@
 //! them with state transfer, and verify the cluster converges to a single
 //! serializable history.
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind};
+use otpdb::core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, EngineKind};
 use otpdb::simnet::nemesis::{NemesisEvent, NemesisSchedule};
 use otpdb::simnet::{NetConfig, SimDuration, SimTime, SiteId};
 use otpdb::storage::{ClassId, ProcId, Value};
@@ -22,7 +22,7 @@ fn loaded_cluster(sites: usize, classes: usize, seed: u64) -> Cluster {
         .with_engine(EngineKind::Opt { consensus_timeout: SimDuration::from_millis(60) })
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
         .with_seed(seed);
-    Cluster::new(config, registry, initial)
+    ClusterBuilder::from_config(config).registry(registry).initial_data(initial).build()
 }
 
 /// Submits `n` increments from the first `submit_sites` sites.
@@ -91,14 +91,13 @@ fn lossy_network_delivers_everything() {
         .with_net(NetConfig::lan_10mbps(3).with_loss(0.08))
         .with_engine(EngineKind::Opt { consensus_timeout: SimDuration::from_millis(80) })
         .with_seed(227);
-    let mut cluster = Cluster::new(
-        config,
-        registry,
-        vec![
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(vec![
             (otpdb::storage::ObjectId::new(0, 0), Value::Int(0)),
             (otpdb::storage::ObjectId::new(1, 0), Value::Int(0)),
-        ],
-    );
+        ])
+        .build();
     submit_load(&mut cluster, 40, 3, 2, SimTime::from_millis(1));
     cluster.run_until(SimTime::from_secs(300));
     assert_eq!(cluster.stats().completed, 40, "retransmissions mask loss");
@@ -181,7 +180,8 @@ fn racing_recovery_rounds_for_one_site_supersede() {
             .with_engine(engine)
             .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
             .with_seed(311);
-        let mut cluster = Cluster::new(config, registry, initial);
+        let mut cluster =
+            ClusterBuilder::from_config(config).registry(registry).initial_data(initial).build();
         submit_load(&mut cluster, 20, 3, 2, SimTime::from_millis(1));
         cluster.schedule_crash(SimTime::from_millis(10), SiteId::new(3));
         // Round 1 starts at 150 ms; round 2 races it 100 µs later, while

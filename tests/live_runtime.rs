@@ -201,7 +201,7 @@ fn halted_admissions_reject_racing_submitters() {
                             ) {
                                 Ok(_) => ok += 1,
                                 Err(SubmitError::ShuttingDown) => break,
-                                Err(SubmitError::Backpressure) => unreachable!("submit blocks"),
+                                Err(e) => unreachable!("submit blocks on backpressure: {e}"),
                             }
                         }
                         ok
@@ -372,7 +372,7 @@ fn pressure_spike_backpressures_then_commits_exactly_once() {
                         break;
                     }
                 }
-                Err(SubmitError::ShuttingDown) => unreachable!("nobody halted admissions"),
+                Err(e) => unreachable!("nobody halted admissions or crashed sites: {e}"),
             }
         }
         assert!(

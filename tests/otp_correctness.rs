@@ -10,7 +10,7 @@
 //! * Theorem 4.2: the union of the local histories is
 //!   1-copy-serializable.
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind};
+use otpdb::core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, EngineKind};
 use otpdb::simnet::{SimDuration, SimTime};
 use otpdb::storage::TxnIndex;
 use otpdb::txn::history::{check_one_copy_serializable, check_same_committed_set};
@@ -34,7 +34,10 @@ fn run_cluster(
         .with_engine(engine)
         .with_exec_time(DurationDist::Exponential { mean: SimDuration::from_millis(2) })
         .with_seed(seed);
-    let mut cluster = Cluster::new(config, registry, spec.initial_data());
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(spec.initial_data())
+        .build();
     let ids = schedule.apply(&mut cluster);
     cluster.run_until(SimTime::from_secs(300));
     (cluster, ids.len())
@@ -128,7 +131,10 @@ fn zipf_skewed_load_survives() {
     let config = ClusterConfig::new(4, 16)
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
         .with_seed(113);
-    let mut cluster = Cluster::new(config, registry, spec.initial_data());
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(spec.initial_data())
+        .build();
     let ids = schedule.apply(&mut cluster);
     cluster.run_until(SimTime::from_secs(300));
     assert_eq!(cluster.stats().completed as usize, ids.len());
@@ -155,8 +161,10 @@ fn outputs_returned_to_origin() {
     let spec = WorkloadSpec::new(2, 2, 10).with_seed(131);
     let (registry, procs) = StandardProcs::registry();
     let schedule = spec.generate(&procs);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(2, 2).with_seed(131), registry, spec.initial_data());
+    let mut cluster = ClusterBuilder::from_config(ClusterConfig::new(2, 2).with_seed(131))
+        .registry(registry)
+        .initial_data(spec.initial_data())
+        .build();
     let ids = schedule.apply(&mut cluster);
     cluster.run_until(SimTime::from_secs(60));
     for id in ids {

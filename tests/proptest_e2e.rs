@@ -1,7 +1,7 @@
 //! Property-based end-to-end tests: random cluster shapes, workloads and
 //! broadcast engines must always satisfy the paper's correctness results.
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind};
+use otpdb::core::{ClusterBuilder, ClusterConfig, DurationDist, EngineKind};
 use otpdb::simnet::{SimDuration, SimTime};
 use otpdb::txn::history::{check_one_copy_serializable, check_same_committed_set};
 use otpdb::workload::{Arrival, ClassSelection, StandardProcs, WorkloadSpec};
@@ -52,7 +52,7 @@ proptest! {
             .with_engine(engine)
             .with_exec_time(DurationDist::Exponential { mean: SimDuration::from_millis(2) })
             .with_seed(seed);
-        let mut cluster = Cluster::new(config, registry, spec.initial_data());
+        let mut cluster = ClusterBuilder::from_config(config).registry(registry).initial_data(spec.initial_data()).build();
         let ids = schedule.apply(&mut cluster);
         cluster.run_until(SimTime::from_secs(600));
 

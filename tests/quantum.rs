@@ -8,7 +8,7 @@
 //! See DESIGN.md §8 for the quantum model and the fencing rules.
 
 use otp_bench::perf::{run_perf_cell_with_quantum, PerfCell, PERF_SEED, PERF_TXNS};
-use otpdb::core::{Cluster, ClusterConfig};
+use otpdb::core::{Cluster, ClusterBuilder, ClusterConfig};
 use otpdb::simnet::nemesis::{NemesisEvent, NemesisSchedule};
 use otpdb::simnet::{SimDuration, SimTime, SiteId};
 use otpdb::storage::{ClassId, ObjectId, Value};
@@ -62,7 +62,10 @@ fn quantum_coalescing_cuts_agreement_frames_per_commit() {
 fn quantum_cluster(quantum: SimDuration, seed: u64) -> Cluster {
     let (registry, _) = StandardProcs::registry();
     let config = ClusterConfig::new(4, 2).with_delivery_quantum(quantum).with_seed(seed);
-    Cluster::new(config, registry, vec![(ObjectId::new(0, 0), Value::Int(0))])
+    ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(vec![(ObjectId::new(0, 0), Value::Int(0))])
+        .build()
 }
 
 fn one_update(cluster: &mut Cluster, at: SimTime, site: SiteId) -> otpdb::txn::txn::TxnId {

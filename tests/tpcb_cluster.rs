@@ -2,7 +2,7 @@
 //! invariants (branch = Σ tellers = Σ accounts per branch) must hold at
 //! every site under every engine and mode, with audits racing the load.
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind, Mode};
+use otpdb::core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, EngineKind, Mode};
 use otpdb::simnet::{SimDuration, SimTime, SiteId};
 use otpdb::txn::history::check_one_copy_serializable;
 use otpdb::workload::{Arrival, TpcB};
@@ -21,7 +21,10 @@ fn run_tpcb(engine: EngineKind, mode: Mode, seed: u64) -> (TpcB, Cluster) {
             std: SimDuration::from_micros(300),
         })
         .with_seed(seed);
-    let mut cluster = Cluster::new(config, registry, tpcb.initial_data());
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(tpcb.initial_data())
+        .build();
     schedule.apply(&mut cluster);
     // Branch audits at every site while the load runs.
     for q in 0..10u64 {

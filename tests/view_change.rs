@@ -12,7 +12,7 @@
 //! path must diverge somewhere in the grid, and the view-change path must
 //! survive *every* point of it.
 
-use otpdb::core::{Cluster, ClusterConfig, DurationDist, EngineKind};
+use otpdb::core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, EngineKind};
 use otpdb::simnet::{SimDuration, SimTime, SiteId};
 use otpdb::storage::{ClassId, ObjectId, ProcId, Value};
 use otpdb::txn::txn::TxnId;
@@ -30,11 +30,13 @@ fn seqbatch_cluster(seed: u64) -> Cluster {
         .with_engine(EngineKind::SequencerBatched { order_delay: ORDER_WINDOW })
         .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
         .with_seed(seed);
-    let mut cluster = Cluster::new(
-        config,
-        registry,
-        vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
-    );
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(vec![
+            (ObjectId::new(0, 0), Value::Int(0)),
+            (ObjectId::new(1, 0), Value::Int(0)),
+        ])
+        .build();
     let mut t = SimTime::from_millis(1);
     for i in 0..8u64 {
         cluster.schedule_update(
@@ -135,11 +137,13 @@ fn overlapping_rounds_resolve_to_the_newest_view() {
             .with_engine(engine)
             .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
             .with_seed(53);
-        let mut c = Cluster::new(
-            config,
-            registry,
-            vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
-        );
+        let mut c = ClusterBuilder::from_config(config)
+            .registry(registry)
+            .initial_data(vec![
+                (ObjectId::new(0, 0), Value::Int(0)),
+                (ObjectId::new(1, 0), Value::Int(0)),
+            ])
+            .build();
         let schedule = NemesisSchedule::from_events(vec![
             (
                 SimTime::from_millis(5),
@@ -184,11 +188,13 @@ fn recovery_installs_a_fresh_view_and_serves() {
             .with_engine(engine)
             .with_exec_time(DurationDist::Fixed(SimDuration::from_millis(1)))
             .with_seed(31);
-        let mut c = Cluster::new(
-            config,
-            registry,
-            vec![(ObjectId::new(0, 0), Value::Int(0)), (ObjectId::new(1, 0), Value::Int(0))],
-        );
+        let mut c = ClusterBuilder::from_config(config)
+            .registry(registry)
+            .initial_data(vec![
+                (ObjectId::new(0, 0), Value::Int(0)),
+                (ObjectId::new(1, 0), Value::Int(0)),
+            ])
+            .build();
         let mut t = SimTime::from_millis(1);
         for i in 0..12u64 {
             c.schedule_update(
