@@ -9,14 +9,20 @@
 //! against the committed baseline and exits nonzero on any regression,
 //! printing a one-line reproducer per finding, chaos-swarm style.
 //!
+//! `--stage-breakdown` traces every run and adds per-stage submit→stage
+//! latency columns to the table plus a non-gated `stages` key to
+//! `BENCH.json` (tracing is pure observation, so every gated metric value
+//! is identical to the untraced run's).
+//!
 //! ```text
 //! perf [--out BENCH.json] [--wall-out BENCH_WALL.json]
 //!      [--check BASELINE] [--tolerance 0.25]
-//!      [--cell ID] [--txns N] [--seed N] [--list-cells]
+//!      [--cell ID] [--txns N] [--seed N] [--stage-breakdown] [--list-cells]
 //! ```
 
 use otp_bench::perf::{
-    check_against_baseline, run_matrix, run_perf_cell, PerfCell, PERF_SCHEMA, PERF_SEED, PERF_TXNS,
+    check_against_baseline, run_matrix, run_matrix_with_stages, run_perf_cell,
+    run_perf_cell_traced, PerfCell, PERF_SCHEMA, PERF_SEED, PERF_TXNS,
 };
 use otp_simnet::metrics::Table;
 use std::process::ExitCode;
@@ -30,6 +36,7 @@ struct Args {
     cell: Option<PerfCell>,
     txns: u64,
     seed: u64,
+    stage_breakdown: bool,
     list_cells: bool,
 }
 
@@ -42,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         cell: None,
         txns: PERF_TXNS,
         seed: PERF_SEED,
+        stage_breakdown: false,
         list_cells: false,
     };
     let mut it = std::env::args().skip(1);
@@ -72,14 +80,17 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--seed")?;
                 args.seed = v.parse().map_err(|_| format!("--seed: not a number: {v:?}"))?;
             }
+            "--stage-breakdown" => args.stage_breakdown = true,
             "--list-cells" => args.list_cells = true,
             "--help" | "-h" => {
                 println!(
                     "usage: perf [--out BENCH.json] [--wall-out BENCH_WALL.json] \
                      [--check BASELINE] [--tolerance 0.25] [--cell ID] [--txns N] \
-                     [--seed N] [--list-cells]\n\
+                     [--seed N] [--stage-breakdown] [--list-cells]\n\
                      All gated metrics run in simulated time: the emitted BENCH.json is \
-                     byte-identical across runs. Wall clock goes to stdout and --wall-out only."
+                     byte-identical across runs. Wall clock goes to stdout and --wall-out only.\n\
+                     --stage-breakdown traces every run and adds per-stage submit→stage \
+                     latency columns (and a non-gated \"stages\" key to BENCH.json)."
                 );
                 std::process::exit(0);
             }
@@ -107,7 +118,11 @@ fn main() -> ExitCode {
 
     // Single-cell mode: measure, print, no files — the reproducer path.
     if let Some(cell) = args.cell {
-        let m = run_perf_cell(&cell, args.txns, args.seed);
+        let (m, stages) = if args.stage_breakdown {
+            run_perf_cell_traced(&cell, args.txns, args.seed)
+        } else {
+            (run_perf_cell(&cell, args.txns, args.seed), Vec::new())
+        };
         println!("cell {cell} (txns {}, seed {})", args.txns, args.seed);
         println!("  completed          {}", m.completed);
         println!("  throughput_per_sec {:.3}", m.throughput_per_sec);
@@ -116,11 +131,21 @@ fn main() -> ExitCode {
         println!("  abort_rate         {:.6}", m.abort_rate);
         println!("  msgs_per_commit    {:.4}", m.msgs_per_commit);
         println!("  sim_duration_ns    {}", m.sim_duration_ns);
+        for s in &stages {
+            println!(
+                "  stage {:<14} n {:<6} p50_ns {:<12} p99_ns {}",
+                s.stage, s.n, s.p50_ns, s.p99_ns
+            );
+        }
         return ExitCode::SUCCESS;
     }
 
     let started = Instant::now();
-    let report = run_matrix(&PerfCell::all(), args.txns, args.seed);
+    let report = if args.stage_breakdown {
+        run_matrix_with_stages(&PerfCell::all(), args.txns, args.seed)
+    } else {
+        run_matrix(&PerfCell::all(), args.txns, args.seed)
+    };
     let wall_ms = started.elapsed().as_millis();
 
     let mut table =
@@ -136,6 +161,21 @@ fn main() -> ExitCode {
         ]);
     }
     println!("{}", table.to_markdown());
+    if args.stage_breakdown {
+        let mut stage_table = Table::new(vec!["cell", "stage", "n", "p50_ms", "p99_ms"]);
+        for ((cell, _), stages) in report.cells.iter().zip(&report.stages) {
+            for s in stages {
+                stage_table.row(vec![
+                    cell.id(),
+                    s.stage.to_string(),
+                    s.n.to_string(),
+                    format!("{:.2}", s.p50_ns as f64 / 1e6),
+                    format!("{:.2}", s.p99_ns as f64 / 1e6),
+                ]);
+            }
+        }
+        println!("{}", stage_table.to_markdown());
+    }
     println!("wall_ms={wall_ms} (recorded, not gated — simulated metrics only in {})", args.out);
 
     if let Err(e) = std::fs::write(&args.out, report.to_json()) {

@@ -11,8 +11,14 @@
 //!      [--engine opt|optbatch|seq|seqbatch|scramble] [--mode otp|conservative]
 //!      [--exec-us N] [--net-us N] [--jitter-us N] [--submitters N]
 //!      [--hotspot] [--seed N] [--nemesis calm|rough|hostile|live]
-//!      [--out SOAK.json] [--smoke]
+//!      [--snapshot-every-ms N] [--out SOAK.json] [--smoke]
 //! ```
+//!
+//! While the submitters run, the runtime's metrics registry is sampled
+//! every `--snapshot-every-ms` (default 500, `0` disables) and the
+//! samples land in `SOAK.json` under `snapshots` — a time series of
+//! every counter and gauge (admission, backpressure, stale-epoch
+//! rejects, in-flight), closed by one post-shutdown snapshot.
 //!
 //! `--nemesis` injects a seed-generated fault plan (partitions, crashes,
 //! stalls, pressure spikes — the `live` preset exercises the live-only
@@ -62,6 +68,13 @@ fn parse_args() -> Result<(SoakConfig, Option<String>), String> {
             }
             "--seed" => cfg.seed = parse_n("--seed", value("--seed")?)?,
             "--nemesis" => cfg.nemesis = Some(SoakNemesis::parse(&value("--nemesis")?)?),
+            "--snapshot-every-ms" => {
+                let v = value("--snapshot-every-ms")?;
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--snapshot-every-ms: not a number: {v:?}"))?;
+                cfg.snapshot_every = (n > 0).then(|| Duration::from_millis(n));
+            }
             "--out" => out = Some(value("--out")?),
             "--smoke" => {
                 cfg.sites = 4;
@@ -75,7 +88,8 @@ fn parse_args() -> Result<(SoakConfig, Option<String>), String> {
                      [--engine opt|optbatch|seq|seqbatch|scramble] \
                      [--mode otp|conservative] [--exec-us N] [--net-us N] \
                      [--jitter-us N] [--submitters N] [--hotspot] [--seed N] \
-                     [--nemesis calm|rough|hostile|live] [--out SOAK.json] [--smoke]"
+                     [--nemesis calm|rough|hostile|live] [--snapshot-every-ms N] \
+                     [--out SOAK.json] [--smoke]"
                 );
                 std::process::exit(0);
             }

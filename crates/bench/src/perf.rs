@@ -35,11 +35,15 @@
 
 use crate::json::Json;
 use otp_core::{ClusterBuilder, ClusterConfig, DurationDist, EngineKind, Mode};
+use otp_simnet::metrics::Histogram;
 use otp_simnet::{SimDuration, SimTime, SiteId};
 use otp_storage::{ClassId, ObjectId, Value};
+use otp_telemetry::{MemSink, Stage, TraceSink};
 use otp_workload::{Arrival, ClassSelection, StandardProcs, TpcB, WorkloadSpec};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Schema version of `BENCH.json`; bump on any layout change.
 pub const PERF_SCHEMA: u64 = 1;
@@ -347,6 +351,69 @@ pub struct CellMetrics {
     pub sim_duration_ns: u64,
 }
 
+/// Per-stage latency summary of one traced cell run.
+///
+/// For each lifecycle stage, over every transaction that reached the
+/// stage at its **origin** site: the offset of the stage's first
+/// observation from that transaction's submission, in simulated
+/// nanoseconds. The submit row therefore reads all-zero and carries the
+/// sample count; `execute` precedes `to_deliver` in OTP mode (execution
+/// starts at Opt-delivery) and follows it in conservative mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stable stage id (see [`Stage::id`]).
+    pub stage: &'static str,
+    /// Transactions that reached this stage at their origin site.
+    pub n: u64,
+    /// Median submit→stage offset, simulated ns.
+    pub p50_ns: u64,
+    /// 99th-percentile submit→stage offset, simulated ns.
+    pub p99_ns: u64,
+}
+
+/// Reduces a lifecycle trace to per-stage latency summaries.
+///
+/// Only events observed at a transaction's origin site count (the
+/// breakdown decomposes the origin-commit latency the matrix gates on),
+/// only the first observation per stage counts (optimistic re-executions
+/// do not shift the `execute` column), and only stages with at least one
+/// sample appear — `relay_wait` is absent on unsharded cells, `abort` on
+/// abort-free ones. Rows come out in canonical stage order.
+pub fn stage_breakdown(sink: &MemSink) -> Vec<StageLatency> {
+    let stages = Stage::all();
+    let mut first: BTreeMap<(u16, u64), [Option<u64>; 9]> = BTreeMap::new();
+    for ev in sink.events() {
+        if ev.site != ev.origin {
+            continue;
+        }
+        let slot =
+            &mut first.entry((ev.origin.raw(), ev.seq)).or_insert([None; 9])[ev.stage.rank()];
+        if slot.is_none() {
+            *slot = Some(ev.at.as_nanos());
+        }
+    }
+    let mut hists: Vec<Histogram> = stages.iter().map(|_| Histogram::new()).collect();
+    for times in first.values() {
+        let Some(submit) = times[Stage::Submit.rank()] else { continue };
+        for (i, t) in times.iter().enumerate() {
+            if let Some(t) = t {
+                hists[i].record(SimDuration::from_nanos(t.saturating_sub(submit)));
+            }
+        }
+    }
+    stages
+        .iter()
+        .zip(hists.iter_mut())
+        .filter(|(_, h)| !h.is_empty())
+        .map(|(stage, h)| StageLatency {
+            stage: stage.id(),
+            n: h.len() as u64,
+            p50_ns: h.quantile(0.5).as_nanos(),
+            p99_ns: h.quantile(0.99).as_nanos(),
+        })
+        .collect()
+}
+
 /// Runs one perf cell deterministically.
 ///
 /// A run that loses transactions (a bug — these scenarios are
@@ -359,6 +426,20 @@ pub fn run_perf_cell(cell: &PerfCell, txns: u64, seed: u64) -> CellMetrics {
     run_perf_cell_with_quantum(cell, txns, seed, PERF_QUANTUM)
 }
 
+/// [`run_perf_cell`] with a lifecycle trace attached, reduced to the
+/// per-stage breakdown (`--stage-breakdown`). Tracing is pure
+/// observation — the metrics are identical to the untraced run's.
+pub fn run_perf_cell_traced(
+    cell: &PerfCell,
+    txns: u64,
+    seed: u64,
+) -> (CellMetrics, Vec<StageLatency>) {
+    let sink = Arc::new(MemSink::new());
+    let metrics = run_cell_inner(cell, txns, seed, PERF_QUANTUM, Some(&sink));
+    let stages = stage_breakdown(&sink);
+    (metrics, stages)
+}
+
 /// [`run_perf_cell`] with an explicit delivery quantum. `SimDuration::ZERO`
 /// reproduces the pre-quantum driver schedule byte-for-byte (the zero
 /// pin in `tests/quantum.rs` holds the harness to that).
@@ -368,6 +449,20 @@ pub fn run_perf_cell_with_quantum(
     seed: u64,
     quantum: SimDuration,
 ) -> CellMetrics {
+    run_cell_inner(cell, txns, seed, quantum, None)
+}
+
+fn run_cell_inner(
+    cell: &PerfCell,
+    txns: u64,
+    seed: u64,
+    quantum: SimDuration,
+    sink: Option<&Arc<MemSink>>,
+) -> CellMetrics {
+    let attach = |b: ClusterBuilder| match sink {
+        Some(s) => b.trace_sink(Arc::clone(s) as Arc<dyn TraceSink>),
+        None => b,
+    };
     let sites = cell.net.sites();
     let classes = cell.net.classes();
     let config = ClusterConfig::new(sites, classes)
@@ -389,7 +484,8 @@ pub fn run_perf_cell_with_quantum(
         let (registry, procs) = StandardProcs::registry();
         let data = (0..classes).map(|c| (ObjectId::new(c as u32, 0), Value::Int(0))).collect();
         let mut cluster =
-            ClusterBuilder::from_config(config).registry(registry).initial_data(data).build();
+            attach(ClusterBuilder::from_config(config).registry(registry).initial_data(data))
+                .build();
         let groups = cell.net.groups();
         let per = sites / groups;
         let mut t = SimTime::from_millis(1);
@@ -421,10 +517,12 @@ pub fn run_perf_cell_with_quantum(
                 }
                 let (registry, procs) = StandardProcs::registry();
                 let schedule = spec.generate(&procs);
-                let mut cluster = ClusterBuilder::from_config(config)
-                    .registry(registry)
-                    .initial_data(spec.initial_data())
-                    .build();
+                let mut cluster = attach(
+                    ClusterBuilder::from_config(config)
+                        .registry(registry)
+                        .initial_data(spec.initial_data()),
+                )
+                .build();
                 schedule.apply(&mut cluster);
                 cluster
             }
@@ -434,10 +532,12 @@ pub fn run_perf_cell_with_quantum(
                     .with_seed(seed);
                 let (registry, proc) = tpcb.registry();
                 let schedule = tpcb.schedule(proc);
-                let mut cluster = ClusterBuilder::from_config(config)
-                    .registry(registry)
-                    .initial_data(tpcb.initial_data())
-                    .build();
+                let mut cluster = attach(
+                    ClusterBuilder::from_config(config)
+                        .registry(registry)
+                        .initial_data(tpcb.initial_data()),
+                )
+                .build();
                 schedule.apply(&mut cluster);
                 cluster
             }
@@ -474,12 +574,31 @@ pub struct PerfReport {
     pub seed: u64,
     /// `(cell, metrics)` in matrix order.
     pub cells: Vec<(PerfCell, CellMetrics)>,
+    /// Per-cell stage breakdowns, parallel to `cells` when the matrix ran
+    /// traced (`--stage-breakdown`); empty otherwise. Serialized as the
+    /// non-gated `stages` key — [`check_against_baseline`] ignores keys it
+    /// does not know, so a traced `BENCH.json` still checks cleanly
+    /// against an untraced baseline.
+    pub stages: Vec<Vec<StageLatency>>,
 }
 
 /// Runs the given cells (usually [`PerfCell::all`]) into a report.
 pub fn run_matrix(cells: &[PerfCell], txns: u64, seed: u64) -> PerfReport {
     let cells = cells.iter().map(|c| (*c, run_perf_cell(c, txns, seed))).collect();
-    PerfReport { txns, seed, cells }
+    PerfReport { txns, seed, cells, stages: Vec::new() }
+}
+
+/// [`run_matrix`] with a lifecycle trace per cell, reduced to the
+/// per-stage breakdowns (`--stage-breakdown`).
+pub fn run_matrix_with_stages(cells: &[PerfCell], txns: u64, seed: u64) -> PerfReport {
+    let mut out = Vec::with_capacity(cells.len());
+    let mut stages = Vec::with_capacity(cells.len());
+    for c in cells {
+        let (m, s) = run_perf_cell_traced(c, txns, seed);
+        out.push((*c, m));
+        stages.push(s);
+    }
+    PerfReport { txns, seed, cells: out, stages }
 }
 
 impl PerfReport {
@@ -488,8 +607,9 @@ impl PerfReport {
         let cells: Vec<Json> = self
             .cells
             .iter()
-            .map(|(cell, m)| {
-                Json::Obj(vec![
+            .enumerate()
+            .map(|(i, (cell, m))| {
+                let mut fields = vec![
                     ("id".into(), Json::Str(cell.id())),
                     ("completed".into(), Json::int(m.completed)),
                     ("throughput_per_sec".into(), Json::fixed(m.throughput_per_sec, 3)),
@@ -498,7 +618,22 @@ impl PerfReport {
                     ("abort_rate".into(), Json::fixed(m.abort_rate, 6)),
                     ("msgs_per_commit".into(), Json::fixed(m.msgs_per_commit, 4)),
                     ("sim_duration_ns".into(), Json::int(m.sim_duration_ns)),
-                ])
+                ];
+                if let Some(stages) = self.stages.get(i) {
+                    let rows = stages
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::Str(s.stage.into())),
+                                ("n".into(), Json::int(s.n)),
+                                ("p50_ns".into(), Json::int(s.p50_ns)),
+                                ("p99_ns".into(), Json::int(s.p99_ns)),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("stages".into(), Json::Arr(rows)));
+                }
+                Json::Obj(fields)
             })
             .collect();
         Json::Obj(vec![
@@ -706,6 +841,57 @@ mod tests {
         assert_eq!(m.abort_rate, 0.0, "conservative never aborts");
         assert!(m.msgs_per_commit > 0.0);
         assert!(m.sim_duration_ns > 0);
+    }
+
+    #[test]
+    fn traced_run_is_pure_observation_and_breaks_down_stages() {
+        let cell: PerfCell = "opt-otp-uniform".parse().unwrap();
+        let plain = run_perf_cell(&cell, 24, PERF_SEED);
+        let (traced, stages) = run_perf_cell_traced(&cell, 24, PERF_SEED);
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        let get = |id: &str| stages.iter().find(|s| s.stage == id);
+        let submit = get("submit").expect("submit row");
+        assert_eq!((submit.n, submit.p50_ns, submit.p99_ns), (24, 0, 0));
+        let opt = get("opt_deliver").expect("opt_deliver row");
+        let to = get("to_deliver").expect("to_deliver row");
+        let exec = get("execute").expect("execute row");
+        let commit = get("commit").expect("commit row");
+        assert_eq!(commit.n, 24, "every txn commits at its origin");
+        // OTP: execution starts at Opt-delivery, before the order is final.
+        assert!(opt.p50_ns <= to.p50_ns, "opt {} > to {}", opt.p50_ns, to.p50_ns);
+        assert!(exec.p50_ns >= opt.p50_ns && exec.p50_ns <= commit.p50_ns);
+        assert!(to.p50_ns <= commit.p50_ns);
+        // Unsharded cell: no relay stage; rows are in canonical order.
+        assert!(get("relay_wait").is_none());
+        let ranks: Vec<&str> = stages.iter().map(|s| s.stage).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_by_key(|id| Stage::all().iter().position(|s| s.id() == *id));
+        assert_eq!(ranks, sorted);
+    }
+
+    #[test]
+    fn stage_breakdown_json_is_byte_stable_and_non_gated() {
+        let cells: Vec<PerfCell> =
+            vec!["opt-otp-uniform".parse().unwrap(), "seq-otp-uniform-sharded".parse().unwrap()];
+        let a = run_matrix_with_stages(&cells, 16, PERF_SEED);
+        let b = run_matrix_with_stages(&cells, 16, PERF_SEED);
+        assert_eq!(a.to_json(), b.to_json(), "same inputs, same bytes");
+        let doc = Json::parse(&a.to_json()).unwrap();
+        let cells_json = doc.get("cells").and_then(Json::as_arr).unwrap();
+        for c in cells_json {
+            assert!(c.get("stages").and_then(Json::as_arr).is_some_and(|s| !s.is_empty()));
+        }
+        // The sharded scale cell routes every submission into its class's
+        // own group, so even with 4 ordering groups nothing crosses one —
+        // the relay stage must not appear in its breakdown.
+        assert!(a.stages[1].iter().all(|s| s.stage != "relay_wait"), "{:?}", a.stages[1]);
+        let commit = a.stages[1].iter().find(|s| s.stage == "commit").expect("commit row");
+        assert_eq!(commit.n, 16, "every sharded txn commits at its origin");
+        // The stages key is ignored by the baseline checker: a traced
+        // report checks cleanly against its own untraced baseline.
+        let untraced = run_matrix(&cells, 16, PERF_SEED);
+        assert_eq!(check_against_baseline(&a, &untraced.to_json(), 0.01).unwrap(), vec![]);
+        assert_eq!(check_against_baseline(&untraced, &a.to_json(), 0.01).unwrap(), vec![]);
     }
 
     #[test]

@@ -18,7 +18,11 @@ use otp_core::{EngineKind, Mode};
 use otp_simnet::nemesis::{NemesisKnobs, NemesisSchedule};
 use otp_simnet::{SimDuration, SimRng, SimTime, SiteId};
 use otp_storage::{ObjectId, Value};
+use otp_telemetry::registry::MetricValue;
+use otp_telemetry::MetricsSnapshot;
 use otp_workload::{ClassSelection, StandardProcs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
@@ -71,6 +75,12 @@ pub struct SoakConfig {
     /// Wall-clock window the fault plan is spread over (maps 1 ns : 1 ns
     /// from the schedule's virtual times).
     pub nemesis_horizon: Duration,
+    /// Interval between periodic metrics-registry snapshots taken while
+    /// the submitters run (`None` = no sampling). When enabled, one final
+    /// post-shutdown snapshot is always appended — it is the only one
+    /// guaranteed to exist on a run shorter than the interval, and the
+    /// only one that can carry `undelivered_at_stop`.
+    pub snapshot_every: Option<Duration>,
 }
 
 /// Nemesis intensity of a soak run (the `--nemesis` CLI knob).
@@ -153,6 +163,7 @@ impl SoakConfig {
             seed: 42,
             nemesis: None,
             nemesis_horizon: Duration::from_secs(2),
+            snapshot_every: Some(Duration::from_millis(500)),
         }
     }
 }
@@ -216,6 +227,21 @@ pub struct SoakOutcome {
     pub converged: bool,
     /// Shutdown drained to provable idleness (no wire lost).
     pub quiesced: bool,
+    /// Periodic registry snapshots (see [`SoakConfig::snapshot_every`]),
+    /// in sample order; the last one is the post-shutdown snapshot.
+    pub snapshots: Vec<SoakSnapshot>,
+}
+
+/// One point-in-time view of the runtime's metrics registry during a
+/// soak run.
+#[derive(Debug, Clone)]
+pub struct SoakSnapshot {
+    /// Wall-clock offset from the first submission (the scheduled sample
+    /// time for periodic samples, the measured run length for the final
+    /// post-shutdown one).
+    pub at: Duration,
+    /// Every registered metric at that instant.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Runs one soak: `cfg.submitters` threads drive `cfg.txns` transactions
@@ -246,41 +272,73 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
 
     let t0 = Instant::now();
     let submitters = cfg.submitters.max(1);
-    std::thread::scope(|s| {
-        for t in 0..submitters {
-            let cluster = &cluster;
-            let sampler = cfg.selection.sampler(cfg.classes);
-            let mut rng = SimRng::seed_from(cfg.seed ^ (0x50a4_0000 + t as u64));
-            s.spawn(move || {
-                // Submitter t drives global indices t, t+S, t+2S, …
-                let mut i = t as u64;
-                while i < cfg.txns {
-                    let site = SiteId::new((i % cfg.sites as u64) as u16);
-                    let class = sampler.pick(&mut rng);
-                    let key = rng.uniform_range(0, cfg.objects_per_class) as i64;
-                    let delta = 1 + rng.uniform_range(0, 10) as i64;
-                    match cluster.submit(
-                        site,
-                        class,
-                        procs.add,
-                        vec![Value::Int(key), Value::Int(delta)],
-                    ) {
-                        Ok(_) => i += submitters as u64,
-                        Err(SubmitError::ShuttingDown) => break,
-                        Err(e) => unreachable!("submit blocks on backpressure: {e}"),
+    let sampling = AtomicBool::new(true);
+    let snapshots = Mutex::new(Vec::new());
+    std::thread::scope(|outer| {
+        // The sampler rides in the outer scope so it keeps observing the
+        // registry while the fault plan finishes draining, after the
+        // submitters are already joined.
+        if let Some(every) = cfg.snapshot_every {
+            let metrics = cluster.metrics();
+            let (sampling, snapshots) = (&sampling, &snapshots);
+            outer.spawn(move || {
+                let mut next = every;
+                while sampling.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(5).min(every));
+                    if t0.elapsed() >= next {
+                        snapshots
+                            .lock()
+                            .expect("soak snapshots poisoned")
+                            .push(SoakSnapshot { at: next, metrics: metrics.snapshot() });
+                        next += every;
                     }
                 }
             });
         }
+        std::thread::scope(|s| {
+            for t in 0..submitters {
+                let cluster = &cluster;
+                let sampler = cfg.selection.sampler(cfg.classes);
+                let mut rng = SimRng::seed_from(cfg.seed ^ (0x50a4_0000 + t as u64));
+                s.spawn(move || {
+                    // Submitter t drives global indices t, t+S, t+2S, …
+                    let mut i = t as u64;
+                    while i < cfg.txns {
+                        let site = SiteId::new((i % cfg.sites as u64) as u16);
+                        let class = sampler.pick(&mut rng);
+                        let key = rng.uniform_range(0, cfg.objects_per_class) as i64;
+                        let delta = 1 + rng.uniform_range(0, 10) as i64;
+                        match cluster.submit(
+                            site,
+                            class,
+                            procs.add,
+                            vec![Value::Int(key), Value::Int(delta)],
+                        ) {
+                            Ok(_) => i += submitters as u64,
+                            Err(SubmitError::ShuttingDown) => break,
+                            Err(e) => unreachable!("submit blocks on backpressure: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        // Let the fault plan run to its quiescent point even if the
+        // submitters finished early — shutdown must not race a live cut.
+        if let Some(n) = nemesis {
+            n.join();
+        }
+        sampling.store(false, Ordering::Release);
     });
-    // Let the fault plan run to its quiescent point even if the
-    // submitters finished early — shutdown must not race a live cut.
-    if let Some(n) = nemesis {
-        n.join();
-    }
     let backpressure_events = cluster.backpressure_events();
+    let metrics = cluster.metrics();
     let report = cluster.shutdown(cfg.deadline);
     let wall = t0.elapsed();
+    let mut snapshots = snapshots.into_inner().expect("soak snapshots poisoned");
+    if cfg.snapshot_every.is_some() {
+        // The post-shutdown snapshot: quiescent totals, and the only
+        // sample that can carry `undelivered_at_stop`.
+        snapshots.push(SoakSnapshot { at: wall, metrics: metrics.snapshot() });
+    }
 
     let mut hist = report.commit_latency;
     let to_wall = |d: SimDuration| Duration::from_nanos(d.as_nanos());
@@ -296,6 +354,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
         backpressure_events,
         converged: report.converged,
         quiesced: report.quiesced,
+        snapshots,
     }
 }
 
@@ -335,6 +394,10 @@ pub fn soak_report_json(cfg: &SoakConfig, outcome: &SoakOutcome) -> Json {
                 ("seed".into(), Json::int(cfg.seed)),
                 ("nemesis".into(), Json::Str(cfg.nemesis.map(|n| n.id()).unwrap_or("none").into())),
                 ("nemesis_horizon_ms".into(), Json::int(cfg.nemesis_horizon.as_millis() as u64)),
+                (
+                    "snapshot_every_ms".into(),
+                    Json::int(cfg.snapshot_every.map_or(0, |d| d.as_millis() as u64)),
+                ),
             ]),
         ),
         (
@@ -352,6 +415,33 @@ pub fn soak_report_json(cfg: &SoakConfig, outcome: &SoakOutcome) -> Json {
                 ("converged".into(), Json::Bool(outcome.converged)),
                 ("quiesced".into(), Json::Bool(outcome.quiesced)),
             ]),
+        ),
+        (
+            "snapshots".into(),
+            Json::Arr(
+                outcome
+                    .snapshots
+                    .iter()
+                    .map(|s| {
+                        let metrics = s
+                            .metrics
+                            .entries
+                            .iter()
+                            .map(|(k, v)| {
+                                let v = match v {
+                                    MetricValue::Counter(c) => Json::Num(c.to_string()),
+                                    MetricValue::Gauge(g) => Json::Num(g.to_string()),
+                                };
+                                (k.to_string(), v)
+                            })
+                            .collect();
+                        Json::Obj(vec![
+                            ("t_ms".into(), Json::int(s.at.as_millis() as u64)),
+                            ("metrics".into(), Json::Obj(metrics)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -378,6 +468,7 @@ pub fn summarize(outcome: &SoakOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use otp_telemetry::Scope;
 
     /// Tier-1 smoke: a tiny soak completes, converges and quiesces.
     #[test]
@@ -391,8 +482,24 @@ mod tests {
         assert!(outcome.quiesced);
         assert_eq!(outcome.committed_total, 300 * 3);
         assert!(outcome.throughput_per_sec > 0.0);
+        // Sampling is on by default: however short the run, the final
+        // post-shutdown snapshot exists and carries the quiescent totals.
+        let last = outcome.snapshots.last().expect("post-shutdown snapshot");
+        assert_eq!(last.metrics.get("accepted", Scope::global()), Some(300));
+        assert_eq!(last.metrics.get("committed_total", Scope::global()), Some(900));
+        assert_eq!(last.metrics.get("in_flight", Scope::global()), Some(0));
         let json = soak_report_json(&cfg, &outcome);
         assert_eq!(json.get("schema").and_then(Json::as_f64), Some(1.0));
+        let snaps = json.get("snapshots").and_then(Json::as_arr).expect("snapshots key");
+        assert_eq!(snaps.len(), outcome.snapshots.len());
+        assert!(json.to_pretty().contains("\"committed_total\": 900"));
+
+        // Sampling off: no snapshots, no rows in the artifact.
+        cfg.snapshot_every = None;
+        let outcome = run_soak(&cfg);
+        assert!(outcome.snapshots.is_empty());
+        let json = soak_report_json(&cfg, &outcome);
+        assert_eq!(json.get("snapshots").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
     }
 
     /// A nemesis-flavored soak still meets the correctness obligations:

@@ -25,7 +25,9 @@ use crate::domain::EngineCtx;
 use crate::msg::{EngineAction, Message, MsgId, TimerToken, Wire, RECOVERY_SEQ_GAP};
 use crate::traits::{AtomicBroadcast, EngineSnapshot};
 use otp_simnet::{SimDuration, SiteId};
+use otp_telemetry::Counter;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Marker in [`TimerToken::round`] identifying the order-batch flush timer.
 const SEQ_BATCH_ROUND: u64 = u64::MAX - 2;
@@ -44,8 +46,13 @@ pub struct SeqAbcast<P> {
     /// the restored incarnation re-announces every live assignment under
     /// the new epoch, so nothing legitimate is lost.
     order_fence: u64,
-    /// Dead-epoch order frames rejected so far (surfaced in run stats).
-    stale_rejects: u64,
+    /// Dead-epoch order frames rejected so far. A detached counter by
+    /// default; the driver may swap in a [`MetricsRegistry`] handle via
+    /// [`AtomicBroadcast::set_stale_counter`] so the tally lands in the
+    /// unified registry (the value is carried over on swap).
+    ///
+    /// [`MetricsRegistry`]: otp_telemetry::MetricsRegistry
+    stale_rejects: Arc<Counter>,
     /// Sequencer-only: accumulation window for order assignments. `None`
     /// multicasts every assignment immediately (one frame per message);
     /// `Some(d)` holds assignments for `d` and flushes them as one
@@ -88,7 +95,7 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
             next_seq: 0,
             epoch: 0,
             order_fence: 0,
-            stale_rejects: 0,
+            stale_rejects: Arc::new(Counter::new()),
             order_batch_delay: None,
             next_global: 0,
             numbered: HashSet::new(),
@@ -236,7 +243,7 @@ impl<P: Clone + std::fmt::Debug> SeqAbcast<P> {
         // counter reaches the run-stats digest) — every assignment that is
         // still live was re-announced under the new epoch.
         if epoch < self.order_fence {
-            self.stale_rejects += 1;
+            self.stale_rejects.incr();
             return;
         }
         self.epoch = self.epoch.max(epoch);
@@ -455,7 +462,12 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
     }
 
     fn stale_epoch_rejects(&self) -> u64 {
-        self.stale_rejects
+        self.stale_rejects.get()
+    }
+
+    fn set_stale_counter(&mut self, counter: Arc<Counter>) {
+        counter.add(self.stale_rejects.get());
+        self.stale_rejects = counter;
     }
 }
 

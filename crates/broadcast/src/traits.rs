@@ -222,4 +222,11 @@ pub trait AtomicBroadcast<P>: fmt::Debug {
     fn stale_epoch_rejects(&self) -> u64 {
         0
     }
+
+    /// Attaches a shared [`otp_telemetry`] counter that the engine bumps
+    /// instead of (or in addition to) its private tally, folding the
+    /// engine's rejects into the driver's unified
+    /// [`otp_telemetry::MetricsRegistry`]. Engines that never reject
+    /// (no ordering authority) ignore the handle; default: nothing.
+    fn set_stale_counter(&mut self, _counter: std::sync::Arc<otp_telemetry::Counter>) {}
 }

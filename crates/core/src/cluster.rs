@@ -41,6 +41,7 @@ use otp_simnet::metrics::{Counters, Histogram};
 use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
 use otp_simnet::{EventQueue, MulticastNet, NetConfig, SimDuration, SimRng, SimTime, SiteId};
 use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, SnapshotIndex, Value};
+use otp_telemetry::{Counter, MetricsRegistry, Scope, Stage, TraceEvent, TraceSink};
 use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{TxnId, TxnRequest};
 use otp_view::{DigestOutcome, Membership, ViewChange, ViewId};
@@ -336,13 +337,27 @@ pub struct ClusterBuilder {
     config: ClusterConfig,
     registry: Arc<ProcRegistry>,
     initial_data: Vec<(ObjectId, Value)>,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl ClusterBuilder {
     /// Starts a builder from a prepared [`ClusterConfig`] (empty registry,
-    /// no initial data).
+    /// no initial data, tracing off).
     pub fn from_config(config: ClusterConfig) -> Self {
-        ClusterBuilder { config, registry: Arc::new(ProcRegistry::new()), initial_data: Vec::new() }
+        ClusterBuilder {
+            config,
+            registry: Arc::new(ProcRegistry::new()),
+            initial_data: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a lifecycle trace sink (off by default). Recording is
+    /// pure observation — it never touches the RNG or the event queue,
+    /// so a traced run is byte-identical to an untraced one.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Sets the stored-procedure registry shared by every site.
@@ -427,7 +442,7 @@ impl ClusterBuilder {
                 c.engine
             );
         }
-        Cluster::new(self.config, self.registry, self.initial_data)
+        Cluster::new(self.config, self.registry, self.initial_data, self.trace)
     }
 }
 
@@ -830,13 +845,13 @@ pub struct Cluster {
     relay_processed: Vec<usize>,
     /// Relay-domain view installations (counted separately so the
     /// single-group `view_install` counter is untouched by sharding).
-    relay_view_installs: u64,
+    relay_view_installs: Arc<Counter>,
     /// State digests that arrived for a round that no longer exists
     /// (superseded or completed) — normal under churn, but kept visible.
-    stale_view_digests: u64,
+    stale_view_digests: Arc<Counter>,
     /// Rounds explicitly aborted because a newer round for the same site
     /// superseded them (newest epoch wins).
-    superseded_views: u64,
+    superseded_views: Arc<Counter>,
     /// Per-site open delivery quantum: wires accumulated since the window
     /// opened (empty = no window open). Only used when
     /// `config.delivery_quantum > 0`.
@@ -879,7 +894,13 @@ pub struct Cluster {
     global_commit_latency: Histogram,
     query_latency: Histogram,
     completed: u64,
-    cross_group_frames: u64,
+    cross_group_frames: Arc<Counter>,
+    /// The unified metrics registry every counter above is registered in
+    /// (engines hold per-site/per-group `stale_epoch_reject` handles).
+    metrics: Arc<MetricsRegistry>,
+    /// Lifecycle trace sink; `None` = tracing off (the default), one
+    /// pointer check per hook.
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Cluster {
@@ -890,7 +911,9 @@ impl Cluster {
         config: ClusterConfig,
         registry: Arc<ProcRegistry>,
         initial_data: Vec<(ObjectId, Value)>,
+        trace: Option<Arc<dyn TraceSink>>,
     ) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
         let mut rng = SimRng::seed_from(config.seed);
         let net_rng = rng.fork();
         let _ = net_rng; // net uses the cluster rng directly at send time
@@ -927,16 +950,34 @@ impl Cluster {
                 })
             }
         };
+        // Engines bump a registry-scoped `stale_epoch_reject` handle in
+        // place of their private tally — the driver's unified registry is
+        // the single place the counts live.
         let engines: Vec<Engine> = SiteId::all(sites)
-            .map(|s| factory(&topology.domains[topology.group_of_site(s)]))
+            .map(|s| {
+                let g = topology.group_of_site(s);
+                let mut e = factory(&topology.domains[g]);
+                e.set_stale_counter(
+                    metrics.counter("stale_epoch_reject", Scope::site(s).group(g as u16)),
+                );
+                e
+            })
             .collect();
         // The relay stream is always a plain sequencer: cross-group
         // descriptors are rare and need nothing fancier than a total
         // order everyone shares.
         let relay_engines: Vec<Engine> = if config.groups > 1 {
-            let relay = &topology.domains[topology.relay_idx()];
+            let relay_idx = topology.relay_idx();
+            let relay = &topology.domains[relay_idx];
             SiteId::all(sites)
-                .map(|_| Box::new(SeqAbcast::new(relay.sequencer())) as Engine)
+                .map(|s| {
+                    let mut e = Box::new(SeqAbcast::new(relay.sequencer())) as Engine;
+                    e.set_stale_counter(
+                        metrics
+                            .counter("stale_epoch_reject", Scope::site(s).group(relay_idx as u16)),
+                    );
+                    e
+                })
                 .collect()
         } else {
             Vec::new()
@@ -986,9 +1027,9 @@ impl Cluster {
             epoch_history: (0..sites).map(|_| Vec::new()).collect(),
             relay_epoch: vec![0; sites],
             relay_processed: vec![0; sites],
-            relay_view_installs: 0,
-            stale_view_digests: 0,
-            superseded_views: 0,
+            relay_view_installs: metrics.counter("relay_view_install", Scope::global()),
+            stale_view_digests: metrics.counter("stale_view_digest", Scope::global()),
+            superseded_views: metrics.counter("view_supersede", Scope::global()),
             open_quantum: (0..sites).map(|_| Vec::new()).collect(),
             quantum_gen: vec![0; sites],
             held_wires: (0..sites).map(|_| Vec::new()).collect(),
@@ -1011,7 +1052,9 @@ impl Cluster {
             global_commit_latency: Histogram::new(),
             query_latency: Histogram::new(),
             completed: 0,
-            cross_group_frames: 0,
+            cross_group_frames: metrics.counter("cross_group_frames", Scope::global()),
+            metrics,
+            trace,
             config,
             registry,
         }
@@ -1029,7 +1072,28 @@ impl Cluster {
 
     /// Frames that crossed a group boundary so far (0 with one group).
     pub fn cross_group_frames(&self) -> u64 {
-        self.cross_group_frames
+        self.cross_group_frames.get()
+    }
+
+    /// The cluster's unified metrics registry (snapshotable at any
+    /// instant; deterministic order).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Records a lifecycle stage for `txn` observed at `site`, if a
+    /// trace sink is attached. Never perturbs the run.
+    fn trace_stage(&self, site: SiteId, txn: TxnId, group: u16, stage: Stage) {
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent {
+                at: self.queue.now(),
+                site,
+                origin: txn.origin,
+                seq: txn.seq,
+                group,
+                stage,
+            });
+        }
     }
 
     /// The engine (own-group or relay) serving domain `d` at `site`, with
@@ -1049,14 +1113,20 @@ impl Cluster {
         (engine, EngineCtx::at_epoch(site, &self.topology.domains[d], epoch))
     }
 
-    /// A fresh engine for domain `du` (recovery path).
-    fn make_engine(&mut self, du: usize) -> Engine {
+    /// A fresh engine for domain `du` at `site` (recovery path). The
+    /// replacement engine shares the site's registry counter, so rejects
+    /// observed before the swap stay visible in run stats.
+    fn make_engine(&mut self, site: SiteId, du: usize) -> Engine {
         let domain = &self.topology.domains[du];
-        if self.topology.is_relay(du) {
-            Box::new(SeqAbcast::new(domain.sequencer()))
+        let mut engine = if self.topology.is_relay(du) {
+            Box::new(SeqAbcast::new(domain.sequencer())) as Engine
         } else {
             (self.engine_factory)(domain)
-        }
+        };
+        engine.set_stale_counter(
+            self.metrics.counter("stale_epoch_reject", Scope::site(site).group(du as u16)),
+        );
+        engine
     }
 
     /// Definitive-log length of the engine serving domain `du` at `s`.
@@ -1368,10 +1438,10 @@ impl Cluster {
                 .map(|e| e.stale_epoch_rejects())
                 .sum::<u64>(),
         );
-        counters.add("stale_view_digest", self.stale_view_digests);
-        counters.add("view_supersede", self.superseded_views);
+        counters.add("stale_view_digest", self.stale_view_digests.get());
+        counters.add("view_supersede", self.superseded_views.get());
         if self.config.groups > 1 {
-            counters.add("relay_view_install", self.relay_view_installs);
+            counters.add("relay_view_install", self.relay_view_installs.get());
         }
         RunStats {
             commit_latency: self.commit_latency.clone(),
@@ -1380,7 +1450,7 @@ impl Cluster {
             counters,
             completed: self.completed,
             network_frames: self.net.sent_frames(),
-            cross_group_frames: self.cross_group_frames,
+            cross_group_frames: self.cross_group_frames.get(),
             now: self.queue.now(),
         }
     }
@@ -1508,8 +1578,12 @@ impl Cluster {
             return;
         }
         self.submit_time.entry(request.id).or_insert(self.queue.now());
+        if request.id.origin == site {
+            self.trace_stage(site, request.id, g as u16, Stage::Submit);
+        }
         if self.topology.group_of_site(site) == g {
             self.home_site.insert(request.id, site);
+            self.trace_stage(site, request.id, g as u16, Stage::Broadcast);
             let payload = TxnPayload::Txn { req: Arc::new(request), cross: None };
             let (engine, ctx) = self.engine_parts(site, g);
             let (_msg_id, actions) = engine.broadcast(&ctx, payload);
@@ -1530,7 +1604,7 @@ impl Cluster {
         else {
             return;
         };
-        self.cross_group_frames += 1;
+        self.cross_group_frames.incr();
         let now = self.queue.now();
         let arrival = if via_net {
             let size = request.size_bytes();
@@ -1549,6 +1623,8 @@ impl Cluster {
         let now = self.queue.now();
         for sub in &tag.subs {
             self.submit_time.entry(sub.id).or_insert(now);
+            let g = self.topology.group_of_class(sub.class) as u16;
+            self.trace_stage(site, sub.id, g, Stage::Submit);
         }
         let relay = self.topology.relay_idx();
         let payload = TxnPayload::Cross(Arc::new(tag));
@@ -1625,7 +1701,7 @@ impl Cluster {
                 let size = digest.size_bytes();
                 let now = self.queue.now();
                 if self.topology.cross_frame(to, initiator) {
-                    self.cross_group_frames += 1;
+                    self.cross_group_frames.incr();
                 }
                 let seg = self.topology.segment_of(du);
                 let dl = self.net.unicast_on(seg, to, initiator, size, now, &mut self.rng);
@@ -1636,14 +1712,14 @@ impl Cluster {
             }
             Wire::StateDigest { epoch, from, snapshot } => {
                 let Some(round) = self.pending_views.get_mut(&(d, to)) else {
-                    self.stale_view_digests += 1; // reply to a dead round
+                    self.stale_view_digests.incr(); // reply to a dead round
                     return;
                 };
                 match round.on_digest(from, epoch, snapshot) {
                     DigestOutcome::Completed => self.install_view_for(d, to),
                     DigestOutcome::Accepted => {}
                     DigestOutcome::WrongEpoch { .. } | DigestOutcome::Unexpected => {
-                        self.stale_view_digests += 1;
+                        self.stale_view_digests.incr();
                     }
                 }
             }
@@ -1663,7 +1739,7 @@ impl Cluster {
             self.relay_engines[site.index()].install_view(epoch, fence_orders);
             if epoch > self.relay_epoch[site.index()] {
                 self.relay_epoch[site.index()] = epoch;
-                self.relay_view_installs += 1;
+                self.relay_view_installs.incr();
             }
         } else {
             self.engines[site.index()].install_view(epoch, fence_orders);
@@ -1746,7 +1822,7 @@ impl Cluster {
                     .is_some_and(|round| round.superseded_by(self.next_epoch[d as usize]));
                 if superseded {
                     self.pending_views.remove(&(d, s));
-                    self.superseded_views += 1;
+                    self.superseded_views.incr();
                     self.propose_round(d, site);
                 }
             }
@@ -1842,7 +1918,7 @@ impl Cluster {
             self.engines[primary.index()].snapshot()
         };
         engine_snap.merge(round.into_merged());
-        let mut fresh_engine = self.make_engine(du);
+        let mut fresh_engine = self.make_engine(site, du);
         let engine_actions = {
             let ctx = EngineCtx::at_epoch(site, &self.topology.domains[du], epoch);
             fresh_engine.restore(&ctx, engine_snap)
@@ -2087,7 +2163,7 @@ impl Cluster {
         self.net.set_up(site);
         // 1. Fresh engine from the donor's broadcast state.
         let engine_snap = self.engines[donor.index()].snapshot();
-        let mut fresh_engine = self.make_engine(0);
+        let mut fresh_engine = self.make_engine(site, 0);
         let engine_actions = {
             let ctx =
                 EngineCtx::at_epoch(site, &self.topology.domains[0], self.installed_epoch(site));
@@ -2201,7 +2277,7 @@ impl Cluster {
                     let last = deliveries.len().saturating_sub(1);
                     for (i, d) in deliveries.into_iter().enumerate() {
                         if self.topology.cross_frame(site, d.to) {
-                            self.cross_group_frames += 1;
+                            self.cross_group_frames.incr();
                         }
                         let w = if i == last {
                             wire.take().expect("one take per multicast")
@@ -2217,7 +2293,7 @@ impl Cluster {
                 EngineAction::Send(to, wire) => {
                     let size = wire.size_bytes();
                     if self.topology.cross_frame(site, to) {
-                        self.cross_group_frames += 1;
+                        self.cross_group_frames.incr();
                     }
                     let d = self.net.unicast_on(segment, site, to, size, now, &mut self.rng);
                     self.queue.schedule(d.arrival, Ev::Wire { from: site, to, domain, wire });
@@ -2252,6 +2328,7 @@ impl Cluster {
         // The one deep copy on the delivery path: the replica takes
         // ownership of the request body.
         let request = TxnRequest::clone(req);
+        self.trace_stage(site, request.id, domain, Stage::OptDeliver);
         let actions = self.replicas[site.index()].on_opt_deliver(request);
         self.apply_replica_actions(site, actions);
     }
@@ -2277,6 +2354,9 @@ impl Cluster {
                     (req.id, req.class)
                 })
                 .collect();
+            for (id, _) in &batch {
+                self.trace_stage(site, *id, domain, Stage::ToDeliver);
+            }
             let actions = self.replicas[site.index()].on_to_deliver_batch(&batch);
             self.apply_replica_actions(site, actions);
             return;
@@ -2301,6 +2381,10 @@ impl Cluster {
     fn drain_gate(&mut self, site: SiteId) {
         let batch = self.gates[site.index()].release();
         if !batch.is_empty() {
+            let g = self.topology.group_of_site(site) as u16;
+            for (id, _) in &batch {
+                self.trace_stage(site, *id, g, Stage::ToDeliver);
+            }
             let actions = self.replicas[site.index()].on_to_deliver_batch(&batch);
             self.apply_replica_actions(site, actions);
         }
@@ -2335,6 +2419,9 @@ impl Cluster {
                 continue; // descriptor has no sub for this site's group
             };
             self.gates[site.index()].relay_order.push(tag.cross);
+            // End of the relay wait: the cluster-wide relay order just
+            // admitted this sub into its group stream.
+            self.trace_stage(site, sub.id, my_group as u16, Stage::RelayWait);
             let payload = TxnPayload::Txn { req: Arc::clone(sub), cross: Some(tag.cross) };
             let (engine, ctx) = self.engine_parts(site, my_group);
             let (_msg_id, actions) = engine.broadcast(&ctx, payload);
@@ -2343,16 +2430,34 @@ impl Cluster {
         }
     }
 
+    /// Ordering group of `txn` for trace labels (falls back to the
+    /// observing site's group for ids scheduled outside the router).
+    fn group_of_txn(&self, site: SiteId, txn: TxnId) -> u16 {
+        self.txn_group
+            .get(&txn)
+            .copied()
+            .unwrap_or_else(|| self.topology.group_of_site(site) as u16)
+    }
+
     fn apply_replica_actions(&mut self, site: SiteId, actions: Vec<ReplicaAction>) {
         let now = self.queue.now();
         for a in actions {
             match a {
                 ReplicaAction::StartExecution { token } => {
+                    let g = self.group_of_txn(site, token.txn);
+                    if token.attempt > 0 {
+                        // A retry implies the previous attempt was undone:
+                        // the abort is observable exactly here.
+                        self.trace_stage(site, token.txn, g, Stage::Abort);
+                    }
+                    self.trace_stage(site, token.txn, g, Stage::Execute);
                     let d = self.config.exec_time.sample(&mut self.rng);
                     let epoch = self.local_epoch[site.index()];
                     self.queue.schedule(now + d, Ev::ExecDone { site, epoch, token });
                 }
                 ReplicaAction::Committed { txn, index: _, output } => {
+                    let g = self.group_of_txn(site, txn);
+                    self.trace_stage(site, txn, g, Stage::Commit);
                     // Tracked per site: a recovery replay can re-commit at
                     // the same site (see below) and must not make the
                     // group-commit count reach the group size early.

@@ -79,8 +79,9 @@ use otp_broadcast::{
 };
 use otp_simnet::metrics::{Counters, Histogram};
 use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
-use otp_simnet::{SimDuration, SimRng, SiteId};
+use otp_simnet::{SimDuration, SimRng, SimTime, SiteId};
 use otp_storage::{ClassId, Database, ObjectId, ProcId, ProcRegistry, TxnIndex, Value};
+use otp_telemetry::{Counter, Gauge, MetricsRegistry, Scope, Stage, TraceEvent, TraceSink};
 use otp_txn::history::CommittedTxn;
 use otp_txn::txn::{TxnId, TxnRequest};
 use parking_lot::Mutex;
@@ -234,16 +235,21 @@ struct Shared {
     /// undelivered wires in the net heap, armed timers. The invariant is
     /// increment-before-enqueue, decrement-after-processing (with the
     /// units a message spawns counted first), so zero ⇔ the system is
-    /// quiescent — no thread can produce another event.
-    in_flight: AtomicI64,
+    /// quiescent — no thread can produce another event. A registry gauge
+    /// handle with the same `AcqRel`/`Acquire` discipline the bespoke
+    /// atomic used — the quiescence argument (DESIGN.md §9) is unchanged.
+    in_flight: Arc<Gauge>,
     /// Transactions admitted by `submit`/`try_submit`.
-    accepted: AtomicU64,
+    accepted: Arc<Counter>,
     /// Admitted transactions that committed at their origin site.
-    origin_committed: AtomicU64,
+    origin_committed: Arc<Counter>,
     /// Commit events across all sites.
-    committed_total: AtomicU64,
+    committed_total: Arc<Counter>,
     /// Rejections due to a full window or site queue.
-    backpressure: AtomicU64,
+    backpressure: Arc<Counter>,
+    /// The registry all of the above live in, snapshotable at any
+    /// instant via [`LiveCluster::metrics`] (soak harness, watchdogs).
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// Dynamic fault state shared by the cluster handle, the injector thread
@@ -415,6 +421,11 @@ pub struct LiveCluster {
     submit_times: Vec<Arc<Mutex<HashMap<u64, Instant>>>>,
     max_in_flight: u64,
     quiesce_grace: Duration,
+    /// Lifecycle trace sink shared with the site threads; the controller
+    /// records the [`Stage::AdmissionWait`] span of a blocking submit.
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Wall-clock zero of the trace timeline.
+    anchor: Instant,
 }
 
 /// Cheap clonable handle applying fault events to a running cluster: used
@@ -523,12 +534,12 @@ impl LiveDiag {
         format!(
             "in_flight={} held={} accepted={} origin_committed={} committed_total={} \
              backpressure={} admissions_open={} stop={}",
-            self.shared.in_flight.load(Ordering::Acquire),
+            self.shared.in_flight.get(),
             self.chaos.held.load(Ordering::Acquire),
-            self.shared.accepted.load(Ordering::Acquire),
-            self.shared.origin_committed.load(Ordering::Acquire),
-            self.shared.committed_total.load(Ordering::Acquire),
-            self.shared.backpressure.load(Ordering::Acquire),
+            self.shared.accepted.get(),
+            self.shared.origin_committed.get(),
+            self.shared.committed_total.get(),
+            self.shared.backpressure.get(),
             self.shared.running.load(Ordering::Acquire),
             self.shared.stop.load(Ordering::Acquire),
         )
@@ -542,16 +553,34 @@ impl LiveCluster {
         registry: Arc<ProcRegistry>,
         initial_data: Vec<(ObjectId, Value)>,
     ) -> Self {
+        Self::start_traced(config, registry, initial_data, None)
+    }
+
+    /// [`LiveCluster::start`] with a lifecycle-trace sink attached. Every
+    /// site thread records stage events ([`Stage`]) into `trace`;
+    /// timestamps are nanoseconds since cluster start. Pass an
+    /// `Arc<FlightRecorder>` to keep a bounded per-site ring (each ring
+    /// has exactly one writer — its site thread — so the per-ring lock is
+    /// never contended), or a `MemSink` for unbounded capture in tests.
+    pub fn start_traced(
+        config: LiveConfig,
+        registry: Arc<ProcRegistry>,
+        initial_data: Vec<(ObjectId, Value)>,
+        trace: Option<Arc<dyn TraceSink>>,
+    ) -> Self {
         assert!(config.sites > 0, "need at least one site");
         let n = config.sites;
+        let anchor = Instant::now();
+        let metrics = Arc::new(MetricsRegistry::new());
         let shared = Arc::new(Shared {
             running: AtomicBool::new(true),
             stop: AtomicBool::new(false),
-            in_flight: AtomicI64::new(0),
-            accepted: AtomicU64::new(0),
-            origin_committed: AtomicU64::new(0),
-            committed_total: AtomicU64::new(0),
-            backpressure: AtomicU64::new(0),
+            in_flight: metrics.gauge("in_flight", Scope::global()),
+            accepted: metrics.counter("accepted", Scope::global()),
+            origin_committed: metrics.counter("origin_committed", Scope::global()),
+            committed_total: metrics.counter("committed_total", Scope::global()),
+            backpressure: metrics.counter("backpressure_events", Scope::global()),
+            metrics: metrics.clone(),
         });
         let chaos = Arc::new(ChaosCtl::new(n));
         let (net_tx, net_rx) = crossbeam::channel::bounded::<DueWire>(config.net_queue);
@@ -588,7 +617,7 @@ impl LiveCluster {
 
         // One engine per site, same factory axis as the simulated cluster.
         // The scramble oracle is shared; everything here is Send.
-        let engines: Vec<LiveEngine> = match config.engine {
+        let mut engines: Vec<LiveEngine> = match config.engine {
             EngineKind::Opt { consensus_timeout } => {
                 let cfg = OptAbcastConfig::new(n, consensus_timeout);
                 (0..n).map(|_| Box::new(OptAbcast::new(cfg)) as LiveEngine).collect()
@@ -618,6 +647,15 @@ impl LiveCluster {
                     .collect()
             }
         };
+
+        // Engine stale-epoch rejects land in the shared registry, same
+        // metric name as the simulated driver (the live runtime is
+        // unsharded, so every site is group 0).
+        for (i, e) in engines.iter_mut().enumerate() {
+            e.set_stale_counter(
+                metrics.counter("stale_epoch_reject", Scope::site(SiteId::new(i as u16)).group(0)),
+            );
+        }
 
         // One database template.
         let mut base_db = Database::new(config.classes);
@@ -657,6 +695,8 @@ impl LiveCluster {
                 latency: Histogram::new(),
                 jitter_rng: SimRng::seed_from(config.seed ^ (0x9e3779b97f4a7c15 + i as u64)),
                 stopping: false,
+                trace: trace.clone(),
+                anchor,
             };
             handles.push(std::thread::spawn(move || worker.run(rx)));
         }
@@ -671,6 +711,8 @@ impl LiveCluster {
             submit_times,
             max_in_flight: config.max_in_flight.max(1) as u64,
             quiesce_grace: config.quiesce_grace,
+            trace,
+            anchor,
         }
     }
 
@@ -684,11 +726,32 @@ impl LiveCluster {
         proc: ProcId,
         mut args: Vec<Value>,
     ) -> Result<TxnId, SubmitError> {
+        let mut waited_since: Option<Instant> = None;
         loop {
             match self.admit(site, class, proc, args) {
-                Ok(id) => return Ok(id),
+                Ok(id) => {
+                    // A submit that had to block records the wait as an
+                    // AdmissionWait stage, stamped at the wait's *start*
+                    // (so Submit − AdmissionWait is the wait duration).
+                    if let (Some(t0), Some(sink)) = (waited_since, self.trace.as_deref()) {
+                        if sink.enabled() {
+                            sink.record(TraceEvent {
+                                at: SimTime::from_nanos(
+                                    t0.saturating_duration_since(self.anchor).as_nanos() as u64,
+                                ),
+                                site,
+                                origin: site,
+                                seq: id.seq,
+                                group: 0,
+                                stage: Stage::AdmissionWait,
+                            });
+                        }
+                    }
+                    return Ok(id);
+                }
                 Err((SubmitError::Backpressure, returned)) => {
                     args = returned;
+                    waited_since.get_or_insert_with(Instant::now);
                     std::thread::sleep(SUBMIT_RETRY);
                 }
                 Err((e, _)) => return Err(e),
@@ -720,10 +783,10 @@ impl LiveCluster {
         if !self.shared.running.load(Ordering::Acquire) {
             return Err((SubmitError::ShuttingDown, args));
         }
-        let accepted = self.shared.accepted.load(Ordering::Acquire);
-        let done = self.shared.origin_committed.load(Ordering::Acquire);
+        let accepted = self.shared.accepted.get();
+        let done = self.shared.origin_committed.get();
         if accepted.saturating_sub(done) >= self.max_in_flight {
-            self.shared.backpressure.fetch_add(1, Ordering::Relaxed);
+            self.shared.backpressure.incr();
             return Err((SubmitError::Backpressure, args));
         }
         let mut seqs = self.next_seq.lock();
@@ -733,20 +796,20 @@ impl LiveCluster {
         // Timestamp before the send: the site thread may commit (and look
         // the timestamp up) before this function returns.
         self.submit_times[site.index()].lock().insert(seq, Instant::now());
-        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.shared.in_flight.add(1);
         match self.site_txs[site.index()].try_send(SiteMsg::Submit { request }) {
             Ok(()) => {
                 seqs[site.index()] = seq + 1;
                 drop(seqs);
-                self.shared.accepted.fetch_add(1, Ordering::AcqRel);
+                self.shared.accepted.incr();
                 Ok(id)
             }
             Err(e) => {
-                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.shared.in_flight.add(-1);
                 self.submit_times[site.index()].lock().remove(&seq);
                 let (err, msg) = match e {
                     crossbeam::channel::TrySendError::Full(m) => {
-                        self.shared.backpressure.fetch_add(1, Ordering::Relaxed);
+                        self.shared.backpressure.incr();
                         (SubmitError::Backpressure, m)
                     }
                     crossbeam::channel::TrySendError::Disconnected(m) => {
@@ -768,19 +831,27 @@ impl LiveCluster {
 
     /// Transactions admitted so far.
     pub fn accepted(&self) -> u64 {
-        self.shared.accepted.load(Ordering::Acquire)
+        self.shared.accepted.get()
     }
 
     /// Submissions rejected (or blocked at least once) by backpressure.
     pub fn backpressure_events(&self) -> u64 {
-        self.shared.backpressure.load(Ordering::Acquire)
+        self.shared.backpressure.get()
     }
 
     /// Commit events across all sites so far (each transaction counts
     /// once per site that committed it). Lets harnesses wait for a
     /// workload phase to settle before injecting the next fault.
     pub fn committed_total(&self) -> u64 {
-        self.shared.committed_total.load(Ordering::Acquire)
+        self.shared.committed_total.get()
+    }
+
+    /// The cluster's metrics registry: every live counter and gauge
+    /// (admission window, in-flight accounting, backpressure, per-site
+    /// stale-epoch rejects) under one snapshotable roof. Safe to snapshot
+    /// at any instant — the soak harness samples it periodically.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.shared.metrics.clone()
     }
 
     // ------------------------------------------------------------------
@@ -909,7 +980,7 @@ impl LiveCluster {
             // Releases require a heal/recover, which after halted
             // admissions only a direct caller can trigger — the injector
             // has already exited.
-            let in_flight = self.shared.in_flight.load(Ordering::Acquire);
+            let in_flight = self.shared.in_flight.get();
             let held = self.chaos.chaos.held.load(Ordering::Acquire);
             if in_flight == held {
                 quiesced = true;
@@ -921,6 +992,12 @@ impl LiveCluster {
             std::thread::sleep(Duration::from_micros(500));
         }
         let undelivered_at_stop = self.chaos.chaos.held.load(Ordering::Acquire).max(0) as u64;
+        // Make the verdict visible to registry consumers too (soak
+        // snapshots, watchdog dumps), not just to LiveReport readers.
+        self.shared
+            .metrics
+            .counter("undelivered_at_stop", Scope::global())
+            .add(undelivered_at_stop);
         // Phase 2: stop the threads (they notice within one idle tick).
         self.shared.stop.store(true, Ordering::Release);
         if let Some(h) = self.net_handle {
@@ -949,8 +1026,8 @@ impl LiveCluster {
             dbs,
             quiesced,
             undelivered_at_stop,
-            accepted: self.shared.accepted.load(Ordering::Acquire),
-            committed_total: self.shared.committed_total.load(Ordering::Acquire),
+            accepted: self.shared.accepted.get(),
+            committed_total: self.shared.committed_total.get(),
             commit_latency,
             counters,
             histories,
@@ -1052,7 +1129,7 @@ fn net_main(
                     crossbeam::channel::TrySendError::Disconnected(_) => {
                         // Site already exited (forced teardown): the wire
                         // is lost; account for its unit.
-                        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        shared.in_flight.add(-1);
                     }
                 }
             }
@@ -1136,6 +1213,11 @@ struct SiteWorker {
     /// drain batch shrinks to `drain_limit` and each iteration pauses,
     /// so the bounded inbound queue saturates and backpressure fires.
     pressure: Option<(usize, Instant)>,
+    /// Lifecycle trace sink (`None` = tracing off, the default; the hot
+    /// path then pays one pointer-null branch per stage point).
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Wall-clock zero of the trace timeline (cluster start).
+    anchor: Instant,
 }
 
 impl SiteWorker {
@@ -1173,7 +1255,7 @@ impl SiteWorker {
                 }
             }
             self.flush(&mut wires);
-            self.shared.in_flight.fetch_sub(consumed, Ordering::AcqRel);
+            self.shared.in_flight.add(-consumed);
             if self.pressure.is_some() {
                 // Throttle between drains so the queue actually backs up.
                 std::thread::sleep(PRESSURE_PAUSE);
@@ -1278,6 +1360,10 @@ impl SiteWorker {
             SiteMsg::Wire { from, wire } => wires.push((from, wire)),
             SiteMsg::Submit { request } => {
                 self.flush(wires);
+                // Submission and broadcast coincide here: the site thread
+                // hands the accepted request straight to its engine.
+                self.trace_stage(request.id, Stage::Submit);
+                self.trace_stage(request.id, Stage::Broadcast);
                 let (_, actions) = self.engine.broadcast(
                     &EngineCtx::new(self.me, &self.domain),
                     TxnPayload::Txn { req: Arc::new(request), cross: None },
@@ -1312,7 +1398,7 @@ impl SiteWorker {
                     self.apply_replica_actions(actions);
                 }
             }
-            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shared.in_flight.add(-1);
         }
     }
 
@@ -1331,7 +1417,7 @@ impl SiteWorker {
                     let mut consumed = 0i64;
                     self.ingest(msg, &mut wires, &mut consumed);
                     self.flush(&mut wires);
-                    self.shared.in_flight.fetch_sub(consumed, Ordering::AcqRel);
+                    self.shared.in_flight.add(-consumed);
                 }
                 Err(_) => {
                     if self.timers.is_empty() {
@@ -1343,6 +1429,25 @@ impl SiteWorker {
                             .min(Duration::from_millis(1)),
                     );
                 }
+            }
+        }
+    }
+
+    /// Records `txn` reaching `stage` at this site, stamped with
+    /// nanoseconds since cluster start. The threaded runtime is
+    /// unsharded, so the group is always 0.
+    fn trace_stage(&self, txn: TxnId, stage: Stage) {
+        if let Some(sink) = self.trace.as_deref() {
+            if sink.enabled() {
+                let ns = self.anchor.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                sink.record(TraceEvent {
+                    at: SimTime::from_nanos(ns),
+                    site: self.me,
+                    origin: txn.origin,
+                    seq: txn.seq,
+                    group: 0,
+                    stage,
+                });
             }
         }
     }
@@ -1360,9 +1465,9 @@ impl SiteWorker {
     /// it back.
     fn post_wire(&mut self, to: SiteId, wire: Wire<TxnPayload>) {
         let due = Instant::now() + self.cfg.net_delay + self.jitter();
-        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.shared.in_flight.add(1);
         if self.net.send(DueWire { due, to, from: self.me, wire }).is_err() {
-            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shared.in_flight.add(-1);
         }
     }
 
@@ -1383,7 +1488,7 @@ impl SiteWorker {
                     if self.stopping {
                         continue;
                     }
-                    self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                    self.shared.in_flight.add(1);
                     self.timers.push(DuePending {
                         due: Instant::now() + Duration::from_nanos(delay.as_nanos()),
                         what: Pending::Timer(token),
@@ -1395,6 +1500,7 @@ impl SiteWorker {
                     };
                     // The one deep copy per transaction per site.
                     let request = TxnRequest::clone(req);
+                    self.trace_stage(request.id, Stage::OptDeliver);
                     self.msg_map.insert(msg.id, (request.id, request.class));
                     let actions = self.replica.on_opt_deliver(request);
                     self.apply_replica_actions(actions);
@@ -1404,6 +1510,9 @@ impl SiteWorker {
                         .iter()
                         .map(|id| self.msg_map.remove(id).expect("Opt-delivered before TO"))
                         .collect();
+                    for (txn, _) in &batch {
+                        self.trace_stage(*txn, Stage::ToDeliver);
+                    }
                     let actions = self.replica.on_to_deliver_batch(&batch);
                     self.apply_replica_actions(actions);
                 }
@@ -1415,16 +1524,24 @@ impl SiteWorker {
         for a in actions {
             match a {
                 ReplicaAction::StartExecution { token } => {
-                    self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                    // A retry implies the previous attempt was aborted by
+                    // a definitive-order mismatch; surface that as an
+                    // Abort stage before the fresh Execute.
+                    if token.attempt > 0 {
+                        self.trace_stage(token.txn, Stage::Abort);
+                    }
+                    self.trace_stage(token.txn, Stage::Execute);
+                    self.shared.in_flight.add(1);
                     self.timers.push(DuePending {
                         due: Instant::now() + self.cfg.exec_time,
                         what: Pending::ExecDone(token),
                     });
                 }
                 ReplicaAction::Committed { txn, .. } => {
-                    self.shared.committed_total.fetch_add(1, Ordering::AcqRel);
+                    self.trace_stage(txn, Stage::Commit);
+                    self.shared.committed_total.incr();
                     if txn.origin == self.me {
-                        self.shared.origin_committed.fetch_add(1, Ordering::AcqRel);
+                        self.shared.origin_committed.incr();
                         if let Some(t0) = self.submit_times.lock().remove(&txn.seq) {
                             let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                             self.latency.record(SimDuration::from_nanos(ns));

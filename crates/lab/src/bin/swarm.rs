@@ -15,11 +15,16 @@
 //! ```text
 //! swarm [--seeds N] [--start-seed N] [--seed N] [--grid-cell CELL]
 //!       [--live-fault crash|partition|stall|pressure]
-//!       [--txns N] [--sabotage KIND] [--repro-out FILE] [--list-cells]
+//!       [--txns N] [--sabotage KIND] [--repro-out FILE]
+//!       [--trace-out FILE] [--list-cells]
 //! ```
 //!
 //! `--repro-out FILE` writes one reproducer line per violated run (sweep
-//! mode) so CI can upload the lines as an artifact on failure.
+//! mode) so CI can upload the lines as an artifact on failure; each
+//! violated run's flight-recorder dump (the last trace events per site)
+//! lands next to it in `FILE.flight.jsonl`. In single-run modes
+//! (`--seed`, `--live-fault`) `--trace-out FILE` writes the violated
+//! run's flight dump to `FILE`.
 
 use otp_lab::grid::Intensity;
 use otp_lab::live::{run_conformance, ConformanceSpec, LiveFault};
@@ -40,7 +45,18 @@ struct Args {
     groups: Option<usize>,
     sabotage: Option<Sabotage>,
     repro_out: Option<String>,
+    trace_out: Option<String>,
     list_cells: bool,
+}
+
+/// Writes a violated run's flight-recorder dump, reporting (not failing)
+/// on IO errors — the dump is evidence, not the verdict.
+fn write_flight(path: &str, dump: &str) {
+    if let Err(e) = std::fs::write(path, dump) {
+        eprintln!("swarm: could not write {path}: {e}");
+    } else {
+        println!("flight recorder dump written to {path}");
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         groups: None,
         sabotage: None,
         repro_out: None,
+        trace_out: None,
         list_cells: false,
     };
     let mut it = std::env::args().skip(1);
@@ -71,13 +88,14 @@ fn parse_args() -> Result<Args, String> {
             "--groups" => args.groups = Some(parse_num(&value("--groups")?)? as usize),
             "--sabotage" => args.sabotage = Some(Sabotage::parse(&value("--sabotage")?)?),
             "--repro-out" => args.repro_out = Some(value("--repro-out")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--list-cells" => args.list_cells = true,
             "--help" | "-h" => {
                 println!(
                     "usage: swarm [--seeds N] [--start-seed N] [--seed N] \
                      [--grid-cell CELL] [--live-fault crash|partition|stall|pressure] \
                      [--intensity calm|rough|hostile|viewchange] [--txns N] [--groups N] \
-                     [--sabotage KIND] [--repro-out FILE] [--list-cells]\n\
+                     [--sabotage KIND] [--repro-out FILE] [--trace-out FILE] [--list-cells]\n\
                      CHAOS_SEEDS bounds the sweep when --seeds is absent; --intensity \
                      restricts the sweep to one nemesis intensity (the CI chaos matrix); \
                      --live-fault with --seed runs one cross-driver conformance check."
@@ -138,6 +156,9 @@ fn main() -> ExitCode {
         } else {
             print!("{}", outcome.describe_failure());
             println!("repro: {}", outcome.reproducer);
+            if let (Some(path), Some(dump)) = (&args.trace_out, &outcome.live_flight) {
+                write_flight(path, dump);
+            }
             ExitCode::FAILURE
         };
     }
@@ -166,6 +187,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             println!("repro: {}", outcome.reproducer);
+            if let (Some(path), Some(dump)) = (&args.trace_out, &outcome.flight_dump) {
+                write_flight(path, dump);
+            }
             ExitCode::FAILURE
         };
     }
@@ -225,13 +249,26 @@ fn main() -> ExitCode {
             println!("repro: {}", f.reproducer);
         }
         // One reproducer line per violated run, for the CI failure
-        // artifact.
+        // artifact; the violated runs' flight-recorder dumps ride along
+        // in one JSONL file next to it, each prefixed by a header line
+        // naming its reproducer.
         if let Some(path) = &args.repro_out {
             let lines: String = failures.iter().map(|f| format!("{}\n", f.reproducer)).collect();
             if let Err(e) = std::fs::write(path, lines) {
                 eprintln!("swarm: could not write {path}: {e}");
             } else {
                 println!("reproducers written to {path}");
+            }
+            let dumps: String = failures
+                .iter()
+                .filter_map(|f| {
+                    f.flight_dump.as_ref().map(|d| {
+                        format!("{{\"repro\":\"{}\"}}\n{d}", f.reproducer.replace('"', "\\\""))
+                    })
+                })
+                .collect();
+            if !dumps.is_empty() {
+                write_flight(&format!("{path}.flight.jsonl"), &dumps);
             }
         }
         ExitCode::FAILURE

@@ -1,0 +1,44 @@
+//! `trace-diff`: first divergence between two lifecycle-trace dumps.
+//!
+//! Sim traces are byte-stable artifacts of (config, seed, schedule), so
+//! two dumps that *should* be the same run can be diffed line by line;
+//! the first differing line localizes a nondeterminism or a behavior
+//! change to the exact transaction and stage where histories fork.
+//!
+//! ```text
+//! trace-diff LEFT.jsonl RIGHT.jsonl
+//! ```
+//!
+//! Exit code 0 when the traces are identical, 1 at the first divergence
+//! (printed with both lines), 2 on usage or IO errors.
+
+use otp_telemetry::diff_traces;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [left_path, right_path] = args.as_slice() else {
+        eprintln!("usage: trace-diff LEFT.jsonl RIGHT.jsonl");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("trace-diff: could not read {path}: {e}");
+            None
+        }
+    };
+    let (Some(left), Some(right)) = (read(left_path), read(right_path)) else {
+        return ExitCode::from(2);
+    };
+    match diff_traces(&left, &right) {
+        None => {
+            println!("traces identical ({} lines)", left.lines().count());
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("{d}");
+            ExitCode::FAILURE
+        }
+    }
+}

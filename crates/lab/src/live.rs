@@ -35,8 +35,10 @@ use otp_core::{InvariantReport, Mode};
 use otp_simnet::nemesis::{NemesisEvent, NemesisSchedule};
 use otp_simnet::{SimRng, SimTime, SiteId};
 use otp_storage::{ClassId, ObjectId, Value};
+use otp_telemetry::FlightRecorder;
 use otp_workload::StandardProcs;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Virtual-time fault window, mapped 1 ns : 1 ns onto the wall clock by
@@ -211,6 +213,9 @@ pub struct ConformanceOutcome {
     pub live_commits: u64,
     /// One-line command reproducing this run.
     pub reproducer: String,
+    /// Live-leg flight-recorder dump (last trace events per site as
+    /// JSONL), captured only when the run failed.
+    pub live_flight: Option<String>,
 }
 
 impl ConformanceOutcome {
@@ -263,7 +268,11 @@ pub fn run_conformance(spec: &ConformanceSpec) -> ConformanceOutcome {
         initial.push((ObjectId::new(c, 0), Value::Int(0)));
     }
     let config = LiveConfig::new(spec.sites, spec.classes).with_seed(spec.seed);
-    let cluster = LiveCluster::start(config, registry, initial);
+    // The live leg flies with a bounded per-site trace ring (each ring is
+    // written only by its own site thread); a failed run carries its last
+    // moments in the outcome.
+    let recorder = Arc::new(FlightRecorder::with_default_capacity(spec.sites));
+    let cluster = LiveCluster::start_traced(config, registry, initial, Some(recorder.clone()));
     let start = Instant::now();
     let nemesis = cluster.inject_nemesis(&schedule);
 
@@ -299,7 +308,7 @@ pub fn run_conformance(spec: &ConformanceSpec) -> ConformanceOutcome {
 
     let report = cluster.shutdown(LIVE_DEADLINE);
     let live = report.check_invariants(&probes);
-    ConformanceOutcome {
+    let mut outcome = ConformanceOutcome {
         spec: *spec,
         sim,
         live,
@@ -307,7 +316,12 @@ pub fn run_conformance(spec: &ConformanceSpec) -> ConformanceOutcome {
         live_undelivered: report.undelivered_at_stop,
         live_commits: report.committed_total,
         reproducer: spec.reproducer(),
+        live_flight: None,
+    };
+    if !outcome.passed() {
+        outcome.live_flight = Some(recorder.dump_jsonl());
     }
+    outcome
 }
 
 fn sleep_until(due: Instant) {

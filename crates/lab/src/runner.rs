@@ -10,9 +10,11 @@ use crate::grid::GridCell;
 use otp_core::{Cluster, ClusterBuilder, ClusterConfig, DurationDist, InvariantReport};
 use otp_simnet::{SimDuration, SimTime, SiteId};
 use otp_storage::{ClassId, ObjectId, Value};
+use otp_telemetry::FlightRecorder;
 use otp_txn::txn::TxnId;
 use otp_workload::StandardProcs;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Virtual-time window in which the nemesis may inject faults.
 const CHAOS_HORIZON: SimTime = SimTime::from_millis(400);
@@ -164,6 +166,10 @@ pub struct CellOutcome {
     pub fingerprint: u64,
     /// One-line command reproducing this run.
     pub reproducer: String,
+    /// Flight-recorder dump: the last trace events per site as JSONL,
+    /// captured only when the invariant bundle was violated (the crash
+    /// context that rides along with the reproducer line).
+    pub flight_dump: Option<String>,
 }
 
 impl CellOutcome {
@@ -204,8 +210,15 @@ pub fn run_cell_with_schedule(
         .with_delivery_quantum(spec.cell.engine.delivery_quantum())
         .with_groups(spec.groups)
         .with_seed(spec.seed);
-    let mut cluster =
-        ClusterBuilder::from_config(config).registry(registry).initial_data(initial).build();
+    // Every chaos run flies with a bounded per-site trace ring; the run
+    // stays deterministic (recording is pure observation) and a violated
+    // run dumps its last moments next to the reproducer line.
+    let recorder = Arc::new(FlightRecorder::with_default_capacity(spec.sites));
+    let mut cluster = ClusterBuilder::from_config(config)
+        .registry(registry)
+        .initial_data(initial)
+        .trace_sink(recorder.clone())
+        .build();
 
     // Main workload: increments round-robined over sites and classes,
     // spread across the chaos window. A sharded run routes each update
@@ -264,6 +277,7 @@ pub fn run_cell_with_schedule(
     let stats_digest = stats_digest(&cluster);
     let fingerprint = fnv1a(stats_digest.as_bytes());
     let stats = cluster.stats();
+    let flight_dump = (!report.is_ok()).then(|| recorder.dump_jsonl());
     CellOutcome {
         spec: *spec,
         report,
@@ -272,6 +286,7 @@ pub fn run_cell_with_schedule(
         stats_digest,
         fingerprint,
         reproducer: spec.reproducer(),
+        flight_dump,
     }
 }
 

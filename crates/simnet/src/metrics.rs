@@ -56,8 +56,14 @@ impl Histogram {
         self.samples.is_empty()
     }
 
-    /// Merges all samples from `other` into `self`.
+    /// Merges all samples from `other` into `self`. Merging an empty
+    /// histogram is a no-op and in particular keeps `self`'s sortedness,
+    /// so quantile reads after a run of empty merges (common when most
+    /// sites contributed nothing) never re-sort.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
@@ -72,7 +78,9 @@ impl Histogram {
     }
 
     /// Exact quantile `q ∈ [0, 1]` (nearest-rank). Returns zero for an
-    /// empty histogram.
+    /// empty histogram; out-of-range `q` (±∞ included) clamps into the
+    /// range, and `NaN` reads as 0 (the minimum) rather than picking an
+    /// arbitrary rank.
     pub fn quantile(&mut self, q: f64) -> SimDuration {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
@@ -81,7 +89,7 @@ impl Histogram {
             self.samples.sort_unstable();
             self.sorted = true;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
         SimDuration::from_nanos(self.samples[rank])
     }
@@ -278,6 +286,41 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.mean(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn histogram_merge_empty_edges() {
+        // empty ← empty: still empty, quantiles stay zero.
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert!(a.is_empty());
+        assert_eq!(a.quantile(0.5), SimDuration::ZERO);
+
+        // empty ← non-empty: adopts the samples.
+        let mut b = Histogram::new();
+        b.record(SimDuration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.quantile(1.0), SimDuration::from_millis(4));
+
+        // non-empty ← empty: a no-op that keeps sortedness — quantile
+        // answers stay identical before and after.
+        let before = a.quantile(0.5);
+        a.merge(&Histogram::new());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.quantile(0.5), before);
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_weird_q() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(1));
+        h.record(SimDuration::from_millis(9));
+        assert_eq!(h.quantile(-3.0), SimDuration::from_millis(1));
+        assert_eq!(h.quantile(7.5), SimDuration::from_millis(9));
+        assert_eq!(h.quantile(f64::NAN), SimDuration::from_millis(1));
+        assert_eq!(h.quantile(f64::INFINITY), SimDuration::from_millis(9));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), SimDuration::from_millis(1));
     }
 
     #[test]

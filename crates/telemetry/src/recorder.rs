@@ -1,0 +1,169 @@
+//! The flight recorder: last-N trace events per site, in a ring.
+//!
+//! Chaos runs attach one of these so that when an invariant trips (or a
+//! watchdog fires in the threaded runtime), the failing seed arrives
+//! with its own causal event history — dumped as JSONL next to the
+//! one-line reproducer.
+//!
+//! Concurrency: one ring per site, each behind its own `Mutex`. In both
+//! drivers a site's events are recorded by exactly one thread (the sim
+//! loop, or that site's worker thread), so the per-site lock is never
+//! contended — uncontended `Mutex` lock/unlock is a single atomic CAS
+//! pair, and the workspace forbids `unsafe`, so this is the honest
+//! spelling of "lock-free in practice". The dump path (failure handling
+//! only) is the only cross-thread reader.
+
+use std::sync::Mutex;
+
+use crate::trace::{TraceEvent, TraceSink};
+
+/// Default ring capacity per site. 256 events ≈ the last few dozen
+/// transactions' full lifecycles at one site — enough causal history to
+/// read a violation, small enough to keep resident for every chaos cell.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position once the ring has wrapped.
+    next: usize,
+    /// Total events ever recorded (so dumps can say how many were lost).
+    total: u64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring { buf: Vec::new(), next: 0, total: 0 }
+    }
+
+    fn push(&mut self, ev: TraceEvent, cap: usize) {
+        self.total += 1;
+        if self.buf.len() < cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % cap;
+        }
+    }
+
+    /// Events oldest → newest.
+    fn in_order(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+/// Per-site ring buffer of the most recent trace events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rings: Vec<Mutex<Ring>>,
+    cap: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder for `sites` sites keeping the last `cap` events each.
+    pub fn new(sites: usize, cap: usize) -> Self {
+        assert!(cap > 0, "flight recorder capacity must be positive");
+        FlightRecorder { rings: (0..sites).map(|_| Mutex::new(Ring::new())).collect(), cap }
+    }
+
+    /// A recorder with [`DEFAULT_RING_CAPACITY`] per site.
+    pub fn with_default_capacity(sites: usize) -> Self {
+        Self::new(sites, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Events currently held for `site`, oldest → newest.
+    pub fn site_events(&self, site: usize) -> Vec<TraceEvent> {
+        self.rings[site].lock().expect("flight ring poisoned").in_order()
+    }
+
+    /// Total events ever recorded across all sites (including those that
+    /// have rotated out of the rings).
+    pub fn total_recorded(&self) -> u64 {
+        self.rings.iter().map(|r| r.lock().expect("flight ring poisoned").total).sum()
+    }
+
+    /// Dumps every site's ring as JSONL: sites in ascending order, each
+    /// site's events oldest → newest. A leading comment-style record per
+    /// site reports how much history rotated out.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (site, ring) in self.rings.iter().enumerate() {
+            let ring = ring.lock().expect("flight ring poisoned");
+            let kept = ring.buf.len() as u64;
+            out.push_str(&format!(
+                "{{\"ring\":{site},\"kept\":{kept},\"recorded\":{}}}\n",
+                ring.total
+            ));
+            for ev in ring.in_order() {
+                out.push_str(&ev.jsonl());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, ev: TraceEvent) {
+        let site = ev.site.index();
+        if site < self.rings.len() {
+            self.rings[site].lock().expect("flight ring poisoned").push(ev, self.cap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Stage;
+    use otp_simnet::net::SiteId;
+    use otp_simnet::time::SimTime;
+
+    fn ev(site: u16, t: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(t),
+            site: SiteId::new(site),
+            origin: SiteId::new(0),
+            seq: t,
+            group: 0,
+            stage: Stage::Commit,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_n_in_order() {
+        let rec = FlightRecorder::new(1, 3);
+        for t in 0..5 {
+            rec.record(ev(0, t));
+        }
+        let kept: Vec<u64> = rec.site_events(0).iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(rec.total_recorded(), 5);
+    }
+
+    #[test]
+    fn dump_reports_rotation_and_orders_sites() {
+        let rec = FlightRecorder::new(2, 2);
+        for t in 0..4 {
+            rec.record(ev(0, t));
+        }
+        rec.record(ev(1, 9));
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines[0], "{\"ring\":0,\"kept\":2,\"recorded\":4}");
+        assert!(lines[1].contains("\"t\":2"));
+        assert!(lines[2].contains("\"t\":3"));
+        assert_eq!(lines[3], "{\"ring\":1,\"kept\":1,\"recorded\":1}");
+        assert!(lines[4].contains("\"t\":9"));
+    }
+
+    #[test]
+    fn out_of_range_site_is_ignored() {
+        let rec = FlightRecorder::new(1, 2);
+        rec.record(ev(5, 1)); // must not panic
+        assert_eq!(rec.total_recorded(), 0);
+    }
+}

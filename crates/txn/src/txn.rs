@@ -65,19 +65,26 @@ pub struct TxnRequest {
     pub class: ClassId,
     /// Stored procedure to run.
     pub proc: ProcId,
-    /// Procedure arguments.
+    /// Procedure arguments. Treated as immutable after construction —
+    /// the cached wire size is computed once in [`TxnRequest::new`].
     pub args: Vec<Value>,
+    /// Cached wire size: requests fan out to every receiver of every
+    /// (re-)multicast, and walking `args` per wire was a measurable cost
+    /// on the multicast hot path (ROADMAP profile-first list).
+    size: u32,
 }
 
 impl TxnRequest {
     /// Creates a request.
     pub fn new(id: TxnId, class: ClassId, proc: ProcId, args: Vec<Value>) -> Self {
-        TxnRequest { id, class, proc, args }
+        let size = 16 + 8 + args.iter().map(|v| v.size_bytes()).sum::<u32>();
+        TxnRequest { id, class, proc, args, size }
     }
 
-    /// Approximate wire size (used by the network model).
+    /// Approximate wire size (used by the network model). Computed at
+    /// construction and shared by every receiver.
     pub fn size_bytes(&self) -> u32 {
-        16 + 8 + self.args.iter().map(|v| v.size_bytes()).sum::<u32>()
+        self.size
     }
 }
 

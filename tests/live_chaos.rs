@@ -20,7 +20,8 @@
 //! tier-1 sim swarm's budget dial must not silently multiply wall-clock
 //! minutes into this real-time suite. Failing seeds print their one-line
 //! reproducer (`swarm --live-fault …`), and `LIVE_CHAOS_REPRO_OUT=<file>`
-//! collects the lines for a CI artifact.
+//! collects the lines for a CI artifact; each failing seed's live-leg
+//! flight-recorder dump lands next to it in `<file>.flight.jsonl`.
 //!
 //! Every test runs under a hard watchdog: a wedged run fails with an
 //! in-flight-accounting snapshot instead of hanging the job.
@@ -63,14 +64,15 @@ fn conformance_column(fault: LiveFault) {
                     outcome.describe_failure(),
                     outcome.reproducer,
                 );
-                failures.push(outcome.reproducer);
+                failures.push((outcome.reproducer.clone(), outcome.live_flight.clone()));
             }
         }
         failures
     });
     if !failures.is_empty() {
         if let Ok(path) = std::env::var("LIVE_CHAOS_REPRO_OUT") {
-            let mut lines: String = failures.iter().map(|l| format!("{l}\n")).collect();
+            let mut lines: String =
+                failures.iter().map(|(repro, _)| format!("{repro}\n")).collect();
             // Appending keeps reproducers from every failing column when
             // several tests write the same artifact file.
             if let Ok(prev) = std::fs::read_to_string(&path) {
@@ -78,6 +80,27 @@ fn conformance_column(fault: LiveFault) {
             }
             if let Err(e) = std::fs::write(&path, lines) {
                 eprintln!("live_chaos: could not write {path}: {e}");
+            }
+            // The live leg's flight-recorder dumps ride along in one
+            // JSONL file next to the reproducers, each block prefixed by
+            // a header naming the reproducer it belongs to (the same
+            // shape the chaos swarm's sweep artifact uses).
+            let flight_path = format!("{path}.flight.jsonl");
+            let mut dumps: String = failures
+                .iter()
+                .filter_map(|(repro, flight)| {
+                    flight
+                        .as_ref()
+                        .map(|d| format!("{{\"repro\":\"{}\"}}\n{d}", repro.replace('"', "\\\"")))
+                })
+                .collect();
+            if !dumps.is_empty() {
+                if let Ok(prev) = std::fs::read_to_string(&flight_path) {
+                    dumps = prev + &dumps;
+                }
+                if let Err(e) = std::fs::write(&flight_path, dumps) {
+                    eprintln!("live_chaos: could not write {flight_path}: {e}");
+                }
             }
         }
         panic!(

@@ -6,7 +6,9 @@
 //! binary, gated against `BENCH_BASELINE.json`).
 
 use otp_bench::json::Json;
-use otp_bench::perf::{check_against_baseline, run_matrix, PerfCell, PERF_SEED};
+use otp_bench::perf::{
+    check_against_baseline, run_matrix, run_matrix_with_stages, PerfCell, PERF_SEED,
+};
 
 /// Small per-cell workload for tier-1 (the canonical matrix uses
 /// `PERF_TXNS`).
@@ -26,6 +28,33 @@ fn double_run_emits_byte_identical_json() {
     let doc = Json::parse(&ja).expect("BENCH.json parses");
     assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
     assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+}
+
+#[test]
+fn stage_breakdown_run_is_byte_stable_and_leaves_gated_metrics_alone() {
+    // The `--stage-breakdown` path: traced runs must stay as byte-stable
+    // as untraced ones, every cell must carry a per-stage breakdown, and
+    // the gated metric values must be identical to the untraced run's
+    // (tracing is pure observation).
+    let a = run_matrix_with_stages(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    let b = run_matrix_with_stages(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    let (ja, jb) = (a.to_json(), b.to_json());
+    assert_eq!(ja, jb, "stage-breakdown output must be byte-stable");
+    let doc = Json::parse(&ja).expect("traced BENCH.json parses");
+    for cell in doc.get("cells").and_then(Json::as_arr).expect("cells") {
+        let stages = cell.get("stages").and_then(Json::as_arr).expect("stages key per cell");
+        assert!(!stages.is_empty());
+        for row in stages {
+            assert!(row.get("stage").and_then(Json::as_str).is_some());
+            for key in ["n", "p50_ns", "p99_ns"] {
+                assert!(row.get(key).and_then(Json::as_f64).is_some(), "{key}");
+            }
+        }
+    }
+    let untraced = run_matrix(&smoke_cells(), SMOKE_TXNS, PERF_SEED);
+    for ((cell, traced), (_, plain)) in a.cells.iter().zip(&untraced.cells) {
+        assert_eq!(traced, plain, "{}: tracing perturbed the run", cell.id());
+    }
 }
 
 #[test]

@@ -1,0 +1,177 @@
+//! Telemetry integration suite: the tentpole guarantees of the
+//! transaction-lifecycle tracing layer, checked through both drivers.
+//!
+//! * Sim traces are byte-stable artifacts: the same (config, seed,
+//!   schedule) triple dumps the identical JSONL twice, and a different
+//!   seed diverges at a `trace-diff`-reportable line.
+//! * Chaos invariant violations carry a flight-recorder dump next to
+//!   the one-line reproducer; clean runs carry none.
+//! * Live traces respect per-transaction time order on the delivery
+//!   chain (submit ≤ broadcast ≤ opt-deliver ≤ TO-deliver ≤ commit),
+//!   with execution bracketed by opt-delivery and commit — the OTP-mode
+//!   invariant (execution *precedes* the definitive order becoming
+//!   known; that is the paper's entire point).
+
+use otp_core::runtime::{LiveCluster, LiveConfig};
+use otp_core::{ClusterBuilder, ClusterConfig};
+use otp_lab::watchdog::with_watchdog;
+use otp_lab::{run_cell, CellSpec, GridCell, Sabotage};
+use otp_simnet::{SimTime, SiteId};
+use otp_storage::{ClassId, ObjectId, ObjectKey, ProcError, ProcId, ProcRegistry, Value};
+use otp_telemetry::{diff_traces, MemSink, Stage, TraceSink};
+use otp_workload::{StandardProcs, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WATCHDOG_CAP: Duration = Duration::from_secs(240);
+
+/// One traced sim run reduced to its canonical JSONL dump.
+fn sim_trace(seed: u64) -> String {
+    let spec = WorkloadSpec::new(3, 2, 40).with_seed(seed);
+    let (registry, procs) = StandardProcs::registry();
+    let schedule = spec.generate(&procs);
+    let sink = Arc::new(MemSink::new());
+    let mut cluster = ClusterBuilder::from_config(ClusterConfig::new(3, 2).with_seed(seed))
+        .registry(registry)
+        .initial_data(spec.initial_data())
+        .trace_sink(sink.clone() as Arc<dyn TraceSink>)
+        .build();
+    schedule.apply(&mut cluster);
+    cluster.run_until(SimTime::from_secs(60));
+    sink.dump_jsonl()
+}
+
+#[test]
+fn sim_trace_is_byte_identical_across_double_runs() {
+    let a = sim_trace(7);
+    let b = sim_trace(7);
+    assert!(!a.is_empty(), "a traced run must record events");
+    assert_eq!(a, b, "same (config, seed, schedule) must dump identical bytes");
+    assert_eq!(diff_traces(&a, &b), None);
+    // Every lifecycle milestone of the commit path shows up.
+    for stage in ["submit", "broadcast", "opt_deliver", "to_deliver", "execute", "commit"] {
+        assert!(a.contains(&format!("\"stage\":\"{stage}\"")), "missing {stage} events");
+    }
+    // A different seed forks the history — and trace-diff localizes it.
+    let c = sim_trace(8);
+    let divergence = diff_traces(&a, &c).expect("different seeds must diverge");
+    assert!(divergence.line >= 1);
+    assert!(divergence.left.is_some() || divergence.right.is_some());
+}
+
+#[test]
+fn sabotaged_chaos_run_dumps_flight_recorder_next_to_reproducer() {
+    let cell: GridCell = "opt-otp-rough".parse().unwrap();
+    let spec = CellSpec::new(7, cell).with_txns(36).with_sabotage(Sabotage::PhantomProbe);
+    let outcome = run_cell(&spec);
+    assert!(!outcome.passed(), "phantom probe must trip the liveness invariant");
+    assert!(!outcome.reproducer.is_empty());
+    let dump = outcome.flight_dump.as_deref().expect("violation must carry a flight dump");
+    // Per-site ring headers in site order, then the retained events.
+    assert!(dump.starts_with("{\"ring\":0,"), "dump must open with site 0's ring header");
+    assert!(dump.contains("\"kept\":"), "headers report retained vs recorded history");
+    assert!(dump.contains("\"stage\":\"commit\""), "rings hold real lifecycle events");
+    // The same cell without sabotage passes and keeps no dump — the ring
+    // is bounded memory, not a per-run artifact.
+    let clean = run_cell(&CellSpec::new(7, cell).with_txns(36));
+    assert!(clean.passed(), "{}", clean.report);
+    assert!(clean.flight_dump.is_none());
+}
+
+fn live_registry() -> Arc<ProcRegistry> {
+    let mut reg = ProcRegistry::new();
+    reg.register_fn("add", |ctx, args| {
+        let (k, d) = match (args.first(), args.get(1)) {
+            (Some(Value::Int(k)), Some(Value::Int(d))) => (ObjectKey::new(*k as u64), *d),
+            _ => return Err(ProcError::BadArgs("add(key, delta)".into())),
+        };
+        let v = ctx.read(k)?.as_int().unwrap_or(0);
+        ctx.write(k, Value::Int(v + d))?;
+        Ok(())
+    });
+    Arc::new(reg)
+}
+
+#[test]
+fn live_trace_spans_are_time_monotone_per_txn() {
+    with_watchdog("live_trace_spans_are_time_monotone_per_txn", WATCHDOG_CAP, |_| {
+        const SITES: u64 = 3;
+        const TXNS: u64 = 60;
+        let sink = Arc::new(MemSink::new());
+        let cfg = LiveConfig::new(SITES as usize, 2).with_exec_time(Duration::from_micros(200));
+        let initial: Vec<(ObjectId, Value)> =
+            (0..2).map(|c| (ObjectId::new(c, 0), Value::Int(0))).collect();
+        let cluster = LiveCluster::start_traced(
+            cfg,
+            live_registry(),
+            initial,
+            Some(sink.clone() as Arc<dyn TraceSink>),
+        );
+        for i in 0..TXNS {
+            cluster
+                .submit(
+                    SiteId::new((i % SITES) as u16),
+                    ClassId::new((i % 2) as u32),
+                    ProcId::new(0),
+                    vec![Value::Int(0), Value::Int(1)],
+                )
+                .expect("admitted");
+        }
+        let report = cluster.shutdown(Duration::from_secs(60));
+        assert!(report.converged && report.quiesced);
+
+        // First observation of each stage, per (observing site, txn).
+        let mut first: HashMap<(u16, u16, u64), [Option<u64>; 9]> = HashMap::new();
+        for ev in sink.events() {
+            let slot = &mut first
+                .entry((ev.site.raw(), ev.origin.raw(), ev.seq))
+                .or_insert([None; 9])[ev.stage.rank()];
+            if slot.is_none() {
+                *slot = Some(ev.at.as_nanos());
+            }
+        }
+        let commits = first.values().filter(|t| t[Stage::Commit.rank()].is_some()).count() as u64;
+        assert_eq!(commits, TXNS * SITES, "every txn commits (and is traced) at every site");
+
+        for ((site, origin, seq), t) in &first {
+            let span = |s: Stage| t[s.rank()];
+            let ctx = format!("site {site}, txn N{origin}:{seq}");
+            // The delivery chain is time-monotone in both modes; stages
+            // a site never observes (submit/broadcast live at the origin
+            // only) simply drop out of the chain.
+            let chain = [
+                Stage::Submit,
+                Stage::Broadcast,
+                Stage::OptDeliver,
+                Stage::ToDeliver,
+                Stage::Commit,
+            ];
+            let mut prev: Option<(Stage, u64)> = None;
+            for s in chain {
+                if let Some(ts) = span(s) {
+                    if let Some((p, pt)) = prev {
+                        assert!(pt <= ts, "{ctx}: {p} at {pt} after {s} at {ts}");
+                    }
+                    prev = Some((s, ts));
+                }
+            }
+            // OTP: execution starts at opt-delivery, before the order is
+            // final — bracketed by opt-deliver and commit, not by
+            // TO-deliver.
+            if let Some(e) = span(Stage::Execute) {
+                if let Some(o) = span(Stage::OptDeliver) {
+                    assert!(e >= o, "{ctx}: executed before opt-delivery");
+                }
+                if let Some(c) = span(Stage::Commit) {
+                    assert!(c >= e, "{ctx}: committed before execution started");
+                }
+            }
+            // The admission-wait span opens at wait start, before the
+            // accepted submit is stamped.
+            if let (Some(w), Some(s)) = (span(Stage::AdmissionWait), span(Stage::Submit)) {
+                assert!(w <= s, "{ctx}: admission wait opened after submit");
+            }
+        }
+    });
+}
