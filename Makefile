@@ -17,7 +17,7 @@ LIVE_CHAOS_SEEDS ?= 8
 #   make perf-check PERF_TOLERANCE=0.10
 PERF_TOLERANCE ?= 0.25
 
-.PHONY: all build test bench chaos live-chaos perf perf-check soak soak-smoke lint fmt clippy ci clean
+.PHONY: all build test bench chaos live-chaos perf perf-check soak soak-smoke lint lint-otp fmt clippy ci clean
 
 all: build
 
@@ -71,7 +71,15 @@ soak-smoke:
 	$(CARGO) run --release -p otp-bench --bin soak -- --smoke --out SOAK.json
 
 ## Formatting + lints, exactly as CI enforces them.
-lint: fmt clippy
+lint: fmt clippy lint-otp
+
+## The workspace determinism & concurrency linter (DESIGN.md §13): fails
+## with `file:line: rule-id` diagnostics and one-line reproducers on any
+## wall-clock read, unordered iteration, ambient entropy, float
+## accumulation, lock-order cycle, or blocking net-thread send outside
+## the audited allowlist. Writes the byte-stable JSON report CI uploads.
+lint-otp:
+	$(CARGO) run --release -p otp-analysis --bin otp-lint -- --out LINT.json
 
 fmt:
 	$(CARGO) fmt --all --check

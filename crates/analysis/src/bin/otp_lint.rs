@@ -1,0 +1,133 @@
+//! The `otp-lint` CLI: the workspace determinism & concurrency linter.
+//!
+//! ```text
+//! otp-lint [--root DIR] [--path FILE]... [--json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Default mode lints the whole workspace (every `crates/*/src` tree
+//! plus the facade `src/`) under the scope table in
+//! `crates/analysis/src/config.rs` and exits nonzero with one
+//! `file:line: rule-id: message` diagnostic per finding and a one-line
+//! re-run reproducer per offending file — the swarm/perf house style.
+//!
+//! `--path FILE` (repeatable) lints just those files — the reproducer
+//! mode the diagnostics print. `--json` renders the byte-stable report
+//! (two runs over the same tree are byte-identical; CI uploads it as an
+//! artifact), `--out FILE` writes it to a file instead of stdout.
+
+use otp_analysis::config::Config;
+use otp_analysis::report::{Report, ALL_RULES};
+use otp_analysis::{analyze_file, finish};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    paths: Vec<String>,
+    json: bool,
+    out: Option<String>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+        json: false,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--path" => args.paths.push(value("--path")?),
+            "--json" => args.json = true,
+            "--out" => args.out = Some(value("--out")?),
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "otp-lint [--root DIR] [--path FILE]... [--json] [--out FILE] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from `start` to the workspace root (the directory holding
+/// a `crates/` dir next to a `Cargo.toml`), so the binary works from
+/// any cwd inside the repo.
+fn find_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+fn run() -> Result<(Report, Args), String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for r in ALL_RULES {
+            println!("{:<18} {}", r.as_str(), r.describe());
+        }
+        std::process::exit(0);
+    }
+    let root = if args.root.as_os_str() == "." {
+        find_root(&std::env::current_dir().map_err(|e| e.to_string())?)
+    } else {
+        args.root.clone()
+    };
+    let cfg = Config::workspace();
+    let report = if args.paths.is_empty() {
+        otp_analysis::analyze_workspace(&root, &cfg)
+            .map_err(|e| format!("walking {}: {e}", root.display()))?
+    } else {
+        let mut per_file = Vec::new();
+        for rel in &args.paths {
+            let abs = root.join(rel);
+            let source =
+                std::fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+            per_file.push(analyze_file(rel, &source, &cfg));
+        }
+        finish(per_file, args.paths.len())
+    };
+    Ok((report, args))
+}
+
+fn main() -> ExitCode {
+    let (report, args) = match run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("otp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = args.json || args.out.is_some();
+    let rendered = if json { report.render_json() } else { report.render_text() };
+    match args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("otp-lint: could not write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            // Keep the human summary on stdout even when the JSON went
+            // to a file — CI logs stay readable.
+            print!("{}", report.render_text());
+        }
+        None => print!("{rendered}"),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

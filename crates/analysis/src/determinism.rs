@@ -1,0 +1,635 @@
+//! The determinism rule family: `wall-clock`, `unordered-iter`,
+//! `ambient-rng`, `float-accum`. All passes work on the comment- and
+//! string-stripped token stream from [`crate::lexer`], with
+//! `#[cfg(test)]` items masked out.
+//!
+//! `unordered-iter` is the interesting one. A token-level pass cannot
+//! type-check, so it tracks names instead: every identifier declared
+//! with a `HashMap`/`HashSet` type (struct field, local, parameter,
+//! type-alias expansion) goes into a per-file table, split into
+//! *outer*-hash (the type itself is a hash container) and *inner*-hash
+//! (a hash container appears nested, e.g. `Vec<HashMap<..>>`, where an
+//! indexed access yields the hash). Iterating such a name — `for … in`,
+//! `.iter()`, `.keys()`, `.values()`, `.drain()`, … — is a finding
+//! *unless* the consuming method chain is provably order-insensitive
+//! (`.sum()`, `.count()`, `.max()`, a `collect` into a hash/BTree
+//! container, or a collect whose result is sorted in the very next
+//! statement). Everything the heuristic cannot prove needs either a
+//! conversion to `BTreeMap`/`BTreeSet` or an audited inline allow.
+
+use crate::lexer::Tok;
+use std::collections::BTreeSet;
+
+/// A raw rule hit: line + message (rule id is supplied by the caller).
+pub type Hit = (u32, String);
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Methods whose result does not depend on the order the iterator
+/// yields items in (commutative reductions and pure cardinality).
+const ORDER_OK: &[&str] = &[
+    "count",
+    "len",
+    "sum",
+    "product",
+    "max",
+    "min",
+    "max_by",
+    "max_by_key",
+    "min_by",
+    "min_by_key",
+    "all",
+    "any",
+    "is_empty",
+];
+
+/// Collection heads that make a `collect()` order-insensitive: hash
+/// containers don't promise order anyway, BTree containers sort.
+const ORDER_OK_COLLECT: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+fn is(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i).map(|t| t.text == s).unwrap_or(false)
+}
+
+fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, s)| is(toks, i + k, s))
+}
+
+/// `wall-clock`: `Instant::now(…)` or any `SystemTime` use.
+pub fn wall_clock(toks: &[Tok]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..toks.len() {
+        if seq(toks, i, &["Instant", "::", "now"]) {
+            hits.push((
+                toks[i].line,
+                "Instant::now() wall-clock read — deterministic code must take time from \
+                 SimClock"
+                    .to_string(),
+            ));
+        } else if is(toks, i, "SystemTime") {
+            hits.push((
+                toks[i].line,
+                "SystemTime use — deterministic code must not read the wall clock".to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// `ambient-rng`: entropy that does not flow from the run seed.
+pub fn ambient_rng(toks: &[Tok]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for t in toks {
+        let what = match t.text.as_str() {
+            "thread_rng" => Some("thread_rng()"),
+            "from_entropy" => Some("from_entropy()"),
+            "RandomState" => Some("RandomState"),
+            "OsRng" => Some("OsRng"),
+            _ => None,
+        };
+        if let Some(w) = what {
+            hits.push((
+                t.line,
+                format!(
+                    "{w} draws ambient entropy — deterministic code must thread a seeded SimRng"
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+/// Per-file table of identifiers known to carry hash containers.
+#[derive(Debug, Default)]
+struct HashNames {
+    /// The identifier's type *is* `HashMap`/`HashSet`.
+    outer: BTreeSet<String>,
+    /// A hash container appears nested inside the type (`Vec<HashMap>`);
+    /// an indexed access (`name[i]`) yields the hash.
+    inner: BTreeSet<String>,
+}
+
+fn type_region_end(toks: &[Tok], start: usize) -> usize {
+    // Scan a type-ish region beginning at `start` until a terminator at
+    // angle/paren/bracket depth 0. Bounded so a mis-parse cannot run away.
+    let mut depth = 0i32;
+    let mut i = start;
+    let limit = toks.len().min(start + 64);
+    while i < limit {
+        match toks[i].text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" | "}" if depth > 0 => depth -= 1,
+            "," | ";" | "=" | "{" | ")" | ">" | "}" if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn collect_hash_names(toks: &[Tok]) -> HashNames {
+    let mut names = HashNames::default();
+    // Type aliases that expand to hash containers, e.g.
+    // `type SiteMsgMap = HashMap<…>` — alias names count as hash heads.
+    let mut outer_alias: BTreeSet<String> = BTreeSet::new();
+    let mut inner_alias: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if is(toks, i, "type") && toks.get(i + 1).is_some() && is(toks, i + 2, "=") {
+            let end = type_region_end(toks, i + 3);
+            let region = &toks[i + 3..end];
+            if region.iter().any(|t| t.text == "HashMap" || t.text == "HashSet") {
+                let head = region
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .find(|s| !matches!(*s, "std" | "::" | "collections" | "&" | "mut"));
+                if matches!(head, Some("HashMap") | Some("HashSet")) {
+                    outer_alias.insert(toks[i + 1].text.clone());
+                } else {
+                    inner_alias.insert(toks[i + 1].text.clone());
+                }
+            }
+        }
+    }
+    let is_hash_head = |s: &str, outer_alias: &BTreeSet<String>| {
+        s == "HashMap" || s == "HashSet" || outer_alias.contains(s)
+    };
+    for i in 0..toks.len() {
+        // `name : <type>` — struct field, parameter, annotated local, or
+        // a struct-literal field initialised from `HashMap::new()`.
+        if toks[i].text.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+            && is(toks, i + 1, ":")
+            && !is(toks, i + 2, ":")
+        {
+            let end = type_region_end(toks, i + 2);
+            let region = &toks[i + 2..end];
+            let mentions_hash = region.iter().any(|t| {
+                t.text == "HashMap"
+                    || t.text == "HashSet"
+                    || outer_alias.contains(&t.text)
+                    || inner_alias.contains(&t.text)
+            });
+            if mentions_hash {
+                let head = region
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .find(|s| !matches!(*s, "std" | "::" | "collections" | "&" | "mut"));
+                if head.map(|h| is_hash_head(h, &outer_alias)).unwrap_or(false) {
+                    names.outer.insert(toks[i].text.clone());
+                } else {
+                    names.inner.insert(toks[i].text.clone());
+                }
+            }
+        }
+        // `let [mut] name = HashMap::new()` and friends.
+        if is(toks, i, "let") {
+            let mut j = i + 1;
+            if is(toks, j, "mut") {
+                j += 1;
+            }
+            if toks.get(j).is_some() && is(toks, j + 1, "=") {
+                let head = toks.get(j + 2).map(|t| t.text.as_str()).unwrap_or("");
+                if is_hash_head(head, &outer_alias)
+                    && is(toks, j + 3, "::")
+                    && matches!(
+                        toks.get(j + 4).map(|t| t.text.as_str()),
+                        Some("new") | Some("with_capacity") | Some("default") | Some("from")
+                    )
+                {
+                    names.outer.insert(toks[j].text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Skips a balanced group starting at `i` (which must hold the opening
+/// token); returns the index just past the matching closer.
+fn skip_balanced(toks: &[Tok], i: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].text == open {
+            depth += 1;
+        } else if toks[j].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Walks the method chain that consumes the iterator produced at
+/// `call_open` (index of the `(` of the iter method). Returns `true`
+/// when the chain is provably order-insensitive. `names` is the file's
+/// hash-name table: a `collect()` whose binding is itself a known hash
+/// container (e.g. a struct-literal field declared `HashMap`) lands in
+/// an unordered container, so order cannot leak.
+fn chain_is_order_insensitive(
+    toks: &[Tok],
+    call_open: usize,
+    stmt_let: Option<&LetInfo>,
+    names: &HashNames,
+) -> bool {
+    let mut i = skip_balanced(toks, call_open, "(", ")");
+    loop {
+        if !is(toks, i, ".") {
+            return false;
+        }
+        let m = match toks.get(i + 1) {
+            Some(t) => t.text.clone(),
+            None => return false,
+        };
+        let mut j = i + 2;
+        // Optional turbofish.
+        let mut turbo_head: Option<String> = None;
+        if is(toks, j, "::") && is(toks, j + 1, "<") {
+            let end = skip_balanced(toks, j + 1, "<", ">");
+            turbo_head = toks[j + 2..end]
+                .iter()
+                .map(|t| t.text.clone())
+                .find(|s| !matches!(s.as_str(), "std" | "::" | "collections" | "&" | "mut"));
+            j = end;
+        }
+        if !is(toks, j, "(") {
+            // Field access or a macro — give up, not provably safe.
+            return false;
+        }
+        if ORDER_OK.contains(&m.as_str()) {
+            return true;
+        }
+        if m == "collect" {
+            // Target type: turbofish, else the `let name: Type =`
+            // annotation, else a `name.sort*()` in the next statement.
+            if let Some(h) = turbo_head {
+                return ORDER_OK_COLLECT.contains(&h.as_str());
+            }
+            if let Some(info) = stmt_let {
+                if let Some(h) = &info.ty_head {
+                    if ORDER_OK_COLLECT.contains(&h.as_str()) {
+                        return true;
+                    }
+                }
+                if names.outer.contains(&info.name) {
+                    // `let current = map.iter()…collect();` where
+                    // `current` is a declared hash field/binding — the
+                    // collect target is itself unordered.
+                    return true;
+                }
+                let after_call = skip_balanced(toks, j, "(", ")");
+                return sorted_in_next_statement(toks, after_call, &info.name);
+            }
+            return false;
+        }
+        i = skip_balanced(toks, j, "(", ")");
+    }
+}
+
+/// True when the tokens after the current statement are
+/// `; name . sort*( … )` — the "sorted collect" idiom.
+fn sorted_in_next_statement(toks: &[Tok], mut i: usize, name: &str) -> bool {
+    // Skip to the end of the current statement.
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    is(toks, i + 1, name)
+        && is(toks, i + 2, ".")
+        && toks.get(i + 3).map(|t| t.text.starts_with("sort") || t.text == "dedup").unwrap_or(false)
+}
+
+/// The `let` binding that owns the current statement, if any.
+struct LetInfo {
+    name: String,
+    ty_head: Option<String>,
+}
+
+fn statement_let(toks: &[Tok], at: usize) -> Option<LetInfo> {
+    // Walk back to the statement start (`;`, `{`, `}`), then look for
+    // `let [mut] name [: Type]`.
+    let mut i = at;
+    while i > 0 {
+        let t = toks[i - 1].text.as_str();
+        if matches!(t, ";" | "{" | "}") {
+            break;
+        }
+        i -= 1;
+    }
+    if !is(toks, i, "let") {
+        return None;
+    }
+    let mut j = i + 1;
+    if is(toks, j, "mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?.text.clone();
+    let mut ty_head = None;
+    if is(toks, j + 1, ":") {
+        ty_head = toks[j + 2..type_region_end(toks, j + 2)]
+            .iter()
+            .map(|t| t.text.clone())
+            .find(|s| !matches!(s.as_str(), "std" | "::" | "collections" | "&" | "mut"));
+    }
+    Some(LetInfo { name, ty_head })
+}
+
+/// Walks back from the `.` before an iter method to name the receiver.
+/// Returns `(name, indexed)` — `indexed` when an element access
+/// (`[ i ]`, no range) sits between the name and the method, i.e. the
+/// hash is nested one level down. A *range* index (`[i..]`) yields a
+/// slice of the outer container instead, so it does not set `indexed`.
+/// `None` when the receiver is an expression we cannot name.
+fn receiver_name(toks: &[Tok], dot: usize) -> Option<(String, bool)> {
+    let mut i = dot;
+    let mut indexed = false;
+    loop {
+        if i == 0 {
+            return None;
+        }
+        let t = toks[i - 1].text.as_str();
+        if t == "]" {
+            // Skip the index group backward.
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            let mut ranged = false;
+            loop {
+                match toks[j].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ".." => ranged = true,
+                    _ => {}
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            indexed = !ranged;
+            i = j;
+        } else if t == ")" {
+            // Receiver is a call result — unnameable.
+            return None;
+        } else if t.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false) {
+            return Some((t.to_string(), indexed));
+        } else {
+            return None;
+        }
+    }
+}
+
+/// `unordered-iter`: see the module docs for the exact heuristic.
+pub fn unordered_iter(toks: &[Tok]) -> Vec<Hit> {
+    let names = collect_hash_names(toks);
+    let mut hits = Vec::new();
+    let flagged = |name: &str, indexed: bool| {
+        if indexed {
+            names.inner.contains(name) || names.outer.contains(name)
+        } else {
+            names.outer.contains(name)
+        }
+    };
+    // Method-call iteration: `recv.iter()`, `recv[i].keys()`, …
+    for i in 0..toks.len() {
+        if !is(toks, i, ".") {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1).map(|t| t.text.clone()) else { continue };
+        if !ITER_METHODS.contains(&m.as_str()) || !is(toks, i + 2, "(") {
+            continue;
+        }
+        let Some((name, indexed)) = receiver_name(toks, i) else { continue };
+        if !flagged(&name, indexed) {
+            continue;
+        }
+        let let_info = statement_let(toks, i);
+        if chain_is_order_insensitive(toks, i + 2, let_info.as_ref(), &names) {
+            continue;
+        }
+        hits.push((
+            toks[i + 1].line,
+            format!(
+                "`{name}.{m}()` iterates a HashMap/HashSet in arbitrary order — use \
+                 BTreeMap/BTreeSet or a sorted collect"
+            ),
+        ));
+    }
+    // Direct `for … in [&[mut]] [self.]name { …` iteration (no method
+    // call — the method-call form is caught above).
+    let mut i = 0;
+    while i < toks.len() {
+        if !is(toks, i, "for") {
+            i += 1;
+            continue;
+        }
+        // Find the `in` at bracket depth 0 (patterns may contain tuples).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut found_in = None;
+        while j < toks.len() && j < i + 40 {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "in" if depth == 0 => {
+                    found_in = Some(j);
+                    break;
+                }
+                "{" | ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(inn) = found_in else {
+            i += 1;
+            continue;
+        };
+        let mut k = inn + 1;
+        while is(toks, k, "&") || is(toks, k, "mut") {
+            k += 1;
+        }
+        if is(toks, k, "self") && is(toks, k + 1, ".") {
+            k += 2;
+        }
+        let Some(name_tok) = toks.get(k) else {
+            i = inn + 1;
+            continue;
+        };
+        let name = name_tok.text.clone();
+        let mut indexed = false;
+        let mut e = k + 1;
+        if is(toks, e, "[") {
+            let close = skip_balanced(toks, e, "[", "]");
+            // A range index slices the outer container; only an element
+            // index reaches a nested hash.
+            indexed = !toks[e..close].iter().any(|t| t.text == "..");
+            e = close;
+        }
+        // Plain name followed by the loop body → iterating the
+        // collection itself.
+        if is(toks, e, "{") && flagged(&name, indexed) {
+            hits.push((
+                name_tok.line,
+                format!(
+                    "`for … in {name}` iterates a HashMap/HashSet in arbitrary order — use \
+                     BTreeMap/BTreeSet or a sorted collect"
+                ),
+            ));
+        }
+        i = inn + 1;
+    }
+    hits
+}
+
+/// `float-accum`: compound float accumulation (`+=`/`-=`) on the gated
+/// metrics paths.
+pub fn float_accum(toks: &[Tok]) -> Vec<Hit> {
+    let mut floats: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        // `name : f64` (field, param, annotated local).
+        if is(toks, i + 1, ":") && (is(toks, i + 2, "f64") || is(toks, i + 2, "f32")) {
+            floats.insert(toks[i].text.clone());
+        }
+        // `let [mut] name = <float literal>`.
+        if is(toks, i, "let") {
+            let mut j = i + 1;
+            if is(toks, j, "mut") {
+                j += 1;
+            }
+            if is(toks, j + 1, "=") {
+                if let Some(v) = toks.get(j + 2) {
+                    let is_float_lit = v.text.contains('.')
+                        && v.text.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                        || v.text.ends_with("f64")
+                        || v.text.ends_with("f32");
+                    if is_float_lit {
+                        floats.insert(toks[j].text.clone());
+                    }
+                }
+            }
+        }
+    }
+    let mut hits = Vec::new();
+    for i in 0..toks.len() {
+        if (is(toks, i + 1, "+=") || is(toks, i + 1, "-=")) && floats.contains(&toks[i].text) {
+            hits.push((
+                toks[i].line,
+                format!(
+                    "float accumulation `{} {}` on a gated-metrics path — accumulate integers \
+                     (or fix the iteration order and annotate)",
+                    toks[i].text,
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn hits(f: fn(&[Tok]) -> Vec<Hit>, src: &str) -> Vec<Hit> {
+        f(&lex(src).toks)
+    }
+
+    #[test]
+    fn wall_clock_fires() {
+        assert_eq!(hits(wall_clock, "let t = Instant::now();").len(), 1);
+        assert_eq!(hits(wall_clock, "let t = SystemTime::now();").len(), 1);
+        assert!(hits(wall_clock, "let t = clock.now();").is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_fires() {
+        assert_eq!(hits(ambient_rng, "let r = thread_rng();").len(), 1);
+        assert!(hits(ambient_rng, "let r = SimRng::new(seed);").is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_fires_on_hash_field_iteration() {
+        let src = "struct S { m: HashMap<u32, u32> }\nimpl S { fn f(&self) { for (k, v) in \
+                   &self.m { use_it(k, v); } } }";
+        assert_eq!(hits(unordered_iter, src).len(), 1);
+    }
+
+    #[test]
+    fn unordered_iter_fires_on_keys_call() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }";
+        assert_eq!(hits(unordered_iter, src).len(), 1);
+    }
+
+    #[test]
+    fn unordered_iter_exempts_order_insensitive_chains() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> usize { m.keys().count() }";
+        assert!(hits(unordered_iter, src).is_empty());
+        let src2 = "fn f(m: &HashMap<u32, u32>) -> u32 { m.values().copied().sum() }";
+        assert!(hits(unordered_iter, src2).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_exempts_collect_into_set() {
+        let src = "fn f(m: &HashMap<u32, u32>) { let s: HashSet<u32> = \
+                   m.keys().copied().collect(); use_it(s); }";
+        assert!(hits(unordered_iter, src).is_empty());
+        let t = "fn f(m: &HashMap<u32, u32>) { let s = \
+                 m.keys().copied().collect::<BTreeSet<_>>(); use_it(s); }";
+        assert!(hits(unordered_iter, t).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_exempts_sorted_collect() {
+        let src = "fn f(m: &HashMap<u32, u32>) { let mut v: Vec<u32> = \
+                   m.keys().copied().collect(); v.sort_unstable(); use_it(v); }";
+        assert!(hits(unordered_iter, src).is_empty());
+        let bad = "fn f(m: &HashMap<u32, u32>) { let v: Vec<u32> = \
+                   m.keys().copied().collect(); use_it(v); }";
+        assert_eq!(hits(unordered_iter, bad).len(), 1);
+    }
+
+    #[test]
+    fn unordered_iter_flags_indexed_vec_of_maps() {
+        let src = "struct S { relay: Vec<HashMap<u32, u32>> }\nimpl S { fn f(&self, g: usize) { \
+                   for k in self.relay[g].keys() { use_it(k); } } }";
+        assert_eq!(hits(unordered_iter, src).len(), 1);
+    }
+
+    #[test]
+    fn unordered_iter_respects_btree() {
+        let src = "struct S { m: BTreeMap<u32, u32> }\nimpl S { fn f(&self) { for (k, v) in \
+                   &self.m { use_it(k, v); } } }";
+        assert!(hits(unordered_iter, src).is_empty());
+    }
+
+    #[test]
+    fn float_accum_fires() {
+        let src = "fn f(xs: &[f64]) -> f64 { let mut acc = 0.0; for x in xs { acc += x; } acc }";
+        assert_eq!(hits(float_accum, src).len(), 1);
+        let ok = "fn f(xs: &[u64]) -> u64 { let mut acc = 0; for x in xs { acc += x; } acc }";
+        assert!(hits(float_accum, ok).is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! A hand-rolled, dependency-free Rust lexer — just enough for the lint
+//! passes: comments and string/char literals are stripped, identifiers,
+//! numbers and multi-char punctuation survive with their line numbers,
+//! and `// otp-lint: allow(<rule>): <reason>` directives are captured
+//! before the comment is discarded.
+//!
+//! This is deliberately *not* a parser. The rules work on token
+//! patterns (`Instant :: now`, `ident . lock ( )`, …) plus light brace
+//! tracking; anything the token level cannot decide is handled by the
+//! suppression machinery (`// otp-lint: allow`) rather than by growing
+//! a grammar. See DESIGN.md §13 for why this trade was chosen.
+
+/// One surviving token: its text and the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (identifier, number, or punctuation such as `::`).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    fn new(text: impl Into<String>, line: u32) -> Self {
+        Tok { text: text.into(), line }
+    }
+}
+
+/// An inline suppression directive lifted out of a comment:
+/// `// otp-lint: allow(<rule>): <reason>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line the comment appeared on.
+    pub line: u32,
+    /// The rule id inside `allow(...)`, verbatim (validated later).
+    pub rule: String,
+    /// The mandatory free-text justification after the second colon.
+    pub reason: String,
+    /// True when the directive was malformed (missing reason or
+    /// unparseable shape) — reported as a lint error by the driver so
+    /// suppressions stay auditable.
+    pub malformed: bool,
+}
+
+/// Lexer output: the token stream plus any suppression directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments/strings stripped.
+    pub toks: Vec<Tok>,
+    /// Suppression directives found in `//` comments.
+    pub directives: Vec<Directive>,
+}
+
+/// Lex `source`, stripping comments and literals. Never fails: unknown
+/// bytes are skipped, unterminated literals swallow the rest of the
+/// file (the underlying rustc build catches those for real).
+pub fn lex(source: &str) -> Lexed {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment: scan it for an otp-lint directive, then
+                // drop it. (Directives are line-comment-only by policy.)
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                if let Some(d) = parse_directive(&text, line) {
+                    out.directives.push(d);
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            'r' | 'b' if is_raw_string_start(&b, i) => i = skip_raw_string(&b, i, &mut line),
+            'b' if i + 1 < n && b[i + 1] == '\'' => i = skip_char_literal(&b, i + 1, &mut line),
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`). A lifetime is
+                // `'` + ident not followed by a closing `'`.
+                if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        // 'x' char literal.
+                        i = j + 1;
+                    } else {
+                        // Lifetime: skip (rules never need it).
+                        i = j;
+                    }
+                } else {
+                    i = skip_char_literal(&b, i, &mut line);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok::new(b[i..j].iter().collect::<String>(), line));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part — but not a `..` range.
+                if j < n && b[j] == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                out.toks.push(Tok::new(b[i..j].iter().collect::<String>(), line));
+                i = j;
+            }
+            _ => {
+                // Punctuation: keep the few multi-char tokens rules use.
+                let two: String = b[i..n.min(i + 2)].iter().collect();
+                let tok = match two.as_str() {
+                    "::" | "+=" | "-=" | "*=" | "/=" | ".." | "->" | "=>" | "&&" | "||" | "=="
+                    | "!=" | "<=" | ">=" => {
+                        i += 2;
+                        two
+                    }
+                    _ => {
+                        i += 1;
+                        c.to_string()
+                    }
+                };
+                out.toks.push(Tok::new(tok, line));
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    // r"..."  r#"..."#  br"..."  br#"..."#
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= n || b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < n && b[j] == '#' {
+        j += 1;
+    }
+    j < n && b[j] == '"'
+}
+
+fn skip_raw_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < n {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && b[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+fn skip_char_literal(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Parses `otp-lint: allow(<rule>): <reason>` out of a comment body.
+/// Returns `None` when the comment is not a directive at all; returns a
+/// `malformed` directive when it clearly tried to be one but lacks the
+/// rule or the mandatory reason (the driver reports those — a
+/// suppression without a justification is itself a finding).
+fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
+    let t = comment.trim().trim_start_matches('/').trim_start_matches('!').trim_start();
+    let rest = t.strip_prefix("otp-lint:")?.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(Directive {
+            line,
+            rule: String::new(),
+            reason: String::new(),
+            malformed: true,
+        });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Directive {
+            line,
+            rule: String::new(),
+            reason: String::new(),
+            malformed: true,
+        });
+    };
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail.strip_prefix(':').map(|r| r.trim().to_string()).unwrap_or_default();
+    let malformed = rule.is_empty() || reason.is_empty();
+    Some(Directive { line, rule, reason, malformed })
+}
+
+/// Removes `#[cfg(test)]`-gated items (and `#[cfg(all(test, …))]` etc.)
+/// from the token stream: the static pass covers shipping code; test
+/// modules are already exercised by the dynamic double-run gates, and
+/// their scaffolding (seed loops, set-building helpers) would be pure
+/// noise. The heuristic: on `# [ cfg ( … test … ) ]`, skip the next
+/// item — through its balanced `{ … }` body, or to the first `;` if no
+/// body opens first.
+pub fn mask_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && is_cfg_test_attr(toks, i) {
+            // Skip the attribute itself: `# [ … ]` balanced.
+            let mut j = i + 1; // at `[`
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip any further attributes on the same item.
+            while j < toks.len() && toks[j].text == "#" {
+                let mut d = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Skip the item: to a `;` before any `{`, or through the
+            // balanced `{ … }` body.
+            let mut brace = 0i32;
+            let mut entered = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    ";" if !entered => {
+                        j += 1;
+                        break;
+                    }
+                    "{" => {
+                        entered = true;
+                        brace += 1;
+                    }
+                    "}" => {
+                        brace -= 1;
+                        if entered && brace == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    // `# [ cfg ( … test … ) ]` — accept `test` anywhere inside the
+    // attribute so `all(test, feature = "x")` is covered too.
+    if i + 3 >= toks.len() || toks[i + 1].text != "[" || toks[i + 2].text != "cfg" {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "test" => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let t = texts("let a = \"x // not a comment\"; // real\n/* b /* nested */ */ b");
+        assert_eq!(t, vec!["let", "a", "=", ";", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let t = texts("let s = r#\"hi \" there\"#; let c = 'x'; let l: &'a str = q;");
+        assert!(t.contains(&"q".to_string()));
+        assert!(!t.iter().any(|x| x.contains("hi")));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        assert_eq!(texts("0..100"), vec!["0", "..", "100"]);
+        assert_eq!(texts("0.5"), vec!["0.5"]);
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let l = lex("// otp-lint: allow(unordered-iter): collected into a set\nfoo();");
+        assert_eq!(l.directives.len(), 1);
+        let d = &l.directives[0];
+        assert_eq!(d.rule, "unordered-iter");
+        assert_eq!(d.reason, "collected into a set");
+        assert!(!d.malformed);
+    }
+
+    #[test]
+    fn directive_without_reason_is_malformed() {
+        let l = lex("// otp-lint: allow(wall-clock)\nfoo();");
+        assert!(l.directives[0].malformed);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { bad(); } }\nfn after() {}";
+        let toks = lex(src).toks;
+        let masked = mask_cfg_test(&toks);
+        let t: Vec<_> = masked.iter().map(|x| x.text.as_str()).collect();
+        assert!(t.contains(&"live"));
+        assert!(t.contains(&"after"));
+        assert!(!t.contains(&"bad"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_comments() {
+        let l = lex("/* a\nb\nc */\nfoo");
+        assert_eq!(l.toks[0].line, 4);
+    }
+}

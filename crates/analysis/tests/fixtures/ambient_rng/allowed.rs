@@ -1,0 +1,6 @@
+// Fixture: the same draw, audited with an inline directive.
+pub fn jitter() -> u64 {
+    // otp-lint: allow(ambient-rng): fixture — audited entropy draw
+    let mut r = thread_rng();
+    r.gen_range(0..100)
+}

@@ -1,0 +1,6 @@
+// Fixture: `ambient-rng` fires on entropy that does not flow from the
+// run seed.
+pub fn jitter() -> u64 {
+    let mut r = thread_rng();
+    r.gen_range(0..100)
+}

@@ -1,0 +1,7 @@
+// Fixture: a well-formed directive that actually suppresses something
+// is not a bad-directive finding.
+pub fn jitter() -> u64 {
+    // otp-lint: allow(ambient-rng): fixture — audited entropy draw
+    let mut r = thread_rng();
+    r.gen_range(0..100)
+}

@@ -1,0 +1,7 @@
+// Fixture: `bad-directive` fires on a malformed directive (no reason)
+// and on a stale one (nothing below fires the allowed rule).
+// otp-lint: allow(wall-clock) reason is missing its colon
+pub fn quiet() -> u32 {
+    // otp-lint: allow(ambient-rng): stale — nothing below draws entropy
+    7
+}

@@ -1,0 +1,7 @@
+// Fixture: try_send is the sanctioned shape; the blocking form needs an
+// audited inline allow.
+fn net_main(tx: &Sender<Wire>) {
+    tx.try_send(frame()).ok();
+    // otp-lint: allow(blocking-net-send): fixture — shutdown path, queue drained
+    tx.send(poison()).ok();
+}

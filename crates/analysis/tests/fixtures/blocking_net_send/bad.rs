@@ -1,0 +1,5 @@
+// Fixture: `blocking-net-send` fires on a blocking send inside a
+// net-thread function (scope table names `net_main`).
+fn net_main(tx: &Sender<Wire>) {
+    tx.send(frame()).ok();
+}

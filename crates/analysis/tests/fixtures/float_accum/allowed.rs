@@ -1,0 +1,9 @@
+// Fixture: the same accumulation with a fixed iteration order, audited.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        // otp-lint: allow(float-accum): fixture — slice order is fixed
+        acc += x;
+    }
+    acc / xs.len() as f64
+}

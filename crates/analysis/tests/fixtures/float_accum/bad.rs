@@ -1,0 +1,9 @@
+// Fixture: `float-accum` fires on compound float accumulation feeding a
+// gated-metrics path.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc / xs.len() as f64
+}

@@ -1,0 +1,15 @@
+// Fixture: the same cycle with the closing edge audited inline.
+impl Hub {
+    fn enqueue(&self) {
+        let g = self.admit.lock();
+        self.flush.lock().push(1);
+        use_it(g);
+    }
+
+    fn drain(&self) {
+        let g = self.flush.lock();
+        // otp-lint: allow(lock-order): fixture — cycle closed on purpose
+        self.admit.lock().push(2);
+        use_it(g);
+    }
+}

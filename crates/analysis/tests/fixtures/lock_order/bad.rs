@@ -1,0 +1,15 @@
+// Fixture: `lock-order` fires on a two-lock acquisition cycle
+// (admit -> flush in enqueue, flush -> admit in drain).
+impl Hub {
+    fn enqueue(&self) {
+        let g = self.admit.lock();
+        self.flush.lock().push(1);
+        use_it(g);
+    }
+
+    fn drain(&self) {
+        let g = self.flush.lock();
+        self.admit.lock().push(2);
+        use_it(g);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: the same send, audited inline (the clean fix is drop(g) or
+// try_send — the allow exists to keep an intentional case reviewable).
+impl Hub {
+    fn publish(&self) {
+        let g = self.state.lock();
+        // otp-lint: allow(send-under-lock): fixture — rx can never block here
+        self.tx.send(snapshot(&g)).unwrap();
+    }
+}

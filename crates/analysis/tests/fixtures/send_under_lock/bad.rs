@@ -1,0 +1,8 @@
+// Fixture: `send-under-lock` fires on a blocking channel send while a
+// Mutex guard is live.
+impl Hub {
+    fn publish(&self) {
+        let g = self.state.lock();
+        self.tx.send(snapshot(&g)).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: two sanctioned shapes — the "sorted collect" idiom (exempt
+// outright, no allowance needed) and an audited inline allow.
+pub fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+pub fn fold_keys(m: &HashMap<u32, u32>) -> u64 {
+    // otp-lint: allow(unordered-iter): fixture — xor fold is commutative
+    for k in m.keys() {
+        fold(*k);
+    }
+    finish()
+}

@@ -1,0 +1,9 @@
+// Fixture: `unordered-iter` fires when a HashMap's iteration order can
+// leak into output.
+pub fn drain_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}

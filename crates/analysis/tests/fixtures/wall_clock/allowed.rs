@@ -1,0 +1,6 @@
+// Fixture: the same clock read, audited with an inline directive.
+pub fn stamp() -> u64 {
+    // otp-lint: allow(wall-clock): fixture — audited wall-clock read
+    let t = Instant::now();
+    elapsed_us(t)
+}

@@ -1,0 +1,5 @@
+// Fixture: `wall-clock` fires on an un-audited Instant::now() read.
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    elapsed_us(t)
+}

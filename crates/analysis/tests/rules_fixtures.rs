@@ -1,0 +1,94 @@
+//! Fixture corpus: every rule has a `bad.rs` snippet it must fire on
+//! and an `allowed.rs` snippet where the sanctioned shape (usually an
+//! inline `// otp-lint: allow(...)` directive) suppresses it into an
+//! audited allowance. Fixtures are linted through the real pipeline
+//! (`analyze_file` + `finish`) under a synthetic scope table, so they
+//! stay meaningful if the workspace table changes.
+
+use otp_analysis::config::Config;
+use otp_analysis::report::{AllowSource, RuleId};
+use otp_analysis::{analyze_file, finish};
+use std::path::Path;
+
+const CASES: &[(&str, RuleId)] = &[
+    ("wall_clock", RuleId::WallClock),
+    ("unordered_iter", RuleId::UnorderedIter),
+    ("ambient_rng", RuleId::AmbientRng),
+    ("float_accum", RuleId::FloatAccum),
+    ("lock_order", RuleId::LockOrder),
+    ("send_under_lock", RuleId::SendUnderLock),
+    ("blocking_net_send", RuleId::BlockingNetSend),
+];
+
+fn fixture(dir: &str, which: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(dir).join(which);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// A synthetic scope table that puts every fixture in the scope its
+/// rule needs: determinism rules via the `fix/` prefix, concurrency and
+/// float rules via explicit file entries, `net_main` as a net-thread fn.
+fn fixture_cfg() -> Config {
+    Config {
+        determinism_prefixes: vec!["fix/".into()],
+        concurrency_files: vec![
+            "fix/lock_order.rs".into(),
+            "fix/send_under_lock.rs".into(),
+            "fix/blocking_net_send.rs".into(),
+        ],
+        float_files: vec!["fix/float_accum.rs".into()],
+        net_thread_fns: vec![("fix/blocking_net_send.rs".into(), "net_main".into())],
+        ..Config::default()
+    }
+}
+
+fn lint(dir: &str, which: &str) -> otp_analysis::report::Report {
+    let cfg = fixture_cfg();
+    let src = fixture(dir, which);
+    finish(vec![analyze_file(&format!("fix/{dir}.rs"), &src, &cfg)], 1)
+}
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    for (dir, rule) in CASES {
+        let rep = lint(dir, "bad.rs");
+        assert!(
+            rep.findings.iter().any(|f| f.rule == *rule),
+            "{dir}/bad.rs did not fire {rule}: {:?}",
+            rep.findings
+        );
+        assert!(
+            rep.findings.iter().all(|f| f.rule == *rule),
+            "{dir}/bad.rs fired unrelated rules: {:?}",
+            rep.findings
+        );
+        assert!(rep.allowances.is_empty(), "{dir}/bad.rs should have no allowances");
+    }
+}
+
+#[test]
+fn every_rule_is_suppressed_in_its_allowed_fixture() {
+    for (dir, rule) in CASES {
+        let rep = lint(dir, "allowed.rs");
+        assert!(rep.findings.is_empty(), "{dir}/allowed.rs still has findings: {:?}", rep.findings);
+        assert!(
+            rep.allowances.iter().any(|a| a.rule == *rule && a.source == AllowSource::Inline),
+            "{dir}/allowed.rs lacks the audited inline allowance: {:?}",
+            rep.allowances
+        );
+    }
+}
+
+#[test]
+fn bad_directive_fixture_flags_malformed_and_stale() {
+    let rep = lint("bad_directive", "bad.rs");
+    assert_eq!(rep.findings.len(), 2, "{:?}", rep.findings);
+    assert!(rep.findings.iter().all(|f| f.rule == RuleId::BadDirective));
+}
+
+#[test]
+fn well_formed_used_directive_is_not_a_bad_directive() {
+    let rep = lint("bad_directive", "allowed.rs");
+    assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    assert_eq!(rep.allowances.len(), 1);
+}

@@ -15,9 +15,6 @@
 //! | [`e6_queries`] | E6 — snapshot queries do not disturb updates |
 //! | [`e7_recovery`] | E7 — crash/recovery convergence |
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod json;
 pub mod perf;
 pub mod soak;
@@ -133,7 +130,10 @@ pub fn fig1_spontaneous_order(
                 SimDuration::from_micros(us),
                 seed.wrapping_add(r * 7919),
             );
+            // otp-lint: allow(float-accum): summed in fixed 0..RUNS order, so the
+            // rounding sequence is deterministic; feeds the fig1 table, not BENCH.
             ordered += p.ordered_pct;
+            // otp-lint: allow(float-accum): same fixed-order accumulation as above.
             pairwise += p.pairwise_pct;
         }
         let p = SpontaneousOrderPoint {

@@ -53,9 +53,6 @@
 //! assert_eq!(cluster.to_logs[1], cluster.to_logs[0]); // Global Order
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod domain;
 pub mod harness;
 pub mod msg;

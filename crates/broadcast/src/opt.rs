@@ -384,8 +384,12 @@ impl<P: Clone + std::fmt::Debug> OptAbcast<P> {
         if self.pending_helpouts.is_empty() {
             return;
         }
-        for (to, instances) in std::mem::take(&mut self.pending_helpouts) {
-            let decides: Vec<(u64, OrderBatch)> = instances
+        // `owed`, not `instances`: the BTreeSet of instance ids owed to
+        // one target (the `instances` *field* is the HashMap of live
+        // consensus instances — shadowing it here trips `otp-lint`'s
+        // name-keyed unordered-iter heuristic, and deserves to).
+        for (to, owed) in std::mem::take(&mut self.pending_helpouts) {
+            let decides: Vec<(u64, OrderBatch)> = owed
                 .into_iter()
                 .filter_map(|k| self.decided.get(&k).map(|batch| (k, Arc::clone(batch))))
                 .collect();
@@ -459,9 +463,14 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for OptAbcast<P> {
     }
 
     fn snapshot(&self) -> EngineSnapshot<P> {
+        // Sorted collect: `received` is a HashMap, and a snapshot is
+        // state-transfer payload — its Vec order must not depend on
+        // hash iteration order.
+        let mut received: Vec<Message<P>> = self.received.values().cloned().collect();
+        received.sort_by_key(|m| m.id);
         EngineSnapshot {
             decided: self.decided.iter().map(|(k, v)| (*k, v.as_ref().clone())).collect(),
-            received: self.received.values().cloned().collect(),
+            received,
             definitive_log: self.definitive_log.clone(),
             order_tags: Vec::new(),
             epoch: 0,

@@ -319,9 +319,13 @@ impl<P: Clone + std::fmt::Debug> AtomicBroadcast<P> for SeqAbcast<P> {
     fn snapshot(&self) -> EngineSnapshot<P> {
         let mut decided = BTreeMap::new();
         decided.insert(0, self.definitive_log.clone());
+        // Sorted collect: state-transfer payload must not inherit
+        // HashMap iteration order.
+        let mut received: Vec<Message<P>> = self.received.values().cloned().collect();
+        received.sort_by_key(|m| m.id);
         EngineSnapshot {
             decided,
-            received: self.received.values().cloned().collect(),
+            received,
             definitive_log: self.definitive_log.clone(),
             // Every sequence assignment seen so far, delivered or not — a
             // restored sequencer must never reassign one of them.

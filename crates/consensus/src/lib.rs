@@ -57,9 +57,6 @@
 //! assert_eq!(inst.decided(), Some(&"value"));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use otp_simnet::{SimDuration, SiteId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;

@@ -58,9 +58,6 @@
 //! );
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod asynchronous;
 pub mod cluster;
 pub mod conservative;

@@ -37,9 +37,6 @@
 //! assert_eq!(a.fingerprint, b.fingerprint); // same seed → same run
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod grid;
 pub mod live;
 pub mod runner;

@@ -42,9 +42,6 @@
 //! assert_eq!(b.len(), 4);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod event;
 pub mod metrics;
 pub mod nemesis;

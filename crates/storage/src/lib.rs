@@ -45,9 +45,6 @@
 //! assert_eq!(old, Some(&Value::Int(100)));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod db;
 pub mod err;
 pub mod ids;

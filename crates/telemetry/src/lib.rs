@@ -24,9 +24,6 @@
 //! byte-identical trace dumps, and a trace is a diffable artifact
 //! (`otp-lab trace-diff`).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod recorder;
 pub mod registry;
 pub mod trace;

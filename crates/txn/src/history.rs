@@ -20,7 +20,11 @@
 
 use crate::txn::TxnId;
 use otp_storage::{ObjectId, SnapshotIndex, TxnIndex};
-use std::collections::{HashMap, HashSet};
+// Ordered containers wherever the checker *iterates*: which violation
+// gets reported first must be a function of the histories, not of hash
+// iteration order (otp-lint: unordered-iter). HashSet survives only for
+// pure membership tests.
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
 /// A committed transaction (or query) as one site's history records it.
@@ -84,8 +88,8 @@ impl std::error::Error for Violation {}
 /// Two transactions conflict when they touch a common object and at least
 /// one writes it (r-w, w-r, w-w). The returned edges point from the
 /// transaction with the smaller position to the larger.
-pub fn conflict_edges(history: &[CommittedTxn]) -> HashSet<(TxnId, TxnId)> {
-    let mut edges = HashSet::new();
+pub fn conflict_edges(history: &[CommittedTxn]) -> BTreeSet<(TxnId, TxnId)> {
+    let mut edges = BTreeSet::new();
     for (i, a) in history.iter().enumerate() {
         let a_writes: HashSet<ObjectId> = a.writes.iter().copied().collect();
         let a_reads: HashSet<ObjectId> = a.reads.iter().copied().collect();
@@ -115,7 +119,7 @@ pub fn conflict_edges(history: &[CommittedTxn]) -> HashSet<(TxnId, TxnId)> {
 /// Returns the first [`Violation`] found: an order conflict between sites,
 /// or a cycle in the union conflict graph.
 pub fn check_one_copy_serializable(sites: &[Vec<CommittedTxn>]) -> Result<(), Violation> {
-    let mut union: HashSet<(TxnId, TxnId)> = HashSet::new();
+    let mut union: BTreeSet<(TxnId, TxnId)> = BTreeSet::new();
     for site in sites {
         for (a, b) in conflict_edges(site) {
             if union.contains(&(b, a)) {
@@ -125,8 +129,8 @@ pub fn check_one_copy_serializable(sites: &[Vec<CommittedTxn>]) -> Result<(), Vi
         }
     }
     // Cycle detection (iterative DFS, 3-color).
-    let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
-    let mut nodes: HashSet<TxnId> = HashSet::new();
+    let mut adj: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
+    let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
     for (a, b) in &union {
         adj.entry(*a).or_default().push(*b);
         nodes.insert(*a);
@@ -138,7 +142,7 @@ pub fn check_one_copy_serializable(sites: &[Vec<CommittedTxn>]) -> Result<(), Vi
         Gray,
         Black,
     }
-    let mut color: HashMap<TxnId, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
+    let mut color: BTreeMap<TxnId, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
     for &start in &nodes {
         if color[&start] != Color::White {
             continue;

@@ -38,9 +38,6 @@
 //! assert_eq!(q.head().unwrap().id(), TxnId::new(SiteId::new(0), 1));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod history;
 pub mod queue;
 pub mod txn;

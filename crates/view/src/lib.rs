@@ -49,9 +49,6 @@
 //! assert_eq!(merged.epoch, 0); // two empty digests merge to an empty base
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use otp_broadcast::EngineSnapshot;
 use otp_simnet::SiteId;
 use std::collections::BTreeSet;

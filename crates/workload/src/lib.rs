@@ -20,8 +20,6 @@
 //! let schedule = WorkloadSpec::new(4, 8, 100).generate(&procs);
 //! assert_eq!(schedule.updates(), 100);
 //! ```
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod gen;
 pub mod procs;

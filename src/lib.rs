@@ -61,9 +61,6 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harness regenerating every figure/table of the paper (EXPERIMENTS.md).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use otp_broadcast as broadcast;
 pub use otp_consensus as consensus;
 pub use otp_core as core;

@@ -1,0 +1,101 @@
+//! Tier-1 smoke suite for `otp-lint` (DESIGN.md §13): the workspace must
+//! lint clean under the real scope table, the JSON report must be
+//! byte-stable across runs, and a doctored tree must fail with the
+//! expected rule id and a usable reproducer line. Runs through the
+//! library API so it needs no pre-built binary; `make lint-otp` and CI
+//! exercise the CLI itself.
+
+use otp_analysis::config::Config;
+use otp_analysis::report::RuleId;
+use otp_analysis::{analyze_workspace, workspace_files};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // The root package's manifest dir IS the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let rep = analyze_workspace(&repo_root(), &Config::workspace()).expect("scan workspace");
+    assert!(rep.is_clean(), "otp-lint found violations in the workspace:\n{}", rep.render_text());
+    // The real tree exercises the scope table: the live-runtime clock
+    // reads must show up as audited allowances, not vanish silently.
+    assert!(
+        rep.allowances
+            .iter()
+            .any(|a| a.rule == RuleId::WallClock && a.file == "crates/core/src/runtime.rs"),
+        "expected audited wall-clock allowances for the live runtime"
+    );
+    assert!(rep.files_scanned > 50, "suspiciously few files scanned: {}", rep.files_scanned);
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs() {
+    let root = repo_root();
+    let cfg = Config::workspace();
+    let a = analyze_workspace(&root, &cfg).expect("first run").render_json();
+    let b = analyze_workspace(&root, &cfg).expect("second run").render_json();
+    assert_eq!(a, b, "two --json runs over the same tree must be byte-identical");
+    assert!(a.ends_with("\n"), "report must be newline-terminated for cmp-friendly artifacts");
+}
+
+#[test]
+fn workspace_walk_is_sorted_and_in_bounds() {
+    let files = workspace_files(&repo_root()).expect("walk");
+    let mut sorted = files.clone();
+    sorted.sort();
+    assert_eq!(files, sorted, "workspace walk must be deterministic (sorted)");
+    assert!(
+        files.iter().all(|f| !f.components().any(|c| c.as_os_str() == "vendor")),
+        "vendored shims must stay out of lint scope"
+    );
+}
+
+/// Builds a throwaway workspace-shaped tree with one doctored source
+/// file, lints it with the *real* scope table, and checks the failure
+/// mode end-to-end: nonzero findings, the right rule id, and a
+/// reproducer line naming the file.
+#[test]
+fn doctored_tree_fails_with_rule_id_and_reproducer() {
+    let dir = std::env::temp_dir().join(format!("otp-lint-smoke-{}", std::process::id()));
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("evil.rs"),
+        "pub fn drift(m: &HashMap<u32, u32>) -> Vec<u32> {\n    let t = Instant::now();\n    \
+         let mut out = Vec::new();\n    for k in m.keys() {\n        out.push(*k);\n    }\n    \
+         touch(t);\n    out\n}\n",
+    )
+    .expect("write doctored file");
+
+    let rep = analyze_workspace(&dir, &Config::workspace()).expect("scan doctored tree");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!rep.is_clean(), "doctored tree must fail the lint");
+    let rules: Vec<RuleId> = rep.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&RuleId::WallClock), "expected wall-clock, got {rules:?}");
+    assert!(rules.contains(&RuleId::UnorderedIter), "expected unordered-iter, got {rules:?}");
+    let text = rep.render_text();
+    assert!(
+        text.contains(
+            "re-run: cargo run --release -p otp-analysis --bin otp-lint -- --path src/evil.rs"
+        ),
+        "missing reproducer line:\n{text}"
+    );
+    assert!(text.contains("src/evil.rs:2: wall-clock:"), "missing diagnostic:\n{text}");
+}
+
+/// The committed scope table must only name files that exist — a stale
+/// entry would silently stop auditing anything.
+#[test]
+fn scope_table_paths_exist() {
+    let root = repo_root();
+    let cfg = Config::workspace();
+    for a in &cfg.scope_allows {
+        assert!(root.join(&a.path).is_file(), "stale scope-table entry: {}", a.path);
+    }
+    for f in &cfg.concurrency_files {
+        assert!(root.join(f).is_file(), "stale concurrency-scope entry: {f}");
+    }
+}

@@ -164,6 +164,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Criterion group entry point (generated by `criterion_group!`).
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
             $($target(&mut criterion);)+
